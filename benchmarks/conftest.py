@@ -1,0 +1,93 @@
+"""Shared helpers for the experiment benchmarks (E1-E14).
+
+Each benchmark module regenerates one artifact of the paper — a worked
+figure or a complexity claim — and asserts its *shape* (who wins, where
+the crossover falls) in addition to timing it.  EXPERIMENTS.md records
+paper-vs-measured for each.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import (
+    FunctionSignature,
+    Service,
+    ServiceRegistry,
+    constant_responder,
+    el,
+    parse_regex,
+)
+from repro.workloads import newspaper
+
+#: The running example's children word (Figure 2.a / Section 4).
+WORD = ("title", "date", "Get_Temp", "TimeOut")
+
+
+def newspaper_outputs():
+    return {
+        "Get_Temp": parse_regex("temp"),
+        "TimeOut": parse_regex("(exhibit | performance)*"),
+        "Get_Date": parse_regex("date"),
+    }
+
+
+@pytest.fixture
+def outputs():
+    return newspaper_outputs()
+
+
+@pytest.fixture
+def target_star2():
+    return parse_regex("title.date.temp.(TimeOut | exhibit*)")
+
+
+@pytest.fixture
+def target_star3():
+    return parse_regex("title.date.temp.exhibit*")
+
+
+def well_behaved_registry():
+    """Get_Temp/TimeOut/Get_Date with fixed, type-conforming answers."""
+    registry = ServiceRegistry()
+    forecast = Service("http://www.forecast.com/soap", "urn:w")
+    forecast.add_operation(
+        "Get_Temp",
+        FunctionSignature(parse_regex("city"), parse_regex("temp")),
+        constant_responder((el("temp", "15"),)),
+        side_effect_free=True,
+    )
+    timeout = Service("http://www.timeout.com/paris", "urn:t")
+    timeout.add_operation(
+        "TimeOut",
+        FunctionSignature(
+            parse_regex("data"), parse_regex("(exhibit | performance)*")
+        ),
+        constant_responder(
+            (el("exhibit", el("title", "P"), el("date", "d")),)
+        ),
+    )
+    dates = Service("http://dates.example.com", "urn:d")
+    dates.add_operation(
+        "Get_Date",
+        FunctionSignature(parse_regex("title"), parse_regex("date")),
+        constant_responder((el("date", "04/12"),)),
+    )
+    registry.register(forecast).register(timeout).register(dates)
+    return registry
+
+
+@pytest.fixture
+def registry():
+    return well_behaved_registry()
+
+
+def print_series(title: str, rows):
+    """Emit one experiment's series so the harness output mirrors the
+    tables of EXPERIMENTS.md (visible with pytest -s)."""
+    print()
+    print("== %s ==" % title)
+    for row in rows:
+        print("   " + " | ".join(str(cell) for cell in row))

@@ -1,0 +1,87 @@
+"""E16 (ablation) — left-to-right vs. right-to-left one-pass rewritings.
+
+Footnote 4: "one could choose similarly right-to-left"; Section 3 admits
+the one-pass restriction "can miss a successful rewriting that is not
+left-to-right".  This ablation measures how often each direction wins on
+a family of knowledge-ordering problems, and what the two-pass fallback
+(:func:`safe_in_some_direction`) recovers.
+"""
+
+import random
+
+from benchmarks.conftest import print_series
+from repro.regex.ast import alt, atom, seq
+from repro.regex.parser import parse_regex
+from repro.rewriting.direction import (
+    LTR,
+    RTL,
+    analyze_safe_directed,
+    safe_in_some_direction,
+)
+
+
+def knowledge_problem(rng):
+    """One adversarial call, one fixed call; the target couples them.
+
+    Which direction works depends on which side the adversarial call
+    lands: its outcome must be observed *before* deciding the other.
+    """
+    adversarial_first = rng.random() < 0.5
+    fixed = atom("c")
+    twoway = parse_regex("a | b")
+    if adversarial_first:
+        outputs = {"f": twoway, "g": fixed}
+        target = alt(seq(atom("a"), atom("c")), seq(atom("b"), atom("g")))
+    else:
+        outputs = {"f": fixed, "g": twoway}
+        target = alt(seq(atom("c"), atom("a")), seq(atom("f"), atom("b")))
+    return ("f", "g"), outputs, target, adversarial_first
+
+
+def test_direction_coverage():
+    rng = random.Random(16)
+    counts = {"ltr": 0, "rtl": 0, "neither": 0}
+    for _ in range(60):
+        word, outputs, target, adversarial_first = knowledge_problem(rng)
+        direction = safe_in_some_direction(word, outputs, target)
+        counts[direction or "neither"] += 1
+        # The adversarial call's position dictates the winning direction.
+        assert direction == (LTR if adversarial_first else RTL)
+    print_series(
+        "E16 direction coverage on knowledge-ordering problems",
+        [("ltr wins", counts["ltr"]), ("rtl wins", counts["rtl"]),
+         ("neither", counts["neither"])],
+    )
+    assert counts["ltr"] > 0 and counts["rtl"] > 0
+    assert counts["neither"] == 0  # two passes cover this family fully
+
+
+def test_single_direction_misses_cases():
+    rng = random.Random(17)
+    ltr_only = sum(
+        1
+        for _ in range(60)
+        if analyze_safe_directed(
+            *knowledge_problem(rng)[:3], direction=LTR
+        ).exists
+    )
+    assert 0 < ltr_only < 60  # LTR alone is genuinely incomplete here
+
+
+def test_ltr_analysis_time(benchmark):
+    word, outputs, target, _ = knowledge_problem(random.Random(3))
+    benchmark(
+        lambda: analyze_safe_directed(word, outputs, target, direction=LTR)
+    )
+
+
+def test_rtl_analysis_time(benchmark):
+    word, outputs, target, _ = knowledge_problem(random.Random(3))
+    benchmark(
+        lambda: analyze_safe_directed(word, outputs, target, direction=RTL)
+    )
+
+
+def test_two_pass_fallback_time(benchmark):
+    word, outputs, target, _ = knowledge_problem(random.Random(4))
+    benchmark(lambda: safe_in_some_direction(word, outputs, target))

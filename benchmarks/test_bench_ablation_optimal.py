@@ -1,0 +1,76 @@
+"""E15 (ablation) — greedy keep-first vs. cost-optimal plan selection.
+
+Figure 3's step 23 asks for minimal-cost paths; our default executor uses
+the greedy local rule (keep whenever safe).  This ablation quantifies the
+gap on a family where greediness hurts:
+
+    w = f.g_1...g_n    tau_out(f)=a, tau_out(g_i)=b_i
+    R  = (f.b_1...b_n) | (a.g_1...g_n)
+
+Greedy keeps f and then must invoke all n trailing calls; the optimal
+strategy invokes f once.  The gap grows linearly with n.
+"""
+
+from benchmarks.conftest import print_series
+from repro.doc import call, el
+from repro.regex.ast import alt, atom, seq
+from repro.rewriting.optimal import execute_safe_optimal, strategy_values
+from repro.rewriting.safe import analyze_safe, execute_safe
+
+
+def family(n):
+    word = ("f",) + tuple("g%d" % i for i in range(1, n + 1))
+    outputs = {"f": atom("a")}
+    for i in range(1, n + 1):
+        outputs["g%d" % i] = atom("b%d" % i)
+    keep_f = seq(atom("f"), *(atom("b%d" % i) for i in range(1, n + 1)))
+    invoke_f = seq(atom("a"), *(atom("g%d" % i) for i in range(1, n + 1)))
+    target = alt(keep_f, invoke_f)
+    return word, outputs, target
+
+
+def invoker(fc):
+    if fc.name == "f":
+        return (el("a"),)
+    return (el("b%s" % fc.name[1:]),)
+
+
+def children(n):
+    return (call("f"),) + tuple(call("g%d" % i) for i in range(1, n + 1))
+
+
+def test_gap_grows_with_n():
+    rows = [("n", "greedy calls", "optimal calls", "optimal bound")]
+    for n in (1, 2, 4, 8):
+        word, outputs, target = family(n)
+        analysis = analyze_safe(word, outputs, target, k=1)
+        assert analysis.exists
+        _out, greedy_log = execute_safe(analysis, children(n), invoker)
+        _out, optimal_log = execute_safe_optimal(analysis, children(n), invoker)
+        bound = strategy_values(analysis)[analysis.initial]
+        rows.append((n, len(greedy_log), len(optimal_log), bound))
+        assert len(greedy_log) == n
+        assert len(optimal_log) == 1
+        assert bound == 1.0
+    print_series("E15 greedy vs optimal invocations", rows)
+
+
+def test_greedy_execution_time(benchmark):
+    word, outputs, target = family(6)
+    analysis = analyze_safe(word, outputs, target, k=1)
+    kids = children(6)
+    benchmark(lambda: execute_safe(analysis, kids, invoker))
+
+
+def test_optimal_execution_time(benchmark):
+    word, outputs, target = family(6)
+    analysis = analyze_safe(word, outputs, target, k=1)
+    kids = children(6)
+    benchmark(lambda: execute_safe_optimal(analysis, kids, invoker))
+
+
+def test_value_computation_time(benchmark):
+    word, outputs, target = family(8)
+    analysis = analyze_safe(word, outputs, target, k=1)
+    values = benchmark(lambda: strategy_values(analysis))
+    assert values[analysis.initial] == 1.0

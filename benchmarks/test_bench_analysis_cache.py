@@ -1,0 +1,80 @@
+"""E18 (implementation ablation) — memoizing word analyses.
+
+Documents repeat content models: a newspaper with N exhibits poses the
+same (children word, target type) game N times.  The engine's analysis
+cache solves each distinct game once; this ablation measures the hit
+rate and the end-to-end speedup on wide documents.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_series, well_behaved_registry
+from repro import Document, RewriteEngine, el, is_instance
+from repro.doc.builder import call
+from repro.workloads import newspaper
+
+
+def wide_newspaper(n_exhibits):
+    exhibits = [
+        el("exhibit", el("title", "t%d" % i),
+           call("Get_Date", el("title", "t%d" % i)))
+        for i in range(n_exhibits)
+    ]
+    return Document(
+        el("newspaper", el("title", "x"), el("date", "d"),
+           el("temp", "21"), *exhibits)
+    )
+
+
+def run(n_exhibits, cache):
+    engine = RewriteEngine(
+        newspaper.schema_star3(), newspaper.schema_star(), k=1, cache=cache
+    )
+    registry = well_behaved_registry()
+    result = engine.rewrite(wide_newspaper(n_exhibits),
+                            registry.make_invoker())
+    assert is_instance(
+        result.document, newspaper.schema_star3(), newspaper.schema_star()
+    )
+    return engine, result
+
+
+def test_hit_rate_grows_with_repetition():
+    rows = [("exhibits", "hits", "misses")]
+    for n in (5, 20, 80):
+        engine, _result = run(n, cache=True)
+        hits, misses = engine.cache_stats
+        rows.append((n, hits, misses))
+        # Distinct games are bounded by distinct content models, not by
+        # document width.
+        assert misses <= 6
+        assert hits >= n
+    print_series("E18 analysis cache", rows)
+
+
+def test_cache_disabled_is_equivalent():
+    _e1, with_cache = run(25, cache=True)
+    _e2, without = run(25, cache=False)
+    assert with_cache.document == without.document
+    assert with_cache.log.invoked == without.log.invoked
+
+
+@pytest.mark.parametrize("cache", [True, False],
+                         ids=["cached", "uncached"])
+def test_wide_document_rewrite_time(benchmark, cache):
+    registry = well_behaved_registry()
+    document = wide_newspaper(40)
+
+    def go():
+        engine = RewriteEngine(
+            newspaper.schema_star3(), newspaper.schema_star(), k=1,
+            cache=cache,
+        )
+        return engine.rewrite(document, registry.make_invoker())
+
+    result = benchmark(go)
+    # (***) lets each exhibit keep its Get_Date call; what matters is
+    # conformance, which `run`-style validation asserts below.
+    assert is_instance(
+        result.document, newspaper.schema_star3(), newspaper.schema_star()
+    )

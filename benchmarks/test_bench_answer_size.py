@@ -1,0 +1,65 @@
+"""E10 — Section 4: the rewritten word length is bounded by |w| * x^k.
+
+"The complexity of actually performing the rewriting depends on the size
+of the answers returned by the called functions.  If x is the maximal
+answer size, the length of the generated word is bounded by w * x^k."
+
+We regenerate the bound with fan-out services: tau_out(h_i) = h_{i+1}^x,
+the deepest level returning a^x.  Materializing one h_1 call to depth k
+produces exactly x^k leaves; the benchmark sweeps x and k and checks the
+measured word length against the bound.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_series
+from repro.doc import call, el
+from repro.rewriting.lazy import analyze_safe_lazy
+from repro.rewriting.safe import execute_safe
+from repro.workloads.generators import answer_size_problem
+
+
+def make_invoker(answer_size, depth):
+    def invoker(fc):
+        level = int(fc.name[1:])
+        if level < depth:
+            return tuple(call("h%d" % (level + 1)) for _ in range(answer_size))
+        return tuple(el("a") for _ in range(answer_size))
+
+    return invoker
+
+
+def materialize(answer_size, depth):
+    problem = answer_size_problem(answer_size, depth)
+    analysis = analyze_safe_lazy(
+        problem.word, problem.output_types, problem.target, k=depth
+    )
+    assert analysis.exists
+    new_children, log = execute_safe(
+        analysis, (call("h1"),), make_invoker(answer_size, depth)
+    )
+    return len(new_children), len(log)
+
+
+def test_word_length_matches_x_to_the_k():
+    rows = [("x", "k", "result length", "bound |w|*x^k", "calls")]
+    for answer_size in (2, 3):
+        for depth in (1, 2, 3):
+            length, calls = materialize(answer_size, depth)
+            bound = answer_size ** depth
+            rows.append((answer_size, depth, length, bound, calls))
+            assert length == bound  # exact for this workload
+    print_series("E10 answer-size bound", rows)
+
+
+@pytest.mark.parametrize("answer_size,depth", [(2, 3), (3, 3), (4, 3)])
+def test_materialization_time(benchmark, answer_size, depth):
+    problem = answer_size_problem(answer_size, depth)
+    analysis = analyze_safe_lazy(
+        problem.word, problem.output_types, problem.target, k=depth
+    )
+    invoker = make_invoker(answer_size, depth)
+    new_children, _log = benchmark(
+        lambda: execute_safe(analysis, (call("h1"),), invoker)
+    )
+    assert len(new_children) == answer_size ** depth

@@ -1,0 +1,75 @@
+"""E8 — Section 4's complexity claim: determinism keeps safety polynomial.
+
+"This exponential blow up may happen however only when s uses non
+deterministic regular expressions [...] XML Schema enforces the usage of
+deterministic regular expressions only.  Hence for most practical cases,
+the complexity is polynomial."
+
+We regenerate the claim with two target families of matching size:
+``(a|b)*.a.(a|b)^n`` (not one-unambiguous; complement states grow as
+2^n) versus ``a^{n+1}.b*`` (one-unambiguous; complement grows linearly),
+and check the exponential-vs-linear crossover on complement sizes.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_series
+from repro.regex.determinism import is_one_unambiguous
+from repro.rewriting.lazy import analyze_safe_lazy
+from repro.workloads.generators import det_target_problem, nondet_target_problem
+
+
+def complement_states(problem):
+    analysis = analyze_safe_lazy(
+        problem.word, problem.output_types, problem.target
+    )
+    assert analysis.exists
+    return analysis.stats.complement_states
+
+
+def test_families_have_the_right_determinism():
+    assert is_one_unambiguous(det_target_problem(5).target)
+    assert not is_one_unambiguous(nondet_target_problem(5).target)
+
+
+def test_exponential_vs_linear_complement_growth():
+    rows = [("n", "det complement states", "nondet complement states")]
+    det_sizes, nondet_sizes = [], []
+    for n in range(1, 9):
+        det = complement_states(det_target_problem(n))
+        nondet = complement_states(nondet_target_problem(n))
+        det_sizes.append(det)
+        nondet_sizes.append(nondet)
+        rows.append((n, det, nondet))
+    print_series("E8 complement growth (det vs nondet)", rows)
+
+    # Deterministic family: linear growth (constant first differences).
+    det_deltas = {b - a for a, b in zip(det_sizes, det_sizes[1:])}
+    assert len(det_deltas) == 1
+
+    # Nondeterministic family: the classic 2^(n+1) states.
+    for n, size in enumerate(nondet_sizes, start=1):
+        assert size >= 2 ** (n + 1), (n, size)
+
+    # The crossover: nondet dominates det everywhere past tiny n.
+    assert nondet_sizes[-1] > 30 * det_sizes[-1]
+
+
+@pytest.mark.parametrize("n", [4, 8])
+def test_det_analysis_time(benchmark, n):
+    problem = det_target_problem(n)
+    benchmark(
+        lambda: analyze_safe_lazy(
+            problem.word, problem.output_types, problem.target
+        )
+    )
+
+
+@pytest.mark.parametrize("n", [4, 8])
+def test_nondet_analysis_time(benchmark, n):
+    problem = nondet_target_problem(n)
+    benchmark(
+        lambda: analyze_safe_lazy(
+            problem.word, problem.output_types, problem.target
+        )
+    )

@@ -1,0 +1,92 @@
+"""E6 — Figures 10+11: possible rewriting into schema (***).
+
+Regenerates the product A_w^1 x A((***)), verifies the paper's
+conclusions — the initial state can reach acceptance, the only viable
+fork options invoke BOTH Get_Temp and TimeOut, success depends on
+TimeOut returning only exhibits — and times the analysis plus both the
+lucky and unlucky executions.
+"""
+
+import pytest
+
+from benchmarks.conftest import WORD, newspaper_outputs, print_series
+from repro.doc import call, el, text
+from repro.errors import RewriteExecutionError
+from repro.regex.parser import parse_regex
+from repro.rewriting.possible import analyze_possible, execute_possible
+
+TARGET = parse_regex("title.date.temp.exhibit*")
+
+
+def children():
+    return (
+        el("title", "The Sun"),
+        el("date", "04/10/2002"),
+        call("Get_Temp", el("city", "Paris")),
+        call("TimeOut", text("exhibits")),
+    )
+
+
+def lucky_invoker(fc):
+    if fc.name == "Get_Temp":
+        return (el("temp", "15"),)
+    return (el("exhibit", el("title", "P"), el("date", "d")),)
+
+
+def unlucky_invoker(fc):
+    if fc.name == "Get_Temp":
+        return (el("temp", "15"),)
+    return (el("performance"),)
+
+
+def test_possible_exists_as_in_figure_11():
+    analysis = analyze_possible(WORD, newspaper_outputs(), TARGET, k=1)
+    assert analysis.exists
+    witness = analysis.witness()
+    assert witness[:3] == ("title", "date", "temp")
+    print_series(
+        "E6 possible rewriting into (***) (Figures 10-11)",
+        [("exists", analysis.exists), ("witness", ".".join(witness)),
+         ("alive nodes", analysis.stats.marked_nodes),
+         ("product nodes", analysis.stats.product_nodes)],
+    )
+
+
+def test_lucky_execution_invokes_both():
+    analysis = analyze_possible(WORD, newspaper_outputs(), TARGET, k=1)
+    new_children, log = execute_possible(analysis, children(), lucky_invoker)
+    assert sorted(log.invoked) == ["Get_Temp", "TimeOut"]
+    assert all(not r.backtracked for r in log.records)
+
+
+def test_unlucky_execution_fails_with_side_effects():
+    analysis = analyze_possible(WORD, newspaper_outputs(), TARGET, k=1)
+    with pytest.raises(RewriteExecutionError):
+        execute_possible(analysis, children(), unlucky_invoker)
+
+
+def test_analysis_time(benchmark):
+    outputs = newspaper_outputs()
+    analysis = benchmark(lambda: analyze_possible(WORD, outputs, TARGET, k=1))
+    assert analysis.exists
+
+
+def test_lucky_execution_time(benchmark):
+    analysis = analyze_possible(WORD, newspaper_outputs(), TARGET, k=1)
+    new_children, log = benchmark(
+        lambda: execute_possible(analysis, children(), lucky_invoker)
+    )
+    assert len(new_children) == 4
+
+
+def test_possible_cheaper_than_safe():
+    """Section 5: possible rewriting avoids complementation, so its
+    automaton never exceeds the safe one's on the same problem."""
+    from repro.rewriting.safe import analyze_safe
+
+    outputs = newspaper_outputs()
+    possible = analyze_possible(WORD, outputs, TARGET, k=1)
+    safe = analyze_safe(WORD, outputs, TARGET, k=1)
+    assert (
+        possible.stats.complement_states <= safe.stats.complement_states
+    )

@@ -1,0 +1,43 @@
+"""E1 — Figure 2: the newspaper document before/after materialization.
+
+Regenerates the figure's two states (intensional / after Get_Temp) and
+the instance-of relations of Section 2, and times document validation
+and the XML round-trip on the paper's own example.
+"""
+
+from repro import Document, is_instance
+from repro.workloads import newspaper
+
+
+def test_figure_2a_state(benchmark):
+    doc = newspaper.document()
+    s1 = newspaper.schema_star()
+    assert doc.function_count() == 2
+    assert benchmark(lambda: is_instance(doc, s1))
+
+
+def test_figure_2b_state():
+    doc = newspaper.materialized_document()
+    assert doc.function_count() == 1  # TimeOut remains
+    assert is_instance(doc, newspaper.schema_star2())
+    assert not is_instance(doc, newspaper.schema_star3())
+
+
+def test_instance_relations_match_section_2():
+    doc = newspaper.document()
+    relations = [
+        (newspaper.schema_star(), True),
+        (newspaper.schema_star2(), False),
+        (newspaper.schema_star3(), False),
+    ]
+    for schema, expected in relations:
+        assert is_instance(doc, schema) is expected
+
+
+def test_xml_roundtrip_throughput(benchmark):
+    doc = newspaper.document()
+
+    def roundtrip():
+        return Document.from_xml(doc.to_xml())
+
+    assert benchmark(roundtrip) == doc

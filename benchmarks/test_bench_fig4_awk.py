@@ -1,0 +1,47 @@
+"""E2 — Figure 4: the 1-depth expansion automaton A_w^1.
+
+Regenerates the automaton for w = title.date.Get_Temp.TimeOut with the
+paper's signatures and checks its structure against the figure: 10
+states, fork nodes at q2 (Get_Temp) and q3 (TimeOut), each with the two
+fork options (the function edge and the epsilon into the copy).
+"""
+
+from benchmarks.conftest import WORD, newspaper_outputs, print_series
+from repro.rewriting.expansion import build_expansion
+
+
+def test_structure_matches_figure_4():
+    expansion = build_expansion(WORD, newspaper_outputs(), k=1)
+    assert expansion.n_states == 10
+    forks = expansion.fork_edges()
+    assert [(e.source, str(e.guard)) for e in forks] == [
+        (2, "Get_Temp"),
+        (3, "TimeOut"),
+    ]
+    for fork in forks:
+        invoke = expansion.edge(fork.invoke_edge)
+        assert invoke.kind == "invoke" and invoke.source == fork.source
+    print_series(
+        "E2 A_w^1 structure (Figure 4)",
+        [("states", expansion.n_states), ("edges", len(expansion.edges)),
+         ("fork nodes", [e.source for e in forks])],
+    )
+
+
+def test_build_time(benchmark):
+    outputs = newspaper_outputs()
+    expansion = benchmark(lambda: build_expansion(WORD, outputs, k=1))
+    assert expansion.n_states == 10
+
+
+def test_growth_with_k(benchmark):
+    outputs = newspaper_outputs()
+    rows = [("k", "states", "edges")]
+    for k in range(0, 4):
+        expansion = build_expansion(WORD, outputs, k=k)
+        rows.append((k,) + expansion.size())
+    print_series("E2 A_w^k growth", rows)
+    # The newspaper signatures contain no nested calls, so growth stops
+    # after the first round.
+    assert rows[2][1] == rows[3][1]
+    benchmark(lambda: build_expansion(WORD, outputs, k=3))

@@ -1,0 +1,61 @@
+"""E3 — Figure 5: the complete complement automaton for schema (**).
+
+The paper's complement of title.date.temp.(TimeOut | exhibit*) has 7
+states (p0..p6) with accepting states p0, p1, p2 and p6, where p6 is the
+catch-all *sink* the lazy variant prunes at.  We regenerate it and check
+those structural facts, plus the Figure 7 variant for schema (***).
+"""
+
+from benchmarks.conftest import WORD, newspaper_outputs, print_series
+from repro.automata.dfa import minimize
+from repro.regex.parser import parse_regex
+from repro.rewriting.safe import problem_alphabet, target_complement
+
+
+def build(target_text):
+    target = parse_regex(target_text)
+    alphabet = problem_alphabet(WORD, newspaper_outputs(), target)
+    return target_complement(target, alphabet)
+
+
+def test_complement_structure_matches_figure_5():
+    comp = build("title.date.temp.(TimeOut | exhibit*)")
+    # p0..p6: 7 states, exactly as drawn.
+    assert comp.n_states == 7
+    assert len(comp.accepting) == 4  # p0, p1, p2, p6
+    sinks = comp.sink_states() & comp.accepting
+    assert len(sinks) == 1  # p6
+    assert comp.is_complete()
+    print_series(
+        "E3 complement of (**) (Figure 5)",
+        [("states", comp.n_states), ("accepting", len(comp.accepting)),
+         ("sink", len(sinks))],
+    )
+
+
+def test_complement_structure_matches_figure_7():
+    comp = build("title.date.temp.exhibit*")
+    assert comp.n_states == 6  # p0..p5 with the sink
+    assert comp.is_complete()
+    sinks = comp.sink_states() & comp.accepting
+    assert len(sinks) == 1
+
+
+def test_membership_spot_checks():
+    comp = build("title.date.temp.(TimeOut | exhibit*)")
+    assert not comp.accepts(("title", "date", "temp"))
+    assert not comp.accepts(("title", "date", "temp", "TimeOut"))
+    assert comp.accepts(("title", "date"))
+    assert comp.accepts(("title", "date", "temp", "performance"))
+
+
+def test_build_time(benchmark):
+    comp = benchmark(lambda: build("title.date.temp.(TimeOut | exhibit*)"))
+    assert comp.n_states == 7
+
+
+def test_minimization_does_not_shrink_figure_5(benchmark):
+    # The paper's hand-drawn automaton is already minimal.
+    comp = build("title.date.temp.(TimeOut | exhibit*)")
+    minimal = benchmark(lambda: minimize(comp))
+    assert minimal.n_states == comp.n_states

@@ -1,0 +1,71 @@
+"""E4 — Figure 6: the marked product and the safe rewriting into (**).
+
+Regenerates the cartesian product A_w^1 x comp((**)), verifies the
+figure's conclusions — the two fork nodes are unmarked, the initial
+state is unmarked, a safe rewriting exists, and the extracted plan is
+"invoke Get_Temp, do not invoke TimeOut" — and times analysis and
+execution end to end.
+"""
+
+from benchmarks.conftest import (
+    WORD,
+    newspaper_outputs,
+    print_series,
+    well_behaved_registry,
+)
+from repro.doc import call, el, text
+from repro.regex.parser import parse_regex
+from repro.rewriting.safe import analyze_safe, execute_safe
+
+TARGET = parse_regex("title.date.temp.(TimeOut | exhibit*)")
+
+
+def children():
+    return (
+        el("title", "The Sun"),
+        el("date", "04/10/2002"),
+        call("Get_Temp", el("city", "Paris"),
+             endpoint="http://www.forecast.com/soap"),
+        call("TimeOut", text("exhibits"),
+             endpoint="http://www.timeout.com/paris"),
+    )
+
+
+def test_marking_matches_figure_6():
+    analysis = analyze_safe(WORD, newspaper_outputs(), TARGET, k=1)
+    assert analysis.exists
+    assert not analysis.is_marked(analysis.initial)
+    decisions = analysis.preview_decisions()
+    assert [(d.function, d.action) for d in decisions] == [
+        ("Get_Temp", "invoke"),
+        ("TimeOut", "keep"),
+    ]
+    print_series(
+        "E4 safe rewriting into (**) (Figure 6)",
+        [("exists", analysis.exists)]
+        + [("decision", str(d)) for d in decisions]
+        + [("product nodes", analysis.stats.product_nodes),
+           ("marked", analysis.stats.marked_nodes)],
+    )
+
+
+def test_analysis_time(benchmark):
+    outputs = newspaper_outputs()
+    analysis = benchmark(lambda: analyze_safe(WORD, outputs, TARGET, k=1))
+    assert analysis.exists
+
+
+def test_end_to_end_rewrite_time(benchmark):
+    registry = well_behaved_registry()
+    outputs = newspaper_outputs()
+    analysis = analyze_safe(WORD, outputs, TARGET, k=1)
+    invoker = registry.make_invoker()
+
+    def run():
+        return execute_safe(analysis, children(), invoker)
+
+    new_children, log = benchmark(run)
+    assert log.invoked == ["Get_Temp"]
+    assert [getattr(n, "label", getattr(n, "name", None)) for n in new_children] == [
+        "title", "date", "temp", "TimeOut",
+    ]

@@ -1,0 +1,85 @@
+"""E19 (infrastructure) — substrate scaling on large documents.
+
+Not a paper claim, but a reproduction must demonstrate its substrate
+holds up: validation, XML round-trips and enforcement must scale roughly
+linearly in document size for the simulator results to be trustworthy.
+Documents here are generated newspaper instances padded with hundreds of
+exhibits.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_series, well_behaved_registry
+from repro import Document, RewriteEngine, el, is_instance
+from repro.doc.builder import call
+from repro.workloads import newspaper
+
+
+def big_newspaper(n_exhibits, intensional_every=4):
+    children = [el("title", "x"), el("date", "d"), el("temp", "21")]
+    for i in range(n_exhibits):
+        if i % intensional_every == 0:
+            children.append(
+                el("exhibit", el("title", "t%d" % i),
+                   call("Get_Date", el("title", "t%d" % i)))
+            )
+        else:
+            children.append(
+                el("exhibit", el("title", "t%d" % i), el("date", "d%d" % i))
+            )
+    return Document(el("newspaper", *children))
+
+
+def test_linear_scaling_shapes():
+    import time
+
+    rows = [("exhibits", "nodes", "validate ms", "roundtrip ms")]
+    timings = []
+    for n in (100, 200, 400):
+        document = big_newspaper(n)
+        start = time.perf_counter()
+        assert is_instance(document, newspaper.schema_star3(),
+                           newspaper.schema_star())
+        validate_ms = (time.perf_counter() - start) * 1000
+
+        start = time.perf_counter()
+        assert Document.from_xml(document.to_xml()) == document
+        roundtrip_ms = (time.perf_counter() - start) * 1000
+        rows.append((n, document.size(), round(validate_ms, 2),
+                     round(roundtrip_ms, 2)))
+        timings.append((n, validate_ms, roundtrip_ms))
+    print_series("E19 substrate scaling", rows)
+
+    # Roughly linear: 4x the size must stay well under 16x the time.
+    (n0, v0, r0), (_n1, _v1, _r1), (n2, v2, r2) = timings
+    assert v2 < 16 * max(v0, 0.05)
+    assert r2 < 16 * max(r0, 0.05)
+
+
+@pytest.mark.parametrize("n", [100, 400])
+def test_validate_time(benchmark, n):
+    document = big_newspaper(n)
+    s3, s1 = newspaper.schema_star3(), newspaper.schema_star()
+    assert benchmark(lambda: is_instance(document, s3, s1))
+
+
+@pytest.mark.parametrize("n", [100, 400])
+def test_roundtrip_time(benchmark, n):
+    document = big_newspaper(n)
+    assert benchmark(lambda: Document.from_xml(document.to_xml())) == document
+
+
+@pytest.mark.parametrize("n", [100, 400])
+def test_enforce_time(benchmark, n):
+    document = big_newspaper(n)
+    registry = well_behaved_registry()
+
+    def go():
+        engine = RewriteEngine(
+            newspaper.schema_star3(), newspaper.schema_star(), k=1
+        )
+        return engine.rewrite(document, registry.make_invoker())
+
+    result = benchmark(go)
+    assert is_instance(result.document, newspaper.schema_star3(),
+                       newspaper.schema_star())

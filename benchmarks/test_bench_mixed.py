@@ -1,0 +1,95 @@
+"""E13 — Section 5's mixed approach: invoke cheap calls first.
+
+"A mixed approach, that invokes some of the functions (e.g. ones with no
+side effects or low price) to get their actual output, while safely
+verifying other functions can be clearly beneficial [...] This may
+greatly simplify the resulting automaton A_w^k."
+
+We regenerate the effect: eagerly invoking the well-behaved TimeOut
+turns the (***) exchange from unsafe into safe, and shrinks the game;
+the benchmark compares automaton sizes and end-to-end times.
+"""
+
+from benchmarks.conftest import WORD, newspaper_outputs, print_series
+from repro.doc import call, el, text
+from repro.regex.parser import parse_regex
+from repro.rewriting.lazy import analyze_safe_lazy
+from repro.rewriting.mixed import mixed_rewrite_word
+
+TARGET2 = parse_regex("title.date.temp.(TimeOut | exhibit*)")
+TARGET3 = parse_regex("title.date.temp.exhibit*")
+
+
+def children():
+    return (
+        el("title", "The Sun"),
+        el("date", "04/10/2002"),
+        call("Get_Temp", el("city", "Paris")),
+        call("TimeOut", text("exhibits")),
+    )
+
+
+def invoker(fc):
+    if fc.name == "Get_Temp":
+        return (el("temp", "15"),)
+    return (el("exhibit", el("title", "P"), el("date", "d")),)
+
+
+def test_mixed_rescues_the_unsafe_exchange():
+    pure = analyze_safe_lazy(WORD, newspaper_outputs(), TARGET3, k=1)
+    assert not pure.exists
+    new_children, log, analysis = mixed_rewrite_word(
+        children(), newspaper_outputs(), TARGET3, invoker,
+        eager=lambda name: name == "TimeOut", k=1,
+    )
+    assert analysis.exists
+    print_series(
+        "E13 mixed approach on (***)",
+        [
+            ("pure safe exists", pure.exists),
+            ("mixed safe exists", analysis.exists),
+            ("calls", sorted(log.invoked)),
+        ],
+    )
+
+
+def test_mixed_shrinks_the_game():
+    full = analyze_safe_lazy(WORD, newspaper_outputs(), TARGET2, k=1)
+    _new, _log, mixed = mixed_rewrite_word(
+        children(), newspaper_outputs(), TARGET2, invoker,
+        eager=lambda name: name == "TimeOut", k=1,
+    )
+    print_series(
+        "E13 game sizes",
+        [
+            ("pure expansion states", full.stats.expansion_states),
+            ("mixed expansion states", mixed.stats.expansion_states),
+            ("pure product nodes", full.stats.product_nodes),
+            ("mixed product nodes", mixed.stats.product_nodes),
+        ],
+    )
+    assert mixed.stats.expansion_states < full.stats.expansion_states
+
+
+def test_pure_safe_time(benchmark):
+    from repro.rewriting.safe import execute_safe
+
+    outputs = newspaper_outputs()
+    analysis = analyze_safe_lazy(WORD, outputs, TARGET2, k=1)
+
+    def run():
+        return execute_safe(analysis, children(), invoker)
+
+    benchmark(run)
+
+
+def test_mixed_time(benchmark):
+    outputs = newspaper_outputs()
+
+    def run():
+        return mixed_rewrite_word(
+            children(), outputs, TARGET2, invoker,
+            eager=lambda name: name == "TimeOut", k=1,
+        )
+
+    benchmark(run)

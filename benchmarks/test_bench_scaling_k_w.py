@@ -1,0 +1,67 @@
+"""E9 — Section 4: |A_w^k| = O((|s0| + |w|)^k).
+
+Regenerates the growth of the expansion automaton along both axes:
+
+- word width |w| at fixed k (linear growth: each call contributes one
+  signature copy per level);
+- depth k on a recursive signature (geometric growth: copies of copies).
+"""
+
+import pytest
+
+from benchmarks.conftest import print_series
+from repro.regex.parser import parse_regex
+from repro.rewriting.expansion import build_expansion
+from repro.rewriting.lazy import analyze_safe_lazy
+from repro.workloads.generators import wide_problem
+
+
+def test_growth_with_word_width_is_linear():
+    rows = [("|w|", "expansion states", "product nodes")]
+    states = []
+    for width in (2, 4, 8, 16, 32):
+        problem = wide_problem(width, safe=True)
+        analysis = analyze_safe_lazy(
+            problem.word, problem.output_types, problem.target, k=1
+        )
+        assert analysis.exists
+        states.append(analysis.stats.expansion_states)
+        rows.append(
+            (width, analysis.stats.expansion_states,
+             analysis.stats.product_nodes)
+        )
+    print_series("E9 growth with |w| (k=1)", rows)
+    # Linear: doubling the width doubles the states (within one state).
+    for half, full in zip(states, states[1:]):
+        assert full <= 2 * half + 2
+
+
+def test_growth_with_k_is_geometric_on_recursive_signatures():
+    outputs = {"g": parse_regex("a.g.g | a")}
+    rows = [("k", "states", "edges")]
+    sizes = []
+    for k in range(0, 6):
+        expansion = build_expansion(("g",), outputs, k=k)
+        sizes.append(expansion.n_states)
+        rows.append((k,) + expansion.size())
+    print_series("E9 growth with k (recursive tau_out)", rows)
+    # Geometric: each level at least doubles the copies added.
+    growth = [b - a for a, b in zip(sizes, sizes[1:])]
+    for earlier, later in zip(growth, growth[1:]):
+        assert later >= 2 * earlier
+
+
+@pytest.mark.parametrize("width", [8, 32])
+def test_wide_analysis_time(benchmark, width):
+    problem = wide_problem(width, safe=True)
+    benchmark(
+        lambda: analyze_safe_lazy(
+            problem.word, problem.output_types, problem.target, k=1
+        )
+    )
+
+
+@pytest.mark.parametrize("k", [2, 4])
+def test_deep_expansion_time(benchmark, k):
+    outputs = {"g": parse_regex("a.g.g | a")}
+    benchmark(lambda: build_expansion(("g",), outputs, k=k))

@@ -1,0 +1,71 @@
+"""E12 — Section 6: schema-to-schema safe rewriting.
+
+Regenerates the paper's stated result — "this schema [(*)] safely
+rewrites into the schema of (**) but does not safely rewrite into the
+one of (***)" — and times the compatibility check, including its scaling
+with the number of labels.
+"""
+
+from benchmarks.conftest import print_series
+from repro.schema import SchemaBuilder
+from repro.schemarewrite import schema_safely_rewrites
+from repro.workloads import newspaper
+
+
+def test_paper_claim():
+    s1 = newspaper.schema_star()
+    s2 = newspaper.schema_star2()
+    s3 = newspaper.schema_star3()
+    into_star2 = schema_safely_rewrites(s1, s2, k=1)
+    into_star3 = schema_safely_rewrites(s1, s3, k=1)
+    print_series(
+        "E12 schema compatibility (Section 6)",
+        [
+            ("(*) -> (**)", bool(into_star2)),
+            ("(*) -> (***)", bool(into_star3)),
+            ("failing labels", [c.label for c in into_star3.failed()]),
+        ],
+    )
+    assert into_star2.compatible
+    assert not into_star3.compatible
+    assert [c.label for c in into_star3.failed()] == ["newspaper"]
+
+
+def test_check_time_star2(benchmark):
+    s1, s2 = newspaper.schema_star(), newspaper.schema_star2()
+    report = benchmark(lambda: schema_safely_rewrites(s1, s2, k=1))
+    assert report.compatible
+
+
+def test_check_time_star3(benchmark):
+    s1, s3 = newspaper.schema_star(), newspaper.schema_star3()
+    report = benchmark(lambda: schema_safely_rewrites(s1, s3, k=1))
+    assert not report.compatible
+
+
+def _wide_schemas(n_labels):
+    sender = SchemaBuilder()
+    receiver = SchemaBuilder()
+    for i in range(n_labels):
+        label = "l%d" % i
+        sender.element(label, "f%d | x" % i)
+        receiver.element(label, "x")
+        sender.function("f%d" % i, "data", "x")
+        receiver.function("f%d" % i, "data", "x")
+    sender.element("x", "data").root("l0")
+    receiver.element("x", "data").root("l0")
+    # Make every label reachable from the root.
+    return sender.build(strict=False), receiver.build(strict=False)
+
+
+def test_scaling_with_label_count(benchmark):
+    sender, receiver = _wide_schemas(20)
+    report = benchmark(lambda: schema_safely_rewrites(sender, receiver, k=1))
+    assert report.compatible  # every f_i can be invoked into x
+
+    rows = [("labels", "checks run")]
+    for n in (5, 10, 20):
+        s, r = _wide_schemas(n)
+        out = schema_safely_rewrites(s, r, k=1)
+        rows.append((n, len(out.checks)))
+    print_series("E12 scaling with schema size", rows)

@@ -1,0 +1,151 @@
+"""Data integration: the warehouse / mediator spectrum (Conclusion).
+
+"The control of whether to materialize data or not provides some
+flexible form of integration, that is a hybrid of the warehouse model
+(all is materialized) and the mediator model (nothing is)."
+
+A mediator document integrates three sources as intensional views:
+stock quotes, weather, and a product catalog.  Exchanging it under
+different schemas slides along the spectrum:
+
+- *mediator* agreement: every view stays a call (always fresh, zero
+  integration work up front);
+- *warehouse* agreement: every view is materialized (snapshot
+  semantics, receiver needs no service access);
+- *hybrid* agreement: volatile quotes stay intensional, slow-moving
+  catalog data is materialized.
+
+The example also demonstrates the negotiator (conclusion extension):
+given all three agreements as offers, the sender picks per preference,
+and UDDI-style search locates a provider by the *type* of data needed.
+
+Run:  python examples/data_integration.py
+"""
+
+from repro import (
+    AXMLPeer,
+    FunctionSignature,
+    PeerNetwork,
+    SchemaBuilder,
+    Service,
+    constant_responder,
+    el,
+    negotiate,
+    parse_regex,
+)
+from repro.doc.builder import call
+from repro.doc.document import Document
+
+
+def schema(view: str) -> "SchemaBuilder":
+    """The integration schema; `view` picks the materialization level.
+
+    view='mediator'  -> calls required everywhere
+    view='warehouse' -> data required everywhere
+    view='hybrid'    -> fresh quotes, materialized catalog + weather
+    """
+    contents = {
+        "mediator": ("Get_Quote", "Get_Temp", "Get_Products"),
+        "warehouse": ("quote", "temp", "product*"),
+        "hybrid": ("Get_Quote", "temp", "product*"),
+    }[view]
+    return (
+        SchemaBuilder()
+        .element("dashboard", ".".join(contents))
+        .element("quote", "data")
+        .element("temp", "data")
+        .element("product", "data")
+        .element("symbol", "data")
+        .element("city", "data")
+        .function("Get_Quote", "symbol", "quote")
+        .function("Get_Temp", "city", "temp")
+        .function("Get_Products", "data", "product*")
+        .root("dashboard")
+        .build()
+    )
+
+
+def sender_schema():
+    # The integrator stores pure mediator documents (every view is a
+    # call); a looser sender schema would make the intensional offers
+    # non-negotiable, since rewriting can materialize but never
+    # *un*-materialize data.
+    return (
+        SchemaBuilder()
+        .element("dashboard", "Get_Quote.Get_Temp.Get_Products")
+        .element("quote", "data")
+        .element("temp", "data")
+        .element("product", "data")
+        .element("symbol", "data")
+        .element("city", "data")
+        .function("Get_Quote", "symbol", "quote")
+        .function("Get_Temp", "city", "temp")
+        .function("Get_Products", "data", "product*")
+        .root("dashboard")
+        .build()
+    )
+
+
+def build_sources():
+    quotes = Service("http://quotes", "urn:q")
+    quotes.add_operation(
+        "Get_Quote",
+        FunctionSignature(parse_regex("symbol"), parse_regex("quote")),
+        constant_responder((el("quote", "101.2"),)),
+    )
+    weather = Service("http://weather", "urn:w")
+    weather.add_operation(
+        "Get_Temp",
+        FunctionSignature(parse_regex("city"), parse_regex("temp")),
+        constant_responder((el("temp", "15"),)),
+    )
+    catalog = Service("http://catalog", "urn:c")
+    catalog.add_operation(
+        "Get_Products",
+        FunctionSignature(parse_regex("data"), parse_regex("product*")),
+        constant_responder((el("product", "laptop"), el("product", "phone"))),
+    )
+    return quotes, weather, catalog
+
+
+def main() -> None:
+    mediator_doc = Document(
+        el("dashboard",
+           call("Get_Quote", el("symbol", "ACME")),
+           call("Get_Temp", el("city", "Paris")),
+           call("Get_Products", el("symbol", "x") if False else "all"))
+    )
+
+    integrator = AXMLPeer("integrator", sender_schema())
+    for source in build_sources():
+        integrator.registry.register(source)
+    integrator.repository.store("dashboard", mediator_doc)
+
+    network = PeerNetwork()
+    network.add_peer(integrator)
+    print("%-11s %-6s %-7s %s" % ("agreement", "calls", "bytes", "views left intensional"))
+    for view in ("mediator", "hybrid", "warehouse"):
+        peer = AXMLPeer(view, schema(view))
+        network.add_peer(peer)
+        network.agree("integrator", view, schema(view))
+        receipt = network.send("integrator", view, "dashboard")
+        remaining = peer.repository.get("dashboard").function_count()
+        print("%-11s %-6d %-7d %d" % (
+            view, receipt.calls_materialized, receipt.bytes_on_wire, remaining))
+
+    # --- negotiation: the sender picks among the receiver's offers ------
+    offers = [schema("warehouse"), schema("hybrid"), schema("mediator")]
+    for preference in ("intensional", "extensional"):
+        outcome = negotiate(sender_schema(), offers, k=1,
+                            preference=preference)
+        label = ["warehouse", "hybrid", "mediator"][offers.index(outcome.agreed)]
+        print("negotiator (%s preference) picks: %s" % (preference, label))
+
+    # --- UDDI-style search: who can provide product data? ----------------
+    found = integrator.registry.find_providers(parse_regex("product*"))
+    print("providers of product*:",
+          [op.name for _service, op in found])
+
+
+if __name__ == "__main__":
+    main()

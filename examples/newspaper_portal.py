@@ -1,0 +1,113 @@
+"""The Figure 1 exchange scenario: peers, agreements, wire transfers.
+
+A newspaper peer stores the intensional front page; three readers agree
+on different exchange schemas, spanning the paper's whole materialization
+spectrum:
+
+- ``archive`` accepts schema (*): the document travels fully intensional
+  (smallest sender effort, receiver refreshes data itself);
+- ``browser`` accepts schema (**): the temperature must be materialized,
+  the exhibit listing may stay a call (the hybrid of the introduction);
+- ``printer`` cannot run any service: it requires fully extensional
+  data, which the sender can only deliver with a *possible* rewriting
+  (TimeOut's signature admits performances).
+
+Run:  python examples/newspaper_portal.py
+"""
+
+from repro import (
+    AXMLPeer,
+    FunctionSignature,
+    PeerNetwork,
+    SchemaBuilder,
+    Service,
+    constant_responder,
+    el,
+    parse_regex,
+)
+from repro.workloads import newspaper
+
+
+def build_services():
+    forecast = Service("http://www.forecast.com/soap", "urn:xmethods-weather")
+    forecast.add_operation(
+        "Get_Temp",
+        FunctionSignature(parse_regex("city"), parse_regex("temp")),
+        constant_responder((el("temp", "15"),)),
+    )
+    timeout = Service("http://www.timeout.com/paris", "urn:timeout-program")
+    timeout.add_operation(
+        "TimeOut",
+        FunctionSignature(
+            parse_regex("data"), parse_regex("(exhibit | performance)*")
+        ),
+        constant_responder(
+            (el("exhibit", el("title", "Picasso"), el("date", "04/11")),
+             el("exhibit", el("title", "Rodin"), el("date", "04/12")))
+        ),
+    )
+    return forecast, timeout
+
+
+def fully_extensional_schema():
+    """What the printer accepts: no function nodes anywhere."""
+    return (
+        SchemaBuilder()
+        .element("newspaper", "title.date.temp.exhibit*")
+        .element("title", "data")
+        .element("date", "data")
+        .element("temp", "data")
+        .element("city", "data")
+        .element("exhibit", "title.date")
+        .function("Get_Temp", "city", "temp")
+        .function("TimeOut", "data", "(exhibit | performance)*")
+        .function("Get_Date", "title", "date")
+        .root("newspaper")
+        .build(strict=False)
+    )
+
+
+def main() -> None:
+    star = newspaper.schema_star()
+    sender = AXMLPeer("newspaper", star)
+    for service in build_services():
+        sender.registry.register(service)
+    sender.repository.store("frontpage", newspaper.document())
+
+    receivers = {
+        "archive": (AXMLPeer("archive", star), star, "safe"),
+        "browser": (AXMLPeer("browser", newspaper.schema_star2()),
+                    newspaper.schema_star2(), "safe"),
+        "printer": (AXMLPeer("printer", fully_extensional_schema()),
+                    fully_extensional_schema(), "possible"),
+    }
+
+    network = PeerNetwork()
+    network.add_peer(sender)
+    for name, (peer, agreement, mode) in receivers.items():
+        network.add_peer(peer)
+        network.agree("newspaper", name, agreement)
+
+    print("%-10s %-6s %-8s %-10s %s" % (
+        "receiver", "calls", "bytes", "accepted", "intensional parts left"))
+    for name, (peer, _agreement, mode) in receivers.items():
+        sender.mode = mode  # the printer needs the possible fallback
+        receipt = network.send("newspaper", name, "frontpage")
+        remaining = (
+            peer.repository.get("frontpage").function_count()
+            if receipt.accepted else "-"
+        )
+        print("%-10s %-6s %-8s %-10s %s" % (
+            name, receipt.calls_materialized, receipt.bytes_on_wire,
+            receipt.accepted, remaining))
+
+    print()
+    print("What the browser received (temp materialized, TimeOut kept):")
+    print(receivers["browser"][0].repository.get("frontpage").pretty())
+    print()
+    print("What the printer received (fully extensional):")
+    print(receivers["printer"][0].repository.get("frontpage").pretty())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+"""Quickstart: the paper's newspaper example, end to end.
+
+Builds the intensional document of Figure 2.a, the three schemas of
+Section 2, a simulated service fabric, and walks through the paper's
+storyline:
+
+1. the document is already an instance of schema (*);
+2. it *safely* rewrites into schema (**) by invoking Get_Temp and
+   keeping TimeOut intensional;
+3. it only *possibly* rewrites into schema (***) — success depends on
+   what TimeOut actually returns.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    FunctionSignature,
+    RewriteEngine,
+    Service,
+    ServiceRegistry,
+    constant_responder,
+    el,
+    is_instance,
+    parse_regex,
+)
+from repro.errors import NoSafeRewritingError
+from repro.workloads import newspaper
+
+
+def build_registry() -> ServiceRegistry:
+    """Simulated endpoints for the two services of Figure 2."""
+    forecast = Service("http://www.forecast.com/soap", "urn:xmethods-weather")
+    forecast.add_operation(
+        "Get_Temp",
+        FunctionSignature(parse_regex("city"), parse_regex("temp")),
+        constant_responder((el("temp", "15"),)),
+        side_effect_free=True,
+    )
+    timeout = Service("http://www.timeout.com/paris", "urn:timeout-program")
+    timeout.add_operation(
+        "TimeOut",
+        FunctionSignature(
+            parse_regex("data"), parse_regex("(exhibit | performance)*")
+        ),
+        constant_responder(
+            (el("exhibit", el("title", "Picasso"), el("date", "04/11")),)
+        ),
+    )
+    registry = ServiceRegistry()
+    registry.register(forecast)
+    registry.register(timeout)
+    return registry
+
+
+def main() -> None:
+    doc = newspaper.document()
+    star, star2, star3 = (
+        newspaper.schema_star(),
+        newspaper.schema_star2(),
+        newspaper.schema_star3(),
+    )
+    registry = build_registry()
+
+    print("The intensional newspaper document (Figure 2.a):")
+    print(doc.pretty())
+    print()
+    print("Its XML serialization (Section 7 syntax):")
+    print(doc.to_xml())
+    print()
+    print("instance of (*)  :", is_instance(doc, star))
+    print("instance of (**) :", is_instance(doc, star2))
+    print()
+
+    # --- safe rewriting into (**) ------------------------------------
+    engine = RewriteEngine(target_schema=star2, sender_schema=star, k=1)
+    result = engine.rewrite(doc, registry.make_invoker())
+    print("Safe rewriting into (**): invoked %s" % result.log.invoked)
+    print(result.document.pretty())
+    assert is_instance(result.document, star2, star)
+    print()
+
+    # --- (***) is not safely reachable --------------------------------
+    strict = RewriteEngine(target_schema=star3, sender_schema=star, k=1)
+    try:
+        strict.rewrite(doc, registry.make_invoker())
+    except NoSafeRewritingError as error:
+        print("Safe rewriting into (***) correctly refused:")
+        print("  %s" % error)
+    print()
+
+    # --- ... but a possible rewriting exists ---------------------------
+    optimistic = RewriteEngine(
+        target_schema=star3, sender_schema=star, k=1, mode="possible"
+    )
+    result3 = optimistic.rewrite(doc, registry.make_invoker())
+    print(
+        "Possible rewriting into (***) succeeded (TimeOut was lucky): "
+        "invoked %s" % result3.log.invoked
+    )
+    print(result3.document.pretty())
+    assert is_instance(result3.document, star3, star)
+
+
+if __name__ == "__main__":
+    main()

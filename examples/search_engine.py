@@ -1,0 +1,65 @@
+"""Recursive service calls and the k-depth restriction (Section 3).
+
+A search engine returns result URLs plus a ``Get_More`` handle while
+results remain — the paper's canonical example of recursion through
+intensional answers.  This example shows:
+
+- *safe* rewriting into plain ``url*`` is impossible at any depth (the
+  signature always admits one more handle);
+- a *possible* rewriting exists, and the executor chases the handles —
+  succeeding when k covers the actual number of pages and failing with a
+  clean error when it does not.
+
+Run:  python examples/search_engine.py
+"""
+
+from repro import RewriteEngine
+from repro.errors import RewriteExecutionError
+from repro.workloads import scenarios
+
+
+def main() -> None:
+    pages, per_page = 3, 2
+    scenario = scenarios.search_engine(pages=pages, per_page=per_page)
+    print("Query document:")
+    print(scenario.document.pretty())
+    print()
+
+    safe_engine = RewriteEngine(
+        scenario.exchange_schema, scenario.sender_schema, k=10
+    )
+    print(
+        "Safe rewriting possible (even with k=10)?",
+        safe_engine.can_rewrite(scenario.document),
+    )
+    print("  -> no: Get_More's signature may always return another handle.")
+    print()
+
+    for k in (2, pages + 1):
+        scenario = scenarios.search_engine(pages=pages, per_page=per_page)
+        engine = RewriteEngine(
+            scenario.exchange_schema, scenario.sender_schema, k=k,
+            mode="possible",
+        )
+        print("Chasing handles with k=%d ..." % k)
+        try:
+            result = engine.rewrite(
+                scenario.document, scenario.registry.make_invoker()
+            )
+        except RewriteExecutionError as error:
+            print("  failed at run time: %s" % error)
+        else:
+            urls = [child for child in result.document.root.children]
+            print(
+                "  success: %d urls, calls made: %s"
+                % (len(urls), result.log.invoked)
+            )
+            print(
+                "  dependency depths: %s"
+                % [record.depth for record in result.log.records]
+            )
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,114 @@
+"""Security-driven materialization (Introduction + Section 2.1).
+
+Three policies from the paper, demonstrated on live objects:
+
+1. **Receiver refuses foreign calls** — the receiver only trusts calls to
+   functions on its allow-list; the helpful sender materializes the rest
+   before sending.
+2. **Function patterns with UDDIF ∧ InACL** — the exchange schema allows
+   *any* forecast-shaped function, provided it is registered in the UDDI
+   directory and the client holds access rights; we show the same
+   document accepted or rejected as the predicates change.
+3. **Non-invocable functions** — a UDDI-style service directory whose
+   ``Probe`` calls must remain intensional ("the origin of the
+   information is what is truly requested").
+
+Run:  python examples/secure_exchange.py
+"""
+
+from repro import (
+    AccessControlList,
+    FunctionSignature,
+    RewriteEngine,
+    Service,
+    ServiceRegistry,
+    constant_responder,
+    el,
+    is_instance,
+    parse_regex,
+)
+from repro.schema.patterns import allow_only, conjunction
+from repro.services.predicates import in_acl, uddif
+from repro.workloads import newspaper, scenarios
+
+
+def build_registry() -> ServiceRegistry:
+    registry = ServiceRegistry()
+    forecast = Service("http://www.forecast.com/soap", "urn:w")
+    forecast.add_operation(
+        "Get_Temp",
+        FunctionSignature(parse_regex("city"), parse_regex("temp")),
+        constant_responder((el("temp", "15"),)),
+    )
+    timeout = Service("http://www.timeout.com/paris", "urn:t")
+    timeout.add_operation(
+        "TimeOut",
+        FunctionSignature(
+            parse_regex("data"), parse_regex("(exhibit | performance)*")
+        ),
+        constant_responder(
+            (el("exhibit", el("title", "P"), el("date", "d")),)
+        ),
+    )
+    registry.register(forecast)
+    registry.register(timeout)
+    return registry
+
+
+def demo_allow_list() -> None:
+    print("=== 1. Receiver allow-list forces materialization ===")
+    registry = build_registry()
+    doc = newspaper.document()
+    # The receiver trusts only TimeOut; the agreed schema therefore uses
+    # (**): Get_Temp must be gone by the time the document ships.
+    engine = RewriteEngine(
+        newspaper.schema_star2(), newspaper.schema_star(), k=1,
+        policy=allow_only(["Get_Temp", "TimeOut", "Get_Date"]),
+    )
+    result = engine.rewrite(doc, registry.make_invoker())
+    print("sender invoked:", result.log.invoked)
+    print("calls left in the document:",
+          [fc.name for _p, fc in result.document.function_nodes()])
+    print()
+
+
+def demo_function_patterns() -> None:
+    print("=== 2. Function patterns: UDDIF and InACL ===")
+    registry = build_registry()
+    acl = AccessControlList().grant("reader", "Get_Temp")
+
+    # The paper's Forecast pattern: any function with signature
+    # city -> temp whose name passes UDDIF ∧ InACL.
+    for principal in ("reader", "stranger"):
+        predicate = conjunction(uddif(registry), in_acl(acl, principal))
+        schema = newspaper.pattern_schema(predicate)
+        ok = is_instance(newspaper.document(), schema)
+        print(
+            "principal %-9s -> document %s"
+            % (principal, "accepted (Get_Temp matches Forecast)" if ok
+               else "rejected (pattern predicate fails)")
+        )
+    print()
+
+
+def demo_non_invocable() -> None:
+    print("=== 3. Non-invocable probes stay intensional ===")
+    scenario = scenarios.service_directory(entries=2)
+    engine = RewriteEngine(
+        scenario.exchange_schema, scenario.sender_schema, k=1,
+        policy=scenario.policy,
+    )
+    result = engine.rewrite(scenario.document, scenario.registry.make_invoker())
+    print("probes fired:", scenario.registry.total_calls())
+    print("probes still embedded:", result.document.function_count())
+    print(result.document.pretty())
+
+
+def main() -> None:
+    demo_allow_list()
+    demo_function_patterns()
+    demo_non_invocable()
+
+
+if __name__ == "__main__":
+    main()

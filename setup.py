@@ -1,0 +1,16 @@
+"""Legacy setup shim for offline editable installs (no wheel available)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Exchanging Intensional XML Data' (SIGMOD 2003): "
+        "intensional XML documents, XML Schema_int, and safe/possible "
+        "rewriting of embedded Web-service calls (Active XML)."
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

@@ -1,0 +1,147 @@
+"""repro — a reproduction of "Exchanging Intensional XML Data" (SIGMOD 2003).
+
+Intensional XML documents embed calls to Web services; before such a
+document is exchanged, the sender may have to *materialize* some calls so
+the result conforms to an agreed exchange schema.  This package provides
+the paper's full stack:
+
+- documents (:mod:`repro.doc`) and schemas over labels *and* functions
+  (:mod:`repro.schema`), with the XML syntaxes of Section 7
+  (:mod:`repro.xschema`, :mod:`repro.doc.xml_io`);
+- the safe / possible rewriting algorithms on automata products
+  (:mod:`repro.rewriting`), including the lazy optimized variant and the
+  mixed approach;
+- schema-to-schema compatibility (:mod:`repro.schemarewrite`);
+- a simulated Web-service fabric (:mod:`repro.services`) and the Active
+  XML peer system with its Schema Enforcement module (:mod:`repro.axml`).
+"""
+
+from repro.doc import (
+    Document,
+    diff_documents,
+    Element,
+    FunctionCall,
+    Text,
+    call,
+    el,
+    text,
+)
+from repro.errors import (
+    AccessDeniedError,
+    DocumentError,
+    NoPossibleRewritingError,
+    NoSafeRewritingError,
+    RegexSyntaxError,
+    ReproError,
+    RewriteError,
+    RewriteExecutionError,
+    SchemaError,
+    ServiceFault,
+    UnknownServiceError,
+    ValidationError,
+    XMLSchemaIntError,
+)
+from repro.regex import parse_regex
+from repro.rewriting import (
+    CostModel,
+    InvocationLog,
+    RewriteEngine,
+    RewriteResult,
+    analyze_possible,
+    analyze_safe,
+    analyze_safe_lazy,
+    execute_possible,
+    execute_safe,
+    mixed_rewrite_word,
+    execute_safe_optimal,
+    strategy_values,
+    analyze_safe_directed,
+    execute_safe_directed,
+    safe_in_some_direction,
+    RenameLabel,
+    MapData,
+    Unwrap,
+    Wrap,
+    DropElement,
+    convert_document,
+)
+from repro.schema import (
+    FunctionPattern,
+    FunctionSignature,
+    InstanceGenerator,
+    InvocationPolicy,
+    Schema,
+    SchemaBuilder,
+    allow_all,
+    allow_only,
+    deny,
+    is_instance,
+    validate,
+    parse_dtd,
+    schema_to_dtd,
+)
+from repro.schemarewrite import schema_safely_rewrites
+from repro.services import (
+    AccessControlList,
+    Service,
+    ServiceRegistry,
+    adversarial_responder,
+    constant_responder,
+    flaky_responder,
+    sampling_responder,
+    scripted_responder,
+)
+from repro.axml import (
+    AXMLPeer,
+    DocumentRepository,
+    PeerNetwork,
+    SchemaEnforcer,
+    TriggerPolicy,
+    apply_triggers,
+    negotiate,
+    NegotiationOutcome,
+    UpdateService,
+    insert_into,
+    replace_matches,
+    delete_matches,
+)
+from repro.xschema import compile_xschema, parse_xschema, schema_to_xschema
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # documents
+    "Document", "Element", "FunctionCall", "Text", "el", "call", "text",
+    "diff_documents",
+    # schemas
+    "Schema", "SchemaBuilder", "FunctionSignature", "FunctionPattern",
+    "InvocationPolicy", "allow_all", "allow_only", "deny",
+    "validate", "is_instance", "InstanceGenerator", "parse_regex",
+    # rewriting
+    "RewriteEngine", "RewriteResult", "CostModel", "InvocationLog",
+    "analyze_safe", "analyze_safe_lazy", "analyze_possible",
+    "execute_safe", "execute_possible", "mixed_rewrite_word",
+    "execute_safe_optimal", "strategy_values",
+    "analyze_safe_directed", "execute_safe_directed",
+    "safe_in_some_direction",
+    "RenameLabel", "MapData", "Unwrap", "Wrap", "DropElement",
+    "convert_document",
+    "schema_safely_rewrites",
+    # services
+    "Service", "ServiceRegistry", "AccessControlList",
+    "sampling_responder", "adversarial_responder", "scripted_responder",
+    "constant_responder", "flaky_responder",
+    # Active XML
+    "AXMLPeer", "PeerNetwork", "DocumentRepository", "SchemaEnforcer",
+    "TriggerPolicy", "apply_triggers", "negotiate", "NegotiationOutcome",
+    "UpdateService", "insert_into", "replace_matches", "delete_matches",
+    "parse_dtd", "schema_to_dtd",
+    # XML Schema_int
+    "parse_xschema", "schema_to_xschema", "compile_xschema",
+    # errors
+    "ReproError", "RegexSyntaxError", "DocumentError", "SchemaError",
+    "ValidationError", "RewriteError", "NoSafeRewritingError",
+    "NoPossibleRewritingError", "RewriteExecutionError", "ServiceFault",
+    "UnknownServiceError", "AccessDeniedError", "XMLSchemaIntError",
+    "__version__",
+]

@@ -1,0 +1,354 @@
+"""Deterministic finite automata over a closed alphabet.
+
+All DFA operations here work relative to a fixed :class:`Alphabet`
+(labels, function names and the ``OTHER`` catch-all).  This is how the
+paper's requirement that the complement automaton be "deterministic and
+complete, namely each state has outgoing edges for all possible letters"
+(Figure 3, step 4) stays finite: any letter outside the alphabet is
+folded onto ``OTHER`` before running the automaton.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.automata.nfa import NFA
+from repro.automata.symbols import Alphabet, concretize_class
+
+
+@dataclass
+class DFA:
+    """A (possibly partial) deterministic automaton.
+
+    Attributes:
+        alphabet: the closed alphabet the DFA is defined over.
+        initial: initial state id.
+        accepting: set of accepting state ids.
+        transitions: ``state -> symbol -> state`` (missing entries mean the
+            word is rejected from there unless the DFA was completed).
+    """
+
+    alphabet: Alphabet
+    initial: int
+    accepting: FrozenSet[int]
+    transitions: Dict[int, Dict[str, int]] = field(default_factory=dict)
+
+    @property
+    def n_states(self) -> int:
+        states = {self.initial} | set(self.accepting)
+        for source, row in self.transitions.items():
+            states.add(source)
+            states.update(row.values())
+        return len(states)
+
+    def states(self) -> FrozenSet[int]:
+        """All state ids mentioned by this DFA."""
+        found: Set[int] = {self.initial} | set(self.accepting)
+        for source, row in self.transitions.items():
+            found.add(source)
+            found.update(row.values())
+        return frozenset(found)
+
+    def step(self, state: int, symbol: str) -> Optional[int]:
+        """The successor of ``state`` on ``symbol`` (folded to the alphabet)."""
+        return self.transitions.get(state, {}).get(self.alphabet.canon(symbol))
+
+    def run(self, word: Sequence[str]) -> Optional[int]:
+        """The state reached after reading ``word``, or None if stuck."""
+        state: Optional[int] = self.initial
+        for symbol in word:
+            if state is None:
+                return None
+            state = self.step(state, symbol)
+        return state
+
+    def accepts(self, word: Sequence[str]) -> bool:
+        """True iff ``word`` is in the DFA's language."""
+        state = self.run(word)
+        return state is not None and state in self.accepting
+
+    def is_complete(self) -> bool:
+        """True iff every state has a transition for every alphabet symbol."""
+        for state in self.states():
+            row = self.transitions.get(state, {})
+            if any(symbol not in row for symbol in self.alphabet):
+                return False
+        return True
+
+    def sink_states(self) -> FrozenSet[int]:
+        """States from which every transition loops back to the state itself.
+
+        Accepting sinks of the *complement* automaton are the "sink nodes"
+        exploited by the lazy variant of Section 7 (Figure 12): once the
+        product reaches one, the branch can be pruned and marked at once.
+        """
+        sinks: Set[int] = set()
+        for state in self.states():
+            row = self.transitions.get(state, {})
+            if row and all(target == state for target in row.values()):
+                sinks.add(state)
+        return frozenset(sinks)
+
+
+def widen_alphabet(dfa: DFA, alphabet: Alphabet) -> DFA:
+    """Reinterpret a DFA over a larger alphabet, preserving its language.
+
+    In the original DFA a symbol outside its alphabet folds onto
+    ``OTHER``; once the symbol becomes a first-class member of the wider
+    alphabet, each state must treat it exactly like it treated ``OTHER``
+    before — otherwise completing the widened DFA would silently turn
+    those words into rejections (fatal for complement automata).
+    """
+    from repro.automata.symbols import OTHER
+
+    if alphabet.symbols == dfa.alphabet.symbols:
+        return dfa
+    if not dfa.alphabet.symbols <= alphabet.symbols:
+        raise ValueError("widen_alphabet cannot drop symbols")
+    new_symbols = alphabet.symbols - dfa.alphabet.symbols
+    transitions: Dict[int, Dict[str, int]] = {}
+    for state in dfa.states():
+        row = dict(dfa.transitions.get(state, {}))
+        fallback = row.get(OTHER)
+        if fallback is not None:
+            for symbol in new_symbols:
+                row.setdefault(symbol, fallback)
+        transitions[state] = row
+    return DFA(alphabet, dfa.initial, dfa.accepting, transitions)
+
+
+def determinize(nfa: NFA, alphabet: Alphabet) -> DFA:
+    """Subset construction relative to a closed alphabet.
+
+    Wildcard guards are concretized against the alphabet, so the result is
+    an ordinary DFA over concrete symbols.  Worst case exponential — this
+    is exactly the blow-up the paper warns about for nondeterministic
+    regular expressions (Section 4), and benchmark E8 measures it.
+    """
+    start = nfa.epsilon_closure((nfa.initial,))
+    ids: Dict[FrozenSet[int], int] = {start: 0}
+    worklist: List[FrozenSet[int]] = [start]
+    transitions: Dict[int, Dict[str, int]] = {}
+    accepting: Set[int] = set()
+    if start & nfa.accepting:
+        accepting.add(0)
+
+    while worklist:
+        subset = worklist.pop()
+        source = ids[subset]
+        row = transitions.setdefault(source, {})
+        # Group targets per concrete alphabet symbol.
+        per_symbol: Dict[str, Set[int]] = {}
+        for state in subset:
+            for guard, target in nfa.edges_from(state):
+                for symbol in concretize_class(guard, alphabet):
+                    per_symbol.setdefault(symbol, set()).add(target)
+        for symbol, targets in per_symbol.items():
+            closure = nfa.epsilon_closure(targets)
+            if closure not in ids:
+                ids[closure] = len(ids)
+                worklist.append(closure)
+                if closure & nfa.accepting:
+                    accepting.add(ids[closure])
+            row[symbol] = ids[closure]
+
+    return DFA(
+        alphabet=alphabet,
+        initial=0,
+        accepting=frozenset(accepting),
+        transitions=transitions,
+    )
+
+
+def complete(dfa: DFA) -> DFA:
+    """Add a rejecting sink so every state covers the whole alphabet."""
+    states = dfa.states()
+    transitions = {s: dict(dfa.transitions.get(s, {})) for s in states}
+    needs_sink = any(
+        symbol not in row for row in transitions.values() for symbol in dfa.alphabet
+    )
+    if not needs_sink:
+        return DFA(dfa.alphabet, dfa.initial, dfa.accepting, transitions)
+    sink = max(states) + 1 if states else 1
+    transitions[sink] = {symbol: sink for symbol in dfa.alphabet}
+    for state in states:
+        row = transitions[state]
+        for symbol in dfa.alphabet:
+            row.setdefault(symbol, sink)
+    return DFA(dfa.alphabet, dfa.initial, dfa.accepting, transitions)
+
+
+def complement(dfa: DFA) -> DFA:
+    """The complement automaton: complete, then flip acceptance.
+
+    This is the automaton called ``Ā`` in Figure 3 (see Figures 5 and 7
+    for the paper's worked examples).
+    """
+    completed = complete(dfa)
+    rejecting = frozenset(completed.states() - completed.accepting)
+    return DFA(
+        completed.alphabet, completed.initial, rejecting, completed.transitions
+    )
+
+
+def minimize_hopcroft(dfa: DFA) -> DFA:
+    """Hopcroft's O(n·|Σ|·log n) minimization of a complete DFA.
+
+    Same result as :func:`minimize` (Moore's algorithm — the two are
+    cross-validated by property tests) but asymptotically faster: the
+    splitter worklist only ever keeps the smaller half of each split.
+    """
+    completed = complete(dfa)
+    reachable: Set[int] = set()
+    stack = [completed.initial]
+    while stack:
+        state = stack.pop()
+        if state in reachable:
+            continue
+        reachable.add(state)
+        stack.extend(completed.transitions.get(state, {}).values())
+
+    symbols = sorted(completed.alphabet)
+    # Reverse transition index: (symbol, target) -> sources.
+    reverse: Dict[Tuple[str, int], Set[int]] = {}
+    for state in reachable:
+        for symbol in symbols:
+            target = completed.transitions[state][symbol]
+            reverse.setdefault((symbol, target), set()).add(state)
+
+    accepting = frozenset(reachable & completed.accepting)
+    rejecting = frozenset(reachable - completed.accepting)
+    partition: List[Set[int]] = [set(block) for block in (accepting, rejecting) if block]
+    # Which block each state currently belongs to.
+    block_of: Dict[int, int] = {}
+    for index, block in enumerate(partition):
+        for state in block:
+            block_of[state] = index
+
+    from collections import deque
+
+    worklist: deque = deque()
+    queued: Set[Tuple[str, int]] = set()
+
+    def push(symbol: str, index: int) -> None:
+        if (symbol, index) not in queued:
+            queued.add((symbol, index))
+            worklist.append((symbol, index))
+
+    if len(partition) == 2:
+        smaller = min(range(2), key=lambda i: len(partition[i]))
+        for symbol in symbols:
+            push(symbol, smaller)
+    else:
+        for symbol in symbols:
+            push(symbol, 0)
+
+    while worklist:
+        symbol, splitter_index = worklist.popleft()
+        queued.discard((symbol, splitter_index))
+        splitter = partition[splitter_index]
+        # States with a `symbol`-edge into the splitter.
+        movers: Set[int] = set()
+        for target in splitter:
+            movers |= reverse.get((symbol, target), set())
+        if not movers:
+            continue
+        # Split every block crossed by `movers`.
+        touched: Dict[int, Set[int]] = {}
+        for state in movers:
+            touched.setdefault(block_of[state], set()).add(state)
+        for index, inside in touched.items():
+            block = partition[index]
+            if len(inside) == len(block):
+                continue  # not split
+            outside = block - inside
+            partition[index] = inside
+            new_index = len(partition)
+            partition.append(outside)
+            for state in inside:
+                block_of[state] = index
+            for state in outside:
+                block_of[state] = new_index
+            smaller_index = index if len(inside) <= len(outside) else new_index
+            for sym in symbols:
+                if (sym, index) in queued:
+                    # The queued entry now denotes `inside`; the other
+                    # half must be processed too, or the refinement
+                    # under-splits (Hopcroft's bookkeeping rule).
+                    push(sym, new_index)
+                else:
+                    push(sym, smaller_index)
+
+    transitions: Dict[int, Dict[str, int]] = {}
+    new_accepting: Set[int] = set()
+    for state in reachable:
+        block = block_of[state]
+        row = transitions.setdefault(block, {})
+        for symbol in symbols:
+            row[symbol] = block_of[completed.transitions[state][symbol]]
+        if state in completed.accepting:
+            new_accepting.add(block)
+    return DFA(
+        completed.alphabet,
+        block_of[completed.initial],
+        frozenset(new_accepting),
+        transitions,
+    )
+
+
+def minimize(dfa: DFA) -> DFA:
+    """Moore's partition-refinement minimization of a complete DFA.
+
+    The input is completed first; unreachable states are dropped.  Used to
+    normalize automata in tests and to keep the complement small before
+    the product construction.  See :func:`minimize_hopcroft` for the
+    asymptotically faster variant.
+    """
+    completed = complete(dfa)
+    reachable: Set[int] = set()
+    stack = [completed.initial]
+    while stack:
+        state = stack.pop()
+        if state in reachable:
+            continue
+        reachable.add(state)
+        stack.extend(completed.transitions.get(state, {}).values())
+
+    # Initial partition: accepting vs non-accepting (reachable only).
+    partition: Dict[int, int] = {
+        s: (1 if s in completed.accepting else 0) for s in reachable
+    }
+    symbols = sorted(completed.alphabet)
+    while True:
+        signature: Dict[int, Tuple] = {}
+        for state in reachable:
+            row = completed.transitions.get(state, {})
+            signature[state] = (
+                partition[state],
+                tuple(partition[row[symbol]] for symbol in symbols),
+            )
+        blocks: Dict[Tuple, int] = {}
+        new_partition: Dict[int, int] = {}
+        for state in sorted(reachable):
+            block = blocks.setdefault(signature[state], len(blocks))
+            new_partition[state] = block
+        if new_partition == partition:
+            break
+        partition = new_partition
+
+    transitions: Dict[int, Dict[str, int]] = {}
+    accepting: Set[int] = set()
+    for state in reachable:
+        block = partition[state]
+        row = transitions.setdefault(block, {})
+        for symbol in symbols:
+            row[symbol] = partition[completed.transitions[state][symbol]]
+        if state in completed.accepting:
+            accepting.add(block)
+    return DFA(
+        completed.alphabet,
+        partition[completed.initial],
+        frozenset(accepting),
+        transitions,
+    )

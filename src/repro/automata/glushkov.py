@@ -1,0 +1,161 @@
+"""The Glushkov (position) automaton.
+
+For a regex with ``n`` symbol occurrences ("positions"), the Glushkov
+automaton has ``n + 1`` states, no epsilon transitions, and — crucially
+for the paper's complexity argument — it is **deterministic precisely
+when the regex is one-unambiguous**, the class of content models XML
+Schema enforces.  This keeps the complement construction of Figure 3
+polynomial for standards-compliant schemas (Section 4, "Complexity").
+
+Bounded repetitions ``r{m,n}`` are first unfolded into nested optional
+sequences so that determinism of counting is preserved:
+``r{0,2}`` becomes ``(r.(r)?)?`` rather than ``r?.r?`` (the latter has a
+nondeterministic position automaton even though counting is obviously
+deterministic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from repro.automata.nfa import NFA
+from repro.regex.ast import (
+    Alt,
+    AnySymbol,
+    Atom,
+    Empty,
+    Epsilon,
+    Regex,
+    Repeat,
+    Seq,
+    Star,
+    EPSILON,
+    alt,
+    opt,
+    seq,
+    star,
+)
+from repro.automata.symbols import SymbolClass
+
+
+def expand_repeats(r: Regex) -> Regex:
+    """Unfold every bounded ``Repeat`` into Seq/Alt/Star form.
+
+    ``r{m,}``  → ``r^m . r*``
+    ``r{m,n}`` → ``r^m . (r.(r.(...)?)?)?``  (n - m nested optionals)
+    """
+    if isinstance(r, (Epsilon, Empty, Atom, AnySymbol)):
+        return r
+    if isinstance(r, Seq):
+        return seq(*(expand_repeats(item) for item in r.items))
+    if isinstance(r, Alt):
+        return alt(*(expand_repeats(option) for option in r.options))
+    if isinstance(r, Star):
+        return star(expand_repeats(r.item))
+    if isinstance(r, Repeat):
+        inner = expand_repeats(r.item)
+        required = [inner] * r.low
+        if r.high is None:
+            return seq(*required, star(inner))
+        optional: Regex = EPSILON
+        for _ in range(r.high - r.low):
+            optional = _nested_opt(inner, optional)
+        return seq(*required, optional)
+    raise TypeError("unknown regex node %r" % (r,))
+
+
+def _nested_opt(inner: Regex, tail: Regex) -> Regex:
+    """One layer of the nested-optional unfolding: ``(inner.tail) | eps``.
+
+    Built with an explicit epsilon alternative rather than ``opt`` so the
+    result contains no ``Repeat`` node (``opt`` would recreate one).
+    """
+    return alt(seq(inner, tail), EPSILON)
+
+
+@dataclass
+class _Positions:
+    """Position bookkeeping for the Glushkov construction."""
+
+    guards: List[SymbolClass]  # guard of each position, 1-based via index+1
+    nullable: bool
+    first: Set[int]
+    last: Set[int]
+    follow: Dict[int, Set[int]]
+
+
+def _analyze(r: Regex, guards: List[SymbolClass]) -> _Positions:
+    """Compute first/last/follow position sets, allocating positions."""
+    if isinstance(r, (Epsilon, Empty)):
+        return _Positions(guards, isinstance(r, Epsilon), set(), set(), {})
+    if isinstance(r, (Atom, AnySymbol)):
+        guards.append(r.symbol if isinstance(r, Atom) else r)
+        position = len(guards)  # positions are 1-based; 0 is the initial state
+        return _Positions(guards, False, {position}, {position}, {position: set()})
+    if isinstance(r, Seq):
+        result = _analyze(r.items[0], guards)
+        for item in r.items[1:]:
+            rhs = _analyze(item, guards)
+            for position in result.last:
+                result.follow.setdefault(position, set()).update(rhs.first)
+            result.follow.update(
+                {p: result.follow.get(p, set()) | rhs.follow.get(p, set())
+                 for p in rhs.follow}
+            )
+            if result.nullable:
+                result.first |= rhs.first
+            if rhs.nullable:
+                result.last |= rhs.last
+            else:
+                result.last = set(rhs.last)
+            result.nullable = result.nullable and rhs.nullable
+        return result
+    if isinstance(r, Alt):
+        parts = [_analyze(option, guards) for option in r.options]
+        merged = _Positions(guards, any(p.nullable for p in parts), set(), set(), {})
+        for part in parts:
+            merged.first |= part.first
+            merged.last |= part.last
+            for position, followers in part.follow.items():
+                merged.follow.setdefault(position, set()).update(followers)
+        return merged
+    if isinstance(r, Star):
+        inner = _analyze(r.item, guards)
+        for position in inner.last:
+            inner.follow.setdefault(position, set()).update(inner.first)
+        inner.nullable = True
+        return inner
+    if isinstance(r, Repeat):
+        return _analyze(expand_repeats(r), guards)
+    raise TypeError("unknown regex node %r" % (r,))
+
+
+def glushkov_nfa(r: Regex) -> NFA:
+    """Build the position automaton of ``r``.
+
+    State 0 is initial; state ``i`` (``1 <= i <= n``) corresponds to the
+    i-th symbol occurrence of the (repeat-expanded) expression.  The
+    automaton has no epsilon transitions and accepts exactly ``lang(r)``.
+    """
+    expanded = expand_repeats(r)
+    guards: List[SymbolClass] = []
+    info = _analyze(expanded, guards)
+
+    transitions: Dict[int, List[Tuple[SymbolClass, int]]] = {}
+    for target in info.first:
+        transitions.setdefault(0, []).append((guards[target - 1], target))
+    for source, followers in info.follow.items():
+        for target in followers:
+            transitions.setdefault(source, []).append((guards[target - 1], target))
+
+    accepting = set(info.last)
+    if info.nullable:
+        accepting.add(0)
+    return NFA(
+        n_states=len(guards) + 1,
+        initial=0,
+        accepting=frozenset(accepting),
+        transitions=transitions,
+        epsilon={},
+    )

@@ -1,0 +1,124 @@
+"""Nondeterministic finite automata over symbol-class guards.
+
+States are consecutive integers.  Transitions carry a *guard*: either a
+concrete symbol or a wildcard class (:class:`~repro.regex.ast.AnySymbol`).
+Epsilon transitions are kept separately; the Glushkov construction never
+produces them, but renumbering/unions of NFAs may.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from repro.automata.symbols import Alphabet, SymbolClass, class_matches
+
+
+@dataclass
+class NFA:
+    """An epsilon-NFA with symbol-class guards.
+
+    Attributes:
+        n_states: number of states; states are ``0 .. n_states - 1``.
+        initial: the single initial state.
+        accepting: the set of accepting states.
+        transitions: for each state, a list of ``(guard, target)`` pairs.
+        epsilon: for each state, a list of epsilon targets.
+    """
+
+    n_states: int
+    initial: int
+    accepting: FrozenSet[int]
+    transitions: Dict[int, List[Tuple[SymbolClass, int]]] = field(
+        default_factory=dict
+    )
+    epsilon: Dict[int, List[int]] = field(default_factory=dict)
+
+    def edges_from(self, state: int) -> List[Tuple[SymbolClass, int]]:
+        """Labeled transitions leaving ``state``."""
+        return self.transitions.get(state, [])
+
+    def epsilon_from(self, state: int) -> List[int]:
+        """Epsilon transitions leaving ``state``."""
+        return self.epsilon.get(state, [])
+
+    def epsilon_closure(self, states: Iterable[int]) -> FrozenSet[int]:
+        """All states reachable from ``states`` via epsilon moves."""
+        stack = list(states)
+        closure: Set[int] = set(stack)
+        while stack:
+            state = stack.pop()
+            for target in self.epsilon_from(state):
+                if target not in closure:
+                    closure.add(target)
+                    stack.append(target)
+        return frozenset(closure)
+
+    def move(self, states: Iterable[int], symbol: str) -> FrozenSet[int]:
+        """States reachable by reading ``symbol`` (before epsilon closure)."""
+        targets: Set[int] = set()
+        for state in states:
+            for guard, target in self.edges_from(state):
+                if class_matches(guard, symbol):
+                    targets.add(target)
+        return frozenset(targets)
+
+    def accepts(self, word: Sequence[str]) -> bool:
+        """True iff the NFA accepts ``word`` (concrete symbols)."""
+        current = self.epsilon_closure((self.initial,))
+        for symbol in word:
+            current = self.epsilon_closure(self.move(current, symbol))
+            if not current:
+                return False
+        return bool(current & self.accepting)
+
+    def guards(self) -> Set[SymbolClass]:
+        """All distinct transition guards of this automaton."""
+        found: Set[SymbolClass] = set()
+        for edges in self.transitions.values():
+            for guard, _target in edges:
+                found.add(guard)
+        return found
+
+    def concrete_symbols(self) -> FrozenSet[str]:
+        """All concrete symbols mentioned by guards (wildcard exclusions too)."""
+        from repro.regex.ast import AnySymbol
+
+        symbols: Set[str] = set()
+        for guard in self.guards():
+            if isinstance(guard, AnySymbol):
+                symbols.update(guard.exclude)
+            else:
+                symbols.add(guard)
+        return frozenset(symbols)
+
+    def is_deterministic(self, alphabet: Alphabet) -> bool:
+        """True iff no state has two transitions matching the same symbol."""
+        for state in range(self.n_states):
+            if self.epsilon_from(state):
+                return False
+            for symbol in alphabet:
+                matching = [
+                    target
+                    for guard, target in self.edges_from(state)
+                    if class_matches(guard, symbol)
+                ]
+                if len(set(matching)) > 1 or len(matching) > len(set(matching)):
+                    return False
+        return True
+
+    def renumbered(self, offset: int) -> "NFA":
+        """A copy with every state id shifted by ``offset``."""
+        return NFA(
+            n_states=self.n_states,
+            initial=self.initial + offset,
+            accepting=frozenset(s + offset for s in self.accepting),
+            transitions={
+                s + offset: [(g, t + offset) for g, t in edges]
+                for s, edges in self.transitions.items()
+            },
+            epsilon={
+                s + offset: [t + offset for t in targets]
+                for s, targets in self.epsilon.items()
+            },
+        )

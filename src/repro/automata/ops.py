@@ -1,0 +1,188 @@
+"""Language-level operations on automata.
+
+These power the schema-compatibility check of Section 6 (inclusion and
+equivalence), the tests (word enumeration against the reference regex
+matcher), and the simulated services (seeded word sampling from declared
+output types).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Optional, Tuple
+
+from repro.automata.dfa import DFA, complement, complete, determinize
+from repro.automata.glushkov import glushkov_nfa
+from repro.automata.symbols import Alphabet, regex_symbols
+from repro.regex.ast import Regex
+
+
+def regex_to_dfa(r: Regex, alphabet: Optional[Alphabet] = None) -> DFA:
+    """Compile a regex to a DFA over the given (or inferred) alphabet."""
+    if alphabet is None:
+        alphabet = Alphabet.closure(regex_symbols(r))
+    return determinize(glushkov_nfa(r), alphabet)
+
+
+def is_empty(dfa: DFA) -> bool:
+    """True iff the DFA's language is empty."""
+    seen = set()
+    stack = [dfa.initial]
+    while stack:
+        state = stack.pop()
+        if state in seen:
+            continue
+        seen.add(state)
+        if state in dfa.accepting:
+            return False
+        stack.extend(dfa.transitions.get(state, {}).values())
+    return True
+
+
+def _product(left: DFA, right: DFA) -> Tuple[DFA, dict]:
+    """Synchronous product of two complete DFAs over the same alphabet.
+
+    Returns the product DFA (acceptance left to the caller to define) and
+    the mapping from product ids back to state pairs.
+    """
+    if left.alphabet.symbols != right.alphabet.symbols:
+        from repro.automata.dfa import widen_alphabet
+
+        merged = Alphabet.closure(left.alphabet.symbols, right.alphabet.symbols)
+        left = widen_alphabet(left, merged)
+        right = widen_alphabet(right, merged)
+    left = complete(left)
+    right = complete(right)
+    ids = {(left.initial, right.initial): 0}
+    pairs = {0: (left.initial, right.initial)}
+    worklist = [(left.initial, right.initial)]
+    transitions: dict = {}
+    while worklist:
+        pair = worklist.pop()
+        source = ids[pair]
+        row = transitions.setdefault(source, {})
+        for symbol in left.alphabet:
+            target = (
+                left.transitions[pair[0]][symbol],
+                right.transitions[pair[1]][symbol],
+            )
+            if target not in ids:
+                ids[target] = len(ids)
+                pairs[ids[target]] = target
+                worklist.append(target)
+            row[symbol] = ids[target]
+    product = DFA(left.alphabet, 0, frozenset(), transitions)
+    return product, pairs
+
+
+def intersects(left: DFA, right: DFA) -> bool:
+    """True iff the two languages share at least one word."""
+    product, pairs = _product(left, right)
+    accepting = frozenset(
+        pid
+        for pid, (l, r) in pairs.items()
+        if l in left.accepting and r in right.accepting
+    )
+    return not is_empty(
+        DFA(product.alphabet, product.initial, accepting, product.transitions)
+    )
+
+
+def language_subset(left: DFA, right: DFA) -> bool:
+    """True iff ``lang(left) ⊆ lang(right)``."""
+    return not intersects(left, complement(right))
+
+
+def language_equal(left: DFA, right: DFA) -> bool:
+    """True iff the two automata define the same language."""
+    return language_subset(left, right) and language_subset(right, left)
+
+
+def shortest_words(dfa: DFA, limit: int = 10) -> Iterator[Tuple[str, ...]]:
+    """Yield up to ``limit`` accepted words in length-then-lexical order."""
+    emitted = 0
+    frontier: List[Tuple[Tuple[str, ...], int]] = [((), dfa.initial)]
+    seen = {((), dfa.initial)}
+    while frontier and emitted < limit:
+        next_frontier: List[Tuple[Tuple[str, ...], int]] = []
+        for word, state in frontier:
+            if state in dfa.accepting:
+                yield word
+                emitted += 1
+                if emitted >= limit:
+                    return
+            for symbol in sorted(dfa.transitions.get(state, {})):
+                target = dfa.transitions[state][symbol]
+                entry = (word + (symbol,), target)
+                if entry not in seen:
+                    seen.add(entry)
+                    next_frontier.append(entry)
+        frontier = next_frontier
+
+
+def sample_word(
+    dfa: DFA,
+    rng: random.Random,
+    stop_probability: float = 0.4,
+    max_length: int = 24,
+    weight=None,
+) -> Tuple[str, ...]:
+    """Sample a random accepted word, used by the service simulator.
+
+    The walk prefers to stop once it stands on an accepting state (with
+    probability ``stop_probability``) and falls back to the shortest
+    accepted completion when ``max_length`` is hit, so sampling always
+    terminates with a valid word.
+
+    ``weight`` optionally maps each symbol to a positive sampling weight
+    (default 1.0 each); the instance generator uses it to bias documents
+    toward — or away from — intensional content.
+
+    Raises ValueError when the language is empty.
+    """
+    if is_empty(dfa):
+        raise ValueError("cannot sample from an empty language")
+    distance = _distance_to_accepting(dfa)
+    word: List[str] = []
+    state = dfa.initial
+    while True:
+        if state in dfa.accepting and (
+            len(word) >= max_length or rng.random() < stop_probability
+        ):
+            return tuple(word)
+        viable = [
+            (symbol, target)
+            for symbol, target in sorted(dfa.transitions.get(state, {}).items())
+            if distance.get(target) is not None
+        ]
+        if not viable:
+            return tuple(word)  # accepting with no live successors
+        if len(word) >= max_length:
+            # Head straight for the closest accepting state.
+            viable.sort(key=lambda item: distance[item[1]])
+            symbol, state = viable[0]
+        elif weight is None:
+            symbol, state = rng.choice(viable)
+        else:
+            weights = [max(1e-9, float(weight(s))) for s, _t in viable]
+            symbol, state = rng.choices(viable, weights=weights, k=1)[0]
+        word.append(symbol)
+
+
+def _distance_to_accepting(dfa: DFA) -> dict:
+    """BFS distance from each state to the nearest accepting state."""
+    reverse: dict = {}
+    for source, row in dfa.transitions.items():
+        for target in row.values():
+            reverse.setdefault(target, set()).add(source)
+    distance = {state: 0 for state in dfa.accepting}
+    frontier = list(dfa.accepting)
+    while frontier:
+        next_frontier = []
+        for state in frontier:
+            for previous in reverse.get(state, ()):
+                if previous not in distance:
+                    distance[previous] = distance[state] + 1
+                    next_frontier.append(previous)
+        frontier = next_frontier
+    return distance

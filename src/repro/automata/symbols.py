@@ -1,0 +1,105 @@
+"""Alphabets over element labels and function names.
+
+The words manipulated by the rewriting algorithms are sequences of
+*symbols*: element labels, function names, or the two reserved symbols
+below.  The universe of possible labels is unbounded (a service may in
+principle return elements with labels nobody declared), yet the paper's
+complement automaton must be **complete** — it needs an outgoing edge for
+"all possible letters" (Figure 3 step 4, and the ``*`` edges of Figures 5
+and 7).
+
+We keep completeness finite the standard way: each problem instance fixes
+a finite :class:`Alphabet` containing every symbol that is *relevant* (it
+appears in the document word, in the target type, or in a reachable
+function signature) plus the catch-all :data:`OTHER`.  Any concrete symbol
+outside the relevant set behaves exactly like ``OTHER``, so running an
+automaton over arbitrary documents is still well defined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Set, Union
+
+from repro.regex.ast import AnySymbol, Atom, Regex
+
+#: Reserved symbol standing for atomic character data (the ``data`` keyword).
+DATA = "#data"
+
+#: Catch-all symbol: "any letter not otherwise in the alphabet".
+OTHER = "#other"
+
+#: Placeholder emitted when enumerating words of wildcard-bearing regexes.
+ANY_PLACEHOLDER = OTHER
+
+#: Transition guards are either a concrete symbol or a wildcard class.
+SymbolClass = Union[str, AnySymbol]
+
+
+@dataclass(frozen=True)
+class Alphabet:
+    """A finite, closed alphabet for one rewriting problem instance.
+
+    ``symbols`` always contains :data:`OTHER`; :meth:`canon` maps any
+    concrete symbol into the alphabet by folding unknown symbols onto
+    ``OTHER``.
+    """
+
+    symbols: FrozenSet[str]
+
+    @staticmethod
+    def closure(*symbol_sets: Iterable[str]) -> "Alphabet":
+        """Build the closed alphabet over the union of the given sets."""
+        merged: Set[str] = {OTHER}
+        for symbol_set in symbol_sets:
+            merged.update(symbol_set)
+        return Alphabet(frozenset(merged))
+
+    def canon(self, symbol: str) -> str:
+        """Fold a concrete symbol into this alphabet (unknown → OTHER)."""
+        return symbol if symbol in self.symbols else OTHER
+
+    def canon_word(self, word: Iterable[str]) -> tuple:
+        """Fold every symbol of a word into this alphabet."""
+        return tuple(self.canon(symbol) for symbol in word)
+
+    def __contains__(self, symbol: str) -> bool:
+        return symbol in self.symbols
+
+    def __iter__(self):
+        return iter(sorted(self.symbols))
+
+    def __len__(self) -> int:
+        return len(self.symbols)
+
+
+def class_matches(guard: SymbolClass, symbol: str) -> bool:
+    """True iff transition guard ``guard`` accepts the concrete ``symbol``."""
+    if isinstance(guard, AnySymbol):
+        return symbol not in guard.exclude
+    return guard == symbol
+
+
+def concretize_class(guard: SymbolClass, alphabet: Alphabet) -> FrozenSet[str]:
+    """The set of alphabet symbols a guard matches.
+
+    Wildcards match everything in the alphabet except their exclusions —
+    including :data:`OTHER`, which is how "an element with any label at
+    all" stays representable after closure.
+    """
+    if isinstance(guard, AnySymbol):
+        return frozenset(s for s in alphabet.symbols if s not in guard.exclude)
+    if guard in alphabet:
+        return frozenset((guard,))
+    return frozenset()
+
+
+def regex_symbols(r: Regex) -> FrozenSet[str]:
+    """All concrete symbols mentioned in a regex (wildcard exclusions too)."""
+    found: Set[str] = set()
+    for node in r.walk():
+        if isinstance(node, Atom):
+            found.add(node.symbol)
+        elif isinstance(node, AnySymbol):
+            found.update(node.exclude)
+    return frozenset(found)

@@ -1,0 +1,57 @@
+"""The Active XML system layer (Section 7).
+
+"ActiveXML is a peer-to-peer system that is centered around intensional
+XML documents.  Each peer contains a repository of intensional
+documents, and provides some active features to enrich them by
+automatically triggering the function calls they contain.  It also
+provides some Web services, defined declaratively as queries/updates on
+top of the repository documents."
+
+- :mod:`repro.axml.repository` — the per-peer document store (with
+  optional on-disk persistence in the ``int:`` XML syntax);
+- :mod:`repro.axml.enforcement` — the **Schema Enforcement module**, the
+  paper's implementation of this paper's algorithms: verify → rewrite →
+  error, applied to outgoing documents, service parameters and results;
+- :mod:`repro.axml.peer` / :mod:`repro.axml.network` — peers exchanging
+  documents over an in-process network, enforcing agreed schemas on
+  every send;
+- :mod:`repro.axml.query` — declarative services over the repository;
+- :mod:`repro.axml.triggers` — the active features (automatic call
+  materialization policies).
+"""
+
+from repro.axml.repository import DocumentRepository
+from repro.axml.enforcement import EnforcementOutcome, SchemaEnforcer
+from repro.axml.peer import AXMLPeer
+from repro.axml.network import PeerNetwork
+from repro.axml.query import query_service
+from repro.axml.triggers import TriggerPolicy, apply_triggers
+from repro.axml.updates import (
+    UpdateService,
+    delete_matches,
+    insert_into,
+    replace_matches,
+)
+from repro.axml.negotiation import (
+    NegotiationOutcome,
+    intensionality_degree,
+    negotiate,
+)
+
+__all__ = [
+    "DocumentRepository",
+    "SchemaEnforcer",
+    "EnforcementOutcome",
+    "AXMLPeer",
+    "PeerNetwork",
+    "query_service",
+    "TriggerPolicy",
+    "apply_triggers",
+    "negotiate",
+    "NegotiationOutcome",
+    "intensionality_degree",
+    "UpdateService",
+    "insert_into",
+    "replace_matches",
+    "delete_matches",
+]

@@ -1,0 +1,163 @@
+"""The Schema Enforcement module.
+
+"The role of the Schema Enforcement module is (i) to verify whether the
+call parameters conform to the WSDL_int description of the service,
+(ii) if not, to try to rewrite them into the required structure and
+(iii) if this fails, to report an error.  Similarly, before an ActiveXML
+service returns its answer, the module performs the same three steps on
+the returned data."  (Section 7)
+
+:class:`SchemaEnforcer` packages exactly that three-step behaviour for
+whole documents (outgoing exchanges) and for forests (service parameters
+and results), on top of :class:`repro.rewriting.RewriteEngine`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence, Tuple
+
+from repro.doc.document import Document
+from repro.doc.nodes import Node
+from repro.errors import RewriteError, SchemaError, ServiceError
+from repro.regex.ast import Regex
+from repro.rewriting.cost import UNIT, CostModel
+from repro.rewriting.engine import SAFE, RewriteEngine
+from repro.rewriting.plan import InvocationLog
+from repro.rewriting.safe import Invoker
+from repro.schema.model import Schema
+from repro.schema.patterns import InvocationPolicy, allow_all
+from repro.schema.validate import is_instance, validate
+
+
+@dataclass
+class EnforcementOutcome:
+    """What one enforcement pass did."""
+
+    document: Optional[Document]
+    forest: Optional[Tuple[Node, ...]]
+    already_conformant: bool
+    calls_made: int
+    log: InvocationLog
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class SchemaEnforcer:
+    """Verify → rewrite → error, as one reusable component.
+
+    Args:
+        target_schema: the structure required by the receiving side
+            (the agreed exchange schema, or a service's WSDL_int types).
+        sender_schema: signatures for functions the target does not know.
+        k / mode / policy / cost_model: forwarded to the rewrite engine.
+    """
+
+    target_schema: Schema
+    sender_schema: Optional[Schema] = None
+    k: int = 1
+    mode: str = SAFE
+    policy: InvocationPolicy = field(default_factory=allow_all)
+    cost_model: CostModel = field(default_factory=lambda: UNIT)
+    eager: Optional[Callable[[str], bool]] = None
+    #: Optional converters (conclusion extension): applied as a last
+    #: resort when plain rewriting cannot reach the target structure.
+    converters: tuple = ()
+
+    def _engine(self) -> RewriteEngine:
+        return RewriteEngine(
+            target_schema=self.target_schema,
+            sender_schema=self.sender_schema,
+            k=self.k,
+            mode=self.mode,
+            policy=self.policy,
+            cost_model=self.cost_model,
+            eager=self.eager,
+        )
+
+    def enforce_document(
+        self, document: Document, invoker: Invoker
+    ) -> EnforcementOutcome:
+        """The three steps, applied to a whole outgoing document."""
+        # (i) verify
+        if is_instance(document, self.target_schema, self.sender_schema):
+            return EnforcementOutcome(
+                document, None, True, 0, InvocationLog()
+            )
+        # (ii) rewrite
+        try:
+            result = self._engine().rewrite(document, invoker)
+        except (RewriteError, SchemaError, ServiceError) as exc:
+            # (ii') converters, when configured: restructure then retry.
+            if self.converters:
+                converted = self._try_converters(document, invoker)
+                if converted is not None:
+                    return converted
+            # (iii) report
+            return EnforcementOutcome(
+                None, None, False, 0, InvocationLog(), error=str(exc)
+            )
+        report = validate(result.document, self.target_schema, self.sender_schema)
+        if not report.ok:
+            return EnforcementOutcome(
+                None, None, False, len(result.log), result.log,
+                error="rewriting produced a non-conformant document: %s" % report,
+            )
+        return EnforcementOutcome(
+            result.document, None, False, len(result.log), result.log
+        )
+
+    def _try_converters(
+        self, document: Document, invoker: Invoker
+    ) -> Optional[EnforcementOutcome]:
+        """Apply the configured converters, then retry the rewrite.
+
+        Returns None when conversion does not help either, so the caller
+        falls through to the step-(iii) error report.
+        """
+        from repro.rewriting.converters import convert_document
+
+        try:
+            converted = convert_document(document, self.converters)
+            result = self._engine().rewrite(converted, invoker)
+        except (RewriteError, SchemaError, ServiceError, ValueError):
+            return None
+        report = validate(result.document, self.target_schema, self.sender_schema)
+        if not report.ok:
+            return None
+        return EnforcementOutcome(
+            result.document, None, False, len(result.log), result.log
+        )
+
+    def enforce_forest(
+        self, forest: Sequence[Node], target: Regex, invoker: Invoker
+    ) -> EnforcementOutcome:
+        """The three steps, applied to parameters or results of a service.
+
+        ``target`` is the type from the service's WSDL_int description
+        (``tau_in`` for parameters, ``tau_out`` for results).
+        """
+        from repro.schema.validate import word_matches
+        from repro.doc.nodes import symbol_of
+
+        word = tuple(symbol_of(node) for node in forest)
+        conformant = word_matches(
+            word, target, self.target_schema, self.sender_schema
+        ) and all(
+            is_instance(node, self.target_schema, self.sender_schema, strict=False)
+            for node in forest
+        )
+        if conformant:
+            return EnforcementOutcome(
+                None, tuple(forest), True, 0, InvocationLog()
+            )
+        log = InvocationLog()
+        try:
+            rewritten = self._engine().rewrite_forest(forest, target, invoker, log)
+        except (RewriteError, SchemaError, ServiceError) as exc:
+            return EnforcementOutcome(None, None, False, len(log), log, str(exc))
+        return EnforcementOutcome(None, rewritten, False, len(log), log)

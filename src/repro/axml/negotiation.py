@@ -1,0 +1,135 @@
+"""Schema negotiation between peers (the conclusion's second extension).
+
+"This module may be extended to act as a 'negotiator' who could speak to
+other peers to agree with them on the intensional XML Schemas that
+should be used to exchange data."
+
+The protocol here is the simplest useful one: the receiver *offers* a
+list of exchange schemas it accepts (typically from most intensional to
+fully materialized); the sender filters them with the Section 6
+compatibility check and picks the best by a preference:
+
+- ``"intensional"`` (default): keep as many calls unmaterialized as
+  possible — fewer invocations, smaller sender load, fresher data for
+  the receiver;
+- ``"extensional"``: materialize as much as possible — fewer receiver
+  capabilities required, better provenance hiding;
+- ``"cheapest"``: minimize the estimated worst-case invocation cost of
+  the root label, using the optimal-strategy values of
+  :mod:`repro.rewriting.optimal`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.errors import SchemaError
+from repro.regex.ast import Atom
+from repro.schema.model import Schema
+from repro.schema.patterns import InvocationPolicy, allow_all
+from repro.schemarewrite.compat import SchemaCompatReport, schema_safely_rewrites
+
+
+@dataclass
+class NegotiationOutcome:
+    """What the negotiator decided."""
+
+    agreed: Optional[Schema]
+    considered: int
+    compatible: List[int] = field(default_factory=list)  # indices of offers
+    reports: List[SchemaCompatReport] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.agreed is not None
+
+
+def intensionality_degree(schema: Schema) -> int:
+    """How many function/pattern positions the schema's types allow.
+
+    A coarse but effective preference key: each occurrence of a function
+    name or pattern name as an atom inside a label's content model is one
+    position where a call may stay intensional.
+    """
+    callable_names = schema.function_names() | schema.pattern_names()
+    degree = 0
+    for expr in schema.label_types.values():
+        for node in expr.walk():
+            if isinstance(node, Atom) and node.symbol in callable_names:
+                degree += 1
+    return degree
+
+
+def estimated_cost(
+    sender: Schema, offer: Schema, k: int, policy: InvocationPolicy
+) -> float:
+    """Worst-case invocation count to ship the sender's root under the offer.
+
+    Uses the Section 6 virtual-function game on the root label, valued
+    with the optimal-strategy solver.
+    """
+    from repro.rewriting.optimal import strategy_values
+    from repro.rewriting.safe import analyze_safe
+    from repro.schemarewrite.compat import VIRTUAL, _shield_wildcards
+
+    root = sender.root
+    if root is None or offer.type_of(root) is None:
+        return float("inf")
+    output_types = {VIRTUAL: sender.label_types[root]}
+    for source in (sender, offer):
+        for name in source.function_names():
+            output_types.setdefault(name, source.signature_of(name).output_type)
+    analysis = analyze_safe(
+        (VIRTUAL,),
+        output_types,
+        _shield_wildcards(offer.type_of(root)),
+        k=k + 1,
+        invocable=lambda name: name == VIRTUAL or policy.is_invocable(name),
+    )
+    if not analysis.exists:
+        return float("inf")
+    values = strategy_values(analysis)
+    # Subtract the virtual call itself (cost 1 by default).
+    return max(0.0, values[analysis.initial] - 1.0)
+
+
+def negotiate(
+    sender: Schema,
+    offers: Sequence[Schema],
+    k: int = 1,
+    policy: Optional[InvocationPolicy] = None,
+    preference: str = "intensional",
+) -> NegotiationOutcome:
+    """Pick the best offered exchange schema the sender can always honour.
+
+    Every offer is screened with :func:`schema_safely_rewrites`
+    (Definition 6); among the compatible ones the preference key decides.
+    Ties keep the receiver's offer order (the receiver ranked them).
+    """
+    if preference not in ("intensional", "extensional", "cheapest"):
+        raise ValueError("unknown preference %r" % preference)
+    if sender.root is None:
+        raise SchemaError("the sender schema must declare a root label")
+    policy = policy or allow_all()
+
+    outcome = NegotiationOutcome(agreed=None, considered=len(offers))
+    scored = []
+    for index, offer in enumerate(offers):
+        report = schema_safely_rewrites(sender, offer, k=k, policy=policy)
+        outcome.reports.append(report)
+        if not report.compatible:
+            continue
+        outcome.compatible.append(index)
+        if preference == "intensional":
+            key = (-intensionality_degree(offer), index)
+        elif preference == "extensional":
+            key = (intensionality_degree(offer), index)
+        else:
+            key = (estimated_cost(sender, offer, k, policy), index)
+        scored.append((key, index, offer))
+
+    if scored:
+        scored.sort(key=lambda item: item[0])
+        outcome.agreed = scored[0][2]
+    return outcome

@@ -1,0 +1,106 @@
+"""An in-process network of Active XML peers.
+
+Stands in for the SOAP transport between peers: documents travel as
+serialized XML (so the exchange exercises the full parse/serialize
+path), and every transfer is guarded by the exchange schema the two
+peers agreed on (the scenario of Figure 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.axml.peer import AXMLPeer
+from repro.doc.document import Document
+from repro.errors import RewriteError, SchemaError
+from repro.schema.model import Schema
+from repro.schema.validate import validate
+
+
+@dataclass
+class TransferReceipt:
+    """What happened during one document transfer."""
+
+    sender: str
+    receiver: str
+    document_name: str
+    calls_materialized: int
+    bytes_on_wire: int
+    accepted: bool
+    error: str = ""
+
+
+@dataclass
+class PeerNetwork:
+    """Peers plus the exchange schemas they agreed on."""
+
+    peers: Dict[str, AXMLPeer] = field(default_factory=dict)
+    agreements: Dict[Tuple[str, str], Schema] = field(default_factory=dict)
+    receipts: list = field(default_factory=list)
+
+    def add_peer(self, peer: AXMLPeer) -> "PeerNetwork":
+        """Join a peer; existing peers become mutually callable."""
+        for other in self.peers.values():
+            other.know_peer(peer)
+            peer.know_peer(other)
+        self.peers[peer.name] = peer
+        return self
+
+    def agree(self, sender: str, receiver: str, schema: Schema) -> None:
+        """Fix the data exchange schema for one direction (Figure 1)."""
+        self._peer(sender)
+        self._peer(receiver)
+        self.agreements[(sender, receiver)] = schema
+
+    def _peer(self, name: str) -> AXMLPeer:
+        peer = self.peers.get(name)
+        if peer is None:
+            raise SchemaError("unknown peer %r" % name)
+        return peer
+
+    def send(
+        self, sender: str, receiver: str, document_name: str,
+        store_as: Optional[str] = None,
+    ) -> TransferReceipt:
+        """Transfer one document, enforcing the agreed schema.
+
+        The sender's Schema Enforcement module materializes whatever the
+        agreement requires; the receiver validates independently before
+        accepting (defense in depth — a receiver does not trust senders).
+        """
+        source = self._peer(sender)
+        target = self._peer(receiver)
+        agreement = self.agreements.get((sender, receiver))
+        if agreement is None:
+            raise SchemaError(
+                "no exchange schema agreed between %r and %r" % (sender, receiver)
+            )
+
+        outcome = source.prepare_outgoing(document_name, agreement)
+        if not outcome.ok:
+            receipt = TransferReceipt(
+                sender, receiver, document_name, outcome.calls_made, 0, False,
+                error=outcome.error,
+            )
+            self.receipts.append(receipt)
+            return receipt
+
+        wire = outcome.document.to_xml()
+        delivered = Document.from_xml(wire)
+
+        report = validate(delivered, agreement, source.schema)
+        accepted = report.ok
+        if accepted:
+            target.receive(store_as or document_name, delivered)
+        receipt = TransferReceipt(
+            sender,
+            receiver,
+            document_name,
+            outcome.calls_made,
+            len(wire.encode("utf-8")),
+            accepted,
+            error="" if accepted else str(report),
+        )
+        self.receipts.append(receipt)
+        return receipt

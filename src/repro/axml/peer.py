@@ -1,0 +1,151 @@
+"""An Active XML peer.
+
+A peer bundles a repository of intensional documents, a service it
+*provides* (declarative queries over its repository, or arbitrary
+handlers), a registry of services it can *call*, and the Schema
+Enforcement module that guards every boundary:
+
+- outgoing documents are enforced against the exchange schema agreed
+  with the destination peer;
+- parameters of provided services are enforced against the operation's
+  declared input type before the handler runs;
+- results are enforced against the declared output type before they are
+  returned — the three-step verify/rewrite/error behaviour on both sides
+  of every call, exactly as Section 7 describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from repro.axml.enforcement import EnforcementOutcome, SchemaEnforcer
+from repro.axml.repository import DocumentRepository
+from repro.doc.document import Document
+from repro.doc.nodes import FunctionCall, Node
+from repro.errors import RewriteError, ServiceFault
+from repro.rewriting.engine import SAFE
+from repro.schema.model import FunctionSignature, Schema
+from repro.schema.patterns import InvocationPolicy, allow_all
+from repro.services.registry import ServiceRegistry
+from repro.services.service import Handler, Service
+
+
+@dataclass
+class AXMLPeer:
+    """One peer of the simulated Active XML network."""
+
+    name: str
+    schema: Schema  # the peer's own vocabulary (s0): labels + signatures
+    repository: DocumentRepository = field(default_factory=DocumentRepository)
+    registry: ServiceRegistry = field(default_factory=ServiceRegistry)
+    k: int = 1
+    mode: str = SAFE
+    policy: InvocationPolicy = field(default_factory=allow_all)
+    service: Optional[Service] = None  # the peer's own endpoint
+
+    def __post_init__(self):
+        if self.service is None:
+            self.service = Service(
+                endpoint="axml://%s" % self.name, namespace="urn:axml:%s" % self.name
+            )
+        # A peer can always call itself.
+        self.registry.register(self.service)
+
+    # -- providing services -----------------------------------------------
+
+    def provide(
+        self,
+        operation: str,
+        signature: FunctionSignature,
+        handler: Handler,
+        enforce_io: bool = True,
+    ) -> None:
+        """Expose an operation, wrapped with schema enforcement.
+
+        Incoming parameters are rewritten into the declared input type
+        (invoking embedded calls through this peer's registry if needed),
+        and results into the output type, before leaving the peer.
+        """
+        if not enforce_io:
+            self.service.add_operation(operation, signature, handler)
+            return
+
+        def enforced(params: Sequence[Node]) -> Tuple[Node, ...]:
+            enforcer = self._enforcer()
+            inbound = enforcer.enforce_forest(
+                params, signature.input_type, self.invoker()
+            )
+            if not inbound.ok:
+                raise ServiceFault(
+                    "parameters rejected by %s: %s" % (self.name, inbound.error),
+                    fault_code="Client",
+                )
+            output = tuple(handler(inbound.forest))
+            outbound = enforcer.enforce_forest(
+                output, signature.output_type, self.invoker()
+            )
+            if not outbound.ok:
+                raise ServiceFault(
+                    "result of %r violates its declared type: %s"
+                    % (operation, outbound.error)
+                )
+            return outbound.forest
+
+        self.service.add_operation(operation, signature, enforced)
+
+    def provide_query(
+        self,
+        operation: str,
+        document_name: str,
+        path_expr: str,
+        signature: FunctionSignature,
+        text_filter: bool = False,
+    ) -> None:
+        """Expose a declarative query over the repository as a service."""
+        from repro.axml.query import query_service
+
+        _signature, handler = query_service(
+            self.repository, document_name, path_expr, signature, text_filter
+        )
+        self.provide(operation, signature, handler)
+
+    # -- calling services ----------------------------------------------------
+
+    def invoker(self) -> Callable[[FunctionCall], Tuple[Node, ...]]:
+        """The invoker this peer materializes calls with."""
+        return self.registry.make_invoker(principal=self.name)
+
+    def know_peer(self, other: "AXMLPeer") -> None:
+        """Make another peer's endpoint callable from here."""
+        self.registry.register(other.service)
+
+    # -- exchanging documents ---------------------------------------------------
+
+    def _enforcer(
+        self, target_schema: Optional[Schema] = None, mode: Optional[str] = None
+    ) -> SchemaEnforcer:
+        return SchemaEnforcer(
+            target_schema=target_schema or self.schema,
+            sender_schema=self.schema,
+            k=self.k,
+            mode=mode or self.mode,
+            policy=self.policy,
+        )
+
+    def prepare_outgoing(
+        self, document_name: str, exchange_schema: Schema
+    ) -> EnforcementOutcome:
+        """Enforce a stored document against an agreed exchange schema.
+
+        This is what runs right before the document leaves the peer; the
+        returned outcome carries either the (possibly materialized)
+        document or the error of step (iii).
+        """
+        document = self.repository.get(document_name)
+        enforcer = self._enforcer(exchange_schema)
+        return enforcer.enforce_document(document, self.invoker())
+
+    def receive(self, name: str, document: Document) -> None:
+        """Accept a document from the network into the repository."""
+        self.repository.store(name, document)

@@ -1,0 +1,144 @@
+"""Declarative services over the repository.
+
+An Active XML peer "provides some Web services, defined declaratively as
+queries/updates on top of the repository documents".  The query language
+here is a small label-path selector — enough to define realistic
+services (e.g. "all exhibits of the newspaper document") whose results
+are forests that may themselves contain function calls, i.e. intensional
+answers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.axml.repository import DocumentRepository
+from repro.doc.nodes import Element, FunctionCall, Node, Text, children_of
+from repro.errors import DocumentError
+from repro.schema.model import FunctionSignature
+from repro.services.service import Handler
+
+
+def select(node: Node, path: Sequence[str]) -> List[Node]:
+    """All subtrees reached by following a label path from ``node``.
+
+    ``path`` is matched stepwise against element labels; ``*`` matches
+    any element.  Function nodes match by name, and their parameters are
+    not traversed (parameters belong to the call).
+
+    Steps may carry one predicate in brackets:
+
+    - ``exhibit[title=Picasso]`` — some ``title`` child's text equals
+      the value;
+    - ``item[@sku=A-1]`` — the element has that attribute value.
+    """
+    if not path:
+        return [node]
+    step, rest = path[0], path[1:]
+    matches: List[Node] = []
+    if isinstance(node, Element):
+        for child in node.children:
+            if _matches(child, step):
+                matches.extend(select(child, rest))
+    return matches
+
+
+def _split_step(step: str):
+    """Split ``label[predicate]`` into (label, predicate or None)."""
+    if step.endswith("]") and "[" in step:
+        base, _, condition = step[:-1].partition("[")
+        return base, condition
+    return step, None
+
+
+def _predicate_holds(node: Node, condition: str) -> bool:
+    key, separator, value = condition.partition("=")
+    if not separator:
+        raise DocumentError("malformed predicate [%s]" % condition)
+    if key.startswith("@"):
+        if not isinstance(node, Element):
+            return False
+        return node.get_attribute(key[1:]) == value
+    if not isinstance(node, Element):
+        return False
+    for child in node.children:
+        if (
+            isinstance(child, Element)
+            and child.label == key
+            and len(child.children) == 1
+            and isinstance(child.children[0], Text)
+            and child.children[0].value == value
+        ):
+            return True
+    return False
+
+
+def _matches(node: Node, step: str) -> bool:
+    base, condition = _split_step(step)
+    if base == "*":
+        name_ok = isinstance(node, Element)
+    elif isinstance(node, Element):
+        name_ok = node.label == base
+    elif isinstance(node, FunctionCall):
+        name_ok = node.name == base
+    else:
+        name_ok = False
+    if not name_ok:
+        return False
+    if condition is None:
+        return True
+    return _predicate_holds(node, condition)
+
+
+def query_path(
+    repository: DocumentRepository, document_name: str, path_expr: str
+) -> Tuple[Node, ...]:
+    """Run one label-path query: ``"newspaper/exhibit"`` style."""
+    document = repository.get(document_name)
+    path = [step for step in path_expr.split("/") if step]
+    if not path:
+        raise DocumentError("empty query path")
+    root = document.root
+    if not _matches(root, path[0]):
+        return ()
+    return tuple(select(root, path[1:]))
+
+
+def query_service(
+    repository: DocumentRepository,
+    document_name: str,
+    path_expr: str,
+    signature: FunctionSignature,
+    text_filter: bool = False,
+) -> Tuple[FunctionSignature, Handler]:
+    """Build a declarative service operation from a path query.
+
+    The returned handler evaluates the query against the live repository
+    on every call, so stored-document updates are visible — this is what
+    makes peer services *dynamic*.  With ``text_filter`` the first
+    parameter's data value must occur in a result's text for it to be
+    returned (a keyword-search flavour).
+    """
+
+    def handler(params: Sequence[Node]) -> Tuple[Node, ...]:
+        results = query_path(repository, document_name, path_expr)
+        if text_filter and params:
+            keyword = _text_of(params[0])
+            if keyword:
+                results = tuple(
+                    node for node in results if keyword in _full_text(node)
+                )
+        return tuple(results)
+
+    return signature, handler
+
+
+def _text_of(node: Node) -> str:
+    if isinstance(node, Text):
+        return node.value
+    parts = [_text_of(child) for child in children_of(node)]
+    return " ".join(part for part in parts if part)
+
+
+def _full_text(node: Node) -> str:
+    return _text_of(node)

@@ -1,0 +1,87 @@
+"""The per-peer repository of intensional documents.
+
+Documents are stored by name; the repository can persist itself to a
+directory of ``.xml`` files in the Active XML syntax and load back —
+the "persistent storage for intensional documents" of the paper's
+system description.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.doc.document import Document
+from repro.errors import DocumentError
+
+
+@dataclass
+class DocumentRepository:
+    """A named collection of intensional documents."""
+
+    documents: Dict[str, Document] = field(default_factory=dict)
+
+    def store(self, name: str, document: Document) -> None:
+        """Insert or replace a document."""
+        self.documents[name] = document
+
+    def get(self, name: str) -> Document:
+        """Fetch by name; raises :class:`DocumentError` when missing."""
+        document = self.documents.get(name)
+        if document is None:
+            raise DocumentError("no document named %r in the repository" % name)
+        return document
+
+    def delete(self, name: str) -> None:
+        """Remove a document (missing names raise)."""
+        if name not in self.documents:
+            raise DocumentError("no document named %r in the repository" % name)
+        del self.documents[name]
+
+    def names(self) -> List[str]:
+        """Stored document names, sorted."""
+        return sorted(self.documents)
+
+    def __len__(self) -> int:
+        return len(self.documents)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.documents
+
+    def items(self) -> Iterator[Tuple[str, Document]]:
+        """Iterate ``(name, document)`` pairs in name order."""
+        for name in self.names():
+            yield name, self.documents[name]
+
+    # -- persistence ----------------------------------------------------------
+
+    def save_to(self, directory: str) -> List[str]:
+        """Write every document as ``<name>.xml``; returns written paths."""
+        os.makedirs(directory, exist_ok=True)
+        written: List[str] = []
+        for name, document in self.items():
+            path = os.path.join(directory, name + ".xml")
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(document.to_xml())
+        # Collect after writing so a failure leaves no stale list entries.
+            written.append(path)
+        return written
+
+    @staticmethod
+    def load_from(directory: str) -> "DocumentRepository":
+        """Read every ``.xml`` file of a directory back into a repository."""
+        repository = DocumentRepository()
+        for filename in sorted(os.listdir(directory)):
+            if not filename.endswith(".xml"):
+                continue
+            path = os.path.join(directory, filename)
+            with open(path, "r", encoding="utf-8") as handle:
+                repository.store(filename[:-4], Document.from_xml(handle.read()))
+        return repository
+
+    def intensional_stats(self) -> Dict[str, int]:
+        """Total documents, nodes and embedded calls — used by examples."""
+        nodes = sum(doc.size() for doc in self.documents.values())
+        calls = sum(doc.function_count() for doc in self.documents.values())
+        return {"documents": len(self.documents), "nodes": nodes, "calls": calls}

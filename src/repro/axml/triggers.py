@@ -1,0 +1,90 @@
+"""Active features: automatic triggering of embedded calls.
+
+An Active XML peer "provides some active features to enrich
+[documents] by automatically triggering the function calls they
+contain".  A :class:`TriggerPolicy` selects which calls fire and how
+deep the enrichment chases freshly returned calls; this is deliberately
+simpler than full Active XML (no timers), but exercises the same
+materialize-in-place behaviour the exchange algorithms then reason
+about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Sequence, Tuple
+
+from repro.doc.document import Document
+from repro.doc.nodes import Element, FunctionCall, Node, with_children
+from repro.rewriting.plan import InvocationLog
+from repro.rewriting.safe import Invoker
+
+
+@dataclass(frozen=True)
+class TriggerPolicy:
+    """Which calls to fire, and how deep.
+
+    ``max_depth`` bounds dependency chains like the k of Definition 7 —
+    a call returned by a triggered call fires only while depth remains.
+    ``only`` filters by function name (default: everything fires).
+    """
+
+    max_depth: int = 1
+    only: Callable[[str], bool] = field(compare=False, default=lambda _n: True)
+
+
+def apply_triggers(
+    document: Document,
+    invoker: Invoker,
+    policy: TriggerPolicy = TriggerPolicy(),
+) -> Tuple[Document, InvocationLog]:
+    """Materialize calls selected by the policy, splicing outputs in place.
+
+    Returns the enriched document and the log of performed calls.  The
+    traversal is document-order; outputs are scanned for further calls
+    while the policy's depth budget allows.
+    """
+    log = InvocationLog()
+    root = _trigger_node(document.root, invoker, policy, log, depth=1)
+    return Document(root), log
+
+
+def _trigger_forest(
+    forest: Sequence[Node],
+    invoker: Invoker,
+    policy: TriggerPolicy,
+    log: InvocationLog,
+    depth: int,
+) -> Tuple[Node, ...]:
+    result: List[Node] = []
+    for node in forest:
+        if (
+            isinstance(node, FunctionCall)
+            and depth <= policy.max_depth
+            and policy.only(node.name)
+        ):
+            from repro.doc.nodes import symbol_of
+
+            output = tuple(invoker(node))
+            log.add(node.name, depth, tuple(symbol_of(t) for t in output))
+            result.extend(
+                _trigger_forest(output, invoker, policy, log, depth + 1)
+            )
+        else:
+            result.append(_trigger_node(node, invoker, policy, log, depth))
+    return tuple(result)
+
+
+def _trigger_node(
+    node: Node,
+    invoker: Invoker,
+    policy: TriggerPolicy,
+    log: InvocationLog,
+    depth: int,
+) -> Node:
+    if isinstance(node, Element):
+        children = _trigger_forest(node.children, invoker, policy, log, depth)
+        return with_children(node, children)
+    # Kept function calls: parameters are left untouched (they belong to
+    # the call, not to the document's extensional content).
+    return node

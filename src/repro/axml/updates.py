@@ -1,0 +1,148 @@
+"""Declarative update services over the repository.
+
+The paper's peers provide "some Web services, defined declaratively as
+queries/updates on top of the repository documents".
+:mod:`repro.axml.query` covers the query half; this module covers
+updates: path-addressed insertions, replacements and deletions that a
+peer can expose as service operations.  Updated documents may gain new
+*intensional* content — inserting a fragment that contains calls is how
+a repository document gets enriched over time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.axml.repository import DocumentRepository
+from repro.doc.document import Document
+from repro.doc.nodes import Element, Node, with_children
+from repro.doc.paths import Path, get_node, iter_nodes, splice_at
+from repro.errors import DocumentError
+from repro.schema.model import Schema
+from repro.schema.validate import validate
+
+
+def _match_paths(document: Document, path_expr: str) -> List[Path]:
+    """Paths of every node matched by a label-path expression."""
+    from repro.axml.query import _matches
+
+    steps = [step for step in path_expr.split("/") if step]
+    if not steps:
+        raise DocumentError("empty update path")
+    matches: List[Path] = []
+    for path, node in iter_nodes(document.root):
+        if len(path) != len(steps) - 1:
+            continue
+        # The first step addresses the root.
+        chain = [document.root]
+        for index in path:
+            from repro.doc.nodes import children_of
+
+            chain.append(children_of(chain[-1])[index])
+        if all(_matches(n, s) for n, s in zip(chain, steps)):
+            matches.append(path)
+    return matches
+
+
+@dataclass
+class UpdateResult:
+    """What one update did."""
+
+    document: Document
+    matched: int
+    changed: bool
+
+
+def insert_into(
+    document: Document,
+    path_expr: str,
+    fragment: Sequence[Node],
+    position: Optional[int] = None,
+) -> UpdateResult:
+    """Insert a forest into every element matched by the path.
+
+    ``position`` indexes into the children (None = append).
+    """
+    paths = _match_paths(document, path_expr)
+    current = document
+    for path in paths:
+        node = get_node(current.root, path)
+        if not isinstance(node, Element):
+            raise DocumentError(
+                "insert target at %r is not an element" % (path_expr,)
+            )
+        index = len(node.children) if position is None else position
+        new_children = (
+            node.children[:index] + tuple(fragment) + node.children[index:]
+        )
+        current = current.replace(path, with_children(node, new_children))
+    return UpdateResult(current, len(paths), bool(paths and fragment))
+
+
+def replace_matches(
+    document: Document, path_expr: str, fragment: Sequence[Node]
+) -> UpdateResult:
+    """Replace every matched node by a forest (may grow or shrink)."""
+    paths = _match_paths(document, path_expr)
+    current = document
+    # Replace right-to-left so earlier paths stay valid.
+    for path in sorted(paths, reverse=True):
+        if not path:
+            if len(fragment) != 1:
+                raise DocumentError("cannot replace the root by a forest")
+            current = Document(fragment[0])
+        else:
+            current = Document(splice_at(current.root, path, tuple(fragment)))
+    return UpdateResult(current, len(paths), bool(paths))
+
+
+def delete_matches(document: Document, path_expr: str) -> UpdateResult:
+    """Delete every matched node (the root cannot be deleted)."""
+    paths = _match_paths(document, path_expr)
+    if any(not path for path in paths):
+        raise DocumentError("cannot delete the document root")
+    current = document
+    for path in sorted(paths, reverse=True):
+        current = Document(splice_at(current.root, path, ()))
+    return UpdateResult(current, len(paths), bool(paths))
+
+
+@dataclass
+class UpdateService:
+    """A validated update operation over one repository document.
+
+    Applies an update, re-validates against the peer's schema, and only
+    commits when the document stays a schema instance — a peer must not
+    corrupt its own repository through its update services.
+    """
+
+    repository: DocumentRepository
+    document_name: str
+    schema: Optional[Schema] = None
+
+    def _commit(self, result: UpdateResult) -> UpdateResult:
+        if self.schema is not None:
+            report = validate(result.document, self.schema, strict=False)
+            if not report.ok:
+                raise DocumentError(
+                    "update would break the document's schema: %s" % report
+                )
+        self.repository.store(self.document_name, result.document)
+        return result
+
+    def insert(self, path_expr: str, fragment: Sequence[Node],
+               position: Optional[int] = None) -> UpdateResult:
+        """Validated insert-into."""
+        document = self.repository.get(self.document_name)
+        return self._commit(insert_into(document, path_expr, fragment, position))
+
+    def replace(self, path_expr: str, fragment: Sequence[Node]) -> UpdateResult:
+        """Validated replace."""
+        document = self.repository.get(self.document_name)
+        return self._commit(replace_matches(document, path_expr, fragment))
+
+    def delete(self, path_expr: str) -> UpdateResult:
+        """Validated delete."""
+        document = self.repository.get(self.document_name)
+        return self._commit(delete_matches(document, path_expr))

@@ -1,0 +1,254 @@
+"""Command-line interface: validate, rewrite and compare on files.
+
+A thin, scriptable front end over the library, mirroring how the paper's
+Schema Enforcement module would be driven operationally:
+
+- ``validate`` — is a document (``int:`` XML) an instance of a schema
+  (XML Schema_int)?
+- ``rewrite`` — materialize a document into an exchange schema; since
+  the CLI has no live services, calls are served by a *sampling*
+  responder seeded from ``--seed`` (deterministic), drawing outputs from
+  the declared signatures;
+- ``compat`` — the Section 6 check between two schema files;
+- ``inspect`` — document statistics (size, depth, embedded calls);
+- ``figures`` — regenerate the paper's automata figures as Graphviz DOT.
+
+Usage::
+
+    python -m repro.cli validate doc.xml schema.xsd
+    python -m repro.cli rewrite doc.xml sender.xsd exchange.xsd -o out.xml
+    python -m repro.cli compat sender.xsd exchange.xsd --k 2
+    python -m repro.cli inspect doc.xml
+    python -m repro.cli figures out/
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional
+
+from repro.axml.enforcement import SchemaEnforcer
+from repro.doc.document import Document
+from repro.errors import ReproError
+from repro.schema.generator import InstanceGenerator
+from repro.schema.model import Schema
+from repro.schema.validate import validate
+from repro.schemarewrite.compat import schema_safely_rewrites
+from repro.xschema.compile import compile_xschema
+from repro.xschema.parser import parse_xschema
+
+
+def _read(path: str) -> str:
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _load_schema(path: str, root: Optional[str] = None) -> Schema:
+    return compile_xschema(parse_xschema(_read(path), root=root))
+
+
+def _sampling_invoker(schema: Schema, seed: int):
+    """Serve calls by sampling output instances of declared signatures."""
+    generator = InstanceGenerator(schema, random.Random(seed), max_depth=4)
+
+    def invoker(fc):
+        if schema.output_type(fc.name) is None:
+            raise ReproError(
+                "no signature for %r in the sender schema" % fc.name
+            )
+        return generator.output_forest(fc.name)
+
+    return invoker
+
+
+def cmd_validate(args) -> int:
+    document = Document.from_xml(_read(args.document))
+    schema = _load_schema(args.schema)
+    report = validate(document, schema, strict=not args.lenient)
+    if report.ok:
+        print("valid")
+        return 0
+    print("INVALID:")
+    for violation in report.violations:
+        print("  " + str(violation))
+    return 1
+
+
+def cmd_rewrite(args) -> int:
+    document = Document.from_xml(_read(args.document))
+    sender = _load_schema(args.sender_schema)
+    exchange = _load_schema(args.exchange_schema)
+    enforcer = SchemaEnforcer(
+        exchange, sender, k=args.k, mode=args.mode
+    )
+    outcome = enforcer.enforce_document(
+        document, _sampling_invoker(sender, args.seed)
+    )
+    if not outcome.ok:
+        print("FAILED: %s" % outcome.error, file=sys.stderr)
+        return 1
+    xml = outcome.document.to_xml()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(xml)
+    else:
+        print(xml)
+    print(
+        "rewritten with %d call(s): %s"
+        % (outcome.calls_made, ", ".join(outcome.log.invoked) or "none"),
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_compat(args) -> int:
+    sender = _load_schema(args.sender_schema, root=args.root)
+    receiver = _load_schema(args.exchange_schema)
+    report = schema_safely_rewrites(
+        sender, receiver, root=args.root, k=args.k
+    )
+    print(report)
+    return 0 if report.compatible else 1
+
+
+def cmd_figures(args) -> int:
+    """Regenerate the paper's automata figures as Graphviz DOT files."""
+    import os
+
+    from repro.automata.dfa import complete, determinize
+    from repro.automata.dot import dfa_to_dot, expansion_to_dot, product_to_dot
+    from repro.automata.glushkov import glushkov_nfa
+    from repro.regex.parser import parse_regex
+    from repro.rewriting.expansion import build_expansion
+    from repro.rewriting.lazy import analyze_safe_lazy
+    from repro.rewriting.safe import (
+        analyze_safe,
+        problem_alphabet,
+        target_complement,
+    )
+
+    word = ("title", "date", "Get_Temp", "TimeOut")
+    outputs = {
+        "Get_Temp": parse_regex("temp"),
+        "TimeOut": parse_regex("(exhibit | performance)*"),
+    }
+    target2 = parse_regex("title.date.temp.(TimeOut | exhibit*)")
+    target3 = parse_regex("title.date.temp.exhibit*")
+
+    os.makedirs(args.output_dir, exist_ok=True)
+    figures = {
+        "fig4_awk.dot": expansion_to_dot(
+            build_expansion(word, outputs, k=1), "Figure 4: A_w^1"
+        ),
+        "fig5_complement_star2.dot": dfa_to_dot(
+            target_complement(
+                target2, problem_alphabet(word, outputs, target2)
+            ),
+            "Figure 5: complement of (**)",
+        ),
+        "fig6_product_star2.dot": product_to_dot(
+            analyze_safe(word, outputs, target2, k=1), "Figure 6"
+        ),
+        "fig7_complement_star3.dot": dfa_to_dot(
+            target_complement(
+                target3, problem_alphabet(word, outputs, target3)
+            ),
+            "Figure 7: complement of (***)",
+        ),
+        "fig8_product_star3.dot": product_to_dot(
+            analyze_safe(word, outputs, target3, k=1), "Figure 8"
+        ),
+        "fig10_target_star3.dot": dfa_to_dot(
+            complete(determinize(
+                glushkov_nfa(target3),
+                problem_alphabet(word, outputs, target3),
+            )),
+            "Figure 10: automaton A for (***)",
+        ),
+        "fig12_lazy_star2.dot": product_to_dot(
+            analyze_safe_lazy(word, outputs, target2, k=1), "Figure 12"
+        ),
+    }
+    for name, dot in figures.items():
+        path = os.path.join(args.output_dir, name)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(dot + "\n")
+        print("wrote %s" % path)
+    return 0
+
+
+def cmd_inspect(args) -> int:
+    document = Document.from_xml(_read(args.document))
+    calls = [fc.name for _path, fc in document.function_nodes()]
+    print("root      : %s" % document.root_symbol)
+    print("nodes     : %d" % document.size())
+    print("depth     : %d" % document.depth())
+    print("calls     : %d%s" % (
+        len(calls), " (%s)" % ", ".join(calls) if calls else ""))
+    print("extensional: %s" % document.is_extensional())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Exchange intensional XML data (SIGMOD 2003 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("validate", help="check a document against a schema")
+    p.add_argument("document")
+    p.add_argument("schema")
+    p.add_argument("--lenient", action="store_true",
+                   help="allow undeclared labels (Definition 3 literally)")
+    p.set_defaults(func=cmd_validate)
+
+    p = sub.add_parser("rewrite", help="materialize into an exchange schema")
+    p.add_argument("document")
+    p.add_argument("sender_schema")
+    p.add_argument("exchange_schema")
+    p.add_argument("-o", "--output", help="write result here (default stdout)")
+    p.add_argument("--k", type=int, default=1, help="depth bound (Def. 7)")
+    p.add_argument("--mode", choices=["safe", "possible", "auto"],
+                   default="safe")
+    p.add_argument("--seed", type=int, default=0,
+                   help="seed for the simulated service outputs")
+    p.set_defaults(func=cmd_rewrite)
+
+    p = sub.add_parser("compat", help="Section 6 schema compatibility")
+    p.add_argument("sender_schema")
+    p.add_argument("exchange_schema")
+    p.add_argument("--root", help="root label (default: schema's own)")
+    p.add_argument("--k", type=int, default=1)
+    p.set_defaults(func=cmd_compat)
+
+    p = sub.add_parser(
+        "figures", help="regenerate the paper's automata figures (DOT)"
+    )
+    p.add_argument("output_dir", nargs="?", default="figures")
+    p.set_defaults(func=cmd_figures)
+
+    p = sub.add_parser("inspect", help="document statistics")
+    p.add_argument("document")
+    p.set_defaults(func=cmd_inspect)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 2
+    except OSError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

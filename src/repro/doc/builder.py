@@ -1,0 +1,65 @@
+"""Fluent construction helpers for intensional documents.
+
+The running example of the paper (Figure 2.a) becomes::
+
+    from repro.doc import el, call, text
+
+    newspaper = el(
+        "newspaper",
+        el("title", "The Sun"),
+        el("date", "04/10/2002"),
+        call("Get_Temp", el("city", "Paris"),
+             endpoint="http://www.forecast.com/soap",
+             namespace="urn:xmethods-weather"),
+        call("TimeOut", text("exhibits"),
+             endpoint="http://www.timeout.com/paris",
+             namespace="urn:timeout-program"),
+    )
+
+Bare strings passed as children are coerced to :class:`Text` leaves.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+from repro.doc.nodes import Element, FunctionCall, Node, Text
+
+Child = Union[Node, str]
+
+
+def text(value: str) -> Text:
+    """A data leaf."""
+    return Text(str(value))
+
+
+def _coerce(children: Tuple[Child, ...]) -> Tuple[Node, ...]:
+    coerced = []
+    for child in children:
+        if isinstance(child, str):
+            coerced.append(Text(child))
+        elif isinstance(child, (Text, Element, FunctionCall)):
+            coerced.append(child)
+        else:
+            raise TypeError("not a document node or string: %r" % (child,))
+    return tuple(coerced)
+
+
+def el(label: str, *children: Child, attrs: dict | None = None) -> Element:
+    """An element node; string children become data leaves.
+
+    ``attrs`` carries XML attributes, e.g.
+    ``el("exhibit", ..., attrs={"id": "42"})``.
+    """
+    attributes = tuple(sorted((attrs or {}).items()))
+    return Element(label, _coerce(children), attributes)
+
+
+def call(
+    name: str,
+    *params: Child,
+    endpoint: str | None = None,
+    namespace: str | None = None,
+) -> FunctionCall:
+    """A function node (embedded service call) with parameter subtrees."""
+    return FunctionCall(name, _coerce(params), endpoint, namespace)

@@ -1,0 +1,134 @@
+"""Structural diffing of intensional documents.
+
+Exchange debugging constantly asks "what changed between what I sent and
+what arrived / what the rewriting produced?".  :func:`diff_documents`
+answers with a list of path-addressed edits:
+
+- ``replaced`` — a node's kind/label/name/value changed;
+- ``attributes`` — same element, different attributes;
+- ``inserted`` / ``removed`` — children added or dropped (e.g. a call
+  replaced by its materialized output shows as one removal plus the
+  output's insertions);
+- ``params`` — a kept call whose parameters differ.
+
+Children are aligned with :class:`difflib.SequenceMatcher` over equal
+subtrees, so a single inserted sibling does not cascade into a diff of
+every following position.
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.doc.document import Document
+from repro.doc.nodes import Element, FunctionCall, Node, Text, symbol_of
+from repro.doc.paths import Path
+
+
+@dataclass(frozen=True)
+class Edit:
+    """One difference between two documents."""
+
+    kind: str  # "replaced" | "attributes" | "inserted" | "removed" | "params"
+    path: Path
+    detail: str
+
+    def __str__(self) -> str:
+        where = "/" + "/".join(str(i) for i in self.path) if self.path else "/"
+        return "%s at %s: %s" % (self.kind, where, self.detail)
+
+
+def _describe(node: Node) -> str:
+    if isinstance(node, Text):
+        return "text %r" % node.value
+    if isinstance(node, Element):
+        return "<%s>" % node.label
+    return "call %s(...)" % node.name
+
+
+def diff_documents(left: Document, right: Document) -> List[Edit]:
+    """All edits turning ``left`` into ``right`` (empty when equal)."""
+    edits: List[Edit] = []
+    _diff_nodes(left.root, right.root, (), edits)
+    return edits
+
+
+def diff_forests(
+    left: Tuple[Node, ...], right: Tuple[Node, ...], path: Path = ()
+) -> List[Edit]:
+    """Edits between two sibling forests."""
+    edits: List[Edit] = []
+    _diff_children(tuple(left), tuple(right), path, edits)
+    return edits
+
+
+def _diff_nodes(a: Node, b: Node, path: Path, edits: List[Edit]) -> None:
+    if a == b:
+        return
+    if type(a) is not type(b):
+        edits.append(
+            Edit("replaced", path, "%s -> %s" % (_describe(a), _describe(b)))
+        )
+        return
+    if isinstance(a, Text):
+        edits.append(
+            Edit("replaced", path, "text %r -> %r" % (a.value, b.value))
+        )
+        return
+    if isinstance(a, Element):
+        if a.label != b.label:
+            edits.append(
+                Edit("replaced", path, "<%s> -> <%s>" % (a.label, b.label))
+            )
+            return
+        if a.attributes != b.attributes:
+            edits.append(
+                Edit(
+                    "attributes",
+                    path,
+                    "%s -> %s" % (dict(a.attributes), dict(b.attributes)),
+                )
+            )
+        _diff_children(a.children, b.children, path, edits)
+        return
+    if isinstance(a, FunctionCall):
+        if a.name != b.name or a.endpoint != b.endpoint:
+            edits.append(
+                Edit("replaced", path, "call %s -> call %s" % (a.name, b.name))
+            )
+            return
+        if a.params != b.params:
+            edits.append(Edit("params", path, "parameters differ"))
+            _diff_children(a.params, b.params, path, edits)
+        return
+    raise TypeError("not a document node: %r" % (a,))
+
+
+def _diff_children(
+    left: Tuple[Node, ...], right: Tuple[Node, ...], path: Path,
+    edits: List[Edit],
+) -> None:
+    matcher = difflib.SequenceMatcher(a=left, b=right, autojunk=False)
+    for op, a_lo, a_hi, b_lo, b_hi in matcher.get_opcodes():
+        if op == "equal":
+            continue
+        if op == "replace" and (a_hi - a_lo) == (b_hi - b_lo):
+            # Pairwise recursion keeps the diff local.
+            for offset in range(a_hi - a_lo):
+                _diff_nodes(
+                    left[a_lo + offset],
+                    right[b_lo + offset],
+                    path + (a_lo + offset,),
+                    edits,
+                )
+            continue
+        for index in range(a_lo, a_hi):
+            edits.append(
+                Edit("removed", path + (index,), _describe(left[index]))
+            )
+        for index in range(b_lo, b_hi):
+            edits.append(
+                Edit("inserted", path + (index,), _describe(right[index]))
+            )

@@ -1,0 +1,109 @@
+"""The :class:`Document` wrapper around a root node.
+
+A document is just a root node plus convenience methods; keeping it thin
+means every helper also works on bare nodes (function outputs are
+forests, not documents).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from repro.doc import paths
+from repro.doc.nodes import (
+    FunctionCall,
+    Node,
+    count_function_nodes,
+    is_extensional,
+    iter_subtree,
+    symbol_of,
+    tree_depth,
+    tree_size,
+)
+
+
+@dataclass(frozen=True)
+class Document:
+    """An intensional XML document (Definition 1)."""
+
+    root: Node
+
+    @property
+    def root_symbol(self) -> str:
+        """The symbol of the root node (label, function name or ``#data``)."""
+        return symbol_of(self.root)
+
+    def size(self) -> int:
+        """Total number of nodes."""
+        return tree_size(self.root)
+
+    def depth(self) -> int:
+        """Tree height."""
+        return tree_depth(self.root)
+
+    def function_count(self) -> int:
+        """Number of embedded service calls (intensional parts)."""
+        return count_function_nodes(self.root)
+
+    def is_extensional(self) -> bool:
+        """True iff the document is fully materialized (no calls left)."""
+        return is_extensional(self.root)
+
+    def nodes(self) -> Iterator[Tuple[paths.Path, Node]]:
+        """Yield ``(path, node)`` pairs, pre-order."""
+        return paths.iter_nodes(self.root)
+
+    def function_nodes(self) -> List[Tuple[paths.Path, FunctionCall]]:
+        """All function nodes with their paths, document order."""
+        return paths.find_function_nodes(self.root)
+
+    def get(self, path: paths.Path) -> Node:
+        """The node at ``path``."""
+        return paths.get_node(self.root, path)
+
+    def replace(self, path: paths.Path, replacement: Node) -> "Document":
+        """A new document with the node at ``path`` swapped out."""
+        return Document(paths.replace_at(self.root, path, replacement))
+
+    def splice(self, path: paths.Path, forest) -> "Document":
+        """A new document with the node at ``path`` replaced by a forest.
+
+        This is one rewriting step ``t --v--> t'`` of Definition 4.
+        """
+        return Document(paths.splice_at(self.root, path, forest))
+
+    def to_xml(self, pretty: bool = True) -> str:
+        """Serialize to the Active XML ``int:`` namespace syntax."""
+        from repro.doc.xml_io import document_to_xml
+
+        return document_to_xml(self, pretty=pretty)
+
+    @staticmethod
+    def from_xml(source: str) -> "Document":
+        """Parse from the Active XML syntax."""
+        from repro.doc.xml_io import document_from_xml
+
+        return document_from_xml(source)
+
+    def pretty(self) -> str:
+        """An indented, human-oriented rendering used in examples/tests."""
+        lines: List[str] = []
+        _pretty(self.root, 0, lines)
+        return "\n".join(lines)
+
+
+def _pretty(node: Node, depth: int, lines: List[str]) -> None:
+    pad = "  " * depth
+    from repro.doc.nodes import Element, Text
+
+    if isinstance(node, Text):
+        lines.append('%s"%s"' % (pad, node.value))
+    elif isinstance(node, Element):
+        lines.append("%s%s" % (pad, node.label))
+        for child in node.children:
+            _pretty(child, depth + 1, lines)
+    else:
+        lines.append("%s[%s]  (service call)" % (pad, node.name))
+        for param in node.params:
+            _pretty(param, depth + 1, lines)

@@ -1,0 +1,164 @@
+"""Node types of the intensional document tree.
+
+Following Definition 1, the labeling function maps nodes to
+``L ∪ F ∪ D``: element labels, function names, or data values (the latter
+on leaves only).  We realize the three cases as three immutable node
+classes; :func:`symbol_of` recovers the *symbol* a node contributes to
+its parent's children word — the alphabet the schema regexes range over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Tuple, Union
+
+from repro.automata.symbols import DATA
+
+
+@dataclass(frozen=True)
+class Text:
+    """A leaf carrying an atomic data value from ``D``."""
+
+    value: str
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class Element:
+    """A data node: an element label from ``L`` with ordered children.
+
+    ``attributes`` extends the paper's simple model toward full XML
+    (Section 2.1, "XML and XML Schema"): they are carried, serialized
+    and compared, but the schema language does not constrain them — the
+    simple model types element *content* only.  Stored as a sorted tuple
+    of (name, value) pairs so elements stay hashable and attribute order
+    never affects equality.
+    """
+
+    label: str
+    children: Tuple["Node", ...] = ()
+    attributes: Tuple[Tuple[str, str], ...] = ()
+
+    def __post_init__(self):
+        if not self.label or self.label.startswith("#"):
+            raise ValueError("invalid element label %r" % (self.label,))
+        normalized = tuple(sorted(self.attributes))
+        if normalized != self.attributes:
+            object.__setattr__(self, "attributes", normalized)
+        names = [name for name, _value in normalized]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate attribute on <%s>" % self.label)
+
+    def get_attribute(self, name: str, default: Optional[str] = None):
+        """The value of one attribute, or ``default``."""
+        for key, value in self.attributes:
+            if key == name:
+                return value
+        return default
+
+    def __str__(self) -> str:
+        attrs = "".join(
+            ' %s="%s"' % (name, value) for name, value in self.attributes
+        )
+        if not self.children:
+            return "<%s%s/>" % (self.label, attrs)
+        inner = " ".join(str(child) for child in self.children)
+        return "<%s%s> %s </%s>" % (self.label, attrs, inner, self.label)
+
+
+@dataclass(frozen=True)
+class FunctionCall:
+    """A function node: an embedded service call with parameter subtrees.
+
+    ``name`` is the function name from ``F``; in the implementation it is
+    complemented by the SOAP triple (endpoint URL, method name, namespace
+    URI) carried in the XML serialization.  ``params`` are the children
+    subtrees passed to the service when the call is materialized.
+    """
+
+    name: str
+    params: Tuple["Node", ...] = ()
+    endpoint: Optional[str] = None
+    namespace: Optional[str] = None
+
+    def __post_init__(self):
+        if not self.name or self.name.startswith("#"):
+            raise ValueError("invalid function name %r" % (self.name,))
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(param) for param in self.params)
+        return "%s(%s)" % (self.name, inner)
+
+
+#: Any node of an intensional document tree.
+Node = Union[Text, Element, FunctionCall]
+
+#: An ordered sequence of sibling trees — what a function call returns.
+Forest = Tuple[Node, ...]
+
+
+def symbol_of(node: Node) -> str:
+    """The symbol a node contributes to its parent's children word.
+
+    Data leaves contribute the reserved :data:`~repro.automata.symbols.DATA`
+    symbol; elements contribute their label; function nodes their name.
+    """
+    if isinstance(node, Text):
+        return DATA
+    if isinstance(node, Element):
+        return node.label
+    if isinstance(node, FunctionCall):
+        return node.name
+    raise TypeError("not a document node: %r" % (node,))
+
+
+def children_of(node: Node) -> Tuple[Node, ...]:
+    """The ordered children (or parameters) of a node; leaves have none."""
+    if isinstance(node, Element):
+        return node.children
+    if isinstance(node, FunctionCall):
+        return node.params
+    return ()
+
+
+def with_children(node: Node, children: Tuple[Node, ...]) -> Node:
+    """A copy of ``node`` with its children (or parameters) replaced."""
+    if isinstance(node, Element):
+        return Element(node.label, tuple(children), node.attributes)
+    if isinstance(node, FunctionCall):
+        return FunctionCall(node.name, tuple(children), node.endpoint, node.namespace)
+    if children:
+        raise ValueError("data leaves cannot have children")
+    return node
+
+
+def iter_subtree(node: Node) -> Iterator[Node]:
+    """Yield ``node`` and every descendant, pre-order."""
+    yield node
+    for child in children_of(node):
+        yield from iter_subtree(child)
+
+
+def tree_size(node: Node) -> int:
+    """Number of nodes in the subtree rooted at ``node``."""
+    return sum(1 for _ in iter_subtree(node))
+
+
+def tree_depth(node: Node) -> int:
+    """Height of the subtree rooted at ``node`` (a leaf has depth 1)."""
+    kids = children_of(node)
+    if not kids:
+        return 1
+    return 1 + max(tree_depth(child) for child in kids)
+
+
+def count_function_nodes(node: Node) -> int:
+    """How many function nodes appear in the subtree (intensional size)."""
+    return sum(1 for n in iter_subtree(node) if isinstance(n, FunctionCall))
+
+
+def is_extensional(node: Node) -> bool:
+    """True iff the subtree contains no function node (fully materialized)."""
+    return count_function_nodes(node) == 0

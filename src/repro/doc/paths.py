@@ -1,0 +1,115 @@
+"""Path-based navigation and splicing over immutable document trees.
+
+A *path* is a tuple of child indices from the root; the empty path is the
+root itself.  Because nodes are immutable, a rewriting step (replacing a
+function node by the forest a call returned, Definition 4) is realized by
+:func:`splice_at`, which rebuilds the spine from the root down to the
+spliced position and shares every untouched subtree.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.doc.nodes import (
+    FunctionCall,
+    Node,
+    children_of,
+    symbol_of,
+    with_children,
+)
+
+Path = Tuple[int, ...]
+
+
+def get_node(root: Node, path: Path) -> Node:
+    """The node addressed by ``path`` (IndexError if out of range)."""
+    node = root
+    for index in path:
+        node = children_of(node)[index]
+    return node
+
+
+def iter_nodes(root: Node) -> Iterator[Tuple[Path, Node]]:
+    """Yield ``(path, node)`` for every node, pre-order."""
+    stack: List[Tuple[Path, Node]] = [((), root)]
+    while stack:
+        path, node = stack.pop()
+        yield path, node
+        kids = children_of(node)
+        for index in range(len(kids) - 1, -1, -1):
+            stack.append((path + (index,), kids[index]))
+
+
+def find_function_nodes(root: Node) -> List[Tuple[Path, FunctionCall]]:
+    """All function nodes with their paths, in document (pre-)order."""
+    return [
+        (path, node)
+        for path, node in iter_nodes(root)
+        if isinstance(node, FunctionCall)
+    ]
+
+
+def outermost_function_nodes(root: Node) -> List[Tuple[Path, FunctionCall]]:
+    """Function nodes not nested inside another function node's parameters."""
+    result: List[Tuple[Path, FunctionCall]] = []
+
+    def visit(node: Node, path: Path) -> None:
+        if isinstance(node, FunctionCall):
+            result.append((path, node))
+            return  # do not descend: inner calls live in the parameters
+        for index, child in enumerate(children_of(node)):
+            visit(child, path + (index,))
+
+    visit(root, ())
+    return result
+
+
+def replace_at(root: Node, path: Path, replacement: Node) -> Node:
+    """A new tree with the node at ``path`` replaced by ``replacement``."""
+    if not path:
+        return replacement
+    return _rebuild(root, path, (replacement,))
+
+
+def splice_at(root: Node, path: Path, forest: Sequence[Node]) -> Node:
+    """A new tree with the node at ``path`` replaced by a sibling forest.
+
+    This is the paper's rewriting step: "the node v and the subtree rooted
+    at it are deleted from t, and the forest trees of some output instance
+    of f are plugged at the place of v" (Definition 4, footnote 3).
+
+    Splicing at the root is only defined for single-tree forests.
+    """
+    if not path:
+        if len(forest) != 1:
+            raise ValueError(
+                "cannot splice a forest of %d trees at the root" % len(forest)
+            )
+        return forest[0]
+    return _rebuild(root, path, tuple(forest))
+
+
+def _rebuild(node: Node, path: Path, forest: Tuple[Node, ...]) -> Node:
+    index = path[0]
+    kids = children_of(node)
+    if index >= len(kids):
+        raise IndexError("path step %d out of range" % index)
+    if len(path) == 1:
+        new_kids = kids[:index] + forest + kids[index + 1:]
+    else:
+        new_kids = (
+            kids[:index]
+            + (_rebuild(kids[index], path[1:], forest),)
+            + kids[index + 1:]
+        )
+    return with_children(node, new_kids)
+
+
+def child_word(node: Node) -> Tuple[str, ...]:
+    """The word formed by the symbols of a node's children.
+
+    This is the word ``w`` the per-node rewriting of Section 4 operates
+    on: element labels, function names, and ``#data`` for data leaves.
+    """
+    return tuple(symbol_of(child) for child in children_of(node))

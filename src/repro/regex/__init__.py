@@ -1,0 +1,68 @@
+"""Regular expressions over labels and function names.
+
+Schemas in the paper (Definition 2) map each element label to a regular
+expression over ``L ∪ F`` (labels and function names) or to the keyword
+``data``, and map each function name to a pair of such expressions (its
+input and output types).  This subpackage provides:
+
+- an immutable AST for those expressions (:mod:`repro.regex.ast`),
+- a text parser for the paper's notation, e.g.
+  ``title.date.(Get_Temp | temp).(TimeOut | exhibit*)``
+  (:mod:`repro.regex.parser`),
+- classic regex analyses: nullability, first/last/follow position sets and
+  Brzozowski derivatives (:mod:`repro.regex.ops`),
+- the *one-unambiguity* test that underlies XML Schema's determinism
+  requirement (:mod:`repro.regex.determinism`).
+"""
+
+from repro.regex.ast import (
+    Alt,
+    AnySymbol,
+    Atom,
+    Empty,
+    Epsilon,
+    Regex,
+    Repeat,
+    Seq,
+    Star,
+    alt,
+    atom,
+    opt,
+    plus,
+    seq,
+    star,
+)
+from repro.regex.determinism import is_one_unambiguous
+from repro.regex.ops import (
+    derivative,
+    first_symbols,
+    matches,
+    nullable,
+    regex_alphabet,
+)
+from repro.regex.parser import parse_regex
+
+__all__ = [
+    "Alt",
+    "AnySymbol",
+    "Atom",
+    "Empty",
+    "Epsilon",
+    "Regex",
+    "Repeat",
+    "Seq",
+    "Star",
+    "alt",
+    "atom",
+    "opt",
+    "plus",
+    "seq",
+    "star",
+    "parse_regex",
+    "nullable",
+    "first_symbols",
+    "derivative",
+    "matches",
+    "regex_alphabet",
+    "is_one_unambiguous",
+]

@@ -1,0 +1,264 @@
+"""Immutable AST for regular expressions over labels and function names.
+
+The alphabet is the set of *symbols*: plain strings naming element labels
+or functions, plus the reserved :data:`repro.automata.symbols.DATA` symbol
+that stands for atomic character data (the paper's ``data`` keyword).
+
+Two non-standard atoms support the richer model of Section 2.1:
+
+- :class:`AnySymbol` is a wildcard that matches any symbol, optionally
+  excluding some (XML Schema's ``any`` with namespace restrictions);
+- atoms whose symbol is a *function pattern name* are resolved against the
+  schema's pattern definitions at automaton-construction time.
+
+All nodes are frozen dataclasses: regexes hash, compare and can be used as
+dictionary keys (the Brzozowski-derivative code relies on this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Tuple
+
+
+class Regex:
+    """Base class for regex AST nodes.
+
+    Provides operator sugar so expressions can be built in Python:
+    ``a + b`` for concatenation, ``a | b`` for alternation.
+    """
+
+    def __add__(self, other: "Regex") -> "Regex":
+        return seq(self, other)
+
+    def __or__(self, other: "Regex") -> "Regex":
+        return alt(self, other)
+
+    def star(self) -> "Regex":
+        """Kleene closure of this expression."""
+        return star(self)
+
+    def plus(self) -> "Regex":
+        """One-or-more repetition of this expression."""
+        return plus(self)
+
+    def opt(self) -> "Regex":
+        """Zero-or-one occurrence of this expression."""
+        return opt(self)
+
+    def walk(self) -> Iterator["Regex"]:
+        """Yield this node and all descendants, pre-order."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def children(self) -> Tuple["Regex", ...]:
+        """The direct sub-expressions of this node."""
+        return ()
+
+
+@dataclass(frozen=True)
+class Epsilon(Regex):
+    """Matches the empty word only."""
+
+    def __str__(self) -> str:
+        return "eps"
+
+
+@dataclass(frozen=True)
+class Empty(Regex):
+    """Matches nothing at all (the empty language)."""
+
+    def __str__(self) -> str:
+        return "empty"
+
+
+@dataclass(frozen=True)
+class Atom(Regex):
+    """A single symbol: an element label or a function name."""
+
+    symbol: str
+
+    def __str__(self) -> str:
+        return self.symbol
+
+
+@dataclass(frozen=True)
+class AnySymbol(Regex):
+    """Wildcard atom: matches any single symbol except the excluded ones.
+
+    This models XML Schema's ``any`` wildcard extended to functions
+    (Section 2.1 of the paper).  ``exclude`` lists symbols the wildcard
+    must *not* match, supporting "restrict to / exclude from certain
+    classes".
+    """
+
+    exclude: frozenset = field(default_factory=frozenset)
+
+    def __str__(self) -> str:
+        if not self.exclude:
+            return "any"
+        return "any\\{%s}" % ",".join(sorted(self.exclude))
+
+
+@dataclass(frozen=True)
+class Seq(Regex):
+    """Concatenation of two or more sub-expressions."""
+
+    items: Tuple[Regex, ...]
+
+    def children(self) -> Tuple[Regex, ...]:
+        return self.items
+
+    def __str__(self) -> str:
+        return ".".join(_wrap(i, for_seq=True) for i in self.items)
+
+
+@dataclass(frozen=True)
+class Alt(Regex):
+    """Alternation (choice) between two or more sub-expressions."""
+
+    options: Tuple[Regex, ...]
+
+    def children(self) -> Tuple[Regex, ...]:
+        return self.options
+
+    def __str__(self) -> str:
+        return "(" + " | ".join(str(o) for o in self.options) + ")"
+
+
+@dataclass(frozen=True)
+class Star(Regex):
+    """Kleene closure: zero or more repetitions."""
+
+    item: Regex
+
+    def children(self) -> Tuple[Regex, ...]:
+        return (self.item,)
+
+    def __str__(self) -> str:
+        return _wrap(self.item) + "*"
+
+
+@dataclass(frozen=True)
+class Repeat(Regex):
+    """Bounded repetition, XML Schema's ``minOccurs``/``maxOccurs``.
+
+    ``high`` is ``None`` for unbounded.  ``Repeat(r, 1, 1)`` is ``r``
+    itself, ``Repeat(r, 0, None)`` is ``r*``; the smart constructors below
+    normalize such cases away.
+    """
+
+    item: Regex
+    low: int
+    high: Optional[int]
+
+    def children(self) -> Tuple[Regex, ...]:
+        return (self.item,)
+
+    def __str__(self) -> str:
+        if self.low == 1 and self.high is None:
+            return _wrap(self.item) + "+"
+        if self.low == 0 and self.high == 1:
+            return _wrap(self.item) + "?"
+        high = "" if self.high is None else str(self.high)
+        return "%s{%d,%s}" % (_wrap(self.item), self.low, high)
+
+
+def _wrap(r: Regex, for_seq: bool = False) -> str:
+    """Parenthesize a sub-expression when precedence requires it."""
+    text = str(r)
+    needs = isinstance(r, Seq) or (isinstance(r, Alt) and not text.startswith("("))
+    if for_seq and isinstance(r, Alt):
+        needs = False  # Alt already renders with parentheses
+    return "(%s)" % text if needs else text
+
+
+EPSILON = Epsilon()
+EMPTY = Empty()
+
+
+def atom(symbol: str) -> Regex:
+    """A single-symbol expression."""
+    return Atom(symbol)
+
+
+def seq(*items: Regex) -> Regex:
+    """Concatenation, flattening nested sequences and dropping epsilons."""
+    flat: list = []
+    for item in items:
+        if isinstance(item, Seq):
+            flat.extend(item.items)
+        elif isinstance(item, Empty):
+            return EMPTY
+        elif not isinstance(item, Epsilon):
+            flat.append(item)
+    if not flat:
+        return EPSILON
+    if len(flat) == 1:
+        return flat[0]
+    return Seq(tuple(flat))
+
+
+def alt(*options: Regex) -> Regex:
+    """Alternation, flattening nested choices and deduplicating options."""
+    flat: list = []
+    seen = set()
+    for option in options:
+        parts = option.options if isinstance(option, Alt) else (option,)
+        for part in parts:
+            if isinstance(part, Empty):
+                continue
+            if part not in seen:
+                seen.add(part)
+                flat.append(part)
+    if not flat:
+        return EMPTY
+    if len(flat) == 1:
+        return flat[0]
+    return Alt(tuple(flat))
+
+
+def star(item: Regex) -> Regex:
+    """Kleene closure with the obvious simplifications."""
+    if isinstance(item, (Epsilon, Empty)):
+        return EPSILON
+    if isinstance(item, Star):
+        return item
+    return Star(item)
+
+
+def plus(item: Regex) -> Regex:
+    """One-or-more repetition, encoded as bounded ``Repeat``."""
+    if isinstance(item, (Epsilon, Empty)):
+        return item
+    if isinstance(item, Star):
+        return item
+    return Repeat(item, 1, None)
+
+
+def opt(item: Regex) -> Regex:
+    """Zero-or-one occurrence, encoded as bounded ``Repeat``."""
+    if isinstance(item, (Epsilon, Empty)):
+        return EPSILON
+    if isinstance(item, (Star, Repeat)) and getattr(item, "low", 1) == 0:
+        return item
+    return Repeat(item, 0, 1)
+
+
+def repeat(item: Regex, low: int, high: Optional[int]) -> Regex:
+    """General bounded repetition with normalization.
+
+    Raises :class:`ValueError` when the bounds are inconsistent.
+    """
+    if low < 0 or (high is not None and high < low):
+        raise ValueError("invalid repetition bounds {%s,%s}" % (low, high))
+    if isinstance(item, Empty):
+        return EPSILON if low == 0 else EMPTY
+    if isinstance(item, Epsilon) or (high == 0):
+        return EPSILON
+    if low == 1 and high == 1:
+        return item
+    if low == 0 and high is None:
+        return star(item)
+    return Repeat(item, low, high)

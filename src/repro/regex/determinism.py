@@ -1,0 +1,60 @@
+"""One-unambiguity: XML Schema's determinism requirement.
+
+XML Schema (like DTDs) only admits *one-unambiguous* content models:
+while matching a word left to right, each next symbol determines a unique
+position of the expression, without lookahead.  The classic
+characterization (Brüggemann-Klein & Wood) is that the expression's
+Glushkov automaton is deterministic.
+
+The paper leans on this (Section 4, "Complexity"): for one-unambiguous
+target types, complementation needs no subset construction, so safe
+rewriting stays polynomial.  We reuse the Glushkov construction and
+test pairwise guard overlap, including wildcard guards.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.regex.ast import AnySymbol, Regex
+
+
+def _guards_overlap(left, right) -> bool:
+    """Can some concrete symbol match both guards?
+
+    Two wildcards always overlap (their exclusion sets are finite while
+    the symbol universe is not).  A wildcard overlaps a concrete symbol
+    unless it excludes it.
+    """
+    left_wild = isinstance(left, AnySymbol)
+    right_wild = isinstance(right, AnySymbol)
+    if left_wild and right_wild:
+        return True
+    if left_wild:
+        return right not in left.exclude
+    if right_wild:
+        return left not in right.exclude
+    return left == right
+
+
+def find_ambiguity(r: Regex) -> Optional[Tuple[int, object, object]]:
+    """Locate a witness of non-one-unambiguity, or None if deterministic.
+
+    Returns ``(state, guard_a, guard_b)`` for the first Glushkov state with
+    two overlapping outgoing guards leading to distinct positions.
+    """
+    from repro.automata.glushkov import glushkov_nfa
+
+    nfa = glushkov_nfa(r)
+    for state in range(nfa.n_states):
+        edges: List[Tuple[object, int]] = nfa.edges_from(state)
+        for i, (guard_a, target_a) in enumerate(edges):
+            for guard_b, target_b in edges[i + 1:]:
+                if target_a != target_b and _guards_overlap(guard_a, guard_b):
+                    return (state, guard_a, guard_b)
+    return None
+
+
+def is_one_unambiguous(r: Regex) -> bool:
+    """True iff ``r`` is one-unambiguous (deterministic per XML Schema)."""
+    return find_ambiguity(r) is None

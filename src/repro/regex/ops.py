@@ -1,0 +1,187 @@
+"""Classic analyses over regex ASTs.
+
+These are the building blocks used by automaton construction and by the
+schema validator: nullability, first-symbol sets, Brzozowski derivatives
+and a derivative-based matcher.  The matcher is the reference semantics
+against which the automata modules are property-tested.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import FrozenSet, Iterable, Sequence, Set, Union
+
+from repro.regex.ast import (
+    Alt,
+    AnySymbol,
+    Atom,
+    Empty,
+    Epsilon,
+    Regex,
+    Repeat,
+    Seq,
+    Star,
+    EMPTY,
+    EPSILON,
+    alt,
+    repeat,
+    seq,
+    star,
+)
+
+#: First-set members are either concrete symbols (str) or wildcard classes.
+FirstItem = Union[str, AnySymbol]
+
+
+@lru_cache(maxsize=None)
+def nullable(r: Regex) -> bool:
+    """True iff the empty word belongs to ``lang(r)``."""
+    if isinstance(r, Epsilon):
+        return True
+    if isinstance(r, (Empty, Atom, AnySymbol)):
+        return False
+    if isinstance(r, Seq):
+        return all(nullable(item) for item in r.items)
+    if isinstance(r, Alt):
+        return any(nullable(option) for option in r.options)
+    if isinstance(r, Star):
+        return True
+    if isinstance(r, Repeat):
+        return r.low == 0 or nullable(r.item)
+    raise TypeError("unknown regex node %r" % (r,))
+
+
+def first_symbols(r: Regex) -> Set[FirstItem]:
+    """Symbols (or wildcard classes) that can start a word of ``lang(r)``."""
+    if isinstance(r, (Epsilon, Empty)):
+        return set()
+    if isinstance(r, Atom):
+        return {r.symbol}
+    if isinstance(r, AnySymbol):
+        return {r}
+    if isinstance(r, Seq):
+        result: Set[FirstItem] = set()
+        for item in r.items:
+            result |= first_symbols(item)
+            if not nullable(item):
+                break
+        return result
+    if isinstance(r, Alt):
+        result = set()
+        for option in r.options:
+            result |= first_symbols(option)
+        return result
+    if isinstance(r, (Star, Repeat)):
+        return first_symbols(r.item)
+    raise TypeError("unknown regex node %r" % (r,))
+
+
+def regex_alphabet(r: Regex) -> FrozenSet[str]:
+    """All concrete symbols mentioned anywhere in ``r`` (wildcards excluded)."""
+    symbols: Set[str] = set()
+    for node in r.walk():
+        if isinstance(node, Atom):
+            symbols.add(node.symbol)
+        elif isinstance(node, AnySymbol):
+            symbols.update(node.exclude)
+    return frozenset(symbols)
+
+
+def has_wildcard(r: Regex) -> bool:
+    """True iff ``r`` contains an :class:`AnySymbol` wildcard atom."""
+    return any(isinstance(node, AnySymbol) for node in r.walk())
+
+
+def reverse(r: Regex) -> Regex:
+    """The regex of the reversed language: ``lang(reverse(r)) = lang(r)^R``.
+
+    Structural: sequences flip, everything else maps through.  Used by
+    the right-to-left rewriting variant (footnote 4 of the paper).
+    """
+    from repro.regex.ast import repeat as _repeat
+
+    if isinstance(r, (Epsilon, Empty, Atom, AnySymbol)):
+        return r
+    if isinstance(r, Seq):
+        return seq(*(reverse(item) for item in reversed(r.items)))
+    if isinstance(r, Alt):
+        return alt(*(reverse(option) for option in r.options))
+    if isinstance(r, Star):
+        return star(reverse(r.item))
+    if isinstance(r, Repeat):
+        return _repeat(reverse(r.item), r.low, r.high)
+    raise TypeError("unknown regex node %r" % (r,))
+
+
+def derivative(r: Regex, symbol: str) -> Regex:
+    """Brzozowski derivative: a regex for ``{w | symbol.w ∈ lang(r)}``."""
+    if isinstance(r, (Epsilon, Empty)):
+        return EMPTY
+    if isinstance(r, Atom):
+        return EPSILON if r.symbol == symbol else EMPTY
+    if isinstance(r, AnySymbol):
+        return EMPTY if symbol in r.exclude else EPSILON
+    if isinstance(r, Seq):
+        head, tail = r.items[0], seq(*r.items[1:])
+        result = seq(derivative(head, symbol), tail)
+        if nullable(head):
+            result = alt(result, derivative(tail, symbol))
+        return result
+    if isinstance(r, Alt):
+        return alt(*(derivative(option, symbol) for option in r.options))
+    if isinstance(r, Star):
+        return seq(derivative(r.item, symbol), r)
+    if isinstance(r, Repeat):
+        rest_low = max(0, r.low - 1)
+        rest_high = None if r.high is None else r.high - 1
+        if r.high is not None and r.high == 0:
+            return EMPTY
+        return seq(derivative(r.item, symbol), repeat(r.item, rest_low, rest_high))
+    raise TypeError("unknown regex node %r" % (r,))
+
+
+def matches(r: Regex, word: Sequence[str]) -> bool:
+    """Reference matcher: True iff ``word`` ∈ ``lang(r)``.
+
+    Implemented with Brzozowski derivatives; quadratic in the worst case
+    but obviously correct, which is exactly what the property tests need.
+    """
+    current = r
+    for symbol in word:
+        current = derivative(current, symbol)
+        if isinstance(current, Empty):
+            return False
+    return nullable(current)
+
+
+def enumerate_words(r: Regex, max_length: int) -> Iterable[tuple]:
+    """Yield every word of ``lang(r)`` up to ``max_length``, shortest first.
+
+    Wildcard atoms are expanded to the single placeholder symbol
+    ``"#any"``; callers that need concrete symbols should concretize the
+    regex against an alphabet first.  Useful in tests and for the
+    representative-document construction of Section 6.
+    """
+    from repro.automata.symbols import ANY_PLACEHOLDER
+
+    frontier = [((), r)]
+    seen = {((), r)}
+    while frontier:
+        next_frontier = []
+        for word, residual in frontier:
+            if nullable(residual):
+                yield word
+            if len(word) >= max_length:
+                continue
+            symbols: Set[str] = set()
+            for item in first_symbols(residual):
+                symbols.add(ANY_PLACEHOLDER if isinstance(item, AnySymbol) else item)
+            for symbol in sorted(symbols):
+                new = derivative(residual, symbol)
+                if isinstance(new, Empty):
+                    continue
+                entry = (word + (symbol,), new)
+                if entry not in seen:
+                    seen.add(entry)
+                    next_frontier.append(entry)
+        frontier = next_frontier

@@ -1,0 +1,171 @@
+"""Parser for the paper's textual notation of type expressions.
+
+The grammar mirrors the expressions used throughout the paper, e.g.::
+
+    title.date.(Get_Temp | temp).(TimeOut | exhibit*)
+    (exhibit | performance)*
+    data
+    eps
+
+Grammar (whitespace-insensitive)::
+
+    regex   := alt
+    alt     := seq ('|' seq)*
+    seq     := postfix ('.' postfix)*
+    postfix := primary ('*' | '+' | '?' | '{' INT ',' (INT)? '}')*
+    primary := IDENT | 'data' | 'any' | 'eps' | 'empty' | '(' alt ')'
+    IDENT   := [A-Za-z_][A-Za-z0-9_\\-]*
+
+``data`` parses to an atom over the reserved :data:`~repro.automata.symbols.DATA`
+symbol; ``any`` parses to the wildcard :class:`~repro.regex.ast.AnySymbol`.
+"""
+
+from __future__ import annotations
+
+import re as _re
+from typing import List, Optional, Tuple
+
+from repro.errors import RegexSyntaxError
+from repro.regex import ast
+from repro.regex.ast import Regex
+
+_TOKEN_RE = _re.compile(
+    r"\s*(?:(?P<ident>[A-Za-z_][A-Za-z0-9_\-]*)"
+    r"|(?P<punct>[().|*+?{},])"
+    r"|(?P<int>\d+))"
+)
+
+_KEYWORDS = {"data", "any", "eps", "empty"}
+
+
+class _Tokens:
+    """A tiny cursor over the token stream with one-token lookahead."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.items: List[Tuple[str, str, int]] = []
+        pos = 0
+        while pos < len(text):
+            match = _TOKEN_RE.match(text, pos)
+            if match is None:
+                rest = text[pos:].strip()
+                if not rest:
+                    break
+                raise RegexSyntaxError(
+                    "unexpected character %r" % rest[0], text, pos
+                )
+            if match.lastgroup == "ident":
+                kind = "ident"
+            elif match.lastgroup == "int":
+                kind = "int"
+            else:
+                kind = match.group("punct")
+            self.items.append((kind, match.group().strip(), match.start()))
+            pos = match.end()
+        self.index = 0
+
+    def peek(self) -> Optional[str]:
+        if self.index < len(self.items):
+            return self.items[self.index][0]
+        return None
+
+    def next(self) -> Tuple[str, str, int]:
+        if self.index >= len(self.items):
+            raise RegexSyntaxError("unexpected end of expression", self.text)
+        item = self.items[self.index]
+        self.index += 1
+        return item
+
+    def expect(self, kind: str) -> Tuple[str, str, int]:
+        item = self.next()
+        if item[0] != kind:
+            raise RegexSyntaxError(
+                "expected %r but found %r" % (kind, item[1]), self.text, item[2]
+            )
+        return item
+
+
+def parse_regex(text: str) -> Regex:
+    """Parse ``text`` into a :class:`~repro.regex.ast.Regex`.
+
+    The empty string (or pure whitespace) parses to epsilon, matching the
+    convention that an element with no content model constrains its
+    children to the empty sequence.
+
+    Raises :class:`~repro.errors.RegexSyntaxError` on malformed input.
+    """
+    tokens = _Tokens(text)
+    if tokens.peek() is None:
+        return ast.EPSILON
+    result = _parse_alt(tokens)
+    if tokens.peek() is not None:
+        kind, value, pos = tokens.next()
+        raise RegexSyntaxError("trailing input %r" % value, text, pos)
+    return result
+
+
+def _parse_alt(tokens: _Tokens) -> Regex:
+    options = [_parse_seq(tokens)]
+    while tokens.peek() == "|":
+        tokens.next()
+        options.append(_parse_seq(tokens))
+    return ast.alt(*options)
+
+
+def _parse_seq(tokens: _Tokens) -> Regex:
+    items = [_parse_postfix(tokens)]
+    while tokens.peek() == ".":
+        tokens.next()
+        items.append(_parse_postfix(tokens))
+    return ast.seq(*items)
+
+
+def _parse_postfix(tokens: _Tokens) -> Regex:
+    result = _parse_primary(tokens)
+    while tokens.peek() in ("*", "+", "?", "{"):
+        kind, _value, _pos = tokens.next()
+        if kind == "*":
+            result = ast.star(result)
+        elif kind == "+":
+            result = ast.plus(result)
+        elif kind == "?":
+            result = ast.opt(result)
+        else:
+            result = _parse_bounds(tokens, result)
+    return result
+
+
+def _parse_bounds(tokens: _Tokens, inner: Regex) -> Regex:
+    low = int(tokens.expect("int")[1])
+    tokens.expect(",")
+    high: Optional[int] = None
+    if tokens.peek() == "int":
+        high = int(tokens.next()[1])
+    tokens.expect("}")
+    try:
+        return ast.repeat(inner, low, high)
+    except ValueError as exc:
+        raise RegexSyntaxError(str(exc), tokens.text) from exc
+
+
+def _parse_primary(tokens: _Tokens) -> Regex:
+    kind, value, pos = tokens.next()
+    if kind == "(":
+        inner = _parse_alt(tokens)
+        tokens.expect(")")
+        return inner
+    if kind == "ident":
+        if value == "data":
+            from repro.automata.symbols import DATA
+
+            return ast.atom(DATA)
+        if value == "any":
+            return ast.AnySymbol()
+        if value == "eps":
+            return ast.EPSILON
+        if value == "empty":
+            return ast.EMPTY
+        return ast.atom(value)
+    raise RegexSyntaxError(
+        "expected a symbol or '(' but found %r" % value, tokens.text, pos
+    )

@@ -1,0 +1,82 @@
+"""The paper's core contribution: safe and possible rewriting.
+
+Word-level algorithms (Sections 4-5):
+
+- :mod:`repro.rewriting.expansion` builds ``A_w^k``, the automaton of all
+  words a k-depth left-to-right rewriting can produce from ``w``
+  (Figure 3, steps 5-10), with *fork* bookkeeping: at every invocable
+  function edge the rewriter may either keep the call or replace it by a
+  word of its output type;
+- :mod:`repro.rewriting.safe` solves the safe-rewriting marking game on
+  the product of ``A_w^k`` with the complete complement of the target
+  (Figure 3, steps 11-23);
+- :mod:`repro.rewriting.lazy` is the optimized variant of Section 7:
+  on-demand product construction with sink-node and marked-node pruning
+  (Figure 12);
+- :mod:`repro.rewriting.possible` solves possible rewriting on the
+  product with the target itself and executes with backtracking
+  (Figure 9);
+- :mod:`repro.rewriting.mixed` implements the mixed approach of
+  Section 5: invoke cheap side-effect-free calls first, then decide
+  safety with the (much smaller) actual outputs.
+
+Document-level driver (Section 4's three stages — parameters bottom-up,
+tree top-down, one children word at a time): :mod:`repro.rewriting.engine`.
+"""
+
+from repro.rewriting.expansion import Expansion, build_expansion
+from repro.rewriting.safe import SafeAnalysis, analyze_safe, execute_safe
+from repro.rewriting.possible import PossibleAnalysis, analyze_possible, execute_possible
+from repro.rewriting.lazy import analyze_safe_lazy
+from repro.rewriting.plan import Decision, InvocationLog, InvocationRecord
+from repro.rewriting.engine import RewriteEngine, RewriteResult
+from repro.rewriting.cost import CostModel
+from repro.rewriting.mixed import mixed_rewrite_word
+from repro.rewriting.optimal import execute_safe_optimal, strategy_values
+from repro.rewriting.direction import (
+    analyze_safe_directed,
+    execute_safe_directed,
+    safe_in_some_direction,
+)
+from repro.rewriting.converters import (
+    Converter,
+    DropElement,
+    MapData,
+    RenameLabel,
+    Unwrap,
+    Wrap,
+    convert_document,
+    convert_forest,
+)
+
+__all__ = [
+    "Expansion",
+    "build_expansion",
+    "SafeAnalysis",
+    "analyze_safe",
+    "analyze_safe_lazy",
+    "execute_safe",
+    "PossibleAnalysis",
+    "analyze_possible",
+    "execute_possible",
+    "Decision",
+    "InvocationLog",
+    "InvocationRecord",
+    "RewriteEngine",
+    "RewriteResult",
+    "CostModel",
+    "mixed_rewrite_word",
+    "execute_safe_optimal",
+    "strategy_values",
+    "analyze_safe_directed",
+    "execute_safe_directed",
+    "safe_in_some_direction",
+    "Converter",
+    "RenameLabel",
+    "MapData",
+    "Unwrap",
+    "Wrap",
+    "DropElement",
+    "convert_document",
+    "convert_forest",
+]

@@ -1,0 +1,164 @@
+"""Automatic data converters (the conclusion's first extension).
+
+"One may then want to modify the data and convert it to the right
+structure, using data translation techniques [...] As a simple example,
+one may need to convert a temperature from Celsius degrees to
+Fahrenheit."  The paper leaves converters out of scope; we provide the
+natural hook: small structural/value converters that the Schema
+Enforcement module may apply when plain rewriting cannot reach the
+target schema.
+
+Converters are deliberately local (one node at a time, bottom-up) and
+declarative, so their effect is predictable:
+
+- :class:`RenameLabel` — ``temperature`` → ``temp``;
+- :class:`MapData` — transform the data value under a given label
+  (Celsius → Fahrenheit);
+- :class:`Unwrap` — splice a wrapper element's children in its place;
+- :class:`Wrap` — wrap an element in a new parent label;
+- :class:`DropElement` — delete elements the target does not know.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.doc.document import Document
+from repro.doc.nodes import Element, FunctionCall, Node, Text, with_children
+
+
+class Converter:
+    """Base class: a local, idempotent-per-node document transformation."""
+
+    def apply(self, node: Node) -> Optional[Tuple[Node, ...]]:
+        """The replacement forest for ``node``, or None to leave it alone."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class RenameLabel(Converter):
+    """Rename every element with one label to another."""
+
+    old: str
+    new: str
+
+    def apply(self, node: Node) -> Optional[Tuple[Node, ...]]:
+        if isinstance(node, Element) and node.label == self.old:
+            return (Element(self.new, node.children),)
+        return None
+
+
+@dataclass(frozen=True)
+class MapData(Converter):
+    """Transform the data value directly under a given element label.
+
+    The classic Celsius-to-Fahrenheit converter::
+
+        MapData("temp", lambda v: "%.0f" % (float(v) * 9 / 5 + 32))
+    """
+
+    label: str
+    transform: Callable[[str], str] = field(compare=False)
+
+    def apply(self, node: Node) -> Optional[Tuple[Node, ...]]:
+        if (
+            isinstance(node, Element)
+            and node.label == self.label
+            and len(node.children) == 1
+            and isinstance(node.children[0], Text)
+        ):
+            new_value = self.transform(node.children[0].value)
+            if new_value == node.children[0].value:
+                return None
+            return (Element(node.label, (Text(new_value),)),)
+        return None
+
+
+@dataclass(frozen=True)
+class Unwrap(Converter):
+    """Replace a wrapper element by its children."""
+
+    label: str
+
+    def apply(self, node: Node) -> Optional[Tuple[Node, ...]]:
+        if isinstance(node, Element) and node.label == self.label:
+            return node.children
+        return None
+
+
+@dataclass(frozen=True)
+class Wrap(Converter):
+    """Wrap elements of one label inside a new parent element."""
+
+    label: str
+    wrapper: str
+
+    def apply(self, node: Node) -> Optional[Tuple[Node, ...]]:
+        if isinstance(node, Element) and node.label == self.label:
+            return (Element(self.wrapper, (node,)),)
+        return None
+
+
+@dataclass(frozen=True)
+class DropElement(Converter):
+    """Delete every element with the given label."""
+
+    label: str
+
+    def apply(self, node: Node) -> Optional[Tuple[Node, ...]]:
+        if isinstance(node, Element) and node.label == self.label:
+            return ()
+        return None
+
+
+def convert_forest(
+    forest: Sequence[Node], converters: Sequence[Converter]
+) -> Tuple[Node, ...]:
+    """Apply converters bottom-up across a sibling forest.
+
+    Children are converted before their parent, and each converter fires
+    at most once per (new) node per pass — ``Wrap`` does not re-wrap its
+    own output.
+    """
+    result: List[Node] = []
+    for node in forest:
+        result.extend(_convert_node(node, converters))
+    return tuple(result)
+
+
+def _convert_node(
+    node: Node, converters: Sequence[Converter]
+) -> Tuple[Node, ...]:
+    if isinstance(node, Element):
+        node = with_children(node, convert_forest(node.children, converters))
+    elif isinstance(node, FunctionCall):
+        node = with_children(node, convert_forest(node.params, converters))
+    current: Tuple[Node, ...] = (node,)
+    for converter in converters:
+        next_nodes: List[Node] = []
+        for item in current:
+            replacement = converter.apply(item)
+            if replacement is None:
+                next_nodes.append(item)
+            else:
+                next_nodes.extend(replacement)
+        current = tuple(next_nodes)
+    return current
+
+
+def convert_document(
+    document: Document, converters: Sequence[Converter]
+) -> Document:
+    """Apply converters across a whole document.
+
+    The root element is never spliced away: converters that would delete
+    or multiply it raise :class:`ValueError`.
+    """
+    forest = convert_forest((document.root,), converters)
+    if len(forest) != 1:
+        raise ValueError(
+            "converters must preserve a single document root "
+            "(got %d trees)" % len(forest)
+        )
+    return Document(forest[0])

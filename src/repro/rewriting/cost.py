@@ -1,0 +1,61 @@
+"""Invocation cost models.
+
+Step 23 of Figure 3 ("to minimize the rewriting cost, chose a path with
+minimal number/cost of function invocations") and the mixed approach of
+Section 5 (invoke the cheap, side-effect-free calls first) both need a
+notion of what a call costs.  :class:`CostModel` assigns each function a
+price and a side-effect flag; the executors use prices to order options
+(keeping a call is free, so the strategy prefers it whenever safe) and
+the mixed rewriter uses the flags to pick its eager set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable
+
+
+@dataclass
+class CostModel:
+    """Per-function invocation prices and side-effect information."""
+
+    default_cost: float = 1.0
+    costs: Dict[str, float] = field(default_factory=dict)
+    side_effect_free: FrozenSet[str] = frozenset()
+
+    def cost_of(self, function_name: str) -> float:
+        """The price of invoking one call of this function."""
+        return self.costs.get(function_name, self.default_cost)
+
+    def is_side_effect_free(self, function_name: str) -> bool:
+        """True iff invoking the function has no observable side effects."""
+        return function_name in self.side_effect_free
+
+    def is_cheap(self, function_name: str, threshold: float = 0.0) -> bool:
+        """True iff the function is free enough to invoke speculatively.
+
+        The mixed approach invokes functions that are side-effect free or
+        cost at most ``threshold``; both conditions mirror Section 5's
+        "ones with no side effects or low price".
+        """
+        return (
+            self.is_side_effect_free(function_name)
+            or self.cost_of(function_name) <= threshold
+        )
+
+    def with_cost(self, function_name: str, cost: float) -> "CostModel":
+        """A copy with one function's price overridden."""
+        new_costs = dict(self.costs)
+        new_costs[function_name] = cost
+        return CostModel(self.default_cost, new_costs, self.side_effect_free)
+
+    def with_side_effect_free(self, names: Iterable[str]) -> "CostModel":
+        """A copy with more functions flagged side-effect free."""
+        return CostModel(
+            self.default_cost, dict(self.costs),
+            self.side_effect_free | frozenset(names),
+        )
+
+
+#: The neutral model: every call costs 1, everything has side effects.
+UNIT = CostModel()

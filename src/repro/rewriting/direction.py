@@ -1,0 +1,116 @@
+"""Right-to-left rewritings (footnote 4 of the paper).
+
+The paper restricts attention to one-pass *left-to-right* rewritings and
+notes "one could choose similarly right-to-left".  The two are not
+equivalent: a decision about an early call sometimes has to depend on
+the output of a *later* one, which only a right-to-left pass can see.
+The canonical witness (benchmark E16):
+
+    w = f.g    tau_out(f) = c (fixed)    tau_out(g) = a | b (adversarial)
+    R = (c.a) | (f.b)
+
+Left to right, ``f`` must be decided before ``g``'s output is known:
+keeping commits to ``f.b`` and invoking commits to ``c.a``, and either
+way the adversary answers with the other letter — unsafe.  Right to
+left, invoke ``g`` first and decide ``f`` *knowing* the answer — safe.
+
+Implementation by symmetry: reverse the word, the target and every
+output type, run the left-to-right machinery, and mirror the execution
+(children reversed on the way in, results and output forests reversed at
+the boundary).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from repro.doc.nodes import Node
+from repro.regex.ast import Regex
+from repro.regex.ops import reverse
+from repro.rewriting.lazy import analyze_safe_lazy
+from repro.rewriting.plan import InvocationLog
+from repro.rewriting.safe import Invoker, SafeAnalysis, analyze_safe, execute_safe
+
+LTR = "ltr"
+RTL = "rtl"
+
+
+def analyze_safe_directed(
+    word: Sequence[str],
+    output_types: Dict[str, Regex],
+    target: Regex,
+    k: int = 1,
+    invocable: Optional[Callable[[str], bool]] = None,
+    direction: str = LTR,
+    lazy: bool = True,
+) -> SafeAnalysis:
+    """Safe analysis in either direction.
+
+    For ``direction="rtl"`` the returned analysis is over the *reversed*
+    problem; use :func:`execute_safe_directed` (which un-mirrors) rather
+    than calling :func:`~repro.rewriting.safe.execute_safe` directly.
+    """
+    if direction not in (LTR, RTL):
+        raise ValueError("direction must be 'ltr' or 'rtl'")
+    analyze = analyze_safe_lazy if lazy else analyze_safe
+    if direction == LTR:
+        return analyze(word, output_types, target, k=k, invocable=invocable)
+    return analyze(
+        tuple(reversed(tuple(word))),
+        {name: reverse(expr) for name, expr in output_types.items()},
+        reverse(target),
+        k=k,
+        invocable=invocable,
+    )
+
+
+def execute_safe_directed(
+    analysis: SafeAnalysis,
+    children: Sequence[Node],
+    invoker: Invoker,
+    direction: str = LTR,
+    log: Optional[InvocationLog] = None,
+    cost_of: Optional[Callable[[str], float]] = None,
+) -> Tuple[Tuple[Node, ...], InvocationLog]:
+    """Execute a directed analysis over the actual children.
+
+    In RTL mode the children are processed right to left and every
+    invoked call's output forest is mirrored at the boundary, so the
+    analysis (which runs over the reversed problem) sees a consistent
+    stream; the final result is mirrored back to document order.
+    """
+    if direction == LTR:
+        return execute_safe(analysis, children, invoker, log, cost_of)
+
+    def mirrored_invoker(fc):
+        return tuple(reversed(tuple(invoker(fc))))
+
+    new_children, out_log = execute_safe(
+        analysis, tuple(reversed(tuple(children))), mirrored_invoker,
+        log, cost_of,
+    )
+    return tuple(reversed(new_children)), out_log
+
+
+def safe_in_some_direction(
+    word: Sequence[str],
+    output_types: Dict[str, Regex],
+    target: Regex,
+    k: int = 1,
+    invocable: Optional[Callable[[str], bool]] = None,
+) -> Optional[str]:
+    """Which one-pass direction (if any) admits a safe rewriting.
+
+    Returns ``"ltr"``, ``"rtl"`` (only when ltr fails) or ``None``.
+    A cheap widening of the paper's restriction: two passes instead of
+    one unrestricted search.
+    """
+    if analyze_safe_directed(
+        word, output_types, target, k, invocable, LTR
+    ).exists:
+        return LTR
+    if analyze_safe_directed(
+        word, output_types, target, k, invocable, RTL
+    ).exists:
+        return RTL
+    return None

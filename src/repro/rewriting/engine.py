@@ -1,0 +1,397 @@
+"""The document-level rewriting driver (Section 4, three stages).
+
+Given a document ``t``, a sender schema ``s0`` (the WSDL-given signatures
+of every function around) and a data exchange schema ``s``, the driver:
+
+1. **rewrites function parameters bottom-up** — the deepest calls first,
+   so that by the time a call may be invoked its own parameters already
+   conform to its input type;
+2. **traverses the tree top-down**, and
+3. **rewrites each node's children word** with the word-level algorithms
+   (safe by default, with optional fallback to possible rewriting — the
+   two-step process described at the start of Section 3).
+
+The engine is transport-agnostic: it takes an *invoker* callable
+(``FunctionCall -> forest``); :mod:`repro.axml.enforcement` wires it to
+the simulated service fabric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.automata.symbols import DATA
+from repro.doc.document import Document
+from repro.doc.nodes import Element, FunctionCall, Node, Text, symbol_of, with_children
+from repro.errors import (
+    NoPossibleRewritingError,
+    NoSafeRewritingError,
+    RewriteError,
+    SchemaError,
+)
+from repro.regex.ast import Regex
+from repro.rewriting.cost import UNIT, CostModel
+from repro.rewriting.lazy import analyze_safe_lazy
+from repro.rewriting.mixed import pre_materialize
+from repro.rewriting.plan import InvocationLog
+from repro.rewriting.possible import analyze_possible, execute_possible
+from repro.rewriting.safe import Invoker, analyze_safe, execute_safe
+from repro.schema.model import Schema
+from repro.schema.patterns import InvocationPolicy, allow_all
+
+#: Rewriting guarantee levels the engine supports.
+SAFE = "safe"
+POSSIBLE = "possible"
+AUTO = "auto"  # try safe first, fall back to possible (Section 3's process)
+
+
+@dataclass
+class RewriteResult:
+    """What :meth:`RewriteEngine.rewrite` produced."""
+
+    document: Document
+    log: InvocationLog
+    mode_used: str  # SAFE or POSSIBLE — the guarantee that actually held
+    words_rewritten: int = 0  # how many children words were processed
+    product_nodes: int = 0  # total product size across all word problems
+
+    @property
+    def calls_made(self) -> int:
+        return len(self.log)
+
+
+@dataclass
+class RewriteEngine:
+    """Rewrites documents into a data exchange schema.
+
+    Args:
+        target_schema: the agreed exchange schema ``s``.
+        sender_schema: ``s0`` — signatures of functions the target does
+            not declare (assumed consistent with ``s`` where they
+            overlap, as in Section 4).
+        k: the depth bound of Definition 7.
+        mode: ``"safe"`` (fail when no safe rewriting exists),
+            ``"possible"`` or ``"auto"``.
+        policy: the invocable/non-invocable partition (Section 2.1).
+        cost_model: prices used for logging and for the mixed pre-pass.
+        lazy: use the Section 7 lazy game solver (same answers, fewer
+            explored nodes).
+        eager: optional predicate selecting calls to pre-materialize (the
+            mixed approach of Section 5); None disables the pre-pass.
+    """
+
+    target_schema: Schema
+    sender_schema: Optional[Schema] = None
+    k: int = 1
+    mode: str = SAFE
+    policy: InvocationPolicy = field(default_factory=allow_all)
+    cost_model: CostModel = field(default_factory=lambda: UNIT)
+    lazy: bool = True
+    eager: Optional[Callable[[str], bool]] = None
+    #: Memoize word analyses across nodes.  Documents repeat content
+    #: models (every <exhibit> shares one), so identical (word, target)
+    #: problems recur; the solved game is stateless and safely reusable.
+    cache: bool = True
+    _analysis_cache: Dict = field(default_factory=dict, repr=False)
+    _cache_hits: int = field(default=0, repr=False)
+    _cache_misses: int = field(default=0, repr=False)
+
+    @property
+    def cache_stats(self) -> Tuple[int, int]:
+        """(hits, misses) of the per-engine analysis cache."""
+        return (self._cache_hits, self._cache_misses)
+
+    # -- public API -------------------------------------------------------
+
+    def rewrite(self, document: Document, invoker: Invoker) -> RewriteResult:
+        """Rewrite a whole document into the target schema.
+
+        Raises :class:`NoSafeRewritingError` /
+        :class:`NoPossibleRewritingError` when the requested guarantee
+        cannot be met, and :class:`RewriteExecutionError` when a possible
+        rewriting exhausts its backtracking options at run time.
+        """
+        log = InvocationLog()
+        stats = {"words": 0, "product": 0, "mode": SAFE}
+        root = document.root
+        if isinstance(root, Text):
+            return RewriteResult(document, log, SAFE)
+        new_root = self._rewrite_node(root, invoker, log, stats)
+        return RewriteResult(
+            Document(new_root),
+            log,
+            stats["mode"],
+            words_rewritten=stats["words"],
+            product_nodes=stats["product"],
+        )
+
+    def can_rewrite(self, document: Document) -> bool:
+        """Static check: does the requested guarantee hold for the document?
+
+        No service is ever invoked; parameters and children words are
+        analyzed with the same staging as :meth:`rewrite`.  Note that for
+        ``mode="possible"`` a True answer only means a rewriting *may*
+        exist (Definition 5).
+        """
+        try:
+            self._check_node(document.root)
+            return True
+        except RewriteError:
+            return False
+
+    def rewrite_forest(
+        self,
+        forest: Sequence[Node],
+        target: Regex,
+        invoker: Invoker,
+        log: Optional[InvocationLog] = None,
+        stats: Optional[dict] = None,
+    ) -> Tuple[Node, ...]:
+        """Rewrite a sibling forest so its root word matches ``target``.
+
+        This is the engine's workhorse, also used directly by the Schema
+        Enforcement module for service parameters and results.
+        """
+        log = log if log is not None else InvocationLog()
+        stats = stats if stats is not None else {"words": 0, "product": 0, "mode": SAFE}
+        prepared = tuple(self._prepare(node, invoker, log, stats) for node in forest)
+        if self.eager is not None:
+            prepared = pre_materialize(
+                prepared, self.eager, invoker, self.k, log,
+                self.cost_model.cost_of,
+            )
+        rewritten = self._rewrite_word(prepared, target, invoker, log, stats)
+        return tuple(
+            self._descend(node, invoker, log, stats) for node in rewritten
+        )
+
+    # -- the three stages ---------------------------------------------------
+
+    def _rewrite_node(self, node: Node, invoker, log, stats) -> Node:
+        """Top-down stage for one subtree whose root stays in the document."""
+        if isinstance(node, Text):
+            return node
+        if isinstance(node, FunctionCall):
+            input_type = self._input_type(node.name)
+            if input_type is None:
+                raise SchemaError(
+                    "function %r has no declared signature in either schema"
+                    % node.name
+                )
+            params = self.rewrite_forest(node.params, input_type, invoker, log, stats)
+            return with_children(node, params)
+        content = self.target_schema.type_of(node.label)
+        if content is None:
+            raise SchemaError(
+                "element label %r is not declared by the target schema"
+                % node.label
+            )
+        children = self.rewrite_forest(node.children, content, invoker, log, stats)
+        return with_children(node, children)
+
+    def _prepare(self, node: Node, invoker, log, stats) -> Node:
+        """Stage 1: rewrite function parameters, deepest calls first."""
+        if isinstance(node, FunctionCall):
+            input_type = self._input_type(node.name)
+            if input_type is None:
+                raise SchemaError(
+                    "function %r has no declared signature in either schema"
+                    % node.name
+                )
+            params = self.rewrite_forest(node.params, input_type, invoker, log, stats)
+            return with_children(node, params)
+        return node
+
+    def _descend(self, node: Node, invoker, log, stats) -> Node:
+        """Stage 2: continue the top-down traversal below a kept node."""
+        if isinstance(node, Element):
+            content = self.target_schema.type_of(node.label)
+            if content is None:
+                raise SchemaError(
+                    "element label %r is not declared by the target schema"
+                    % node.label
+                )
+            children = self.rewrite_forest(node.children, content, invoker, log, stats)
+            return with_children(node, children)
+        return node
+
+    def _rewrite_word(
+        self, children: Tuple[Node, ...], target: Regex, invoker, log, stats
+    ) -> Tuple[Node, ...]:
+        """Stage 3: rewrite one children word (safe, auto or possible)."""
+        word = tuple(symbol_of(node) for node in children)
+        output_types, invocable = self._word_problem(word)
+        target = self._desugared(target, word)
+        stats["words"] += 1
+
+        if self.mode in (SAFE, AUTO):
+            analysis = self._cached(
+                "safe", word, target,
+                lambda: (analyze_safe_lazy if self.lazy else analyze_safe)(
+                    word, output_types, target, self.k, invocable
+                ),
+            )
+            stats["product"] += analysis.stats.product_nodes
+            if analysis.exists:
+                new_children, _ = execute_safe(
+                    analysis, children, invoker, log, self.cost_model.cost_of
+                )
+                return new_children
+            if self.mode == SAFE:
+                raise NoSafeRewritingError(
+                    "children word %s has no safe %d-depth rewriting into %s"
+                    % (".".join(word) or "eps", self.k, target)
+                )
+            stats["mode"] = POSSIBLE
+
+        analysis = self._cached(
+            "possible", word, target,
+            lambda: analyze_possible(word, output_types, target, self.k,
+                                     invocable),
+        )
+        stats["product"] += analysis.stats.product_nodes
+        if not analysis.exists:
+            raise NoPossibleRewritingError(
+                "children word %s cannot rewrite into %s"
+                % (".".join(word) or "eps", target)
+            )
+        stats["mode"] = POSSIBLE if self.mode != SAFE else stats["mode"]
+        new_children, _ = execute_possible(
+            analysis, children, invoker, log, self.cost_model.cost_of
+        )
+        return new_children
+
+    # -- static analysis (no invocations) -----------------------------------
+
+    def _check_node(self, node: Node) -> None:
+        if isinstance(node, Text):
+            return
+        if isinstance(node, FunctionCall):
+            input_type = self._input_type(node.name)
+            if input_type is None:
+                raise NoSafeRewritingError(
+                    "function %r has no declared signature" % node.name
+                )
+            self._check_forest(node.params, input_type)
+            return
+        content = self.target_schema.type_of(node.label)
+        if content is None:
+            raise NoSafeRewritingError(
+                "element label %r is not declared" % node.label
+            )
+        self._check_forest(node.children, content)
+
+    def _check_forest(self, forest: Sequence[Node], target: Regex) -> None:
+        for node in forest:
+            self._check_node(node)
+        word = tuple(symbol_of(node) for node in forest)
+        output_types, invocable = self._word_problem(word)
+        target = self._desugared(target, word)
+        if self.mode == POSSIBLE:
+            analysis = analyze_possible(word, output_types, target, self.k, invocable)
+            if not analysis.exists:
+                raise NoPossibleRewritingError(
+                    "children word %s cannot rewrite into %s"
+                    % (".".join(word) or "eps", target)
+                )
+            return
+        analyze = analyze_safe_lazy if self.lazy else analyze_safe
+        analysis = analyze(word, output_types, target, self.k, invocable)
+        if not analysis.exists:
+            if self.mode == AUTO:
+                fallback = analyze_possible(
+                    word, output_types, target, self.k, invocable
+                )
+                if fallback.exists:
+                    return
+                raise NoPossibleRewritingError(
+                    "children word %s cannot rewrite into %s"
+                    % (".".join(word) or "eps", target)
+                )
+            raise NoSafeRewritingError(
+                "children word %s has no safe %d-depth rewriting into %s"
+                % (".".join(word) or "eps", self.k, target)
+            )
+
+    def _cached(self, kind: str, word, target, compute):
+        """Memoize a solved analysis by (kind, word, target).
+
+        The other inputs (k, policy, schemas) are engine-constant, and
+        ``output_types``/``invocable`` are functions of the word alone,
+        so the key is exact.  Solved analyses are immutable after
+        construction — execution only reads them.
+        """
+        if not self.cache:
+            return compute()
+        key = (kind, word, target)
+        analysis = self._analysis_cache.get(key)
+        if analysis is None:
+            self._cache_misses += 1
+            analysis = compute()
+            self._analysis_cache[key] = analysis
+        else:
+            self._cache_hits += 1
+        return analysis
+
+    # -- plumbing -------------------------------------------------------------
+
+    def _input_type(self, name: str) -> Optional[Regex]:
+        """``tau_in`` for parameter rewriting: the receiver's view first.
+
+        A kept call is validated by the receiver against the *target*
+        schema's input type, so parameters are rewritten toward it; the
+        sender schema fills in functions the target does not declare.
+        """
+        input_type = self.target_schema.input_type(name)
+        if input_type is None and self.sender_schema is not None:
+            input_type = self.sender_schema.input_type(name)
+        return input_type
+
+    def _signature(self, name: str):
+        """The *operational* signature: the sender's (WSDL) view first.
+
+        Section 4 assumes s0 and s agree on shared functions and notes
+        the algorithm "can be extended to handle distinct signatures".
+        The extension implemented here: output types used to build
+        ``A_w^k`` come from the sender schema — they describe what the
+        services actually return — falling back to the target's
+        declaration when the sender has none.
+        """
+        signature = None
+        if self.sender_schema is not None:
+            signature = self.sender_schema.signature_of(name)
+        if signature is None:
+            signature = self.target_schema.signature_of(name)
+        return signature
+
+    def _candidates(self, word: Sequence[str]) -> List[str]:
+        """Every function name that can appear during this rewriting."""
+        names = set(self.target_schema.function_names())
+        if self.sender_schema is not None:
+            names |= self.sender_schema.function_names()
+        names |= {symbol for symbol in word if self._signature(symbol) is not None}
+        return sorted(names)
+
+    def _word_problem(self, word: Sequence[str]):
+        """Output types and the invocability filter for one children word."""
+        output_types: Dict[str, Regex] = {}
+        for name in self._candidates(word):
+            signature = self._signature(name)
+            if signature is not None:
+                output_types[name] = signature.output_type
+
+        def invocable(name: str) -> bool:
+            return self.policy.is_invocable(name)
+
+        return output_types, invocable
+
+    def _desugared(self, target: Regex, word: Sequence[str]) -> Regex:
+        """Expand target-schema pattern atoms over the candidate functions."""
+        if not self.target_schema.patterns:
+            return target
+        candidates = self._candidates(word)
+        schema = Schema({"__target__": target}, {}, dict(self.target_schema.patterns))
+        return schema.desugar_patterns(candidates, self._signature).label_types[
+            "__target__"
+        ]

@@ -1,0 +1,143 @@
+"""The optimized lazy variant of safe rewriting (Section 7, Figure 12).
+
+The eager algorithm of Figure 3 "starts by constructing all the required
+automata and only then analyzes the resulting graph.  By contrast, our
+implementation builds the automaton in a lazy mode, starting from the
+initial state, and constructing only the needed parts."  Two prunings
+drive it:
+
+- **Sink nodes**: some accepting states of ``Ā`` are sinks — once
+  reached, the produced word can never fall back into the target
+  language.  Any product node sitting on such a state is marked at once
+  and its outgoing branches are never built (the left shaded area of
+  Figure 12).
+- **Marked nodes**: once a node is known marked there is no point
+  exploring its successors any further (the right shaded area).
+
+The variant has the same worst-case complexity but explores strictly
+fewer product nodes in practice — benchmark E7 counts them.  Answers are
+identical to the eager algorithm: marking is a least fixpoint and both
+prunings only skip regions that cannot change it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.regex.ast import Regex
+from repro.rewriting.expansion import build_expansion
+from repro.rewriting.safe import (
+    Alternative,
+    GameStats,
+    PNode,
+    SafeAnalysis,
+    alternatives,
+    problem_alphabet,
+    target_complement,
+)
+
+
+def analyze_safe_lazy(
+    word: Sequence[str],
+    output_types: Dict[str, Regex],
+    target: Regex,
+    k: int = 1,
+    invocable: Optional[Callable[[str], bool]] = None,
+    early_exit: bool = True,
+) -> SafeAnalysis:
+    """Solve the safe-rewriting game with on-demand construction.
+
+    Same signature and same answers as
+    :func:`repro.rewriting.safe.analyze_safe`; ``stats.product_explored``
+    records how many product nodes were actually expanded, which is the
+    quantity Figure 12's pruning reduces.  With ``early_exit`` the search
+    stops as soon as the initial state is marked (the answer is already
+    "unsafe").
+    """
+    alphabet = problem_alphabet(word, output_types, target)
+    expansion = build_expansion(word, output_types, k, invocable)
+    comp = target_complement(target, alphabet)
+
+    analysis = SafeAnalysis(
+        word=tuple(word),
+        k=k,
+        target=target,
+        expansion=expansion,
+        comp=comp,
+        alphabet=alphabet,
+        marked=set(),
+        explored=set(),
+        exists=False,
+        stats=GameStats(
+            expansion_states=expansion.n_states,
+            expansion_edges=len(expansion.edges),
+            complement_states=comp.n_states,
+        ),
+    )
+
+    accepting_sinks = comp.sink_states() & comp.accepting
+    marked = analysis.marked
+    reverse: Dict[PNode, List[Tuple[PNode, int]]] = {}
+    remaining: Dict[Tuple[PNode, int], int] = {}
+    expanded: Set[PNode] = set()
+
+    def propagate(seed: PNode) -> None:
+        """Backward propagation of a newly marked node."""
+        queue = [seed]
+        while queue:
+            bad = queue.pop()
+            for node, index in reverse.get(bad, ()):
+                if node in marked:
+                    continue
+                remaining[(node, index)] -= 1
+                if remaining[(node, index)] == 0:
+                    marked.add(node)
+                    queue.append(node)
+
+    initial = analysis.initial
+    frontier = deque([initial])
+    analysis.explored.add(initial)
+    while frontier:
+        if early_exit and initial in marked:
+            break
+        node = frontier.popleft()
+        if node in marked or node in expanded:
+            continue  # marked-node pruning: successors are irrelevant
+        q, p = node
+
+        if p in accepting_sinks:
+            # Sink-node pruning: the complement can never be escaped, and
+            # every play ends at the word's final state, which is then
+            # accepting — the adversary has already won here.
+            marked.add(node)
+            propagate(node)
+            continue
+        if q == expansion.final and p in comp.accepting:
+            marked.add(node)
+            propagate(node)
+            continue
+
+        expanded.add(node)
+        alts = alternatives(expansion, analysis, node)
+        became_bad = False
+        for index, alt in enumerate(alts):
+            options = set(alt.options)
+            live = {succ for succ in options if succ not in marked}
+            remaining[(node, index)] = len(live)
+            for succ in options:
+                reverse.setdefault(succ, []).append((node, index))
+                if succ not in analysis.explored:
+                    analysis.explored.add(succ)
+                    frontier.append(succ)
+            if not live:
+                became_bad = True
+        if became_bad and node not in marked:
+            marked.add(node)
+            propagate(node)
+
+    analysis.exists = initial not in marked
+    analysis.stats.product_nodes = len(analysis.explored)
+    analysis.stats.product_explored = len(expanded)
+    analysis.stats.marked_nodes = len(marked)
+    return analysis

@@ -1,0 +1,99 @@
+"""Plans, decisions and invocation logs.
+
+A safe rewriting is a *strategy*, not a fixed sequence: decisions taken
+after an invocation may depend on what the call actually returned (step
+22 of Figure 3 continues the path "with the new rewritten word").  The
+executors therefore record what happened in an :class:`InvocationLog`,
+and :class:`Decision` previews summarize what the strategy would do on
+the original word — marking decisions as ``"depends"`` when different
+service outputs could lead to different choices downstream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+#: What the strategy does with one function occurrence.
+KEEP = "keep"
+INVOKE = "invoke"
+DEPENDS = "depends"
+
+
+@dataclass(frozen=True)
+class Decision:
+    """A previewed choice for one function occurrence of the base word."""
+
+    position: int  # index into the base word
+    function: str
+    action: str  # KEEP | INVOKE | DEPENDS
+
+    def __str__(self) -> str:
+        return "%s %s@%d" % (self.action, self.function, self.position)
+
+
+@dataclass(frozen=True)
+class InvocationRecord:
+    """One service call performed while executing a rewriting."""
+
+    function: str
+    depth: int  # dependency depth (1 = call was in the original word)
+    output_symbols: Tuple[str, ...]  # root symbols of the returned forest
+    backtracked: bool = False  # possible-rewriting executor gave up on it
+
+    def __str__(self) -> str:
+        status = " (backtracked)" if self.backtracked else ""
+        return "%s -> [%s] depth=%d%s" % (
+            self.function,
+            ".".join(self.output_symbols),
+            self.depth,
+            status,
+        )
+
+
+@dataclass
+class InvocationLog:
+    """Everything the executor invoked, in order.
+
+    ``records`` includes backtracked calls (their side effects happened);
+    ``cost`` accumulates per-call costs when a cost model is supplied.
+    """
+
+    records: List[InvocationRecord] = field(default_factory=list)
+    cost: float = 0.0
+
+    def add(
+        self,
+        function: str,
+        depth: int,
+        output_symbols: Tuple[str, ...],
+        call_cost: float = 0.0,
+    ) -> None:
+        """Record one performed invocation."""
+        self.records.append(InvocationRecord(function, depth, output_symbols))
+        self.cost += call_cost
+
+    def mark_backtracked(self, index: int) -> None:
+        """Flag a recorded call as abandoned by backtracking."""
+        record = self.records[index]
+        self.records[index] = InvocationRecord(
+            record.function, record.depth, record.output_symbols, True
+        )
+
+    @property
+    def invoked(self) -> List[str]:
+        """Function names actually invoked, in call order."""
+        return [record.function for record in self.records]
+
+    @property
+    def useful(self) -> List[InvocationRecord]:
+        """Calls whose results made it into the final document."""
+        return [record for record in self.records if not record.backtracked]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __str__(self) -> str:
+        if not self.records:
+            return "no calls"
+        return "; ".join(str(record) for record in self.records)

@@ -1,0 +1,278 @@
+"""Possible rewriting (Figure 9): reachability instead of a game.
+
+Where safe rewriting demands success for *every* type-conforming output,
+possible rewriting asks whether *some* sequence of calls with some lucky
+outputs makes the word match.  On automata this is plain language
+intersection: build ``A_w^k × A`` (the target itself, not its complement)
+and test whether an accepting state is reachable (steps 4-6).
+
+Execution (steps 7-10) follows an accepting path, invoking as the fork
+options on it dictate — and **backtracks** when a call returns a value
+that does not allow continuing (step 9).  Side effects of backtracked
+calls have already happened; the invocation log keeps them, flagged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.automata.dfa import DFA, complete, determinize
+from repro.automata.glushkov import glushkov_nfa
+from repro.automata.symbols import Alphabet, class_matches, concretize_class
+from repro.doc.nodes import FunctionCall, Node, symbol_of
+from repro.errors import NoPossibleRewritingError, RewriteExecutionError
+from repro.regex.ast import Regex
+from repro.rewriting.expansion import Edge, Expansion, build_expansion
+from repro.rewriting.plan import InvocationLog
+from repro.rewriting.safe import GameStats, Invoker, PNode, problem_alphabet
+
+
+@dataclass
+class PossibleAnalysis:
+    """The solved reachability problem for one children word.
+
+    ``alive`` contains every reachable product node from which an
+    accepting node is still reachable; a rewriting may exist iff the
+    initial node is alive (step 6).
+    """
+
+    word: Tuple[str, ...]
+    k: int
+    target: Regex
+    expansion: Expansion
+    target_dfa: DFA
+    alphabet: Alphabet
+    alive: Set[PNode]
+    exists: bool
+    stats: GameStats
+
+    @property
+    def initial(self) -> PNode:
+        return (self.expansion.initial, self.target_dfa.initial)
+
+    def step(self, p: int, symbol: str) -> int:
+        """One target-DFA move (the DFA is completed)."""
+        return self.target_dfa.transitions[p][self.alphabet.canon(symbol)]
+
+    def is_accepting(self, node: PNode) -> bool:
+        q, p = node
+        return q == self.expansion.final and p in self.target_dfa.accepting
+
+    def witness(self) -> Tuple[str, ...]:
+        """Some word of ``lang(A_w^k) ∩ lang(R)`` — the hoped-for result.
+
+        Raises :class:`NoPossibleRewritingError` when none exists.
+        """
+        if not self.exists:
+            raise NoPossibleRewritingError(
+                "%s cannot rewrite into %s" % (".".join(self.word), self.target)
+            )
+        # BFS over alive nodes, collecting emitted symbols.
+        from collections import deque
+
+        queue = deque([(self.initial, ())])
+        seen = {self.initial}
+        while queue:
+            node, emitted = queue.popleft()
+            if self.is_accepting(node):
+                return emitted
+            for edge, symbol, succ in _successors(self, node):
+                if succ in self.alive and succ not in seen:
+                    seen.add(succ)
+                    extended = emitted + ((symbol,) if symbol else ())
+                    queue.append((succ, extended))
+        raise AssertionError("alive initial node but no accepting path")
+
+
+def _successors(
+    analysis: PossibleAnalysis, node: PNode
+) -> List[Tuple[Edge, Optional[str], PNode]]:
+    """All product moves — fork options are plain edges here (no game)."""
+    q, p = node
+    result: List[Tuple[Edge, Optional[str], PNode]] = []
+    for edge in analysis.expansion.edges_from(q):
+        if edge.is_epsilon:
+            result.append((edge, None, (edge.target, p)))
+            continue
+        for symbol in concretize_class(edge.guard, analysis.alphabet):
+            result.append((edge, symbol, (edge.target, analysis.step(p, symbol))))
+    return result
+
+
+def analyze_possible(
+    word: Sequence[str],
+    output_types: Dict[str, Regex],
+    target: Regex,
+    k: int = 1,
+    invocable: Optional[Callable[[str], bool]] = None,
+) -> PossibleAnalysis:
+    """Solve possible rewriting: co-reachability on ``A_w^k × A``.
+
+    Polynomial in the schemas (no complementation), as Section 5 notes.
+    """
+    alphabet = problem_alphabet(word, output_types, target)
+    expansion = build_expansion(word, output_types, k, invocable)
+    target_dfa = complete(determinize(glushkov_nfa(target), alphabet))
+
+    analysis = PossibleAnalysis(
+        word=tuple(word),
+        k=k,
+        target=target,
+        expansion=expansion,
+        target_dfa=target_dfa,
+        alphabet=alphabet,
+        alive=set(),
+        exists=False,
+        stats=GameStats(
+            expansion_states=expansion.n_states,
+            expansion_edges=len(expansion.edges),
+            complement_states=target_dfa.n_states,
+        ),
+    )
+
+    # Forward reachability.
+    reachable: Set[PNode] = {analysis.initial}
+    edges_in: Dict[PNode, List[PNode]] = {}
+    worklist = [analysis.initial]
+    while worklist:
+        node = worklist.pop()
+        for _edge, _symbol, succ in _successors(analysis, node):
+            edges_in.setdefault(succ, []).append(node)
+            if succ not in reachable:
+                reachable.add(succ)
+                worklist.append(succ)
+
+    # Backward co-reachability from accepting nodes (step 5).
+    alive = {node for node in reachable if analysis.is_accepting(node)}
+    worklist = list(alive)
+    while worklist:
+        node = worklist.pop()
+        for previous in edges_in.get(node, ()):
+            if previous not in alive:
+                alive.add(previous)
+                worklist.append(previous)
+
+    analysis.alive = alive
+    analysis.exists = analysis.initial in alive
+    analysis.stats.product_nodes = len(reachable)
+    analysis.stats.product_explored = len(reachable)
+    analysis.stats.marked_nodes = len(alive)
+    return analysis
+
+
+# ---------------------------------------------------------------------------
+# Backtracking execution (steps 7-10)
+# ---------------------------------------------------------------------------
+
+#: Work items for the executor: actual nodes to consume, or copy exits.
+_Item = Tuple[str, object]
+
+
+def execute_possible(
+    analysis: PossibleAnalysis,
+    children: Sequence[Node],
+    invoker: Invoker,
+    log: Optional[InvocationLog] = None,
+    cost_of: Optional[Callable[[str], float]] = None,
+    max_invocations: int = 10_000,
+) -> Tuple[Tuple[Node, ...], InvocationLog]:
+    """Execute with backtracking; returns the rewritten children.
+
+    Fork options are tried cheapest-first (keep costs nothing).  When an
+    invocation's actual output leaves the alive region the branch is
+    abandoned — the call is flagged as backtracked in the log, because
+    its side effects are not undone — and the next option is tried.
+
+    Raises :class:`NoPossibleRewritingError` when the analysis already
+    ruled a rewriting out, :class:`RewriteExecutionError` when every
+    branch fails at run time.
+    """
+    if not analysis.exists:
+        raise NoPossibleRewritingError(
+            "%s cannot rewrite into %s (no word of the expansion is in the "
+            "target language)" % (".".join(analysis.word) or "eps", analysis.target)
+        )
+    log = log if log is not None else InvocationLog()
+    cost_of = cost_of or (lambda _name: 1.0)
+    budget = [max_invocations]
+
+    items: Tuple[_Item, ...] = tuple(("node", child, 1) for child in children)
+    result = _search(analysis, analysis.initial, items, invoker, log, cost_of, budget)
+    if result is None:
+        raise RewriteExecutionError(
+            "every backtracking branch failed: the services never returned "
+            "outputs matching the target"
+        )
+    return tuple(result), log
+
+
+def _search(
+    analysis: PossibleAnalysis,
+    node: PNode,
+    items: Tuple[_Item, ...],
+    invoker: Invoker,
+    log: InvocationLog,
+    cost_of: Callable[[str], float],
+    budget: List[int],
+) -> Optional[List[Node]]:
+    if node not in analysis.alive:
+        return None
+    if not items:
+        return [] if analysis.is_accepting(node) else None
+
+    kind, payload, depth = items[0]
+    rest = items[1:]
+    expansion = analysis.expansion
+
+    if kind == "exit":
+        copy_id = payload  # type: ignore[assignment]
+        copy = expansion.copies[copy_id]
+        return_edge_id = copy.return_edges.get(node[0])
+        if return_edge_id is None:
+            return None  # output did not complete the copy's language
+        edge = expansion.edge(return_edge_id)
+        return _search(
+            analysis, (edge.target, node[1]), rest, invoker, log, cost_of, budget
+        )
+
+    child: Node = payload  # type: ignore[assignment]
+    symbol = symbol_of(child)
+    q, p = node
+    candidates = [
+        edge
+        for edge in expansion.edges_from(q)
+        if edge.kind == "symbol" and class_matches(edge.guard, symbol)
+    ]
+    for edge in candidates:
+        # Option 1 (free): keep the node as is.
+        succ = (edge.target, analysis.step(p, symbol))
+        sub = _search(analysis, succ, rest, invoker, log, cost_of, budget)
+        if sub is not None:
+            return [child] + sub
+        # Option 2: invoke, when this edge is a fork and the child a call.
+        if edge.invoke_edge is None or not isinstance(child, FunctionCall):
+            continue
+        invoke_edge = expansion.edge(edge.invoke_edge)
+        entry = (invoke_edge.target, p)
+        if entry not in analysis.alive:
+            continue
+        if budget[0] <= 0:
+            raise RewriteExecutionError("invocation budget exhausted")
+        budget[0] -= 1
+        forest = tuple(invoker(child))
+        record_index = len(log.records)
+        log.add(
+            child.name, depth, tuple(symbol_of(t) for t in forest),
+            cost_of(child.name),
+        )
+        new_items = (
+            tuple(("node", tree, depth + 1) for tree in forest)
+            + (("exit", invoke_edge.copy, depth),)
+            + rest
+        )
+        sub = _search(analysis, entry, new_items, invoker, log, cost_of, budget)
+        if sub is not None:
+            return sub
+        log.mark_backtracked(record_index)
+    return None

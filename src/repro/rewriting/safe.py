@@ -1,0 +1,476 @@
+"""Safe rewriting: the marking game on ``A_w^k × Ā`` (Figure 3).
+
+Construction (steps 1-14): build ``A_w^k`` (see
+:mod:`repro.rewriting.expansion`), the complete deterministic complement
+``Ā`` of the target language, and their cartesian product restricted to
+reachable states.
+
+Marking (steps 15-17) is a two-player reachability game:
+
+- *our* moves are the fork options — at every expanded function edge we
+  choose to keep the call (follow the function edge) or invoke it
+  (follow the epsilon edge into the signature copy);
+- the *adversary's* moves are everything else — which word an invoked
+  call actually returns (the branching inside signature copies, and
+  where the output stops).
+
+A product node is **marked** (bad: the adversary can force a word outside
+the target language) iff it is accepting — the base word was consumed and
+``Ā`` accepts, i.e. the produced word is *not* in ``R`` — or some
+adversarial alternative has *all* of our options marked.  A safe
+rewriting exists iff the initial state is unmarked (step 18); the
+unmarked region is then a winning strategy that
+:func:`execute_safe` follows while performing real calls (steps 19-23).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.automata.dfa import DFA, complement, determinize
+from repro.automata.glushkov import glushkov_nfa
+from repro.automata.symbols import Alphabet, class_matches, concretize_class, regex_symbols
+from repro.doc.nodes import FunctionCall, Node, symbol_of
+from repro.errors import NoSafeRewritingError, RewriteExecutionError
+from repro.regex.ast import Regex
+from repro.rewriting.expansion import Edge, Expansion, build_expansion
+from repro.rewriting.plan import DEPENDS, INVOKE, KEEP, Decision, InvocationLog
+
+#: A product node: (expansion state, complement state).
+PNode = Tuple[int, int]
+
+
+def problem_alphabet(
+    word: Sequence[str], output_types: Dict[str, Regex], target: Regex
+) -> Alphabet:
+    """The closed alphabet of one rewriting problem.
+
+    Every symbol of the word, of any reachable output type, and of the
+    target, plus the ``OTHER`` catch-all — the finite universe over which
+    the complement automaton is made complete.
+    """
+    sets = [set(word), regex_symbols(target), set(output_types)]
+    sets.extend(regex_symbols(expr) for expr in output_types.values())
+    return Alphabet.closure(*sets)
+
+
+def target_complement(target: Regex, alphabet: Alphabet) -> DFA:
+    """The complete deterministic complement ``Ā`` (step 4 of Figure 3)."""
+    return complement(determinize(glushkov_nfa(target), alphabet))
+
+
+@dataclass
+class GameStats:
+    """Size accounting, consumed by benchmarks E7-E9."""
+
+    expansion_states: int = 0
+    expansion_edges: int = 0
+    complement_states: int = 0
+    product_nodes: int = 0
+    product_explored: int = 0  # nodes actually expanded (lazy < eager)
+    marked_nodes: int = 0
+
+
+@dataclass
+class SafeAnalysis:
+    """The solved marking game for one children word.
+
+    ``exists`` answers step 18 (is the initial state unmarked?); the rest
+    is the winning strategy the executor follows.
+    """
+
+    word: Tuple[str, ...]
+    k: int
+    target: Regex
+    expansion: Expansion
+    comp: DFA
+    alphabet: Alphabet
+    marked: Set[PNode]
+    explored: Set[PNode]
+    exists: bool
+    stats: GameStats
+
+    # -- strategy helpers -------------------------------------------------
+
+    def is_marked(self, node: PNode) -> bool:
+        """Is a product node bad?
+
+        Nodes never explored can only be reached through pruned (already
+        bad) regions, so the lazy variant treats them as bad too.
+        """
+        if node in self.marked:
+            return True
+        return node not in self.explored
+
+    def comp_step(self, p: int, symbol: str) -> int:
+        """One complement move (the complement is complete)."""
+        return self.comp.transitions[p][self.alphabet.canon(symbol)]
+
+    @property
+    def initial(self) -> PNode:
+        return (self.expansion.initial, self.comp.initial)
+
+    def decision(self, node: PNode, edge: Edge) -> str:
+        """The strategy's choice at a fork: keep if safe, else invoke."""
+        q, p = node
+        keep_succ = (edge.target, self.comp_step(p, str(edge.guard)))
+        if not self.is_marked(keep_succ):
+            return KEEP
+        return INVOKE
+
+    def preview_decisions(self) -> List[Decision]:
+        """What the strategy does with the base word's function calls.
+
+        Choices downstream of an invocation may depend on the actual
+        output; those are reported as ``"depends"``.  For the paper's
+        newspaper example against schema (**) this yields exactly
+        "invoke Get_Temp@2, keep TimeOut@3".
+        """
+        if not self.exists:
+            raise NoSafeRewritingError(
+                "no safe %d-depth rewriting of %s" % (self.k, ".".join(self.word))
+            )
+        decisions: List[Decision] = []
+        current: Set[PNode] = {self.initial}
+        for position, symbol in enumerate(self.word):
+            edge = self._base_edge(position)
+            if edge.invoke_edge is not None:
+                actions = set()
+                followers: Set[PNode] = set()
+                for node in current:
+                    action = self.decision(node, edge)
+                    actions.add(action)
+                    if action == KEEP:
+                        _q, p = node
+                        followers.add(
+                            (edge.target, self.comp_step(p, str(edge.guard)))
+                        )
+                    else:
+                        invoke = self.expansion.edge(edge.invoke_edge)
+                        entry = (invoke.target, node[1])
+                        followers |= self._copy_exits(entry, edge.target)
+                action = actions.pop() if len(actions) == 1 else DEPENDS
+                decisions.append(Decision(position, str(edge.guard), action))
+                current = followers
+            else:
+                current = {
+                    (edge.target, self.comp_step(p, symbol)) for _q, p in current
+                }
+            current = {node for node in current if not self.is_marked(node)}
+        return decisions
+
+    def _base_edge(self, position: int) -> Edge:
+        for edge in self.expansion.edges_from(position):
+            if edge.depth == 0 and edge.kind == "symbol":
+                return edge
+        raise AssertionError("missing base edge at position %d" % position)
+
+    def _copy_exits(self, entry: PNode, exit_state: int) -> Set[PNode]:
+        """Unmarked product nodes where an invocation can come back out."""
+        exits: Set[PNode] = set()
+        seen = {entry}
+        stack = [entry]
+        while stack:
+            node = stack.pop()
+            if self.is_marked(node):
+                continue
+            if node[0] == exit_state:
+                exits.add(node)
+                continue
+            for _alt in alternatives(self.expansion, self, node):
+                for succ in _alt.options:
+                    if succ not in seen:
+                        seen.add(succ)
+                        stack.append(succ)
+        return exits
+
+
+@dataclass(frozen=True)
+class Alternative:
+    """One adversarial alternative at a product node.
+
+    ``options`` are *our* choices within it: two successors for a fork
+    (keep, invoke), one otherwise.
+    """
+
+    edge_id: int
+    options: Tuple[PNode, ...]
+    symbol: Optional[str] = None  # concrete letter for wildcard edges
+
+    @property
+    def is_fork(self) -> bool:
+        return len(self.options) == 2
+
+
+def alternatives(expansion: Expansion, analysis, node: PNode) -> List[Alternative]:
+    """Enumerate the adversarial alternatives at a product node.
+
+    - a fork (expanded function edge) contributes one alternative with
+      two options: keep (consume the function name) or invoke (epsilon
+      into the copy);
+    - every other symbol edge contributes one single-option alternative
+      per concrete letter its guard matches (the adversary picks the
+      letter of a wildcard);
+    - a return edge contributes a single-option epsilon alternative (the
+      adversary decides where an output word stops).
+    """
+    q, p = node
+    result: List[Alternative] = []
+    for edge in expansion.edges_from(q):
+        if edge.kind == "invoke":
+            continue  # reachable only as its call edge's second option
+        if edge.kind == "return":
+            result.append(Alternative(edge.eid, ((edge.target, p),)))
+            continue
+        if edge.invoke_edge is not None:
+            keep = (edge.target, analysis.comp_step(p, str(edge.guard)))
+            invoke_edge = expansion.edge(edge.invoke_edge)
+            invoke = (invoke_edge.target, p)
+            result.append(Alternative(edge.eid, (keep, invoke)))
+            continue
+        for symbol in concretize_class(edge.guard, analysis.alphabet):
+            result.append(
+                Alternative(
+                    edge.eid,
+                    ((edge.target, analysis.comp_step(p, symbol)),),
+                    symbol,
+                )
+            )
+    return result
+
+
+def analyze_safe(
+    word: Sequence[str],
+    output_types: Dict[str, Regex],
+    target: Regex,
+    k: int = 1,
+    invocable: Optional[Callable[[str], bool]] = None,
+) -> SafeAnalysis:
+    """Solve the safe-rewriting game eagerly (the Figure 3 algorithm).
+
+    Builds the full reachable product, then computes the marking as a
+    backward least fixpoint with per-alternative counters.  See
+    :func:`repro.rewriting.lazy.analyze_safe_lazy` for the pruned variant
+    the paper's implementation uses (Section 7).
+    """
+    alphabet = problem_alphabet(word, output_types, target)
+    expansion = build_expansion(word, output_types, k, invocable)
+    comp = target_complement(target, alphabet)
+
+    analysis = SafeAnalysis(
+        word=tuple(word),
+        k=k,
+        target=target,
+        expansion=expansion,
+        comp=comp,
+        alphabet=alphabet,
+        marked=set(),
+        explored=set(),
+        exists=False,
+        stats=GameStats(
+            expansion_states=expansion.n_states,
+            expansion_edges=len(expansion.edges),
+            complement_states=comp.n_states,
+        ),
+    )
+
+    # Forward exploration of the reachable product (steps 11-14).
+    initial = analysis.initial
+    node_alts: Dict[PNode, List[Alternative]] = {}
+    worklist = [initial]
+    analysis.explored.add(initial)
+    while worklist:
+        node = worklist.pop()
+        alts = alternatives(expansion, analysis, node)
+        node_alts[node] = alts
+        for alt in alts:
+            for succ in alt.options:
+                if succ not in analysis.explored:
+                    analysis.explored.add(succ)
+                    worklist.append(succ)
+
+    for node in analysis.explored:
+        node_alts.setdefault(node, [])
+
+    # Backward marking fixpoint (steps 15-17).
+    _mark(analysis, node_alts)
+
+    analysis.exists = initial not in analysis.marked
+    analysis.stats.product_nodes = len(analysis.explored)
+    analysis.stats.product_explored = len(analysis.explored)
+    analysis.stats.marked_nodes = len(analysis.marked)
+    return analysis
+
+
+def _mark(analysis: SafeAnalysis, node_alts: Dict[PNode, List[Alternative]]) -> None:
+    """Least-fixpoint marking with per-alternative option counters."""
+    expansion = analysis.expansion
+    comp = analysis.comp
+
+    # Reverse index: successor -> [(node, alternative index)].
+    reverse: Dict[PNode, List[Tuple[PNode, int]]] = {}
+    remaining: Dict[Tuple[PNode, int], int] = {}
+    for node, alts in node_alts.items():
+        for index, alt in enumerate(alts):
+            remaining[(node, index)] = len(set(alt.options))
+            for succ in set(alt.options):
+                reverse.setdefault(succ, []).append((node, index))
+
+    # Seeds (step 16): word fully produced but accepted by the complement.
+    queue: List[PNode] = []
+    for node in node_alts:
+        q, p = node
+        if q == expansion.final and p in comp.accepting:
+            analysis.marked.add(node)
+            queue.append(node)
+
+    # Propagation (step 17): a node is bad once some alternative has all
+    # of its options bad.
+    while queue:
+        bad = queue.pop()
+        for node, index in reverse.get(bad, ()):
+            if node in analysis.marked:
+                continue
+            remaining[(node, index)] -= 1
+            if remaining[(node, index)] == 0:
+                analysis.marked.add(node)
+                queue.append(node)
+
+
+# ---------------------------------------------------------------------------
+# Execution (steps 19-23)
+# ---------------------------------------------------------------------------
+
+#: Invokers take the function node and return the output forest.
+Invoker = Callable[[FunctionCall], Sequence[Node]]
+
+
+def execute_safe(
+    analysis: SafeAnalysis,
+    children: Sequence[Node],
+    invoker: Invoker,
+    log: Optional[InvocationLog] = None,
+    cost_of: Optional[Callable[[str], float]] = None,
+) -> Tuple[Tuple[Node, ...], InvocationLog]:
+    """Execute the winning strategy over actual child nodes.
+
+    Walks the children word through the unmarked region of the product;
+    at each fork the strategy keeps the call when the keep successor is
+    unmarked (invocations cost, staying put is free) and invokes it
+    otherwise.  Outputs of invoked calls are consumed inside the attached
+    signature copy — nested calls recurse, which is exactly step 22's
+    "continue the path with the new rewritten word".
+
+    Raises :class:`NoSafeRewritingError` when ``analysis.exists`` is
+    False, and :class:`RewriteExecutionError` when a service returns a
+    forest outside its declared output type (the only way execution can
+    fail once safety is established).
+    """
+    if not analysis.exists:
+        raise NoSafeRewritingError(
+            "no safe %d-depth rewriting of %s into %s"
+            % (analysis.k, ".".join(analysis.word) or "eps", analysis.target)
+        )
+    log = log if log is not None else InvocationLog()
+    cost_of = cost_of or (lambda _name: 1.0)
+
+    out: List[Node] = []
+    node = analysis.initial
+    for child in children:
+        node = _consume(analysis, node, child, out, invoker, log, cost_of, depth=1)
+    if node[0] != analysis.expansion.final:
+        raise RewriteExecutionError("execution stopped before the word's end")
+    if analysis.is_marked(node):
+        raise AssertionError("strategy walked into a marked state")
+    return tuple(out), log
+
+
+def _consume(
+    analysis: SafeAnalysis,
+    node: PNode,
+    child: Node,
+    out: List[Node],
+    invoker: Invoker,
+    log: InvocationLog,
+    cost_of: Callable[[str], float],
+    depth: int,
+) -> PNode:
+    """Consume one actual child under the strategy; returns the new node."""
+    expansion = analysis.expansion
+    symbol = symbol_of(child)
+    q, p = node
+
+    edge = _matching_edge(analysis, node, symbol)
+    if isinstance(child, FunctionCall) and edge.invoke_edge is not None:
+        if analysis.decision(node, edge) == KEEP:
+            out.append(child)
+            return (edge.target, analysis.comp_step(p, symbol))
+        # Invoke: call the service, then thread its actual output through
+        # the attached signature copy.
+        invoke_edge = expansion.edge(edge.invoke_edge)
+        copy = expansion.copies[invoke_edge.copy]
+        forest = tuple(invoker(child))
+        log.add(
+            child.name,
+            depth,
+            tuple(symbol_of(t) for t in forest),
+            cost_of(child.name),
+        )
+        inner: PNode = (invoke_edge.target, p)
+        if analysis.is_marked(inner):
+            raise AssertionError("invoke option led to a marked state")
+        for tree in forest:
+            inner = _consume(
+                analysis, inner, tree, out, invoker, log, cost_of, depth + 1
+            )
+        return_edge_id = copy.return_edges.get(inner[0])
+        if return_edge_id is None:
+            raise RewriteExecutionError(
+                "service %r returned %s, which does not complete its "
+                "declared output type"
+                % (child.name, ".".join(symbol_of(t) for t in forest) or "eps")
+            )
+        return_edge = expansion.edge(return_edge_id)
+        successor = (return_edge.target, inner[1])
+        if analysis.is_marked(successor):
+            raise AssertionError("return edge led to a marked state")
+        return successor
+
+    out.append(child)
+    successor = (edge.target, analysis.comp_step(p, symbol))
+    if analysis.is_marked(successor):
+        raise RewriteExecutionError(
+            "symbol %r drives the rewriting into a marked state "
+            "(a service output violated its declared type)" % symbol
+        )
+    return successor
+
+
+def _matching_edge(analysis: SafeAnalysis, node: PNode, symbol: str) -> Edge:
+    """The expansion edge consuming ``symbol`` at this node.
+
+    With one-unambiguous types there is exactly one; with ambiguous types
+    any unmarked-successor candidate is safe to follow (an unmarked node
+    has no all-bad alternative, and each candidate is its own
+    single-option alternative).
+    """
+    expansion = analysis.expansion
+    q, p = node
+    candidates = [
+        edge
+        for edge in expansion.edges_from(q)
+        if edge.kind == "symbol" and class_matches(edge.guard, symbol)
+    ]
+    if not candidates:
+        raise RewriteExecutionError(
+            "no transition for symbol %r — the document does not match "
+            "the analyzed word" % symbol
+        )
+    if len(candidates) == 1:
+        return candidates[0]
+    for edge in candidates:
+        succ = (edge.target, analysis.comp_step(p, symbol))
+        if not analysis.is_marked(succ) or edge.invoke_edge is not None:
+            return edge
+    return candidates[0]

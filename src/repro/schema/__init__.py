@@ -1,0 +1,53 @@
+"""Document schemas for intensional XML (Definitions 2-3, Section 2.1).
+
+A schema maps element labels to regular expressions over labels *and*
+function names, and maps each function name to its signature (input and
+output types).  The richer model adds:
+
+- *function patterns* (:mod:`repro.schema.patterns`): a boolean predicate
+  over function names plus a required signature — "any weather-forecast
+  service registered in this UDDI directory";
+- *wildcards*: ``any`` atoms in the type expressions;
+- *invocation policies*: the invocable / non-invocable partition that
+  restricts which calls a legal rewriting may trigger.
+
+Validation (Definition 3) lives in :mod:`repro.schema.validate`; seeded
+instance generation — used by the service simulator and by the schema
+compatibility check of Section 6 — in :mod:`repro.schema.generator`.
+"""
+
+from repro.schema.model import (
+    FunctionPattern,
+    FunctionSignature,
+    Schema,
+    SchemaBuilder,
+)
+from repro.schema.patterns import (
+    InvocationPolicy,
+    allow_all,
+    allow_only,
+    deny,
+    name_in_registry,
+)
+from repro.schema.validate import ValidationReport, Violation, is_instance, validate
+from repro.schema.generator import InstanceGenerator
+from repro.schema.dtd import parse_dtd, schema_to_dtd
+
+__all__ = [
+    "Schema",
+    "SchemaBuilder",
+    "FunctionSignature",
+    "FunctionPattern",
+    "InvocationPolicy",
+    "allow_all",
+    "allow_only",
+    "deny",
+    "name_in_registry",
+    "validate",
+    "is_instance",
+    "ValidationReport",
+    "Violation",
+    "InstanceGenerator",
+    "parse_dtd",
+    "schema_to_dtd",
+]

@@ -1,0 +1,241 @@
+"""DTD import: the paper's "schemas (like DTD and XML Schema)".
+
+The simple model of Section 2 is explicitly DTD-like; this module parses
+a useful DTD subset into a :class:`~repro.schema.model.Schema` so
+existing DTDs can serve as exchange schemas directly:
+
+- ``<!ELEMENT name (content)>`` with sequences ``,``, choices ``|`` and
+  the ``* + ?`` occurrence operators;
+- ``#PCDATA`` → the ``data`` keyword; ``EMPTY`` → epsilon; ``ANY`` →
+  the wildcard;
+- function declarations are a non-standard extension, spelled as a
+  processing-instruction-style comment so the file stays a valid DTD::
+
+      <!-- repro:function Get_Temp (city) : (temp) -->
+
+Mixed-content models beyond plain ``(#PCDATA)`` are rejected (the simple
+data model has no mixed content).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import SchemaError
+from repro.regex import ast
+from repro.regex.ast import Regex
+from repro.automata.symbols import DATA
+
+_ELEMENT_RE = re.compile(
+    r"<!ELEMENT\s+([A-Za-z_][\w.\-]*)\s+(.*?)>", re.DOTALL
+)
+_FUNCTION_RE = re.compile(
+    r"<!--\s*repro:function\s+([A-Za-z_][\w.\-]*)\s*"
+    r"\((.*?)\)\s*:\s*\((.*?)\)\s*-->",
+    re.DOTALL,
+)
+_COMMENT_RE = re.compile(r"<!--(?!\s*repro:function).*?-->", re.DOTALL)
+
+
+def _parse_content(text: str, element: str) -> Regex:
+    """Parse one DTD content model into a regex."""
+    text = text.strip()
+    if text == "EMPTY":
+        return ast.EPSILON
+    if text == "ANY":
+        return ast.star(ast.AnySymbol())
+    if text in ("(#PCDATA)", "( #PCDATA )", "(#PCDATA)*"):
+        return ast.atom(DATA)
+    if "#PCDATA" in text:
+        raise SchemaError(
+            "mixed content in <!ELEMENT %s ...> is not part of the simple "
+            "model" % element
+        )
+    return _ContentParser(text, element).parse()
+
+
+class _ContentParser:
+    """Recursive-descent parser for DTD content particles."""
+
+    def __init__(self, text: str, element: str):
+        self.text = text
+        self.element = element
+        self.pos = 0
+
+    def error(self, message: str) -> SchemaError:
+        return SchemaError(
+            "in <!ELEMENT %s>: %s at offset %d of %r"
+            % (self.element, message, self.pos, self.text)
+        )
+
+    def skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def peek(self) -> str:
+        self.skip_ws()
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def parse(self) -> Regex:
+        expr = self.particle()
+        self.skip_ws()
+        if self.pos != len(self.text):
+            raise self.error("trailing content")
+        return expr
+
+    def particle(self) -> Regex:
+        if self.peek() != "(":
+            return self.occurs(self.name())
+        self.pos += 1  # consume '('
+        first = self.particle()
+        separator = self.peek()
+        items = [first]
+        if separator in (",", "|"):
+            while self.peek() == separator:
+                self.pos += 1
+                items.append(self.particle())
+        if self.peek() != ")":
+            raise self.error("expected ')'")
+        self.pos += 1
+        inner = (
+            ast.seq(*items) if separator != "|" else ast.alt(*items)
+        )
+        return self.occurs(inner)
+
+    def occurs(self, inner: Regex) -> Regex:
+        ch = self.text[self.pos] if self.pos < len(self.text) else ""
+        if ch == "*":
+            self.pos += 1
+            return ast.star(inner)
+        if ch == "+":
+            self.pos += 1
+            return ast.plus(inner)
+        if ch == "?":
+            self.pos += 1
+            return ast.opt(inner)
+        return inner
+
+    def name(self) -> Regex:
+        self.skip_ws()
+        match = re.match(r"[A-Za-z_][\w.\-]*", self.text[self.pos:])
+        if not match:
+            raise self.error("expected an element name")
+        self.pos += len(match.group())
+        return ast.atom(match.group())
+
+
+def parse_dtd(source: str, root: Optional[str] = None):
+    """Parse a DTD (plus ``repro:function`` comments) into a Schema.
+
+    The first declared element becomes the root unless ``root`` is given.
+    """
+    from repro.schema.model import FunctionSignature, Schema
+
+    functions: Dict[str, FunctionSignature] = {}
+    for match in _FUNCTION_RE.finditer(source):
+        name, inputs, outputs = match.groups()
+        if name in functions:
+            raise SchemaError("function %r declared twice in DTD" % name)
+        functions[name] = FunctionSignature(
+            _parse_content("(%s)" % inputs, name) if inputs.strip() else ast.EPSILON,
+            _parse_content("(%s)" % outputs, name) if outputs.strip() else ast.EPSILON,
+        )
+
+    stripped = _COMMENT_RE.sub("", source)
+    label_types: Dict[str, Regex] = {}
+    order: List[str] = []
+    for match in _ELEMENT_RE.finditer(stripped):
+        name, content = match.group(1), match.group(2)
+        if name in label_types:
+            raise SchemaError("element %r declared twice in DTD" % name)
+        label_types[name] = _parse_content(content, name)
+        order.append(name)
+
+    if not label_types:
+        raise SchemaError("the DTD declares no elements")
+    chosen_root = root or order[0]
+    if chosen_root not in label_types:
+        raise SchemaError("root %r is not declared by the DTD" % chosen_root)
+    return Schema(label_types, functions, {}, chosen_root)
+
+
+def schema_to_dtd(schema) -> str:
+    """Emit a schema as a DTD (functions as ``repro:function`` comments).
+
+    Wildcard-bearing content models map to ``ANY`` only when they are the
+    whole model; embedded wildcards are not expressible in DTDs and raise.
+    """
+    from repro.regex.ast import AnySymbol, Atom, Star
+
+    lines: List[str] = []
+    for name in sorted(schema.label_types):
+        expr = schema.label_types[name]
+        if isinstance(expr, Atom) and expr.symbol == DATA:
+            content = "(#PCDATA)"
+        elif isinstance(expr, Star) and isinstance(expr.item, AnySymbol):
+            content = "ANY"
+        else:
+            content = _render(expr)
+            if not content.startswith("("):
+                content = "(%s)" % content
+        lines.append("<!ELEMENT %s %s>" % (name, content))
+    for name in sorted(schema.functions):
+        signature = schema.functions[name]
+        lines.append(
+            "<!-- repro:function %s (%s) : (%s) -->"
+            % (name, _render_bare(signature.input_type),
+               _render_bare(signature.output_type))
+        )
+    return "\n".join(lines)
+
+
+def _render(expr: Regex) -> str:
+    from repro.regex.ast import (
+        Alt, AnySymbol, Atom, Empty, Epsilon, Repeat, Seq, Star,
+    )
+
+    if isinstance(expr, Atom):
+        if expr.symbol == DATA:
+            raise SchemaError("#PCDATA may only be a whole content model")
+        return expr.symbol
+    if isinstance(expr, Epsilon):
+        return "EMPTY"
+    if isinstance(expr, Empty):
+        raise SchemaError("the empty language is not expressible in a DTD")
+    if isinstance(expr, AnySymbol):
+        raise SchemaError("embedded wildcards are not expressible in a DTD")
+    if isinstance(expr, Seq):
+        return "(%s)" % ",".join(_render(i) for i in expr.items)
+    if isinstance(expr, Alt):
+        return "(%s)" % "|".join(_render(o) for o in expr.options)
+    if isinstance(expr, Star):
+        return _render_group(expr.item) + "*"
+    if isinstance(expr, Repeat):
+        if expr.low == 1 and expr.high is None:
+            return _render_group(expr.item) + "+"
+        if expr.low == 0 and expr.high == 1:
+            return _render_group(expr.item) + "?"
+        raise SchemaError(
+            "bounded repetition {%s,%s} is not expressible in a DTD"
+            % (expr.low, expr.high)
+        )
+    raise TypeError("unknown regex node %r" % (expr,))
+
+
+def _render_group(expr: Regex) -> str:
+    text = _render(expr)
+    return text if text.startswith("(") else "(%s)" % text
+
+
+def _render_bare(expr: Regex) -> str:
+    from repro.regex.ast import Atom, Epsilon
+
+    if isinstance(expr, Epsilon):
+        return ""
+    if isinstance(expr, Atom) and expr.symbol == DATA:
+        # Whole-signature data types round-trip as #PCDATA (our
+        # repro:function comments reuse the DTD spelling).
+        return "#PCDATA"
+    text = _render(expr)
+    return text[1:-1] if text.startswith("(") and text.endswith(")") else text

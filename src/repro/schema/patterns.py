@@ -1,0 +1,84 @@
+"""Invocation policies and reusable pattern predicates.
+
+Section 2.1 ("Restricted service invocations"): the functions and
+patterns of a schema are partitioned into *invocable* and *non-invocable*
+groups, and a **legal** rewriting only invokes invocable ones.  The
+rewriting algorithms take an :class:`InvocationPolicy` and simply refrain
+from adding fork options for non-invocable function edges.
+
+The module also ships the predicate combinators used by function
+patterns: registry membership (the paper's ``UDDIF``), access-control
+checks (``InACL``) and plain name filters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, FrozenSet, Iterable, Optional
+
+
+@dataclass(frozen=True)
+class InvocationPolicy:
+    """Decides which functions a legal rewriting may invoke.
+
+    The policy is a whitelist/blacklist pair plus an optional predicate;
+    a function is invocable iff it passes all three filters.  The default
+    policy allows everything, matching the basic model of Section 2.
+    """
+
+    allowed: Optional[FrozenSet[str]] = None
+    denied: FrozenSet[str] = frozenset()
+    predicate: Callable[[str], bool] = field(compare=False, default=lambda _n: True)
+
+    def is_invocable(self, function_name: str) -> bool:
+        """True iff a legal rewriting may invoke ``function_name``."""
+        if function_name in self.denied:
+            return False
+        if self.allowed is not None and function_name not in self.allowed:
+            return False
+        return bool(self.predicate(function_name))
+
+    def deny_also(self, names: Iterable[str]) -> "InvocationPolicy":
+        """A copy with more names denied."""
+        return InvocationPolicy(
+            self.allowed, self.denied | frozenset(names), self.predicate
+        )
+
+
+def allow_all() -> InvocationPolicy:
+    """Every function is invocable (the default)."""
+    return InvocationPolicy()
+
+
+def allow_only(names: Iterable[str]) -> InvocationPolicy:
+    """Only the listed functions are invocable."""
+    return InvocationPolicy(allowed=frozenset(names))
+
+
+def deny(names: Iterable[str]) -> InvocationPolicy:
+    """All functions except the listed ones are invocable."""
+    return InvocationPolicy(denied=frozenset(names))
+
+
+def name_in_registry(registry_names: Iterable[str]) -> Callable[[str], bool]:
+    """A ``UDDIF``-style predicate: is the function registered?
+
+    In the paper this predicate is itself a Web service; here it closes
+    over a snapshot of the registry's names (the live version is provided
+    by :meth:`repro.services.registry.ServiceRegistry.uddif_predicate`).
+    """
+    snapshot = frozenset(registry_names)
+
+    def predicate(function_name: str) -> bool:
+        return function_name in snapshot
+
+    return predicate
+
+
+def conjunction(*predicates: Callable[[str], bool]) -> Callable[[str], bool]:
+    """Conjunction of name predicates — the paper's ``UDDIF ∧ InACL``."""
+
+    def predicate(function_name: str) -> bool:
+        return all(p(function_name) for p in predicates)
+
+    return predicate

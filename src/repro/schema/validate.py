@@ -1,0 +1,313 @@
+"""Instance validation (Definition 3).
+
+A document ``t`` is an instance of schema ``s`` iff for every data node
+with label ``l`` the symbols of its children form a word of
+``lang(tau(l))``, and for every function node with name ``f`` they form a
+word of ``lang(tau_in(f))``.  Pattern atoms in the type expressions match
+any concrete function the pattern admits.
+
+:func:`validate` walks the whole tree and returns a report carrying every
+violation (with its path), rather than failing on the first one — the
+Schema Enforcement module reports all problems of a rejected exchange at
+once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.automata.glushkov import glushkov_nfa
+from repro.automata.symbols import class_matches
+from repro.doc.nodes import Element, FunctionCall, Node, Text
+from repro.doc.paths import Path, child_word, iter_nodes
+from repro.regex.ast import Regex
+from repro.schema.model import FunctionSignature, Schema
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One reason a document fails to be an instance of a schema."""
+
+    path: Path
+    symbol: str
+    kind: str  # "undeclared-label" | "undeclared-function" | "content" | "input"
+    message: str
+
+    def __str__(self) -> str:
+        where = "/" + "/".join(str(i) for i in self.path) if self.path else "/"
+        return "%s at %s: %s" % (self.kind, where, self.message)
+
+
+@dataclass
+class ValidationReport:
+    """The outcome of validating one document against one schema."""
+
+    violations: List[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True iff the document is an instance of the schema."""
+        return not self.violations
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def __str__(self) -> str:
+        if self.ok:
+            return "valid"
+        return "\n".join(str(v) for v in self.violations)
+
+
+def _signature_lookup(schema: Schema, sender_schema: Optional[Schema]):
+    """Resolve function signatures against the target then sender schema.
+
+    Section 4 assumes common functions have the same definitions in both
+    schemas (they come from the same WSDL descriptions); the sender schema
+    fills in functions the target does not declare.
+    """
+
+    def lookup(name: str) -> Optional[FunctionSignature]:
+        signature = schema.signature_of(name)
+        if signature is None and sender_schema is not None:
+            signature = sender_schema.signature_of(name)
+        return signature
+
+    return lookup
+
+
+def word_matches(
+    word: Sequence[str],
+    expr: Regex,
+    schema: Schema,
+    sender_schema: Optional[Schema] = None,
+) -> bool:
+    """Does a children word belong to ``lang(expr)``, patterns included?
+
+    The word contains concrete symbols (labels, function names, ``#data``)
+    while ``expr`` may contain pattern atoms; a pattern atom matches any
+    function name it admits.  Implemented as an NFA run with an extended
+    guard matcher, so it works for nondeterministic expressions too.
+    """
+    return _run_word(word, expr, schema, sender_schema).ok
+
+
+@dataclass(frozen=True)
+class WordDiagnosis:
+    """Where and why a children word failed to match a content model.
+
+    ``position`` is the index of the offending symbol (== len(word) when
+    the word ended too early); ``expected`` lists the symbols (or
+    pattern/wildcard descriptions) acceptable at that point.
+    """
+
+    ok: bool
+    position: int = -1
+    found: Optional[str] = None
+    expected: Tuple[str, ...] = ()
+
+    def message(self, word: Sequence[str]) -> str:
+        if self.ok:
+            return "matches"
+        expected = " or ".join(self.expected) if self.expected else "nothing"
+        if self.position >= len(word):
+            return "word ends too early; expected %s" % expected
+        return "unexpected %r at position %d; expected %s" % (
+            self.found, self.position, expected
+        )
+
+
+def _run_word(
+    word: Sequence[str],
+    expr: Regex,
+    schema: Schema,
+    sender_schema: Optional[Schema],
+) -> WordDiagnosis:
+    lookup = _signature_lookup(schema, sender_schema)
+    nfa = glushkov_nfa(expr)
+
+    def guard_matches(guard, symbol: str) -> bool:
+        if class_matches(guard, symbol):
+            return True
+        if isinstance(guard, str) and guard in schema.patterns:
+            return schema.patterns[guard].admits(symbol, lookup(symbol))
+        return False
+
+    def expected_at(states) -> Tuple[str, ...]:
+        from repro.regex.ast import AnySymbol
+
+        found = set()
+        for state in states:
+            for guard, _target in nfa.edges_from(state):
+                if isinstance(guard, AnySymbol):
+                    found.add("any element")
+                else:
+                    found.add(str(guard))
+        return tuple(sorted(found))
+
+    current = {nfa.initial}
+    for position, symbol in enumerate(word):
+        following = set()
+        for state in current:
+            for guard, target in nfa.edges_from(state):
+                if guard_matches(guard, symbol):
+                    following.add(target)
+        if not following:
+            return WordDiagnosis(
+                False, position, symbol, expected_at(current)
+            )
+        current = following
+    if current & nfa.accepting:
+        return WordDiagnosis(True)
+    return WordDiagnosis(False, len(word), None, expected_at(current))
+
+
+def diagnose_word(
+    word: Sequence[str],
+    expr: Regex,
+    schema: Schema,
+    sender_schema: Optional[Schema] = None,
+) -> WordDiagnosis:
+    """Explain why a children word fails a content model (or confirm it)."""
+    return _run_word(word, expr, schema, sender_schema)
+
+
+def validate(
+    document_or_node,
+    schema: Schema,
+    sender_schema: Optional[Schema] = None,
+    strict: bool = True,
+) -> ValidationReport:
+    """Check Definition 3 over a document (or bare node).
+
+    With ``strict`` (the default) every element label must be declared by
+    the schema and every function name must be declared or admitted by at
+    least one pattern; with ``strict=False`` undeclared symbols are
+    unconstrained, which is the literal reading of Definition 3.
+    """
+    root: Node = getattr(document_or_node, "root", document_or_node)
+    lookup = _signature_lookup(schema, sender_schema)
+    report = ValidationReport()
+
+    for path, node in iter_nodes(root):
+        if isinstance(node, Text):
+            continue
+        if isinstance(node, Element):
+            expr = schema.type_of(node.label)
+            if expr is None:
+                if strict:
+                    report.violations.append(
+                        Violation(
+                            path,
+                            node.label,
+                            "undeclared-label",
+                            "element label %r is not declared by the schema"
+                            % node.label,
+                        )
+                    )
+                continue
+            word = child_word(node)
+            diagnosis = _run_word(word, expr, schema, sender_schema)
+            if not diagnosis.ok:
+                report.violations.append(
+                    Violation(
+                        path,
+                        node.label,
+                        "content",
+                        "children word %s does not match %s (%s)"
+                        % (".".join(word) or "eps", expr,
+                           diagnosis.message(word)),
+                    )
+                )
+            continue
+        if isinstance(node, FunctionCall):
+            signature = lookup(node.name)
+            admitted = signature is not None or bool(
+                schema.matching_patterns(node.name, None)
+            )
+            if signature is None:
+                if strict and not admitted:
+                    report.violations.append(
+                        Violation(
+                            path,
+                            node.name,
+                            "undeclared-function",
+                            "function %r has no declared signature" % node.name,
+                        )
+                    )
+                continue
+            word = child_word(node)
+            diagnosis = _run_word(word, signature.input_type, schema, sender_schema)
+            if not diagnosis.ok:
+                report.violations.append(
+                    Violation(
+                        path,
+                        node.name,
+                        "input",
+                        "parameters %s do not match input type %s (%s)"
+                        % (".".join(word) or "eps", signature.input_type,
+                           diagnosis.message(word)),
+                    )
+                )
+    return report
+
+
+def is_instance(
+    document_or_node,
+    schema: Schema,
+    sender_schema: Optional[Schema] = None,
+    strict: bool = True,
+) -> bool:
+    """Shorthand: True iff :func:`validate` reports no violations."""
+    return validate(document_or_node, schema, sender_schema, strict).ok
+
+
+def is_input_instance(
+    forest: Sequence[Node],
+    function_name: str,
+    schema: Schema,
+    sender_schema: Optional[Schema] = None,
+) -> bool:
+    """Is a forest a valid input instance of ``function_name``?
+
+    Definition 3's dual of the output case: the root symbols must form a
+    word of ``tau_in(f)`` and every parameter tree must itself be an
+    instance of the schema.
+    """
+    from repro.doc.nodes import symbol_of
+
+    lookup = _signature_lookup(schema, sender_schema)
+    signature = lookup(function_name)
+    if signature is None:
+        return False
+    word = tuple(symbol_of(tree) for tree in forest)
+    if not word_matches(word, signature.input_type, schema, sender_schema):
+        return False
+    return all(
+        is_instance(tree, schema, sender_schema, strict=False) for tree in forest
+    )
+
+
+def is_output_instance(
+    forest: Sequence[Node],
+    function_name: str,
+    schema: Schema,
+    sender_schema: Optional[Schema] = None,
+) -> bool:
+    """Is a forest a valid output instance of ``function_name``?
+
+    Definition 3: the root symbols must form a word of ``tau_out(f)`` and
+    every tree must itself be an instance of the schema.
+    """
+    from repro.doc.nodes import symbol_of
+
+    lookup = _signature_lookup(schema, sender_schema)
+    signature = lookup(function_name)
+    if signature is None:
+        return False
+    word = tuple(symbol_of(tree) for tree in forest)
+    if not word_matches(word, signature.output_type, schema, sender_schema):
+        return False
+    return all(
+        is_instance(tree, schema, sender_schema, strict=False) for tree in forest
+    )

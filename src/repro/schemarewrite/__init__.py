@@ -1,0 +1,17 @@
+"""Schema-to-schema safe rewriting (Section 6).
+
+To check compatibility between applications, the sender verifies that
+*all* the documents its schema ``s0`` can generate safely rewrite into
+the exchange schema ``s`` — without enumerating the (infinite) set of
+instances.  The reduction: "testing whether all the elements of a given
+type have a safe rewriting is analogous to testing whether a single
+function element, with an output of that type, can be safely rewritten".
+"""
+
+from repro.schemarewrite.compat import (
+    LabelCheck,
+    SchemaCompatReport,
+    schema_safely_rewrites,
+)
+
+__all__ = ["schema_safely_rewrites", "SchemaCompatReport", "LabelCheck"]

@@ -1,0 +1,51 @@
+"""Access control lists for service invocation.
+
+The paper motivates restricted invocations with access rights (the
+``InACL`` predicate of Section 2.1 "verifies if the client has the
+necessary access privileges for executing the given function").  The
+model here is a plain principal → allowed-functions map with an optional
+public set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Optional, Set
+
+
+@dataclass
+class AccessControlList:
+    """Who may invoke what."""
+
+    grants: Dict[str, Set[str]] = field(default_factory=dict)
+    public: Set[str] = field(default_factory=set)
+
+    def grant(self, principal: str, function_name: str) -> "AccessControlList":
+        """Allow one principal to invoke one function."""
+        self.grants.setdefault(principal, set()).add(function_name)
+        return self
+
+    def make_public(self, function_name: str) -> "AccessControlList":
+        """Allow everyone (including anonymous callers) to invoke it."""
+        self.public.add(function_name)
+        return self
+
+    def revoke(self, principal: str, function_name: str) -> "AccessControlList":
+        """Withdraw a grant (no-op if absent)."""
+        self.grants.get(principal, set()).discard(function_name)
+        return self
+
+    def allows(self, principal: Optional[str], function_name: str) -> bool:
+        """InACL: may the principal invoke the function?"""
+        if function_name in self.public:
+            return True
+        if principal is None:
+            return False
+        return function_name in self.grants.get(principal, set())
+
+    def allowed_functions(self, principal: Optional[str]) -> FrozenSet[str]:
+        """Everything a principal may invoke."""
+        allowed = set(self.public)
+        if principal is not None:
+            allowed |= self.grants.get(principal, set())
+        return frozenset(allowed)

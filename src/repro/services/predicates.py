@@ -1,0 +1,31 @@
+"""The paper's function-pattern predicates, as live services.
+
+Section 2.1's ``Forecast`` pattern requires ``UDDIF ∧ InACL``: the
+function must be registered in a particular UDDI registry *and* the
+client must hold access rights.  These factories close over the live
+registry / ACL so the predicates observe later registrations, exactly
+like calling the predicate Web service each time would.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.services.acl import AccessControlList
+from repro.services.registry import ServiceRegistry
+
+
+def uddif(registry: ServiceRegistry) -> Callable[[str], bool]:
+    """The UDDIF predicate: is the function registered?"""
+    return registry.uddif_predicate()
+
+
+def in_acl(
+    acl: AccessControlList, principal: Optional[str]
+) -> Callable[[str], bool]:
+    """The InACL predicate: may this principal invoke the function?"""
+
+    def predicate(function_name: str) -> bool:
+        return acl.allows(principal, function_name)
+
+    return predicate

@@ -1,0 +1,137 @@
+"""Handler factories for simulated services.
+
+The rewriting algorithms' guarantees are quantified over the outputs a
+service *may* return, so the simulator must be able to produce:
+
+- arbitrary type-conforming outputs (:func:`sampling_responder`, seeded),
+- the *adversarial* corner cases that separate safe from possible
+  rewritings — e.g. a ``TimeOut`` that returns ``performance`` elements
+  (:func:`adversarial_responder` picks outputs maximizing rejection),
+- fixed test fixtures (:func:`constant_responder`,
+  :func:`scripted_responder`),
+- infrastructure failures (:func:`flaky_responder` raises SOAP faults).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.doc.nodes import Node
+from repro.errors import ServiceFault
+from repro.regex.ast import Regex
+from repro.schema.generator import InstanceGenerator
+from repro.schema.model import Schema
+from repro.services.service import Handler
+
+
+def constant_responder(forest: Sequence[Node]) -> Handler:
+    """Always return the same forest (ignoring parameters)."""
+    fixed = tuple(forest)
+
+    def handler(_params: Sequence[Node]) -> Tuple[Node, ...]:
+        return fixed
+
+    return handler
+
+
+def scripted_responder(
+    script: Sequence[Sequence[Node]], repeat_last: bool = True
+) -> Handler:
+    """Return pre-scripted forests, one per call.
+
+    Models real services whose answers change over time (the paper's
+    temperature and stock-exchange examples: "two consecutive calls may
+    return a different result").  After the script is exhausted, the
+    last entry repeats (or a fault is raised with ``repeat_last=False``).
+    """
+    remaining: List[Tuple[Node, ...]] = [tuple(forest) for forest in script]
+    if not remaining:
+        raise ValueError("script must contain at least one response")
+    state = {"index": 0}
+
+    def handler(_params: Sequence[Node]) -> Tuple[Node, ...]:
+        index = state["index"]
+        if index >= len(remaining):
+            if repeat_last:
+                return remaining[-1]
+            raise ServiceFault("scripted responder exhausted its script")
+        state["index"] += 1
+        return remaining[index]
+
+    return handler
+
+
+def sampling_responder(
+    schema: Schema,
+    function_name: str,
+    seed: int = 0,
+    max_depth: int = 4,
+) -> Handler:
+    """Sample a fresh output instance of the declared type on every call.
+
+    This is the workhorse of the simulation: outputs vary per call (as
+    Definition 4 allows — "we may replace two occurrences of the same
+    function by two different output instances") while always conforming
+    to ``tau_out``.
+    """
+    rng = random.Random(seed)
+    generator = InstanceGenerator(schema, rng, max_depth=max_depth)
+
+    def handler(_params: Sequence[Node]) -> Tuple[Node, ...]:
+        return generator.output_forest(function_name)
+
+    return handler
+
+
+def adversarial_responder(
+    schema: Schema,
+    function_name: str,
+    avoid: Sequence[str],
+    seed: int = 0,
+    max_depth: int = 4,
+    attempts: int = 16,
+) -> Handler:
+    """Prefer outputs whose root symbols include one of ``avoid``.
+
+    Used to demonstrate that possible rewritings really can fail: an
+    adversarial ``TimeOut`` keeps answering with ``performance`` elements
+    whenever its output type admits them.
+    """
+    rng = random.Random(seed)
+    generator = InstanceGenerator(schema, rng, max_depth=max_depth)
+    avoided = set(avoid)
+
+    def handler(_params: Sequence[Node]) -> Tuple[Node, ...]:
+        from repro.doc.nodes import symbol_of
+
+        best: Optional[Tuple[Node, ...]] = None
+        for _ in range(attempts):
+            candidate = generator.output_forest(function_name)
+            symbols = {symbol_of(node) for node in candidate}
+            if symbols & avoided:
+                return candidate
+            if best is None:
+                best = candidate
+        return best if best is not None else ()
+
+    return handler
+
+
+def flaky_responder(inner: Handler, fail_every: int = 2) -> Handler:
+    """Wrap a handler so every n-th call raises a SOAP fault.
+
+    Exercises the enforcement module's fault propagation; ``fail_every=1``
+    makes the service always fail.
+    """
+    if fail_every < 1:
+        raise ValueError("fail_every must be >= 1")
+    state = {"count": 0}
+
+    def handler(params: Sequence[Node]) -> Sequence[Node]:
+        state["count"] += 1
+        if state["count"] % fail_every == 0:
+            raise ServiceFault("simulated outage (call #%d)" % state["count"])
+        return inner(params)
+
+    return handler

@@ -1,0 +1,130 @@
+"""Simulated Web-service endpoints.
+
+A :class:`Service` stands for one SOAP endpoint (one ``endpointURL``)
+hosting named operations.  Each :class:`Operation` carries the signature
+its WSDL_int would declare, a handler implementing it, a price, and a
+side-effect flag; the service records every call so tests and benchmarks
+can assert on side effects (e.g. that backtracked possible-rewriting
+branches really did invoke the service).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.doc.nodes import Node, symbol_of
+from repro.errors import ServiceFault, UnknownServiceError
+from repro.schema.model import FunctionSignature
+from repro.schema.validate import word_matches
+from repro.schema.model import Schema
+
+#: Handlers take the parameter forest and return the output forest.
+Handler = Callable[[Sequence[Node]], Sequence[Node]]
+
+
+@dataclass
+class CallRecord:
+    """One performed invocation, as seen by the service."""
+
+    operation: str
+    param_symbols: Tuple[str, ...]
+    output_symbols: Tuple[str, ...]
+    faulted: bool = False
+
+
+@dataclass
+class Operation:
+    """One operation of a service, with its declared signature."""
+
+    name: str
+    signature: FunctionSignature
+    handler: Handler
+    cost: float = 1.0
+    side_effect_free: bool = False
+
+
+@dataclass
+class Service:
+    """One simulated SOAP endpoint."""
+
+    endpoint: str
+    namespace: str = ""
+    operations: Dict[str, Operation] = field(default_factory=dict)
+    calls: List[CallRecord] = field(default_factory=list)
+    validate_io: bool = False  # optionally enforce signatures at the boundary
+    schema: Optional[Schema] = None  # vocabulary for boundary validation
+
+    def add_operation(
+        self,
+        name: str,
+        signature: FunctionSignature,
+        handler: Handler,
+        cost: float = 1.0,
+        side_effect_free: bool = False,
+    ) -> "Service":
+        """Register an operation; returns self for chaining."""
+        self.operations[name] = Operation(
+            name, signature, handler, cost, side_effect_free
+        )
+        return self
+
+    def operation(self, name: str) -> Operation:
+        """Look an operation up; raises :class:`UnknownServiceError`."""
+        op = self.operations.get(name)
+        if op is None:
+            raise UnknownServiceError(
+                "endpoint %r has no operation %r" % (self.endpoint, name)
+            )
+        return op
+
+    def invoke(self, name: str, params: Sequence[Node]) -> Tuple[Node, ...]:
+        """Execute one operation, recording the call.
+
+        With ``validate_io`` the parameter and output root words are
+        checked against the declared signature and a
+        :class:`ServiceFault` is raised on mismatch — this is how the
+        fabric simulates a strict provider.
+        """
+        op = self.operation(name)
+        param_word = tuple(symbol_of(node) for node in params)
+        record = CallRecord(name, param_word, ())
+        self.calls.append(record)
+
+        if self.validate_io and not self._word_ok(param_word, op.signature.input_type):
+            record.faulted = True
+            raise ServiceFault(
+                "operation %r rejected parameters %s"
+                % (name, ".".join(param_word) or "eps"),
+                fault_code="Client",
+            )
+        try:
+            output = tuple(op.handler(tuple(params)))
+        except ServiceFault:
+            record.faulted = True
+            raise
+        output_word = tuple(symbol_of(node) for node in output)
+        record.output_symbols = output_word
+        if self.validate_io and not self._word_ok(output_word, op.signature.output_type):
+            record.faulted = True
+            raise ServiceFault(
+                "operation %r produced %s outside its declared output type"
+                % (name, ".".join(output_word) or "eps")
+            )
+        return output
+
+    def _word_ok(self, word: Tuple[str, ...], expr) -> bool:
+        schema = self.schema or Schema({}, {})
+        return word_matches(word, expr, schema)
+
+    # -- accounting -------------------------------------------------------
+
+    def call_count(self, operation: Optional[str] = None) -> int:
+        """How many calls the service served (optionally per operation)."""
+        if operation is None:
+            return len(self.calls)
+        return sum(1 for record in self.calls if record.operation == operation)
+
+    def reset_accounting(self) -> None:
+        """Forget recorded calls (between benchmark rounds)."""
+        self.calls.clear()

@@ -1,0 +1,153 @@
+"""SOAP-style envelopes for the simulated transport.
+
+Real Active XML peers exchange SOAP messages.  The simulated fabric
+round-trips every invocation through the same kind of XML envelope, so
+serialization bugs cannot hide behind in-process shortcuts: parameters
+are serialized into a request envelope, parsed back on the "server"
+side, and the output forest travels back the same way.
+
+The envelope format is a faithful miniature of SOAP 1.1::
+
+    <soap:Envelope xmlns:soap="http://schemas.xmlsoap.org/soap/envelope/">
+      <soap:Body>
+        <m:Get_Temp xmlns:m="urn:xmethods-weather">
+          <m:param><city>Paris</city></m:param>
+        </m:Get_Temp>
+      </soap:Body>
+    </soap:Envelope>
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.doc.nodes import Node
+from repro.doc.xml_io import INT_NS, node_from_xml, node_to_xml
+from repro.errors import DocumentParseError, ServiceFault
+
+SOAP_NS = "http://schemas.xmlsoap.org/soap/envelope/"
+_ENVELOPE = "{%s}Envelope" % SOAP_NS
+_BODY = "{%s}Body" % SOAP_NS
+_FAULT = "{%s}Fault" % SOAP_NS
+
+
+@dataclass(frozen=True)
+class SoapEnvelope:
+    """A decoded request or response."""
+
+    operation: str
+    namespace: str
+    forest: Tuple[Node, ...]  # parameters (request) or results (response)
+    is_fault: bool = False
+    fault_code: str = ""
+    fault_string: str = ""
+
+
+#: Namespace used when a service declares none (xmlns:m="" is illegal XML).
+ANONYMOUS_NS = "urn:repro:anonymous"
+
+
+def _wrap(operation: str, namespace: str, forest: Sequence[Node], tag: str) -> str:
+    namespace = namespace or ANONYMOUS_NS
+    parts: List[str] = [
+        '<soap:Envelope xmlns:soap="%s">' % SOAP_NS,
+        "  <soap:Body>",
+        '    <m:%s xmlns:m="%s" xmlns:int="%s">' % (operation, namespace, INT_NS),
+    ]
+    for node in forest:
+        parts.append("      <m:%s>" % tag)
+        parts.append(node_to_xml(node, indent=0, pretty=True))
+        parts.append("      </m:%s>" % tag)
+    parts.append("    </m:%s>" % operation)
+    parts.append("  </soap:Body>")
+    parts.append("</soap:Envelope>")
+    return "\n".join(parts)
+
+
+def encode_request(operation: str, namespace: str, params: Sequence[Node]) -> str:
+    """Serialize an invocation request."""
+    return _wrap(operation, namespace, params, "param")
+
+
+def encode_response(operation: str, namespace: str, results: Sequence[Node]) -> str:
+    """Serialize an invocation response."""
+    return _wrap(operation + "Response", namespace, results, "result")
+
+
+def encode_fault(fault_code: str, fault_string: str) -> str:
+    """Serialize a SOAP fault."""
+    from xml.sax.saxutils import escape
+
+    return "\n".join(
+        [
+            '<soap:Envelope xmlns:soap="%s">' % SOAP_NS,
+            "  <soap:Body>",
+            "    <soap:Fault>",
+            "      <faultcode>%s</faultcode>" % escape(fault_code),
+            "      <faultstring>%s</faultstring>" % escape(fault_string),
+            "    </soap:Fault>",
+            "  </soap:Body>",
+            "</soap:Envelope>",
+        ]
+    )
+
+
+def _decode(xml_text: str, expected_tag: str) -> SoapEnvelope:
+    try:
+        root = ET.fromstring(xml_text)
+    except ET.ParseError as exc:
+        raise DocumentParseError("malformed SOAP envelope: %s" % exc) from exc
+    if root.tag != _ENVELOPE:
+        raise DocumentParseError("not a SOAP envelope: %r" % root.tag)
+    body = root.find(_BODY)
+    if body is None or len(body) != 1:
+        raise DocumentParseError("SOAP body must contain exactly one element")
+    payload = body[0]
+    if payload.tag == _FAULT:
+        code = payload.findtext("faultcode", default="Server")
+        string = payload.findtext("faultstring", default="")
+        return SoapEnvelope("Fault", "", (), True, code, string)
+
+    if not payload.tag.startswith("{"):
+        raise DocumentParseError("operation element must be namespaced")
+    namespace, _, operation = payload.tag[1:].partition("}")
+    forest: List[Node] = []
+    wrapper_tag = "{%s}%s" % (namespace, expected_tag)
+    for wrapper in payload:
+        if wrapper.tag != wrapper_tag:
+            raise DocumentParseError(
+                "unexpected element %r in SOAP payload" % wrapper.tag
+            )
+        inner = list(wrapper)
+        if len(inner) != 1:
+            text = (wrapper.text or "").strip()
+            if inner or not text:
+                raise DocumentParseError(
+                    "each %s must wrap exactly one tree" % expected_tag
+                )
+            from repro.doc.nodes import Text
+
+            forest.append(Text(text))
+            continue
+        forest.append(node_from_xml(ET.tostring(inner[0], encoding="unicode")))
+    return SoapEnvelope(operation, namespace, tuple(forest))
+
+
+def decode_request(xml_text: str) -> SoapEnvelope:
+    """Parse a request envelope back into the parameter forest."""
+    return _decode(xml_text, "param")
+
+
+def decode_response(xml_text: str) -> SoapEnvelope:
+    """Parse a response envelope; faults become :class:`SoapEnvelope`s too."""
+    envelope = _decode(xml_text, "result")
+    return envelope
+
+
+def raise_if_fault(envelope: SoapEnvelope) -> SoapEnvelope:
+    """Turn a fault envelope into a :class:`ServiceFault` exception."""
+    if envelope.is_fault:
+        raise ServiceFault(envelope.fault_string, fault_code=envelope.fault_code)
+    return envelope

@@ -1,0 +1,115 @@
+"""WSDL_int: service descriptions with intensional types (Section 7).
+
+"One of the major features of the WSDL language is to describe the input
+and output types of Web services functions using XML Schema.  We extend
+WSDL in the obvious way, by simply allowing these types to describe
+intensional data, using XML Schema_int."
+
+A WSDL_int document here is a ``<definitions>`` element embedding one
+XML Schema_int in its ``<types>`` section; every operation of the
+service appears there as a ``<function>`` declaration, and the service's
+endpoint is carried by a ``<service>``/``<port>`` address, mirroring real
+WSDL 1.1 structure at miniature scale.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+from xml.sax.saxutils import quoteattr
+
+from repro.errors import XMLSchemaIntError
+from repro.schema.model import FunctionSignature, Schema
+from repro.services.service import Service
+from repro.xschema.compile import compile_xschema
+from repro.xschema.parser import parse_xschema
+from repro.xschema.writer import schema_to_xschema
+
+WSDL_NS = "http://schemas.xmlsoap.org/wsdl/"
+
+
+@dataclass
+class WsdlDescription:
+    """The information a WSDL_int document conveys."""
+
+    name: str
+    endpoint: str
+    namespace: str
+    signatures: Dict[str, FunctionSignature] = field(default_factory=dict)
+    vocabulary: Optional[Schema] = None  # element declarations in <types>
+
+
+def service_to_wsdl(service: Service, vocabulary: Optional[Schema] = None) -> str:
+    """Describe a simulated service as a WSDL_int document.
+
+    ``vocabulary`` supplies the element declarations the signatures refer
+    to (e.g. ``city``, ``temp``); when omitted only the function
+    declarations are embedded.
+    """
+    label_types = dict(vocabulary.label_types) if vocabulary else {}
+    functions = {
+        name: operation.signature for name, operation in service.operations.items()
+    }
+    embedded = Schema(label_types, functions, {})
+    schema_xml = schema_to_xschema(embedded)
+    indented = "\n".join("      " + line for line in schema_xml.splitlines())
+
+    lines = [
+        '<definitions xmlns="%s" name=%s targetNamespace=%s>'
+        % (WSDL_NS, quoteattr(service.endpoint), quoteattr(service.namespace or "")),
+        "  <types>",
+        indented,
+        "  </types>",
+        '  <portType name="operations">',
+    ]
+    for name in sorted(service.operations):
+        lines.append("    <operation name=%s>" % quoteattr(name))
+        lines.append("      <input function=%s/>" % quoteattr(name))
+        lines.append("      <output function=%s/>" % quoteattr(name))
+        lines.append("    </operation>")
+    lines.extend(
+        [
+            "  </portType>",
+            '  <service name="endpoint">',
+            "    <port><address location=%s/></port>" % quoteattr(service.endpoint),
+            "  </service>",
+            "</definitions>",
+        ]
+    )
+    return "\n".join(lines)
+
+
+def parse_wsdl(text: str) -> WsdlDescription:
+    """Parse a WSDL_int document back into signatures and coordinates."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise XMLSchemaIntError("malformed WSDL_int: %s" % exc) from exc
+    if root.tag != "{%s}definitions" % WSDL_NS:
+        raise XMLSchemaIntError("not a WSDL document: %r" % root.tag)
+
+    name = root.get("name", "")
+    namespace = root.get("targetNamespace", "")
+
+    types = root.find("{%s}types" % WSDL_NS)
+    schema_elem = None if types is None else next(iter(types), None)
+    signatures: Dict[str, FunctionSignature] = {}
+    vocabulary: Optional[Schema] = None
+    if schema_elem is not None:
+        compiled = compile_xschema(
+            parse_xschema(ET.tostring(schema_elem, encoding="unicode"))
+        )
+        signatures = dict(compiled.functions)
+        vocabulary = compiled
+
+    endpoint = ""
+    service = root.find("{%s}service" % WSDL_NS)
+    if service is not None:
+        address = service.find(
+            "{%s}port/{%s}address" % (WSDL_NS, WSDL_NS)
+        )
+        if address is not None:
+            endpoint = address.get("location", "")
+
+    return WsdlDescription(name, endpoint or name, namespace, signatures, vocabulary)

@@ -1,0 +1,239 @@
+"""Synthetic problem generators for the scaling benchmarks (E8-E11).
+
+The word-level rewriting algorithms take a triple: the children word
+``w``, the output types of the invocable functions, and the target
+language ``R``.  :class:`WordProblem` packages exactly that; the
+generators below produce families of problems whose difficulty is
+controlled by one parameter each, matching the complexity claims of
+Sections 4-5:
+
+- :func:`chain_problem` — recursion depth: invoking ``f_i`` may return
+  ``f_{i+1}``, so a k-depth rewriting succeeds iff the chain is short
+  enough (Definition 7's motivation);
+- :func:`wide_problem` — word width: ``n`` independent calls, measuring
+  growth with ``|w|``;
+- :func:`nondet_target_problem` — the classic ``(a|b)*.a.(a|b)^n`` family
+  whose complement DFA is exponential, exhibiting the blow-up the paper
+  predicts for nondeterministic exchange schemas;
+- :func:`det_target_problem` — a deterministic target family of matching
+  size, the polynomial counterpart;
+- :func:`random_word_problem` / :func:`random_flat_schema` /
+  :func:`random_document` — seeded random instances for property tests.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.doc.document import Document
+from repro.regex.ast import Regex, alt, atom, seq, star
+from repro.regex.parser import parse_regex
+from repro.schema.generator import InstanceGenerator
+from repro.schema.model import Schema, SchemaBuilder
+
+
+@dataclass(frozen=True)
+class WordProblem:
+    """One word-level rewriting instance.
+
+    Attributes:
+        word: the children word ``w`` to rewrite.
+        output_types: ``tau_out`` for every invocable function.
+        target: the target language ``R``.
+        expect_safe: ground truth, when the generator knows it.
+    """
+
+    word: Tuple[str, ...]
+    output_types: Dict[str, Regex]
+    target: Regex
+    expect_safe: Optional[bool] = None
+    expect_possible: Optional[bool] = None
+
+
+def chain_problem(chain_length: int) -> WordProblem:
+    """Calls that return calls: ``tau_out(f_i) = a | f_{i+1}``.
+
+    The word is the single call ``f_1``; a safe k-depth rewriting into
+    ``a`` exists iff ``k >= chain_length`` (each level must be invocable
+    in case it comes back as another call).  This is the paper's
+    search-engine "get more answers" pattern (Section 3, *Recursive
+    calls*).
+    """
+    output_types: Dict[str, Regex] = {}
+    for i in range(1, chain_length):
+        output_types["f%d" % i] = alt(atom("a"), atom("f%d" % (i + 1)))
+    output_types["f%d" % chain_length] = atom("a")
+    return WordProblem(
+        word=("f1",),
+        output_types=output_types,
+        target=atom("a"),
+        expect_safe=None,  # depends on k; see the benchmark
+        expect_possible=None,
+    )
+
+
+def wide_problem(width: int, safe: bool = True) -> WordProblem:
+    """``width`` independent calls ``g_1 ... g_n`` to rewrite into ``b^n``.
+
+    With ``safe=True`` every ``tau_out(g_i) = b`` so a safe rewriting
+    exists; with ``safe=False`` the outputs are ``b | c`` so only a
+    possible rewriting does.
+    """
+    output = parse_regex("b") if safe else parse_regex("b | c")
+    output_types = {("g%d" % i): output for i in range(1, width + 1)}
+    return WordProblem(
+        word=tuple("g%d" % i for i in range(1, width + 1)),
+        output_types=output_types,
+        target=seq(*(atom("b") for _ in range(width))) if width else parse_regex(""),
+        expect_safe=safe,
+        expect_possible=True,
+    )
+
+
+def nondet_target_problem(n: int) -> WordProblem:
+    """Target ``(a|b)*.a.(a|b){n,n}`` — complementation is exponential.
+
+    The word is extensional (no calls), so the benchmark isolates the cost
+    of building the complete complement of a nondeterministic target, the
+    blow-up Section 4 warns about.
+    """
+    tail = seq(*(alt(atom("a"), atom("b")) for _ in range(n)))
+    target = seq(star(alt(atom("a"), atom("b"))), atom("a"), tail)
+    word = tuple(["a"] * (n + 1))
+    return WordProblem(
+        word=word,
+        output_types={},
+        target=target,
+        expect_safe=True,
+        expect_possible=True,
+    )
+
+
+def det_target_problem(n: int) -> WordProblem:
+    """A deterministic target of comparable size: ``a{n+1,n+1}.b*``.
+
+    The polynomial counterpart of :func:`nondet_target_problem`; the two
+    together regenerate the deterministic-vs-nondeterministic crossover
+    (benchmark E8).
+    """
+    target = seq(*([atom("a")] * (n + 1)), star(atom("b")))
+    word = tuple(["a"] * (n + 1))
+    return WordProblem(
+        word=word,
+        output_types={},
+        target=target,
+        expect_safe=True,
+        expect_possible=True,
+    )
+
+
+def answer_size_problem(answer_size: int, depth: int) -> WordProblem:
+    """Calls whose outputs are ``depth`` levels of fan-out ``answer_size``.
+
+    ``tau_out(h_i) = h_{i+1}^x`` and the last level returns ``a^x``; a
+    full materialization grows the word to ``x^depth`` symbols — the
+    ``|w| * x^k`` bound discussed at the end of Section 4 (benchmark E10).
+    """
+    output_types: Dict[str, Regex] = {}
+    for level in range(1, depth):
+        output_types["h%d" % level] = seq(
+            *([atom("h%d" % (level + 1))] * answer_size)
+        )
+    output_types["h%d" % depth] = seq(*([atom("a")] * answer_size))
+    return WordProblem(
+        word=("h1",),
+        output_types=output_types,
+        target=star(atom("a")),
+        expect_safe=True,
+        expect_possible=True,
+    )
+
+
+def random_word_problem(
+    rng: random.Random,
+    n_calls: int = 3,
+    n_plain: int = 3,
+    alphabet: Tuple[str, ...] = ("a", "b", "c"),
+) -> WordProblem:
+    """A seeded random problem mixing plain symbols and calls.
+
+    Each call's output type is a random choice/repetition over the plain
+    alphabet; the target is built to accept *some* rewriting of the word
+    so ``expect_possible`` is always True (the safe status is left for
+    the algorithms to decide — the property tests cross-check safe ⇒
+    possible and plan executability instead of a closed-form answer).
+    """
+    word: List[str] = []
+    output_types: Dict[str, Regex] = {}
+    target_parts: List[Regex] = []
+    calls_left, plain_left = n_calls, n_plain
+    index = 0
+    while calls_left or plain_left:
+        emit_call = calls_left and (not plain_left or rng.random() < 0.5)
+        if emit_call:
+            index += 1
+            name = "q%d" % index
+            symbol_a, symbol_b = rng.sample(alphabet, 2)
+            narrow = rng.random() < 0.5
+            output = (
+                atom(symbol_a) if narrow else alt(atom(symbol_a), atom(symbol_b))
+            )
+            output_types[name] = output
+            word.append(name)
+            # The target accepts the call's possible outputs or the call itself.
+            target_parts.append(alt(output, atom(name)))
+            calls_left -= 1
+        else:
+            symbol = rng.choice(alphabet)
+            word.append(symbol)
+            target_parts.append(atom(symbol))
+            plain_left -= 1
+    return WordProblem(
+        word=tuple(word),
+        output_types=output_types,
+        target=seq(*target_parts),
+        expect_safe=True,
+        expect_possible=True,
+    )
+
+
+def random_flat_schema(
+    rng: random.Random, n_labels: int = 6, n_functions: int = 3
+) -> Schema:
+    """A seeded random schema with one root, flat element types.
+
+    Element contents are one-unambiguous by construction (every symbol is
+    used at most once per expression).
+    """
+    labels = ["l%d" % i for i in range(1, n_labels + 1)]
+    functions = ["s%d" % i for i in range(1, n_functions + 1)]
+    builder = SchemaBuilder()
+    for label in labels:
+        builder.element(label, "data")
+    for name in functions:
+        output_label = rng.choice(labels)
+        builder.function(name, "data", "%s*" % output_label)
+
+    parts: List[str] = []
+    used = set()
+    for symbol in rng.sample(labels + functions, min(4, n_labels + n_functions)):
+        if symbol in used:
+            continue
+        used.add(symbol)
+        suffix = rng.choice(["", "*", "?"])
+        parts.append(symbol + suffix)
+    builder.element("root", ".".join(parts) if parts else "data")
+    builder.root("root")
+    return builder.build()
+
+
+def random_document(seed: int = 0, max_depth: int = 6) -> Document:
+    """A seeded random instance of the newspaper schema (*)."""
+    from repro.workloads import newspaper
+
+    generator = InstanceGenerator(
+        newspaper.schema_star(), random.Random(seed), max_depth=max_depth
+    )
+    return generator.document()

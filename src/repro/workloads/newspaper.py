@@ -1,0 +1,139 @@
+"""The paper's running example: the newspaper home page.
+
+This module reproduces, verbatim, the artifacts of Sections 2-5:
+
+- :func:`document` — the intensional document of Figure 2.a, with a
+  ``Get_Temp`` call (parameter ``<city>Paris</city>``) and a ``TimeOut``
+  call;
+- :func:`materialized_document` — Figure 2.b, after invoking ``Get_Temp``;
+- :func:`schema_star` — schema (*): ``tau(newspaper) =
+  title.date.(Get_Temp | temp).(TimeOut | exhibit*)``;
+- :func:`schema_star2` — schema (**): ``tau'(newspaper) =
+  title.date.temp.(TimeOut | exhibit*)`` (safe rewriting exists);
+- :func:`schema_star3` — schema (***): ``tau''(newspaper) =
+  title.date.temp.exhibit*`` (only a possible rewriting exists);
+- :func:`pattern_schema` — the Section 2.1 variant using the ``Forecast``
+  function pattern instead of a concrete ``Get_Temp``.
+
+The paper's own conclusions, used as ground truth by tests and benches:
+the document safely rewrites into (**) by invoking ``Get_Temp`` and *not*
+``TimeOut``; it only possibly rewrites into (***) (both calls must be
+invoked, and success depends on ``TimeOut`` returning only exhibits).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.doc.builder import call, el, text
+from repro.doc.document import Document
+from repro.schema.model import Schema, SchemaBuilder
+
+#: SOAP coordinates used in the paper's XML listing (Section 7).
+FORECAST_ENDPOINT = "http://www.forecast.com/soap"
+FORECAST_NS = "urn:xmethods-weather"
+TIMEOUT_ENDPOINT = "http://www.timeout.com/paris"
+TIMEOUT_NS = "urn:timeout-program"
+
+
+def document() -> Document:
+    """The intensional newspaper document of Figure 2.a."""
+    return Document(
+        el(
+            "newspaper",
+            el("title", "The Sun"),
+            el("date", "04/10/2002"),
+            call(
+                "Get_Temp",
+                el("city", "Paris"),
+                endpoint=FORECAST_ENDPOINT,
+                namespace=FORECAST_NS,
+            ),
+            call(
+                "TimeOut",
+                text("exhibits"),
+                endpoint=TIMEOUT_ENDPOINT,
+                namespace=TIMEOUT_NS,
+            ),
+        )
+    )
+
+
+def materialized_document(temperature: str = "15") -> Document:
+    """Figure 2.b: the document after invoking ``Get_Temp``."""
+    return document().splice((2,), (el("temp", temperature),))
+
+
+def _base_builder() -> SchemaBuilder:
+    """Declarations shared by the three schemas; only tau(newspaper) varies."""
+    return (
+        SchemaBuilder()
+        .element("title", "data")
+        .element("date", "data")
+        .element("temp", "data")
+        .element("city", "data")
+        .element("exhibit", "title.(Get_Date | date)")
+        .function("Get_Temp", "city", "temp")
+        .function("TimeOut", "data", "(exhibit | performance)*")
+        .function("Get_Date", "title", "date")
+        .root("newspaper")
+    )
+
+
+def schema_star() -> Schema:
+    """Schema (*): calls may stay intensional."""
+    return (
+        _base_builder()
+        .element("newspaper", "title.date.(Get_Temp | temp).(TimeOut | exhibit*)")
+        .build(strict=False)  # `performance` is intentionally undeclared
+    )
+
+
+def schema_star2() -> Schema:
+    """Schema (**): the temperature must be materialized."""
+    return (
+        _base_builder()
+        .element("newspaper", "title.date.temp.(TimeOut | exhibit*)")
+        .build(strict=False)
+    )
+
+
+def schema_star3() -> Schema:
+    """Schema (***): everything materialized, exhibits only."""
+    return (
+        _base_builder()
+        .element("newspaper", "title.date.temp.exhibit*")
+        .build(strict=False)
+    )
+
+
+def pattern_schema(
+    forecast_predicate: Callable[[str], bool] = lambda _name: True,
+) -> Schema:
+    """The Section 2.1 schema using the ``Forecast`` function pattern.
+
+    ``tau(newspaper) = title.date.(Forecast | temp).(TimeOut | exhibit*)``
+    where ``Forecast`` admits any function named acceptably by the given
+    predicate (the paper's ``UDDIF ∧ InACL``) with signature
+    ``city -> temp``.
+    """
+    return (
+        SchemaBuilder()
+        .element("newspaper", "title.date.(Forecast | temp).(TimeOut | exhibit*)")
+        .element("title", "data")
+        .element("date", "data")
+        .element("temp", "data")
+        .element("city", "data")
+        .element("exhibit", "title.(Get_Date | date)")
+        .function("Get_Temp", "city", "temp")
+        .function("TimeOut", "data", "(exhibit | performance)*")
+        .function("Get_Date", "title", "date")
+        .pattern("Forecast", "city", "temp", forecast_predicate)
+        .root("newspaper")
+        .build(strict=False)
+    )
+
+
+#: The children word of the newspaper root in Figure 2.a — the word ``w``
+#: the safe-rewriting walkthrough of Section 4 operates on.
+ROOT_WORD = ("title", "date", "Get_Temp", "TimeOut")

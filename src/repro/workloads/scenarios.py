@@ -1,0 +1,209 @@
+"""Realistic end-to-end scenarios beyond the newspaper example.
+
+Three scenarios exercise distinct aspects the paper motivates:
+
+- :func:`search_engine` — Section 3's *recursive calls*: "a search engine
+  Web service may return, for a given keyword, some document URLs plus
+  (possibly) a function node for obtaining more answers" — the k-depth
+  restriction is exactly what bounds chasing these ``Get_More`` handles;
+- :func:`auction_site` — a seller exports listings whose prices come
+  from a quote service; the exchange schema decides whether prices
+  travel materialized (hide the source) or intensional (fresh quotes);
+- :func:`service_directory` — a UDDI-flavoured registry whose entries
+  must keep their calls *intensional* ("the origin of the information is
+  what is truly requested by the receiver, hence service calls should
+  not be materialized") — realized with a non-invocable policy.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.doc.builder import call, el, text
+from repro.doc.document import Document
+from repro.schema.model import FunctionSignature, Schema, SchemaBuilder
+from repro.schema.patterns import InvocationPolicy, deny
+from repro.services.registry import ServiceRegistry
+from repro.services.service import Service
+
+
+@dataclass
+class Scenario:
+    """A ready-to-run setup: documents, schemas, live services."""
+
+    name: str
+    sender_schema: Schema
+    exchange_schema: Schema
+    document: Document
+    registry: ServiceRegistry
+    policy: InvocationPolicy = InvocationPolicy()
+    recommended_k: int = 1
+
+
+def search_engine(pages: int = 3, per_page: int = 2) -> Scenario:
+    """The recursive ``Get_More`` handle scenario.
+
+    ``Search`` returns ``per_page`` urls plus a ``Get_More`` handle while
+    results remain; each ``Get_More`` behaves the same.  The receiver
+    wants plain XML (``url*`` only), so the sender must chase handles —
+    feasible exactly when ``k >= pages``.
+    """
+    sender = (
+        SchemaBuilder()
+        .element("results", "Search | (url*.Get_More?)")
+        .element("url", "data")
+        .function("Search", "data", "url*.Get_More?")
+        .function("Get_More", "", "url*.Get_More?")
+        .root("results")
+        .build()
+    )
+    receiver = (
+        SchemaBuilder()
+        .element("results", "url*")
+        .element("url", "data")
+        .function("Search", "data", "url*.Get_More?")
+        .function("Get_More", "", "url*.Get_More?")
+        .root("results")
+        .build()
+    )
+
+    state = {"served": 0}
+
+    def page(_params) -> Tuple:
+        start = state["served"]
+        state["served"] += per_page
+        urls = [
+            el("url", "http://result.example.com/%d" % i)
+            for i in range(start, start + per_page)
+        ]
+        if state["served"] < pages * per_page:
+            urls.append(call("Get_More"))
+        return tuple(urls)
+
+    engine = Service("http://search.example.com/soap", "urn:search")
+    search_signature = FunctionSignature(
+        sender.input_type("Search"), sender.output_type("Search")
+    )
+    more_signature = FunctionSignature(
+        sender.input_type("Get_More"), sender.output_type("Get_More")
+    )
+    engine.add_operation("Search", search_signature, page)
+    engine.add_operation("Get_More", more_signature, page)
+
+    registry = ServiceRegistry()
+    registry.register(engine)
+
+    document = Document(
+        el("results", call("Search", text("intensional xml"),
+                           endpoint="http://search.example.com/soap"))
+    )
+    return Scenario(
+        "search-engine", sender, receiver, document, registry,
+        recommended_k=pages + 1,
+    )
+
+
+def auction_site(listings: int = 4, seed: int = 7) -> Scenario:
+    """Listings with intensional prices from a quote service."""
+    rng = random.Random(seed)
+    base = (
+        SchemaBuilder()
+        .element("catalog", "listing*")
+        .element("listing", "item.(Get_Quote | price)")
+        .element("item", "data")
+        .element("price", "data")
+        .function("Get_Quote", "item", "price")
+        .root("catalog")
+    )
+    sender = base.build()
+    receiver = (
+        SchemaBuilder()
+        .element("catalog", "listing*")
+        .element("listing", "item.price")  # buyers need concrete prices
+        .element("item", "data")
+        .element("price", "data")
+        .function("Get_Quote", "item", "price")
+        .root("catalog")
+        .build()
+    )
+
+    quotes = Service("http://quotes.example.com/soap", "urn:quotes")
+
+    def quote(params) -> Tuple:
+        amount = 10 + rng.randrange(90)
+        return (el("price", "%d EUR" % amount),)
+
+    quotes.add_operation(
+        "Get_Quote",
+        FunctionSignature(
+            sender.input_type("Get_Quote"), sender.output_type("Get_Quote")
+        ),
+        quote,
+        cost=0.5,
+        side_effect_free=True,
+    )
+    registry = ServiceRegistry()
+    registry.register(quotes)
+
+    items = []
+    for index in range(listings):
+        name = "item-%d" % index
+        if index % 2 == 0:
+            items.append(
+                el("listing", el("item", name),
+                   call("Get_Quote", el("item", name),
+                        endpoint="http://quotes.example.com/soap"))
+            )
+        else:
+            items.append(
+                el("listing", el("item", name), el("price", "25 EUR"))
+            )
+    document = Document(el("catalog", *items))
+    return Scenario("auction", sender, receiver, document, registry)
+
+
+def service_directory(entries: int = 3) -> Scenario:
+    """A UDDI-flavoured directory whose calls must stay intensional.
+
+    The exchange schema *requires* the ``Probe`` calls to remain in the
+    document (the receiver wants the sources, not their values), and the
+    policy declares them non-invocable — a legal rewriting cannot fire
+    them even accidentally.
+    """
+    schema = (
+        SchemaBuilder()
+        .element("directory", "entry*")
+        .element("entry", "provider.Probe")
+        .element("provider", "data")
+        .element("status", "data")
+        .function("Probe", "", "status")
+        .root("directory")
+        .build()
+    )
+
+    probe = Service("http://probe.example.com/soap", "urn:probe")
+    probe.add_operation(
+        "Probe",
+        FunctionSignature(
+            schema.input_type("Probe"), schema.output_type("Probe")
+        ),
+        lambda _params: (el("status", "up"),),
+    )
+    registry = ServiceRegistry()
+    registry.register(probe)
+
+    document = Document(
+        el(
+            "directory",
+            *[
+                el("entry", el("provider", "provider-%d" % i), call("Probe"))
+                for i in range(entries)
+            ],
+        )
+    )
+    return Scenario(
+        "service-directory", schema, schema, document, registry,
+        policy=deny(["Probe"]),
+    )

@@ -1,0 +1,53 @@
+"""XML Schema_int: XML Schema extended with functions (Section 7).
+
+The paper enriches XML Schema with two constructs — ``function`` and
+``functionPattern`` — declared and referenced like elements and types.
+This subpackage provides the paper's implementation counterpart:
+
+- :mod:`repro.xschema.model` — declarations and particles (sequence,
+  choice, element/function/pattern references, wildcards, occurrence
+  bounds);
+- :mod:`repro.xschema.parser` — a parser for the XML syntax, covering
+  the feature set the paper's own parser did ("complex types,
+  element/type references and schema import"; no inheritance or keys);
+- :mod:`repro.xschema.writer` — emit XML Schema_int documents from
+  simple schemas;
+- :mod:`repro.xschema.compile` — compile parsed declarations down to the
+  simple regex-based :class:`repro.schema.Schema` the algorithms run on.
+"""
+
+from repro.xschema.model import (
+    AnyParticle,
+    Choice,
+    DataParticle,
+    ElementDecl,
+    ElementRef,
+    FunctionDecl,
+    FunctionPatternDecl,
+    FunctionRef,
+    Particle,
+    PatternRef,
+    Sequence,
+    XMLSchemaInt,
+)
+from repro.xschema.parser import parse_xschema
+from repro.xschema.writer import schema_to_xschema
+from repro.xschema.compile import compile_xschema
+
+__all__ = [
+    "XMLSchemaInt",
+    "ElementDecl",
+    "FunctionDecl",
+    "FunctionPatternDecl",
+    "Particle",
+    "Sequence",
+    "Choice",
+    "ElementRef",
+    "FunctionRef",
+    "PatternRef",
+    "AnyParticle",
+    "DataParticle",
+    "parse_xschema",
+    "schema_to_xschema",
+    "compile_xschema",
+]

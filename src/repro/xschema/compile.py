@@ -1,0 +1,200 @@
+"""Compile XML Schema_int declarations to the simple schema model.
+
+Particles translate directly into the regex AST of Definition 2:
+``sequence`` → concatenation, ``choice`` → alternation, occurrence bounds
+→ bounded repetition, ``any`` → wildcard atoms, references → atoms over
+the referenced name.  Function patterns need a *predicate resolver*: the
+XML carries the SOAP coordinates of the boolean predicate service, and
+the resolver turns them into a live callable (the default accepts every
+name, matching the paper's convention for omitted coordinates).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.errors import XMLSchemaIntError
+from repro.regex import ast as rast
+from repro.regex.ast import Regex
+from repro.automata.symbols import DATA
+from repro.schema.model import FunctionPattern, FunctionSignature, Schema
+from repro.xschema.model import (
+    AllGroup,
+    AnyParticle,
+    Choice,
+    DataParticle,
+    FunctionPatternDecl,
+    Particle,
+    Sequence,
+    XMLSchemaInt,
+    ONCE,
+    ElementRef,
+    FunctionRef,
+    PatternRef,
+    Occurs,
+)
+from repro.xschema.parser import _TypeRef
+
+#: Resolves a pattern declaration's predicate service to a callable.
+PredicateResolver = Callable[[FunctionPatternDecl], Callable[[str], bool]]
+
+
+def _default_resolver(decl: FunctionPatternDecl) -> Callable[[str], bool]:
+    """The paper's convention: no predicate coordinates → always true."""
+    return lambda _name: True
+
+
+def _apply_occurs(expr: Regex, occurs: Occurs) -> Regex:
+    if occurs.is_default():
+        return expr
+    return rast.repeat(expr, occurs.low, occurs.high)
+
+
+def particle_to_regex(particle: Particle, schema: XMLSchemaInt) -> Regex:
+    """Translate one particle into a type expression."""
+    if isinstance(particle, AllGroup):
+        import itertools
+
+        # Each item with minOccurs=0 becomes optional inside every
+        # permutation, which yields exactly the unordered-group language:
+        # any admissible word is some subset of the items in some order,
+        # and that order extends to a full permutation whose absent
+        # members are skipped through their optionality.
+        def once(item: Particle) -> Regex:
+            item_occurs = getattr(item, "occurs", ONCE)
+            expr = particle_to_regex(_with_once(item), schema)
+            if item_occurs.low == 0:
+                return rast.opt(expr)
+            return expr
+
+        options = [
+            rast.seq(*(once(item) for item in order))
+            for order in itertools.permutations(particle.items)
+        ]
+        return _apply_occurs(rast.alt(*options), particle.occurs)
+    if isinstance(particle, Sequence):
+        inner = rast.seq(*(particle_to_regex(p, schema) for p in particle.items))
+        return _apply_occurs(inner, particle.occurs)
+    if isinstance(particle, Choice):
+        if not particle.options:
+            raise XMLSchemaIntError("<choice> must have at least one option")
+        inner = rast.alt(*(particle_to_regex(p, schema) for p in particle.options))
+        return _apply_occurs(inner, particle.occurs)
+    if isinstance(particle, ElementRef):
+        return _apply_occurs(rast.atom(particle.name), particle.occurs)
+    if isinstance(particle, FunctionRef):
+        if particle.name not in schema.functions:
+            raise XMLSchemaIntError(
+                "reference to undeclared function %r" % particle.name
+            )
+        return _apply_occurs(rast.atom(particle.name), particle.occurs)
+    if isinstance(particle, PatternRef):
+        if particle.name not in schema.patterns:
+            raise XMLSchemaIntError(
+                "reference to undeclared functionPattern %r" % particle.name
+            )
+        return _apply_occurs(rast.atom(particle.name), particle.occurs)
+    if isinstance(particle, AnyParticle):
+        return _apply_occurs(
+            rast.AnySymbol(frozenset(particle.exclude)), particle.occurs
+        )
+    if isinstance(particle, DataParticle):
+        return _apply_occurs(rast.atom(DATA), particle.occurs)
+    if isinstance(particle, _TypeRef):
+        named = schema.types.get(particle.name)
+        if named is None:
+            raise XMLSchemaIntError(
+                "reference to undeclared complexType %r" % particle.name
+            )
+        return particle_to_regex(named, schema)
+    raise TypeError("unknown particle %r" % (particle,))
+
+
+def _with_once(item: Particle) -> Particle:
+    """A copy of an <all> item with its occurrence pinned to exactly once."""
+    from dataclasses import replace
+
+    if hasattr(item, "occurs"):
+        return replace(item, occurs=ONCE)
+    return item
+
+
+def _signature(
+    decl, schema: XMLSchemaInt
+) -> FunctionSignature:
+    input_type = rast.seq(*(particle_to_regex(p, schema) for p in decl.params))
+    output_type = particle_to_regex(decl.result, schema)
+    return FunctionSignature(input_type, output_type)
+
+
+#: Fetches a WSDL_int document by URI (for ``WSDLSignature`` references).
+WsdlLoader = Callable[[str], str]
+
+
+def _wsdl_signature(
+    decl: FunctionPatternDecl, wsdl_loader: Optional[WsdlLoader]
+) -> FunctionSignature:
+    """Resolve a pattern's signature from its WSDLSignature reference.
+
+    Section 7: "XML Schema_int allows WSDL or WSDL_int descriptions to be
+    referenced in the definition of a function or function pattern,
+    instead of defining the signature explicitly (using the
+    WSDLSignature attribute)."  The reference has the form
+    ``<location>#<operation>``; the loader maps the location to the
+    WSDL_int text.
+    """
+    from repro.services.wsdl import parse_wsdl
+
+    if wsdl_loader is None:
+        raise XMLSchemaIntError(
+            "pattern %r uses WSDLSignature=%r but no wsdl_loader was given"
+            % (decl.name, decl.wsdl_signature)
+        )
+    location, _, operation = decl.wsdl_signature.partition("#")
+    description = parse_wsdl(wsdl_loader(location))
+    wanted = operation or decl.name
+    signature = description.signatures.get(wanted)
+    if signature is None:
+        raise XMLSchemaIntError(
+            "WSDL at %r declares no operation %r" % (location, wanted)
+        )
+    return signature
+
+
+def compile_xschema(
+    schema: XMLSchemaInt,
+    predicate_resolver: Optional[PredicateResolver] = None,
+    wsdl_loader: Optional[WsdlLoader] = None,
+) -> Schema:
+    """Compile to a :class:`repro.schema.Schema`.
+
+    Raises :class:`XMLSchemaIntError` on dangling references.
+    ``wsdl_loader`` resolves ``WSDLSignature`` attributes (Section 7) to
+    WSDL_int texts.
+    """
+    resolver = predicate_resolver or _default_resolver
+
+    label_types: Dict[str, Regex] = {}
+    for name, decl in schema.elements.items():
+        if decl.content is None:
+            label_types[name] = rast.atom(DATA)
+        else:
+            label_types[name] = particle_to_regex(decl.content, schema)
+
+    functions: Dict[str, FunctionSignature] = {
+        name: _signature(decl, schema) for name, decl in schema.functions.items()
+    }
+    patterns: Dict[str, FunctionPattern] = {}
+    for name, decl in schema.patterns.items():
+        if decl.wsdl_signature:
+            signature = _wsdl_signature(decl, wsdl_loader)
+        else:
+            signature = _signature(decl, schema)
+        patterns[name] = FunctionPattern(
+            name, signature, resolver(decl), decl.match
+        )
+
+    root = schema.root
+    if root is not None and root not in label_types:
+        raise XMLSchemaIntError("root element %r is not declared" % root)
+    return Schema(label_types, functions, patterns, root)

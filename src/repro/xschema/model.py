@@ -1,0 +1,189 @@
+"""Declarations and particles of XML Schema_int.
+
+The model mirrors the subset of XML Schema the paper's parser covered,
+plus the intensional extensions:
+
+- **particles** describe content: ``sequence``, ``choice``, references
+  to elements / functions / function patterns, wildcards (``any``) and
+  atomic data, each with ``minOccurs``/``maxOccurs``;
+- **element declarations** bind a name to a content particle or to
+  atomic data (simple types collapse to ``data`` in the simple model);
+- **function / functionPattern declarations** carry the SOAP triple
+  (``methodName``, ``endpointURL``, ``namespaceURI``), the signature as
+  ``params`` / ``return`` particles, and — for patterns — the predicate
+  service coordinates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+
+@dataclass(frozen=True)
+class Occurs:
+    """minOccurs / maxOccurs bounds; ``None`` max means unbounded."""
+
+    low: int = 1
+    high: Optional[int] = 1
+
+    def is_default(self) -> bool:
+        return self.low == 1 and self.high == 1
+
+    def __str__(self) -> str:
+        high = "unbounded" if self.high is None else str(self.high)
+        return "{%d,%s}" % (self.low, high)
+
+
+ONCE = Occurs()
+
+
+@dataclass(frozen=True)
+class Sequence:
+    """An ordered group of particles."""
+
+    items: Tuple["Particle", ...]
+    occurs: Occurs = ONCE
+
+
+@dataclass(frozen=True)
+class Choice:
+    """A choice between particles."""
+
+    options: Tuple["Particle", ...]
+    occurs: Occurs = ONCE
+
+
+@dataclass(frozen=True)
+class AllGroup:
+    """An unordered group: every item once, in any order.
+
+    XML Schema restricts ``<all>`` to element particles with
+    ``maxOccurs <= 1``; the compiler expands the group into the choice of
+    all permutations (optional members skippable), so group size is
+    capped to keep the expansion small.
+    """
+
+    items: Tuple["Particle", ...]
+    occurs: Occurs = ONCE
+
+
+@dataclass(frozen=True)
+class ElementRef:
+    """A reference to a (globally declared) element."""
+
+    name: str
+    occurs: Occurs = ONCE
+
+
+@dataclass(frozen=True)
+class FunctionRef:
+    """A reference to a declared function."""
+
+    name: str
+    occurs: Occurs = ONCE
+
+
+@dataclass(frozen=True)
+class PatternRef:
+    """A reference to a declared function pattern."""
+
+    name: str
+    occurs: Occurs = ONCE
+
+
+@dataclass(frozen=True)
+class AnyParticle:
+    """The wildcard: any element or function, minus exclusions."""
+
+    exclude: Tuple[str, ...] = ()
+    occurs: Occurs = ONCE
+
+
+@dataclass(frozen=True)
+class DataParticle:
+    """Atomic character data (a simple-typed position)."""
+
+    occurs: Occurs = ONCE
+
+
+Particle = Union[
+    Sequence, Choice, AllGroup, ElementRef, FunctionRef, PatternRef,
+    AnyParticle, DataParticle,
+]
+
+
+@dataclass(frozen=True)
+class ElementDecl:
+    """A global element declaration.
+
+    ``content`` is ``None`` for simple-typed (data) elements; otherwise
+    the element's content particle.
+    """
+
+    name: str
+    content: Optional[Particle]
+
+
+@dataclass(frozen=True)
+class FunctionDecl:
+    """A declared function (a concrete Web-service operation)."""
+
+    name: str  # the id / methodName used in type expressions
+    params: Tuple[Particle, ...]
+    result: Particle
+    endpoint: Optional[str] = None
+    namespace: Optional[str] = None
+    method_name: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class FunctionPatternDecl:
+    """A declared function pattern.
+
+    The predicate is itself a Web service identified by the SOAP triple;
+    "as a convention, when these parameters are omitted, the predicate
+    returns true for all functions" (Section 7).
+    """
+
+    name: str
+    params: Tuple[Particle, ...]
+    result: Particle
+    predicate_endpoint: Optional[str] = None
+    predicate_namespace: Optional[str] = None
+    predicate_method: Optional[str] = None
+    wsdl_signature: Optional[str] = None
+    match: str = "exact"  # or "subsume" (wildcard signatures)
+
+
+@dataclass
+class XMLSchemaInt:
+    """One parsed XML Schema_int document."""
+
+    elements: Dict[str, ElementDecl] = field(default_factory=dict)
+    types: Dict[str, Particle] = field(default_factory=dict)  # named complexTypes
+    functions: Dict[str, FunctionDecl] = field(default_factory=dict)
+    patterns: Dict[str, FunctionPatternDecl] = field(default_factory=dict)
+    root: Optional[str] = None
+    imports: List[str] = field(default_factory=list)
+
+    def merge(self, other: "XMLSchemaInt") -> "XMLSchemaInt":
+        """Merge an imported schema into this one (imports compose)."""
+        from repro.errors import XMLSchemaIntError
+
+        for kind, ours, theirs in (
+            ("element", self.elements, other.elements),
+            ("type", self.types, other.types),
+            ("function", self.functions, other.functions),
+            ("functionPattern", self.patterns, other.patterns),
+        ):
+            for name, decl in theirs.items():
+                if name in ours and ours[name] != decl:
+                    raise XMLSchemaIntError(
+                        "conflicting %s declaration %r across imports"
+                        % (kind, name)
+                    )
+                ours[name] = decl
+        if self.root is None:
+            self.root = other.root
+        return self

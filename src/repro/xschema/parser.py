@@ -1,0 +1,357 @@
+"""Parser for the XML syntax of XML Schema_int.
+
+Covers the subset the paper's own parser implemented: global element
+declarations, named and anonymous complex types, ``sequence`` / ``choice``
+groups, element/type references, ``minOccurs`` / ``maxOccurs``, schema
+import, wildcards — plus the intensional extensions ``function`` and
+``functionPattern`` (declared globally with an ``id``, referenced inside
+content models with ``ref``, exactly as Section 7 describes).  Simple
+types (``type="xs:string"`` etc.) collapse to atomic data.
+
+Example (the paper's ``newspaper`` element)::
+
+    <schema xmlns="http://www.w3.org/2001/XMLSchema">
+      <element name="newspaper">
+        <complexType>
+          <sequence>
+            <element ref="title"/>
+            <element ref="date"/>
+            <choice>
+              <functionPattern ref="Forecast"/>
+              <element ref="temp"/>
+            </choice>
+            <choice>
+              <function ref="TimeOut"/>
+              <element ref="exhibit" minOccurs="0" maxOccurs="unbounded"/>
+            </choice>
+          </sequence>
+        </complexType>
+      </element>
+      ...
+    </schema>
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import XMLSchemaIntError
+from repro.xschema.model import (
+    AllGroup,
+    AnyParticle,
+    Choice,
+    DataParticle,
+    ElementDecl,
+    ElementRef,
+    FunctionDecl,
+    FunctionPatternDecl,
+    FunctionRef,
+    Occurs,
+    Particle,
+    PatternRef,
+    Sequence,
+    XMLSchemaInt,
+)
+
+XS_NS = "http://www.w3.org/2001/XMLSchema"
+
+#: Loader callback for <import schemaLocation="..."/>.
+ImportLoader = Callable[[str], str]
+
+
+def _local(tag: str) -> str:
+    """Strip the XML Schema namespace from a tag."""
+    if tag.startswith("{%s}" % XS_NS):
+        return tag[len(XS_NS) + 2:]
+    if tag.startswith("{"):
+        raise XMLSchemaIntError("unexpected namespaced element %r" % tag)
+    return tag
+
+
+def _occurs(elem: ET.Element) -> Occurs:
+    low_text = elem.get("minOccurs", "1")
+    high_text = elem.get("maxOccurs", "1")
+    try:
+        low = int(low_text)
+    except ValueError as exc:
+        raise XMLSchemaIntError("bad minOccurs %r" % low_text) from exc
+    if high_text == "unbounded":
+        high: Optional[int] = None
+    else:
+        try:
+            high = int(high_text)
+        except ValueError as exc:
+            raise XMLSchemaIntError("bad maxOccurs %r" % high_text) from exc
+        if high < low:
+            raise XMLSchemaIntError(
+                "maxOccurs %d smaller than minOccurs %d" % (high, low)
+            )
+    return Occurs(low, high)
+
+
+def parse_xschema(
+    source: str,
+    loader: Optional[ImportLoader] = None,
+    root: Optional[str] = None,
+) -> XMLSchemaInt:
+    """Parse one XML Schema_int document (resolving imports via ``loader``)."""
+    try:
+        tree = ET.fromstring(source)
+    except ET.ParseError as exc:
+        raise XMLSchemaIntError("malformed XML Schema_int: %s" % exc) from exc
+    if _local(tree.tag) != "schema":
+        raise XMLSchemaIntError("root element must be <schema>, got %r" % tree.tag)
+
+    parser = _Parser()
+    schema = parser.parse_schema(tree)
+    schema.root = root or tree.get("root") or schema.root
+
+    for location in schema.imports:
+        if loader is None:
+            raise XMLSchemaIntError(
+                "schema imports %r but no loader was provided" % location
+            )
+        schema.merge(parse_xschema(loader(location), loader))
+    return schema
+
+
+class _Parser:
+    """Stateful walk over one schema document."""
+
+    def __init__(self):
+        self.schema = XMLSchemaInt()
+        self._anon = 0
+
+    def parse_schema(self, tree: ET.Element) -> XMLSchemaInt:
+        for child in tree:
+            kind = _local(child.tag)
+            if kind == "element":
+                self._global_element(child)
+            elif kind == "complexType":
+                self._named_type(child)
+            elif kind == "function":
+                self._function(child)
+            elif kind == "functionPattern":
+                self._pattern(child)
+            elif kind == "import":
+                location = child.get("schemaLocation")
+                if not location:
+                    raise XMLSchemaIntError("<import> requires schemaLocation")
+                self.schema.imports.append(location)
+            elif kind == "annotation":
+                continue
+            else:
+                raise XMLSchemaIntError("unsupported top-level <%s>" % kind)
+        return self.schema
+
+    # -- declarations ---------------------------------------------------------
+
+    def _global_element(self, elem: ET.Element) -> None:
+        name = elem.get("name")
+        if not name:
+            raise XMLSchemaIntError("global <element> requires a name")
+        if name in self.schema.elements:
+            raise XMLSchemaIntError("element %r declared twice" % name)
+        self.schema.elements[name] = ElementDecl(name, self._element_content(elem))
+
+    def _element_content(self, elem: ET.Element) -> Optional[Particle]:
+        type_name = elem.get("type")
+        inline = [c for c in elem if _local(c.tag) == "complexType"]
+        if type_name and inline:
+            raise XMLSchemaIntError(
+                "element %r has both a type attribute and an inline type"
+                % elem.get("name")
+            )
+        if type_name:
+            if self._is_simple_type(type_name):
+                return None  # atomic data
+            return _TypeRef(type_name)  # resolved at compile time
+        if inline:
+            return self._complex_type(inline[0])
+        return None  # no content model: data element
+
+    @staticmethod
+    def _is_simple_type(type_name: str) -> bool:
+        bare = type_name.split(":")[-1]
+        return bare in {
+            "string", "int", "integer", "decimal", "float", "double",
+            "boolean", "date", "dateTime", "anyURI", "token",
+        }
+
+    def _named_type(self, elem: ET.Element) -> None:
+        name = elem.get("name")
+        if not name:
+            raise XMLSchemaIntError("top-level <complexType> requires a name")
+        if name in self.schema.types:
+            raise XMLSchemaIntError("complexType %r declared twice" % name)
+        self.schema.types[name] = self._complex_type(elem)
+
+    def _complex_type(self, elem: ET.Element) -> Particle:
+        groups = [c for c in elem if _local(c.tag) != "annotation"]
+        if len(groups) != 1:
+            raise XMLSchemaIntError(
+                "complexType must contain exactly one content group"
+            )
+        return self._particle(groups[0])
+
+    # -- particles ----------------------------------------------------------
+
+    def _particle(self, elem: ET.Element) -> Particle:
+        kind = _local(elem.tag)
+        occurs = _occurs(elem)
+        if kind == "sequence":
+            return Sequence(tuple(self._group_items(elem)), occurs)
+        if kind == "choice":
+            return Choice(tuple(self._group_items(elem)), occurs)
+        if kind == "all":
+            items = tuple(self._group_items(elem))
+            if len(items) > 5:
+                raise XMLSchemaIntError(
+                    "<all> groups with more than 5 items are not supported "
+                    "(the permutation expansion would explode)"
+                )
+            for item in items:
+                item_occurs = getattr(item, "occurs", None)
+                if item_occurs is not None and (
+                    item_occurs.high is None or item_occurs.high > 1
+                ):
+                    raise XMLSchemaIntError(
+                        "<all> items must have maxOccurs <= 1"
+                    )
+            return AllGroup(items, occurs)
+        if kind == "element":
+            return self._element_particle(elem, occurs)
+        if kind == "function":
+            ref = elem.get("ref")
+            if not ref:
+                raise XMLSchemaIntError("inline <function> must use ref=")
+            return FunctionRef(ref, occurs)
+        if kind == "functionPattern":
+            ref = elem.get("ref")
+            if not ref:
+                raise XMLSchemaIntError("inline <functionPattern> must use ref=")
+            return PatternRef(ref, occurs)
+        if kind == "any":
+            exclude = tuple(
+                name for name in (elem.get("except") or "").split() if name
+            )
+            return AnyParticle(exclude, occurs)
+        if kind == "data":
+            return DataParticle(occurs)
+        raise XMLSchemaIntError("unsupported particle <%s>" % kind)
+
+    def _group_items(self, elem: ET.Element) -> List[Particle]:
+        return [
+            self._particle(child)
+            for child in elem
+            if _local(child.tag) != "annotation"
+        ]
+
+    def _element_particle(self, elem: ET.Element, occurs: Occurs) -> Particle:
+        ref = elem.get("ref")
+        if ref:
+            return ElementRef(ref, occurs)
+        name = elem.get("name")
+        if not name:
+            raise XMLSchemaIntError("element particle needs ref= or name=")
+        # Local element declaration: hoist to a global one (names must be
+        # globally consistent in the simple model).
+        decl = ElementDecl(name, self._element_content(elem))
+        existing = self.schema.elements.get(name)
+        if existing is not None and existing != decl:
+            raise XMLSchemaIntError(
+                "conflicting declarations for element %r" % name
+            )
+        self.schema.elements[name] = decl
+        return ElementRef(name, occurs)
+
+    # -- functions -----------------------------------------------------------
+
+    def _signature(self, elem: ET.Element) -> Tuple[Tuple[Particle, ...], Particle]:
+        params: List[Particle] = []
+        result: Optional[Particle] = None
+        for child in elem:
+            kind = _local(child.tag)
+            if kind == "params":
+                for param in child:
+                    if _local(param.tag) != "param":
+                        raise XMLSchemaIntError(
+                            "<params> may only contain <param>"
+                        )
+                    inner = [c for c in param if _local(c.tag) != "annotation"]
+                    if len(inner) != 1:
+                        raise XMLSchemaIntError(
+                            "<param> must wrap exactly one particle"
+                        )
+                    params.append(self._particle(inner[0]))
+            elif kind in ("return", "result"):
+                inner = [c for c in child if _local(c.tag) != "annotation"]
+                if len(inner) != 1:
+                    raise XMLSchemaIntError(
+                        "<%s> must wrap exactly one particle" % kind
+                    )
+                result = self._particle(inner[0])
+            elif kind == "annotation":
+                continue
+            else:
+                raise XMLSchemaIntError(
+                    "unsupported <%s> inside a function declaration" % kind
+                )
+        if result is None:
+            result = Sequence((), Occurs(1, 1))  # returns nothing
+        return tuple(params), result
+
+    def _function(self, elem: ET.Element) -> None:
+        name = elem.get("id") or elem.get("methodName")
+        if not name:
+            raise XMLSchemaIntError("<function> requires id= or methodName=")
+        if name in self.schema.functions or name in self.schema.patterns:
+            raise XMLSchemaIntError("function %r declared twice" % name)
+        params, result = self._signature(elem)
+        self.schema.functions[name] = FunctionDecl(
+            name,
+            params,
+            result,
+            endpoint=elem.get("endpointURL"),
+            namespace=elem.get("namespaceURI"),
+            method_name=elem.get("methodName") or name,
+        )
+
+    def _pattern(self, elem: ET.Element) -> None:
+        name = elem.get("id")
+        if not name:
+            raise XMLSchemaIntError("<functionPattern> requires id=")
+        if name in self.schema.functions or name in self.schema.patterns:
+            raise XMLSchemaIntError("functionPattern %r declared twice" % name)
+        params, result = self._signature(elem)
+        match = elem.get("match", "exact")
+        if match not in ("exact", "subsume"):
+            raise XMLSchemaIntError(
+                "functionPattern match= must be 'exact' or 'subsume'"
+            )
+        self.schema.patterns[name] = FunctionPatternDecl(
+            name,
+            params,
+            result,
+            predicate_endpoint=elem.get("endpointURL"),
+            predicate_namespace=elem.get("namespaceURI"),
+            predicate_method=elem.get("methodName"),
+            wsdl_signature=elem.get("WSDLSignature"),
+            match=match,
+        )
+
+
+class _TypeRef(tuple):
+    """Internal marker: element content referring to a named complexType.
+
+    Compiled away in :mod:`repro.xschema.compile`; modeled as a tuple so
+    the model dataclasses stay frozen/hashable.
+    """
+
+    def __new__(cls, name: str):
+        return super().__new__(cls, (name,))
+
+    @property
+    def name(self) -> str:
+        return self[0]

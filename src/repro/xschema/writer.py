@@ -1,0 +1,174 @@
+"""Emit XML Schema_int documents from simple schemas.
+
+The inverse of parse-then-compile: a :class:`repro.schema.Schema` is
+rendered as the XML syntax of Section 7.  Used to publish a peer's
+exchange schema, to embed types into WSDL_int descriptions, and by the
+round-trip property tests (emit → parse → compile must preserve the
+language of every type).
+"""
+
+from __future__ import annotations
+
+from typing import List
+from xml.sax.saxutils import quoteattr
+
+from repro.automata.symbols import DATA
+from repro.errors import XMLSchemaIntError
+from repro.regex.ast import (
+    Alt,
+    AnySymbol,
+    Atom,
+    Empty,
+    Epsilon,
+    Regex,
+    Repeat,
+    Seq,
+    Star,
+)
+from repro.schema.model import Schema
+
+
+def schema_to_xschema(schema: Schema) -> str:
+    """Render a simple schema as an XML Schema_int document."""
+    lines: List[str] = ['<schema xmlns="http://www.w3.org/2001/XMLSchema"']
+    if schema.root:
+        lines[0] += " root=%s" % quoteattr(schema.root)
+    lines[0] += ">"
+
+    for name in sorted(schema.label_types):
+        expr = schema.label_types[name]
+        if isinstance(expr, Atom) and expr.symbol == DATA:
+            lines.append('  <element name=%s type="string"/>' % quoteattr(name))
+            continue
+        lines.append("  <element name=%s>" % quoteattr(name))
+        lines.append("    <complexType>")
+        _emit_group(expr, schema, lines, indent=6)
+        lines.append("    </complexType>")
+        lines.append("  </element>")
+
+    for name in sorted(schema.functions):
+        signature = schema.functions[name]
+        lines.append("  <function id=%s methodName=%s>" % (
+            quoteattr(name), quoteattr(name)))
+        _emit_signature(signature.input_type, signature.output_type, schema, lines)
+        lines.append("  </function>")
+
+    for name in sorted(schema.patterns):
+        pattern = schema.patterns[name]
+        match_attr = (
+            ' match="subsume"' if pattern.match == "subsume" else ""
+        )
+        lines.append(
+            "  <functionPattern id=%s%s>" % (quoteattr(name), match_attr)
+        )
+        _emit_signature(
+            pattern.signature.input_type, pattern.signature.output_type,
+            schema, lines,
+        )
+        lines.append("  </functionPattern>")
+
+    lines.append("</schema>")
+    return "\n".join(lines)
+
+
+def _emit_signature(input_type, output_type, schema, lines: List[str]) -> None:
+    params = (
+        list(input_type.items) if isinstance(input_type, Seq) else
+        [] if isinstance(input_type, Epsilon) else [input_type]
+    )
+    lines.append("    <params>")
+    for param in params:
+        lines.append("      <param>")
+        _emit_particle(param, schema, lines, indent=8)
+        lines.append("      </param>")
+    lines.append("    </params>")
+    lines.append("    <return>")
+    _emit_particle(output_type, schema, lines, indent=6)
+    lines.append("    </return>")
+
+
+def _emit_group(expr: Regex, schema: Schema, lines: List[str], indent: int) -> None:
+    """Emit a content model, wrapping lone particles in a sequence."""
+    if isinstance(expr, Seq):
+        _emit_particle(expr, schema, lines, indent)
+    else:
+        pad = " " * indent
+        lines.append(pad + "<sequence>")
+        _emit_particle(expr, schema, lines, indent + 2)
+        lines.append(pad + "</sequence>")
+
+
+def _ref_tag(symbol: str, schema: Schema) -> str:
+    if symbol in schema.functions:
+        return "function"
+    if symbol in schema.patterns:
+        return "functionPattern"
+    return "element"
+
+
+def _emit_particle(
+    expr: Regex,
+    schema: Schema,
+    lines: List[str],
+    indent: int,
+    occurs: str = "",
+) -> None:
+    pad = " " * indent
+    if isinstance(expr, Epsilon):
+        lines.append(pad + "<sequence%s/>" % occurs)
+        return
+    if isinstance(expr, Empty):
+        raise XMLSchemaIntError("the empty language is not expressible")
+    if isinstance(expr, Atom):
+        if expr.symbol == DATA:
+            lines.append(pad + "<data%s/>" % occurs)
+        else:
+            lines.append(
+                pad + "<%s ref=%s%s/>"
+                % (_ref_tag(expr.symbol, schema), quoteattr(expr.symbol), occurs)
+            )
+        return
+    if isinstance(expr, AnySymbol):
+        exc = (
+            " except=%s" % quoteattr(" ".join(sorted(expr.exclude)))
+            if expr.exclude
+            else ""
+        )
+        lines.append(pad + "<any%s%s/>" % (exc, occurs))
+        return
+    if isinstance(expr, Seq):
+        lines.append(pad + "<sequence%s>" % occurs)
+        for item in expr.items:
+            _emit_particle(item, schema, lines, indent + 2)
+        lines.append(pad + "</sequence>")
+        return
+    if isinstance(expr, Alt):
+        lines.append(pad + "<choice%s>" % occurs)
+        for option in expr.options:
+            _emit_particle(option, schema, lines, indent + 2)
+        lines.append(pad + "</choice>")
+        return
+    if isinstance(expr, Star):
+        _emit_occurring(expr.item, schema, lines, indent, 0, None)
+        return
+    if isinstance(expr, Repeat):
+        _emit_occurring(expr.item, schema, lines, indent, expr.low, expr.high)
+        return
+    raise TypeError("unknown regex node %r" % (expr,))
+
+
+def _emit_occurring(
+    inner: Regex, schema: Schema, lines: List[str], indent: int, low, high
+) -> None:
+    """Attach occurrence bounds, wrapping compound inners in a sequence."""
+    occurs = ' minOccurs="%d" maxOccurs=%s' % (
+        low,
+        '"unbounded"' if high is None else '"%d"' % high,
+    )
+    if isinstance(inner, (Atom, AnySymbol, Alt, Epsilon)):
+        _emit_particle(inner, schema, lines, indent, occurs)
+        return
+    pad = " " * indent
+    lines.append(pad + "<sequence%s>" % occurs)
+    _emit_particle(inner, schema, lines, indent + 2)
+    lines.append(pad + "</sequence>")

@@ -1,0 +1,109 @@
+"""Shared fixtures: the paper's running example, wired to simulated services."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import (
+    FunctionSignature,
+    Service,
+    ServiceRegistry,
+    constant_responder,
+    el,
+    parse_regex,
+)
+from repro.workloads import newspaper
+
+
+@pytest.fixture
+def doc():
+    """The intensional newspaper document of Figure 2.a."""
+    return newspaper.document()
+
+
+@pytest.fixture
+def schema_star():
+    return newspaper.schema_star()
+
+
+@pytest.fixture
+def schema_star2():
+    return newspaper.schema_star2()
+
+
+@pytest.fixture
+def schema_star3():
+    return newspaper.schema_star3()
+
+
+@pytest.fixture
+def newspaper_outputs():
+    """tau_out for the two calls of the running example."""
+    return {
+        "Get_Temp": parse_regex("temp"),
+        "TimeOut": parse_regex("(exhibit | performance)*"),
+        "Get_Date": parse_regex("date"),
+    }
+
+
+def build_registry(timeout_returns="exhibit"):
+    """A registry serving Get_Temp / TimeOut / Get_Date with fixed answers.
+
+    ``timeout_returns`` picks what TimeOut answers: "exhibit",
+    "performance" or "mixed".
+    """
+    get_temp = Service("http://www.forecast.com/soap", "urn:xmethods-weather")
+    get_temp.add_operation(
+        "Get_Temp",
+        FunctionSignature(parse_regex("city"), parse_regex("temp")),
+        constant_responder((el("temp", "15"),)),
+        side_effect_free=True,
+    )
+
+    exhibit = el("exhibit", el("title", "Picasso"), el("date", "04/11"))
+    performance = el("performance")
+    forests = {
+        "exhibit": (exhibit,),
+        "performance": (performance,),
+        "mixed": (exhibit, performance),
+        "empty": (),
+    }
+    timeout = Service("http://www.timeout.com/paris", "urn:timeout-program")
+    timeout.add_operation(
+        "TimeOut",
+        FunctionSignature(
+            parse_regex("data"), parse_regex("(exhibit | performance)*")
+        ),
+        constant_responder(forests[timeout_returns]),
+    )
+
+    dates = Service("http://dates.example.com/soap", "urn:dates")
+    dates.add_operation(
+        "Get_Date",
+        FunctionSignature(parse_regex("title"), parse_regex("date")),
+        constant_responder((el("date", "04/12"),)),
+        side_effect_free=True,
+    )
+
+    registry = ServiceRegistry()
+    registry.register(get_temp).register(timeout).register(dates)
+    return registry
+
+
+@pytest.fixture
+def registry():
+    """The default registry: TimeOut is well-behaved (exhibits only)."""
+    return build_registry("exhibit")
+
+
+@pytest.fixture
+def adversarial_registry():
+    """TimeOut answers with a performance — the paper's failure case."""
+    return build_registry("performance")
+
+
+@pytest.fixture
+def rng():
+    return random.Random(20030609)  # SIGMOD 2003, June 9

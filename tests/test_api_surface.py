@@ -1,0 +1,36 @@
+"""The public API surface stays importable and coherent."""
+
+import repro
+
+
+class TestPublicSurface:
+    def test_every_all_entry_resolves(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_no_duplicate_exports(self):
+        assert len(repro.__all__) == len(set(repro.__all__))
+
+    def test_subpackage_alls_resolve(self):
+        import repro.automata
+        import repro.axml
+        import repro.doc
+        import repro.regex
+        import repro.rewriting
+        import repro.schema
+        import repro.schemarewrite
+        import repro.services
+        import repro.xschema
+
+        for module in (
+            repro.doc, repro.regex, repro.automata, repro.schema,
+            repro.rewriting, repro.schemarewrite, repro.services,
+            repro.xschema, repro.axml,
+        ):
+            for name in module.__all__:
+                assert getattr(module, name, None) is not None, (
+                    module.__name__, name,
+                )
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"

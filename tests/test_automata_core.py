@@ -1,0 +1,151 @@
+"""Unit tests for the Glushkov construction and NFA/DFA machinery."""
+
+import pytest
+
+from repro.automata.dfa import complement, complete, determinize, minimize
+from repro.automata.glushkov import expand_repeats, glushkov_nfa
+from repro.automata.ops import (
+    intersects,
+    is_empty,
+    language_equal,
+    language_subset,
+    regex_to_dfa,
+    shortest_words,
+)
+from repro.automata.symbols import OTHER, Alphabet
+from repro.regex.ast import Repeat
+from repro.regex.ops import matches
+from repro.regex.parser import parse_regex
+
+
+def words_upto(alphabet, max_len):
+    frontier = [()]
+    for _ in range(max_len + 1):
+        new = []
+        for word in frontier:
+            yield word
+            for symbol in alphabet:
+                new.append(word + (symbol,))
+        frontier = new
+
+
+class TestGlushkov:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "a", "a.b", "(a | b)*", "a*.b?", "a{2,3}",
+            "title.date.(Get_Temp | temp).(TimeOut | exhibit*)",
+            "(a.b | c)*.a?",
+        ],
+    )
+    def test_agrees_with_reference_matcher(self, text):
+        expr = parse_regex(text)
+        nfa = glushkov_nfa(expr)
+        for word in words_upto(("a", "b", "c"), 4):
+            assert nfa.accepts(word) == matches(expr, word), word
+
+    def test_state_count_is_positions_plus_one(self):
+        nfa = glushkov_nfa(parse_regex("a.b.(c | d)"))
+        assert nfa.n_states == 5  # 4 positions + initial
+
+    def test_no_epsilon_transitions(self):
+        nfa = glushkov_nfa(parse_regex("(a | b)*.c?"))
+        assert not nfa.epsilon
+
+    def test_expand_repeats_removes_repeat_nodes(self):
+        expr = parse_regex("a{2,4}.b+")
+        expanded = expand_repeats(expr)
+        assert not any(isinstance(node, Repeat) for node in expanded.walk())
+        for word in words_upto(("a", "b"), 6):
+            assert matches(expanded, word) == matches(expr, word)
+
+    def test_deterministic_for_one_unambiguous(self):
+        alphabet = Alphabet.closure({"a", "b"})
+        assert glushkov_nfa(parse_regex("a*.b")).is_deterministic(alphabet)
+        assert not glushkov_nfa(parse_regex("a*.a")).is_deterministic(alphabet)
+
+
+class TestDFAOperations:
+    def test_determinize_preserves_language(self):
+        expr = parse_regex("(a | a.b)*")  # nondeterministic on purpose
+        dfa = regex_to_dfa(expr)
+        for word in words_upto(("a", "b"), 5):
+            assert dfa.accepts(word) == matches(expr, word), word
+
+    def test_complete_adds_sink(self):
+        dfa = regex_to_dfa(parse_regex("a.b"))
+        completed = complete(dfa)
+        assert completed.is_complete()
+        assert completed.accepts(["a", "b"])
+        assert not completed.accepts(["b"])
+
+    def test_complement_flips_membership(self):
+        expr = parse_regex("title.date.temp.(TimeOut | exhibit*)")
+        dfa = regex_to_dfa(expr)
+        comp = complement(dfa)
+        assert comp.is_complete()
+        for word in (
+            ("title", "date", "temp"),
+            ("title", "date", "temp", "TimeOut"),
+            ("title",),
+            ("title", "date", "temp", "performance"),
+        ):
+            assert comp.accepts(word) != dfa.accepts(word), word
+
+    def test_complement_handles_unknown_symbols_via_other(self):
+        dfa = regex_to_dfa(parse_regex("a"))
+        comp = complement(dfa)
+        assert comp.accepts(["never-declared-symbol"])
+
+    def test_minimize_preserves_language(self):
+        expr = parse_regex("(a | b).(a | b).c?")
+        dfa = regex_to_dfa(expr)
+        minimal = minimize(dfa)
+        assert minimal.n_states <= complete(dfa).n_states
+        assert language_equal(dfa, minimal)
+
+    def test_minimize_collapses_equivalent_states(self):
+        # (a.c | b.c) has two intermediate states with identical futures.
+        dfa = regex_to_dfa(parse_regex("(a.c) | (b.c)"))
+        minimal = minimize(dfa)
+        assert minimal.n_states < complete(dfa).n_states
+
+    def test_sink_states_found(self):
+        comp = complement(regex_to_dfa(parse_regex("a.b")))
+        sinks = comp.sink_states()
+        assert sinks  # the error sink
+        for sink in sinks:
+            assert sink in comp.accepting
+
+
+class TestLanguageOps:
+    def test_is_empty(self):
+        assert is_empty(regex_to_dfa(parse_regex("empty")))
+        assert not is_empty(regex_to_dfa(parse_regex("a?")))
+
+    def test_subset_and_equal(self):
+        small = regex_to_dfa(parse_regex("a.b"))
+        big = regex_to_dfa(parse_regex("a.(b | c)"))
+        assert language_subset(small, big)
+        assert not language_subset(big, small)
+        assert language_equal(big, regex_to_dfa(parse_regex("(a.b) | (a.c)")))
+
+    def test_intersects(self):
+        left = regex_to_dfa(parse_regex("a*.b"))
+        right = regex_to_dfa(parse_regex("a.a.b"))
+        assert intersects(left, right)
+        assert not intersects(left, regex_to_dfa(parse_regex("c")))
+
+    def test_shortest_words_order(self):
+        dfa = regex_to_dfa(parse_regex("a.b | c | a.b.c.d"))
+        words = list(shortest_words(dfa, 3))
+        assert words[0] == ("c",)
+        assert len(words[1]) == 2
+
+    def test_paper_output_type_contains_adversarial_word(self):
+        # lang((exhibit|performance)*) ⊄ lang(exhibit*): the core of why
+        # the newspaper document is not safely rewritable into (***).
+        out = regex_to_dfa(parse_regex("(exhibit | performance)*"))
+        target = regex_to_dfa(parse_regex("exhibit*"))
+        assert not language_subset(out, target)
+        assert language_subset(target, out)

@@ -1,0 +1,274 @@
+"""Unit tests for the Active XML layer: repository, enforcement, peers."""
+
+import pytest
+
+from repro import (
+    AXMLPeer,
+    Document,
+    DocumentRepository,
+    FunctionSignature,
+    PeerNetwork,
+    SchemaBuilder,
+    SchemaEnforcer,
+    Service,
+    TriggerPolicy,
+    apply_triggers,
+    call,
+    constant_responder,
+    el,
+    is_instance,
+    parse_regex,
+    text,
+)
+from repro.axml.query import query_path, select
+from repro.errors import DocumentError, SchemaError, ServiceFault
+from repro.workloads import newspaper
+
+
+class TestRepository:
+    def test_store_get_delete(self, doc):
+        repo = DocumentRepository()
+        repo.store("front", doc)
+        assert repo.get("front") == doc
+        assert "front" in repo and len(repo) == 1
+        repo.delete("front")
+        assert "front" not in repo
+        with pytest.raises(DocumentError):
+            repo.get("front")
+        with pytest.raises(DocumentError):
+            repo.delete("front")
+
+    def test_persistence_roundtrip(self, doc, tmp_path):
+        repo = DocumentRepository()
+        repo.store("front", doc)
+        repo.store("other", Document(el("a", "x")))
+        written = repo.save_to(str(tmp_path))
+        assert len(written) == 2
+        loaded = DocumentRepository.load_from(str(tmp_path))
+        assert loaded.names() == ["front", "other"]
+        assert loaded.get("front") == doc
+
+    def test_stats(self, doc):
+        repo = DocumentRepository()
+        repo.store("front", doc)
+        stats = repo.intensional_stats()
+        assert stats == {"documents": 1, "nodes": doc.size(), "calls": 2}
+
+
+class TestEnforcement:
+    def test_step_i_conformant_document_untouched(self, doc, schema_star, registry):
+        enforcer = SchemaEnforcer(schema_star, schema_star)
+        outcome = enforcer.enforce_document(doc, registry.make_invoker())
+        assert outcome.ok and outcome.already_conformant
+        assert outcome.document == doc
+        assert outcome.calls_made == 0
+
+    def test_step_ii_rewrites(self, doc, schema_star, schema_star2, registry):
+        enforcer = SchemaEnforcer(schema_star2, schema_star)
+        outcome = enforcer.enforce_document(doc, registry.make_invoker())
+        assert outcome.ok and not outcome.already_conformant
+        assert outcome.calls_made == 1
+        assert is_instance(outcome.document, schema_star2, schema_star)
+
+    def test_step_iii_reports_error(self, doc, schema_star, schema_star3, registry):
+        enforcer = SchemaEnforcer(schema_star3, schema_star)  # safe mode
+        outcome = enforcer.enforce_document(doc, registry.make_invoker())
+        assert not outcome.ok
+        assert "safe" in outcome.error
+
+    def test_forest_enforcement(self, schema_star, registry):
+        enforcer = SchemaEnforcer(schema_star, schema_star)
+        forest = (call("Get_Temp", el("city", "Paris")),)
+        outcome = enforcer.enforce_forest(
+            forest, parse_regex("temp"), registry.make_invoker()
+        )
+        assert outcome.ok
+        assert [n.label for n in outcome.forest] == ["temp"]
+
+    def test_forest_already_conformant(self, schema_star, registry):
+        enforcer = SchemaEnforcer(schema_star, schema_star)
+        forest = (el("temp", "20"),)
+        outcome = enforcer.enforce_forest(
+            forest, parse_regex("temp"), registry.make_invoker()
+        )
+        assert outcome.ok and outcome.already_conformant
+
+
+class TestTriggers:
+    def test_eager_materialization(self, doc, registry):
+        enriched, log = apply_triggers(
+            doc, registry.make_invoker(), TriggerPolicy(max_depth=1)
+        )
+        assert enriched.is_extensional()
+        assert sorted(log.invoked) == ["Get_Temp", "TimeOut"]
+
+    def test_filtered_policy(self, doc, registry):
+        policy = TriggerPolicy(max_depth=1, only=lambda n: n == "Get_Temp")
+        enriched, log = apply_triggers(doc, registry.make_invoker(), policy)
+        assert log.invoked == ["Get_Temp"]
+        assert enriched.function_count() == 1  # TimeOut untouched
+
+    def test_depth_chases_returned_calls(self, registry):
+        document = Document(el("newspaper", call("TimeOut", text("k"))))
+
+        # TimeOut's exhibit contains no calls with the default registry,
+        # so craft one that returns an intensional exhibit.
+        from repro import ServiceRegistry
+
+        svc = Service("http://t2", "urn:t2")
+        svc.add_operation(
+            "TimeOut",
+            FunctionSignature(
+                parse_regex("data"), parse_regex("(exhibit | performance)*")
+            ),
+            constant_responder(
+                (el("exhibit", el("title", "T"),
+                    call("Get_Date", el("title", "T"))),)
+            ),
+        )
+        reg = ServiceRegistry()
+        reg.register(svc)
+        dates = Service("http://dates", "urn:d")
+        dates.add_operation(
+            "Get_Date",
+            FunctionSignature(parse_regex("title"), parse_regex("date")),
+            constant_responder((el("date", "today"),)),
+        )
+        reg.register(dates)
+
+        shallow, _ = apply_triggers(
+            document, reg.make_invoker(), TriggerPolicy(max_depth=1)
+        )
+        assert shallow.function_count() == 1  # Get_Date remains
+        deep, _ = apply_triggers(
+            document, reg.make_invoker(), TriggerPolicy(max_depth=2)
+        )
+        assert deep.is_extensional()
+
+
+class TestQueries:
+    def test_select_paths(self, doc):
+        exhibits = query_path(
+            _repo_with(doc), "front", "newspaper/title"
+        )
+        assert len(exhibits) == 1
+
+    def test_wildcard_step(self, doc):
+        results = query_path(_repo_with(doc), "front", "newspaper/*")
+        assert len(results) == 2  # title and date elements
+
+    def test_function_nodes_matchable_by_name(self, doc):
+        results = query_path(_repo_with(doc), "front", "newspaper/Get_Temp")
+        assert len(results) == 1
+
+    def test_empty_path_rejected(self, doc):
+        with pytest.raises(DocumentError):
+            query_path(_repo_with(doc), "front", "")
+
+    def test_root_mismatch_returns_nothing(self, doc):
+        assert query_path(_repo_with(doc), "front", "magazine/title") == ()
+
+
+def _repo_with(document):
+    repo = DocumentRepository()
+    repo.store("front", document)
+    return repo
+
+
+class TestPeersAndNetwork:
+    def build_network(self, registry, schema_star, schema_star2):
+        alice = AXMLPeer("alice", schema_star)
+        for service in registry.services.values():
+            alice.registry.register(service)
+        bob = AXMLPeer("bob", schema_star2)
+        network = PeerNetwork()
+        network.add_peer(alice)
+        network.add_peer(bob)
+        return network, alice, bob
+
+    def test_exchange_materializes_per_agreement(
+        self, doc, registry, schema_star, schema_star2
+    ):
+        network, alice, bob = self.build_network(
+            registry, schema_star, schema_star2
+        )
+        alice.repository.store("front", doc)
+        network.agree("alice", "bob", schema_star2)
+        receipt = network.send("alice", "bob", "front")
+        assert receipt.accepted
+        assert receipt.calls_materialized == 1
+        assert receipt.bytes_on_wire > 0
+        received = bob.repository.get("front")
+        assert is_instance(received, schema_star2, schema_star)
+
+    def test_exchange_fails_cleanly_when_unsafe(
+        self, doc, registry, schema_star, schema_star3
+    ):
+        network, alice, _bob = self.build_network(
+            registry, schema_star, schema_star3
+        )
+        alice.repository.store("front", doc)
+        network.agree("alice", "bob", schema_star3)
+        receipt = network.send("alice", "bob", "front")
+        assert not receipt.accepted
+        assert "safe" in receipt.error
+
+    def test_missing_agreement_raises(self, doc, registry, schema_star, schema_star2):
+        network, alice, _bob = self.build_network(
+            registry, schema_star, schema_star2
+        )
+        alice.repository.store("front", doc)
+        with pytest.raises(SchemaError):
+            network.send("alice", "bob", "front")
+
+    def test_unknown_peer_raises(self, registry, schema_star, schema_star2):
+        network, _a, _b = self.build_network(registry, schema_star, schema_star2)
+        with pytest.raises(SchemaError):
+            network.agree("alice", "carol", schema_star2)
+
+    def test_provided_service_enforces_io(self, registry, schema_star):
+        peer = AXMLPeer("provider", schema_star)
+        for service in registry.services.values():
+            peer.registry.register(service)
+        # A service returning a temp element; callers may send an
+        # intensional parameter that the peer must materialize.
+        signature = FunctionSignature(parse_regex("temp"), parse_regex("temp"))
+        peer.provide("Echo_Temp", signature, lambda params: params)
+
+        # Parameter arrives intensional: a Get_Temp call instead of temp.
+        out = peer.service.invoke(
+            "Echo_Temp", (call("Get_Temp", el("city", "Paris")),)
+        )
+        assert [n.label for n in out] == ["temp"]
+
+    def test_provided_service_rejects_impossible_params(self, registry, schema_star):
+        peer = AXMLPeer("provider", schema_star)
+        signature = FunctionSignature(parse_regex("temp"), parse_regex("temp"))
+        peer.provide("Echo_Temp", signature, lambda params: params)
+        with pytest.raises(ServiceFault):
+            peer.service.invoke("Echo_Temp", (el("date", "x"),))
+
+    def test_query_service_over_repository(self, doc, schema_star):
+        peer = AXMLPeer("paper", schema_star)
+        peer.repository.store("front", doc)
+        signature = FunctionSignature(
+            parse_regex("data?"), parse_regex("title")
+        )
+        peer.provide_query("Get_Titles", "front", "newspaper/title", signature)
+        out = peer.service.invoke("Get_Titles", ())
+        assert [n.label for n in out] == ["title"]
+
+    def test_query_service_sees_repository_updates(self, doc, schema_star):
+        peer = AXMLPeer("paper", schema_star)
+        peer.repository.store("front", doc)
+        signature = FunctionSignature(
+            parse_regex("data?"), parse_regex("title*")
+        )
+        peer.provide_query("Get_Titles", "front", "newspaper/title", signature)
+        before = peer.service.invoke("Get_Titles", ())
+        peer.repository.store(
+            "front",
+            Document(el("newspaper", el("title", "A"), el("title", "B"))),
+        )
+        after = peer.service.invoke("Get_Titles", ())
+        assert len(after) == 2 and len(before) == 1

@@ -1,0 +1,141 @@
+"""Unit tests for declarative update services."""
+
+import pytest
+
+from repro import Document, DocumentRepository, call, el
+from repro.axml.updates import (
+    UpdateService,
+    delete_matches,
+    insert_into,
+    replace_matches,
+)
+from repro.doc.paths import child_word
+from repro.errors import DocumentError
+from repro.workloads import newspaper
+
+
+@pytest.fixture
+def doc():
+    return Document(
+        el("newspaper",
+           el("title", "The Sun"),
+           el("exhibit", el("title", "A"), el("date", "1")),
+           el("exhibit", el("title", "B"), el("date", "2")))
+    )
+
+
+class TestRawUpdates:
+    def test_insert_appends_by_default(self, doc):
+        result = insert_into(doc, "newspaper", (el("date", "today"),))
+        assert result.matched == 1 and result.changed
+        assert child_word(result.document.root)[-1] == "date"
+
+    def test_insert_at_position(self, doc):
+        result = insert_into(doc, "newspaper", (el("date", "d"),), position=1)
+        assert child_word(result.document.root)[1] == "date"
+
+    def test_insert_into_every_match(self, doc):
+        result = insert_into(
+            doc, "newspaper/exhibit", (call("Get_Date", el("title", "x")),)
+        )
+        assert result.matched == 2
+        for exhibit in result.document.root.children[1:]:
+            assert child_word(exhibit)[-1] == "Get_Date"
+
+    def test_insert_intensional_fragment(self, doc):
+        result = insert_into(doc, "newspaper", (call("TimeOut", "k"),))
+        assert result.document.function_count() == 1
+
+    def test_insert_into_function_node_rejected(self):
+        with pytest.raises(DocumentError):
+            insert_into(
+                newspaper.document(), "newspaper/Get_Temp", (el("x"),)
+            )
+
+    def test_replace(self, doc):
+        result = replace_matches(
+            doc, "newspaper/title", (el("title", "Le Monde"),)
+        )
+        assert result.matched == 1
+        assert result.document.root.children[0].children[0].value == "Le Monde"
+
+    def test_replace_by_forest_grows(self, doc):
+        result = replace_matches(
+            doc, "newspaper/exhibit", (el("exhibit", el("title", "X"),
+                                          el("date", "9")),
+                                       el("exhibit", el("title", "Y"),
+                                          el("date", "8")))
+        )
+        assert result.matched == 2
+        # 2 matches * 2 replacement trees = 4 exhibits.
+        assert child_word(result.document.root).count("exhibit") == 4
+
+    def test_replace_root(self, doc):
+        result = replace_matches(doc, "newspaper", (el("newspaper"),))
+        assert result.document.root.children == ()
+        with pytest.raises(DocumentError):
+            replace_matches(doc, "newspaper", (el("a"), el("b")))
+
+    def test_delete(self, doc):
+        result = delete_matches(doc, "newspaper/exhibit")
+        assert result.matched == 2
+        assert child_word(result.document.root) == ("title",)
+
+    def test_delete_root_rejected(self, doc):
+        with pytest.raises(DocumentError):
+            delete_matches(doc, "newspaper")
+
+    def test_no_match_is_noop(self, doc):
+        result = delete_matches(doc, "newspaper/nothing")
+        assert result.matched == 0 and not result.changed
+        assert result.document == doc
+
+    def test_empty_path_rejected(self, doc):
+        with pytest.raises(DocumentError):
+            insert_into(doc, "", (el("x"),))
+
+
+class TestValidatedService:
+    def setup_service(self, schema=None):
+        repository = DocumentRepository()
+        repository.store("front", newspaper.document())
+        return repository, UpdateService(repository, "front", schema)
+
+    def test_commit_on_valid_update(self):
+        repository, service = self.setup_service(newspaper.schema_star())
+        # Replace the Get_Temp call by a concrete temperature.
+        result = service.replace(
+            "newspaper/Get_Temp", (el("temp", "15"),)
+        )
+        assert result.matched == 1
+        assert repository.get("front").function_count() == 1
+
+    def test_rollback_on_schema_break(self):
+        repository, service = self.setup_service(newspaper.schema_star())
+        before = repository.get("front")
+        with pytest.raises(DocumentError):
+            service.delete("newspaper/title")  # title is mandatory
+        assert repository.get("front") == before  # unchanged
+
+    def test_unvalidated_service_commits_anything(self):
+        repository, service = self.setup_service(schema=None)
+        service.delete("newspaper/title")
+        assert "title" not in child_word(repository.get("front").root)
+
+    def test_updates_visible_to_query_services(self):
+        from repro import AXMLPeer, FunctionSignature, parse_regex
+
+        peer = AXMLPeer("paper", newspaper.schema_star())
+        peer.repository.store("front", newspaper.document())
+        peer.provide_query(
+            "Get_Exhibits", "front", "newspaper/exhibit",
+            FunctionSignature(parse_regex("data?"), parse_regex("exhibit*")),
+        )
+        assert peer.service.invoke("Get_Exhibits", ()) == ()
+        service = UpdateService(peer.repository, "front",
+                                newspaper.schema_star())
+        service.replace(
+            "newspaper/TimeOut",
+            (el("exhibit", el("title", "T"), el("date", "d")),),
+        )
+        assert len(peer.service.invoke("Get_Exhibits", ())) == 1

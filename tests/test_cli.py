@@ -1,0 +1,117 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.doc.document import Document
+from repro.workloads import newspaper
+from repro.xschema.writer import schema_to_xschema
+
+
+@pytest.fixture
+def files(tmp_path):
+    doc_path = tmp_path / "doc.xml"
+    doc_path.write_text(newspaper.document().to_xml())
+    star = tmp_path / "star.xsd"
+    star.write_text(schema_to_xschema(newspaper.schema_star()))
+    star2 = tmp_path / "star2.xsd"
+    star2.write_text(schema_to_xschema(newspaper.schema_star2()))
+    star3 = tmp_path / "star3.xsd"
+    star3.write_text(schema_to_xschema(newspaper.schema_star3()))
+    return {
+        "doc": str(doc_path),
+        "star": str(star),
+        "star2": str(star2),
+        "star3": str(star3),
+        "dir": tmp_path,
+    }
+
+
+class TestValidate:
+    def test_valid(self, files, capsys):
+        assert main(["validate", files["doc"], files["star"]]) == 0
+        assert "valid" in capsys.readouterr().out
+
+    def test_invalid_lists_violations(self, files, capsys):
+        assert main(["validate", files["doc"], files["star2"]]) == 1
+        out = capsys.readouterr().out
+        assert "INVALID" in out and "content" in out
+
+    def test_lenient_flag(self, files, tmp_path, capsys):
+        odd = tmp_path / "odd.xml"
+        odd.write_text(
+            Document.from_xml(newspaper.document().to_xml()).to_xml()
+        )
+        assert main(["validate", str(odd), files["star"], "--lenient"]) == 0
+
+
+class TestRewrite:
+    def test_rewrite_to_star2(self, files, capsys):
+        out_path = files["dir"] / "out.xml"
+        code = main([
+            "rewrite", files["doc"], files["star"], files["star2"],
+            "-o", str(out_path),
+        ])
+        assert code == 0
+        from repro.schema.validate import is_instance
+        from repro.xschema.compile import compile_xschema
+        from repro.xschema.parser import parse_xschema
+
+        result = Document.from_xml(out_path.read_text())
+        target = compile_xschema(parse_xschema(
+            (files["dir"] / "star2.xsd").read_text()))
+        sender = compile_xschema(parse_xschema(
+            (files["dir"] / "star.xsd").read_text()))
+        assert is_instance(result, target, sender)
+        assert "Get_Temp" in capsys.readouterr().err
+
+    def test_rewrite_safe_refuses_star3(self, files, capsys):
+        code = main([
+            "rewrite", files["doc"], files["star"], files["star3"],
+        ])
+        assert code == 1
+        assert "FAILED" in capsys.readouterr().err
+
+    def test_rewrite_stdout_default(self, files, capsys):
+        code = main(["rewrite", files["doc"], files["star"], files["star2"]])
+        assert code == 0
+        assert "<newspaper" in capsys.readouterr().out
+
+    def test_rewrite_deterministic_per_seed(self, files, capsys):
+        for _ in range(2):
+            main([
+                "rewrite", files["doc"], files["star"], files["star2"],
+                "--seed", "7",
+            ])
+        out = capsys.readouterr().out
+        first, second = out.split('<?xml version="1.0"?>')[1:]
+        assert first == second
+
+
+class TestCompat:
+    def test_compatible(self, files, capsys):
+        assert main(["compat", files["star"], files["star2"]]) == 0
+        assert "compatible" in capsys.readouterr().out
+
+    def test_incompatible(self, files, capsys):
+        assert main(["compat", files["star"], files["star3"]]) == 1
+        assert "NOT compatible" in capsys.readouterr().out
+
+
+class TestInspect:
+    def test_stats(self, files, capsys):
+        assert main(["inspect", files["doc"]]) == 0
+        out = capsys.readouterr().out
+        assert "calls     : 2" in out
+        assert "Get_Temp" in out
+
+
+class TestErrors:
+    def test_missing_file(self, capsys):
+        assert main(["inspect", "/nonexistent/x.xml"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_malformed_document(self, tmp_path, capsys):
+        bad = tmp_path / "bad.xml"
+        bad.write_text("<a><b></a>")
+        assert main(["inspect", str(bad)]) == 2

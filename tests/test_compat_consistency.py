@@ -1,0 +1,63 @@
+"""Consistency between schema-level and document-level safety.
+
+Section 6's check promises: if ``schema_safely_rewrites(s0, s)`` holds,
+every instance of ``s0`` safely rewrites into ``s``.  We test the
+promise itself over random schemas — compatibility at the schema level
+must imply ``can_rewrite`` for every generated instance (and the
+mechanically materialized receiver must always be compatible).
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.rewriting.engine import RewriteEngine
+from repro.schema import InstanceGenerator
+from repro.schemarewrite import schema_safely_rewrites
+from repro.workloads.generators import random_flat_schema
+from tests.test_properties_engine import materialize_schema
+
+
+class TestCompatImpliesInstanceSafety:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_materialized_receiver_always_compatible(self, seed):
+        sender = random_flat_schema(random.Random(seed))
+        receiver = materialize_schema(sender)
+        report = schema_safely_rewrites(sender, receiver, k=1)
+        assert report.compatible, str(report)
+
+    @given(st.integers(0, 10_000), st.integers(0, 10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_compatibility_promise_holds_per_instance(self, schema_seed,
+                                                      doc_seed):
+        sender = random_flat_schema(random.Random(schema_seed))
+        receiver = materialize_schema(sender)
+        assert schema_safely_rewrites(sender, receiver, k=1).compatible
+        document = InstanceGenerator(
+            sender, random.Random(doc_seed), max_depth=4
+        ).document()
+        engine = RewriteEngine(receiver, sender, k=1)
+        assert engine.can_rewrite(document), document.pretty()
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_self_compatibility_and_identity(self, seed):
+        sender = random_flat_schema(random.Random(seed))
+        assert schema_safely_rewrites(sender, sender, k=1).compatible
+        document = InstanceGenerator(
+            sender, random.Random(seed + 1), max_depth=4
+        ).document()
+        assert RewriteEngine(sender, sender, k=1).can_rewrite(document)
+
+
+class TestCliFigures:
+    def test_cli_figures_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["figures", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert out.count("wrote") == 7
+        assert (tmp_path / "fig4_awk.dot").exists()

@@ -1,0 +1,126 @@
+"""Unit tests for automatic converters (conclusion extension)."""
+
+import pytest
+
+from repro import (
+    Document,
+    DropElement,
+    MapData,
+    RenameLabel,
+    SchemaBuilder,
+    SchemaEnforcer,
+    Unwrap,
+    Wrap,
+    call,
+    convert_document,
+    el,
+    is_instance,
+    text,
+)
+from repro.rewriting.converters import convert_forest
+
+
+def celsius_to_fahrenheit(value: str) -> str:
+    return "%.0f" % (float(value) * 9 / 5 + 32)
+
+
+class TestIndividualConverters:
+    def test_rename(self):
+        doc = Document(el("a", el("temperature", "20")))
+        out = convert_document(doc, (RenameLabel("temperature", "temp"),))
+        assert out.root.children[0].label == "temp"
+
+    def test_map_data_celsius_to_fahrenheit(self):
+        doc = Document(el("a", el("temp", "20")))
+        out = convert_document(
+            doc, (MapData("temp", celsius_to_fahrenheit),)
+        )
+        assert out.root.children[0].children[0].value == "68"
+
+    def test_map_data_skips_non_leaf(self):
+        doc = Document(el("a", el("temp", el("deep", "20"))))
+        out = convert_document(doc, (MapData("temp", celsius_to_fahrenheit),))
+        assert out == doc
+
+    def test_unwrap(self):
+        doc = Document(el("a", el("wrapper", el("x"), el("y"))))
+        out = convert_document(doc, (Unwrap("wrapper"),))
+        assert [c.label for c in out.root.children] == ["x", "y"]
+
+    def test_wrap(self):
+        doc = Document(el("a", el("x")))
+        out = convert_document(doc, (Wrap("x", "box"),))
+        box = out.root.children[0]
+        assert box.label == "box" and box.children[0].label == "x"
+
+    def test_wrap_does_not_rewrap_its_output(self):
+        doc = Document(el("a", el("x")))
+        out = convert_document(doc, (Wrap("x", "x-box"),))
+        assert out.root.children[0].label == "x-box"
+        assert out.root.children[0].children[0].label == "x"
+
+    def test_drop(self):
+        doc = Document(el("a", el("junk"), el("keep")))
+        out = convert_document(doc, (DropElement("junk"),))
+        assert [c.label for c in out.root.children] == ["keep"]
+
+    def test_function_parameters_converted_too(self):
+        doc = Document(el("a", call("f", el("temperature", "5"))))
+        out = convert_document(doc, (RenameLabel("temperature", "temp"),))
+        assert out.root.children[0].params[0].label == "temp"
+
+    def test_root_must_survive(self):
+        doc = Document(el("junk"))
+        with pytest.raises(ValueError):
+            convert_document(doc, (DropElement("junk"),))
+
+    def test_pipeline_order_matters(self):
+        forest = convert_forest(
+            (el("temperature", "20"),),
+            (RenameLabel("temperature", "temp"),
+             MapData("temp", celsius_to_fahrenheit)),
+        )
+        assert forest[0].children[0].value == "68"
+
+
+class TestEnforcerIntegration:
+    def schemas(self):
+        sender = (
+            SchemaBuilder()
+            .element("report", "temperature")
+            .element("temperature", "data")
+            .build()
+        )
+        receiver = (
+            SchemaBuilder()
+            .element("report", "temp")
+            .element("temp", "data")
+            .build()
+        )
+        return sender, receiver
+
+    def test_converters_rescue_the_exchange(self):
+        sender, receiver = self.schemas()
+        doc = Document(el("report", el("temperature", "20")))
+        plain = SchemaEnforcer(receiver, sender)
+        assert not plain.enforce_document(doc, lambda fc: ()).ok
+
+        converting = SchemaEnforcer(
+            receiver, sender,
+            converters=(RenameLabel("temperature", "temp"),
+                        MapData("temp", celsius_to_fahrenheit)),
+        )
+        outcome = converting.enforce_document(doc, lambda fc: ())
+        assert outcome.ok
+        assert is_instance(outcome.document, receiver)
+        assert outcome.document.root.children[0].children[0].value == "68"
+
+    def test_useless_converters_still_report_error(self):
+        sender, receiver = self.schemas()
+        doc = Document(el("report", el("temperature", "20")))
+        enforcer = SchemaEnforcer(
+            receiver, sender, converters=(DropElement("nothing"),)
+        )
+        outcome = enforcer.enforce_document(doc, lambda fc: ())
+        assert not outcome.ok
+        assert outcome.error

@@ -1,0 +1,95 @@
+"""Unit tests for XML attributes on elements (the full-XML extension)."""
+
+import pytest
+
+from repro.doc import Document, el, text
+from repro.doc.nodes import Element, with_children
+from repro.errors import DocumentParseError
+from repro.schema import SchemaBuilder, is_instance
+
+
+class TestAttributeModel:
+    def test_builder_kwarg(self):
+        node = el("exhibit", attrs={"id": "42"})
+        assert node.get_attribute("id") == "42"
+        assert node.get_attribute("nope") is None
+        assert node.get_attribute("nope", "dflt") == "dflt"
+
+    def test_attributes_sorted_and_order_insensitive(self):
+        a = Element("x", (), (("b", "2"), ("a", "1")))
+        b = Element("x", (), (("a", "1"), ("b", "2")))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a.attributes == (("a", "1"), ("b", "2"))
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(ValueError):
+            Element("x", (), (("a", "1"), ("a", "2")))
+
+    def test_with_children_preserves_attributes(self):
+        node = el("x", "old", attrs={"keep": "me"})
+        replaced = with_children(node, (text("new"),))
+        assert replaced.get_attribute("keep") == "me"
+
+    def test_str_rendering_includes_attributes(self):
+        assert 'id="42"' in str(el("x", attrs={"id": "42"}))
+
+
+class TestAttributeSerialization:
+    def test_roundtrip(self):
+        document = Document(
+            el("catalog",
+               el("item", "laptop", attrs={"sku": "A-1", "stock": "3"}),
+               el("item", attrs={"sku": "B-2"}),
+               attrs={"vendor": "acme"})
+        )
+        assert Document.from_xml(document.to_xml()) == document
+
+    def test_attribute_values_escaped(self):
+        document = Document(el("a", attrs={"q": 'say "hi" & <bye>'}))
+        parsed = Document.from_xml(document.to_xml())
+        assert parsed.root.get_attribute("q") == 'say "hi" & <bye>'
+
+    def test_namespaced_attributes_rejected(self):
+        xml = '<a xmlns:z="urn:z" z:attr="v"/>'
+        with pytest.raises(DocumentParseError):
+            Document.from_xml(xml)
+
+    def test_root_namespace_decl_is_not_an_attribute(self):
+        document = Document(el("a", attrs={"x": "1"}))
+        parsed = Document.from_xml(document.to_xml())
+        assert parsed.root.attributes == (("x", "1"),)
+
+
+class TestAttributesAndValidation:
+    def test_schema_ignores_attributes(self):
+        """The simple model types content only; attributes pass through
+        validation untouched (the paper's 'richer setting' note)."""
+        schema = (
+            SchemaBuilder()
+            .element("item", "data")
+            .element("catalog", "item*")
+            .root("catalog")
+            .build()
+        )
+        document = Document(
+            el("catalog", el("item", "x", attrs={"sku": "1"}),
+               attrs={"vendor": "acme"})
+        )
+        assert is_instance(document, schema)
+
+    def test_attributes_survive_rewriting(self, schema_star, registry):
+        from repro import RewriteEngine
+        from repro.doc.builder import call
+        from repro.workloads import newspaper
+
+        document = Document(
+            el("newspaper",
+               el("title", "The Sun", attrs={"lang": "en"}),
+               el("date", "04/10/2002"),
+               call("Get_Temp", el("city", "Paris")),
+               call("TimeOut", text("x")))
+        )
+        engine = RewriteEngine(newspaper.schema_star2(), schema_star, k=1)
+        result = engine.rewrite(document, registry.make_invoker())
+        assert result.document.root.children[0].get_attribute("lang") == "en"

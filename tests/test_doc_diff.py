@@ -1,0 +1,83 @@
+"""Unit tests for structural document diffing."""
+
+import pytest
+
+from repro import Document, call, el, text
+from repro.doc.diff import diff_documents, diff_forests
+from repro.workloads import newspaper
+
+
+class TestDiff:
+    def test_equal_documents_have_no_edits(self, doc):
+        assert diff_documents(doc, doc) == []
+
+    def test_text_change(self):
+        a = Document(el("a", el("t", "old")))
+        b = Document(el("a", el("t", "new")))
+        edits = diff_documents(a, b)
+        assert len(edits) == 1
+        assert edits[0].kind == "replaced"
+        assert edits[0].path == (0, 0)
+        assert "old" in edits[0].detail and "new" in edits[0].detail
+
+    def test_label_change_is_one_edit(self):
+        a = Document(el("a", el("x", el("deep"))))
+        b = Document(el("a", el("y", el("deep"))))
+        edits = diff_documents(a, b)
+        assert [e.kind for e in edits] == ["replaced"]
+
+    def test_attribute_change(self):
+        a = Document(el("a", attrs={"v": "1"}))
+        b = Document(el("a", attrs={"v": "2"}))
+        edits = diff_documents(a, b)
+        assert [e.kind for e in edits] == ["attributes"]
+
+    def test_insertion_does_not_cascade(self):
+        a = Document(el("a", el("x"), el("y"), el("z")))
+        b = Document(el("a", el("x"), el("new"), el("y"), el("z")))
+        edits = diff_documents(a, b)
+        assert [e.kind for e in edits] == ["inserted"]
+        assert edits[0].path == (1,)
+
+    def test_materialization_diff(self, registry, schema_star):
+        """Rewriting Figure 2.a into (**) shows as one call removed and
+        one temp element inserted."""
+        from repro import RewriteEngine
+
+        engine = RewriteEngine(newspaper.schema_star2(), schema_star, k=1)
+        result = engine.rewrite(newspaper.document(), registry.make_invoker())
+        edits = diff_documents(newspaper.document(), result.document)
+        assert len(edits) == 1
+        assert edits[0].kind == "replaced"
+        assert edits[0].path == (2,)
+        assert "Get_Temp" in edits[0].detail and "temp" in edits[0].detail
+
+    def test_call_rename(self):
+        a = Document(el("a", call("f", text("x"))))
+        b = Document(el("a", call("g", text("x"))))
+        edits = diff_documents(a, b)
+        assert [e.kind for e in edits] == ["replaced"]
+
+    def test_call_params_descend(self):
+        a = Document(el("a", call("f", el("city", "Paris"))))
+        b = Document(el("a", call("f", el("city", "Lyon"))))
+        edits = diff_documents(a, b)
+        assert edits[0].kind == "params"
+        assert any(e.path == (0, 0, 0) for e in edits)
+
+    def test_node_kind_change(self):
+        a = Document(el("a", el("x")))
+        b = Document(el("a", call("x")))
+        edits = diff_documents(a, b)
+        assert len(edits) == 1 and edits[0].kind == "replaced"
+
+    def test_forest_diff(self):
+        edits = diff_forests((el("x"),), (el("x"), el("y")))
+        assert [e.kind for e in edits] == ["inserted"]
+        assert edits[0].path == (1,)
+
+    def test_edit_rendering(self):
+        a = Document(el("a", el("t", "1")))
+        b = Document(el("a"))
+        edits = diff_documents(a, b)
+        assert str(edits[0]).startswith("removed at /0")

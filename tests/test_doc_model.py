@@ -1,0 +1,151 @@
+"""Unit tests for the intensional document model (Definition 1)."""
+
+import pytest
+
+from repro.automata.symbols import DATA
+from repro.doc import Document, Element, FunctionCall, Text, call, el, text
+from repro.doc.nodes import (
+    children_of,
+    count_function_nodes,
+    is_extensional,
+    iter_subtree,
+    symbol_of,
+    tree_depth,
+    tree_size,
+    with_children,
+)
+from repro.doc.paths import (
+    child_word,
+    find_function_nodes,
+    get_node,
+    iter_nodes,
+    outermost_function_nodes,
+    replace_at,
+    splice_at,
+)
+
+
+@pytest.fixture
+def tree():
+    return el(
+        "newspaper",
+        el("title", "The Sun"),
+        call("Get_Temp", el("city", "Paris")),
+        call("Outer", call("Inner", text("x"))),
+    )
+
+
+class TestNodes:
+    def test_symbol_of(self, tree):
+        assert symbol_of(tree) == "newspaper"
+        assert symbol_of(text("v")) == DATA
+        assert symbol_of(call("f")) == "f"
+
+    def test_builder_coerces_strings(self):
+        node = el("title", "The Sun")
+        assert node.children == (Text("The Sun"),)
+
+    def test_builder_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            el("a", 42)
+
+    def test_labels_validated(self):
+        with pytest.raises(ValueError):
+            Element("#data")
+        with pytest.raises(ValueError):
+            Element("")
+        with pytest.raises(ValueError):
+            FunctionCall("#bad")
+
+    def test_sizes(self, tree):
+        assert tree_size(tree) == 9
+        assert tree_depth(tree) == 4
+        assert count_function_nodes(tree) == 3
+        assert not is_extensional(tree)
+        assert is_extensional(el("a", el("b")))
+
+    def test_with_children(self):
+        node = el("a", "x")
+        replaced = with_children(node, (Text("y"),))
+        assert replaced.children == (Text("y"),)
+        assert node.children == (Text("x"),)  # original untouched
+
+    def test_with_children_on_leaf_rejected(self):
+        with pytest.raises(ValueError):
+            with_children(text("v"), (text("w"),))
+
+    def test_iter_subtree_preorder(self, tree):
+        symbols = [symbol_of(node) for node in iter_subtree(tree)]
+        assert symbols[0] == "newspaper"
+        assert "Inner" in symbols
+
+    def test_function_params_are_children(self):
+        fc = call("f", el("a"), el("b"))
+        assert children_of(fc) == fc.params
+
+
+class TestPaths:
+    def test_get_node(self, tree):
+        assert get_node(tree, ()) is tree
+        assert symbol_of(get_node(tree, (1,))) == "Get_Temp"
+        assert symbol_of(get_node(tree, (2, 0))) == "Inner"
+
+    def test_get_node_out_of_range(self, tree):
+        with pytest.raises(IndexError):
+            get_node(tree, (9,))
+
+    def test_iter_nodes_yields_paths(self, tree):
+        paths = dict((p, symbol_of(n)) for p, n in iter_nodes(tree))
+        assert paths[()] == "newspaper"
+        assert paths[(2, 0, 0)] == DATA
+
+    def test_find_function_nodes_document_order(self, tree):
+        names = [fc.name for _p, fc in find_function_nodes(tree)]
+        assert names == ["Get_Temp", "Outer", "Inner"]
+
+    def test_outermost_skips_parameters(self, tree):
+        names = [fc.name for _p, fc in outermost_function_nodes(tree)]
+        assert names == ["Get_Temp", "Outer"]
+
+    def test_replace_at(self, tree):
+        new = replace_at(tree, (1,), el("temp", "15"))
+        assert child_word(new) == ("title", "temp", "Outer")
+        assert child_word(tree) == ("title", "Get_Temp", "Outer")
+
+    def test_splice_at_expands_forest(self, tree):
+        new = splice_at(tree, (1,), (el("temp", "15"), el("humidity", "80")))
+        assert child_word(new) == ("title", "temp", "humidity", "Outer")
+
+    def test_splice_at_empty_forest_deletes(self, tree):
+        new = splice_at(tree, (1,), ())
+        assert child_word(new) == ("title", "Outer")
+
+    def test_splice_at_root_single_tree_only(self, tree):
+        assert splice_at(tree, (), (el("x"),)) == el("x")
+        with pytest.raises(ValueError):
+            splice_at(tree, (), (el("x"), el("y")))
+
+    def test_structural_sharing(self, tree):
+        new = replace_at(tree, (1,), el("temp"))
+        assert new.children[0] is tree.children[0]  # untouched subtree shared
+
+
+class TestDocument:
+    def test_wrapper_metrics(self, tree):
+        document = Document(tree)
+        assert document.size() == 9
+        assert document.depth() == 4
+        assert document.function_count() == 3
+        assert not document.is_extensional()
+        assert document.root_symbol == "newspaper"
+
+    def test_splice_is_definition_4(self, tree):
+        document = Document(tree)
+        rewritten = document.splice((1,), (el("temp", "15"),))
+        assert rewritten.function_count() == 2
+        assert document.function_count() == 3  # immutable
+
+    def test_pretty_renders_calls(self, tree):
+        rendering = Document(tree).pretty()
+        assert "[Get_Temp]" in rendering
+        assert '"The Sun"' in rendering

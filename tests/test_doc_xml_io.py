@@ -1,0 +1,136 @@
+"""Unit tests for the Active XML serialization (Section 7 syntax)."""
+
+import pytest
+
+from repro.doc import Document, call, el, text
+from repro.doc.xml_io import (
+    INT_NS,
+    document_from_xml,
+    document_to_xml,
+    node_from_xml,
+    node_to_xml,
+)
+from repro.errors import DocumentParseError
+from repro.workloads import newspaper
+
+
+class TestSerialization:
+    def test_function_node_uses_int_fun(self, doc):
+        xml = doc.to_xml()
+        assert "int:fun" in xml
+        assert 'methodName="Get_Temp"' in xml
+        assert 'endpointURL="http://www.forecast.com/soap"' in xml
+        assert 'namespaceURI="urn:xmethods-weather"' in xml
+
+    def test_namespace_declared_on_root(self, doc):
+        xml = doc.to_xml()
+        assert 'xmlns:int="%s"' % INT_NS in xml
+
+    def test_params_wrapped(self, doc):
+        xml = doc.to_xml()
+        assert "<int:params>" in xml
+        assert "<int:param>" in xml
+        assert "<city>Paris</city>" in xml
+
+    def test_empty_element_self_closes(self):
+        assert node_to_xml(el("empty-el")) == "<empty-el/>"
+
+    def test_text_escaped(self):
+        xml = node_to_xml(el("a", "x < y & z"))
+        assert "x &lt; y &amp; z" in xml
+
+    def test_attribute_escaped(self):
+        xml = node_to_xml(call("f", endpoint='http://x?a="1"'))
+        assert "&quot;" in xml or "'" in xml
+
+
+class TestRoundTrip:
+    def test_newspaper_roundtrip(self, doc):
+        assert Document.from_xml(doc.to_xml()) == doc
+
+    def test_nested_calls_roundtrip(self):
+        document = Document(
+            el("root", call("Outer", call("Inner", el("leaf", "v"))))
+        )
+        assert Document.from_xml(document.to_xml()) == document
+
+    def test_call_without_params_roundtrip(self):
+        document = Document(el("root", call("NoArgs")))
+        assert Document.from_xml(document.to_xml()) == document
+
+    def test_data_param_roundtrip(self):
+        document = Document(el("root", call("f", text("keyword"))))
+        assert Document.from_xml(document.to_xml()) == document
+
+    def test_compact_mode_parses_back(self, doc):
+        xml = doc.to_xml(pretty=False)
+        assert "\n" not in xml.splitlines()[1]
+        assert Document.from_xml(xml) == doc
+
+
+class TestPaperListing:
+    """The exact XML listing printed in Section 7 must parse."""
+
+    LISTING = """<?xml version="1.0"?>
+<newspaper
+ xmlns:int="http://www.activexml.com/ns/int">
+ <title> The Sun </title>
+ <date> 04/10/2002 </date>
+ <int:fun
+   endpointURL="http://www.forecast.com/soap"
+   methodName="Get_Temp"
+   namespaceURI="urn:xmethods-weather">
+  <int:params>
+    <int:param>
+       <city>Paris</city>
+    </int:param>
+  </int:params>
+ </int:fun>
+ <int:fun
+     endpointURL="http://www.timeout.com/paris"
+     methodName="TimeOut"
+     namespaceURI="urn:timeout-program">
+  <int:params>
+    <int:param> exhibits </int:param>
+  </int:params>
+ </int:fun>
+</newspaper>"""
+
+    def test_parses_to_figure_2a(self):
+        document = document_from_xml(self.LISTING)
+        assert document == newspaper.document()
+
+
+class TestParseErrors:
+    def test_malformed_xml(self):
+        with pytest.raises(DocumentParseError):
+            node_from_xml("<a><b></a>")
+
+    def test_fun_requires_method_name(self):
+        xml = '<a xmlns:int="%s"><int:fun/></a>' % INT_NS
+        with pytest.raises(DocumentParseError):
+            node_from_xml(xml)
+
+    def test_mixed_content_rejected(self):
+        with pytest.raises(DocumentParseError):
+            node_from_xml("<a>text<b/></a>")
+        with pytest.raises(DocumentParseError):
+            node_from_xml("<a><b/>tail</a>")
+
+    def test_params_outside_fun_rejected(self):
+        xml = '<a xmlns:int="%s"><int:params/></a>' % INT_NS
+        with pytest.raises(DocumentParseError):
+            node_from_xml(xml)
+
+    def test_foreign_namespace_rejected(self):
+        with pytest.raises(DocumentParseError):
+            node_from_xml('<a xmlns="urn:other"><b/></a>')
+
+    def test_param_with_two_trees_rejected(self):
+        xml = (
+            '<a xmlns:int="%s"><int:fun methodName="f"><int:params>'
+            "<int:param><b/><c/></int:param>"
+            "</int:params></int:fun></a>" % INT_NS
+        )
+        with pytest.raises(DocumentParseError):
+            node_from_xml(xml)

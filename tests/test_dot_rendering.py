@@ -1,0 +1,93 @@
+"""Unit tests for the Graphviz figure regeneration."""
+
+import pytest
+
+from repro.automata.dot import dfa_to_dot, expansion_to_dot, product_to_dot
+from repro.regex.parser import parse_regex
+from repro.rewriting.expansion import build_expansion
+from repro.rewriting.lazy import analyze_safe_lazy
+from repro.rewriting.safe import analyze_safe, problem_alphabet, target_complement
+
+WORD = ("title", "date", "Get_Temp", "TimeOut")
+OUTPUTS = {
+    "Get_Temp": parse_regex("temp"),
+    "TimeOut": parse_regex("(exhibit | performance)*"),
+}
+TARGET2 = parse_regex("title.date.temp.(TimeOut | exhibit*)")
+TARGET3 = parse_regex("title.date.temp.exhibit*")
+
+
+class TestExpansionDot:
+    def test_figure_4_shape(self):
+        dot = expansion_to_dot(build_expansion(WORD, OUTPUTS, k=1))
+        assert dot.startswith("digraph {")
+        assert dot.count("shape=doublecircle") == 2  # q2 and q3 forks
+        assert dot.count("ε (invoke)") == 2
+        assert 'label="Get_Temp"' in dot
+        assert 'xlabel="start"' in dot
+
+    def test_return_edges_dotted(self):
+        dot = expansion_to_dot(build_expansion(WORD, OUTPUTS, k=1))
+        assert "style=dotted" in dot
+        assert dot.count("ε (return)") >= 3  # temp copy + 2 timeout states
+
+    def test_escaping(self):
+        dot = expansion_to_dot(
+            build_expansion(("a",), {}, k=0), title='with "quotes"'
+        )
+        assert '\\"quotes\\"' in dot
+
+
+class TestDfaDot:
+    def test_figure_5_shape(self):
+        alphabet = problem_alphabet(WORD, OUTPUTS, TARGET2)
+        comp = target_complement(TARGET2, alphabet)
+        dot = dfa_to_dot(comp, "Figure 5")
+        assert dot.count("doublecircle") == len(comp.accepting)
+        assert "fillcolor" in dot  # the p6 sink is shaded
+        # Catch-all transitions collapse into "*" labels like the paper.
+        assert '*"' in dot
+
+    def test_uncollapsed_mode(self):
+        alphabet = problem_alphabet(WORD, OUTPUTS, TARGET2)
+        comp = target_complement(TARGET2, alphabet)
+        dot = dfa_to_dot(comp, collapse_other=False)
+        assert "#other" in dot
+
+
+class TestProductDot:
+    def test_figure_6_marking_colors(self):
+        analysis = analyze_safe(WORD, OUTPUTS, TARGET2, k=1)
+        dot = product_to_dot(analysis, "Figure 6")
+        assert dot.count("salmon") == analysis.stats.marked_nodes
+        assert "style=dashed" in dot  # fork invoke options
+
+    def test_figure_8_everything_reachable_marked(self):
+        analysis = analyze_safe(WORD, OUTPUTS, TARGET3, k=1)
+        dot = product_to_dot(analysis)
+        assert dot.count("salmon") == analysis.stats.marked_nodes
+        assert '"[q0,p0]"' in dot
+
+    def test_lazy_product_renders_pruned_view(self):
+        analysis = analyze_safe_lazy(WORD, OUTPUTS, TARGET2, k=1)
+        dot = product_to_dot(analysis, "Figure 12")
+        eager = analyze_safe(WORD, OUTPUTS, TARGET2, k=1)
+        full = product_to_dot(eager)
+        # The lazy rendering draws at most as many nodes as the eager one.
+        assert dot.count("[q") <= full.count("[q")
+
+    def test_render_figures_example_writes_files(self, tmp_path, monkeypatch):
+        import importlib.util
+        import sys
+
+        spec = importlib.util.spec_from_file_location(
+            "render_figures", "examples/render_figures.py"
+        )
+        module = importlib.util.module_from_spec(spec)
+        monkeypatch.setattr(sys, "argv", ["render_figures", str(tmp_path)])
+        spec.loader.exec_module(module)
+        module.main()
+        written = sorted(p.name for p in tmp_path.iterdir())
+        assert "fig4_awk.dot" in written
+        assert "fig8_product_star3.dot" in written
+        assert len(written) == 7

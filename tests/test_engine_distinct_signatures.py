@@ -1,0 +1,131 @@
+"""Tests for the distinct-signatures extension (Section 4's omission).
+
+"To simplify, we assume that common functions have the same definitions
+in s0 and s [...] The algorithm can be extended to handle distinct
+signatures, but we omit this here for space reasons."
+
+Our extension: output types driving ``A_w^k`` come from the *sender*
+schema (they describe what the services really return, per their WSDL),
+while kept-call parameters target the *receiver's* input types.
+"""
+
+import pytest
+
+from repro import (
+    Document,
+    FunctionSignature,
+    RewriteEngine,
+    SchemaBuilder,
+    Service,
+    ServiceRegistry,
+    constant_responder,
+    el,
+    is_instance,
+    parse_regex,
+)
+from repro.doc.builder import call
+from repro.errors import NoSafeRewritingError
+
+
+def make_schemas(sender_output, target_output):
+    sender = (
+        SchemaBuilder()
+        .element("page", "f | a.a | a")
+        .element("a", "data")
+        .function("f", "data", sender_output)
+        .root("page")
+        .build(strict=False)  # `b` may appear in signatures only
+    )
+    target = (
+        SchemaBuilder()
+        .element("page", "a.a | a")
+        .element("a", "data")
+        .function("f", "data", target_output)
+        .root("page")
+        .build(strict=False)
+    )
+    return sender, target
+
+
+def registry_returning(*labels):
+    registry = ServiceRegistry()
+    svc = Service("http://f", "urn:f")
+    svc.add_operation(
+        "f",
+        FunctionSignature(parse_regex("data"), parse_regex("a*")),
+        constant_responder(tuple(el(label, "v") for label in labels)),
+    )
+    registry.register(svc)
+    return registry
+
+
+class TestSenderSignatureDrivesExpansion:
+    def test_narrow_sender_signature_enables_safety(self):
+        # Sender's WSDL says f returns exactly one `a`; the target's
+        # (stale) declaration says a|a.a.  Trusting the sender, rewriting
+        # into `a.a | a` is safe.
+        sender, target = make_schemas("a", "a | a.a")
+        engine = RewriteEngine(target, sender, k=1)
+        document = Document(el("page", call("f", "q")))
+        assert engine.can_rewrite(document)
+        result = engine.rewrite(
+            document, registry_returning("a").make_invoker()
+        )
+        assert is_instance(result.document, target, sender)
+
+    def test_wide_sender_signature_blocks_safety(self):
+        # Sender's WSDL admits a or b; target (optimistically) declares
+        # just `a`.  Reality can return b, so safe rewriting must fail —
+        # trusting the target's narrow declaration would be unsound.
+        sender, target = make_schemas("a | b", "a")
+        engine = RewriteEngine(target, sender, k=1)
+        document = Document(el("page", call("f", "q")))
+        assert not engine.can_rewrite(document)
+
+    def test_agreeing_signatures_unaffected(self):
+        sender, target = make_schemas("a", "a")
+        engine = RewriteEngine(target, sender, k=1)
+        document = Document(el("page", call("f", "q")))
+        assert engine.can_rewrite(document)
+
+
+class TestTargetInputTypesForKeptCalls:
+    def test_parameters_rewritten_toward_target_input_type(self):
+        # Sender says f takes data; target demands an `a` element.  A
+        # kept call must carry target-conformant parameters, so the
+        # engine rewrites the parameter using the target's tau_in.
+        sender = (
+            SchemaBuilder()
+            .element("page", "f")
+            .element("a", "data")
+            .function("f", "g | a", "a")
+            .function("g", "data", "a")
+            .root("page")
+            .build()
+        )
+        target = (
+            SchemaBuilder()
+            .element("page", "f")
+            .element("a", "data")
+            .function("f", "a", "a")  # stricter input type
+            .function("g", "data", "a")
+            .root("page")
+            .build()
+        )
+        registry = ServiceRegistry()
+        svc = Service("http://g", "urn:g")
+        svc.add_operation(
+            "g",
+            FunctionSignature(parse_regex("data"), parse_regex("a")),
+            constant_responder((el("a", "v"),)),
+        )
+        registry.register(svc)
+
+        document = Document(el("page", call("f", call("g", "seed"))))
+        engine = RewriteEngine(target, sender, k=1)
+        result = engine.rewrite(document, registry.make_invoker())
+        kept = result.document.root.children[0]
+        assert kept.name == "f"
+        assert [p.label for p in kept.params] == ["a"]
+        assert result.log.invoked == ["g"]
+        assert is_instance(result.document, target)

@@ -1,0 +1,93 @@
+"""Tests for the engine's configuration knobs: eager pre-pass, eager vs
+lazy solver, and rewrite_forest as a standalone entry point."""
+
+import pytest
+
+from repro import RewriteEngine, is_instance, parse_regex
+from repro.doc import call, el, text
+from repro.workloads import newspaper
+
+
+class TestEagerPrePass:
+    def test_document_level_mixed_approach(self, schema_star, registry):
+        """With an eager predicate, the engine pre-materializes TimeOut
+        before solving, making the otherwise-unsafe (***) reachable."""
+        target = newspaper.schema_star3()
+        plain = RewriteEngine(target, schema_star, k=1)
+        assert not plain.can_rewrite(newspaper.document())
+
+        mixed = RewriteEngine(
+            target, schema_star, k=1,
+            eager=lambda name: name == "TimeOut",
+        )
+        result = mixed.rewrite(newspaper.document(), registry.make_invoker())
+        assert is_instance(result.document, target, schema_star)
+        assert sorted(result.log.invoked) == ["Get_Temp", "TimeOut"]
+        assert result.mode_used == "safe"  # no possible-fallback needed
+
+    def test_eager_predicate_scoped_by_name(self, schema_star, registry):
+        engine = RewriteEngine(
+            newspaper.schema_star(), schema_star,
+            eager=lambda name: name == "Get_Temp",
+        )
+        result = engine.rewrite(newspaper.document(), registry.make_invoker())
+        # Get_Temp fires in the pre-pass even though (*) would keep it.
+        assert result.log.invoked == ["Get_Temp"]
+        assert is_instance(result.document, newspaper.schema_star(), schema_star)
+
+
+class TestSolverSelection:
+    @pytest.mark.parametrize("lazy", [True, False])
+    def test_same_results_either_solver(self, lazy, schema_star, registry):
+        engine = RewriteEngine(
+            newspaper.schema_star2(), schema_star, k=1, lazy=lazy
+        )
+        result = engine.rewrite(newspaper.document(), registry.make_invoker())
+        assert result.log.invoked == ["Get_Temp"]
+
+    @pytest.mark.parametrize("lazy", [True, False])
+    def test_same_refusals_either_solver(self, lazy, schema_star):
+        engine = RewriteEngine(
+            newspaper.schema_star3(), schema_star, k=1, lazy=lazy
+        )
+        assert not engine.can_rewrite(newspaper.document())
+
+
+class TestRewriteForestEntryPoint:
+    def test_forest_against_explicit_type(self, schema_star, registry):
+        engine = RewriteEngine(newspaper.schema_star2(), schema_star, k=1)
+        forest = (call("Get_Temp", el("city", "Paris")),)
+        rewritten = engine.rewrite_forest(
+            forest, parse_regex("temp"), registry.make_invoker()
+        )
+        assert [n.label for n in rewritten] == ["temp"]
+
+    def test_forest_with_multiple_trees(self, schema_star, registry):
+        engine = RewriteEngine(newspaper.schema_star2(), schema_star, k=1)
+        forest = (
+            el("title", "t"),
+            el("date", "d"),
+            call("Get_Temp", el("city", "P")),
+            call("TimeOut", text("x")),
+        )
+        rewritten = engine.rewrite_forest(
+            forest,
+            parse_regex("title.date.temp.(TimeOut | exhibit*)"),
+            registry.make_invoker(),
+        )
+        symbols = [getattr(n, "label", getattr(n, "name", None))
+                   for n in rewritten]
+        assert symbols == ["title", "date", "temp", "TimeOut"]
+
+    def test_forest_stats_threaded(self, schema_star, registry):
+        engine = RewriteEngine(newspaper.schema_star2(), schema_star, k=1)
+        stats = {"words": 0, "product": 0, "mode": "safe"}
+        from repro.rewriting.plan import InvocationLog
+
+        log = InvocationLog()
+        engine.rewrite_forest(
+            (el("temp", "1"),), parse_regex("temp"),
+            registry.make_invoker(), log=log, stats=stats,
+        )
+        assert stats["words"] >= 1
+        assert not log.records

@@ -1,0 +1,72 @@
+"""Smoke tests: every shipped example must run end to end.
+
+Examples are documentation that executes; these tests keep them honest
+as the library evolves.  Each example's ``main()`` is imported and run
+with stdout captured (and checked for its key claims).
+"""
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def run_example(name, capsys, argv=None, monkeypatch=None):
+    spec = importlib.util.spec_from_file_location(
+        name, os.path.join(EXAMPLES_DIR, name + ".py")
+    )
+    module = importlib.util.module_from_spec(spec)
+    if argv is not None and monkeypatch is not None:
+        monkeypatch.setattr(sys, "argv", [name] + argv)
+    spec.loader.exec_module(module)
+    module.main()
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart", capsys)
+        assert "invoked ['Get_Temp']" in out
+        assert "correctly refused" in out
+        assert "Possible rewriting into (***)" in out
+
+    def test_newspaper_portal(self, capsys):
+        out = run_example("newspaper_portal", capsys)
+        assert "archive" in out and "browser" in out and "printer" in out
+        # The materialization spectrum: archive ships 0 calls, printer 2.
+        lines = [l for l in out.splitlines() if l.startswith(("archive", "printer"))]
+        assert any("0" in l for l in lines if l.startswith("archive"))
+
+    def test_secure_exchange(self, capsys):
+        out = run_example("secure_exchange", capsys)
+        assert "sender invoked: ['Get_Temp']" in out
+        assert "rejected (pattern predicate fails)" in out
+        assert "probes fired: 0" in out
+
+    def test_search_engine(self, capsys):
+        out = run_example("search_engine", capsys)
+        assert "Safe rewriting possible (even with k=10)? False" in out
+        assert "failed at run time" in out
+        assert "success: 6 urls" in out
+
+    def test_schema_compatibility(self, capsys):
+        out = run_example("schema_compatibility", capsys)
+        assert "compatible" in out and "NOT compatible" in out
+        assert "newspaper: NOT safe" in out
+
+    def test_data_integration(self, capsys):
+        out = run_example("data_integration", capsys)
+        assert "mediator" in out and "warehouse" in out
+        assert "negotiator (intensional preference) picks: mediator" in out
+        assert "providers of product*: ['Get_Products']" in out
+
+    def test_render_figures(self, capsys, tmp_path, monkeypatch):
+        out = run_example(
+            "render_figures", capsys, argv=[str(tmp_path)],
+            monkeypatch=monkeypatch,
+        )
+        assert out.count("wrote") == 7
+        assert (tmp_path / "fig6_product_star2.dot").exists()

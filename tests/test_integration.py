@@ -1,0 +1,172 @@
+"""Integration tests: whole-paper scenarios end to end."""
+
+import pytest
+
+from repro import (
+    RewriteEngine,
+    SchemaEnforcer,
+    is_instance,
+)
+from repro.errors import NoSafeRewritingError
+from repro.workloads import scenarios
+
+
+class TestSearchEngine:
+    """Section 3's recursive Get_More handles, bounded by k."""
+
+    def test_never_safe_whatever_k(self):
+        # The adversary can always return one more Get_More handle, so a
+        # SAFE rewriting into plain url* does not exist at any depth —
+        # the paper's motivation for possible rewriting.
+        scenario = scenarios.search_engine(pages=3, per_page=2)
+        for k in (1, 3, 6):
+            engine = RewriteEngine(
+                scenario.exchange_schema, scenario.sender_schema, k=k
+            )
+            assert not engine.can_rewrite(scenario.document)
+
+    def test_insufficient_depth_fails_at_runtime(self):
+        from repro.errors import RewriteExecutionError
+
+        scenario = scenarios.search_engine(pages=3, per_page=2)
+        engine = RewriteEngine(
+            scenario.exchange_schema, scenario.sender_schema, k=2,
+            mode="possible",
+        )
+        # A rewriting MAY exist (the service might return no handle)...
+        assert engine.can_rewrite(scenario.document)
+        # ...but this service serves 3 pages, which k=2 cannot chase.
+        with pytest.raises(RewriteExecutionError):
+            engine.rewrite(scenario.document, scenario.registry.make_invoker())
+
+    def test_full_materialization_with_sufficient_k(self):
+        scenario = scenarios.search_engine(pages=3, per_page=2)
+        engine = RewriteEngine(
+            scenario.exchange_schema,
+            scenario.sender_schema,
+            k=scenario.recommended_k,
+            mode="possible",
+        )
+        result = engine.rewrite(
+            scenario.document, scenario.registry.make_invoker()
+        )
+        assert is_instance(
+            result.document, scenario.exchange_schema, scenario.sender_schema
+        )
+        assert result.document.is_extensional()
+        urls = [n for n in result.document.root.children]
+        assert len(urls) == 6
+        assert result.log.invoked == ["Search", "Get_More", "Get_More"]
+        assert [r.depth for r in result.log.records] == [1, 2, 3]
+
+
+class TestAuction:
+    def test_prices_materialized_for_buyers(self):
+        scenario = scenarios.auction_site(listings=4)
+        engine = RewriteEngine(
+            scenario.exchange_schema, scenario.sender_schema, k=1
+        )
+        result = engine.rewrite(
+            scenario.document, scenario.registry.make_invoker()
+        )
+        assert is_instance(result.document, scenario.exchange_schema)
+        assert result.log.invoked == ["Get_Quote", "Get_Quote"]
+
+    def test_sender_schema_compatibility_precheck(self):
+        from repro import schema_safely_rewrites
+
+        scenario = scenarios.auction_site()
+        report = schema_safely_rewrites(
+            scenario.sender_schema, scenario.exchange_schema, k=1
+        )
+        assert report.compatible
+
+
+class TestServiceDirectory:
+    def test_calls_stay_intensional(self):
+        scenario = scenarios.service_directory(entries=3)
+        engine = RewriteEngine(
+            scenario.exchange_schema,
+            scenario.sender_schema,
+            k=1,
+            policy=scenario.policy,
+        )
+        result = engine.rewrite(
+            scenario.document, scenario.registry.make_invoker()
+        )
+        assert result.document.function_count() == 3  # probes kept
+        assert not result.log.records
+        assert scenario.registry.total_calls() == 0  # never fired
+
+    def test_materializing_against_directory_schema_fails(self):
+        # A receiver demanding `provider.status` cannot be served without
+        # invoking the (non-invocable) probes.
+        from repro import SchemaBuilder
+
+        scenario = scenarios.service_directory(entries=1)
+        strict_receiver = (
+            SchemaBuilder()
+            .element("directory", "entry*")
+            .element("entry", "provider.status")
+            .element("provider", "data")
+            .element("status", "data")
+            .function("Probe", "", "status")
+            .root("directory")
+            .build()
+        )
+        engine = RewriteEngine(
+            strict_receiver, scenario.sender_schema, k=1, policy=scenario.policy
+        )
+        with pytest.raises(NoSafeRewritingError):
+            engine.rewrite(scenario.document, scenario.registry.make_invoker())
+
+        # Lifting the restriction makes it work.
+        permissive = RewriteEngine(strict_receiver, scenario.sender_schema, k=1)
+        result = permissive.rewrite(
+            scenario.document, scenario.registry.make_invoker()
+        )
+        assert is_instance(result.document, strict_receiver)
+
+
+class TestEnforcerScenarios:
+    def test_enforce_forest_on_service_results(self):
+        """A provided service returning intensional results, enforced
+        against the caller's WSDL_int expectations."""
+        scenario = scenarios.auction_site(listings=2)
+        from repro import parse_regex
+
+        enforcer = SchemaEnforcer(
+            scenario.exchange_schema, scenario.sender_schema
+        )
+        listing = scenario.document.root.children[0]  # intensional listing
+        outcome = enforcer.enforce_forest(
+            (listing,), parse_regex("listing"),
+            scenario.registry.make_invoker(),
+        )
+        assert outcome.ok
+        assert outcome.forest[0].children[1].label == "price"
+
+
+class TestCrossFormatPipeline:
+    """XML Schema_int text -> compiled schema -> rewriting -> XML wire."""
+
+    def test_full_pipeline(self, registry, schema_star, doc):
+        from repro import (
+            Document,
+            compile_xschema,
+            parse_xschema,
+            schema_to_xschema,
+        )
+
+        # Publish (**) as XML Schema_int, re-parse it, use it as target.
+        from repro.workloads import newspaper
+
+        text = schema_to_xschema(newspaper.schema_star2())
+        target = compile_xschema(parse_xschema(text))
+
+        engine = RewriteEngine(target, schema_star, k=1)
+        result = engine.rewrite(doc, registry.make_invoker())
+
+        wire = result.document.to_xml()
+        delivered = Document.from_xml(wire)
+        assert is_instance(delivered, target, schema_star)

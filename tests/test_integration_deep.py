@@ -1,0 +1,219 @@
+"""Deeper integration tests: nested outputs, fault injection, peer chains."""
+
+import pytest
+
+from repro import (
+    AXMLPeer,
+    Document,
+    FunctionSignature,
+    PeerNetwork,
+    RewriteEngine,
+    SchemaBuilder,
+    SchemaEnforcer,
+    Service,
+    ServiceRegistry,
+    constant_responder,
+    el,
+    flaky_responder,
+    is_instance,
+    parse_regex,
+    text,
+)
+from repro.doc.builder import call
+from repro.errors import ServiceFault
+from repro.workloads import newspaper
+
+
+def fully_extensional_schema():
+    return (
+        SchemaBuilder()
+        .element("newspaper", "title.date.temp.exhibit*")
+        .element("title", "data")
+        .element("date", "data")
+        .element("temp", "data")
+        .element("city", "data")
+        .element("exhibit", "title.date")
+        .function("Get_Temp", "city", "temp")
+        .function("TimeOut", "data", "(exhibit | performance)*")
+        .function("Get_Date", "title", "date")
+        .root("newspaper")
+        .build(strict=False)
+    )
+
+
+def registry_with_intensional_exhibits():
+    """TimeOut returns an exhibit that itself embeds a Get_Date call."""
+    registry = ServiceRegistry()
+    forecast = Service("http://forecast", "urn:w")
+    forecast.add_operation(
+        "Get_Temp",
+        FunctionSignature(parse_regex("city"), parse_regex("temp")),
+        constant_responder((el("temp", "15"),)),
+    )
+    timeout = Service("http://timeout", "urn:t")
+    timeout.add_operation(
+        "TimeOut",
+        FunctionSignature(
+            parse_regex("data"), parse_regex("(exhibit | performance)*")
+        ),
+        constant_responder(
+            (el("exhibit", el("title", "P"),
+                call("Get_Date", el("title", "P"))),)
+        ),
+    )
+    dates = Service("http://dates", "urn:d")
+    dates.add_operation(
+        "Get_Date",
+        FunctionSignature(parse_regex("title"), parse_regex("date")),
+        constant_responder((el("date", "04/12"),)),
+    )
+    registry.register(forecast).register(timeout).register(dates)
+    return registry
+
+
+class TestNestedIntensionalOutputs:
+    def test_calls_inside_returned_subtrees_are_materialized(self):
+        """The engine's top-down stage descends into elements returned by
+        invoked calls: the Get_Date nested INSIDE TimeOut's exhibit must
+        also be invoked when the target is fully extensional."""
+        registry = registry_with_intensional_exhibits()
+        target = fully_extensional_schema()
+        engine = RewriteEngine(
+            target, newspaper.schema_star(), k=1, mode="possible"
+        )
+        result = engine.rewrite(newspaper.document(), registry.make_invoker())
+        assert is_instance(result.document, target)
+        assert result.document.is_extensional()
+        assert sorted(result.log.invoked) == ["Get_Date", "Get_Temp", "TimeOut"]
+
+    def test_nested_call_kept_when_target_allows(self):
+        registry = registry_with_intensional_exhibits()
+        target = newspaper.schema_star3()  # exhibit = title.(Get_Date | date)
+        engine = RewriteEngine(
+            target, newspaper.schema_star(), k=1, mode="possible"
+        )
+        result = engine.rewrite(newspaper.document(), registry.make_invoker())
+        assert is_instance(result.document, target, newspaper.schema_star())
+        # Get_Date may stay: only the outer two calls fire.
+        assert sorted(result.log.invoked) == ["Get_Temp", "TimeOut"]
+        assert result.document.function_count() == 1
+
+
+class TestFaultInjection:
+    def make_flaky_registry(self, fail_every):
+        registry = ServiceRegistry()
+        forecast = Service("http://forecast", "urn:w")
+        forecast.add_operation(
+            "Get_Temp",
+            FunctionSignature(parse_regex("city"), parse_regex("temp")),
+            flaky_responder(
+                constant_responder((el("temp", "15"),)), fail_every
+            ),
+        )
+        timeout = Service("http://timeout", "urn:t")
+        timeout.add_operation(
+            "TimeOut",
+            FunctionSignature(
+                parse_regex("data"), parse_regex("(exhibit | performance)*")
+            ),
+            constant_responder(()),
+        )
+        registry.register(forecast).register(timeout)
+        return registry
+
+    def test_fault_becomes_enforcement_error(self):
+        registry = self.make_flaky_registry(fail_every=1)
+        enforcer = SchemaEnforcer(
+            newspaper.schema_star2(), newspaper.schema_star(), k=1
+        )
+        outcome = enforcer.enforce_document(
+            newspaper.document(), registry.make_invoker()
+        )
+        assert not outcome.ok
+        assert "outage" in outcome.error
+
+    def test_fault_becomes_failed_receipt(self):
+        registry = self.make_flaky_registry(fail_every=1)
+        alice = AXMLPeer("alice", newspaper.schema_star())
+        for service in registry.services.values():
+            alice.registry.register(service)
+        bob = AXMLPeer("bob", newspaper.schema_star2())
+        network = PeerNetwork()
+        network.add_peer(alice)
+        network.add_peer(bob)
+        network.agree("alice", "bob", newspaper.schema_star2())
+        alice.repository.store("front", newspaper.document())
+        receipt = network.send("alice", "bob", "front")
+        assert not receipt.accepted
+        assert "outage" in receipt.error
+        assert "front" not in bob.repository
+
+    def test_second_attempt_succeeds_when_service_recovers(self):
+        registry = self.make_flaky_registry(fail_every=2)  # fails 2nd call
+        enforcer = SchemaEnforcer(
+            newspaper.schema_star2(), newspaper.schema_star(), k=1
+        )
+        first = enforcer.enforce_document(
+            newspaper.document(), registry.make_invoker()
+        )
+        assert first.ok  # call #1 succeeds
+        second = enforcer.enforce_document(
+            newspaper.document(), registry.make_invoker()
+        )
+        assert not second.ok  # call #2 faults
+
+
+class TestPeerChain:
+    def test_three_peer_relay(self):
+        """A → B under (**), then B re-exports to C fully extensional:
+        the remaining TimeOut call is materialized at the second hop."""
+        registry = registry_with_intensional_exhibits()
+        star, star2 = newspaper.schema_star(), newspaper.schema_star2()
+        extensional = fully_extensional_schema()
+
+        alice = AXMLPeer("alice", star)
+        bob = AXMLPeer("bob", star2, mode="possible")
+        carol = AXMLPeer("carol", extensional)
+        for service in registry.services.values():
+            alice.registry.register(service)
+            bob.registry.register(service)
+
+        network = PeerNetwork()
+        for peer in (alice, bob, carol):
+            network.add_peer(peer)
+        network.agree("alice", "bob", star2)
+        network.agree("bob", "carol", extensional)
+
+        alice.repository.store("front", newspaper.document())
+        first = network.send("alice", "bob", "front")
+        assert first.accepted and first.calls_materialized == 1
+
+        second = network.send("bob", "carol", "front")
+        assert second.accepted
+        # Bob had to fire TimeOut and the nested Get_Date.
+        assert second.calls_materialized == 2
+        final = carol.repository.get("front")
+        assert final.is_extensional()
+        assert is_instance(final, extensional)
+
+    def test_wire_bytes_shrink_along_the_chain(self):
+        registry = registry_with_intensional_exhibits()
+        star, star2 = newspaper.schema_star(), newspaper.schema_star2()
+        extensional = fully_extensional_schema()
+        alice = AXMLPeer("alice", star)
+        bob = AXMLPeer("bob", star2, mode="possible")
+        carol = AXMLPeer("carol", extensional)
+        for service in registry.services.values():
+            alice.registry.register(service)
+            bob.registry.register(service)
+        network = PeerNetwork()
+        for peer in (alice, bob, carol):
+            network.add_peer(peer)
+        network.agree("alice", "bob", star2)
+        network.agree("bob", "carol", extensional)
+        alice.repository.store("front", newspaper.document())
+        r1 = network.send("alice", "bob", "front")
+        r2 = network.send("bob", "carol", "front")
+        # Materialized exhibits are compact; the verbose int:fun wrappers
+        # dominate wire size, so bytes drop at each materialization hop.
+        assert r2.bytes_on_wire < r1.bytes_on_wire

@@ -1,0 +1,136 @@
+"""Tests for remaining code paths: alphabet widening, problem alphabets,
+peer options, network bookkeeping."""
+
+import pytest
+
+from repro import (
+    AXMLPeer,
+    FunctionSignature,
+    PeerNetwork,
+    Service,
+    constant_responder,
+    el,
+    parse_regex,
+)
+from repro.automata.dfa import complement, widen_alphabet
+from repro.automata.ops import regex_to_dfa
+from repro.automata.symbols import OTHER, Alphabet
+from repro.rewriting.safe import problem_alphabet
+from repro.workloads import newspaper
+
+
+class TestWidenAlphabet:
+    def test_new_symbols_follow_other(self):
+        dfa = complement(regex_to_dfa(parse_regex("a")))
+        widened = widen_alphabet(dfa, Alphabet.closure({"a", "b"}))
+        # 'b' must behave exactly like an unknown symbol did before.
+        assert widened.accepts(["b"]) == dfa.accepts(["zzz"]) is True
+
+    def test_identity_when_same_alphabet(self):
+        dfa = regex_to_dfa(parse_regex("a"))
+        assert widen_alphabet(dfa, dfa.alphabet) is dfa
+
+    def test_shrinking_rejected(self):
+        dfa = regex_to_dfa(parse_regex("a.b"))
+        with pytest.raises(ValueError):
+            widen_alphabet(dfa, Alphabet.closure(set()))
+
+    def test_language_preserved_on_partial_dfa(self):
+        # A partial DFA (no OTHER rows): widening leaves new symbols
+        # untransitioned, which still rejects — same language.
+        dfa = regex_to_dfa(parse_regex("a.b"))
+        widened = widen_alphabet(dfa, Alphabet.closure({"a", "b", "c"}))
+        assert widened.accepts(["a", "b"])
+        assert not widened.accepts(["a", "c"])
+
+
+class TestProblemAlphabet:
+    def test_covers_every_source(self, newspaper_outputs):
+        alphabet = problem_alphabet(
+            ("title", "date", "Get_Temp", "TimeOut"),
+            newspaper_outputs,
+            parse_regex("title.date.temp.exhibit*"),
+        )
+        for symbol in (
+            "title", "date", "temp", "exhibit", "performance",
+            "Get_Temp", "TimeOut", OTHER,
+        ):
+            assert symbol in alphabet, symbol
+
+    def test_function_names_included_even_if_only_in_outputs(self):
+        alphabet = problem_alphabet(
+            ("f",), {"f": parse_regex("g"), "g": parse_regex("a")},
+            parse_regex("a"),
+        )
+        assert "g" in alphabet
+
+
+class TestPeerOptions:
+    def test_provide_without_enforcement(self, schema_star):
+        peer = AXMLPeer("raw", schema_star)
+        signature = FunctionSignature(parse_regex("temp"), parse_regex("temp"))
+        peer.provide("Echo", signature, lambda params: params,
+                     enforce_io=False)
+        # Without enforcement, a mismatching parameter passes through.
+        out = peer.service.invoke("Echo", (el("date", "x"),))
+        assert out[0].label == "date"
+
+    def test_peer_self_registration(self, schema_star):
+        peer = AXMLPeer("self", schema_star)
+        assert peer.registry.services["axml://self"] is peer.service
+
+    def test_know_peer_makes_endpoint_callable(self, schema_star):
+        a = AXMLPeer("a", schema_star)
+        b = AXMLPeer("b", schema_star)
+        signature = FunctionSignature(parse_regex("temp"), parse_regex("temp"))
+        b.provide("Echo", signature, lambda params: params)
+        a.know_peer(b)
+        from repro.doc.builder import call
+
+        out = a.registry.invoke(call("Echo", el("temp", "1")))
+        assert out[0].label == "temp"
+
+
+class TestNetworkBookkeeping:
+    def build(self, registry, schema_star, schema_star2):
+        alice = AXMLPeer("alice", schema_star)
+        for service in registry.services.values():
+            alice.registry.register(service)
+        bob = AXMLPeer("bob", schema_star2)
+        network = PeerNetwork()
+        network.add_peer(alice)
+        network.add_peer(bob)
+        network.agree("alice", "bob", schema_star2)
+        alice.repository.store("front", newspaper.document())
+        return network, alice, bob
+
+    def test_store_as_renames(self, registry, schema_star, schema_star2):
+        network, _alice, bob = self.build(registry, schema_star, schema_star2)
+        receipt = network.send("alice", "bob", "front", store_as="inbox-1")
+        assert receipt.accepted
+        assert "inbox-1" in bob.repository
+        assert "front" not in bob.repository
+
+    def test_receipts_accumulate(self, registry, schema_star, schema_star2):
+        network, alice, _bob = self.build(registry, schema_star, schema_star2)
+        network.send("alice", "bob", "front")
+        alice.repository.store("front", newspaper.document())
+        network.send("alice", "bob", "front")
+        assert len(network.receipts) == 2
+        assert all(r.sender == "alice" for r in network.receipts)
+
+    def test_agreements_are_directional(self, registry, schema_star,
+                                        schema_star2):
+        from repro.errors import SchemaError
+
+        network, _alice, bob = self.build(registry, schema_star, schema_star2)
+        bob.repository.store("reply", newspaper.materialized_document())
+        with pytest.raises(SchemaError):
+            network.send("bob", "alice", "reply")  # no reverse agreement
+
+    def test_unknown_document_raises(self, registry, schema_star, schema_star2):
+        from repro.errors import DocumentError
+
+        network, _alice, _bob = self.build(registry, schema_star, schema_star2)
+        with pytest.raises(DocumentError):
+            network.send("alice", "bob", "missing-doc")

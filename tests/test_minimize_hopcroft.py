@@ -1,0 +1,52 @@
+"""Cross-validation of Hopcroft's minimization against Moore's."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+
+from repro.automata.dfa import complete, minimize, minimize_hopcroft
+from repro.automata.ops import language_equal, regex_to_dfa
+from repro.automata.symbols import Alphabet
+from repro.regex.parser import parse_regex
+from tests.test_properties import regexes
+
+
+class TestHopcroft:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "a", "a.b.c", "(a | b)*", "(a.c) | (b.c)", "a{2,5}",
+            "title.date.temp.(TimeOut | exhibit*)",
+            "(a|b)*.a.(a|b).(a|b)",  # nondeterministic family, n=2
+            "empty", "eps",
+        ],
+    )
+    def test_agrees_with_moore(self, text):
+        dfa = regex_to_dfa(parse_regex(text))
+        moore = minimize(dfa)
+        hopcroft = minimize_hopcroft(dfa)
+        assert moore.n_states == hopcroft.n_states, text
+        assert language_equal(moore, hopcroft)
+        assert language_equal(dfa, hopcroft)
+
+    @given(regexes())
+    @settings(max_examples=150, deadline=None)
+    def test_agrees_with_moore_on_random_regexes(self, regex):
+        dfa = regex_to_dfa(regex, Alphabet.closure(["a", "b", "c"]))
+        moore = minimize(dfa)
+        hopcroft = minimize_hopcroft(dfa)
+        assert moore.n_states == hopcroft.n_states
+        assert language_equal(dfa, hopcroft)
+
+    def test_minimality_on_redundant_automaton(self):
+        # (a.c)|(b.c) has two mergeable intermediate states.
+        dfa = regex_to_dfa(parse_regex("(a.c) | (b.c)"))
+        hopcroft = minimize_hopcroft(dfa)
+        assert hopcroft.n_states < complete(dfa).n_states
+
+    def test_all_rejecting_automaton(self):
+        dfa = regex_to_dfa(parse_regex("empty"))
+        hopcroft = minimize_hopcroft(dfa)
+        assert not hopcroft.accepting
+        assert hopcroft.n_states == 1

@@ -1,0 +1,152 @@
+"""Unit tests for schema negotiation and UDDI-style type search."""
+
+import pytest
+
+from repro import (
+    FunctionSignature,
+    SchemaBuilder,
+    Service,
+    ServiceRegistry,
+    constant_responder,
+    el,
+    parse_regex,
+)
+from repro.axml.negotiation import (
+    intensionality_degree,
+    negotiate,
+)
+from repro.errors import SchemaError
+from repro.schema.patterns import deny
+from repro.workloads import newspaper
+
+
+def fully_extensional():
+    return (
+        SchemaBuilder()
+        .element("newspaper", "title.date.temp.exhibit*")
+        .element("title", "data")
+        .element("date", "data")
+        .element("temp", "data")
+        .element("city", "data")
+        .element("exhibit", "title.date")
+        .function("Get_Temp", "city", "temp")
+        .function("TimeOut", "data", "(exhibit | performance)*")
+        .function("Get_Date", "title", "date")
+        .root("newspaper")
+        .build(strict=False)
+    )
+
+
+class TestIntensionalityDegree:
+    def test_counts_function_positions(self):
+        assert intensionality_degree(newspaper.schema_star()) == 3
+        assert intensionality_degree(newspaper.schema_star2()) == 2
+        assert intensionality_degree(fully_extensional()) == 0
+
+    def test_counts_pattern_positions(self):
+        assert intensionality_degree(newspaper.pattern_schema()) == 3
+
+
+class TestNegotiate:
+    def test_prefers_most_intensional_compatible_offer(self):
+        sender = newspaper.schema_star()
+        offers = [fully_extensional(), newspaper.schema_star2(),
+                  newspaper.schema_star()]
+        outcome = negotiate(sender, offers, k=1, preference="intensional")
+        assert outcome.ok
+        assert outcome.agreed is offers[2]  # (*) itself: 3 call positions
+
+    def test_extensional_preference_flips_the_choice(self):
+        sender = newspaper.schema_star()
+        offers = [newspaper.schema_star(), newspaper.schema_star2()]
+        outcome = negotiate(sender, offers, k=1, preference="extensional")
+        assert outcome.agreed is offers[1]
+
+    def test_incompatible_offers_filtered(self):
+        sender = newspaper.schema_star()
+        offers = [newspaper.schema_star3(), newspaper.schema_star2()]
+        outcome = negotiate(sender, offers, k=1)
+        assert outcome.agreed is offers[1]
+        assert outcome.compatible == [1]
+        assert not outcome.reports[0].compatible
+
+    def test_no_common_ground(self):
+        sender = newspaper.schema_star()
+        outcome = negotiate(sender, [newspaper.schema_star3()], k=1)
+        assert not outcome.ok
+        assert outcome.agreed is None
+
+    def test_policy_restricts_negotiation(self):
+        sender = newspaper.schema_star()
+        # (**) needs Get_Temp invocable; with it denied, only (*) works.
+        offers = [newspaper.schema_star2(), newspaper.schema_star()]
+        outcome = negotiate(
+            sender, offers, k=1, policy=deny(["Get_Temp"])
+        )
+        assert outcome.agreed is offers[1]
+
+    def test_cheapest_preference(self):
+        sender = newspaper.schema_star()
+        offers = [newspaper.schema_star2(), newspaper.schema_star()]
+        outcome = negotiate(sender, offers, k=1, preference="cheapest")
+        # (*) costs 0 invocations; (**) may require one.
+        assert outcome.agreed is offers[1]
+
+    def test_rootless_sender_rejected(self):
+        schema = SchemaBuilder().element("a", "data").build()
+        with pytest.raises(SchemaError):
+            negotiate(schema, [schema])
+
+    def test_unknown_preference_rejected(self):
+        with pytest.raises(ValueError):
+            negotiate(newspaper.schema_star(), [], preference="vibes")
+
+
+class TestRegistrySearch:
+    def build(self):
+        registry = ServiceRegistry()
+        weather = Service("http://weather", "urn:w")
+        weather.add_operation(
+            "Get_Temp",
+            FunctionSignature(parse_regex("city"), parse_regex("temp")),
+            constant_responder((el("temp", "1"),)),
+        )
+        listings = Service("http://listings", "urn:l")
+        listings.add_operation(
+            "TimeOut",
+            FunctionSignature(
+                parse_regex("data"), parse_regex("(exhibit | performance)*")
+            ),
+            constant_responder(()),
+        )
+        registry.register(weather).register(listings)
+        return registry
+
+    def test_find_by_output_type(self):
+        registry = self.build()
+        found = registry.find_providers(parse_regex("temp"))
+        assert [op.name for _s, op in found] == ["Get_Temp"]
+
+    def test_intersection_vs_subset(self):
+        registry = self.build()
+        wanted = parse_regex("exhibit*")
+        loose = registry.find_providers(wanted)
+        assert [op.name for _s, op in loose] == ["TimeOut"]
+        # TimeOut may return performances, so it fails the subset test.
+        strict = registry.find_providers(wanted, require_subset=True)
+        assert strict == []
+
+    def test_input_constraint(self):
+        registry = self.build()
+        found = registry.find_providers(
+            parse_regex("temp"), input_type=parse_regex("city")
+        )
+        assert len(found) == 1
+        none = registry.find_providers(
+            parse_regex("temp"), input_type=parse_regex("date")
+        )
+        assert none == []
+
+    def test_no_match(self):
+        registry = self.build()
+        assert registry.find_providers(parse_regex("price")) == []

@@ -1,0 +1,116 @@
+"""Brute-force oracle for the safe-rewriting game (k=1, finite outputs).
+
+Definition 5 defines safety recursively over single rewrite steps.  For
+k=1 and *star-free* output types the quantification is finite, so it can
+be evaluated directly as a game tree:
+
+- at a call we choose: keep it, or invoke it and then win for EVERY
+  output word the type admits (adaptively — the continuation may depend
+  on which output came back);
+- at a plain symbol there is no choice;
+- at the end, the produced word must be in the target language.
+
+The automata algorithm must agree with this oracle on every randomly
+generated instance; its possible-rewriting sibling must agree with the
+`any` variant.  This is the most direct check that the marking game
+implements the paper's semantics.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from hypothesis import given, settings, strategies as st
+
+from repro.regex import ast
+from repro.regex.ops import enumerate_words, matches
+from repro.rewriting.lazy import analyze_safe_lazy
+from repro.rewriting.possible import analyze_possible
+from repro.rewriting.safe import analyze_safe
+
+SYMBOLS = ("a", "b", "c")
+
+
+def finite_regexes(symbols=SYMBOLS, max_leaves=4):
+    """Star-free regexes: their languages are finite and enumerable."""
+    leaves = st.sampled_from([ast.atom(s) for s in symbols] + [ast.EPSILON])
+
+    def extend(children):
+        return st.one_of(
+            st.tuples(children, children).map(lambda p: ast.seq(*p)),
+            st.tuples(children, children).map(lambda p: ast.alt(*p)),
+            children.map(ast.opt),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=max_leaves)
+
+
+@st.composite
+def oracle_problems(draw):
+    n = draw(st.integers(1, 3))
+    word = []
+    outputs = {}
+    for i in range(n):
+        if draw(st.booleans()):
+            word.append(draw(st.sampled_from(SYMBOLS)))
+        else:
+            name = "q%d" % i
+            outputs[name] = draw(finite_regexes())
+            word.append(name)
+    target = draw(finite_regexes(max_leaves=6))
+    return tuple(word), outputs, target
+
+
+def oracle(word, outputs, target, universal: bool) -> bool:
+    """Direct game-tree evaluation of Definition 5 at k=1.
+
+    ``universal=True`` evaluates safety (win against every output);
+    ``False`` evaluates possibility (win for some output).
+    """
+    output_words = {
+        name: tuple(enumerate_words(expr, 8))
+        for name, expr in outputs.items()
+    }
+
+    def rec(i: int, produced: tuple) -> bool:
+        if i == len(word):
+            return matches(target, list(produced))
+        symbol = word[i]
+        if symbol not in outputs:
+            return rec(i + 1, produced + (symbol,))
+        keep = rec(i + 1, produced + (symbol,))
+        if keep:
+            return True
+        candidates = output_words[symbol]
+        quantifier = all if universal else any
+        return quantifier(
+            rec(i + 1, produced + out) for out in candidates
+        )
+
+    return rec(0, ())
+
+
+class TestOracleAgreement:
+    @given(oracle_problems())
+    @settings(max_examples=200, deadline=None)
+    def test_safe_analysis_equals_game_tree(self, problem):
+        word, outputs, target = problem
+        expected = oracle(word, outputs, target, universal=True)
+        got = analyze_safe(word, outputs, target, k=1).exists
+        assert got == expected, (word, str(target))
+
+    @given(oracle_problems())
+    @settings(max_examples=200, deadline=None)
+    def test_lazy_analysis_equals_game_tree(self, problem):
+        word, outputs, target = problem
+        expected = oracle(word, outputs, target, universal=True)
+        got = analyze_safe_lazy(word, outputs, target, k=1).exists
+        assert got == expected
+
+    @given(oracle_problems())
+    @settings(max_examples=150, deadline=None)
+    def test_possible_analysis_equals_game_tree(self, problem):
+        word, outputs, target = problem
+        expected = oracle(word, outputs, target, universal=False)
+        got = analyze_possible(word, outputs, target, k=1).exists
+        assert got == expected

@@ -1,0 +1,93 @@
+"""Robustness properties: parsers never crash with foreign exceptions.
+
+The XML document parser, the SOAP decoder, the XML Schema_int parser and
+the DTD parser all face untrusted wire input.  Whatever bytes arrive,
+they must either succeed or raise the package's own typed errors — never
+an ``AttributeError``/``KeyError``/``IndexError`` leaking internals.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.doc.xml_io import node_from_xml
+from repro.errors import (
+    DocumentParseError,
+    RegexSyntaxError,
+    ReproError,
+    SchemaError,
+    XMLSchemaIntError,
+)
+from repro.regex.parser import parse_regex
+from repro.schema.dtd import parse_dtd
+from repro.services.soap import decode_request, decode_response
+from repro.xschema.parser import parse_xschema
+
+# Text likely to tickle parsers: XML-ish fragments with noise.
+xmlish = st.text(
+    alphabet="<>/=\"' abcdefint:fun#{}()|.*+?!-\n",
+    min_size=0,
+    max_size=120,
+)
+
+
+class TestUntrustedInput:
+    @given(xmlish)
+    @settings(max_examples=300, deadline=None)
+    def test_document_parser_raises_only_typed_errors(self, text):
+        try:
+            node_from_xml(text)
+        except DocumentParseError:
+            pass
+        except ValueError:
+            pass  # node constructors validate labels
+
+    @given(xmlish)
+    @settings(max_examples=200, deadline=None)
+    def test_soap_decoders_raise_only_typed_errors(self, text):
+        for decoder in (decode_request, decode_response):
+            try:
+                decoder(text)
+            except ReproError:
+                pass
+            except ValueError:
+                pass
+
+    @given(xmlish)
+    @settings(max_examples=200, deadline=None)
+    def test_xschema_parser_raises_only_typed_errors(self, text):
+        try:
+            parse_xschema(text)
+        except XMLSchemaIntError:
+            pass
+
+    @given(st.text(alphabet="<>!ELEMENT()|,*+?#PCDATA abc-\n", max_size=120))
+    @settings(max_examples=200, deadline=None)
+    def test_dtd_parser_raises_only_typed_errors(self, text):
+        try:
+            parse_dtd(text)
+        except SchemaError:
+            pass
+
+    @given(st.text(alphabet="ab|.*+?(){}0123456789, ", max_size=60))
+    @settings(max_examples=300, deadline=None)
+    def test_regex_parser_raises_only_typed_errors(self, text):
+        try:
+            parse_regex(text)
+        except RegexSyntaxError:
+            pass
+
+
+class TestRoundTripUnderNoise:
+    @given(st.text(alphabet="abc <>&\"'\n", max_size=40))
+    @settings(max_examples=150, deadline=None)
+    def test_text_content_roundtrips_escaped(self, value):
+        """Any character data survives serialization, whitespace-trimmed
+        (the simple model strips insignificant whitespace)."""
+        from repro.doc import Document, el
+
+        stripped = value.strip()
+        if not stripped:
+            return
+        document = Document(el("a", stripped))
+        parsed = Document.from_xml(document.to_xml())
+        assert parsed.root.children[0].value == stripped

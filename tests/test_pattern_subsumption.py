@@ -1,0 +1,109 @@
+"""Tests for wildcard patterns with subsumption matching (Section 2.1).
+
+"The combination of wildcards and function patterns allows for great
+flexibility [...] one may specify that the temperature is obtained from
+an arbitrary function that returns a correct temp element, but may take
+any argument, being data or function call."
+"""
+
+import pytest
+
+from repro import (
+    Document,
+    RewriteEngine,
+    SchemaBuilder,
+    call,
+    el,
+    is_instance,
+)
+from repro.errors import SchemaError
+from repro.schema.model import EXACT, SUBSUME, FunctionSignature
+from repro.regex.parser import parse_regex
+
+
+def wildcard_pattern_schema(match=SUBSUME):
+    """tau(page) = Forecast | temp with Forecast: any* -> temp."""
+    return (
+        SchemaBuilder()
+        .element("page", "Forecast | temp")
+        .element("temp", "data")
+        .element("city", "data")
+        .element("zipcode", "data")
+        .function("Get_Temp", "city", "temp")
+        .function("Get_Temp_By_Zip", "zipcode.zipcode?", "temp")
+        .function("Renamer", "city", "city")
+        .pattern("Forecast", "any*", "temp", match=match)
+        .root("page")
+        .build()
+    )
+
+
+class TestSubsumption:
+    def test_paper_scenario_any_argument(self):
+        schema = wildcard_pattern_schema(SUBSUME)
+        pattern = schema.patterns["Forecast"]
+        # Both forecast services match: inputs are within any*, output temp.
+        assert pattern.admits("Get_Temp", schema.signature_of("Get_Temp"))
+        assert pattern.admits(
+            "Get_Temp_By_Zip", schema.signature_of("Get_Temp_By_Zip")
+        )
+        # Wrong output type is still rejected.
+        assert not pattern.admits("Renamer", schema.signature_of("Renamer"))
+
+    def test_exact_mode_rejects_non_identical(self):
+        schema = wildcard_pattern_schema(EXACT)
+        pattern = schema.patterns["Forecast"]
+        assert not pattern.admits("Get_Temp", schema.signature_of("Get_Temp"))
+
+    def test_validation_accepts_any_conforming_forecast(self):
+        schema = wildcard_pattern_schema(SUBSUME)
+        for name, param in (
+            ("Get_Temp", el("city", "Paris")),
+            ("Get_Temp_By_Zip", el("zipcode", "75")),
+        ):
+            document = Document(el("page", call(name, param)))
+            assert is_instance(document, schema), name
+        bad = Document(el("page", call("Renamer", el("city", "x"))))
+        assert not is_instance(bad, schema)
+
+    def test_rewriting_with_subsuming_pattern_target(self):
+        schema = wildcard_pattern_schema(SUBSUME)
+        document = Document(el("page", call("Get_Temp_By_Zip",
+                                            el("zipcode", "75"))))
+        engine = RewriteEngine(schema, schema, k=1)
+        result = engine.rewrite(document, lambda fc: (el("temp", "20"),))
+        # The call matches Forecast, so it may stay — no invocation.
+        assert not result.log.records
+        assert is_instance(result.document, schema)
+
+    def test_output_subsumption_is_directional(self):
+        schema = (
+            SchemaBuilder()
+            .element("page", "P")
+            .element("a", "data")
+            .function("wide", "data", "a | a.a")
+            .function("narrow", "data", "a")
+            .pattern("P", "data", "a | a.a", match=SUBSUME)
+            .root("page")
+            .build()
+        )
+        pattern = schema.patterns["P"]
+        assert pattern.admits("wide", schema.signature_of("wide"))
+        assert pattern.admits("narrow", schema.signature_of("narrow"))
+        reversed_schema = (
+            SchemaBuilder()
+            .element("page", "P")
+            .element("a", "data")
+            .function("wide", "data", "a | a.a")
+            .pattern("P", "data", "a", match=SUBSUME)
+            .root("page")
+            .build()
+        )
+        assert not reversed_schema.patterns["P"].admits(
+            "wide", reversed_schema.signature_of("wide")
+        )
+
+    def test_unknown_match_mode_rejected(self):
+        with pytest.raises(SchemaError):
+            (SchemaBuilder()
+             .pattern("P", "data", "data", match="fuzzy"))

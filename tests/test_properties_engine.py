@@ -1,0 +1,109 @@
+"""End-to-end properties of the document rewrite engine.
+
+For a random sender schema we *derive* the receiver mechanically:
+replace every function atom in the content models by the function's
+output type ("materialize the schema").  By construction every sender
+instance then admits a safe 1-depth rewriting into the receiver — the
+engine must find and execute it, and the result must validate, whatever
+conforming outputs the simulated services produce.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.doc.nodes import FunctionCall
+from repro.regex import ast
+from repro.regex.ast import Alt, AnySymbol, Atom, Empty, Epsilon, Regex, Repeat, Seq, Star
+from repro.rewriting.engine import RewriteEngine
+from repro.schema import InstanceGenerator, Schema, is_instance
+from repro.schema.generator import InstanceGenerator as Generator
+from repro.workloads.generators import random_flat_schema
+
+
+def materialize_schema(schema: Schema) -> Schema:
+    """Receiver = sender with every function atom inlined to its output."""
+
+    def substitute(expr: Regex) -> Regex:
+        if isinstance(expr, Atom):
+            signature = schema.functions.get(expr.symbol)
+            if signature is not None:
+                return signature.output_type
+            return expr
+        if isinstance(expr, (Epsilon, Empty, AnySymbol)):
+            return expr
+        if isinstance(expr, Seq):
+            return ast.seq(*(substitute(i) for i in expr.items))
+        if isinstance(expr, Alt):
+            return ast.alt(*(substitute(o) for o in expr.options))
+        if isinstance(expr, Star):
+            return ast.star(substitute(expr.item))
+        if isinstance(expr, Repeat):
+            return ast.repeat(substitute(expr.item), expr.low, expr.high)
+        raise TypeError(expr)
+
+    return Schema(
+        {label: substitute(expr) for label, expr in schema.label_types.items()},
+        dict(schema.functions),
+        dict(schema.patterns),
+        schema.root,
+    )
+
+
+def sampling_invoker(schema: Schema, seed: int):
+    generator = Generator(schema, random.Random(seed), max_depth=4)
+
+    def invoker(fc: FunctionCall):
+        return generator.output_forest(fc.name)
+
+    return invoker
+
+
+class TestEngineOnDerivedSchemas:
+    @given(st.integers(0, 10_000), st.integers(0, 10_000))
+    @settings(max_examples=80, deadline=None)
+    def test_materializing_rewrite_always_succeeds(self, schema_seed, doc_seed):
+        sender = random_flat_schema(random.Random(schema_seed))
+        receiver = materialize_schema(sender)
+        document = InstanceGenerator(
+            sender, random.Random(doc_seed), max_depth=4
+        ).document()
+
+        engine = RewriteEngine(receiver, sender, k=1)
+        assert engine.can_rewrite(document), document.pretty()
+        result = engine.rewrite(
+            document, sampling_invoker(sender, doc_seed + 1)
+        )
+        assert is_instance(result.document, receiver, sender)
+        # Every original call was materialized (outputs are call-free in
+        # the flat schema family).
+        assert result.document.is_extensional()
+        assert result.calls_made == document.function_count()
+
+    @given(st.integers(0, 10_000), st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_identity_rewrite_never_invokes(self, schema_seed, doc_seed):
+        sender = random_flat_schema(random.Random(schema_seed))
+        document = InstanceGenerator(
+            sender, random.Random(doc_seed), max_depth=4
+        ).document()
+        engine = RewriteEngine(sender, sender, k=1)
+        result = engine.rewrite(
+            document, sampling_invoker(sender, doc_seed + 1)
+        )
+        assert result.document == document
+        assert not result.log.records
+
+    @given(st.integers(0, 10_000), st.integers(0, 10_000),
+           st.integers(0, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_call_bias_respects_schema(self, schema_seed, doc_seed, bias_ix):
+        bias = [0.0, 0.5, 1.0, 10.0][bias_ix]
+        schema = random_flat_schema(random.Random(schema_seed))
+        generator = InstanceGenerator(
+            schema, random.Random(doc_seed), max_depth=4, call_bias=bias
+        )
+        document = generator.document()
+        assert is_instance(document, schema)

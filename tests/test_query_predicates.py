@@ -1,0 +1,66 @@
+"""Unit tests for predicates in the declarative query language."""
+
+import pytest
+
+from repro import Document, DocumentRepository, el
+from repro.axml.query import query_path
+from repro.errors import DocumentError
+
+
+@pytest.fixture
+def repo():
+    repository = DocumentRepository()
+    repository.store(
+        "catalog",
+        Document(
+            el(
+                "catalog",
+                el("item", el("name", "laptop"), el("price", "900"),
+                   attrs={"sku": "A-1"}),
+                el("item", el("name", "phone"), el("price", "400"),
+                   attrs={"sku": "B-2"}),
+                el("item", el("name", "laptop"), el("price", "1200"),
+                   attrs={"sku": "C-3"}),
+            )
+        ),
+    )
+    return repository
+
+
+class TestChildTextPredicates:
+    def test_filter_by_child_text(self, repo):
+        laptops = query_path(repo, "catalog", "catalog/item[name=laptop]")
+        assert len(laptops) == 2
+        assert {item.get_attribute("sku") for item in laptops} == {"A-1", "C-3"}
+
+    def test_no_match(self, repo):
+        assert query_path(repo, "catalog", "catalog/item[name=tablet]") == ()
+
+    def test_predicate_then_descend(self, repo):
+        prices = query_path(repo, "catalog", "catalog/item[name=phone]/price")
+        assert len(prices) == 1
+        assert prices[0].children[0].value == "400"
+
+
+class TestAttributePredicates:
+    def test_filter_by_attribute(self, repo):
+        items = query_path(repo, "catalog", "catalog/item[@sku=B-2]")
+        assert len(items) == 1
+        assert items[0].children[0].children[0].value == "phone"
+
+    def test_missing_attribute_never_matches(self, repo):
+        assert query_path(repo, "catalog", "catalog/item[@color=red]") == ()
+
+    def test_wildcard_with_predicate(self, repo):
+        items = query_path(repo, "catalog", "catalog/*[@sku=A-1]")
+        assert len(items) == 1
+
+
+class TestErrors:
+    def test_malformed_predicate(self, repo):
+        with pytest.raises(DocumentError):
+            query_path(repo, "catalog", "catalog/item[namelaptop]")
+
+    def test_predicate_on_root_step(self, repo):
+        # The root step may carry predicates too.
+        assert query_path(repo, "catalog", "catalog[@missing=1]/item") == ()

@@ -1,0 +1,132 @@
+"""Unit tests for the regex AST and its smart constructors."""
+
+import pytest
+
+from repro.regex.ast import (
+    Alt,
+    AnySymbol,
+    Atom,
+    EMPTY,
+    EPSILON,
+    Empty,
+    Epsilon,
+    Repeat,
+    Seq,
+    Star,
+    alt,
+    atom,
+    opt,
+    plus,
+    repeat,
+    seq,
+    star,
+)
+
+
+class TestConstructorNormalization:
+    def test_seq_flattens_nested_sequences(self):
+        expr = seq(seq(atom("a"), atom("b")), atom("c"))
+        assert isinstance(expr, Seq)
+        assert [str(i) for i in expr.items] == ["a", "b", "c"]
+
+    def test_seq_drops_epsilon(self):
+        assert seq(atom("a"), EPSILON) == atom("a")
+
+    def test_seq_of_nothing_is_epsilon(self):
+        assert seq() is EPSILON or isinstance(seq(), Epsilon)
+
+    def test_seq_with_empty_is_empty(self):
+        assert isinstance(seq(atom("a"), EMPTY), Empty)
+
+    def test_alt_flattens_and_dedupes(self):
+        expr = alt(atom("a"), alt(atom("b"), atom("a")))
+        assert isinstance(expr, Alt)
+        assert [str(o) for o in expr.options] == ["a", "b"]
+
+    def test_alt_single_option_collapses(self):
+        assert alt(atom("a")) == atom("a")
+
+    def test_alt_drops_empty(self):
+        assert alt(atom("a"), EMPTY) == atom("a")
+
+    def test_alt_of_nothing_is_empty(self):
+        assert isinstance(alt(), Empty)
+
+    def test_star_of_star_collapses(self):
+        inner = star(atom("a"))
+        assert star(inner) == inner
+
+    def test_star_of_epsilon_is_epsilon(self):
+        assert isinstance(star(EPSILON), Epsilon)
+
+    def test_star_of_empty_is_epsilon(self):
+        assert isinstance(star(EMPTY), Epsilon)
+
+    def test_plus_builds_repeat(self):
+        expr = plus(atom("a"))
+        assert isinstance(expr, Repeat)
+        assert expr.low == 1 and expr.high is None
+
+    def test_opt_builds_repeat(self):
+        expr = opt(atom("a"))
+        assert isinstance(expr, Repeat)
+        assert expr.low == 0 and expr.high == 1
+
+    def test_repeat_normalizes_exact_one(self):
+        assert repeat(atom("a"), 1, 1) == atom("a")
+
+    def test_repeat_zero_to_unbounded_is_star(self):
+        assert isinstance(repeat(atom("a"), 0, None), Star)
+
+    def test_repeat_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            repeat(atom("a"), 3, 2)
+        with pytest.raises(ValueError):
+            repeat(atom("a"), -1, 2)
+
+
+class TestOperators:
+    def test_plus_operator_is_concatenation(self):
+        expr = atom("a") + atom("b")
+        assert isinstance(expr, Seq)
+
+    def test_or_operator_is_alternation(self):
+        expr = atom("a") | atom("b")
+        assert isinstance(expr, Alt)
+
+    def test_method_sugar(self):
+        assert isinstance(atom("a").star(), Star)
+        assert isinstance(atom("a").plus(), Repeat)
+        assert isinstance(atom("a").opt(), Repeat)
+
+
+class TestRendering:
+    def test_atom_renders_plainly(self):
+        assert str(atom("title")) == "title"
+
+    def test_newspaper_type_renders_like_the_paper(self):
+        expr = seq(
+            atom("title"),
+            atom("date"),
+            alt(atom("Get_Temp"), atom("temp")),
+            alt(atom("TimeOut"), star(atom("exhibit"))),
+        )
+        assert str(expr) == "title.date.(Get_Temp | temp).(TimeOut | exhibit*)"
+
+    def test_wildcard_rendering(self):
+        assert str(AnySymbol()) == "any"
+        assert "a" in str(AnySymbol(frozenset({"a"})))
+
+    def test_walk_visits_every_node(self):
+        expr = seq(atom("a"), alt(atom("b"), star(atom("c"))))
+        atoms = [n.symbol for n in expr.walk() if isinstance(n, Atom)]
+        assert sorted(atoms) == ["a", "b", "c"]
+
+
+class TestHashability:
+    def test_regexes_are_hashable_and_comparable(self):
+        a1 = seq(atom("a"), star(atom("b")))
+        a2 = seq(atom("a"), star(atom("b")))
+        assert a1 == a2
+        assert hash(a1) == hash(a2)
+        assert len({a1, a2}) == 1

@@ -1,0 +1,59 @@
+"""Unit tests for the one-unambiguity (XML Schema determinism) check."""
+
+import pytest
+
+from repro.regex.ast import AnySymbol, atom, seq
+from repro.regex.determinism import find_ambiguity, is_one_unambiguous
+from repro.regex.parser import parse_regex
+
+
+class TestOneUnambiguous:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "a",
+            "a.b.c",
+            "(a | b)*",
+            "a*.b",
+            "a?.b",
+            "title.date.(Get_Temp | temp).(TimeOut | exhibit*)",
+            "title.date.temp.exhibit*",
+            "a{2,4}",  # nested-optional unfolding keeps counting deterministic
+            "a{0,3}.b",
+            "(a.b)*",
+        ],
+    )
+    def test_deterministic(self, text):
+        assert is_one_unambiguous(parse_regex(text))
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "(a.b) | (a.c)",  # classic lookahead ambiguity
+            "a*.a",
+            "(a | a.b)",
+            "(a.b)* . a",
+            "(a|b)*.a.(a|b)",  # the exponential-complement family
+        ],
+    )
+    def test_nondeterministic(self, text):
+        assert not is_one_unambiguous(parse_regex(text))
+
+    def test_witness_is_reported(self):
+        witness = find_ambiguity(parse_regex("(a.b) | (a.c)"))
+        assert witness is not None
+        state, guard_a, guard_b = witness
+        assert guard_a == "a" and guard_b == "a"
+
+    def test_two_wildcards_always_overlap(self):
+        expr = seq(AnySymbol().opt(), AnySymbol())
+        assert not is_one_unambiguous(expr)
+
+    def test_wildcard_vs_excluded_symbol_no_overlap(self):
+        # (any \ {a})? . a  is deterministic: 'a' can only be the second atom.
+        expr = seq(AnySymbol(frozenset({"a"})).opt(), atom("a"))
+        assert is_one_unambiguous(expr)
+
+    def test_wildcard_vs_other_symbol_overlaps(self):
+        expr = seq(AnySymbol().opt(), atom("a"))
+        assert not is_one_unambiguous(expr)

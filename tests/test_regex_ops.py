@@ -1,0 +1,128 @@
+"""Unit tests for nullability, first sets, derivatives and matching."""
+
+import pytest
+
+from repro.regex.ast import AnySymbol, Empty
+from repro.regex.ops import (
+    derivative,
+    enumerate_words,
+    first_symbols,
+    has_wildcard,
+    matches,
+    nullable,
+    regex_alphabet,
+)
+from repro.regex.parser import parse_regex
+
+
+class TestNullable:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("eps", True),
+            ("a", False),
+            ("a*", True),
+            ("a?", True),
+            ("a+", False),
+            ("a | b*", True),
+            ("a.b", False),
+            ("a?.b?", True),
+            ("a{0,3}", True),
+            ("a{2,3}", False),
+            ("empty", False),
+        ],
+    )
+    def test_cases(self, text, expected):
+        assert nullable(parse_regex(text)) is expected
+
+
+class TestFirstSymbols:
+    def test_sequence_stops_at_non_nullable(self):
+        assert first_symbols(parse_regex("a.b")) == {"a"}
+
+    def test_sequence_sees_through_nullable(self):
+        assert first_symbols(parse_regex("a?.b")) == {"a", "b"}
+
+    def test_alternation_unions(self):
+        assert first_symbols(parse_regex("a | b.c")) == {"a", "b"}
+
+    def test_wildcard_first(self):
+        firsts = first_symbols(parse_regex("any.b"))
+        assert len(firsts) == 1
+        assert isinstance(next(iter(firsts)), AnySymbol)
+
+
+class TestDerivative:
+    def test_atom(self):
+        assert nullable(derivative(parse_regex("a"), "a"))
+        assert isinstance(derivative(parse_regex("a"), "b"), Empty)
+
+    def test_star_unrolls(self):
+        expr = parse_regex("a*")
+        assert matches(derivative(expr, "a"), ["a", "a"])
+
+    def test_repeat_counts_down(self):
+        expr = parse_regex("a{2,3}")
+        once = derivative(expr, "a")
+        assert not nullable(once)
+        twice = derivative(once, "a")
+        assert nullable(twice)
+
+
+class TestMatches:
+    @pytest.mark.parametrize(
+        "text,word,expected",
+        [
+            ("title.date", ["title", "date"], True),
+            ("title.date", ["title"], False),
+            ("(a | b)*", [], True),
+            ("(a | b)*", ["a", "b", "a"], True),
+            ("(a | b)*", ["c"], False),
+            ("a{2,4}", ["a", "a", "a"], True),
+            ("a{2,4}", ["a"], False),
+            ("a{2,4}", ["a"] * 5, False),
+            ("any*", ["x", "y", "z"], True),
+            (
+                "title.date.(Get_Temp | temp).(TimeOut | exhibit*)",
+                ["title", "date", "Get_Temp", "TimeOut"],
+                True,
+            ),
+            (
+                "title.date.temp.exhibit*",
+                ["title", "date", "temp", "performance"],
+                False,
+            ),
+        ],
+    )
+    def test_cases(self, text, word, expected):
+        assert matches(parse_regex(text), word) is expected
+
+
+class TestAlphabetAndWildcards:
+    def test_alphabet_collects_atoms(self):
+        expr = parse_regex("a.(b | c*)")
+        assert regex_alphabet(expr) == frozenset({"a", "b", "c"})
+
+    def test_alphabet_includes_wildcard_exclusions(self):
+        expr = AnySymbol(frozenset({"x"}))
+        assert regex_alphabet(expr) == frozenset({"x"})
+
+    def test_has_wildcard(self):
+        assert has_wildcard(parse_regex("a.any"))
+        assert not has_wildcard(parse_regex("a.b"))
+
+
+class TestEnumerateWords:
+    def test_shortest_first(self):
+        words = list(enumerate_words(parse_regex("a.b | c"), 3))
+        assert words[0] == ("c",)
+        assert ("a", "b") in words
+
+    def test_respects_max_length(self):
+        words = list(enumerate_words(parse_regex("a*"), 2))
+        assert words == [(), ("a",), ("a", "a")]
+
+    def test_every_enumerated_word_matches(self):
+        expr = parse_regex("(a | b.c)*")
+        for word in enumerate_words(expr, 4):
+            assert matches(expr, list(word))

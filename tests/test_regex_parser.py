@@ -1,0 +1,133 @@
+"""Unit tests for the type-expression parser."""
+
+import pytest
+
+from repro.automata.symbols import DATA
+from repro.errors import RegexSyntaxError
+from repro.regex.ast import Alt, AnySymbol, Atom, Empty, Epsilon, Repeat, Seq, Star
+from repro.regex.parser import parse_regex
+
+
+class TestBasics:
+    def test_single_atom(self):
+        assert parse_regex("title") == Atom("title")
+
+    def test_sequence(self):
+        expr = parse_regex("title.date")
+        assert isinstance(expr, Seq)
+        assert len(expr.items) == 2
+
+    def test_choice(self):
+        expr = parse_regex("Get_Temp | temp")
+        assert isinstance(expr, Alt)
+        assert len(expr.options) == 2
+
+    def test_star(self):
+        assert isinstance(parse_regex("exhibit*"), Star)
+
+    def test_plus_and_opt(self):
+        plus = parse_regex("a+")
+        assert isinstance(plus, Repeat) and plus.low == 1 and plus.high is None
+        opt = parse_regex("a?")
+        assert isinstance(opt, Repeat) and opt.low == 0 and opt.high == 1
+
+    def test_bounded_repetition(self):
+        expr = parse_regex("a{2,5}")
+        assert isinstance(expr, Repeat)
+        assert (expr.low, expr.high) == (2, 5)
+
+    def test_unbounded_repetition(self):
+        expr = parse_regex("a{3,}")
+        assert isinstance(expr, Repeat)
+        assert (expr.low, expr.high) == (3, None)
+
+    def test_empty_string_is_epsilon(self):
+        assert isinstance(parse_regex(""), Epsilon)
+        assert isinstance(parse_regex("   "), Epsilon)
+
+    def test_keywords(self):
+        assert parse_regex("data") == Atom(DATA)
+        assert isinstance(parse_regex("any"), AnySymbol)
+        assert isinstance(parse_regex("eps"), Epsilon)
+        assert isinstance(parse_regex("empty"), Empty)
+
+    def test_names_with_underscores_and_dashes(self):
+        assert parse_regex("Get_Temp") == Atom("Get_Temp")
+        assert parse_regex("a-b") == Atom("a-b")
+
+
+class TestPaperExpressions:
+    """Every type expression written out in the paper must parse."""
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "title.date.(Get_Temp | temp).(TimeOut | exhibit*)",
+            "title.(Get_Date | date)",
+            "(exhibit | performance)*",
+            "title.date.temp.(TimeOut | exhibit*)",
+            "title.date.temp.exhibit*",
+            "title.date.(Forecast | temp).(TimeOut | exhibit*)",
+            "Get_Exhibit*",
+            "city",
+            "temp",
+            "data",
+        ],
+    )
+    def test_parses(self, text):
+        parse_regex(text)
+
+    def test_roundtrip_through_str(self):
+        text = "title.date.(Get_Temp | temp).(TimeOut | exhibit*)"
+        expr = parse_regex(text)
+        assert parse_regex(str(expr)) == expr
+
+
+class TestPrecedence:
+    def test_star_binds_tighter_than_seq(self):
+        expr = parse_regex("a.b*")
+        assert isinstance(expr, Seq)
+        assert isinstance(expr.items[1], Star)
+
+    def test_seq_binds_tighter_than_alt(self):
+        expr = parse_regex("a.b | c")
+        assert isinstance(expr, Alt)
+        assert isinstance(expr.options[0], Seq)
+
+    def test_parentheses_override(self):
+        expr = parse_regex("a.(b | c)")
+        assert isinstance(expr, Seq)
+        assert isinstance(expr.items[1], Alt)
+
+    def test_star_on_group(self):
+        expr = parse_regex("(a.b)*")
+        assert isinstance(expr, Star)
+        assert isinstance(expr.item, Seq)
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "a..b",
+            "a |",
+            "(a",
+            "a)",
+            "*a",
+            "a{2,1}",
+            "a{,2}",
+            "a b",  # missing '.' separator
+            ".a",
+            "|a",
+            "a{x,2}",
+            "a%b",
+        ],
+    )
+    def test_rejects(self, text):
+        with pytest.raises(RegexSyntaxError):
+            parse_regex(text)
+
+    def test_error_carries_position(self):
+        with pytest.raises(RegexSyntaxError) as info:
+            parse_regex("a.%")
+        assert info.value.text == "a.%"

@@ -1,0 +1,133 @@
+"""Unit tests for right-to-left rewritings (footnote 4)."""
+
+import pytest
+
+from repro.doc import call, el
+from repro.doc.nodes import symbol_of
+from repro.regex.ops import matches, reverse
+from repro.regex.parser import parse_regex
+from repro.rewriting.direction import (
+    LTR,
+    RTL,
+    analyze_safe_directed,
+    execute_safe_directed,
+    safe_in_some_direction,
+)
+
+
+def rtl_only_problem():
+    """w = f.g, tau_out(f)=c, tau_out(g)=a|b, R = (c.a)|(f.b).
+
+    Deciding f requires knowing g's output: unsafe LTR, safe RTL.
+    """
+    word = ("f", "g")
+    outputs = {"f": parse_regex("c"), "g": parse_regex("a | b")}
+    target = parse_regex("(c.a) | (f.b)")
+    return word, outputs, target
+
+
+class TestRegexReverse:
+    @pytest.mark.parametrize(
+        "text,word",
+        [
+            ("a.b.c", ["c", "b", "a"]),
+            ("(a.b)*", ["b", "a", "b", "a"]),
+            ("a{2,3}.b", ["b", "a", "a"]),
+            ("(a | b.c).d", ["d", "c", "b"]),
+        ],
+    )
+    def test_reversed_language(self, text, word):
+        assert matches(reverse(parse_regex(text)), word)
+
+    def test_double_reverse_is_identity_semantically(self):
+        expr = parse_regex("a.(b | c*)+.d?")
+        twice = reverse(reverse(expr))
+        for word in ([], ["a"], ["a", "b"], ["a", "c", "c", "d"]):
+            assert matches(twice, word) == matches(expr, word)
+
+
+class TestDirectionMatters:
+    def test_ltr_unsafe_rtl_safe(self):
+        word, outputs, target = rtl_only_problem()
+        assert not analyze_safe_directed(
+            word, outputs, target, direction=LTR
+        ).exists
+        assert analyze_safe_directed(
+            word, outputs, target, direction=RTL
+        ).exists
+
+    def test_safe_in_some_direction_reports_rtl(self):
+        word, outputs, target = rtl_only_problem()
+        assert safe_in_some_direction(word, outputs, target) == RTL
+
+    def test_mirror_problem_prefers_ltr(self):
+        # The mirror image: deciding g requires knowing f's output — LTR.
+        word = ("f", "g")
+        outputs = {"f": parse_regex("a | b"), "g": parse_regex("c")}
+        target = parse_regex("(a.c) | (b.g)")
+        assert safe_in_some_direction(word, outputs, target) == LTR
+
+    def test_both_directions_agree_on_plain_words(self):
+        for target_text, expected in (("a.b", True), ("b.a", False)):
+            target = parse_regex(target_text)
+            for direction in (LTR, RTL):
+                analysis = analyze_safe_directed(
+                    ("a", "b"), {}, target, direction=direction
+                )
+                assert analysis.exists is expected, (target_text, direction)
+
+    def test_unsafe_in_both_directions(self):
+        word = ("f",)
+        outputs = {"f": parse_regex("a | b")}
+        target = parse_regex("a")
+        assert safe_in_some_direction(word, outputs, target) is None
+
+
+class TestRtlExecution:
+    def test_rtl_execution_uses_late_knowledge(self):
+        word, outputs, target = rtl_only_problem()
+        analysis = analyze_safe_directed(word, outputs, target, direction=RTL)
+
+        for g_answer, expect_f_invoked in (("a", True), ("b", False)):
+            def invoker(fc, g_answer=g_answer):
+                if fc.name == "g":
+                    return (el(g_answer),)
+                return (el("c"),)
+
+            new_children, log = execute_safe_directed(
+                analysis,
+                (call("f"), call("g")),
+                invoker,
+                direction=RTL,
+            )
+            result = [symbol_of(n) for n in new_children]
+            assert matches(target, result), (g_answer, result)
+            assert ("f" in log.invoked) is expect_f_invoked
+
+    def test_rtl_preserves_document_order(self):
+        # Three plain elements pass through untouched, in order.
+        analysis = analyze_safe_directed(
+            ("a", "b", "c"), {}, parse_regex("a.b.c"), direction=RTL
+        )
+        children = (el("a"), el("b"), el("c"))
+        new_children, _log = execute_safe_directed(
+            analysis, children, lambda fc: (), direction=RTL
+        )
+        assert new_children == children
+
+    def test_rtl_output_forest_order_preserved(self):
+        # An invoked call returning a sequence keeps its internal order.
+        analysis = analyze_safe_directed(
+            ("f",), {"f": parse_regex("a.b")}, parse_regex("a.b"),
+            direction=RTL,
+        )
+        new_children, _log = execute_safe_directed(
+            analysis, (call("f"),), lambda fc: (el("a"), el("b")),
+            direction=RTL,
+        )
+        assert [n.label for n in new_children] == ["a", "b"]
+
+    def test_bad_direction_rejected(self):
+        with pytest.raises(ValueError):
+            analyze_safe_directed(("a",), {}, parse_regex("a"),
+                                  direction="up")

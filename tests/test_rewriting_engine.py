@@ -1,0 +1,198 @@
+"""Unit tests for the document-level rewrite engine (Section 4 staging)."""
+
+import pytest
+
+from repro.doc import Document, call, el, text
+from repro.errors import (
+    NoPossibleRewritingError,
+    NoSafeRewritingError,
+    SchemaError,
+)
+from repro.rewriting import CostModel, RewriteEngine
+from repro.schema import SchemaBuilder, allow_only, deny, is_instance
+from repro.workloads import newspaper
+
+
+class TestModes:
+    def test_safe_mode_succeeds_on_star2(self, doc, schema_star, schema_star2, registry):
+        engine = RewriteEngine(schema_star2, schema_star, k=1, mode="safe")
+        result = engine.rewrite(doc, registry.make_invoker())
+        assert is_instance(result.document, schema_star2, schema_star)
+        assert result.mode_used == "safe"
+        assert result.log.invoked == ["Get_Temp"]
+
+    def test_safe_mode_fails_on_star3(self, doc, schema_star, schema_star3, registry):
+        engine = RewriteEngine(schema_star3, schema_star, k=1, mode="safe")
+        with pytest.raises(NoSafeRewritingError):
+            engine.rewrite(doc, registry.make_invoker())
+
+    def test_auto_mode_falls_back_to_possible(
+        self, doc, schema_star, schema_star3, registry
+    ):
+        engine = RewriteEngine(schema_star3, schema_star, k=1, mode="auto")
+        result = engine.rewrite(doc, registry.make_invoker())
+        assert result.mode_used == "possible"
+        assert is_instance(result.document, schema_star3, schema_star)
+
+    def test_possible_mode_fails_on_adversarial_services(
+        self, doc, schema_star, schema_star3, adversarial_registry
+    ):
+        from repro.errors import RewriteExecutionError
+
+        engine = RewriteEngine(schema_star3, schema_star, k=1, mode="possible")
+        with pytest.raises(RewriteExecutionError):
+            engine.rewrite(doc, adversarial_registry.make_invoker())
+
+    def test_possible_mode_impossible_case(self, schema_star, registry):
+        target = (
+            SchemaBuilder()
+            .element("newspaper", "title")
+            .element("title", "data")
+            .build()
+        )
+        engine = RewriteEngine(target, schema_star, mode="possible")
+        document = Document(el("newspaper", el("date", "x")))
+        with pytest.raises(NoPossibleRewritingError):
+            engine.rewrite(document, registry.make_invoker())
+
+
+class TestStaticCheck:
+    def test_can_rewrite_matches_rewrite(self, doc, schema_star, schema_star2,
+                                         schema_star3):
+        assert RewriteEngine(schema_star2, schema_star).can_rewrite(doc)
+        assert not RewriteEngine(schema_star3, schema_star).can_rewrite(doc)
+        assert RewriteEngine(
+            schema_star3, schema_star, mode="possible"
+        ).can_rewrite(doc)
+        assert RewriteEngine(
+            schema_star3, schema_star, mode="auto"
+        ).can_rewrite(doc)
+
+    def test_can_rewrite_never_invokes(self, doc, schema_star, schema_star2):
+        # No invoker is even available to the static check.
+        assert RewriteEngine(schema_star2, schema_star).can_rewrite(doc)
+
+
+class TestParameterStage:
+    def test_parameters_rewritten_before_invocation(self, schema_star, registry):
+        # Get_Temp expects `city`; the document supplies Get_City() whose
+        # output is a city element — the engine must materialize the
+        # parameter first (the bottom-up stage).
+        sender = (
+            SchemaBuilder()
+            .element("newspaper", "title.date.(Get_Temp | temp).(TimeOut | exhibit*)")
+            .element("title", "data")
+            .element("date", "data")
+            .element("temp", "data")
+            .element("city", "data")
+            .element("exhibit", "title.(Get_Date | date)")
+            .function("Get_Temp", "city", "temp")
+            .function("TimeOut", "data", "(exhibit | performance)*")
+            .function("Get_Date", "title", "date")
+            .function("Get_City", "data", "city")
+            .root("newspaper")
+            .build(strict=False)
+        )
+        from repro import FunctionSignature, Service, constant_responder, parse_regex
+
+        city_service = Service("http://cities.example.com", "urn:cities")
+        city_service.add_operation(
+            "Get_City",
+            FunctionSignature(parse_regex("data"), parse_regex("city")),
+            constant_responder((el("city", "Paris"),)),
+        )
+        registry.register(city_service)
+
+        document = Document(
+            el(
+                "newspaper",
+                el("title", "t"), el("date", "d"),
+                call("Get_Temp", call("Get_City", text("fr"))),
+                call("TimeOut", text("x")),
+            )
+        )
+        target = newspaper.schema_star2()
+        engine = RewriteEngine(target, sender, k=1)
+        result = engine.rewrite(document, registry.make_invoker())
+        assert is_instance(result.document, target, sender)
+        assert result.log.invoked == ["Get_City", "Get_Temp"]
+
+    def test_kept_call_parameters_still_conform(self, schema_star, registry):
+        # TimeOut is kept; its parameter must match tau_in = data (it does).
+        engine = RewriteEngine(newspaper.schema_star2(), schema_star)
+        result = engine.rewrite(newspaper.document(), registry.make_invoker())
+        kept = result.document.root.children[3]
+        assert kept.name == "TimeOut"
+        assert kept.params == (text("exhibits"),)
+
+    def test_unknown_function_signature_fails(self, schema_star, registry):
+        document = Document(el("newspaper", call("Mystery")))
+        engine = RewriteEngine(schema_star, schema_star)
+        with pytest.raises(SchemaError):
+            engine.rewrite(document, registry.make_invoker())
+
+    def test_undeclared_label_fails(self, schema_star, registry):
+        document = Document(el("unknown-element"))
+        engine = RewriteEngine(schema_star, schema_star)
+        with pytest.raises(SchemaError):
+            engine.rewrite(document, registry.make_invoker())
+
+
+class TestPolicies:
+    def test_non_invocable_function_blocks_safe_rewriting(
+        self, doc, schema_star, schema_star2, registry
+    ):
+        engine = RewriteEngine(
+            schema_star2, schema_star, policy=deny(["Get_Temp"])
+        )
+        with pytest.raises(NoSafeRewritingError):
+            engine.rewrite(doc, registry.make_invoker())
+
+    def test_allow_only_whitelist(self, doc, schema_star, schema_star2, registry):
+        engine = RewriteEngine(
+            schema_star2, schema_star, policy=allow_only(["Get_Temp"])
+        )
+        result = engine.rewrite(doc, registry.make_invoker())
+        assert result.log.invoked == ["Get_Temp"]
+
+    def test_policy_irrelevant_when_no_invocation_needed(
+        self, doc, schema_star, registry
+    ):
+        engine = RewriteEngine(
+            schema_star, schema_star, policy=deny(["Get_Temp", "TimeOut"])
+        )
+        result = engine.rewrite(doc, registry.make_invoker())
+        assert not result.log.records
+
+
+class TestPatternTargets:
+    def test_pattern_target_keeps_conforming_call(self, doc, schema_star, registry):
+        target = newspaper.pattern_schema()
+        engine = RewriteEngine(target, schema_star)
+        result = engine.rewrite(doc, registry.make_invoker())
+        assert is_instance(result.document, target, schema_star)
+        assert not result.log.records  # Get_Temp matches Forecast, stays
+
+    def test_pattern_rejecting_predicate_forces_invocation(
+        self, doc, schema_star, registry
+    ):
+        target = newspaper.pattern_schema(lambda name: name != "Get_Temp")
+        engine = RewriteEngine(target, schema_star)
+        result = engine.rewrite(doc, registry.make_invoker())
+        assert result.log.invoked == ["Get_Temp"]
+        assert is_instance(result.document, target, schema_star)
+
+
+class TestCostModel:
+    def test_costs_accumulate(self, doc, schema_star, schema_star2, registry):
+        model = CostModel(default_cost=2.0).with_cost("Get_Temp", 10.0)
+        engine = RewriteEngine(schema_star2, schema_star, cost_model=model)
+        result = engine.rewrite(doc, registry.make_invoker())
+        assert result.log.cost == 10.0
+
+    def test_stats_reported(self, doc, schema_star, schema_star2, registry):
+        engine = RewriteEngine(schema_star2, schema_star)
+        result = engine.rewrite(doc, registry.make_invoker())
+        assert result.words_rewritten >= 2  # newspaper + subtrees
+        assert result.product_nodes > 0
+        assert result.calls_made == 1

@@ -1,0 +1,123 @@
+"""Unit tests for the A_w^k construction (Figure 3, steps 5-10)."""
+
+import pytest
+
+from repro.regex.parser import parse_regex
+from repro.rewriting.expansion import build_expansion
+
+
+@pytest.fixture
+def newspaper_problem(newspaper_outputs):
+    return (("title", "date", "Get_Temp", "TimeOut"), newspaper_outputs)
+
+
+class TestBaseAutomaton:
+    def test_zero_depth_is_the_linear_word(self, newspaper_problem):
+        word, outputs = newspaper_problem
+        expansion = build_expansion(word, outputs, k=0)
+        assert expansion.n_states == len(word) + 1
+        assert len(expansion.edges) == len(word)
+        assert not expansion.copies
+        assert not expansion.fork_edges()
+
+    def test_empty_word(self):
+        expansion = build_expansion((), {}, k=3)
+        assert expansion.initial == expansion.final == 0
+        assert not expansion.edges
+
+
+class TestFigure4:
+    """The 1-depth automaton of Figure 4."""
+
+    def test_state_count_matches_the_figure(self, newspaper_problem):
+        word, outputs = newspaper_problem
+        expansion = build_expansion(word, outputs, k=1)
+        # 5 base states + 2 for Glushkov('temp') + 3 for
+        # Glushkov((exhibit|performance)*) = 10, mirroring Figure 4's shape.
+        assert expansion.n_states == 10
+
+    def test_two_fork_nodes(self, newspaper_problem):
+        word, outputs = newspaper_problem
+        expansion = build_expansion(word, outputs, k=1)
+        forks = expansion.fork_edges()
+        assert [str(edge.guard) for edge in forks] == ["Get_Temp", "TimeOut"]
+        # Fork nodes are q2 and q3, as in the figure.
+        assert [edge.source for edge in forks] == [2, 3]
+
+    def test_fork_options_pair_call_and_epsilon(self, newspaper_problem):
+        word, outputs = newspaper_problem
+        expansion = build_expansion(word, outputs, k=1)
+        for edge in expansion.fork_edges():
+            invoke = expansion.edge(edge.invoke_edge)
+            assert invoke.is_epsilon and invoke.kind == "invoke"
+            assert invoke.source == edge.source
+
+    def test_return_edges_rejoin_the_word(self, newspaper_problem):
+        word, outputs = newspaper_problem
+        expansion = build_expansion(word, outputs, k=1)
+        for copy in expansion.copies.values():
+            call_edge = expansion.edge(copy.call_edge)
+            for return_eid in copy.return_edges.values():
+                assert expansion.edge(return_eid).target == call_edge.target
+
+    def test_non_functions_not_expanded(self, newspaper_problem):
+        word, outputs = newspaper_problem
+        expansion = build_expansion(word, outputs, k=1)
+        assert {copy.function for copy in expansion.copies.values()} == {
+            "Get_Temp", "TimeOut",
+        }
+
+
+class TestDepth:
+    def chain_outputs(self, n):
+        outputs = {}
+        for i in range(1, n):
+            outputs["f%d" % i] = parse_regex("a | f%d" % (i + 1))
+        outputs["f%d" % n] = parse_regex("a")
+        return outputs
+
+    def test_depth_k_expands_k_levels(self):
+        outputs = self.chain_outputs(5)
+        for k in range(1, 5):
+            expansion = build_expansion(("f1",), outputs, k=k)
+            depths = {copy.depth for copy in expansion.copies.values()}
+            assert depths == set(range(1, k + 1))
+            assert len(expansion.copies) == k
+
+    def test_expansion_stops_when_nothing_new(self):
+        # f returns plain letters; further rounds add nothing.
+        expansion = build_expansion(("f",), {"f": parse_regex("a.b")}, k=7)
+        assert len(expansion.copies) == 1
+
+    def test_growth_with_k_is_monotone(self):
+        outputs = {"g": parse_regex("a.g | a")}
+        sizes = [
+            build_expansion(("g",), outputs, k=k).size() for k in range(5)
+        ]
+        assert sizes == sorted(sizes)
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            build_expansion(("a",), {}, k=-1)
+
+
+class TestInvocability:
+    def test_non_invocable_functions_stay_letters(self, newspaper_problem):
+        word, outputs = newspaper_problem
+        expansion = build_expansion(
+            word, outputs, k=1, invocable=lambda name: name != "TimeOut"
+        )
+        assert [copy.function for copy in expansion.copies.values()] == [
+            "Get_Temp"
+        ]
+
+    def test_functions_without_signature_stay_letters(self):
+        expansion = build_expansion(("mystery",), {}, k=2)
+        assert not expansion.copies
+
+    def test_nested_invocability_respected(self):
+        outputs = {"f": parse_regex("g"), "g": parse_regex("a")}
+        expansion = build_expansion(
+            ("f",), outputs, k=3, invocable=lambda name: name == "f"
+        )
+        assert [copy.function for copy in expansion.copies.values()] == ["f"]

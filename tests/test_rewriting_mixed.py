@@ -1,0 +1,111 @@
+"""Unit tests for the mixed approach (Section 5)."""
+
+import pytest
+
+from repro.doc import call, el, text
+from repro.doc.nodes import symbol_of
+from repro.errors import NoSafeRewritingError
+from repro.regex.ops import matches
+from repro.regex.parser import parse_regex
+from repro.rewriting.lazy import analyze_safe_lazy
+from repro.rewriting.mixed import mixed_rewrite_word, pre_materialize
+from repro.rewriting.plan import InvocationLog
+
+WORD_CHILDREN = (
+    el("title", "t"),
+    el("date", "d"),
+    call("Get_Temp", el("city", "Paris")),
+    call("TimeOut", text("k")),
+)
+R3 = parse_regex("title.date.temp.exhibit*")
+
+
+def invoker(fc):
+    if fc.name == "Get_Temp":
+        return (el("temp", "15"),)
+    if fc.name == "TimeOut":
+        return (el("exhibit", el("title", "P"), el("date", "d")),)
+    raise AssertionError(fc.name)
+
+
+class TestPreMaterialize:
+    def test_eager_calls_materialized(self):
+        log = InvocationLog()
+        updated = pre_materialize(
+            WORD_CHILDREN, lambda name: name == "TimeOut", invoker, 1, log,
+            lambda _n: 1.0,
+        )
+        symbols = tuple(symbol_of(node) for node in updated)
+        assert symbols == ("title", "date", "Get_Temp", "exhibit")
+        assert log.invoked == ["TimeOut"]
+
+    def test_depth_respected(self):
+        def nested_invoker(fc):
+            if fc.name == "f":
+                return (call("g"),)
+            return (el("a"),)
+
+        log = InvocationLog()
+        updated = pre_materialize(
+            (call("f"),), lambda _n: True, nested_invoker, 1, log, lambda _n: 0.0
+        )
+        # depth 1 fires f; g (depth 2) stays.
+        assert [symbol_of(n) for n in updated] == ["g"]
+
+        log2 = InvocationLog()
+        updated2 = pre_materialize(
+            (call("f"),), lambda _n: True, nested_invoker, 2, log2, lambda _n: 0.0
+        )
+        assert [symbol_of(n) for n in updated2] == ["a"]
+
+
+class TestMixedRewrite:
+    def test_mixed_makes_star3_safe(self, newspaper_outputs):
+        # Pure safe rewriting into (***) fails; invoking the well-behaved
+        # TimeOut up front and THEN deciding succeeds — Section 5's point.
+        new_children, log, analysis = mixed_rewrite_word(
+            WORD_CHILDREN,
+            newspaper_outputs,
+            R3,
+            invoker,
+            eager=lambda name: name == "TimeOut",
+            k=1,
+        )
+        assert analysis.exists
+        assert sorted(log.invoked) == ["Get_Temp", "TimeOut"]
+        assert matches(R3, [symbol_of(n) for n in new_children])
+
+    def test_mixed_fails_when_actual_output_bad(self, newspaper_outputs):
+        def adversarial(fc):
+            if fc.name == "Get_Temp":
+                return (el("temp", "15"),)
+            return (el("performance"),)
+
+        with pytest.raises(NoSafeRewritingError):
+            mixed_rewrite_word(
+                WORD_CHILDREN, newspaper_outputs, R3, adversarial,
+                eager=lambda name: name == "TimeOut", k=1,
+            )
+
+    def test_mixed_shrinks_the_game(self, newspaper_outputs):
+        word = tuple(symbol_of(n) for n in WORD_CHILDREN)
+        full = analyze_safe_lazy(
+            word, newspaper_outputs,
+            parse_regex("title.date.temp.(TimeOut | exhibit*)"), k=1,
+        )
+        _new, _log, mixed_analysis = mixed_rewrite_word(
+            WORD_CHILDREN, newspaper_outputs,
+            parse_regex("title.date.temp.(TimeOut | exhibit*)"),
+            invoker, eager=lambda name: name == "TimeOut", k=1,
+        )
+        assert (
+            mixed_analysis.stats.expansion_states < full.stats.expansion_states
+        )
+
+    def test_no_eager_calls_degenerates_to_safe(self, newspaper_outputs):
+        new_children, log, analysis = mixed_rewrite_word(
+            WORD_CHILDREN, newspaper_outputs,
+            parse_regex("title.date.temp.(TimeOut | exhibit*)"),
+            invoker, eager=lambda _name: False, k=1,
+        )
+        assert log.invoked == ["Get_Temp"]

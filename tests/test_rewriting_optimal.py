@@ -1,0 +1,145 @@
+"""Unit tests for cost-optimal safe strategies (Figure 3, step 23)."""
+
+import math
+
+import pytest
+
+from repro.doc import call, el
+from repro.errors import NoSafeRewritingError
+from repro.regex.parser import parse_regex
+from repro.rewriting.optimal import (
+    execute_safe_optimal,
+    strategy_values,
+)
+from repro.rewriting.safe import analyze_safe, execute_safe
+
+
+def greedy_suboptimal_problem():
+    """w = f.g.h, R = (f.b.c)|(a.g.h): greedy pays 2, optimal pays 1."""
+    word = ("f", "g", "h")
+    outputs = {
+        "f": parse_regex("a"),
+        "g": parse_regex("b"),
+        "h": parse_regex("c"),
+    }
+    target = parse_regex("(f.b.c) | (a.g.h)")
+    return word, outputs, target
+
+
+def invoker(fc):
+    return ({"f": el("a"), "g": el("b"), "h": el("c")}[fc.name],)
+
+
+class TestStrategyValues:
+    def test_values_on_the_witness(self):
+        word, outputs, target = greedy_suboptimal_problem()
+        analysis = analyze_safe(word, outputs, target, k=1)
+        assert analysis.exists
+        values = strategy_values(analysis)
+        assert values[analysis.initial] == 1.0  # invoke f only
+
+    def test_zero_cost_when_already_conformant(self):
+        analysis = analyze_safe(("a", "b"), {}, parse_regex("a.b"), k=1)
+        values = strategy_values(analysis)
+        assert values[analysis.initial] == 0.0
+
+    def test_forced_invocations_counted(self):
+        analysis = analyze_safe(
+            ("f", "f"), {"f": parse_regex("a")}, parse_regex("a.a"), k=1
+        )
+        values = strategy_values(analysis)
+        assert values[analysis.initial] == 2.0
+
+    def test_custom_costs(self):
+        word, outputs, target = greedy_suboptimal_problem()
+        analysis = analyze_safe(word, outputs, target, k=1)
+        # Make f expensive: invoking g and h (1 each) becomes optimal.
+        values = strategy_values(
+            analysis, cost_of=lambda name: 10.0 if name == "f" else 1.0
+        )
+        assert values[analysis.initial] == 2.0
+
+    def test_marked_nodes_are_infinite(self):
+        word, outputs, target = greedy_suboptimal_problem()
+        analysis = analyze_safe(word, outputs, target, k=1)
+        values = strategy_values(analysis)
+        for node in analysis.marked:
+            assert values.get(node, math.inf) == math.inf
+
+
+class TestOptimalExecution:
+    def test_beats_greedy_on_the_witness(self):
+        word, outputs, target = greedy_suboptimal_problem()
+        analysis = analyze_safe(word, outputs, target, k=1)
+        children = (call("f"), call("g"), call("h"))
+
+        _greedy_out, greedy_log = execute_safe(analysis, children, invoker)
+        _optimal_out, optimal_log = execute_safe_optimal(
+            analysis, children, invoker
+        )
+        assert len(greedy_log) == 2  # keeps f, then must invoke g and h
+        assert len(optimal_log) == 1  # invokes f, keeps g and h
+        assert optimal_log.invoked == ["f"]
+
+    def test_optimal_result_conforms(self):
+        from repro.doc.nodes import symbol_of
+        from repro.regex.ops import matches
+
+        word, outputs, target = greedy_suboptimal_problem()
+        analysis = analyze_safe(word, outputs, target, k=1)
+        children = (call("f"), call("g"), call("h"))
+        new_children, _log = execute_safe_optimal(analysis, children, invoker)
+        assert matches(target, [symbol_of(n) for n in new_children])
+
+    def test_respects_cost_model(self):
+        word, outputs, target = greedy_suboptimal_problem()
+        analysis = analyze_safe(word, outputs, target, k=1)
+        children = (call("f"), call("g"), call("h"))
+        _out, log = execute_safe_optimal(
+            analysis, children, invoker,
+            cost_of=lambda name: 10.0 if name == "f" else 1.0,
+        )
+        assert sorted(log.invoked) == ["g", "h"]
+
+    def test_agrees_with_greedy_on_paper_example(self, newspaper_outputs):
+        word = ("title", "date", "Get_Temp", "TimeOut")
+        target = parse_regex("title.date.temp.(TimeOut | exhibit*)")
+        analysis = analyze_safe(word, newspaper_outputs, target, k=1)
+        children = (
+            el("title", "t"), el("date", "d"),
+            call("Get_Temp", el("city", "P")), call("TimeOut", el("city", "x")),
+        )
+
+        def news_invoker(fc):
+            if fc.name == "Get_Temp":
+                return (el("temp", "15"),)
+            return (el("exhibit", el("title", "T"), el("date", "d")),)
+
+        _out, log = execute_safe_optimal(analysis, children, news_invoker)
+        assert log.invoked == ["Get_Temp"]
+
+    def test_refuses_unsafe(self, newspaper_outputs):
+        word = ("title", "date", "Get_Temp", "TimeOut")
+        target = parse_regex("title.date.temp.exhibit*")
+        analysis = analyze_safe(word, newspaper_outputs, target, k=1)
+        with pytest.raises(NoSafeRewritingError):
+            execute_safe_optimal(analysis, (), invoker)
+
+    def test_adversarial_outputs_stay_within_bound(self):
+        """The value is a worst-case bound: any conforming adversary pays
+        at most values[initial]."""
+        word = ("f", "g")
+        outputs = {"f": parse_regex("a | b"), "g": parse_regex("c")}
+        target = parse_regex("(a.c) | (b.g)")
+        analysis = analyze_safe(word, outputs, target, k=1)
+        values = strategy_values(analysis)
+        bound = values[analysis.initial]
+
+        for f_answer in ("a", "b"):
+            def adversary(fc, f_answer=f_answer):
+                return (el(f_answer),) if fc.name == "f" else (el("c"),)
+
+            _out, log = execute_safe_optimal(
+                analysis, (call("f"), call("g")), adversary
+            )
+            assert log.cost <= bound

@@ -1,0 +1,127 @@
+"""Unit tests for DTD import/export."""
+
+import pytest
+
+from repro.automata.ops import language_equal, regex_to_dfa
+from repro.automata.symbols import Alphabet, DATA
+from repro.errors import SchemaError
+from repro.regex.ast import Atom
+from repro.schema.dtd import parse_dtd, schema_to_dtd
+from repro.workloads import newspaper
+
+NEWSPAPER_DTD = """
+<!ELEMENT newspaper (title,date,(Get_Temp|temp),(TimeOut|exhibit*))>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT date (#PCDATA)>
+<!ELEMENT temp (#PCDATA)>
+<!ELEMENT city (#PCDATA)>
+<!ELEMENT exhibit (title,(Get_Date|date))>
+<!-- repro:function Get_Temp (city) : (temp) -->
+<!-- repro:function TimeOut (#none) : ((exhibit|performance)*) -->
+<!-- repro:function Get_Date (title) : (date) -->
+"""
+
+
+class TestParseDtd:
+    def test_newspaper_dtd_matches_schema_star(self):
+        # TimeOut's input is `data` in the paper; spell it as an element
+        # here since DTDs have no data keyword in positions.
+        dtd = NEWSPAPER_DTD.replace("(#none)", "(query)") + \
+            "\n<!ELEMENT query (#PCDATA)>"
+        schema = parse_dtd(dtd)
+        star = newspaper.schema_star()
+        alphabet = Alphabet.closure(
+            star.alphabet_symbols(), schema.alphabet_symbols()
+        )
+        assert language_equal(
+            regex_to_dfa(schema.type_of("newspaper"), alphabet),
+            regex_to_dfa(star.type_of("newspaper"), alphabet),
+        )
+        assert schema.root == "newspaper"
+        assert str(schema.signature_of("Get_Temp")) == "city -> temp"
+
+    def test_pcdata_is_data(self):
+        schema = parse_dtd("<!ELEMENT a (#PCDATA)>")
+        assert schema.type_of("a") == Atom(DATA)
+
+    def test_empty_and_any(self):
+        schema = parse_dtd("<!ELEMENT a EMPTY>\n<!ELEMENT b ANY>")
+        from repro.regex.ast import AnySymbol, Epsilon, Star
+
+        assert isinstance(schema.type_of("a"), Epsilon)
+        b = schema.type_of("b")
+        assert isinstance(b, Star) and isinstance(b.item, AnySymbol)
+
+    def test_occurrence_operators(self):
+        schema = parse_dtd("<!ELEMENT a (b?,c+,d*)>\n<!ELEMENT b EMPTY>"
+                           "\n<!ELEMENT c EMPTY>\n<!ELEMENT d EMPTY>")
+        from repro.regex.ops import matches
+
+        expr = schema.type_of("a")
+        assert matches(expr, ["c"])
+        assert matches(expr, ["b", "c", "c", "d"])
+        assert not matches(expr, ["b", "d"])
+
+    def test_nested_groups(self):
+        schema = parse_dtd("<!ELEMENT a ((b|c),(d,e)*)>"
+                           "\n<!ELEMENT b EMPTY>\n<!ELEMENT c EMPTY>"
+                           "\n<!ELEMENT d EMPTY>\n<!ELEMENT e EMPTY>")
+        from repro.regex.ops import matches
+
+        assert matches(schema.type_of("a"), ["b", "d", "e", "d", "e"])
+
+    def test_explicit_root(self):
+        schema = parse_dtd("<!ELEMENT a EMPTY>\n<!ELEMENT b EMPTY>", root="b")
+        assert schema.root == "b"
+        with pytest.raises(SchemaError):
+            parse_dtd("<!ELEMENT a EMPTY>", root="zzz")
+
+    def test_mixed_content_rejected(self):
+        with pytest.raises(SchemaError):
+            parse_dtd("<!ELEMENT a (#PCDATA|b)*>")
+
+    def test_duplicate_element_rejected(self):
+        with pytest.raises(SchemaError):
+            parse_dtd("<!ELEMENT a EMPTY>\n<!ELEMENT a EMPTY>")
+
+    def test_empty_dtd_rejected(self):
+        with pytest.raises(SchemaError):
+            parse_dtd("<!-- nothing here -->")
+
+    def test_garbage_content_model_rejected(self):
+        with pytest.raises(SchemaError):
+            parse_dtd("<!ELEMENT a (b,,c)>")
+        with pytest.raises(SchemaError):
+            parse_dtd("<!ELEMENT a (b>")
+
+
+class TestRoundTrip:
+    def test_schema_to_dtd_and_back(self):
+        star = newspaper.schema_star()
+        dtd = schema_to_dtd(star)
+        assert "<!ELEMENT newspaper" in dtd
+        assert "repro:function Get_Temp" in dtd
+        back = parse_dtd(dtd, root="newspaper")
+        alphabet = Alphabet.closure(
+            star.alphabet_symbols(), back.alphabet_symbols()
+        )
+        for label, expr in star.label_types.items():
+            assert language_equal(
+                regex_to_dfa(expr, alphabet),
+                regex_to_dfa(back.type_of(label), alphabet),
+            ), label
+        for name, signature in star.functions.items():
+            assert language_equal(
+                regex_to_dfa(signature.output_type, alphabet),
+                regex_to_dfa(back.signature_of(name).output_type, alphabet),
+            ), name
+
+    def test_inexpressible_features_raise(self):
+        from repro.schema import SchemaBuilder
+
+        bounded = SchemaBuilder().element("a", "b{2,4}").build(strict=False)
+        with pytest.raises(SchemaError):
+            schema_to_dtd(bounded)
+        embedded_any = SchemaBuilder().element("a", "b.any").build(strict=False)
+        with pytest.raises(SchemaError):
+            schema_to_dtd(embedded_any)

@@ -1,0 +1,165 @@
+"""Unit tests for the seeded instance generator."""
+
+import math
+import random
+
+import pytest
+
+from repro.automata.symbols import DATA
+from repro.doc import Document
+from repro.errors import SchemaError
+from repro.regex.parser import parse_regex
+from repro.schema import InstanceGenerator, SchemaBuilder, is_instance
+from repro.schema.generator import cheapest_word, min_instance_sizes, min_word_cost
+
+
+class TestMinWordCost:
+    def test_atoms_and_seq(self):
+        cost = {"a": 2.0, "b": 3.0}
+        assert min_word_cost(parse_regex("a.b"), cost) == 5.0
+
+    def test_alt_takes_minimum(self):
+        cost = {"a": 2.0, "b": 3.0}
+        assert min_word_cost(parse_regex("a | b"), cost) == 2.0
+
+    def test_star_is_free(self):
+        assert min_word_cost(parse_regex("a*"), {"a": 99.0}) == 0.0
+
+    def test_repeat_multiplies_low(self):
+        assert min_word_cost(parse_regex("a{3,7}"), {"a": 2.0}) == 6.0
+
+    def test_empty_is_infinite(self):
+        assert min_word_cost(parse_regex("empty"), {}) == math.inf
+
+    def test_cheapest_word_achieves_cost(self):
+        cost = {"a": 5.0, "b": 1.0}
+        expr = parse_regex("(a | b).(a* | b{2,4})")
+        word = cheapest_word(expr, cost)
+        assert sum(cost[s] for s in word) == min_word_cost(expr, cost)
+
+
+class TestMinInstanceSizes:
+    def test_flat_schema(self):
+        schema = (
+            SchemaBuilder()
+            .element("leaf", "data")
+            .element("root", "leaf.leaf")
+            .build()
+        )
+        sizes = min_instance_sizes(schema)
+        assert sizes["leaf"] == 2.0  # element + data
+        assert sizes["root"] == 5.0
+
+    def test_recursive_label_without_base_case_is_infinite(self):
+        schema = SchemaBuilder().element("a", "a").build()
+        assert min_instance_sizes(schema)["a"] == math.inf
+
+    def test_recursive_label_with_base_case_is_finite(self):
+        schema = SchemaBuilder().element("a", "a | data").build()
+        assert min_instance_sizes(schema)["a"] == 2.0
+
+    def test_function_cost_counts_parameters(self):
+        schema = (
+            SchemaBuilder()
+            .element("city", "data")
+            .element("temp", "data")
+            .function("Get_Temp", "city", "temp")
+            .build()
+        )
+        sizes = min_instance_sizes(schema)
+        assert sizes["Get_Temp"] == 3.0  # call + city + data
+
+
+class TestGeneration:
+    def test_generated_documents_validate(self, schema_star):
+        generator = InstanceGenerator(schema_star, random.Random(11))
+        for _ in range(20):
+            document = generator.document()
+            assert is_instance(document, schema_star), document.pretty()
+
+    def test_generation_is_deterministic_per_seed(self, schema_star):
+        a = InstanceGenerator(schema_star, random.Random(5)).document()
+        b = InstanceGenerator(schema_star, random.Random(5)).document()
+        assert a == b
+
+    def test_different_seeds_differ_eventually(self, schema_star):
+        a = [InstanceGenerator(schema_star, random.Random(1)).document()
+             for _ in range(1)]
+        b = [InstanceGenerator(schema_star, random.Random(2)).document()
+             for _ in range(1)]
+        # Not a hard guarantee per sample, but these seeds do differ.
+        assert a != b
+
+    def test_depth_budget_terminates_recursive_schema(self):
+        schema = (
+            SchemaBuilder()
+            .element("tree", "(tree.tree) | data")
+            .root("tree")
+            .build()
+        )
+        generator = InstanceGenerator(schema, random.Random(3), max_depth=4)
+        for _ in range(10):
+            document = generator.document()
+            assert is_instance(document, schema)
+
+    def test_infinite_schema_rejected(self):
+        schema = SchemaBuilder().element("a", "a").root("a").build()
+        generator = InstanceGenerator(schema, random.Random(0))
+        with pytest.raises(SchemaError):
+            generator.document()
+
+    def test_missing_root_rejected(self, schema_star):
+        generator = InstanceGenerator(
+            SchemaBuilder().element("a", "data").build(), random.Random(0)
+        )
+        with pytest.raises(SchemaError):
+            generator.document()
+
+    def test_output_forest_matches_output_type(self, schema_star):
+        from repro.schema.validate import is_output_instance
+
+        generator = InstanceGenerator(schema_star, random.Random(9))
+        for _ in range(20):
+            forest = generator.output_forest("TimeOut")
+            assert is_output_instance(forest, "TimeOut", schema_star)
+
+    def test_function_node_parameters_conform(self, schema_star):
+        from repro.doc.nodes import symbol_of
+        from repro.schema.validate import word_matches
+
+        generator = InstanceGenerator(schema_star, random.Random(13))
+        node = generator.function_node("Get_Temp")
+        word = tuple(symbol_of(p) for p in node.params)
+        assert word_matches(word, schema_star.input_type("Get_Temp"), schema_star)
+
+    def test_pattern_positions_filled_with_admitted_functions(self):
+        schema = (
+            SchemaBuilder()
+            .element("city", "data")
+            .element("temp", "data")
+            .element("page", "Forecast")
+            .function("Get_Temp", "city", "temp")
+            .pattern("Forecast", "city", "temp")
+            .root("page")
+            .build()
+        )
+        generator = InstanceGenerator(schema, random.Random(2))
+        document = generator.document()
+        from repro.doc.nodes import FunctionCall
+
+        assert isinstance(document.root.children[0], FunctionCall)
+        assert document.root.children[0].name == "Get_Temp"
+
+    def test_pattern_with_no_admitted_function_fails(self):
+        schema = (
+            SchemaBuilder()
+            .element("page", "Forecast")
+            .element("city", "data")
+            .element("temp", "data")
+            .pattern("Forecast", "city", "temp", lambda _n: False)
+            .root("page")
+            .build()
+        )
+        generator = InstanceGenerator(schema, random.Random(2))
+        with pytest.raises(SchemaError):
+            generator.document()

@@ -1,0 +1,161 @@
+"""Unit tests for the schema model (Definition 2 + Section 2.1)."""
+
+import pytest
+
+from repro.automata.symbols import DATA
+from repro.errors import SchemaError
+from repro.regex.ast import Alt, Atom, Empty
+from repro.regex.parser import parse_regex
+from repro.schema.model import (
+    FunctionPattern,
+    FunctionSignature,
+    Schema,
+    SchemaBuilder,
+)
+
+
+class TestBuilder:
+    def test_paper_schema_star_builds(self, schema_star):
+        assert schema_star.root == "newspaper"
+        assert "Get_Temp" in schema_star.functions
+        assert str(schema_star.type_of("newspaper")) == (
+            "title.date.(Get_Temp | temp).(TimeOut | exhibit*)"
+        )
+
+    def test_signatures_match_the_paper(self, schema_star):
+        get_temp = schema_star.signature_of("Get_Temp")
+        assert str(get_temp.input_type) == "city"
+        assert str(get_temp.output_type) == "temp"
+        timeout = schema_star.signature_of("TimeOut")
+        assert str(timeout.output_type) == "(exhibit | performance)*"
+
+    def test_duplicate_label_rejected(self):
+        builder = SchemaBuilder().element("a", "data")
+        with pytest.raises(SchemaError):
+            builder.element("a", "data")
+
+    def test_duplicate_function_rejected(self):
+        builder = SchemaBuilder().function("f", "data", "data")
+        with pytest.raises(SchemaError):
+            builder.function("f", "data", "data")
+
+    def test_pattern_function_name_clash_rejected(self):
+        builder = SchemaBuilder().function("f", "data", "data")
+        with pytest.raises(SchemaError):
+            builder.pattern("f", "data", "data")
+
+    def test_undeclared_root_rejected(self):
+        with pytest.raises(SchemaError):
+            SchemaBuilder().element("a", "data").root("b").build()
+
+    def test_strict_mode_rejects_undeclared_symbols(self):
+        builder = SchemaBuilder().element("a", "b.c")
+        with pytest.raises(SchemaError) as info:
+            builder.build(strict=True)
+        assert "b" in str(info.value) and "c" in str(info.value)
+
+    def test_lenient_mode_tolerates_them(self):
+        schema = SchemaBuilder().element("a", "b.c").build(strict=False)
+        assert schema.type_of("a") is not None
+
+    def test_schema_star_needs_lenient_mode(self):
+        # (*) mentions `performance` without declaring it, like the paper.
+        builder = (
+            SchemaBuilder()
+            .element("x", "data")
+            .function("TimeOut", "data", "(x | performance)*")
+        )
+        with pytest.raises(SchemaError):
+            builder.build(strict=True)
+
+
+class TestAccessors:
+    def test_type_of_unknown_label(self, schema_star):
+        assert schema_star.type_of("nope") is None
+
+    def test_signature_of_pattern(self):
+        schema = (
+            SchemaBuilder()
+            .element("t", "data")
+            .pattern("P", "t", "t")
+            .build()
+        )
+        assert schema.signature_of("P") is not None
+        assert schema.input_type("P") == Atom("t")
+
+    def test_alphabet_symbols_cover_everything(self, schema_star):
+        symbols = schema_star.alphabet_symbols()
+        for expected in (
+            "newspaper", "title", "Get_Temp", "TimeOut", "performance", DATA
+        ):
+            assert expected in symbols
+
+    def test_with_root(self, schema_star):
+        rerooted = schema_star.with_root("exhibit")
+        assert rerooted.root == "exhibit"
+        assert schema_star.root == "newspaper"
+        with pytest.raises(SchemaError):
+            schema_star.with_root("missing")
+
+
+class TestPatterns:
+    def make_pattern_schema(self, predicate):
+        return (
+            SchemaBuilder()
+            .element("city", "data")
+            .element("temp", "data")
+            .element("page", "Forecast | temp")
+            .function("Get_Temp", "city", "temp")
+            .function("Bad_Sig", "data", "data")
+            .pattern("Forecast", "city", "temp", predicate)
+            .build()
+        )
+
+    def test_admits_checks_name_and_signature(self):
+        schema = self.make_pattern_schema(lambda name: name.startswith("Get"))
+        pattern = schema.patterns["Forecast"]
+        get_temp_sig = schema.signature_of("Get_Temp")
+        assert pattern.admits("Get_Temp", get_temp_sig)
+        assert not pattern.admits("Other", get_temp_sig)  # name predicate
+        assert not pattern.admits("Get_X", schema.signature_of("Bad_Sig"))
+        assert not pattern.admits("Get_X", None)  # unknown signature
+
+    def test_matching_patterns(self):
+        schema = self.make_pattern_schema(lambda _name: True)
+        found = schema.matching_patterns(
+            "Whatever", schema.signature_of("Get_Temp")
+        )
+        assert found == frozenset({"Forecast"})
+
+    def test_desugar_substitutes_candidates(self):
+        schema = self.make_pattern_schema(lambda _name: True)
+        desugared = schema.desugar_patterns(
+            ["Get_Temp", "Bad_Sig"], schema.signature_of
+        )
+        page_type = desugared.label_types["page"]
+        assert isinstance(page_type, Alt)
+        rendered = str(page_type)
+        assert "Get_Temp" in rendered
+        assert "Bad_Sig" not in rendered  # wrong signature
+        assert not desugared.patterns
+
+    def test_desugar_with_no_match_is_empty_language(self):
+        schema = self.make_pattern_schema(lambda _name: False)
+        desugared = schema.desugar_patterns(["Get_Temp"], schema.signature_of)
+        page_type = desugared.label_types["page"]
+        # Forecast collapses to empty; page becomes just `temp`.
+        assert "temp" in str(page_type)
+        assert "Forecast" not in str(page_type)
+
+    def test_desugared_candidates_inherit_signature(self):
+        schema = self.make_pattern_schema(lambda _name: True)
+
+        def lookup(name):
+            if name == "External":
+                return FunctionSignature(
+                    parse_regex("city"), parse_regex("temp")
+                )
+            return schema.signature_of(name)
+
+        desugared = schema.desugar_patterns(["External"], lookup)
+        assert "External" in desugared.functions

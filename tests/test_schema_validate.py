@@ -1,0 +1,149 @@
+"""Unit tests for instance validation (Definition 3)."""
+
+import pytest
+
+from repro.doc import Document, call, el, text
+from repro.schema import SchemaBuilder, is_instance, validate
+from repro.schema.validate import is_output_instance, word_matches
+from repro.workloads import newspaper
+
+
+class TestPaperClaims:
+    """Instance-of relations stated in Section 2."""
+
+    def test_figure_2a_is_instance_of_star(self, doc, schema_star):
+        assert is_instance(doc, schema_star)
+
+    def test_figure_2a_not_instance_of_star2(self, doc, schema_star2):
+        assert not is_instance(doc, schema_star2)
+
+    def test_materialized_is_instance_of_star2(self, schema_star2):
+        assert is_instance(newspaper.materialized_document(), schema_star2)
+
+    def test_materialized_not_instance_of_star3(self, schema_star3):
+        # TimeOut is still intensional; (***) demands exhibit* only.
+        assert not is_instance(newspaper.materialized_document(), schema_star3)
+
+
+class TestViolations:
+    def test_report_lists_every_violation(self, schema_star):
+        bad = Document(
+            el(
+                "newspaper",
+                el("title", "t"),
+                el("date", "d"),
+                el("temp", "1"),
+                el("exhibit", el("title", "x")),  # missing date part
+            )
+        )
+        report = validate(bad, schema_star)
+        assert not report.ok
+        kinds = {v.kind for v in report.violations}
+        assert "content" in kinds
+        # The exhibit violation carries its path.
+        assert any(v.path == (3,) for v in report.violations)
+
+    def test_undeclared_label_strict_vs_lenient(self, schema_star):
+        odd = Document(el("newspaper", el("mystery")))
+        strict = validate(odd, schema_star, strict=True)
+        assert any(v.kind == "undeclared-label" for v in strict.violations)
+        lenient = validate(odd, schema_star, strict=False)
+        assert all(v.kind != "undeclared-label" for v in lenient.violations)
+
+    def test_undeclared_function_strict(self, schema_star):
+        odd = Document(el("newspaper", call("Nobody_Knows")))
+        report = validate(odd, schema_star, strict=True)
+        assert any(v.kind == "undeclared-function" for v in report.violations)
+
+    def test_function_input_checked(self, schema_star):
+        # Get_Temp expects a city parameter, not a date.
+        odd = Document(el("city", "x"))
+        bad_call = Document(
+            el("newspaper",
+               el("title", "t"), el("date", "d"),
+               call("Get_Temp", el("date", "today")),
+               el("exhibit", el("title", "x"), el("date", "d")))
+        )
+        report = validate(bad_call, schema_star)
+        assert any(v.kind == "input" for v in report.violations)
+
+    def test_data_leaf_positions(self):
+        schema = SchemaBuilder().element("a", "data").build()
+        assert is_instance(Document(el("a", "value")), schema)
+        assert not is_instance(Document(el("a")), schema)  # data required
+        assert not is_instance(Document(el("a", el("a", "x"))), schema)
+
+    def test_violation_rendering(self, schema_star2, doc):
+        report = validate(doc, schema_star2)
+        rendered = str(report)
+        assert "content" in rendered and "newspaper" not in rendered.split()[0]
+
+
+class TestSenderSchemaFallback:
+    def test_sender_supplies_unknown_signatures(self, schema_star):
+        target = (
+            SchemaBuilder()
+            .element("newspaper", "title.date.(Get_Temp | temp)")
+            .element("title", "data")
+            .element("date", "data")
+            .element("temp", "data")
+            .element("city", "data")
+            .build(strict=False)
+        )
+        document = Document(
+            el("newspaper", el("title", "t"), el("date", "d"),
+               call("Get_Temp", el("city", "Paris")))
+        )
+        # Target does not declare Get_Temp's signature; sender does.
+        assert not is_instance(document, target, strict=True)
+        assert is_instance(document, target, sender_schema=schema_star)
+
+
+class TestPatternValidation:
+    def test_pattern_matches_conforming_function(self, doc):
+        schema = newspaper.pattern_schema()
+        assert is_instance(doc, schema)
+
+    def test_pattern_rejects_by_predicate(self, doc):
+        schema = newspaper.pattern_schema(lambda name: name != "Get_Temp")
+        assert not is_instance(doc, schema)
+
+    def test_pattern_rejects_by_signature(self, doc):
+        schema = newspaper.pattern_schema()
+        # A call whose declared signature is not city -> temp.
+        other = doc.replace((2,), call("TimeOut", text("x")))
+        assert not is_instance(other, schema)
+
+
+class TestWordMatches:
+    def test_plain_word(self, schema_star):
+        expr = schema_star.type_of("newspaper")
+        assert word_matches(
+            ("title", "date", "temp"), expr, schema_star
+        )
+        assert not word_matches(("title",), expr, schema_star)
+
+    def test_empty_word_against_star(self, schema_star):
+        assert word_matches((), schema_star.signature_of("TimeOut").output_type,
+                            schema_star)
+
+
+class TestOutputInstance:
+    def test_output_instance_of_timeout(self, schema_star):
+        forest = (
+            el("exhibit", el("title", "P"), el("date", "d")),
+            el("exhibit", el("title", "Q"), call("Get_Date", el("title", "Q"))),
+        )
+        assert is_output_instance(forest, "TimeOut", schema_star)
+
+    def test_wrong_root_word_rejected(self, schema_star):
+        assert not is_output_instance(
+            (el("temp", "15"),), "TimeOut", schema_star
+        )
+
+    def test_invalid_subtree_rejected(self, schema_star):
+        forest = (el("exhibit", el("title", "only")),)  # missing date part
+        assert not is_output_instance(forest, "TimeOut", schema_star)
+
+    def test_unknown_function_rejected(self, schema_star):
+        assert not is_output_instance((), "Mystery", schema_star)

@@ -1,0 +1,139 @@
+"""Unit tests for schema-to-schema safe rewriting (Section 6)."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.schema import SchemaBuilder, allow_all, deny
+from repro.schemarewrite import schema_safely_rewrites
+from repro.schemarewrite.compat import reachable_labels
+from repro.workloads import newspaper
+
+
+class TestPaperClaim:
+    """Section 6: (*) safely rewrites into (**) but not into (***)."""
+
+    def test_star_into_star2(self, schema_star, schema_star2):
+        report = schema_safely_rewrites(schema_star, schema_star2, k=1)
+        assert report.compatible
+
+    def test_star_into_star3(self, schema_star, schema_star3):
+        report = schema_safely_rewrites(schema_star, schema_star3, k=1)
+        assert not report.compatible
+        failing = [check.label for check in report.failed()]
+        assert failing == ["newspaper"]
+
+    def test_self_compatibility(self, schema_star):
+        assert schema_safely_rewrites(schema_star, schema_star, k=1)
+
+    def test_star2_into_star(self, schema_star, schema_star2):
+        # (**) instances are also (*) instances: temp fits the choice.
+        assert schema_safely_rewrites(schema_star2, schema_star, k=1)
+
+    def test_star3_into_star2(self, schema_star2, schema_star3):
+        assert schema_safely_rewrites(schema_star3, schema_star2, k=1)
+
+
+class TestReachability:
+    def test_reachable_from_newspaper(self, schema_star):
+        labels, functions = reachable_labels(schema_star, "newspaper")
+        assert labels == {
+            "newspaper", "title", "date", "temp", "city", "exhibit",
+        }
+        assert functions == {"Get_Temp", "TimeOut", "Get_Date"}
+
+    def test_unreachable_parts_ignored(self):
+        sender = (
+            SchemaBuilder()
+            .element("root", "data")
+            .element("island", "missing-target")  # never reachable
+            .root("root")
+            .build(strict=False)
+        )
+        receiver = SchemaBuilder().element("root", "data").build()
+        report = schema_safely_rewrites(sender, receiver)
+        assert report.compatible
+
+
+class TestFailures:
+    def test_label_missing_at_receiver(self):
+        sender = (
+            SchemaBuilder()
+            .element("root", "extra")
+            .element("extra", "data")
+            .root("root")
+            .build()
+        )
+        receiver = (
+            SchemaBuilder().element("root", "data").build()
+        )
+        report = schema_safely_rewrites(sender, receiver)
+        assert not report.compatible
+        assert any(
+            check.label == "extra" and not check.safe for check in report.checks
+        )
+
+    def test_signature_conflict_detected(self):
+        sender = (
+            SchemaBuilder()
+            .element("root", "f | a")
+            .element("a", "data")
+            .function("f", "data", "a")
+            .root("root")
+            .build()
+        )
+        receiver = (
+            SchemaBuilder()
+            .element("root", "f | a")
+            .element("a", "data")
+            .function("f", "data", "a.a")  # different output type!
+            .build()
+        )
+        report = schema_safely_rewrites(sender, receiver)
+        assert not report.compatible
+        assert report.signature_conflicts
+
+    def test_missing_root_raises(self, schema_star2):
+        sender = SchemaBuilder().element("a", "data").build()
+        with pytest.raises(SchemaError):
+            schema_safely_rewrites(sender, schema_star2)
+        with pytest.raises(SchemaError):
+            schema_safely_rewrites(sender, schema_star2, root="zzz")
+
+
+class TestDepthAndPolicy:
+    def chain_schemas(self):
+        # Sender allows f (output: a | g), g (output: a); receiver wants a*.
+        sender = (
+            SchemaBuilder()
+            .element("root", "f")
+            .element("a", "data")
+            .function("f", "data", "a | g")
+            .function("g", "data", "a")
+            .root("root")
+            .build()
+        )
+        receiver = (
+            SchemaBuilder()
+            .element("root", "a")
+            .element("a", "data")
+            .build()
+        )
+        return sender, receiver
+
+    def test_depth_matters(self):
+        sender, receiver = self.chain_schemas()
+        assert not schema_safely_rewrites(sender, receiver, k=1).compatible
+        assert schema_safely_rewrites(sender, receiver, k=2).compatible
+
+    def test_policy_restricts(self):
+        sender, receiver = self.chain_schemas()
+        report = schema_safely_rewrites(
+            sender, receiver, k=2, policy=deny(["g"])
+        )
+        assert not report.compatible
+
+    def test_report_rendering(self, schema_star, schema_star3):
+        report = schema_safely_rewrites(schema_star, schema_star3)
+        rendered = str(report)
+        assert "NOT compatible" in rendered
+        assert "newspaper" in rendered

@@ -1,0 +1,271 @@
+"""Unit tests for the simulated Web-service fabric."""
+
+import random
+
+import pytest
+
+from repro import (
+    AccessControlList,
+    FunctionSignature,
+    Service,
+    ServiceRegistry,
+    adversarial_responder,
+    call,
+    constant_responder,
+    el,
+    flaky_responder,
+    parse_regex,
+    sampling_responder,
+    scripted_responder,
+    text,
+)
+from repro.errors import (
+    AccessDeniedError,
+    ServiceFault,
+    UnknownServiceError,
+)
+from repro.services.predicates import in_acl, uddif
+from repro.services.soap import (
+    decode_request,
+    decode_response,
+    encode_fault,
+    encode_request,
+    encode_response,
+    raise_if_fault,
+)
+
+
+SIG = FunctionSignature(parse_regex("city"), parse_regex("temp"))
+
+
+def make_service(**kwargs):
+    service = Service("http://forecast.example.com", "urn:weather", **kwargs)
+    service.add_operation(
+        "Get_Temp", SIG, constant_responder((el("temp", "15"),)),
+        side_effect_free=True,
+    )
+    return service
+
+
+class TestService:
+    def test_invoke_records_calls(self):
+        service = make_service()
+        out = service.invoke("Get_Temp", (el("city", "Paris"),))
+        assert out == (el("temp", "15"),)
+        assert service.call_count() == 1
+        assert service.calls[0].param_symbols == ("city",)
+        assert service.calls[0].output_symbols == ("temp",)
+
+    def test_unknown_operation(self):
+        with pytest.raises(UnknownServiceError):
+            make_service().invoke("Nope", ())
+
+    def test_validate_io_rejects_bad_params(self):
+        service = make_service(validate_io=True)
+        with pytest.raises(ServiceFault) as info:
+            service.invoke("Get_Temp", (el("date", "x"),))
+        assert info.value.fault_code == "Client"
+        assert service.calls[0].faulted
+
+    def test_validate_io_rejects_lying_handler(self):
+        service = Service("http://x", validate_io=True)
+        service.add_operation(
+            "f", SIG, constant_responder((el("oops"),))
+        )
+        with pytest.raises(ServiceFault):
+            service.invoke("f", (el("city", "P"),))
+
+    def test_accounting_reset(self):
+        service = make_service()
+        service.invoke("Get_Temp", (el("city", "P"),))
+        service.reset_accounting()
+        assert service.call_count() == 0
+
+
+class TestSoap:
+    def test_request_roundtrip(self):
+        params = (el("city", "Paris"), call("Nested", text("x")))
+        xml = encode_request("Get_Temp", "urn:weather", params)
+        envelope = decode_request(xml)
+        assert envelope.operation == "Get_Temp"
+        assert envelope.namespace == "urn:weather"
+        assert envelope.forest == params
+
+    def test_response_roundtrip(self):
+        results = (el("temp", "15"),)
+        xml = encode_response("Get_Temp", "urn:weather", results)
+        envelope = decode_response(xml)
+        assert envelope.operation == "Get_TempResponse"
+        assert envelope.forest == results
+
+    def test_data_param_roundtrip(self):
+        xml = encode_request("TimeOut", "urn:t", (text("exhibits"),))
+        envelope = decode_request(xml)
+        assert envelope.forest == (text("exhibits"),)
+
+    def test_fault_roundtrip(self):
+        xml = encode_fault("Server", "boom & bust")
+        envelope = decode_response(xml)
+        assert envelope.is_fault
+        with pytest.raises(ServiceFault) as info:
+            raise_if_fault(envelope)
+        assert "boom & bust" in str(info.value)
+
+    def test_intensional_result_travels(self):
+        results = (call("More", text("handle")),)
+        envelope = decode_response(encode_response("Search", "urn:s", results))
+        assert envelope.forest == results
+
+
+class TestRegistry:
+    def test_resolution_by_endpoint_then_name(self):
+        registry = ServiceRegistry()
+        service = make_service()
+        registry.register(service)
+        by_endpoint = call("Get_Temp", endpoint="http://forecast.example.com")
+        by_name = call("Get_Temp")
+        assert registry.resolve(by_endpoint)[0] is service
+        assert registry.resolve(by_name)[0] is service
+        with pytest.raises(UnknownServiceError):
+            registry.resolve(call("Unknown"))
+
+    def test_invoke_roundtrips_soap(self):
+        registry = ServiceRegistry()
+        registry.register(make_service())
+        out = registry.invoke(call("Get_Temp", el("city", "Paris")))
+        assert out == (el("temp", "15"),)
+
+    def test_faults_propagate_through_soap(self):
+        registry = ServiceRegistry()
+        service = Service("http://x")
+        service.add_operation(
+            "f", SIG, flaky_responder(constant_responder((el("temp", "1"),)), 1)
+        )
+        registry.register(service)
+        with pytest.raises(ServiceFault):
+            registry.invoke(call("f"))
+
+    def test_acl_enforced(self):
+        registry = ServiceRegistry()
+        registry.register(make_service())
+        registry.acl = AccessControlList().grant("alice", "Get_Temp")
+        assert registry.invoke(call("Get_Temp", el("city", "P")), "alice")
+        with pytest.raises(AccessDeniedError):
+            registry.invoke(call("Get_Temp", el("city", "P")), "bob")
+        with pytest.raises(AccessDeniedError):
+            registry.invoke(call("Get_Temp", el("city", "P")), None)
+
+    def test_acl_public_functions(self):
+        acl = AccessControlList().make_public("Get_Temp")
+        assert acl.allows(None, "Get_Temp")
+        assert acl.allowed_functions("anyone") == frozenset({"Get_Temp"})
+
+    def test_acl_revoke(self):
+        acl = AccessControlList().grant("alice", "f")
+        acl.revoke("alice", "f")
+        assert not acl.allows("alice", "f")
+
+    def test_uddif_predicate_is_live(self):
+        registry = ServiceRegistry()
+        predicate = uddif(registry)
+        assert not predicate("Get_Temp")
+        registry.register(make_service())
+        assert predicate("Get_Temp")
+
+    def test_in_acl_predicate(self):
+        acl = AccessControlList().grant("alice", "f")
+        assert in_acl(acl, "alice")("f")
+        assert not in_acl(acl, "bob")("f")
+
+    def test_signature_lookup(self):
+        registry = ServiceRegistry()
+        registry.register(make_service())
+        assert registry.signature_of("Get_Temp") == SIG
+        assert registry.signature_of("missing") is None
+
+    def test_total_calls(self):
+        registry = ServiceRegistry()
+        registry.register(make_service())
+        registry.invoke(call("Get_Temp", el("city", "P")))
+        registry.invoke(call("Get_Temp", el("city", "P")))
+        assert registry.total_calls() == 2
+        registry.reset_accounting()
+        assert registry.total_calls() == 0
+
+
+class TestResponders:
+    def test_sampling_conforms_to_output_type(self, schema_star):
+        from repro.schema.validate import is_output_instance
+
+        handler = sampling_responder(schema_star, "TimeOut", seed=5)
+        for _ in range(10):
+            forest = handler(())
+            assert is_output_instance(forest, "TimeOut", schema_star)
+
+    def test_adversarial_prefers_avoided_symbols(self, schema_star):
+        from repro.doc.nodes import symbol_of
+
+        handler = adversarial_responder(
+            schema_star, "TimeOut", avoid=("performance",), seed=1
+        )
+        hits = 0
+        for _ in range(10):
+            forest = handler(())
+            if any(symbol_of(n) == "performance" for n in forest):
+                hits += 1
+        assert hits >= 8  # overwhelmingly adversarial
+
+    def test_scripted_sequence(self):
+        handler = scripted_responder([(el("a"),), (el("b"),)])
+        assert handler(())[0].label == "a"
+        assert handler(())[0].label == "b"
+        assert handler(())[0].label == "b"  # repeats last
+
+    def test_scripted_exhaustion_faults(self):
+        handler = scripted_responder([(el("a"),)], repeat_last=False)
+        handler(())
+        with pytest.raises(ServiceFault):
+            handler(())
+
+    def test_scripted_requires_nonempty(self):
+        with pytest.raises(ValueError):
+            scripted_responder([])
+
+    def test_flaky_fails_every_n(self):
+        handler = flaky_responder(constant_responder((el("a"),)), fail_every=2)
+        handler(())
+        with pytest.raises(ServiceFault):
+            handler(())
+        handler(())
+
+    def test_flaky_validates_n(self):
+        with pytest.raises(ValueError):
+            flaky_responder(constant_responder(()), 0)
+
+
+class TestWsdl:
+    def test_wsdl_roundtrip(self, schema_star):
+        from repro.services.wsdl import parse_wsdl, service_to_wsdl
+
+        service = make_service()
+        wsdl = service_to_wsdl(service, vocabulary=schema_star)
+        description = parse_wsdl(wsdl)
+        assert description.endpoint == "http://forecast.example.com"
+        assert description.namespace == "urn:weather"
+        assert str(description.signatures["Get_Temp"].output_type) == "temp"
+
+    def test_wsdl_without_vocabulary(self):
+        from repro.services.wsdl import parse_wsdl, service_to_wsdl
+
+        wsdl = service_to_wsdl(make_service())
+        description = parse_wsdl(wsdl)
+        assert "Get_Temp" in description.signatures
+
+    def test_wsdl_rejects_garbage(self):
+        from repro.errors import XMLSchemaIntError
+        from repro.services.wsdl import parse_wsdl
+
+        with pytest.raises(XMLSchemaIntError):
+            parse_wsdl("<not-wsdl/>")
+        with pytest.raises(XMLSchemaIntError):
+            parse_wsdl("<<<")

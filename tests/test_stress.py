@@ -1,0 +1,85 @@
+"""Stress tests: sustained exchange volume over shared services.
+
+Fast enough for the regular suite (a couple of seconds), but large
+enough to surface accounting drift, cache corruption, or state leaking
+between exchanges.
+"""
+
+import random
+
+from repro import (
+    AXMLPeer,
+    InstanceGenerator,
+    PeerNetwork,
+    RewriteEngine,
+    is_instance,
+)
+from repro.workloads import newspaper
+from tests.conftest import build_registry
+
+
+class TestSustainedExchanges:
+    def test_hundred_document_repository_sweep(self):
+        registry = build_registry()
+        alice = AXMLPeer("alice", newspaper.schema_star())
+        for service in registry.services.values():
+            alice.registry.register(service)
+        bob = AXMLPeer("bob", newspaper.schema_star2())
+        network = PeerNetwork()
+        network.add_peer(alice)
+        network.add_peer(bob)
+        network.agree("alice", "bob", newspaper.schema_star2())
+
+        generator = InstanceGenerator(
+            newspaper.schema_star(), random.Random(404), max_depth=5
+        )
+        expected_calls = 0
+        for index in range(100):
+            document = generator.document()
+            name = "doc-%03d" % index
+            alice.repository.store(name, document)
+            from repro.doc.paths import child_word
+
+            # Count how many Get_Temp occurrences must be materialized.
+            expected_calls += child_word(document.root).count("Get_Temp")
+
+        accepted = 0
+        for name in alice.repository.names():
+            receipt = network.send("alice", "bob", name)
+            assert receipt.accepted, (name, receipt.error)
+            accepted += 1
+        assert accepted == 100
+        assert len(bob.repository) == 100
+        # Service accounting matches the work the agreements forced.
+        forecast = registry.services["http://www.forecast.com/soap"]
+        assert forecast.call_count("Get_Temp") == expected_calls
+        for name, document in bob.repository.items():
+            assert is_instance(
+                document, newspaper.schema_star2(), newspaper.schema_star()
+            ), name
+
+    def test_engine_reuse_is_stateless_across_documents(self):
+        """One engine instance rewriting many different documents must
+        not leak state between runs (the analysis cache is keyed
+        exactly)."""
+        registry = build_registry()
+        engine = RewriteEngine(
+            newspaper.schema_star2(), newspaper.schema_star(), k=1
+        )
+        generator = InstanceGenerator(
+            newspaper.schema_star(), random.Random(7), max_depth=5
+        )
+        documents = [generator.document() for _ in range(50)]
+        one_shot = []
+        for document in documents:
+            result = engine.rewrite(document, registry.make_invoker())
+            one_shot.append(result.document)
+        # A fresh engine per document must produce identical results.
+        for document, earlier in zip(documents, one_shot):
+            fresh = RewriteEngine(
+                newspaper.schema_star2(), newspaper.schema_star(), k=1
+            )
+            again = fresh.rewrite(document, build_registry().make_invoker())
+            assert again.document == earlier
+        hits, misses = engine.cache_stats
+        assert hits > misses  # repetition paid off

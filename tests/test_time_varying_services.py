@@ -1,0 +1,74 @@
+"""Time-varying services: Definition 4's non-functional semantics.
+
+"Stressing somewhat the semantics, this can be interpreted as if the
+value returned by the function changes over time.  This captures the
+behavior of real life Web services, like a temperature or stock exchange
+service, where two consecutive calls may return a different result."
+"""
+
+from repro import (
+    Document,
+    FunctionSignature,
+    Service,
+    ServiceRegistry,
+    TriggerPolicy,
+    apply_triggers,
+    el,
+    parse_regex,
+    scripted_responder,
+)
+from repro.doc.builder import call
+
+
+def ticker_registry():
+    registry = ServiceRegistry()
+    svc = Service("http://ticker", "urn:ticker")
+    svc.add_operation(
+        "Get_Quote",
+        FunctionSignature(parse_regex("data"), parse_regex("quote")),
+        scripted_responder([
+            (el("quote", "100"),),
+            (el("quote", "105"),),
+            (el("quote", "99"),),
+        ]),
+    )
+    registry.register(svc)
+    return registry
+
+
+class TestTimeVaryingAnswers:
+    def test_consecutive_calls_differ(self):
+        registry = ticker_registry()
+        quote_call = call("Get_Quote", "ACME")
+        first = registry.invoke(quote_call)
+        second = registry.invoke(quote_call)
+        assert first != second
+        assert first[0].children[0].value == "100"
+        assert second[0].children[0].value == "105"
+
+    def test_two_occurrences_materialize_differently(self):
+        """Definition 4: 'we may replace two occurrences of the same
+        function by two different output instances' — the same call node
+        appearing twice in a document yields two different quotes."""
+        registry = ticker_registry()
+        document = Document(
+            el("portfolio", call("Get_Quote", "ACME"),
+               call("Get_Quote", "ACME"))
+        )
+        enriched, log = apply_triggers(
+            document, registry.make_invoker(), TriggerPolicy(max_depth=1)
+        )
+        values = [child.children[0].value for child in enriched.root.children]
+        assert values == ["100", "105"]
+        assert len(log) == 2
+
+    def test_repeated_enrichment_refreshes(self):
+        registry = ticker_registry()
+        document = Document(el("portfolio", call("Get_Quote", "ACME")))
+        first, _ = apply_triggers(
+            document, registry.make_invoker(), TriggerPolicy()
+        )
+        second, _ = apply_triggers(
+            document, registry.make_invoker(), TriggerPolicy()
+        )
+        assert first != second  # the stored document vs a fresh pull

@@ -1,0 +1,138 @@
+"""Unit tests for the benchmark workload generators."""
+
+import random
+
+import pytest
+
+from repro.regex.ops import matches
+from repro.rewriting.lazy import analyze_safe_lazy
+from repro.rewriting.possible import analyze_possible
+from repro.schema import is_instance
+from repro.workloads import newspaper
+from repro.workloads.generators import (
+    answer_size_problem,
+    chain_problem,
+    det_target_problem,
+    nondet_target_problem,
+    random_document,
+    random_flat_schema,
+    random_word_problem,
+    wide_problem,
+)
+
+
+class TestNewspaperModule:
+    def test_root_word_constant(self):
+        from repro.doc.paths import child_word
+
+        assert child_word(newspaper.document().root) == newspaper.ROOT_WORD
+
+    def test_schemas_share_vocabulary(self):
+        s1, s2, s3 = (
+            newspaper.schema_star(),
+            newspaper.schema_star2(),
+            newspaper.schema_star3(),
+        )
+        assert s1.functions == s2.functions == s3.functions
+        assert s1.root == s2.root == s3.root == "newspaper"
+
+    def test_materialized_document_param(self):
+        doc = newspaper.materialized_document("42")
+        assert doc.root.children[2].children[0].value == "42"
+
+
+class TestChainProblem:
+    @pytest.mark.parametrize("length", [1, 2, 4])
+    def test_safe_iff_k_at_least_length(self, length):
+        problem = chain_problem(length)
+        for k in range(length + 2):
+            analysis = analyze_safe_lazy(
+                problem.word, problem.output_types, problem.target, k=k
+            )
+            assert analysis.exists == (k >= length), (length, k)
+
+
+class TestWideProblem:
+    def test_safe_variant(self):
+        problem = wide_problem(5, safe=True)
+        assert analyze_safe_lazy(
+            problem.word, problem.output_types, problem.target
+        ).exists
+
+    def test_unsafe_variant_still_possible(self):
+        problem = wide_problem(5, safe=False)
+        assert not analyze_safe_lazy(
+            problem.word, problem.output_types, problem.target
+        ).exists
+        assert analyze_possible(
+            problem.word, problem.output_types, problem.target
+        ).exists
+
+    def test_zero_width(self):
+        problem = wide_problem(0)
+        assert analyze_safe_lazy(
+            problem.word, problem.output_types, problem.target
+        ).exists
+
+
+class TestTargetFamilies:
+    @pytest.mark.parametrize("n", [1, 3, 5])
+    def test_nondet_family_words_accepted(self, n):
+        problem = nondet_target_problem(n)
+        assert matches(problem.target, list(problem.word))
+        assert analyze_safe_lazy(
+            problem.word, problem.output_types, problem.target
+        ).exists
+
+    @pytest.mark.parametrize("n", [1, 3, 5])
+    def test_det_family_words_accepted(self, n):
+        problem = det_target_problem(n)
+        assert matches(problem.target, list(problem.word))
+        assert analyze_safe_lazy(
+            problem.word, problem.output_types, problem.target
+        ).exists
+
+    def test_nondet_complement_blows_up(self):
+        from repro.regex.determinism import is_one_unambiguous
+
+        assert not is_one_unambiguous(nondet_target_problem(4).target)
+        assert is_one_unambiguous(det_target_problem(4).target)
+        big = analyze_safe_lazy(*_unpack(nondet_target_problem(6)))
+        small = analyze_safe_lazy(*_unpack(det_target_problem(6)))
+        assert big.stats.complement_states > small.stats.complement_states
+
+
+class TestAnswerSizeProblem:
+    def test_safe_and_materializable(self):
+        problem = answer_size_problem(answer_size=2, depth=2)
+        analysis = analyze_safe_lazy(
+            problem.word, problem.output_types, problem.target, k=2
+        )
+        assert analysis.exists
+
+
+class TestRandomGenerators:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_word_problem_is_possible(self, seed):
+        problem = random_word_problem(random.Random(seed))
+        analysis = analyze_possible(
+            problem.word, problem.output_types, problem.target
+        )
+        assert analysis.exists
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_flat_schema_generates_instances(self, seed):
+        from repro.schema import InstanceGenerator
+
+        schema = random_flat_schema(random.Random(seed))
+        generator = InstanceGenerator(schema, random.Random(seed))
+        document = generator.document()
+        assert is_instance(document, schema)
+
+    def test_random_document_conforms(self):
+        document = random_document(seed=3)
+        assert is_instance(document, newspaper.schema_star())
+
+
+def _unpack(problem):
+    return problem.word, problem.output_types, problem.target

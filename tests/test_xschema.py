@@ -1,0 +1,275 @@
+"""Unit tests for XML Schema_int: parser, compiler and writer (Section 7)."""
+
+import pytest
+
+from repro.automata.ops import language_equal, regex_to_dfa
+from repro.automata.symbols import Alphabet, DATA
+from repro.errors import XMLSchemaIntError
+from repro.regex.ast import AnySymbol, Atom
+from repro.regex.parser import parse_regex
+from repro.xschema import compile_xschema, parse_xschema, schema_to_xschema
+
+PAPER_SCHEMA = """
+<schema xmlns="http://www.w3.org/2001/XMLSchema" root="newspaper">
+  <element name="newspaper">
+    <complexType>
+      <sequence>
+        <element ref="title"/>
+        <element ref="date"/>
+        <choice>
+          <functionPattern ref="Forecast"/>
+          <element ref="temp"/>
+        </choice>
+        <choice>
+          <function ref="TimeOut"/>
+          <element ref="exhibit" minOccurs="0" maxOccurs="unbounded"/>
+        </choice>
+      </sequence>
+    </complexType>
+  </element>
+  <element name="title" type="string"/>
+  <element name="date" type="string"/>
+  <element name="temp" type="string"/>
+  <element name="city" type="string"/>
+  <element name="exhibit">
+    <complexType>
+      <sequence>
+        <element ref="title"/>
+        <element ref="date"/>
+      </sequence>
+    </complexType>
+  </element>
+  <function id="TimeOut" methodName="TimeOut"
+            endpointURL="http://www.timeout.com/paris"
+            namespaceURI="urn:timeout-program">
+    <params><param><data/></param></params>
+    <return>
+      <choice minOccurs="0" maxOccurs="unbounded">
+        <element ref="exhibit"/>
+        <element ref="performance"/>
+      </choice>
+    </return>
+  </function>
+  <element name="performance" type="string"/>
+  <functionPattern id="Forecast">
+    <params><param><element ref="city"/></param></params>
+    <return><element ref="temp"/></return>
+  </functionPattern>
+</schema>
+"""
+
+
+class TestParser:
+    def test_paper_schema_parses(self):
+        parsed = parse_xschema(PAPER_SCHEMA)
+        assert parsed.root == "newspaper"
+        assert set(parsed.functions) == {"TimeOut"}
+        assert set(parsed.patterns) == {"Forecast"}
+        assert "newspaper" in parsed.elements
+
+    def test_function_soap_coordinates(self):
+        parsed = parse_xschema(PAPER_SCHEMA)
+        timeout = parsed.functions["TimeOut"]
+        assert timeout.endpoint == "http://www.timeout.com/paris"
+        assert timeout.namespace == "urn:timeout-program"
+
+    def test_pattern_predicate_coordinates_default_none(self):
+        parsed = parse_xschema(PAPER_SCHEMA)
+        forecast = parsed.patterns["Forecast"]
+        assert forecast.predicate_endpoint is None
+
+    def test_local_element_declarations_hoisted(self):
+        source = """
+        <schema xmlns="http://www.w3.org/2001/XMLSchema">
+          <element name="a">
+            <complexType><sequence>
+              <element name="b" type="string"/>
+            </sequence></complexType>
+          </element>
+        </schema>"""
+        parsed = parse_xschema(source)
+        assert "b" in parsed.elements
+
+    def test_conflicting_local_declarations_rejected(self):
+        source = """
+        <schema xmlns="http://www.w3.org/2001/XMLSchema">
+          <element name="a">
+            <complexType><sequence>
+              <element name="b" type="string"/>
+              <element name="b"><complexType><sequence>
+                <element ref="a"/>
+              </sequence></complexType></element>
+            </sequence></complexType>
+          </element>
+        </schema>"""
+        with pytest.raises(XMLSchemaIntError):
+            parse_xschema(source)
+
+    def test_named_type_reference(self):
+        source = """
+        <schema xmlns="http://www.w3.org/2001/XMLSchema">
+          <complexType name="pair">
+            <sequence><element ref="x"/><element ref="x"/></sequence>
+          </complexType>
+          <element name="x" type="string"/>
+          <element name="p" type="pair"/>
+        </schema>"""
+        compiled = compile_xschema(parse_xschema(source))
+        assert str(compiled.label_types["p"]) == "x.x"
+
+    def test_import_merging(self):
+        imported = """
+        <schema xmlns="http://www.w3.org/2001/XMLSchema">
+          <element name="shared" type="string"/>
+        </schema>"""
+        main = """
+        <schema xmlns="http://www.w3.org/2001/XMLSchema">
+          <import schemaLocation="lib.xsd"/>
+          <element name="root">
+            <complexType><sequence><element ref="shared"/></sequence></complexType>
+          </element>
+        </schema>"""
+        parsed = parse_xschema(main, loader=lambda loc: imported)
+        assert "shared" in parsed.elements
+
+    def test_import_without_loader_fails(self):
+        main = """
+        <schema xmlns="http://www.w3.org/2001/XMLSchema">
+          <import schemaLocation="lib.xsd"/>
+        </schema>"""
+        with pytest.raises(XMLSchemaIntError):
+            parse_xschema(main)
+
+    @pytest.mark.parametrize(
+        "snippet,message_part",
+        [
+            ("<element/>", "name"),
+            ("<banana/>", "banana"),
+            ('<element name="a"><complexType>'
+             '<all><element ref="b" maxOccurs="2"/></all>'
+             "</complexType></element>", "all"),
+            ('<function><params/></function>', "id"),
+            ('<functionPattern/>', "id"),
+            ('<element name="a"><complexType><sequence>'
+             '<element ref="b" minOccurs="3" maxOccurs="2"/>'
+             "</sequence></complexType></element>", "maxOccurs"),
+        ],
+    )
+    def test_rejects(self, snippet, message_part):
+        source = (
+            '<schema xmlns="http://www.w3.org/2001/XMLSchema">%s</schema>'
+            % snippet
+        )
+        with pytest.raises(XMLSchemaIntError) as info:
+            parse_xschema(source)
+        assert message_part in str(info.value)
+
+
+class TestCompiler:
+    def test_compiled_types_match_simple_schemas(self, schema_star):
+        compiled = compile_xschema(parse_xschema(PAPER_SCHEMA))
+        # tau(newspaper) with Forecast instead of Get_Temp (Section 2.1).
+        assert str(compiled.label_types["newspaper"]) == (
+            "title.date.(Forecast | temp).(TimeOut | exhibit*)"
+        )
+        assert compiled.label_types["title"] == Atom(DATA)
+
+    def test_occurs_become_repeats(self):
+        source = """
+        <schema xmlns="http://www.w3.org/2001/XMLSchema">
+          <element name="a">
+            <complexType><sequence>
+              <element ref="b" minOccurs="2" maxOccurs="4"/>
+            </sequence></complexType>
+          </element>
+          <element name="b" type="string"/>
+        </schema>"""
+        compiled = compile_xschema(parse_xschema(source))
+        assert str(compiled.label_types["a"]) == "b{2,4}"
+
+    def test_wildcard_with_exclusions(self):
+        source = """
+        <schema xmlns="http://www.w3.org/2001/XMLSchema">
+          <element name="a">
+            <complexType><sequence>
+              <any except="secret internal"/>
+            </sequence></complexType>
+          </element>
+        </schema>"""
+        compiled = compile_xschema(parse_xschema(source))
+        expr = compiled.label_types["a"]
+        assert isinstance(expr, AnySymbol)
+        assert expr.exclude == frozenset({"secret", "internal"})
+
+    def test_dangling_function_ref_rejected(self):
+        source = """
+        <schema xmlns="http://www.w3.org/2001/XMLSchema">
+          <element name="a">
+            <complexType><sequence><function ref="ghost"/></sequence></complexType>
+          </element>
+        </schema>"""
+        with pytest.raises(XMLSchemaIntError):
+            compile_xschema(parse_xschema(source))
+
+    def test_predicate_resolver_wired(self):
+        calls = []
+
+        def resolver(decl):
+            calls.append(decl.name)
+            return lambda name: name == "OnlyMe"
+
+        compiled = compile_xschema(parse_xschema(PAPER_SCHEMA), resolver)
+        assert calls == ["Forecast"]
+        pattern = compiled.patterns["Forecast"]
+        signature = pattern.signature
+        assert pattern.admits("OnlyMe", signature)
+        assert not pattern.admits("Other", signature)
+
+
+class TestWriterRoundTrip:
+    def roundtrip(self, schema):
+        return compile_xschema(parse_xschema(schema_to_xschema(schema)))
+
+    @pytest.mark.parametrize(
+        "maker", ["schema_star", "schema_star2", "schema_star3"]
+    )
+    def test_language_preserved(self, maker, request):
+        schema = request.getfixturevalue(maker)
+        back = self.roundtrip(schema)
+        alphabet = Alphabet.closure(
+            schema.alphabet_symbols(), back.alphabet_symbols()
+        )
+        for label, expr in schema.label_types.items():
+            assert language_equal(
+                regex_to_dfa(expr, alphabet),
+                regex_to_dfa(back.label_types[label], alphabet),
+            ), label
+        for name, signature in schema.functions.items():
+            assert language_equal(
+                regex_to_dfa(signature.output_type, alphabet),
+                regex_to_dfa(back.functions[name].output_type, alphabet),
+            ), name
+
+    def test_root_preserved(self, schema_star):
+        assert self.roundtrip(schema_star).root == "newspaper"
+
+    def test_patterns_preserved(self):
+        from repro.workloads import newspaper
+
+        back = self.roundtrip(newspaper.pattern_schema())
+        assert "Forecast" in back.patterns
+
+    def test_wildcards_roundtrip(self):
+        from repro.schema import SchemaBuilder
+
+        schema = (
+            SchemaBuilder()
+            .element("a", "any*")
+            .build()
+        )
+        back = self.roundtrip(schema)
+        alphabet = Alphabet.closure({"a", "zz"})
+        assert language_equal(
+            regex_to_dfa(schema.label_types["a"], alphabet),
+            regex_to_dfa(back.label_types["a"], alphabet),
+        )

@@ -1,0 +1,100 @@
+"""Unit tests for <all> group support in XML Schema_int."""
+
+import pytest
+
+from repro.errors import XMLSchemaIntError
+from repro.regex.ops import matches
+from repro.xschema import compile_xschema, parse_xschema
+
+
+def build(all_body, extra=""):
+    return compile_xschema(parse_xschema("""
+    <schema xmlns="http://www.w3.org/2001/XMLSchema">
+      <element name="a" type="string"/>
+      <element name="b" type="string"/>
+      <element name="c" type="string"/>
+      %s
+      <element name="box"><complexType>
+        <all>%s</all>
+      </complexType></element>
+    </schema>""" % (extra, all_body)))
+
+
+class TestAllGroups:
+    def test_every_permutation_accepted(self):
+        schema = build('<element ref="a"/><element ref="b"/><element ref="c"/>')
+        expr = schema.label_types["box"]
+        import itertools
+
+        for order in itertools.permutations("abc"):
+            assert matches(expr, list(order)), order
+
+    def test_subsets_rejected(self):
+        schema = build('<element ref="a"/><element ref="b"/>')
+        expr = schema.label_types["box"]
+        assert not matches(expr, ["a"])
+        assert not matches(expr, ["a", "a"])
+        assert not matches(expr, ["a", "b", "a"])
+
+    def test_optional_member(self):
+        schema = build(
+            '<element ref="a"/><element ref="b" minOccurs="0"/>'
+        )
+        expr = schema.label_types["box"]
+        assert matches(expr, ["a"])
+        assert matches(expr, ["a", "b"])
+        assert matches(expr, ["b", "a"])
+        assert not matches(expr, ["b"])
+
+    def test_functions_allowed_in_all(self):
+        schema = build(
+            '<element ref="a"/><function ref="F"/>',
+            extra="""<function id="F">
+                       <params><param><data/></param></params>
+                       <return><element ref="b"/></return>
+                     </function>""",
+        )
+        expr = schema.label_types["box"]
+        assert matches(expr, ["a", "F"])
+        assert matches(expr, ["F", "a"])
+
+    def test_size_cap(self):
+        body = "".join('<element ref="a"/>' for _ in range(6))
+        with pytest.raises(XMLSchemaIntError):
+            build(body)
+
+    def test_max_occurs_above_one_rejected(self):
+        with pytest.raises(XMLSchemaIntError):
+            build('<element ref="a" maxOccurs="2"/>')
+        with pytest.raises(XMLSchemaIntError):
+            build('<element ref="a" maxOccurs="unbounded"/>')
+
+    def test_all_group_with_occurs(self):
+        schema = compile_xschema(parse_xschema("""
+        <schema xmlns="http://www.w3.org/2001/XMLSchema">
+          <element name="a" type="string"/>
+          <element name="b" type="string"/>
+          <element name="box"><complexType>
+            <all minOccurs="0"><element ref="a"/><element ref="b"/></all>
+          </complexType></element>
+        </schema>"""))
+        expr = schema.label_types["box"]
+        assert matches(expr, [])
+        assert matches(expr, ["b", "a"])
+
+    def test_rewriting_through_all_groups(self):
+        """The whole pipeline works on all-group targets (they compile to
+        plain — if nondeterministic — regexes)."""
+        from repro.regex.parser import parse_regex
+        from repro.rewriting.lazy import analyze_safe_lazy
+
+        schema = build('<element ref="a"/><element ref="b"/>')
+        target = schema.label_types["box"]
+        analysis = analyze_safe_lazy(
+            ("f", "b"), {"f": parse_regex("a")}, target, k=1
+        )
+        assert analysis.exists  # invoke f -> a.b, a permutation member
+        analysis2 = analyze_safe_lazy(
+            ("b", "f"), {"f": parse_regex("a")}, target, k=1
+        )
+        assert analysis2.exists  # b.a is also a member
