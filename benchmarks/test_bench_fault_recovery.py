@@ -1,0 +1,132 @@
+"""E15 — fault recovery: the resilient invocation layer under injected faults.
+
+Measures (a) exchange throughput as the injected fault rate rises — the
+retry overhead the layer pays to keep completing exchanges that would
+otherwise abort — and (b) what the per-endpoint circuit breaker saves
+during a hard outage: attempts against a dead provider with and without
+the breaker.  All timing is on the simulated clock, so backoff waits
+cost nothing and runs are deterministic.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_series
+from repro import (
+    AXMLPeer,
+    FunctionSignature,
+    PeerNetwork,
+    ResiliencePolicy,
+    ResilientInvoker,
+    Service,
+    call,
+    constant_responder,
+    el,
+    flaky_responder,
+    parse_regex,
+)
+from repro.errors import FunctionUnavailableError, TransientFault
+from repro.workloads import newspaper
+
+WIDTH = 12
+
+
+def wide_network(resilience, fail_every):
+    star = newspaper.wide_schema_star(WIDTH)
+    star2 = newspaper.wide_schema_star2(WIDTH)
+    alice = AXMLPeer("alice", star, resilience=resilience)
+    forecast = Service(newspaper.FORECAST_ENDPOINT, newspaper.FORECAST_NS)
+    handler = constant_responder((el("temp", "15"),))
+    if fail_every:
+        handler = flaky_responder(handler, fail_every)
+    forecast.add_operation(
+        "Get_Temp",
+        FunctionSignature(parse_regex("city"), parse_regex("temp")),
+        handler,
+    )
+    alice.registry.register(forecast)
+    bob = AXMLPeer("bob", star2)
+    network = PeerNetwork()
+    network.add_peer(alice)
+    network.add_peer(bob)
+    network.agree("alice", "bob", star2)
+    alice.repository.store("front", newspaper.wide_document(WIDTH))
+    return network
+
+
+def test_throughput_vs_fault_rate():
+    """The recovery cost grows with the fault rate, but every exchange
+    completes; the plain invoker aborts at any nonzero rate."""
+    rows = [("fail_every", "accepted", "attempts", "retries", "backoff s")]
+    for fail_every in (0, 8, 4, 3, 2):
+        network = wide_network(ResiliencePolicy(), fail_every)
+        receipt = network.send("alice", "bob", "front")
+        assert receipt.accepted
+        report = receipt.fault_report
+        rows.append((
+            fail_every or "never",
+            receipt.accepted,
+            report.attempts,
+            report.retries,
+            round(report.backoff_seconds, 3),
+        ))
+    print_series("E15 recovery cost vs fault rate", rows)
+    attempts = [row[2] for row in rows[1:]]
+    assert attempts[0] == WIDTH  # no faults: one attempt per call
+    assert attempts == sorted(attempts)  # overhead grows with the rate
+
+    # The baseline the layer exists for: without it the same exchange
+    # aborts as soon as the provider faults once.
+    receipt = wide_network(None, 3).send("alice", "bob", "front")
+    assert not receipt.accepted
+
+
+def test_resilient_exchange_throughput(benchmark):
+    """Wall-clock cost of a resilient exchange at fail_every=3 (the
+    stock injection): retries and simulated backoff included."""
+    def exchange():
+        network = wide_network(ResiliencePolicy(), 3)
+        return network.send("alice", "bob", "front")
+
+    receipt = benchmark(exchange)
+    assert receipt.accepted
+    assert receipt.retries == 5  # attempts 3, 6, 9, 12 and 15 of 17 fault
+
+
+@pytest.mark.parametrize("functions", [8, 32])
+def test_breaker_saves_attempts_during_hard_outage(functions):
+    """During a total outage the breaker fast-fails whole endpoints:
+    attempts against the dead provider stay O(threshold) instead of
+    O(functions * max_attempts)."""
+
+    def dead_inner(_fc):
+        raise TransientFault("provider is down")
+
+    def run(breaker_threshold):
+        policy = ResiliencePolicy(
+            max_attempts=4,
+            breaker_threshold=breaker_threshold,
+            breaker_cooldown=10_000.0,  # never half-opens within the run
+        )
+        invoker = ResilientInvoker(
+            dead_inner, policy, endpoint_of=lambda _fc: "dead-endpoint"
+        )
+        for index in range(functions):
+            with pytest.raises(FunctionUnavailableError):
+                invoker(call("op_%d" % index))
+        return invoker.report
+
+    with_breaker = run(breaker_threshold=3)
+    without_breaker = run(breaker_threshold=10**9)
+    rows = [
+        ("configuration", "attempts", "rejections", "breaker opens"),
+        ("breaker(threshold=3)", with_breaker.attempts,
+         with_breaker.breaker_rejections, with_breaker.breaker_opens),
+        ("no breaker", without_breaker.attempts,
+         without_breaker.breaker_rejections, without_breaker.breaker_opens),
+    ]
+    print_series(
+        "E15 hard outage, %d functions on one endpoint" % functions, rows
+    )
+    assert without_breaker.attempts == functions * 4
+    assert with_breaker.attempts == 3  # the threshold, then fast failures
+    assert with_breaker.breaker_opens == 1

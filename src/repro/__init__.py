@@ -29,14 +29,17 @@ from repro.doc import (
 from repro.errors import (
     AccessDeniedError,
     DocumentError,
+    FunctionUnavailableError,
     NoPossibleRewritingError,
     NoSafeRewritingError,
+    PermanentFault,
     RegexSyntaxError,
     ReproError,
     RewriteError,
     RewriteExecutionError,
     SchemaError,
     ServiceFault,
+    TransientFault,
     UnknownServiceError,
     ValidationError,
     XMLSchemaIntError,
@@ -83,11 +86,19 @@ from repro.schema import (
 from repro.schemarewrite import schema_safely_rewrites
 from repro.services import (
     AccessControlList,
+    CircuitBreaker,
+    FaultReport,
+    ResiliencePolicy,
+    ResilientInvoker,
     Service,
     ServiceRegistry,
+    SimulatedClock,
+    WallClock,
     adversarial_responder,
     constant_responder,
     flaky_responder,
+    latency_responder,
+    outage_responder,
     sampling_responder,
     scripted_responder,
 )
@@ -96,6 +107,7 @@ from repro.axml import (
     DocumentRepository,
     PeerNetwork,
     SchemaEnforcer,
+    TransferReceipt,
     TriggerPolicy,
     apply_triggers,
     negotiate,
@@ -130,9 +142,14 @@ __all__ = [
     # services
     "Service", "ServiceRegistry", "AccessControlList",
     "sampling_responder", "adversarial_responder", "scripted_responder",
-    "constant_responder", "flaky_responder",
+    "constant_responder", "flaky_responder", "latency_responder",
+    "outage_responder",
+    # resilience
+    "ResilientInvoker", "ResiliencePolicy", "CircuitBreaker",
+    "FaultReport", "SimulatedClock", "WallClock",
     # Active XML
-    "AXMLPeer", "PeerNetwork", "DocumentRepository", "SchemaEnforcer",
+    "AXMLPeer", "PeerNetwork", "TransferReceipt", "DocumentRepository",
+    "SchemaEnforcer",
     "TriggerPolicy", "apply_triggers", "negotiate", "NegotiationOutcome",
     "UpdateService", "insert_into", "replace_matches", "delete_matches",
     "parse_dtd", "schema_to_dtd",
@@ -142,6 +159,7 @@ __all__ = [
     "ReproError", "RegexSyntaxError", "DocumentError", "SchemaError",
     "ValidationError", "RewriteError", "NoSafeRewritingError",
     "NoPossibleRewritingError", "RewriteExecutionError", "ServiceFault",
+    "TransientFault", "PermanentFault", "FunctionUnavailableError",
     "UnknownServiceError", "AccessDeniedError", "XMLSchemaIntError",
     "__version__",
 ]

@@ -23,7 +23,7 @@ top of the repository documents."
 from repro.axml.repository import DocumentRepository
 from repro.axml.enforcement import EnforcementOutcome, SchemaEnforcer
 from repro.axml.peer import AXMLPeer
-from repro.axml.network import PeerNetwork
+from repro.axml.network import PeerNetwork, TransferReceipt
 from repro.axml.query import query_service
 from repro.axml.triggers import TriggerPolicy, apply_triggers
 from repro.axml.updates import (
@@ -44,6 +44,7 @@ __all__ = [
     "EnforcementOutcome",
     "AXMLPeer",
     "PeerNetwork",
+    "TransferReceipt",
     "query_service",
     "TriggerPolicy",
     "apply_triggers",

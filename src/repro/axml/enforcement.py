@@ -28,6 +28,7 @@ from repro.rewriting.safe import Invoker
 from repro.schema.model import Schema
 from repro.schema.patterns import InvocationPolicy, allow_all
 from repro.schema.validate import is_instance, validate
+from repro.services.resilience import FaultReport
 
 
 @dataclass
@@ -40,10 +41,18 @@ class EnforcementOutcome:
     calls_made: int
     log: InvocationLog
     error: Optional[str] = None
+    #: Retry/fault/breaker accounting when the invoker was resilient.
+    fault_report: Optional[FaultReport] = None
+    #: Functions the engine degraded around (AUTO mode, dead providers).
+    degraded_functions: Tuple[str, ...] = ()
 
     @property
     def ok(self) -> bool:
         return self.error is None
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.degraded_functions)
 
 
 @dataclass
@@ -79,6 +88,12 @@ class SchemaEnforcer:
             eager=self.eager,
         )
 
+    @staticmethod
+    def _fault_report(invoker: Invoker) -> Optional[FaultReport]:
+        """The invoker's fault accounting, when it keeps one (resilience)."""
+        report = getattr(invoker, "report", None)
+        return report if isinstance(report, FaultReport) else None
+
     def enforce_document(
         self, document: Document, invoker: Invoker
     ) -> EnforcementOutcome:
@@ -86,7 +101,8 @@ class SchemaEnforcer:
         # (i) verify
         if is_instance(document, self.target_schema, self.sender_schema):
             return EnforcementOutcome(
-                document, None, True, 0, InvocationLog()
+                document, None, True, 0, InvocationLog(),
+                fault_report=self._fault_report(invoker),
             )
         # (ii) rewrite
         try:
@@ -99,16 +115,21 @@ class SchemaEnforcer:
                     return converted
             # (iii) report
             return EnforcementOutcome(
-                None, None, False, 0, InvocationLog(), error=str(exc)
+                None, None, False, 0, InvocationLog(), error=str(exc),
+                fault_report=self._fault_report(invoker),
             )
         report = validate(result.document, self.target_schema, self.sender_schema)
         if not report.ok:
             return EnforcementOutcome(
                 None, None, False, len(result.log), result.log,
                 error="rewriting produced a non-conformant document: %s" % report,
+                fault_report=self._fault_report(invoker),
+                degraded_functions=result.degraded_functions,
             )
         return EnforcementOutcome(
-            result.document, None, False, len(result.log), result.log
+            result.document, None, False, len(result.log), result.log,
+            fault_report=self._fault_report(invoker),
+            degraded_functions=result.degraded_functions,
         )
 
     def _try_converters(
@@ -130,7 +151,9 @@ class SchemaEnforcer:
         if not report.ok:
             return None
         return EnforcementOutcome(
-            result.document, None, False, len(result.log), result.log
+            result.document, None, False, len(result.log), result.log,
+            fault_report=self._fault_report(invoker),
+            degraded_functions=result.degraded_functions,
         )
 
     def enforce_forest(
@@ -153,11 +176,22 @@ class SchemaEnforcer:
         )
         if conformant:
             return EnforcementOutcome(
-                None, tuple(forest), True, 0, InvocationLog()
+                None, tuple(forest), True, 0, InvocationLog(),
+                fault_report=self._fault_report(invoker),
             )
         log = InvocationLog()
+        stats = {"words": 0, "product": 0, "mode": SAFE}
         try:
-            rewritten = self._engine().rewrite_forest(forest, target, invoker, log)
+            rewritten = self._engine().rewrite_forest(
+                forest, target, invoker, log, stats
+            )
         except (RewriteError, SchemaError, ServiceError) as exc:
-            return EnforcementOutcome(None, None, False, len(log), log, str(exc))
-        return EnforcementOutcome(None, rewritten, False, len(log), log)
+            return EnforcementOutcome(
+                None, None, False, len(log), log, str(exc),
+                fault_report=self._fault_report(invoker),
+            )
+        return EnforcementOutcome(
+            None, rewritten, False, len(log), log,
+            fault_report=self._fault_report(invoker),
+            degraded_functions=tuple(sorted(stats.get("dead", ()))),
+        )

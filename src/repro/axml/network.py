@@ -9,18 +9,27 @@ peers agreed on (the scenario of Figure 1).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.axml.peer import AXMLPeer
 from repro.doc.document import Document
 from repro.errors import RewriteError, SchemaError
 from repro.schema.model import Schema
 from repro.schema.validate import validate
+from repro.services.resilience import FaultReport
 
 
 @dataclass
 class TransferReceipt:
-    """What happened during one document transfer."""
+    """What happened during one document transfer.
+
+    Beyond the paper's accounting (calls materialized, bytes on the
+    wire), the receipt carries the resilience story of the exchange:
+    how many retries and faults the sender's invocation layer absorbed,
+    how often circuit breakers opened, which functions were degraded
+    around, and — when the sending peer ran a resilient invoker — the
+    full per-transfer :class:`FaultReport`.
+    """
 
     sender: str
     receiver: str
@@ -29,6 +38,11 @@ class TransferReceipt:
     bytes_on_wire: int
     accepted: bool
     error: str = ""
+    retries: int = 0
+    faults: int = 0
+    breaker_opens: int = 0
+    degraded_functions: Tuple[str, ...] = ()
+    fault_report: Optional[FaultReport] = None
 
 
 @dataclass
@@ -37,7 +51,7 @@ class PeerNetwork:
 
     peers: Dict[str, AXMLPeer] = field(default_factory=dict)
     agreements: Dict[Tuple[str, str], Schema] = field(default_factory=dict)
-    receipts: list = field(default_factory=list)
+    receipts: List[TransferReceipt] = field(default_factory=list)
 
     def add_peer(self, peer: AXMLPeer) -> "PeerNetwork":
         """Join a peer; existing peers become mutually callable."""
@@ -78,10 +92,18 @@ class PeerNetwork:
             )
 
         outcome = source.prepare_outgoing(document_name, agreement)
+        fault_report = outcome.fault_report
+        resilience = dict(
+            retries=fault_report.retries if fault_report else 0,
+            faults=fault_report.faults if fault_report else 0,
+            breaker_opens=fault_report.breaker_opens if fault_report else 0,
+            degraded_functions=outcome.degraded_functions,
+            fault_report=fault_report,
+        )
         if not outcome.ok:
             receipt = TransferReceipt(
                 sender, receiver, document_name, outcome.calls_made, 0, False,
-                error=outcome.error,
+                error=outcome.error, **resilience,
             )
             self.receipts.append(receipt)
             return receipt
@@ -89,7 +111,10 @@ class PeerNetwork:
         wire = outcome.document.to_xml()
         delivered = Document.from_xml(wire)
 
-        report = validate(delivered, agreement, source.schema)
+        # Defense in depth: the receiver validates with *its own*
+        # vocabulary (the agreement plus its own schema for anything the
+        # agreement leaves open) — never with the sender's claims.
+        report = validate(delivered, agreement, target.schema)
         accepted = report.ok
         if accepted:
             target.receive(store_as or document_name, delivered)
@@ -101,6 +126,7 @@ class PeerNetwork:
             len(wire.encode("utf-8")),
             accepted,
             error="" if accepted else str(report),
+            **resilience,
         )
         self.receipts.append(receipt)
         return receipt

@@ -28,6 +28,7 @@ from repro.rewriting.engine import SAFE
 from repro.schema.model import FunctionSignature, Schema
 from repro.schema.patterns import InvocationPolicy, allow_all
 from repro.services.registry import ServiceRegistry
+from repro.services.resilience import ResiliencePolicy
 from repro.services.service import Handler, Service
 
 
@@ -43,6 +44,11 @@ class AXMLPeer:
     mode: str = SAFE
     policy: InvocationPolicy = field(default_factory=allow_all)
     service: Optional[Service] = None  # the peer's own endpoint
+    #: When set, every invoker this peer builds is wrapped in a fresh
+    #: :class:`repro.services.resilience.ResilientInvoker` — retries,
+    #: deadlines and circuit breakers scoped to one exchange, with the
+    #: resulting :class:`FaultReport` surfaced on transfer receipts.
+    resilience: Optional[ResiliencePolicy] = None
 
     def __post_init__(self):
         if self.service is None:
@@ -113,8 +119,15 @@ class AXMLPeer:
     # -- calling services ----------------------------------------------------
 
     def invoker(self) -> Callable[[FunctionCall], Tuple[Node, ...]]:
-        """The invoker this peer materializes calls with."""
-        return self.registry.make_invoker(principal=self.name)
+        """The invoker this peer materializes calls with.
+
+        With :attr:`resilience` configured this is a *fresh*
+        :class:`ResilientInvoker` per call site — deadlines, budgets and
+        fault reports are scoped to one enforcement pass (one exchange).
+        """
+        return self.registry.make_invoker(
+            principal=self.name, resilience=self.resilience
+        )
 
     def know_peer(self, other: "AXMLPeer") -> None:
         """Make another peer's endpoint callable from here."""

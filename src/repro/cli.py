@@ -31,11 +31,12 @@ from typing import List, Optional
 
 from repro.axml.enforcement import SchemaEnforcer
 from repro.doc.document import Document
-from repro.errors import ReproError
+from repro.errors import ReproError, TransientFault
 from repro.schema.generator import InstanceGenerator
 from repro.schema.model import Schema
 from repro.schema.validate import validate
 from repro.schemarewrite.compat import schema_safely_rewrites
+from repro.services.resilience import ResiliencePolicy, ResilientInvoker
 from repro.xschema.compile import compile_xschema
 from repro.xschema.parser import parse_xschema
 
@@ -76,6 +77,46 @@ def cmd_validate(args) -> int:
     return 1
 
 
+def _resilient_invoker(args, invoker):
+    """Wrap the sampling invoker per the CLI's resilience knobs.
+
+    ``--flaky N`` injects a transient fault on every Nth call; any of the
+    other knobs (or an injection) enables the resilient layer.
+    """
+    if args.flaky:
+        inner, counter = invoker, {"calls": 0}
+
+        def invoker(fc):
+            counter["calls"] += 1
+            if counter["calls"] % args.flaky == 0:
+                raise TransientFault(
+                    "injected outage (call #%d)" % counter["calls"]
+                )
+            return inner(fc)
+
+    wanted = (
+        args.flaky
+        or args.retries is not None
+        or args.call_budget is not None
+        or args.call_timeout is not None
+        or args.document_deadline is not None
+    )
+    if not wanted:
+        return invoker, None
+    retries = 3 if args.retries is None else args.retries
+    policy = ResiliencePolicy(
+        max_attempts=retries + 1,
+        jitter_seed=args.jitter_seed,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
+        call_budget=args.call_budget,
+        call_timeout=args.call_timeout,
+        document_deadline=args.document_deadline,
+    )
+    resilient = ResilientInvoker(invoker, policy)
+    return resilient, resilient
+
+
 def cmd_rewrite(args) -> int:
     document = Document.from_xml(_read(args.document))
     sender = _load_schema(args.sender_schema)
@@ -83,9 +124,12 @@ def cmd_rewrite(args) -> int:
     enforcer = SchemaEnforcer(
         exchange, sender, k=args.k, mode=args.mode
     )
-    outcome = enforcer.enforce_document(
-        document, _sampling_invoker(sender, args.seed)
+    invoker, resilient = _resilient_invoker(
+        args, _sampling_invoker(sender, args.seed)
     )
+    outcome = enforcer.enforce_document(document, invoker)
+    if resilient is not None:
+        print("resilience: %s" % resilient.report.summary(), file=sys.stderr)
     if not outcome.ok:
         print("FAILED: %s" % outcome.error, file=sys.stderr)
         return 1
@@ -100,6 +144,12 @@ def cmd_rewrite(args) -> int:
         % (outcome.calls_made, ", ".join(outcome.log.invoked) or "none"),
         file=sys.stderr,
     )
+    if outcome.degraded_functions:
+        print(
+            "degraded around unavailable function(s): %s"
+            % ", ".join(outcome.degraded_functions),
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -215,6 +265,23 @@ def build_parser() -> argparse.ArgumentParser:
                    default="safe")
     p.add_argument("--seed", type=int, default=0,
                    help="seed for the simulated service outputs")
+    p.add_argument("--flaky", type=int, default=0, metavar="N",
+                   help="inject a transient fault on every Nth call")
+    p.add_argument("--retries", type=int, default=None,
+                   help="retries per call on transient faults "
+                        "(default 3 once the resilient layer is enabled)")
+    p.add_argument("--jitter-seed", type=int, default=0,
+                   help="seed for deterministic backoff jitter")
+    p.add_argument("--breaker-threshold", type=int, default=5,
+                   help="consecutive faults before a breaker opens")
+    p.add_argument("--breaker-cooldown", type=float, default=1.0,
+                   help="seconds an open breaker waits before half-open")
+    p.add_argument("--call-budget", type=int, default=None,
+                   help="max invocation attempts for the whole document")
+    p.add_argument("--call-timeout", type=float, default=None,
+                   help="per-attempt timeout (simulated clock)")
+    p.add_argument("--document-deadline", type=float, default=None,
+                   help="deadline for the whole document (simulated clock)")
     p.set_defaults(func=cmd_rewrite)
 
     p = sub.add_parser("compat", help="Section 6 schema compatibility")

@@ -92,6 +92,51 @@ class ServiceFault(ServiceError):
         self.fault_code = fault_code
 
 
+class TransientFault(ServiceFault):
+    """A fault the provider may recover from — worth retrying.
+
+    Timeouts, scripted outages, open circuit breakers and generic
+    ``Server`` faults fall in this class; a resilient invoker retries
+    them with backoff (:mod:`repro.services.resilience`).
+    """
+
+    def __init__(self, message: str, fault_code: str = "Server.Transient"):
+        super().__init__(message, fault_code=fault_code)
+
+
+class PermanentFault(ServiceFault):
+    """A fault retrying cannot fix (bad parameters, unsupported call).
+
+    ``Client`` faults are permanent by definition: the same request will
+    be rejected again, so a resilient invoker fails fast instead of
+    burning its retry budget.
+    """
+
+    def __init__(self, message: str, fault_code: str = "Client"):
+        super().__init__(message, fault_code=fault_code)
+
+
+class FunctionUnavailableError(PermanentFault):
+    """A resilient invoker gave up on a function for this exchange.
+
+    Raised after retries are exhausted, a permanent fault is observed,
+    or a deadline/budget expires.  Carries the function name so the
+    rewrite engine can degrade gracefully: in AUTO mode it re-analyzes
+    the word treating the dead function as non-invocable (the legal
+    rewriting partition of Section 2.1) instead of failing the document.
+    """
+
+    def __init__(self, function: str, endpoint: str = "", reason: str = ""):
+        at = " at %s" % endpoint if endpoint else ""
+        super().__init__(
+            "function %r unavailable%s: %s" % (function, at, reason or "gave up"),
+        )
+        self.fault_code = "Server.Unavailable"
+        self.function = function
+        self.endpoint = endpoint
+        self.reason = reason
+
+
 class UnknownServiceError(ServiceError):
     """A function node refers to a service that is not in the registry."""
 

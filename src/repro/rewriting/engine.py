@@ -25,6 +25,7 @@ from repro.automata.symbols import DATA
 from repro.doc.document import Document
 from repro.doc.nodes import Element, FunctionCall, Node, Text, symbol_of, with_children
 from repro.errors import (
+    FunctionUnavailableError,
     NoPossibleRewritingError,
     NoSafeRewritingError,
     RewriteError,
@@ -55,10 +56,17 @@ class RewriteResult:
     mode_used: str  # SAFE or POSSIBLE — the guarantee that actually held
     words_rewritten: int = 0  # how many children words were processed
     product_nodes: int = 0  # total product size across all word problems
+    #: Functions the engine stopped invoking after the resilient layer
+    #: gave up on them (AUTO-mode graceful degradation).
+    degraded_functions: Tuple[str, ...] = ()
 
     @property
     def calls_made(self) -> int:
         return len(self.log)
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.degraded_functions)
 
 
 @dataclass
@@ -124,6 +132,7 @@ class RewriteEngine:
             stats["mode"],
             words_rewritten=stats["words"],
             product_nodes=stats["product"],
+            degraded_functions=tuple(sorted(stats.get("dead", ()))),
         )
 
     def can_rewrite(self, document: Document) -> bool:
@@ -219,15 +228,48 @@ class RewriteEngine:
     def _rewrite_word(
         self, children: Tuple[Node, ...], target: Regex, invoker, log, stats
     ) -> Tuple[Node, ...]:
-        """Stage 3: rewrite one children word (safe, auto or possible)."""
+        """Stage 3: rewrite one children word (safe, auto or possible).
+
+        In AUTO mode the word *degrades gracefully* under infrastructure
+        failure: when the resilient invocation layer gives up on a
+        function (:class:`FunctionUnavailableError`, e.g. retries
+        exhausted or a breaker stuck open), the word is re-analyzed with
+        that function moved to the non-invocable side of the Section 2.1
+        partition — the plan may then keep the call intensional or route
+        through other providers — instead of failing the whole document.
+        """
         word = tuple(symbol_of(node) for node in children)
-        output_types, invocable = self._word_problem(word)
         target = self._desugared(target, word)
         stats["words"] += 1
+        dead = stats.setdefault("dead", set())
+        while True:
+            try:
+                return self._rewrite_word_once(
+                    children, word, target, invoker, log, stats, dead
+                )
+            except FunctionUnavailableError as fault:
+                name = getattr(fault, "function", "")
+                if self.mode != AUTO or not name or name in dead:
+                    raise
+                dead.add(name)
+                stats["degradations"] = stats.get("degradations", 0) + 1
+
+    def _rewrite_word_once(
+        self,
+        children: Tuple[Node, ...],
+        word: Tuple[str, ...],
+        target: Regex,
+        invoker,
+        log,
+        stats,
+        dead,
+    ) -> Tuple[Node, ...]:
+        """One analyze-and-execute pass over a children word."""
+        output_types, invocable = self._word_problem(word, dead)
 
         if self.mode in (SAFE, AUTO):
             analysis = self._cached(
-                "safe", word, target,
+                "safe", word, target, dead,
                 lambda: (analyze_safe_lazy if self.lazy else analyze_safe)(
                     word, output_types, target, self.k, invocable
                 ),
@@ -246,15 +288,21 @@ class RewriteEngine:
             stats["mode"] = POSSIBLE
 
         analysis = self._cached(
-            "possible", word, target,
+            "possible", word, target, dead,
             lambda: analyze_possible(word, output_types, target, self.k,
                                      invocable),
         )
         stats["product"] += analysis.stats.product_nodes
         if not analysis.exists:
             raise NoPossibleRewritingError(
-                "children word %s cannot rewrite into %s"
-                % (".".join(word) or "eps", target)
+                "children word %s cannot rewrite into %s%s"
+                % (
+                    ".".join(word) or "eps",
+                    target,
+                    " (with %s unavailable)" % ", ".join(sorted(dead))
+                    if dead
+                    else "",
+                )
             )
         stats["mode"] = POSSIBLE if self.mode != SAFE else stats["mode"]
         new_children, _ = execute_possible(
@@ -314,17 +362,17 @@ class RewriteEngine:
                 % (".".join(word) or "eps", self.k, target)
             )
 
-    def _cached(self, kind: str, word, target, compute):
-        """Memoize a solved analysis by (kind, word, target).
+    def _cached(self, kind: str, word, target, dead, compute):
+        """Memoize a solved analysis by (kind, word, target, dead set).
 
         The other inputs (k, policy, schemas) are engine-constant, and
-        ``output_types``/``invocable`` are functions of the word alone,
-        so the key is exact.  Solved analyses are immutable after
-        construction — execution only reads them.
+        ``output_types``/``invocable`` are functions of the word and the
+        degradation state alone, so the key is exact.  Solved analyses
+        are immutable after construction — execution only reads them.
         """
         if not self.cache:
             return compute()
-        key = (kind, word, target)
+        key = (kind, word, target, frozenset(dead))
         analysis = self._analysis_cache.get(key)
         if analysis is None:
             self._cache_misses += 1
@@ -373,16 +421,23 @@ class RewriteEngine:
         names |= {symbol for symbol in word if self._signature(symbol) is not None}
         return sorted(names)
 
-    def _word_problem(self, word: Sequence[str]):
-        """Output types and the invocability filter for one children word."""
+    def _word_problem(self, word: Sequence[str], dead=frozenset()):
+        """Output types and the invocability filter for one children word.
+
+        ``dead`` holds functions the resilient layer gave up on during
+        this rewrite; they are treated as non-invocable so plans route
+        around them (keep the call, or use another provider).
+        """
         output_types: Dict[str, Regex] = {}
         for name in self._candidates(word):
             signature = self._signature(name)
             if signature is not None:
                 output_types[name] = signature.output_type
 
+        unavailable = frozenset(dead)
+
         def invocable(name: str) -> bool:
-            return self.policy.is_invocable(name)
+            return self.policy.is_invocable(name) and name not in unavailable
 
         return output_types, invocable
 

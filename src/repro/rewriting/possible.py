@@ -21,7 +21,12 @@ from repro.automata.dfa import DFA, complete, determinize
 from repro.automata.glushkov import glushkov_nfa
 from repro.automata.symbols import Alphabet, class_matches, concretize_class
 from repro.doc.nodes import FunctionCall, Node, symbol_of
-from repro.errors import NoPossibleRewritingError, RewriteExecutionError
+from repro.errors import (
+    FunctionUnavailableError,
+    NoPossibleRewritingError,
+    RewriteExecutionError,
+    ServiceFault,
+)
 from repro.regex.ast import Regex
 from repro.rewriting.expansion import Edge, Expansion, build_expansion
 from repro.rewriting.plan import InvocationLog
@@ -184,6 +189,13 @@ def execute_possible(
     abandoned — the call is flagged as backtracked in the log, because
     its side effects are not undone — and the next option is tried.
 
+    Invocations that *fault* are treated the same way: the branch fails
+    and the search backtracks to other options instead of aborting, so a
+    flaky provider only costs the plans that needed it.  If every branch
+    fails and the resilient layer declared some function unavailable,
+    that :class:`FunctionUnavailableError` is re-raised so the engine
+    can degrade gracefully (re-plan without the dead function).
+
     Raises :class:`NoPossibleRewritingError` when the analysis already
     ruled a rewriting out, :class:`RewriteExecutionError` when every
     branch fails at run time.
@@ -196,10 +208,21 @@ def execute_possible(
     log = log if log is not None else InvocationLog()
     cost_of = cost_of or (lambda _name: 1.0)
     budget = [max_invocations]
+    faults: List[ServiceFault] = []
 
     items: Tuple[_Item, ...] = tuple(("node", child, 1) for child in children)
-    result = _search(analysis, analysis.initial, items, invoker, log, cost_of, budget)
+    result = _search(
+        analysis, analysis.initial, items, invoker, log, cost_of, budget, faults
+    )
     if result is None:
+        for fault in faults:
+            if isinstance(fault, FunctionUnavailableError):
+                raise fault
+        if faults:
+            raise RewriteExecutionError(
+                "every backtracking branch failed; %d branch(es) died on "
+                "service faults (first: %s)" % (len(faults), faults[0])
+            )
         raise RewriteExecutionError(
             "every backtracking branch failed: the services never returned "
             "outputs matching the target"
@@ -215,6 +238,7 @@ def _search(
     log: InvocationLog,
     cost_of: Callable[[str], float],
     budget: List[int],
+    faults: List[ServiceFault],
 ) -> Optional[List[Node]]:
     if node not in analysis.alive:
         return None
@@ -233,7 +257,8 @@ def _search(
             return None  # output did not complete the copy's language
         edge = expansion.edge(return_edge_id)
         return _search(
-            analysis, (edge.target, node[1]), rest, invoker, log, cost_of, budget
+            analysis, (edge.target, node[1]), rest, invoker, log, cost_of,
+            budget, faults,
         )
 
     child: Node = payload  # type: ignore[assignment]
@@ -247,7 +272,9 @@ def _search(
     for edge in candidates:
         # Option 1 (free): keep the node as is.
         succ = (edge.target, analysis.step(p, symbol))
-        sub = _search(analysis, succ, rest, invoker, log, cost_of, budget)
+        sub = _search(
+            analysis, succ, rest, invoker, log, cost_of, budget, faults
+        )
         if sub is not None:
             return [child] + sub
         # Option 2: invoke, when this edge is a fork and the child a call.
@@ -260,7 +287,15 @@ def _search(
         if budget[0] <= 0:
             raise RewriteExecutionError("invocation budget exhausted")
         budget[0] -= 1
-        forest = tuple(invoker(child))
+        try:
+            forest = tuple(invoker(child))
+        except ServiceFault as fault:
+            # A faulted invocation fails only this branch: keep searching
+            # other options (step 9's backtracking extended to faults).
+            if getattr(fault, "function", None) is None:
+                fault.function = child.name
+            faults.append(fault)
+            continue
         record_index = len(log.records)
         log.add(
             child.name, depth, tuple(symbol_of(t) for t in forest),
@@ -271,7 +306,9 @@ def _search(
             + (("exit", invoke_edge.copy, depth),)
             + rest
         )
-        sub = _search(analysis, entry, new_items, invoker, log, cost_of, budget)
+        sub = _search(
+            analysis, entry, new_items, invoker, log, cost_of, budget, faults
+        )
         if sub is not None:
             return sub
         log.mark_backtracked(record_index)

@@ -32,7 +32,7 @@ from repro.automata.dfa import DFA, complement, determinize
 from repro.automata.glushkov import glushkov_nfa
 from repro.automata.symbols import Alphabet, class_matches, concretize_class, regex_symbols
 from repro.doc.nodes import FunctionCall, Node, symbol_of
-from repro.errors import NoSafeRewritingError, RewriteExecutionError
+from repro.errors import NoSafeRewritingError, RewriteExecutionError, ServiceFault
 from repro.regex.ast import Regex
 from repro.rewriting.expansion import Edge, Expansion, build_expansion
 from repro.rewriting.plan import DEPENDS, INVOKE, KEEP, Decision, InvocationLog
@@ -410,7 +410,15 @@ def _consume(
         # the attached signature copy.
         invoke_edge = expansion.edge(edge.invoke_edge)
         copy = expansion.copies[invoke_edge.copy]
-        forest = tuple(invoker(child))
+        try:
+            forest = tuple(invoker(child))
+        except ServiceFault as fault:
+            # The strategy chose to invoke because keeping was unsafe, so
+            # there is no local alternative; annotate the fault with the
+            # function so the engine can degrade (re-plan without it).
+            if getattr(fault, "function", None) is None:
+                fault.function = child.name
+            raise
         log.add(
             child.name,
             depth,

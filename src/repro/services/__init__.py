@@ -13,7 +13,10 @@ algorithms observe:
   code paths a network transport would;
 - :mod:`repro.services.responders` — handler factories: seeded sampling
   from the declared output type, adversarial corner-case outputs,
-  scripted sequences, and fault injection;
+  scripted sequences, and fault/latency/outage injection;
+- :mod:`repro.services.resilience` — the resilient invocation layer:
+  retries with seeded backoff, deadlines and budgets, per-endpoint
+  circuit breakers, and per-exchange fault reports;
 - :mod:`repro.services.predicates` / :mod:`repro.services.acl` — the
   ``UDDIF`` / ``InACL`` style predicates used by function patterns.
 """
@@ -25,8 +28,19 @@ from repro.services.responders import (
     adversarial_responder,
     constant_responder,
     flaky_responder,
+    latency_responder,
+    outage_responder,
     sampling_responder,
     scripted_responder,
+)
+from repro.services.resilience import (
+    CircuitBreaker,
+    FaultReport,
+    ResiliencePolicy,
+    ResilientInvoker,
+    SimulatedClock,
+    WallClock,
+    is_transient,
 )
 from repro.services.acl import AccessControlList
 from repro.services.predicates import in_acl, uddif
@@ -44,6 +58,15 @@ __all__ = [
     "scripted_responder",
     "constant_responder",
     "flaky_responder",
+    "latency_responder",
+    "outage_responder",
+    "ResilientInvoker",
+    "ResiliencePolicy",
+    "CircuitBreaker",
+    "FaultReport",
+    "SimulatedClock",
+    "WallClock",
+    "is_transient",
     "AccessControlList",
     "uddif",
     "in_acl",

@@ -117,14 +117,37 @@ class ServiceRegistry:
         return encode_response(envelope.operation, envelope.namespace, output)
 
     def make_invoker(
-        self, principal: Optional[str] = None
+        self,
+        principal: Optional[str] = None,
+        resilience: Optional["ResiliencePolicy"] = None,
+        clock=None,
     ) -> Callable[[FunctionCall], Tuple[Node, ...]]:
-        """An invoker for :class:`repro.rewriting.RewriteEngine`."""
+        """An invoker for :class:`repro.rewriting.RewriteEngine`.
+
+        With a :class:`repro.services.resilience.ResiliencePolicy` the
+        invoker is wrapped in a :class:`ResilientInvoker` — retries,
+        deadlines and per-endpoint circuit breakers keyed by the
+        registry's own resolution — and exposes its ``report``.
+        """
 
         def invoker(call: FunctionCall) -> Tuple[Node, ...]:
             return self.invoke(call, principal)
 
-        return invoker
+        if resilience is None:
+            return invoker
+
+        from repro.services.resilience import ResilientInvoker
+
+        def endpoint_of(call: FunctionCall) -> str:
+            try:
+                service, _operation = self.resolve(call)
+            except UnknownServiceError:
+                return call.endpoint or call.name
+            return service.endpoint
+
+        return ResilientInvoker(
+            invoker, policy=resilience, endpoint_of=endpoint_of, clock=clock
+        )
 
     # -- UDDI-style search (the conclusion's third extension) -----------------
 

@@ -1,0 +1,399 @@
+"""A resilient invocation layer for the service fabric.
+
+The Schema Enforcement module materializes embedded calls at exchange
+time (Section 7), against providers that are unreliable by assumption —
+"two consecutive calls may return a different result", and sometimes no
+result at all.  :class:`ResilientInvoker` wraps any ``FunctionCall ->
+forest`` invoker with the machinery a production peer needs:
+
+- **retries** with exponential backoff and deterministic, seeded jitter,
+  applied to :class:`repro.errors.TransientFault`\\ s only (``Client``
+  faults are permanent — the same request would be rejected again);
+- **deadlines and budgets** — a per-call timeout, a per-document wall
+  deadline and a per-document attempt budget;
+- a per-endpoint **circuit breaker** (closed → open → half-open) so a
+  dead provider is probed, not hammered;
+- a :class:`FaultReport` counting every attempt, retry, fault, breaker
+  transition and dead function, so transfer receipts can say exactly
+  what the exchange cost.
+
+When a call cannot be completed the invoker raises
+:class:`repro.errors.FunctionUnavailableError`; the rewrite engine's
+AUTO mode reacts by re-analyzing the word with the dead function marked
+non-invocable (degrade-and-continue) instead of aborting the document.
+
+Time is pluggable: the default :class:`SimulatedClock` advances on
+``sleep`` without waiting, which keeps retried test runs instant *and*
+deterministic; :class:`WallClock` provides production-style waits.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.doc.nodes import FunctionCall, Node
+from repro.errors import (
+    FunctionUnavailableError,
+    PermanentFault,
+    ServiceFault,
+    TransientFault,
+)
+
+#: What a resilient invoker wraps and what it is: ``FunctionCall -> forest``.
+Invoker = Callable[[FunctionCall], Sequence[Node]]
+
+
+class SimulatedClock:
+    """A deterministic clock whose ``sleep`` advances time instantly.
+
+    Sharing one instance between a :class:`ResilientInvoker` and the
+    latency-injecting responders makes timeouts observable without any
+    real waiting.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            self._now += seconds
+
+
+class WallClock:
+    """The real monotonic clock (production-style backoff waits)."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+def is_transient(fault: ServiceFault) -> bool:
+    """The default fault taxonomy, robust to the SOAP round-trip.
+
+    Typed faults answer for themselves; plain :class:`ServiceFault`\\ s
+    (including ones reconstructed from wire fault codes) are classified
+    by code: ``Client`` faults and anything marked permanent or
+    unavailable are not retried, everything else (``Server``) is.
+    """
+    if isinstance(fault, TransientFault):
+        return True
+    if isinstance(fault, PermanentFault):
+        return False
+    code = fault.fault_code or "Server"
+    if code.startswith("Client"):
+        return False
+    if "Permanent" in code or "Unavailable" in code:
+        return False
+    return True
+
+
+@dataclass
+class ResiliencePolicy:
+    """Knobs of the resilient invocation layer (all optional).
+
+    The defaults tolerate the fabric's stock fault injection: with
+    ``flaky_responder(fail_every=3)`` on every operation an exchange
+    completes, deterministically, with one retry per third call.
+    """
+
+    max_attempts: int = 4  # physical tries per logical call
+    base_delay: float = 0.05  # first backoff, seconds
+    backoff_multiplier: float = 2.0
+    max_delay: float = 2.0  # backoff cap
+    jitter: float = 0.5  # extra uniform(0, jitter*delay), seeded
+    jitter_seed: int = 0
+    call_timeout: Optional[float] = None  # per-call deadline, seconds
+    document_deadline: Optional[float] = None  # whole-exchange deadline
+    call_budget: Optional[int] = None  # max physical attempts per document
+    breaker_threshold: int = 5  # consecutive faults that open a breaker
+    breaker_cooldown: float = 1.0  # seconds open before half-open
+    classify: Callable[[ServiceFault], bool] = is_transient
+    clock_factory: Callable[[], object] = SimulatedClock
+
+    def backoff(self, attempt: int, rng: random.Random) -> float:
+        """The delay after a failed ``attempt`` (1-based), with jitter."""
+        delay = min(
+            self.max_delay,
+            self.base_delay * self.backoff_multiplier ** (attempt - 1),
+        )
+        if self.jitter > 0:
+            delay += rng.uniform(0.0, self.jitter * delay)
+        return delay
+
+
+#: Circuit breaker states.
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+@dataclass
+class CircuitBreaker:
+    """One endpoint's closed/open/half-open breaker.
+
+    Closed: calls flow, consecutive faults are counted.  Open: calls are
+    rejected without touching the endpoint.  After ``cooldown`` seconds
+    the breaker half-opens and admits a single probe — success closes
+    it, failure re-opens it immediately.
+    """
+
+    threshold: int = 5
+    cooldown: float = 1.0
+    state: str = CLOSED
+    consecutive_failures: int = 0
+    opened_at: float = 0.0
+    opens: int = 0  # lifetime count of closed/half-open -> open transitions
+
+    def allow(self, now: float) -> bool:
+        if self.state == OPEN and now - self.opened_at >= self.cooldown:
+            self.state = HALF_OPEN
+        return self.state != OPEN
+
+    def record_success(self) -> None:
+        self.state = CLOSED
+        self.consecutive_failures = 0
+
+    def record_failure(self, now: float) -> None:
+        self.consecutive_failures += 1
+        if self.state == HALF_OPEN or self.consecutive_failures >= self.threshold:
+            if self.state != OPEN:
+                self.opens += 1
+            self.state = OPEN
+            self.opened_at = now
+
+
+@dataclass
+class FaultReport:
+    """Everything one resilient invoker observed (per exchange).
+
+    ``calls`` are logical invocations requested by the rewriter;
+    ``attempts`` are physical tries against services (retries included,
+    breaker rejections excluded).  ``recovered_calls`` succeeded after
+    at least one fault — the exchanges that would have aborted without
+    this layer.
+    """
+
+    calls: int = 0
+    attempts: int = 0
+    retries: int = 0  # backoff-then-try-again transitions
+    transient_faults: int = 0
+    permanent_faults: int = 0
+    timeouts: int = 0
+    breaker_opens: int = 0
+    breaker_rejections: int = 0  # fast failures while a breaker was open
+    deadline_expirations: int = 0
+    budget_denials: int = 0
+    recovered_calls: int = 0
+    backoff_seconds: float = 0.0
+    faults_by_function: Dict[str, int] = field(default_factory=dict)
+    retries_by_function: Dict[str, int] = field(default_factory=dict)
+    dead_functions: List[str] = field(default_factory=list)
+
+    @property
+    def faults(self) -> int:
+        """Total faults observed (transient + permanent + timeouts)."""
+        return self.transient_faults + self.permanent_faults + self.timeouts
+
+    def summary(self) -> str:
+        parts = [
+            "%d call(s), %d attempt(s), %d retr%s, %d fault(s)"
+            % (
+                self.calls,
+                self.attempts,
+                self.retries,
+                "y" if self.retries == 1 else "ies",
+                self.faults,
+            )
+        ]
+        if self.breaker_opens:
+            parts.append("%d breaker open(s)" % self.breaker_opens)
+        if self.dead_functions:
+            parts.append("dead: %s" % ", ".join(self.dead_functions))
+        return "; ".join(parts)
+
+    def __str__(self) -> str:
+        return self.summary()
+
+
+class ResilientInvoker:
+    """Wrap an invoker with retries, deadlines and circuit breakers.
+
+    The wrapper is itself an invoker (``FunctionCall -> forest``), so it
+    drops into :class:`repro.rewriting.RewriteEngine` and the Schema
+    Enforcement module unchanged.  One instance is scoped to one
+    exchange: its :class:`FaultReport`, document deadline, attempt
+    budget and breaker states all reset with a fresh instance (which is
+    what :meth:`repro.axml.peer.AXMLPeer.invoker` creates per transfer).
+
+    Args:
+        inner: the transport invoker being protected.
+        policy: the :class:`ResiliencePolicy`; defaults throughout.
+        endpoint_of: maps a call to its breaker key; defaults to the
+            node's ``endpointURL`` (falling back to the function name).
+            :meth:`repro.services.registry.ServiceRegistry.make_invoker`
+            passes the registry's own resolution.
+        clock: shared time source; defaults to the policy's factory.
+    """
+
+    def __init__(
+        self,
+        inner: Invoker,
+        policy: Optional[ResiliencePolicy] = None,
+        endpoint_of: Optional[Callable[[FunctionCall], str]] = None,
+        clock=None,
+    ):
+        self._inner = inner
+        self.policy = policy or ResiliencePolicy()
+        self._endpoint_of = endpoint_of or (
+            lambda call: call.endpoint or call.name
+        )
+        self.clock = clock if clock is not None else self.policy.clock_factory()
+        self.report = FaultReport()
+        self._rng = random.Random(self.policy.jitter_seed)
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self._dead: Dict[str, str] = {}  # function -> first give-up reason
+        self._started_at = self.clock.now()
+
+    # -- introspection ----------------------------------------------------
+
+    def breaker_for(self, endpoint: str) -> CircuitBreaker:
+        breaker = self._breakers.get(endpoint)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                threshold=self.policy.breaker_threshold,
+                cooldown=self.policy.breaker_cooldown,
+            )
+            self._breakers[endpoint] = breaker
+        return breaker
+
+    @property
+    def breakers(self) -> Dict[str, CircuitBreaker]:
+        """Breaker state by endpoint (read-only use, please)."""
+        return dict(self._breakers)
+
+    # -- the invoker ------------------------------------------------------
+
+    def __call__(self, call: FunctionCall) -> Sequence[Node]:
+        policy, report, clock = self.policy, self.report, self.clock
+        try:
+            endpoint = self._endpoint_of(call)
+        except Exception:
+            endpoint = call.endpoint or call.name
+        report.calls += 1
+
+        if call.name in self._dead:
+            # Fail fast: this function already exhausted its chances in
+            # this exchange (possible-mode backtracking may ask again).
+            raise FunctionUnavailableError(
+                call.name, endpoint, self._dead[call.name]
+            )
+
+        breaker = self.breaker_for(endpoint)
+        attempt = 0
+        last_fault: Optional[ServiceFault] = None
+        while True:
+            now = clock.now()
+            if (
+                policy.document_deadline is not None
+                and now - self._started_at > policy.document_deadline
+            ):
+                report.deadline_expirations += 1
+                raise self._give_up(
+                    call, endpoint,
+                    "document deadline of %.3fs expired" % policy.document_deadline,
+                )
+            if (
+                policy.call_budget is not None
+                and report.attempts >= policy.call_budget
+            ):
+                report.budget_denials += 1
+                raise self._give_up(
+                    call, endpoint,
+                    "per-document budget of %d attempt(s) exhausted"
+                    % policy.call_budget,
+                )
+            attempt += 1
+
+            if not breaker.allow(now):
+                report.breaker_rejections += 1
+                last_fault = TransientFault(
+                    "circuit open for endpoint %r" % endpoint
+                )
+            else:
+                report.attempts += 1
+                started = clock.now()
+                opens_before = breaker.opens
+                try:
+                    forest = tuple(self._inner(call))
+                except ServiceFault as fault:
+                    transient = policy.classify(fault)
+                    self._record_fault(call, transient=transient)
+                    breaker.record_failure(clock.now())
+                    report.breaker_opens += breaker.opens - opens_before
+                    last_fault = fault
+                    if not transient:
+                        raise self._give_up(
+                            call, endpoint, "permanent fault: %s" % fault
+                        ) from fault
+                else:
+                    elapsed = clock.now() - started
+                    if (
+                        policy.call_timeout is not None
+                        and elapsed > policy.call_timeout
+                    ):
+                        report.timeouts += 1
+                        self._count(report.faults_by_function, call.name)
+                        breaker.record_failure(clock.now())
+                        report.breaker_opens += breaker.opens - opens_before
+                        last_fault = TransientFault(
+                            "call to %r timed out after %.3fs (limit %.3fs)"
+                            % (call.name, elapsed, policy.call_timeout)
+                        )
+                    else:
+                        breaker.record_success()
+                        if attempt > 1:
+                            report.recovered_calls += 1
+                        return forest
+
+            if attempt >= policy.max_attempts:
+                raise self._give_up(
+                    call, endpoint,
+                    "retries exhausted after %d attempt(s); last fault: %s"
+                    % (attempt, last_fault),
+                ) from last_fault
+            delay = policy.backoff(attempt, self._rng)
+            report.retries += 1
+            self._count(report.retries_by_function, call.name)
+            report.backoff_seconds += delay
+            clock.sleep(delay)
+
+    # -- internals --------------------------------------------------------
+
+    def _record_fault(self, call: FunctionCall, transient: bool) -> None:
+        report = self.report
+        if transient:
+            report.transient_faults += 1
+        else:
+            report.permanent_faults += 1
+        self._count(report.faults_by_function, call.name)
+
+    @staticmethod
+    def _count(table: Dict[str, int], key: str) -> None:
+        table[key] = table.get(key, 0) + 1
+
+    def _give_up(
+        self, call: FunctionCall, endpoint: str, reason: str
+    ) -> FunctionUnavailableError:
+        if call.name not in self._dead:
+            self._dead[call.name] = reason
+            self.report.dead_functions.append(call.name)
+        return FunctionUnavailableError(call.name, endpoint, reason)

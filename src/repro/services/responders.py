@@ -9,7 +9,10 @@ service *may* return, so the simulator must be able to produce:
   (:func:`adversarial_responder` picks outputs maximizing rejection),
 - fixed test fixtures (:func:`constant_responder`,
   :func:`scripted_responder`),
-- infrastructure failures (:func:`flaky_responder` raises SOAP faults).
+- infrastructure failures: :func:`flaky_responder` raises SOAP faults on
+  a fixed cadence, :func:`outage_responder` scripts whole failure
+  windows, and :func:`latency_responder` injects (simulated-clock)
+  delays so the resilient layer's timeouts are testable end to end.
 """
 
 from __future__ import annotations
@@ -18,7 +21,7 @@ import random
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.doc.nodes import Node
-from repro.errors import ServiceFault
+from repro.errors import ServiceFault, TransientFault
 from repro.regex.ast import Regex
 from repro.schema.generator import InstanceGenerator
 from repro.schema.model import Schema
@@ -132,6 +135,64 @@ def flaky_responder(inner: Handler, fail_every: int = 2) -> Handler:
         state["count"] += 1
         if state["count"] % fail_every == 0:
             raise ServiceFault("simulated outage (call #%d)" % state["count"])
+        return inner(params)
+
+    return handler
+
+
+def outage_responder(
+    inner: Handler,
+    outages: Sequence[Tuple[int, int]],
+    fault_code: str = "Server.Transient",
+) -> Handler:
+    """Fail every call whose 1-based index falls in a scripted window.
+
+    ``outages`` is a sequence of inclusive ``(first, last)`` call-number
+    windows, e.g. ``[(3, 5), (9, 9)]`` — deterministic planned downtime,
+    the scenario a circuit breaker exists for.  Faults are transient by
+    default (the provider comes back); pass ``fault_code="Client"`` to
+    script a permanent rejection instead.
+    """
+    windows = [(int(first), int(last)) for first, last in outages]
+    for first, last in windows:
+        if first < 1 or last < first:
+            raise ValueError("outage windows must satisfy 1 <= first <= last")
+    state = {"count": 0}
+
+    def handler(params: Sequence[Node]) -> Sequence[Node]:
+        state["count"] += 1
+        number = state["count"]
+        for first, last in windows:
+            if first <= number <= last:
+                raise TransientFault(
+                    "scripted outage (call #%d in window %d-%d)"
+                    % (number, first, last),
+                    fault_code=fault_code,
+                )
+        return inner(params)
+
+    return handler
+
+
+def latency_responder(
+    inner: Handler,
+    delay,
+    clock,
+) -> Handler:
+    """Advance ``clock`` by ``delay`` seconds before answering.
+
+    ``delay`` is a float or a callable from the 1-based call index to a
+    float (so latency spikes can be scripted).  Pass the same clock the
+    :class:`repro.services.resilience.ResilientInvoker` uses and its
+    per-call ``call_timeout`` will observe the injected latency — with a
+    :class:`SimulatedClock`, instantly and deterministically.
+    """
+    state = {"count": 0}
+
+    def handler(params: Sequence[Node]) -> Sequence[Node]:
+        state["count"] += 1
+        seconds = delay(state["count"]) if callable(delay) else delay
+        clock.sleep(float(seconds))
         return inner(params)
 
     return handler

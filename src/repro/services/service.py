@@ -15,9 +15,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.doc.nodes import Node, symbol_of
 from repro.errors import ServiceFault, UnknownServiceError
-from repro.schema.model import FunctionSignature
+from repro.schema.model import FunctionSignature, Schema
 from repro.schema.validate import word_matches
-from repro.schema.model import Schema
 
 #: Handlers take the parameter forest and return the output forest.
 Handler = Callable[[Sequence[Node]], Sequence[Node]]
@@ -103,6 +102,15 @@ class Service:
         except ServiceFault:
             record.faulted = True
             raise
+        except Exception as exc:
+            # A crashing handler must stay inside the SOAP protocol: the
+            # caller sees an encoded Server fault, not a raw Python error
+            # escaping ServiceRegistry._serve.
+            record.faulted = True
+            raise ServiceFault(
+                "operation %r failed internally: %s" % (name, exc),
+                fault_code="Server",
+            ) from exc
         output_word = tuple(symbol_of(node) for node in output)
         record.output_symbols = output_word
         if self.validate_io and not self._word_ok(output_word, op.signature.output_type):

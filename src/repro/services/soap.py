@@ -25,7 +25,12 @@ from typing import List, Sequence, Tuple
 
 from repro.doc.nodes import Node
 from repro.doc.xml_io import INT_NS, node_from_xml, node_to_xml
-from repro.errors import DocumentParseError, ServiceFault
+from repro.errors import (
+    DocumentParseError,
+    PermanentFault,
+    ServiceFault,
+    TransientFault,
+)
 
 SOAP_NS = "http://schemas.xmlsoap.org/soap/envelope/"
 _ENVELOPE = "{%s}Envelope" % SOAP_NS
@@ -147,7 +152,17 @@ def decode_response(xml_text: str) -> SoapEnvelope:
 
 
 def raise_if_fault(envelope: SoapEnvelope) -> SoapEnvelope:
-    """Turn a fault envelope into a :class:`ServiceFault` exception."""
-    if envelope.is_fault:
-        raise ServiceFault(envelope.fault_string, fault_code=envelope.fault_code)
-    return envelope
+    """Turn a fault envelope into a :class:`ServiceFault` exception.
+
+    The fault *class* is reconstructed from the wire fault code, so the
+    transient/permanent taxonomy survives the SOAP round-trip and the
+    resilient invocation layer can decide whether retrying makes sense.
+    """
+    if not envelope.is_fault:
+        return envelope
+    code, message = envelope.fault_code, envelope.fault_string
+    if "Transient" in code:
+        raise TransientFault(message, fault_code=code)
+    if code.startswith("Client") or "Permanent" in code or "Unavailable" in code:
+        raise PermanentFault(message, fault_code=code)
+    raise ServiceFault(message, fault_code=code)

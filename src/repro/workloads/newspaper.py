@@ -137,3 +137,60 @@ def pattern_schema(
 #: The children word of the newspaper root in Figure 2.a — the word ``w``
 #: the safe-rewriting walkthrough of Section 4 operates on.
 ROOT_WORD = ("title", "date", "Get_Temp", "TimeOut")
+
+
+# ---------------------------------------------------------------------------
+# The *wide* newspaper: a multi-city edition (fault-tolerance workload)
+# ---------------------------------------------------------------------------
+
+#: Cities of the wide edition, cycled when ``width`` exceeds the list.
+CITIES = (
+    "Paris", "London", "Rome", "Berlin", "Madrid", "Vienna", "Prague",
+    "Lisbon", "Dublin", "Oslo", "Athens", "Warsaw",
+)
+
+
+def wide_document(width: int) -> Document:
+    """A newspaper front page with ``width`` weather calls (one per city).
+
+    Scaling the number of embedded calls is what makes one transient
+    provider fault statistically certain during an exchange — the
+    workload the resilient invocation layer exists for.
+    """
+    calls = [
+        call(
+            "Get_Temp",
+            el("city", CITIES[index % len(CITIES)]),
+            endpoint=FORECAST_ENDPOINT,
+            namespace=FORECAST_NS,
+        )
+        for index in range(width)
+    ]
+    return Document(
+        el(
+            "newspaper",
+            el("title", "The Sun"),
+            el("date", "04/10/2002"),
+            *calls,
+        )
+    )
+
+
+def wide_schema_star(width: int) -> Schema:
+    """The wide sender schema: each call may stay intensional."""
+    content = ".".join(["title", "date"] + ["(Get_Temp | temp)"] * width)
+    return (
+        _base_builder()
+        .element("newspaper", content)
+        .build(strict=False)
+    )
+
+
+def wide_schema_star2(width: int) -> Schema:
+    """The wide exchange schema: every temperature must be materialized."""
+    content = ".".join(["title", "date"] + ["temp"] * width)
+    return (
+        _base_builder()
+        .element("newspaper", content)
+        .build(strict=False)
+    )

@@ -88,6 +88,65 @@ class TestRewrite:
         assert first == second
 
 
+class TestRewriteResilience:
+    def test_flaky_without_retries_fails(self, files, capsys):
+        # Injection alone enables the resilient layer but 0 retries means
+        # the first injected fault kills the document in safe mode.
+        code = main([
+            "rewrite", files["doc"], files["star"], files["star2"],
+            "--flaky", "1",
+        ])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "resilience:" in err
+        assert "FAILED" in err
+
+    def test_flaky_with_retries_recovers(self, files, capsys):
+        # Into (***) both calls are invoked; the injected fault hits the
+        # second invocation and the retry absorbs it (seed 4 makes the
+        # sampled TimeOut answers exhibits-only, so possible mode lands).
+        code = main([
+            "rewrite", files["doc"], files["star"], files["star3"],
+            "--mode", "possible", "--seed", "4",
+            "--flaky", "2", "--retries", "3",
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "2 call(s), 3 attempt(s), 1 retry, 1 fault(s)" in captured.err
+        assert "<newspaper" in captured.out
+
+    def test_retries_zero_means_zero(self, files, capsys):
+        code = main([
+            "rewrite", files["doc"], files["star"], files["star3"],
+            "--mode", "possible", "--seed", "4",
+            "--flaky", "2", "--retries", "0",
+        ])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "0 retries" in err
+        assert "dead: TimeOut" in err
+
+    def test_retry_summary_is_deterministic(self, files, capsys):
+        args = [
+            "rewrite", files["doc"], files["star"], files["star3"],
+            "--mode", "possible", "--seed", "4",
+            "--flaky", "2", "--retries", "3", "--jitter-seed", "5",
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr().err
+        assert main(args) == 0
+        second = capsys.readouterr().err
+        assert first == second
+
+    def test_call_budget_denies(self, files, capsys):
+        code = main([
+            "rewrite", files["doc"], files["star"], files["star2"],
+            "--call-budget", "0",
+        ])
+        assert code == 1
+        assert "resilience:" in capsys.readouterr().err
+
+
 class TestCompat:
     def test_compatible(self, files, capsys):
         assert main(["compat", files["star"], files["star2"]]) == 0

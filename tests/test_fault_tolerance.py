@@ -1,0 +1,286 @@
+"""Integration tests: fault tolerance across the whole exchange stack.
+
+The acceptance scenario of the resilient invocation layer: a wide
+newspaper front page whose weather provider faults on every third call.
+Without the layer the exchange aborts; with the default policy it
+completes, deterministically, and the transfer receipt records exactly
+what the recovery cost.  Plus: AUTO-mode graceful degradation around a
+dead provider, retries composed with possible-mode backtracking, and the
+receiver-side validation fix (receiver's vocabulary, not the sender's).
+"""
+
+import pytest
+
+from repro import (
+    AXMLPeer,
+    FunctionSignature,
+    PeerNetwork,
+    ResiliencePolicy,
+    ResilientInvoker,
+    RewriteEngine,
+    SchemaBuilder,
+    Service,
+    ServiceFault,
+    call,
+    constant_responder,
+    el,
+    flaky_responder,
+    outage_responder,
+    parse_regex,
+    text,
+)
+from repro.doc.document import Document
+from repro.workloads import newspaper
+
+WIDTH = 8
+
+
+def wide_network(resilience=None, fail_every=3):
+    """Alice (wide schema-*) sends to Bob (wide schema-**) over a flaky
+    forecast provider: every ``fail_every``-th Get_Temp call faults."""
+    star = newspaper.wide_schema_star(WIDTH)
+    star2 = newspaper.wide_schema_star2(WIDTH)
+    alice = AXMLPeer("alice", star, resilience=resilience)
+    forecast = Service(newspaper.FORECAST_ENDPOINT, newspaper.FORECAST_NS)
+    forecast.add_operation(
+        "Get_Temp",
+        FunctionSignature(parse_regex("city"), parse_regex("temp")),
+        flaky_responder(constant_responder((el("temp", "15"),)), fail_every),
+    )
+    alice.registry.register(forecast)
+    bob = AXMLPeer("bob", star2)
+    network = PeerNetwork()
+    network.add_peer(alice)
+    network.add_peer(bob)
+    network.agree("alice", "bob", star2)
+    alice.repository.store("front", newspaper.wide_document(WIDTH))
+    return network, bob
+
+
+class TestAcceptanceScenario:
+    """ISSUE acceptance: the exchange that aborts today completes under
+    ResilientInvoker defaults, with exact counts on the receipt."""
+
+    def test_plain_exchange_aborts_on_the_third_call(self):
+        network, _bob = wide_network(resilience=None)
+        receipt = network.send("alice", "bob", "front")
+        assert not receipt.accepted
+        assert "simulated outage" in receipt.error
+        assert receipt.fault_report is None
+        assert receipt.retries == 0
+
+    def test_resilient_exchange_completes(self):
+        network, bob = wide_network(resilience=ResiliencePolicy())
+        receipt = network.send("alice", "bob", "front")
+        assert receipt.accepted
+        assert receipt.calls_materialized == WIDTH
+        # Every third physical attempt faulted: 8 calls, 3 of them
+        # retried once each (attempts 3, 6 and 9 of 11 fault).
+        assert receipt.retries == 3
+        assert receipt.faults == 3
+        assert receipt.breaker_opens == 0
+        report = receipt.fault_report
+        assert report is not None
+        assert (report.calls, report.attempts) == (WIDTH, 11)
+        assert report.recovered_calls == 3
+        assert report.summary() == (
+            "8 call(s), 11 attempt(s), 3 retries, 3 fault(s)"
+        )
+        delivered = bob.repository.get("front")
+        assert delivered.is_extensional()
+
+    def test_resilient_exchange_is_deterministic(self):
+        def run():
+            network, bob = wide_network(resilience=ResiliencePolicy())
+            receipt = network.send("alice", "bob", "front")
+            return receipt, bob.repository.get("front").to_xml()
+
+        first, first_xml = run()
+        second, second_xml = run()
+        assert first_xml == second_xml
+        assert (first.retries, first.faults) == (second.retries, second.faults)
+        assert (
+            first.fault_report.backoff_seconds
+            == second.fault_report.backoff_seconds
+        )
+
+    def test_fresh_invoker_per_exchange(self):
+        # Receipts must not accumulate counts across transfers: the peer
+        # builds a fresh ResilientInvoker per enforcement pass.
+        network, _bob = wide_network(resilience=ResiliencePolicy())
+        first = network.send("alice", "bob", "front")
+        second = network.send("alice", "bob", "front")
+        assert first.accepted and second.accepted
+        assert second.fault_report.calls == WIDTH
+        assert second.fault_report is not first.fault_report
+
+
+class TestGracefulDegradation:
+    """AUTO mode re-analyzes with a dead function marked non-invocable."""
+
+    def build(self):
+        schema = (
+            SchemaBuilder()
+            .element("root", "(Get_Temp.temp) | (temp.TimeOut)")
+            .element("temp", "data")
+            .element("performance", "data")
+            .element("city", "data")
+            .function("Get_Temp", "city", "temp")
+            .function("TimeOut", "data", "(temp | performance)")
+            .root("root")
+            .build(strict=False)
+        )
+        engine = RewriteEngine(target_schema=schema, mode="auto")
+        target = parse_regex("(Get_Temp.temp) | (temp.TimeOut)")
+        forest = (call("Get_Temp", el("city", "Paris")), call("TimeOut", text("x")))
+        return engine, target, forest
+
+    def test_dead_function_triggers_replanning(self):
+        engine, target, forest = self.build()
+
+        def raw(fc):
+            if fc.name == "Get_Temp":
+                raise ServiceFault("provider down")
+            return (el("temp", "21"),)
+
+        invoker = ResilientInvoker(raw, ResiliencePolicy(max_attempts=2))
+        stats = {"words": 0, "product": 0, "mode": "safe"}
+        out = engine.rewrite_forest(forest, target, invoker, stats=stats)
+        # The safe plan (invoke Get_Temp, keep TimeOut) dies with the
+        # provider; the degraded plan keeps Get_Temp intensional and
+        # invokes TimeOut instead — matching the target's first branch.
+        word = [getattr(n, "label", None) or n.name for n in out]
+        assert word == ["Get_Temp", "temp"]
+        assert stats["dead"] == {"Get_Temp"}
+        assert stats["degradations"] == 1
+        assert stats["mode"] == "possible"
+        assert invoker.report.dead_functions == ["Get_Temp"]
+
+    def test_degradation_reported_on_document_rewrite(self):
+        engine, target, forest = self.build()
+        document = Document(el("root", *forest))
+
+        def raw(fc):
+            if fc.name == "Get_Temp":
+                raise ServiceFault("provider down")
+            return (el("temp", "21"),)
+
+        invoker = ResilientInvoker(raw, ResiliencePolicy(max_attempts=2))
+        result = engine.rewrite(document, invoker)
+        assert result.degraded
+        assert result.degraded_functions == ("Get_Temp",)
+
+    def test_no_degradation_outside_auto_mode(self):
+        engine, target, forest = self.build()
+        engine.mode = "safe"
+
+        def raw(fc):
+            raise ServiceFault("provider down")
+
+        invoker = ResilientInvoker(raw, ResiliencePolicy(max_attempts=2))
+        from repro.errors import FunctionUnavailableError
+
+        with pytest.raises(FunctionUnavailableError):
+            engine.rewrite_forest(forest, target, invoker)
+
+
+class TestBacktrackingComposition:
+    """Retries compose with possible-mode backtracking: faulted attempts
+    are retried in place and side effects are not double-counted."""
+
+    def build_engine(self):
+        schema = (
+            SchemaBuilder()
+            .element("root", "exhibit*")
+            .element("exhibit", "data")
+            .function("TimeOut", "data", "exhibit*")
+            .root("root")
+            .build(strict=False)
+        )
+        return RewriteEngine(target_schema=schema, mode="possible")
+
+    def test_faulted_branch_is_retried_not_recounted(self):
+        engine = self.build_engine()
+        service = Service("http://www.timeout.com/paris")
+        service.add_operation(
+            "TimeOut",
+            FunctionSignature(parse_regex("data"), parse_regex("exhibit*")),
+            outage_responder(
+                constant_responder((el("exhibit", "Picasso"),)), [(1, 1)]
+            ),
+        )
+        from repro import ServiceRegistry
+
+        registry = ServiceRegistry().register(service)
+        invoker = registry.make_invoker(resilience=ResiliencePolicy())
+        forest = (call("TimeOut", text("x")),)
+        result = engine.rewrite(Document(el("root", *forest)), invoker)
+        assert result.mode_used == "possible"
+        # One logical invocation (retried once); the log has exactly one
+        # useful record — the faulted attempt produced no phantom entry.
+        assert invoker.report.calls == 1
+        assert invoker.report.attempts == 2
+        assert invoker.report.retries == 1
+        assert len(result.log.records) == 1
+        assert not result.log.records[0].backtracked
+        # The service saw both physical attempts, the first faulted.
+        assert [record.faulted for record in service.calls] == [True, False]
+
+
+class TestReceiverSchemaValidation:
+    """Satellite fix: the receiver validates with *its own* vocabulary."""
+
+    def diverging_network(self):
+        # The sender privately declares an extra label ("rumor") that the
+        # agreement's content model never references but the wire format
+        # could smuggle through if the receiver validated with the
+        # sender's vocabulary instead of its own.
+        sender_schema = (
+            SchemaBuilder()
+            .element("news", "story*")
+            .element("story", "data")
+            .element("rumor", "data")
+            .root("news")
+            .build(strict=False)
+        )
+        receiver_schema = (
+            SchemaBuilder()
+            .element("news", "story*")
+            .element("story", "data")
+            .root("news")
+            .build(strict=False)
+        )
+        agreement = (
+            SchemaBuilder()
+            .element("news", "story*")
+            .element("story", "data")
+            .root("news")
+            .build(strict=False)
+        )
+        alice = AXMLPeer("alice", sender_schema)
+        bob = AXMLPeer("bob", receiver_schema)
+        network = PeerNetwork()
+        network.add_peer(alice)
+        network.add_peer(bob)
+        network.agree("alice", "bob", agreement)
+        return network, alice, bob
+
+    def test_conformant_document_accepted(self):
+        network, alice, bob = self.diverging_network()
+        alice.repository.store(
+            "wire", Document(el("news", el("story", "all good")))
+        )
+        receipt = network.send("alice", "bob", "wire")
+        assert receipt.accepted
+        assert bob.repository.get("wire").root_symbol == "news"
+
+    def test_validation_uses_receiver_vocabulary(self):
+        from repro.schema.validate import validate
+
+        network, alice, bob = self.diverging_network()
+        agreement = network.agreements[("alice", "bob")]
+        smuggled = Document(el("news", el("story", "ok"), el("rumor", "!")))
+        # Against the *sender's* vocabulary the extra label is declared;
+        # against the receiver's it is not — the network must side with
+        # the receiver (defense in depth).
+        assert not validate(smuggled, agreement, bob.schema).ok

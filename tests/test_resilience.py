@@ -1,0 +1,324 @@
+"""Unit tests for the resilient invocation layer (retries, breakers, clocks).
+
+Covers the fault taxonomy (and its survival across the SOAP round-trip),
+retry/backoff accounting, the per-endpoint circuit breaker state machine,
+deadlines/budgets/timeouts on simulated clocks, and the guarantee that the
+whole layer is deterministic under a fixed jitter seed.
+"""
+
+import pytest
+
+from repro import (
+    CircuitBreaker,
+    FunctionSignature,
+    ResiliencePolicy,
+    ResilientInvoker,
+    Service,
+    ServiceRegistry,
+    SimulatedClock,
+    call,
+    constant_responder,
+    el,
+    flaky_responder,
+    latency_responder,
+    outage_responder,
+    parse_regex,
+)
+from repro.errors import (
+    FunctionUnavailableError,
+    PermanentFault,
+    ServiceFault,
+    TransientFault,
+)
+from repro.services.resilience import CLOSED, HALF_OPEN, OPEN, is_transient
+
+
+SIG = FunctionSignature(parse_regex("city"), parse_regex("temp"))
+TEMP = (el("temp", "15"),)
+
+
+def registry_with(handler, operation="Get_Temp"):
+    service = Service("http://www.forecast.com/soap", "urn:xmethods-weather")
+    service.add_operation(operation, SIG, handler)
+    return ServiceRegistry().register(service), service
+
+
+class TestFaultTaxonomy:
+    def test_typed_faults_answer_for_themselves(self):
+        assert is_transient(TransientFault("busy"))
+        assert not is_transient(PermanentFault("bad request"))
+
+    def test_plain_faults_classified_by_code(self):
+        assert is_transient(ServiceFault("boom"))  # default: Server
+        assert is_transient(ServiceFault("boom", fault_code="Server"))
+        assert not is_transient(ServiceFault("no", fault_code="Client"))
+        assert not is_transient(
+            ServiceFault("gone", fault_code="Server.Unavailable")
+        )
+        assert not is_transient(
+            ServiceFault("never", fault_code="Server.Permanent")
+        )
+
+    def test_function_unavailable_is_permanent(self):
+        fault = FunctionUnavailableError("f", "ep", "dead")
+        assert isinstance(fault, PermanentFault)
+        assert fault.fault_code == "Server.Unavailable"
+        assert not is_transient(fault)
+
+    def test_taxonomy_survives_soap_round_trip(self):
+        def transient(_params):
+            raise TransientFault("come back later")
+
+        registry, _service = registry_with(transient)
+        with pytest.raises(TransientFault):
+            registry.invoke(call("Get_Temp", el("city", "Paris")))
+
+    def test_permanent_code_survives_soap_round_trip(self):
+        # outage_responder can script permanent rejections by fault code;
+        # the client-side typed class is reconstructed from the wire code.
+        handler = outage_responder(
+            constant_responder(TEMP), [(1, 99)], fault_code="Client"
+        )
+        registry, _service = registry_with(handler)
+        with pytest.raises(PermanentFault):
+            registry.invoke(call("Get_Temp", el("city", "Paris")))
+
+
+class TestServiceFaultWrapping:
+    """Satellite fix: arbitrary handler exceptions become SOAP faults."""
+
+    def test_raw_exception_becomes_server_fault(self):
+        def broken(_params):
+            raise ValueError("handler bug")
+
+        _registry, service = registry_with(broken)
+        with pytest.raises(ServiceFault) as exc_info:
+            service.invoke("Get_Temp", (el("city", "Paris"),))
+        assert exc_info.value.fault_code == "Server"
+        assert "handler bug" in str(exc_info.value)
+        assert service.calls[-1].faulted
+
+    def test_raw_exception_crosses_soap_boundary_as_fault(self):
+        def broken(_params):
+            raise RuntimeError("oops")
+
+        registry, _service = registry_with(broken)
+        with pytest.raises(ServiceFault) as exc_info:
+            registry.invoke(call("Get_Temp", el("city", "Paris")))
+        assert "oops" in str(exc_info.value)
+        # Classified as retriable: the server crashed, the request was fine.
+        assert is_transient(exc_info.value)
+
+
+class TestRetries:
+    def test_retry_recovers_within_budget(self):
+        registry, service = registry_with(
+            flaky_responder(constant_responder(TEMP), fail_every=2)
+        )
+        invoker = registry.make_invoker(resilience=ResiliencePolicy())
+
+        fc = call("Get_Temp", el("city", "Paris"))
+        assert [n.label for n in invoker(fc)] == ["temp"]  # call #1 fine
+        assert [n.label for n in invoker(fc)] == ["temp"]  # #2 faults, #3 ok
+
+        report = invoker.report
+        assert report.calls == 2
+        assert report.attempts == 3
+        assert report.retries == 1
+        assert report.transient_faults == 1
+        assert report.recovered_calls == 1
+        assert report.backoff_seconds > 0
+        assert report.faults_by_function == {"Get_Temp": 1}
+        assert report.retries_by_function == {"Get_Temp": 1}
+        # The service saw all three physical attempts, one faulted.
+        assert len(service.calls) == 3
+        assert [record.faulted for record in service.calls] == [
+            False, True, False,
+        ]
+
+    def test_permanent_fault_is_not_retried(self):
+        def reject(_params):
+            raise ServiceFault("malformed city", fault_code="Client")
+
+        registry, service = registry_with(reject)
+        invoker = registry.make_invoker(resilience=ResiliencePolicy())
+        with pytest.raises(FunctionUnavailableError):
+            invoker(call("Get_Temp", el("city", "Paris")))
+        assert invoker.report.attempts == 1
+        assert invoker.report.retries == 0
+        assert invoker.report.permanent_faults == 1
+        assert len(service.calls) == 1
+
+    def test_exhausted_retries_mark_function_dead(self):
+        registry, service = registry_with(
+            flaky_responder(constant_responder(TEMP), fail_every=1)
+        )
+        policy = ResiliencePolicy(max_attempts=3, breaker_threshold=99)
+        invoker = registry.make_invoker(resilience=policy)
+        fc = call("Get_Temp", el("city", "Paris"))
+        with pytest.raises(FunctionUnavailableError) as exc_info:
+            invoker(fc)
+        assert "retries exhausted" in exc_info.value.reason
+        assert invoker.report.attempts == 3
+        assert invoker.report.dead_functions == ["Get_Temp"]
+
+        # A later ask for the same function fails fast: the service is
+        # not touched again within this exchange.
+        with pytest.raises(FunctionUnavailableError):
+            invoker(fc)
+        assert len(service.calls) == 3
+        assert invoker.report.calls == 2
+
+
+class TestCircuitBreaker:
+    def test_state_machine(self):
+        breaker = CircuitBreaker(threshold=2, cooldown=5.0)
+        assert breaker.state == CLOSED and breaker.allow(0.0)
+        breaker.record_failure(1.0)
+        assert breaker.state == CLOSED
+        breaker.record_failure(2.0)
+        assert breaker.state == OPEN and breaker.opens == 1
+        assert not breaker.allow(3.0)  # still cooling down
+        assert breaker.allow(7.0)  # cooldown elapsed: probe admitted
+        assert breaker.state == HALF_OPEN
+        breaker.record_failure(7.5)  # failed probe reopens instantly
+        assert breaker.state == OPEN and breaker.opens == 2
+        assert breaker.allow(13.0)
+        breaker.record_success()
+        assert breaker.state == CLOSED and breaker.consecutive_failures == 0
+
+    def test_breaker_opens_and_shields_the_endpoint(self):
+        service = Service("http://www.forecast.com/soap")
+        service.add_operation(
+            "Get_Temp", SIG,
+            flaky_responder(constant_responder(TEMP), fail_every=1),
+        )
+        service.add_operation("Get_Humidity", SIG, constant_responder(TEMP))
+        registry = ServiceRegistry().register(service)
+        policy = ResiliencePolicy(
+            max_attempts=2, breaker_threshold=2, breaker_cooldown=60.0
+        )
+        invoker = registry.make_invoker(resilience=policy)
+
+        with pytest.raises(FunctionUnavailableError):
+            invoker(call("Get_Temp", el("city", "Paris")))
+        assert invoker.report.breaker_opens == 1
+        breaker = invoker.breaker_for("http://www.forecast.com/soap")
+        assert breaker.state == OPEN
+
+        # A *different* function on the same endpoint is rejected fast:
+        # both attempts bounce off the open breaker, no service call.
+        calls_before = len(service.calls)
+        with pytest.raises(FunctionUnavailableError):
+            invoker(call("Get_Humidity", el("city", "Paris")))
+        assert len(service.calls) == calls_before
+        assert invoker.report.breaker_rejections == 2
+
+    def test_half_open_probe_recovers(self):
+        registry, service = registry_with(
+            outage_responder(constant_responder(TEMP), [(1, 2)])
+        )
+        policy = ResiliencePolicy(
+            max_attempts=4, breaker_threshold=2, breaker_cooldown=0.01
+        )
+        invoker = registry.make_invoker(resilience=policy)
+        forest = invoker(call("Get_Temp", el("city", "Paris")))
+        assert [n.label for n in forest] == ["temp"]
+        report = invoker.report
+        assert report.attempts == 3  # fault, fault (opens), probe succeeds
+        assert report.breaker_opens == 1
+        assert report.recovered_calls == 1
+        breaker = invoker.breaker_for("http://www.forecast.com/soap")
+        assert breaker.state == CLOSED
+
+
+class TestDeadlinesAndBudgets:
+    def test_call_timeout_observes_injected_latency(self):
+        clock = SimulatedClock()
+        handler = latency_responder(
+            constant_responder(TEMP),
+            lambda index: 5.0 if index == 1 else 0.0,
+            clock,
+        )
+        registry, _service = registry_with(handler)
+        policy = ResiliencePolicy(call_timeout=1.0)
+        invoker = registry.make_invoker(resilience=policy, clock=clock)
+        forest = invoker(call("Get_Temp", el("city", "Paris")))
+        assert [n.label for n in forest] == ["temp"]
+        assert invoker.report.timeouts == 1
+        assert invoker.report.retries == 1
+        assert invoker.report.recovered_calls == 1
+
+    def test_document_deadline_expires(self):
+        clock = SimulatedClock()
+        handler = latency_responder(constant_responder(TEMP), 1.0, clock)
+        registry, _service = registry_with(handler)
+        policy = ResiliencePolicy(document_deadline=0.5)
+        invoker = registry.make_invoker(resilience=policy, clock=clock)
+        fc = call("Get_Temp", el("city", "Paris"))
+        invoker(fc)  # first call finishes (started inside the deadline)
+        with pytest.raises(FunctionUnavailableError) as exc_info:
+            invoker(fc)
+        assert "deadline" in exc_info.value.reason
+        assert invoker.report.deadline_expirations == 1
+
+    def test_call_budget_caps_physical_attempts(self):
+        registry, service = registry_with(
+            flaky_responder(constant_responder(TEMP), fail_every=1)
+        )
+        policy = ResiliencePolicy(
+            max_attempts=10, call_budget=2, breaker_threshold=99
+        )
+        invoker = registry.make_invoker(resilience=policy)
+        with pytest.raises(FunctionUnavailableError) as exc_info:
+            invoker(call("Get_Temp", el("city", "Paris")))
+        assert "budget" in exc_info.value.reason
+        assert invoker.report.budget_denials == 1
+        assert len(service.calls) == 2
+
+
+class TestDeterminism:
+    def run_once(self, jitter_seed):
+        registry, _service = registry_with(
+            flaky_responder(constant_responder(TEMP), fail_every=2)
+        )
+        policy = ResiliencePolicy(jitter_seed=jitter_seed)
+        invoker = registry.make_invoker(resilience=policy)
+        fc = call("Get_Temp", el("city", "Paris"))
+        for _ in range(4):
+            invoker(fc)
+        return invoker.report
+
+    def test_same_seed_same_backoffs(self):
+        first, second = self.run_once(0), self.run_once(0)
+        assert first.backoff_seconds == second.backoff_seconds
+        assert first.retries == second.retries == 3
+
+    def test_different_seed_different_jitter(self):
+        assert self.run_once(0).backoff_seconds != self.run_once(1).backoff_seconds
+
+
+class TestResponderValidation:
+    def test_outage_windows_validated(self):
+        with pytest.raises(ValueError):
+            outage_responder(constant_responder(TEMP), [(0, 2)])
+        with pytest.raises(ValueError):
+            outage_responder(constant_responder(TEMP), [(3, 2)])
+
+    def test_flaky_cadence_validated(self):
+        with pytest.raises(ValueError):
+            flaky_responder(constant_responder(TEMP), fail_every=0)
+
+    def test_latency_constant_delay_advances_clock(self):
+        clock = SimulatedClock()
+        handler = latency_responder(constant_responder(TEMP), 2.5, clock)
+        assert handler(()) == TEMP
+        assert clock.now() == 2.5
+
+
+class TestClocks:
+    def test_simulated_clock_sleep_is_instant_but_counted(self):
+        clock = SimulatedClock(start=10.0)
+        clock.sleep(3.0)
+        clock.sleep(-1.0)  # negative sleeps are ignored
+        assert clock.now() == 13.0
