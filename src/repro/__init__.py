@@ -118,6 +118,18 @@ from repro.axml import (
     delete_matches,
 )
 from repro.xschema import compile_xschema, parse_xschema, schema_to_xschema
+from repro.obs import (
+    MetricsRegistry,
+    NullMetricsRegistry,
+    NullTracer,
+    Span,
+    Tracer,
+    install,
+    observing,
+    render_span_dicts,
+    spans_from_jsonl,
+    uninstall,
+)
 
 __version__ = "1.0.0"
 
@@ -155,6 +167,10 @@ __all__ = [
     "parse_dtd", "schema_to_dtd",
     # XML Schema_int
     "parse_xschema", "schema_to_xschema", "compile_xschema",
+    # observability
+    "Tracer", "NullTracer", "Span", "MetricsRegistry",
+    "NullMetricsRegistry", "install", "uninstall", "observing",
+    "render_span_dicts", "spans_from_jsonl",
     # errors
     "ReproError", "RegexSyntaxError", "DocumentError", "SchemaError",
     "ValidationError", "RewriteError", "NoSafeRewritingError",

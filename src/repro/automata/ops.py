@@ -14,6 +14,7 @@ from typing import Iterator, List, Optional, Tuple
 from repro.automata.dfa import DFA, complement, complete, determinize
 from repro.automata.glushkov import glushkov_nfa
 from repro.automata.symbols import Alphabet, regex_symbols
+from repro.obs import context as obs
 from repro.regex.ast import Regex
 
 
@@ -43,8 +44,27 @@ def _product(left: DFA, right: DFA) -> Tuple[DFA, dict]:
     """Synchronous product of two complete DFAs over the same alphabet.
 
     Returns the product DFA (acceptance left to the caller to define) and
-    the mapping from product ids back to state pairs.
+    the mapping from product ids back to state pairs.  Each build is
+    reported to the observability layer (a ``product`` span with the
+    operand and product sizes, plus the ``repro_dfa_product_states``
+    histogram) — inclusion/equivalence checks are where the Section 6
+    compatibility test spends its time.
     """
+    with obs.tracer().span(
+        "product", op="dfa", left_states=left.n_states,
+        right_states=right.n_states,
+    ) as span:
+        product, pairs = _product_inner(left, right)
+        span.set(product_states=len(pairs))
+    metrics = obs.metrics()
+    if metrics.enabled:
+        metrics.histogram(
+            "repro_dfa_product_states", "Synchronous DFA product sizes"
+        ).observe(len(pairs))
+    return product, pairs
+
+
+def _product_inner(left: DFA, right: DFA) -> Tuple[DFA, dict]:
     if left.alphabet.symbols != right.alphabet.symbols:
         from repro.automata.dfa import widen_alphabet
 

@@ -20,6 +20,7 @@ from typing import Callable, Optional, Sequence, Tuple
 from repro.doc.document import Document
 from repro.doc.nodes import Node
 from repro.errors import RewriteError, SchemaError, ServiceError
+from repro.obs import context as obs
 from repro.regex.ast import Regex
 from repro.rewriting.cost import UNIT, CostModel
 from repro.rewriting.engine import SAFE, RewriteEngine
@@ -45,6 +46,10 @@ class EnforcementOutcome:
     fault_report: Optional[FaultReport] = None
     #: Functions the engine degraded around (AUTO mode, dead providers).
     degraded_functions: Tuple[str, ...] = ()
+    #: Analysis-cache efficacy of the pass (hits/misses on the engine's
+    #: per-document cache of solved rewriting problems).
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def ok(self) -> bool:
@@ -98,6 +103,19 @@ class SchemaEnforcer:
         self, document: Document, invoker: Invoker
     ) -> EnforcementOutcome:
         """The three steps, applied to a whole outgoing document."""
+        with obs.tracer().span("enforce", scope="document") as span:
+            outcome = self._enforce_document(document, invoker)
+            span.set(
+                ok=outcome.ok,
+                already_conformant=outcome.already_conformant,
+                calls=outcome.calls_made,
+                degraded=outcome.degraded,
+            )
+            return outcome
+
+    def _enforce_document(
+        self, document: Document, invoker: Invoker
+    ) -> EnforcementOutcome:
         # (i) verify
         if is_instance(document, self.target_schema, self.sender_schema):
             return EnforcementOutcome(
@@ -125,11 +143,15 @@ class SchemaEnforcer:
                 error="rewriting produced a non-conformant document: %s" % report,
                 fault_report=self._fault_report(invoker),
                 degraded_functions=result.degraded_functions,
+                cache_hits=result.cache_hits,
+                cache_misses=result.cache_misses,
             )
         return EnforcementOutcome(
             result.document, None, False, len(result.log), result.log,
             fault_report=self._fault_report(invoker),
             degraded_functions=result.degraded_functions,
+            cache_hits=result.cache_hits,
+            cache_misses=result.cache_misses,
         )
 
     def _try_converters(
@@ -154,6 +176,8 @@ class SchemaEnforcer:
             result.document, None, False, len(result.log), result.log,
             fault_report=self._fault_report(invoker),
             degraded_functions=result.degraded_functions,
+            cache_hits=result.cache_hits,
+            cache_misses=result.cache_misses,
         )
 
     def enforce_forest(
@@ -164,6 +188,18 @@ class SchemaEnforcer:
         ``target`` is the type from the service's WSDL_int description
         (``tau_in`` for parameters, ``tau_out`` for results).
         """
+        with obs.tracer().span("enforce", scope="forest") as span:
+            outcome = self._enforce_forest(forest, target, invoker)
+            span.set(
+                ok=outcome.ok,
+                already_conformant=outcome.already_conformant,
+                calls=outcome.calls_made,
+            )
+            return outcome
+
+    def _enforce_forest(
+        self, forest: Sequence[Node], target: Regex, invoker: Invoker
+    ) -> EnforcementOutcome:
         from repro.schema.validate import word_matches
         from repro.doc.nodes import symbol_of
 
@@ -181,17 +217,20 @@ class SchemaEnforcer:
             )
         log = InvocationLog()
         stats = {"words": 0, "product": 0, "mode": SAFE}
+        engine = self._engine()
         try:
-            rewritten = self._engine().rewrite_forest(
-                forest, target, invoker, log, stats
-            )
+            rewritten = engine.rewrite_forest(forest, target, invoker, log, stats)
         except (RewriteError, SchemaError, ServiceError) as exc:
+            hits, misses = engine.cache_stats
             return EnforcementOutcome(
                 None, None, False, len(log), log, str(exc),
                 fault_report=self._fault_report(invoker),
+                cache_hits=hits, cache_misses=misses,
             )
+        hits, misses = engine.cache_stats
         return EnforcementOutcome(
             None, rewritten, False, len(log), log,
             fault_report=self._fault_report(invoker),
             degraded_functions=tuple(sorted(stats.get("dead", ()))),
+            cache_hits=hits, cache_misses=misses,
         )

@@ -14,12 +14,12 @@ from typing import Dict, List, Optional, Tuple
 from repro.axml.peer import AXMLPeer
 from repro.doc.document import Document
 from repro.errors import RewriteError, SchemaError
+from repro.obs import context as obs
 from repro.schema.model import Schema
 from repro.schema.validate import validate
 from repro.services.resilience import FaultReport
 
 
-@dataclass
 class TransferReceipt:
     """What happened during one document transfer.
 
@@ -29,20 +29,78 @@ class TransferReceipt:
     how often circuit breakers opened, which functions were degraded
     around, and — when the sending peer ran a resilient invoker — the
     full per-transfer :class:`FaultReport`.
+
+    ``retries``/``faults``/``breaker_opens`` are *derived* from the
+    attached :class:`FaultReport` whenever one is present, so the
+    receipt can never disagree with the report it carries; the keyword
+    arguments remain as fallbacks for report-less transfers.
     """
 
-    sender: str
-    receiver: str
-    document_name: str
-    calls_materialized: int
-    bytes_on_wire: int
-    accepted: bool
-    error: str = ""
-    retries: int = 0
-    faults: int = 0
-    breaker_opens: int = 0
-    degraded_functions: Tuple[str, ...] = ()
-    fault_report: Optional[FaultReport] = None
+    def __init__(
+        self,
+        sender: str,
+        receiver: str,
+        document_name: str,
+        calls_materialized: int,
+        bytes_on_wire: int,
+        accepted: bool,
+        error: str = "",
+        retries: int = 0,
+        faults: int = 0,
+        breaker_opens: int = 0,
+        degraded_functions: Tuple[str, ...] = (),
+        fault_report: Optional[FaultReport] = None,
+    ) -> None:
+        self.sender = sender
+        self.receiver = receiver
+        self.document_name = document_name
+        self.calls_materialized = calls_materialized
+        self.bytes_on_wire = bytes_on_wire
+        self.accepted = accepted
+        self.error = error
+        self._retries = retries
+        self._faults = faults
+        self._breaker_opens = breaker_opens
+        self._degraded_functions = tuple(degraded_functions)
+        self.fault_report = fault_report
+
+    @property
+    def retries(self) -> int:
+        if self.fault_report is not None:
+            return self.fault_report.retries
+        return self._retries
+
+    @property
+    def faults(self) -> int:
+        if self.fault_report is not None:
+            return self.fault_report.faults
+        return self._faults
+
+    @property
+    def breaker_opens(self) -> int:
+        if self.fault_report is not None:
+            return self.fault_report.breaker_opens
+        return self._breaker_opens
+
+    @property
+    def degraded_functions(self) -> Tuple[str, ...]:
+        if self.fault_report is not None and self.fault_report.dead_functions:
+            return tuple(sorted(self.fault_report.dead_functions))
+        return self._degraded_functions
+
+    def __repr__(self) -> str:
+        return (
+            "TransferReceipt(sender=%r, receiver=%r, document_name=%r, "
+            "calls_materialized=%r, bytes_on_wire=%r, accepted=%r, "
+            "error=%r, retries=%r, faults=%r, breaker_opens=%r, "
+            "degraded_functions=%r)"
+            % (
+                self.sender, self.receiver, self.document_name,
+                self.calls_materialized, self.bytes_on_wire, self.accepted,
+                self.error, self.retries, self.faults, self.breaker_opens,
+                self.degraded_functions,
+            )
+        )
 
 
 @dataclass
@@ -91,34 +149,70 @@ class PeerNetwork:
                 "no exchange schema agreed between %r and %r" % (sender, receiver)
             )
 
+        tracer = obs.tracer()
+        with tracer.span(
+            "exchange", sender=sender, receiver=receiver,
+            document=document_name,
+        ) as span:
+            receipt = self._transfer(
+                source, target, sender, receiver, document_name, agreement,
+                store_as, tracer,
+            )
+            span.set(
+                accepted=receipt.accepted,
+                calls=receipt.calls_materialized,
+                bytes=receipt.bytes_on_wire,
+                retries=receipt.retries,
+            )
+        metrics = obs.metrics()
+        if metrics.enabled:
+            metrics.counter(
+                "repro_transfers_total", "Peer-to-peer document transfers"
+            ).inc(accepted=str(receipt.accepted).lower())
+            metrics.counter(
+                "repro_transfer_bytes_total", "Document bytes on the wire"
+            ).inc(receipt.bytes_on_wire)
+        self.receipts.append(receipt)
+        return receipt
+
+    def _transfer(
+        self,
+        source: AXMLPeer,
+        target: AXMLPeer,
+        sender: str,
+        receiver: str,
+        document_name: str,
+        agreement: Schema,
+        store_as: Optional[str],
+        tracer,
+    ) -> TransferReceipt:
+        """Enforce, serialize, and validate one transfer."""
         outcome = source.prepare_outgoing(document_name, agreement)
-        fault_report = outcome.fault_report
         resilience = dict(
-            retries=fault_report.retries if fault_report else 0,
-            faults=fault_report.faults if fault_report else 0,
-            breaker_opens=fault_report.breaker_opens if fault_report else 0,
             degraded_functions=outcome.degraded_functions,
-            fault_report=fault_report,
+            fault_report=outcome.fault_report,
         )
         if not outcome.ok:
-            receipt = TransferReceipt(
+            return TransferReceipt(
                 sender, receiver, document_name, outcome.calls_made, 0, False,
                 error=outcome.error, **resilience,
             )
-            self.receipts.append(receipt)
-            return receipt
 
-        wire = outcome.document.to_xml()
-        delivered = Document.from_xml(wire)
+        with tracer.span("transfer.serialize") as span:
+            wire = outcome.document.to_xml()
+            delivered = Document.from_xml(wire)
+            span.set(bytes=len(wire.encode("utf-8")))
 
         # Defense in depth: the receiver validates with *its own*
         # vocabulary (the agreement plus its own schema for anything the
         # agreement leaves open) — never with the sender's claims.
-        report = validate(delivered, agreement, target.schema)
-        accepted = report.ok
+        with tracer.span("transfer.validate") as span:
+            report = validate(delivered, agreement, target.schema)
+            accepted = report.ok
+            span.set(accepted=accepted)
         if accepted:
             target.receive(store_as or document_name, delivered)
-        receipt = TransferReceipt(
+        return TransferReceipt(
             sender,
             receiver,
             document_name,
@@ -128,5 +222,3 @@ class PeerNetwork:
             error="" if accepted else str(report),
             **resilience,
         )
-        self.receipts.append(receipt)
-        return receipt

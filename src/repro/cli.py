@@ -11,15 +11,19 @@ Schema Enforcement module would be driven operationally:
   the declared signatures;
 - ``compat`` — the Section 6 check between two schema files;
 - ``inspect`` — document statistics (size, depth, embedded calls);
-- ``figures`` — regenerate the paper's automata figures as Graphviz DOT.
+- ``figures`` — regenerate the paper's automata figures as Graphviz DOT;
+- ``stats`` — render a trace captured with ``rewrite --trace`` as a span
+  tree.
 
 Usage::
 
     python -m repro.cli validate doc.xml schema.xsd
     python -m repro.cli rewrite doc.xml sender.xsd exchange.xsd -o out.xml
+    python -m repro.cli rewrite doc.xml s.xsd e.xsd --trace t.jsonl --metrics -
     python -m repro.cli compat sender.xsd exchange.xsd --k 2
     python -m repro.cli inspect doc.xml
     python -m repro.cli figures out/
+    python -m repro.cli stats t.jsonl
 """
 
 from __future__ import annotations
@@ -118,6 +122,8 @@ def _resilient_invoker(args, invoker):
 
 
 def cmd_rewrite(args) -> int:
+    from repro.obs import MetricsRegistry, Tracer, observing
+
     document = Document.from_xml(_read(args.document))
     sender = _load_schema(args.sender_schema)
     exchange = _load_schema(args.exchange_schema)
@@ -127,7 +133,25 @@ def cmd_rewrite(args) -> int:
     invoker, resilient = _resilient_invoker(
         args, _sampling_invoker(sender, args.seed)
     )
-    outcome = enforcer.enforce_document(document, invoker)
+    observe = args.trace or args.metrics
+    tracer, registry = Tracer(), MetricsRegistry()
+    if observe:
+        with observing(tracer, registry):
+            outcome = enforcer.enforce_document(document, invoker)
+    else:
+        outcome = enforcer.enforce_document(document, invoker)
+    if args.trace:
+        tracer.export_jsonl(args.trace)
+        print("trace: %d span(s) -> %s" % (len(tracer.finished()), args.trace),
+              file=sys.stderr)
+    if args.metrics:
+        text = registry.to_prometheus()
+        if args.metrics == "-":
+            sys.stdout.write(text)
+        else:
+            with open(args.metrics, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            print("metrics -> %s" % args.metrics, file=sys.stderr)
     if resilient is not None:
         print("resilience: %s" % resilient.report.summary(), file=sys.stderr)
     if not outcome.ok:
@@ -142,6 +166,11 @@ def cmd_rewrite(args) -> int:
     print(
         "rewritten with %d call(s): %s"
         % (outcome.calls_made, ", ".join(outcome.log.invoked) or "none"),
+        file=sys.stderr,
+    )
+    print(
+        "analysis cache: %d hit(s), %d miss(es)"
+        % (outcome.cache_hits, outcome.cache_misses),
         file=sys.stderr,
     )
     if outcome.degraded_functions:
@@ -229,6 +258,26 @@ def cmd_figures(args) -> int:
     return 0
 
 
+def cmd_stats(args) -> int:
+    """Render a JSONL trace (from ``rewrite --trace``) as a span tree."""
+    from repro.obs import render_span_dicts, spans_from_jsonl
+
+    spans = spans_from_jsonl(_read(args.trace))
+    if not spans:
+        print("no spans in %s" % args.trace, file=sys.stderr)
+        return 1
+    print(render_span_dicts(spans))
+    print("%d span(s), %.3fs total in root span(s)" % (
+        len(spans),
+        sum(
+            span.get("duration") or 0.0
+            for span in spans
+            if span.get("parent_id") is None
+        ),
+    ), file=sys.stderr)
+    return 0
+
+
 def cmd_inspect(args) -> int:
     document = Document.from_xml(_read(args.document))
     calls = [fc.name for _path, fc in document.function_nodes()]
@@ -282,6 +331,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-attempt timeout (simulated clock)")
     p.add_argument("--document-deadline", type=float, default=None,
                    help="deadline for the whole document (simulated clock)")
+    p.add_argument("--trace", metavar="PATH",
+                   help="export a JSONL span trace of the rewrite here")
+    p.add_argument("--metrics", metavar="PATH",
+                   help="export Prometheus-format metrics here ('-' = stdout)")
     p.set_defaults(func=cmd_rewrite)
 
     p = sub.add_parser("compat", help="Section 6 schema compatibility")
@@ -300,6 +353,10 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("inspect", help="document statistics")
     p.add_argument("document")
     p.set_defaults(func=cmd_inspect)
+
+    p = sub.add_parser("stats", help="render a JSONL trace as a span tree")
+    p.add_argument("trace")
+    p.set_defaults(func=cmd_stats)
 
     return parser
 

@@ -1,0 +1,42 @@
+"""repro.obs — zero-dependency observability for the exchange pipeline.
+
+Three pieces (see ``docs/OBSERVABILITY.md`` for the span taxonomy and
+metric names):
+
+- :mod:`repro.obs.trace` — hierarchical spans (``exchange → document →
+  node → analysis/product/game/invoke``) with a pluggable clock, a
+  ring-buffered in-memory sink, JSONL export and a tree renderer;
+- :mod:`repro.obs.metrics` — counters / gauges / histograms with
+  Prometheus-text, JSONL and human exports;
+- :mod:`repro.obs.context` — process-wide installation with null-object
+  defaults, so uninstrumented runs stay no-op-cheap.
+"""
+
+from repro.obs.context import install, metrics, observing, tracer, uninstall
+from repro.obs.metrics import (
+    NULL_METRICS,
+    SIZE_BUCKETS,
+    TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    SpanEvent,
+    Tracer,
+    render_span_dicts,
+    spans_from_jsonl,
+)
+
+__all__ = [
+    "Tracer", "NullTracer", "NULL_TRACER", "Span", "SpanEvent",
+    "render_span_dicts", "spans_from_jsonl",
+    "MetricsRegistry", "NullMetricsRegistry", "NULL_METRICS",
+    "Counter", "Gauge", "Histogram", "SIZE_BUCKETS", "TIME_BUCKETS",
+    "install", "uninstall", "observing", "tracer", "metrics",
+]

@@ -1,0 +1,81 @@
+"""Process-wide installation of the tracer and metrics registry.
+
+Instrumentation sites throughout the stack (engine, game solvers,
+automata ops, resilient invoker, SOAP transport, peer network) call
+:func:`tracer` / :func:`metrics` for the currently installed sinks.  By
+default both are null objects, so an uninstrumented run pays only a
+function call and a no-op per site.
+
+Typical use::
+
+    from repro import obs
+
+    with obs.observing() as (tracer, metrics):
+        network.send("alice", "bob", "front")
+    tracer.export_jsonl("trace.jsonl")
+    print(metrics.to_prometheus())
+
+:func:`install` wires the tracer's profiling hook into the registry
+(span durations become the ``repro_span_seconds`` histogram), so one
+call lights up both signals.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Optional, Tuple
+
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+from repro.obs.trace import NULL_TRACER, Tracer
+
+_state = {"tracer": NULL_TRACER, "metrics": NULL_METRICS}
+
+
+def tracer():
+    """The currently installed tracer (``NULL_TRACER`` by default)."""
+    return _state["tracer"]
+
+
+def metrics():
+    """The currently installed metrics registry (null by default)."""
+    return _state["metrics"]
+
+
+def install(tracer=None, metrics=None, bridge: bool = True) -> Tuple:
+    """Install a tracer and registry process-wide; returns ``(t, m)``.
+
+    Omitted arguments get fresh defaults (a real :class:`Tracer` /
+    :class:`MetricsRegistry`).  With ``bridge`` (the default) the
+    tracer's span-end hook feeds durations into the registry — done at
+    most once per (tracer, registry) pair, so re-installing is safe.
+    """
+    t = tracer if tracer is not None else Tracer()
+    m = metrics if metrics is not None else MetricsRegistry()
+    if (
+        bridge
+        and t.enabled
+        and m.enabled
+        and all(bridged is not m for bridged in t._bridged)
+    ):
+        t.add_hook(m.span_observer())
+        t._bridged.append(m)
+    _state["tracer"] = t
+    _state["metrics"] = m
+    return t, m
+
+
+def uninstall() -> None:
+    """Back to the null objects (tracing and metrics off)."""
+    _state["tracer"] = NULL_TRACER
+    _state["metrics"] = NULL_METRICS
+
+
+@contextmanager
+def observing(tracer=None, metrics=None, bridge: bool = True):
+    """Scoped :func:`install`: restores the previous sinks on exit."""
+    previous = dict(_state)
+    pair = install(tracer, metrics, bridge=bridge)
+    try:
+        yield pair
+    finally:
+        _state.update(previous)

@@ -1,0 +1,361 @@
+"""Counters, gauges and histograms for the exchange pipeline.
+
+A :class:`MetricsRegistry` owns named metrics with optional labels and
+exports them as Prometheus text format (``to_prometheus``), JSON Lines
+(``to_jsonl`` / ``from_jsonl`` round-trip) and a human ``summary()``.
+Everything is zero-dependency and deterministic: metrics are plain
+dictionaries, export orders are sorted, and nothing reads a clock —
+timing series are fed from span durations via :meth:`span_observer`
+(see :func:`repro.obs.context.install`, which bridges a tracer's
+profiling hook into the registry).
+
+The default registry is :data:`NULL_METRICS`, a null object whose
+``inc``/``set``/``observe`` do nothing, so uninstrumented runs pay only
+a method call per site; hot loops can pre-check ``metrics.enabled``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+#: Generic size buckets (product nodes, word lengths, bytes, ...).
+SIZE_BUCKETS = (1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
+                1000.0, 2500.0, 5000.0, 10000.0)
+#: Latency buckets in seconds (spans, rewrites, invocations).
+TIME_BUCKETS = (0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+                0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0)
+
+#: A label set, normalized for use as a dict key.
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: dict) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(key: LabelKey, extra: Tuple[Tuple[str, str], ...] = ()) -> str:
+    pairs = key + extra
+    if not pairs:
+        return ""
+    return "{%s}" % ",".join(
+        '%s="%s"' % (name, value.replace("\\", "\\\\").replace('"', '\\"'))
+        for name, value in pairs
+    )
+
+
+class Counter:
+    """A monotonically increasing value, optionally per label set."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self.values: Dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        key = _label_key(labels)
+        self.values[key] = self.values.get(key, 0.0) + amount
+
+    def value(self, **labels) -> float:
+        return self.values.get(_label_key(labels), 0.0)
+
+    @property
+    def total(self) -> float:
+        """Sum over every label set."""
+        return sum(self.values.values())
+
+    def samples(self) -> Iterable[Tuple[str, float]]:
+        for key in sorted(self.values):
+            yield self.name + _format_labels(key), self.values[key]
+
+
+class Gauge(Counter):
+    """A value that can go up and down (breaker states, cache sizes)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels) -> None:
+        self.values[_label_key(labels)] = float(value)
+
+
+class Histogram:
+    """Cumulative-bucket histogram, Prometheus-style."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "",
+                 buckets: Tuple[float, ...] = SIZE_BUCKETS):
+        self.name = name
+        self.help = help
+        self.buckets = tuple(sorted(buckets))
+        self.counts: Dict[LabelKey, List[int]] = {}
+        self.sums: Dict[LabelKey, float] = {}
+        self.totals: Dict[LabelKey, int] = {}
+
+    def observe(self, value: float, **labels) -> None:
+        key = _label_key(labels)
+        counts = self.counts.get(key)
+        if counts is None:
+            counts = self.counts[key] = [0] * len(self.buckets)
+            self.sums[key] = 0.0
+            self.totals[key] = 0
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                counts[index] += 1
+        self.sums[key] += value
+        self.totals[key] += 1
+
+    def count(self, **labels) -> int:
+        return self.totals.get(_label_key(labels), 0)
+
+    def sum(self, **labels) -> float:
+        return self.sums.get(_label_key(labels), 0.0)
+
+    def samples(self) -> Iterable[Tuple[str, float]]:
+        for key in sorted(self.counts):
+            cumulative = self.counts[key]
+            for bound, count in zip(self.buckets, cumulative):
+                yield (
+                    self.name + "_bucket"
+                    + _format_labels(key, (("le", _format_value(bound)),)),
+                    float(count),
+                )
+            yield (
+                self.name + "_bucket" + _format_labels(key, (("le", "+Inf"),)),
+                float(self.totals[key]),
+            )
+            yield self.name + "_sum" + _format_labels(key), self.sums[key]
+            yield self.name + "_count" + _format_labels(key), float(
+                self.totals[key]
+            )
+
+
+class MetricsRegistry:
+    """Named metrics with Prometheus / JSONL / human exports."""
+
+    enabled = True
+
+    def __init__(self):
+        self._metrics: Dict[str, object] = {}
+
+    # -- creation (memoized by name) --------------------------------------
+
+    def _get(self, name: str, factory, kind: str):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = factory()
+        elif metric.kind != kind:
+            raise ValueError(
+                "metric %r already registered as a %s" % (name, metric.kind)
+            )
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get(name, lambda: Counter(name, help), "counter")
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get(name, lambda: Gauge(name, help), "gauge")
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Optional[Tuple[float, ...]] = None) -> Histogram:
+        return self._get(
+            name,
+            lambda: Histogram(name, help, buckets or SIZE_BUCKETS),
+            "histogram",
+        )
+
+    def get(self, name: str):
+        """Look a metric up without creating it."""
+        return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    # -- the tracer bridge -------------------------------------------------
+
+    def span_observer(self) -> Callable:
+        """A profiling hook feeding span durations into this registry.
+
+        Installed on a :class:`repro.obs.trace.Tracer` it maintains
+        ``repro_spans_total{name=...}`` and the
+        ``repro_span_seconds{name=...}`` latency histogram — which is
+        where rewrite latency, invocation latency and validation timing
+        come from.
+        """
+        spans = self.counter("repro_spans_total", "Finished spans by name")
+        seconds = self.histogram(
+            "repro_span_seconds", "Span wall time by name", TIME_BUCKETS
+        )
+
+        def observe(span) -> None:
+            spans.inc(name=span.name)
+            duration = span.duration
+            if duration is not None:
+                seconds.observe(duration, name=span.name)
+
+        return observe
+
+    # -- export ------------------------------------------------------------
+
+    def to_prometheus(self) -> str:
+        """The Prometheus text exposition format."""
+        lines: List[str] = []
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if metric.help:
+                lines.append("# HELP %s %s" % (name, metric.help))
+            lines.append("# TYPE %s %s" % (name, metric.kind))
+            for sample, value in metric.samples():
+                lines.append("%s %s" % (sample, _format_value(value)))
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_jsonl(self) -> str:
+        """One JSON object per (metric, label set); see :meth:`from_jsonl`."""
+        lines: List[str] = []
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, Histogram):
+                for key in sorted(metric.counts):
+                    lines.append(json.dumps({
+                        "name": name, "type": metric.kind,
+                        "help": metric.help, "labels": dict(key),
+                        "buckets": list(metric.buckets),
+                        "counts": list(metric.counts[key]),
+                        "sum": metric.sums[key], "count": metric.totals[key],
+                    }, sort_keys=True))
+            else:
+                for key in sorted(metric.values):
+                    lines.append(json.dumps({
+                        "name": name, "type": metric.kind,
+                        "help": metric.help, "labels": dict(key),
+                        "value": metric.values[key],
+                    }, sort_keys=True))
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "MetricsRegistry":
+        """Rebuild a registry from :meth:`to_jsonl` output (round-trip)."""
+        registry = cls()
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            record = json.loads(line)
+            name, labels = record["name"], record["labels"]
+            if record["type"] == "histogram":
+                histogram = registry.histogram(
+                    name, record.get("help", ""),
+                    tuple(record["buckets"]),
+                )
+                key = _label_key(labels)
+                histogram.counts[key] = list(record["counts"])
+                histogram.sums[key] = record["sum"]
+                histogram.totals[key] = record["count"]
+            elif record["type"] == "gauge":
+                registry.gauge(name, record.get("help", "")).set(
+                    record["value"], **labels
+                )
+            else:
+                registry.counter(name, record.get("help", "")).inc(
+                    record["value"], **labels
+                )
+        return registry
+
+    def summary(self) -> str:
+        """A compact human rendering (totals, histogram count/mean)."""
+        lines: List[str] = []
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, Histogram):
+                count = sum(metric.totals.values())
+                total = sum(metric.sums.values())
+                mean = total / count if count else 0.0
+                lines.append(
+                    "%s: count=%d sum=%s mean=%s"
+                    % (name, count, _format_value(round(total, 6)),
+                       _format_value(round(mean, 6)))
+                )
+            else:
+                for key in sorted(metric.values):
+                    label_text = _format_labels(key)
+                    lines.append(
+                        "%s%s: %s"
+                        % (name, label_text,
+                           _format_value(metric.values[key]))
+                    )
+        return "\n".join(lines)
+
+
+class _NullMetric:
+    """Shared do-nothing counter/gauge/histogram."""
+
+    __slots__ = ()
+    kind = "null"
+
+    def inc(self, _amount: float = 1.0, **_labels) -> None:
+        pass
+
+    def set(self, _value: float, **_labels) -> None:
+        pass
+
+    def observe(self, _value: float, **_labels) -> None:
+        pass
+
+    def value(self, **_labels) -> float:
+        return 0.0
+
+    def count(self, **_labels) -> int:
+        return 0
+
+    def sum(self, **_labels) -> float:  # noqa: A003 - mirrors Histogram
+        return 0.0
+
+
+_NULL_METRIC = _NullMetric()
+
+
+class NullMetricsRegistry:
+    """The null-object default registry: records nothing."""
+
+    enabled = False
+
+    def counter(self, name: str = "", help: str = "") -> _NullMetric:
+        return _NULL_METRIC
+
+    def gauge(self, name: str = "", help: str = "") -> _NullMetric:
+        return _NULL_METRIC
+
+    def histogram(self, name: str = "", help: str = "",
+                  buckets=None) -> _NullMetric:
+        return _NULL_METRIC
+
+    def get(self, _name: str) -> None:
+        return None
+
+    def names(self) -> List[str]:
+        return []
+
+    def span_observer(self) -> Callable:
+        return lambda _span: None
+
+    def to_prometheus(self) -> str:
+        return ""
+
+    def to_jsonl(self) -> str:
+        return ""
+
+    def summary(self) -> str:
+        return ""
+
+
+NULL_METRICS = NullMetricsRegistry()

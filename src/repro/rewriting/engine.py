@@ -31,6 +31,7 @@ from repro.errors import (
     RewriteError,
     SchemaError,
 )
+from repro.obs import context as obs
 from repro.regex.ast import Regex
 from repro.rewriting.cost import UNIT, CostModel
 from repro.rewriting.lazy import analyze_safe_lazy
@@ -59,6 +60,10 @@ class RewriteResult:
     #: Functions the engine stopped invoking after the resilient layer
     #: gave up on them (AUTO-mode graceful degradation).
     degraded_functions: Tuple[str, ...] = ()
+    #: Analysis-cache efficacy during this rewrite (identical
+    #: (word, target) problems recur across sibling nodes).
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def calls_made(self) -> int:
@@ -122,18 +127,41 @@ class RewriteEngine:
         """
         log = InvocationLog()
         stats = {"words": 0, "product": 0, "mode": SAFE}
-        root = document.root
-        if isinstance(root, Text):
-            return RewriteResult(document, log, SAFE)
-        new_root = self._rewrite_node(root, invoker, log, stats)
-        return RewriteResult(
-            Document(new_root),
-            log,
-            stats["mode"],
-            words_rewritten=stats["words"],
-            product_nodes=stats["product"],
-            degraded_functions=tuple(sorted(stats.get("dead", ()))),
-        )
+        hits_before, misses_before = self.cache_stats
+        with obs.tracer().span("document", mode=self.mode, k=self.k) as span:
+            root = document.root
+            if isinstance(root, Text):
+                result = RewriteResult(document, log, SAFE)
+            else:
+                new_root = self._rewrite_node(root, invoker, log, stats)
+                hits, misses = self.cache_stats
+                result = RewriteResult(
+                    Document(new_root),
+                    log,
+                    stats["mode"],
+                    words_rewritten=stats["words"],
+                    product_nodes=stats["product"],
+                    degraded_functions=tuple(sorted(stats.get("dead", ()))),
+                    cache_hits=hits - hits_before,
+                    cache_misses=misses - misses_before,
+                )
+            span.set(
+                mode_used=result.mode_used,
+                words=result.words_rewritten,
+                product_nodes=result.product_nodes,
+                calls=result.calls_made,
+                cache_hits=result.cache_hits,
+                cache_misses=result.cache_misses,
+            )
+        metrics = obs.metrics()
+        if metrics.enabled:
+            metrics.counter(
+                "repro_documents_rewritten_total", "Documents rewritten"
+            ).inc(mode=result.mode_used)
+            metrics.histogram(
+                "repro_document_words", "Children words per document"
+            ).observe(result.words_rewritten)
+        return result
 
     def can_rewrite(self, document: Document) -> bool:
         """Static check: does the requested guarantee hold for the document?
@@ -242,17 +270,28 @@ class RewriteEngine:
         target = self._desugared(target, word)
         stats["words"] += 1
         dead = stats.setdefault("dead", set())
-        while True:
-            try:
-                return self._rewrite_word_once(
-                    children, word, target, invoker, log, stats, dead
-                )
-            except FunctionUnavailableError as fault:
-                name = getattr(fault, "function", "")
-                if self.mode != AUTO or not name or name in dead:
-                    raise
-                dead.add(name)
-                stats["degradations"] = stats.get("degradations", 0) + 1
+        tracer = obs.tracer()
+        with tracer.span(
+            "node", word=".".join(word) or "eps", length=len(word)
+        ) as span:
+            while True:
+                try:
+                    result = self._rewrite_word_once(
+                        children, word, target, invoker, log, stats, dead
+                    )
+                    span.set(mode=stats["mode"])
+                    return result
+                except FunctionUnavailableError as fault:
+                    name = getattr(fault, "function", "")
+                    if self.mode != AUTO or not name or name in dead:
+                        raise
+                    dead.add(name)
+                    stats["degradations"] = stats.get("degradations", 0) + 1
+                    tracer.event("degrade", function=name)
+                    obs.metrics().counter(
+                        "repro_degradations_total",
+                        "Words re-analyzed around a dead function",
+                    ).inc(function=name)
 
     def _rewrite_word_once(
         self,
@@ -371,15 +410,43 @@ class RewriteEngine:
         are immutable after construction — execution only reads them.
         """
         if not self.cache:
-            return compute()
+            return self._analyzed(kind, "off", compute)
         key = (kind, word, target, frozenset(dead))
         analysis = self._analysis_cache.get(key)
         if analysis is None:
             self._cache_misses += 1
-            analysis = compute()
+            analysis = self._analyzed(kind, "miss", compute)
             self._analysis_cache[key] = analysis
         else:
             self._cache_hits += 1
+            obs.tracer().event("analysis.cache", kind=kind, outcome="hit")
+            metrics = obs.metrics()
+            if metrics.enabled:
+                metrics.counter(
+                    "repro_analysis_cache_total", "Analysis cache lookups"
+                ).inc(outcome="hit")
+        return analysis
+
+    def _analyzed(self, kind: str, cache_outcome: str, compute):
+        """Run one word analysis under an ``analysis`` span."""
+        with obs.tracer().span("analysis", kind=kind,
+                               cache=cache_outcome) as span:
+            analysis = compute()
+            span.set(
+                exists=analysis.exists,
+                product_nodes=analysis.stats.product_nodes,
+                explored=analysis.stats.product_explored,
+            )
+        metrics = obs.metrics()
+        if metrics.enabled:
+            if cache_outcome == "miss":
+                metrics.counter(
+                    "repro_analysis_cache_total", "Analysis cache lookups"
+                ).inc(outcome="miss")
+            metrics.histogram(
+                "repro_product_nodes",
+                "Reachable product nodes per word analysis",
+            ).observe(analysis.stats.product_nodes, kind=kind)
         return analysis
 
     # -- plumbing -------------------------------------------------------------

@@ -25,6 +25,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.obs import context as obs
 from repro.regex.ast import Regex
 from repro.rewriting.expansion import build_expansion
 from repro.rewriting.safe import (
@@ -55,9 +56,15 @@ def analyze_safe_lazy(
     stops as soon as the initial state is marked (the answer is already
     "unsafe").
     """
-    alphabet = problem_alphabet(word, output_types, target)
-    expansion = build_expansion(word, output_types, k, invocable)
-    comp = target_complement(target, alphabet)
+    tracer = obs.tracer()
+    with tracer.span("product", algorithm="safe-lazy", k=k) as span:
+        alphabet = problem_alphabet(word, output_types, target)
+        expansion = build_expansion(word, output_types, k, invocable)
+        comp = target_complement(target, alphabet)
+        span.set(
+            expansion_states=expansion.n_states,
+            complement_states=comp.n_states,
+        )
 
     analysis = SafeAnalysis(
         word=tuple(word),
@@ -98,6 +105,7 @@ def analyze_safe_lazy(
     initial = analysis.initial
     frontier = deque([initial])
     analysis.explored.add(initial)
+    game_span = tracer.start("game", algorithm="safe-lazy")
     while frontier:
         if early_exit and initial in marked:
             break
@@ -140,4 +148,11 @@ def analyze_safe_lazy(
     analysis.stats.product_nodes = len(analysis.explored)
     analysis.stats.product_explored = len(expanded)
     analysis.stats.marked_nodes = len(marked)
+    game_span.set(
+        product_nodes=len(analysis.explored),
+        explored=len(expanded),
+        marked=len(marked),
+        exists=analysis.exists,
+    )
+    tracer.finish(game_span)
     return analysis

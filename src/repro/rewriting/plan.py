@@ -11,8 +11,9 @@ service outputs could lead to different choices downstream.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 #: What the strategy does with one function occurrence.
 KEEP = "keep"
@@ -40,13 +41,19 @@ class InvocationRecord:
     depth: int  # dependency depth (1 = call was in the original word)
     output_symbols: Tuple[str, ...]  # root symbols of the returned forest
     backtracked: bool = False  # possible-rewriting executor gave up on it
+    #: Wall time of the call as the executor's clock saw it (the
+    #: invoker's pluggable clock when it carries one, so deterministic
+    #: under ``SimulatedClock``); None when the executor did not time it.
+    elapsed: Optional[float] = None
 
     def __str__(self) -> str:
         status = " (backtracked)" if self.backtracked else ""
-        return "%s -> [%s] depth=%d%s" % (
+        timing = "" if self.elapsed is None else " in %.3fs" % self.elapsed
+        return "%s -> [%s] depth=%d%s%s" % (
             self.function,
             ".".join(self.output_symbols),
             self.depth,
+            timing,
             status,
         )
 
@@ -68,16 +75,20 @@ class InvocationLog:
         depth: int,
         output_symbols: Tuple[str, ...],
         call_cost: float = 0.0,
+        elapsed: Optional[float] = None,
     ) -> None:
         """Record one performed invocation."""
-        self.records.append(InvocationRecord(function, depth, output_symbols))
+        self.records.append(
+            InvocationRecord(function, depth, output_symbols, elapsed=elapsed)
+        )
         self.cost += call_cost
 
     def mark_backtracked(self, index: int) -> None:
         """Flag a recorded call as abandoned by backtracking."""
         record = self.records[index]
         self.records[index] = InvocationRecord(
-            record.function, record.depth, record.output_symbols, True
+            record.function, record.depth, record.output_symbols, True,
+            record.elapsed,
         )
 
     @property
@@ -90,6 +101,14 @@ class InvocationLog:
         """Calls whose results made it into the final document."""
         return [record for record in self.records if not record.backtracked]
 
+    @property
+    def total_elapsed(self) -> float:
+        """Summed wall time of the timed calls (untimed ones count 0)."""
+        return sum(
+            record.elapsed for record in self.records
+            if record.elapsed is not None
+        )
+
     def __len__(self) -> int:
         return len(self.records)
 
@@ -97,3 +116,20 @@ class InvocationLog:
         if not self.records:
             return "no calls"
         return "; ".join(str(record) for record in self.records)
+
+
+def timed_invoke(invoker, call) -> Tuple[Sequence, float]:
+    """Invoke and measure: ``(forest, elapsed)``.
+
+    Uses the invoker's own pluggable clock when it carries one (a
+    :class:`repro.services.resilience.ResilientInvoker` does — including
+    its ``SimulatedClock``, which keeps timings deterministic in tests),
+    falling back to ``time.perf_counter``.
+    """
+    clock = getattr(invoker, "clock", None)
+    now: Callable[[], float] = (
+        clock.now if clock is not None else time.perf_counter
+    )
+    started = now()
+    forest = tuple(invoker(call))
+    return forest, now() - started

@@ -27,9 +27,10 @@ from repro.errors import (
     RewriteExecutionError,
     ServiceFault,
 )
+from repro.obs import context as obs
 from repro.regex.ast import Regex
 from repro.rewriting.expansion import Edge, Expansion, build_expansion
-from repro.rewriting.plan import InvocationLog
+from repro.rewriting.plan import InvocationLog, timed_invoke
 from repro.rewriting.safe import GameStats, Invoker, PNode, problem_alphabet
 
 
@@ -116,9 +117,15 @@ def analyze_possible(
 
     Polynomial in the schemas (no complementation), as Section 5 notes.
     """
-    alphabet = problem_alphabet(word, output_types, target)
-    expansion = build_expansion(word, output_types, k, invocable)
-    target_dfa = complete(determinize(glushkov_nfa(target), alphabet))
+    tracer = obs.tracer()
+    with tracer.span("product", algorithm="possible", k=k) as span:
+        alphabet = problem_alphabet(word, output_types, target)
+        expansion = build_expansion(word, output_types, k, invocable)
+        target_dfa = complete(determinize(glushkov_nfa(target), alphabet))
+        span.set(
+            expansion_states=expansion.n_states,
+            target_states=target_dfa.n_states,
+        )
 
     analysis = PossibleAnalysis(
         word=tuple(word),
@@ -136,30 +143,37 @@ def analyze_possible(
         ),
     )
 
-    # Forward reachability.
-    reachable: Set[PNode] = {analysis.initial}
-    edges_in: Dict[PNode, List[PNode]] = {}
-    worklist = [analysis.initial]
-    while worklist:
-        node = worklist.pop()
-        for _edge, _symbol, succ in _successors(analysis, node):
-            edges_in.setdefault(succ, []).append(node)
-            if succ not in reachable:
-                reachable.add(succ)
-                worklist.append(succ)
+    with tracer.span("game", algorithm="possible") as span:
+        # Forward reachability.
+        reachable: Set[PNode] = {analysis.initial}
+        edges_in: Dict[PNode, List[PNode]] = {}
+        worklist = [analysis.initial]
+        while worklist:
+            node = worklist.pop()
+            for _edge, _symbol, succ in _successors(analysis, node):
+                edges_in.setdefault(succ, []).append(node)
+                if succ not in reachable:
+                    reachable.add(succ)
+                    worklist.append(succ)
 
-    # Backward co-reachability from accepting nodes (step 5).
-    alive = {node for node in reachable if analysis.is_accepting(node)}
-    worklist = list(alive)
-    while worklist:
-        node = worklist.pop()
-        for previous in edges_in.get(node, ()):
-            if previous not in alive:
-                alive.add(previous)
-                worklist.append(previous)
+        # Backward co-reachability from accepting nodes (step 5).
+        alive = {node for node in reachable if analysis.is_accepting(node)}
+        worklist = list(alive)
+        while worklist:
+            node = worklist.pop()
+            for previous in edges_in.get(node, ()):
+                if previous not in alive:
+                    alive.add(previous)
+                    worklist.append(previous)
 
-    analysis.alive = alive
-    analysis.exists = analysis.initial in alive
+        analysis.alive = alive
+        analysis.exists = analysis.initial in alive
+        span.set(
+            product_nodes=len(reachable),
+            alive=len(alive),
+            exists=analysis.exists,
+        )
+
     analysis.stats.product_nodes = len(reachable)
     analysis.stats.product_explored = len(reachable)
     analysis.stats.marked_nodes = len(alive)
@@ -288,7 +302,7 @@ def _search(
             raise RewriteExecutionError("invocation budget exhausted")
         budget[0] -= 1
         try:
-            forest = tuple(invoker(child))
+            forest, elapsed = timed_invoke(invoker, child)
         except ServiceFault as fault:
             # A faulted invocation fails only this branch: keep searching
             # other options (step 9's backtracking extended to faults).
@@ -299,7 +313,7 @@ def _search(
         record_index = len(log.records)
         log.add(
             child.name, depth, tuple(symbol_of(t) for t in forest),
-            cost_of(child.name),
+            cost_of(child.name), elapsed=elapsed,
         )
         new_items = (
             tuple(("node", tree, depth + 1) for tree in forest)

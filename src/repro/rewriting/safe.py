@@ -33,9 +33,17 @@ from repro.automata.glushkov import glushkov_nfa
 from repro.automata.symbols import Alphabet, class_matches, concretize_class, regex_symbols
 from repro.doc.nodes import FunctionCall, Node, symbol_of
 from repro.errors import NoSafeRewritingError, RewriteExecutionError, ServiceFault
+from repro.obs import context as obs
 from repro.regex.ast import Regex
 from repro.rewriting.expansion import Edge, Expansion, build_expansion
-from repro.rewriting.plan import DEPENDS, INVOKE, KEEP, Decision, InvocationLog
+from repro.rewriting.plan import (
+    DEPENDS,
+    INVOKE,
+    KEEP,
+    Decision,
+    InvocationLog,
+    timed_invoke,
+)
 
 #: A product node: (expansion state, complement state).
 PNode = Tuple[int, int]
@@ -254,49 +262,58 @@ def analyze_safe(
     :func:`repro.rewriting.lazy.analyze_safe_lazy` for the pruned variant
     the paper's implementation uses (Section 7).
     """
-    alphabet = problem_alphabet(word, output_types, target)
-    expansion = build_expansion(word, output_types, k, invocable)
-    comp = target_complement(target, alphabet)
+    tracer = obs.tracer()
+    with tracer.span("product", algorithm="safe-eager", k=k) as span:
+        alphabet = problem_alphabet(word, output_types, target)
+        expansion = build_expansion(word, output_types, k, invocable)
+        comp = target_complement(target, alphabet)
 
-    analysis = SafeAnalysis(
-        word=tuple(word),
-        k=k,
-        target=target,
-        expansion=expansion,
-        comp=comp,
-        alphabet=alphabet,
-        marked=set(),
-        explored=set(),
-        exists=False,
-        stats=GameStats(
+        analysis = SafeAnalysis(
+            word=tuple(word),
+            k=k,
+            target=target,
+            expansion=expansion,
+            comp=comp,
+            alphabet=alphabet,
+            marked=set(),
+            explored=set(),
+            exists=False,
+            stats=GameStats(
+                expansion_states=expansion.n_states,
+                expansion_edges=len(expansion.edges),
+                complement_states=comp.n_states,
+            ),
+        )
+
+        # Forward exploration of the reachable product (steps 11-14).
+        initial = analysis.initial
+        node_alts: Dict[PNode, List[Alternative]] = {}
+        worklist = [initial]
+        analysis.explored.add(initial)
+        while worklist:
+            node = worklist.pop()
+            alts = alternatives(expansion, analysis, node)
+            node_alts[node] = alts
+            for alt in alts:
+                for succ in alt.options:
+                    if succ not in analysis.explored:
+                        analysis.explored.add(succ)
+                        worklist.append(succ)
+
+        for node in analysis.explored:
+            node_alts.setdefault(node, [])
+        span.set(
             expansion_states=expansion.n_states,
-            expansion_edges=len(expansion.edges),
             complement_states=comp.n_states,
-        ),
-    )
-
-    # Forward exploration of the reachable product (steps 11-14).
-    initial = analysis.initial
-    node_alts: Dict[PNode, List[Alternative]] = {}
-    worklist = [initial]
-    analysis.explored.add(initial)
-    while worklist:
-        node = worklist.pop()
-        alts = alternatives(expansion, analysis, node)
-        node_alts[node] = alts
-        for alt in alts:
-            for succ in alt.options:
-                if succ not in analysis.explored:
-                    analysis.explored.add(succ)
-                    worklist.append(succ)
-
-    for node in analysis.explored:
-        node_alts.setdefault(node, [])
+            product_nodes=len(analysis.explored),
+        )
 
     # Backward marking fixpoint (steps 15-17).
-    _mark(analysis, node_alts)
+    with tracer.span("game", algorithm="safe-eager") as span:
+        _mark(analysis, node_alts)
+        analysis.exists = initial not in analysis.marked
+        span.set(marked=len(analysis.marked), exists=analysis.exists)
 
-    analysis.exists = initial not in analysis.marked
     analysis.stats.product_nodes = len(analysis.explored)
     analysis.stats.product_explored = len(analysis.explored)
     analysis.stats.marked_nodes = len(analysis.marked)
@@ -411,7 +428,7 @@ def _consume(
         invoke_edge = expansion.edge(edge.invoke_edge)
         copy = expansion.copies[invoke_edge.copy]
         try:
-            forest = tuple(invoker(child))
+            forest, elapsed = timed_invoke(invoker, child)
         except ServiceFault as fault:
             # The strategy chose to invoke because keeping was unsafe, so
             # there is no local alternative; annotate the fault with the
@@ -424,6 +441,7 @@ def _consume(
             depth,
             tuple(symbol_of(t) for t in forest),
             cost_of(child.name),
+            elapsed=elapsed,
         )
         inner: PNode = (invoke_edge.target, p)
         if analysis.is_marked(inner):

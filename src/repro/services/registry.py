@@ -16,6 +16,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.doc.nodes import FunctionCall, Node
 from repro.errors import AccessDeniedError, UnknownServiceError
+from repro.obs import context as obs
 from repro.schema.model import FunctionSignature
 from repro.services.acl import AccessControlList
 from repro.services.service import Operation, Service
@@ -104,6 +105,15 @@ class ServiceRegistry:
             operation.name, call.namespace or service.namespace, call.params
         )
         response = self._serve(service, request)
+        tracer = obs.tracer()
+        if tracer.enabled:
+            span = tracer.current()
+            if span is not None:
+                span.set(
+                    endpoint=service.endpoint,
+                    request_bytes=len(request.encode("utf-8")),
+                    response_bytes=len(response.encode("utf-8")),
+                )
         envelope = raise_if_fault(decode_response(response))
         return envelope.forest
 
@@ -134,7 +144,21 @@ class ServiceRegistry:
             return self.invoke(call, principal)
 
         if resilience is None:
-            return invoker
+            # The resilient wrapper emits its own ``invoke`` span; give
+            # the plain path one too so traces look the same either way.
+            def traced(call: FunctionCall) -> Tuple[Node, ...]:
+                tracer = obs.tracer()
+                if not tracer.enabled:
+                    return invoker(call)
+                with tracer.span(
+                    "invoke", function=call.name,
+                    endpoint=call.endpoint or call.name,
+                ) as span:
+                    forest = invoker(call)
+                    span.set(outcome="ok", outputs=len(forest))
+                    return forest
+
+            return traced
 
         from repro.services.resilience import ResilientInvoker
 

@@ -41,6 +41,7 @@ from repro.errors import (
     ServiceFault,
     TransientFault,
 )
+from repro.obs import context as obs
 
 #: What a resilient invoker wraps and what it is: ``FunctionCall -> forest``.
 Invoker = Callable[[FunctionCall], Sequence[Node]]
@@ -283,12 +284,42 @@ class ResilientInvoker:
     # -- the invoker ------------------------------------------------------
 
     def __call__(self, call: FunctionCall) -> Sequence[Node]:
-        policy, report, clock = self.policy, self.report, self.clock
         try:
             endpoint = self._endpoint_of(call)
         except Exception:
             endpoint = call.endpoint or call.name
-        report.calls += 1
+        self.report.calls += 1
+        metrics = obs.metrics()
+        if metrics.enabled:
+            metrics.counter(
+                "repro_invocations_total", "Logical invocations requested"
+            ).inc(function=call.name)
+
+        with obs.tracer().span(
+            "invoke", function=call.name, endpoint=endpoint
+        ) as span:
+            forest = self._call_with_retries(call, endpoint, metrics)
+            span.set(outcome="ok", outputs=len(forest))
+            return forest
+
+    def _breaker_opened(self, delta: int, endpoint: str) -> None:
+        """Account for breaker open transitions caused by one failure."""
+        self.report.breaker_opens += delta
+        if delta:
+            obs.tracer().event("breaker-open", endpoint=endpoint)
+            metrics = obs.metrics()
+            if metrics.enabled:
+                metrics.counter(
+                    "repro_breaker_transitions_total",
+                    "Circuit breaker state transitions",
+                ).inc(delta, to="open", endpoint=endpoint)
+
+    def _call_with_retries(
+        self, call: FunctionCall, endpoint: str, metrics
+    ) -> Sequence[Node]:
+        """The retry/breaker/deadline loop for one logical call."""
+        policy, report, clock = self.policy, self.report, self.clock
+        tracer = obs.tracer()
 
         if call.name in self._dead:
             # Fail fast: this function already exhausted its chances in
@@ -325,11 +356,23 @@ class ResilientInvoker:
 
             if not breaker.allow(now):
                 report.breaker_rejections += 1
+                tracer.event("breaker-rejected", endpoint=endpoint)
+                if metrics.enabled:
+                    metrics.counter(
+                        "repro_breaker_rejections_total",
+                        "Fast failures while a breaker was open",
+                    ).inc(endpoint=endpoint)
                 last_fault = TransientFault(
                     "circuit open for endpoint %r" % endpoint
                 )
             else:
                 report.attempts += 1
+                tracer.event("attempt", n=attempt)
+                if metrics.enabled:
+                    metrics.counter(
+                        "repro_invocation_attempts_total",
+                        "Physical tries against services",
+                    ).inc(function=call.name)
                 started = clock.now()
                 opens_before = breaker.opens
                 try:
@@ -338,7 +381,16 @@ class ResilientInvoker:
                     transient = policy.classify(fault)
                     self._record_fault(call, transient=transient)
                     breaker.record_failure(clock.now())
-                    report.breaker_opens += breaker.opens - opens_before
+                    self._breaker_opened(
+                        breaker.opens - opens_before, endpoint
+                    )
+                    kind = "transient" if transient else "permanent"
+                    tracer.event("fault", kind=kind, function=call.name)
+                    if metrics.enabled:
+                        metrics.counter(
+                            "repro_invocation_faults_total",
+                            "Faults observed by the resilient invoker",
+                        ).inc(kind=kind)
                     last_fault = fault
                     if not transient:
                         raise self._give_up(
@@ -353,7 +405,18 @@ class ResilientInvoker:
                         report.timeouts += 1
                         self._count(report.faults_by_function, call.name)
                         breaker.record_failure(clock.now())
-                        report.breaker_opens += breaker.opens - opens_before
+                        self._breaker_opened(
+                            breaker.opens - opens_before, endpoint
+                        )
+                        tracer.event(
+                            "fault", kind="timeout", function=call.name,
+                            elapsed=elapsed,
+                        )
+                        if metrics.enabled:
+                            metrics.counter(
+                                "repro_invocation_faults_total",
+                                "Faults observed by the resilient invoker",
+                            ).inc(kind="timeout")
                         last_fault = TransientFault(
                             "call to %r timed out after %.3fs (limit %.3fs)"
                             % (call.name, elapsed, policy.call_timeout)
@@ -374,6 +437,16 @@ class ResilientInvoker:
             report.retries += 1
             self._count(report.retries_by_function, call.name)
             report.backoff_seconds += delay
+            tracer.event("retry", delay=round(delay, 6))
+            if metrics.enabled:
+                metrics.counter(
+                    "repro_invocation_retries_total",
+                    "Backoff-then-try-again transitions",
+                ).inc(function=call.name)
+                metrics.counter(
+                    "repro_backoff_seconds_total",
+                    "Total backoff delay incurred",
+                ).inc(delay)
             clock.sleep(delay)
 
     # -- internals --------------------------------------------------------

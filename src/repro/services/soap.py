@@ -31,6 +31,16 @@ from repro.errors import (
     ServiceFault,
     TransientFault,
 )
+from repro.obs import context as obs
+
+
+def _count_bytes(direction: str, kind: str, xml_text: str) -> None:
+    """Record envelope sizes in ``repro_soap_bytes_total`` when metering."""
+    metrics = obs.metrics()
+    if metrics.enabled:
+        metrics.counter(
+            "repro_soap_bytes_total", "SOAP envelope bytes on the wire"
+        ).inc(len(xml_text.encode("utf-8")), direction=direction, kind=kind)
 
 SOAP_NS = "http://schemas.xmlsoap.org/soap/envelope/"
 _ENVELOPE = "{%s}Envelope" % SOAP_NS
@@ -73,12 +83,16 @@ def _wrap(operation: str, namespace: str, forest: Sequence[Node], tag: str) -> s
 
 def encode_request(operation: str, namespace: str, params: Sequence[Node]) -> str:
     """Serialize an invocation request."""
-    return _wrap(operation, namespace, params, "param")
+    xml_text = _wrap(operation, namespace, params, "param")
+    _count_bytes("out", "request", xml_text)
+    return xml_text
 
 
 def encode_response(operation: str, namespace: str, results: Sequence[Node]) -> str:
     """Serialize an invocation response."""
-    return _wrap(operation + "Response", namespace, results, "result")
+    xml_text = _wrap(operation + "Response", namespace, results, "result")
+    _count_bytes("out", "response", xml_text)
+    return xml_text
 
 
 def encode_fault(fault_code: str, fault_string: str) -> str:
@@ -142,11 +156,13 @@ def _decode(xml_text: str, expected_tag: str) -> SoapEnvelope:
 
 def decode_request(xml_text: str) -> SoapEnvelope:
     """Parse a request envelope back into the parameter forest."""
+    _count_bytes("in", "request", xml_text)
     return _decode(xml_text, "param")
 
 
 def decode_response(xml_text: str) -> SoapEnvelope:
     """Parse a response envelope; faults become :class:`SoapEnvelope`s too."""
+    _count_bytes("in", "response", xml_text)
     envelope = _decode(xml_text, "result")
     return envelope
 

@@ -1,0 +1,277 @@
+"""Unit tests for the observability layer (repro.obs)."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_METRICS,
+    NULL_TRACER,
+    MetricsRegistry,
+    NullMetricsRegistry,
+    NullTracer,
+    Tracer,
+    install,
+    metrics,
+    observing,
+    render_span_dicts,
+    spans_from_jsonl,
+    tracer,
+    uninstall,
+)
+from repro.obs.metrics import TIME_BUCKETS
+from repro.services.resilience import SimulatedClock
+
+
+class TestSpans:
+    def test_nesting_and_ids_are_deterministic(self):
+        t = Tracer(clock=SimulatedClock())
+        with t.span("exchange", sender="alice") as outer:
+            t.clock.sleep(1.0)
+            with t.span("document", mode="safe") as inner:
+                t.clock.sleep(0.5)
+            outer.set(accepted=True)
+        spans = {span.name: span for span in t.finished()}
+        assert spans["exchange"].span_id == 1
+        assert spans["exchange"].parent_id is None
+        assert spans["document"].span_id == 2
+        assert spans["document"].parent_id == 1
+        assert spans["document"].duration == 0.5
+        assert spans["exchange"].duration == 1.5
+        assert spans["exchange"].attributes["accepted"] is True
+
+    def test_identical_runs_produce_identical_traces(self):
+        def run():
+            t = Tracer(clock=SimulatedClock())
+            with t.span("document"):
+                t.clock.sleep(0.25)
+                with t.span("node", word="a.b"):
+                    t.clock.sleep(0.125)
+                t.event("retry", delay=0.5)
+            out = io.StringIO()
+            t.export_jsonl(out)
+            return out.getvalue()
+
+        assert run() == run()
+
+    def test_children_finish_before_parents_in_sink(self):
+        t = Tracer(clock=SimulatedClock())
+        with t.span("parent"):
+            with t.span("child"):
+                pass
+        names = [span.name for span in t.finished()]
+        assert names == ["child", "parent"]
+
+    def test_events_attach_to_current_span(self):
+        t = Tracer(clock=SimulatedClock())
+        with t.span("invoke") as span:
+            t.clock.sleep(2.0)
+            t.event("fault", kind="transient")
+        assert len(span.events) == 1
+        event = span.events[0]
+        assert event.name == "fault"
+        assert event.time == 2.0
+        assert event.attributes == {"kind": "transient"}
+
+    def test_exception_marks_span_and_propagates(self):
+        t = Tracer(clock=SimulatedClock())
+        with pytest.raises(ValueError):
+            with t.span("node"):
+                raise ValueError("boom")
+        (span,) = t.finished()
+        assert span.attributes["error"] == "boom"
+        assert span.end is not None
+
+    def test_ring_buffer_drops_oldest(self):
+        t = Tracer(clock=SimulatedClock(), capacity=3)
+        for index in range(5):
+            with t.span("s%d" % index):
+                pass
+        assert t.dropped == 2
+        assert [span.name for span in t.finished()] == ["s2", "s3", "s4"]
+
+    def test_profiling_hook_sees_every_finished_span(self):
+        seen = []
+        t = Tracer(clock=SimulatedClock(), on_span_end=seen.append)
+        with t.span("a"):
+            with t.span("b"):
+                pass
+        assert [span.name for span in seen] == ["b", "a"]
+
+
+class TestJsonlRoundTrip:
+    def test_export_and_reparse(self, tmp_path):
+        t = Tracer(clock=SimulatedClock())
+        with t.span("document", mode="safe"):
+            t.clock.sleep(1.0)
+            with t.span("node", word="title"):
+                t.clock.sleep(0.5)
+        path = tmp_path / "trace.jsonl"
+        assert t.export_jsonl(str(path)) == 2
+        spans = spans_from_jsonl(path.read_text())
+        assert [span["name"] for span in spans] == ["document", "node"]
+        assert spans[1]["parent_id"] == spans[0]["span_id"]
+        assert spans[1]["duration"] == 0.5
+        assert spans[0]["attributes"] == {"mode": "safe"}
+
+    def test_rendered_tree_matches_live_rendering(self):
+        t = Tracer(clock=SimulatedClock())
+        with t.span("document"):
+            with t.span("node", word="a"):
+                pass
+            with t.span("node", word="b"):
+                pass
+        out = io.StringIO()
+        t.export_jsonl(out)
+        rendered = render_span_dicts(spans_from_jsonl(out.getvalue()))
+        assert rendered == t.render_tree()
+        assert "├─ node" in rendered and "└─ node" in rendered
+
+    def test_orphan_spans_render_as_roots(self):
+        spans = [
+            {"span_id": 7, "parent_id": 3, "name": "stray",
+             "duration": 0.5, "attributes": {}},
+        ]
+        assert render_span_dicts(spans).startswith("stray")
+
+
+class TestMetrics:
+    def test_counter_gauge_histogram(self):
+        registry = MetricsRegistry()
+        registry.counter("calls", "calls made").inc(function="f")
+        registry.counter("calls").inc(2.0, function="f")
+        registry.gauge("depth").set(4)
+        registry.histogram("sizes").observe(3)
+        registry.histogram("sizes").observe(70)
+        assert registry.counter("calls").value(function="f") == 3.0
+        assert registry.gauge("depth").value() == 4.0
+        assert registry.histogram("sizes").count() == 2
+        assert registry.histogram("sizes").sum() == 73.0
+
+    def test_kind_mismatch_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+
+    def test_prometheus_format(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_calls_total", "Calls").inc(function="Get_Temp")
+        registry.histogram("repro_sizes", "Sizes", (1.0, 10.0)).observe(5)
+        text = registry.to_prometheus()
+        assert "# HELP repro_calls_total Calls" in text
+        assert "# TYPE repro_calls_total counter" in text
+        assert 'repro_calls_total{function="Get_Temp"} 1' in text
+        assert 'repro_sizes_bucket{le="1"} 0' in text
+        assert 'repro_sizes_bucket{le="10"} 1' in text
+        assert 'repro_sizes_bucket{le="+Inf"} 1' in text
+        assert "repro_sizes_sum 5" in text
+        assert "repro_sizes_count 1" in text
+
+    def test_jsonl_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("c", "a counter").inc(3, mode="safe")
+        registry.gauge("g").set(2.5)
+        registry.histogram("h", "sizes", (1.0, 5.0)).observe(4)
+        rebuilt = MetricsRegistry.from_jsonl(registry.to_jsonl())
+        assert rebuilt.to_jsonl() == registry.to_jsonl()
+        assert rebuilt.to_prometheus() == registry.to_prometheus()
+        assert rebuilt.counter("c").value(mode="safe") == 3.0
+        assert rebuilt.histogram("h").count() == 1
+
+    def test_summary_is_human_readable(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_calls_total").inc(2, function="f")
+        registry.histogram("repro_sizes").observe(10)
+        summary = registry.summary()
+        assert 'repro_calls_total{function="f"}: 2' in summary
+        assert "repro_sizes: count=1 sum=10 mean=10" in summary
+
+    def test_span_observer_bridges_durations(self):
+        registry = MetricsRegistry()
+        t = Tracer(clock=SimulatedClock(), on_span_end=registry.span_observer())
+        with t.span("document"):
+            t.clock.sleep(0.01)
+        assert registry.counter("repro_spans_total").value(name="document") == 1
+        histogram = registry.histogram("repro_span_seconds")
+        assert histogram.count(name="document") == 1
+        assert histogram.sum(name="document") == pytest.approx(0.01)
+        assert histogram.buckets == tuple(sorted(TIME_BUCKETS))
+
+
+class TestNullObjects:
+    def test_null_tracer_is_inert(self):
+        span = NULL_TRACER.span("anything", word="w")
+        with span as inner:
+            assert inner is span
+            inner.set(foo=1)
+        NULL_TRACER.event("fault")
+        assert NULL_TRACER.finished() == ()
+        assert NULL_TRACER.export_jsonl(io.StringIO()) == 0
+        assert not NULL_TRACER.enabled
+
+    def test_null_span_is_shared(self):
+        assert NULL_TRACER.span("a") is NULL_TRACER.span("b")
+
+    def test_null_metrics_are_inert(self):
+        NULL_METRICS.counter("c", "help").inc(5, label="x")
+        NULL_METRICS.gauge("g").set(1)
+        NULL_METRICS.histogram("h", buckets=(1.0,)).observe(2)
+        assert NULL_METRICS.to_prometheus() == ""
+        assert NULL_METRICS.names() == []
+        assert not NULL_METRICS.enabled
+
+    def test_defaults_are_null(self):
+        uninstall()
+        assert isinstance(tracer(), NullTracer)
+        assert isinstance(metrics(), NullMetricsRegistry)
+
+
+class TestContext:
+    def test_install_and_uninstall(self):
+        t, m = Tracer(clock=SimulatedClock()), MetricsRegistry()
+        install(t, m)
+        try:
+            assert tracer() is t
+            assert metrics() is m
+        finally:
+            uninstall()
+        assert isinstance(tracer(), NullTracer)
+
+    def test_install_bridges_tracer_to_metrics(self):
+        t, m = Tracer(clock=SimulatedClock()), MetricsRegistry()
+        install(t, m)
+        try:
+            with t.span("node"):
+                t.clock.sleep(0.5)
+            assert m.counter("repro_spans_total").value(name="node") == 1
+        finally:
+            uninstall()
+
+    def test_bridge_is_wired_once_per_pair(self):
+        t, m = Tracer(clock=SimulatedClock()), MetricsRegistry()
+        install(t, m)
+        install(t, m)  # idempotent: re-install must not double-count
+        try:
+            with t.span("node"):
+                pass
+            assert m.counter("repro_spans_total").value(name="node") == 1
+        finally:
+            uninstall()
+
+    def test_observing_restores_previous_state(self):
+        t = Tracer(clock=SimulatedClock())
+        with observing(t):
+            assert tracer() is t
+            with t.span("inner"):
+                pass
+        assert isinstance(tracer(), NullTracer)
+        assert len(t.finished()) == 1
+
+    def test_observing_creates_defaults(self):
+        with observing() as (t, m):
+            assert t.enabled and m.enabled
+            with t.span("x"):
+                pass
+            assert m.counter("repro_spans_total").value(name="x") == 1
