@@ -1,0 +1,123 @@
+"""E20 — concurrent materialization: overlapping latency-bound calls.
+
+The paper's exchanges are dominated by service round-trips, not CPU:
+each embedded call is one network hop to another peer.  This experiment
+gives every ``Get_Temp`` a real (wall-clock) latency and measures what
+the scheduler buys on a wide document whose calls are independent:
+
+- **speedup** — total exchange time at 8 workers vs the sequential
+  engine (the 1-wave DAG overlaps every round-trip);
+- **dedup** — the same city appears several times, so the
+  fingerprint store answers the duplicates locally: one round-trip per
+  *unique* call, a saving the report must account for exactly;
+- **determinism** — the delivered document is bit-identical at every
+  worker count (the deterministic-merge guarantee this subsystem is
+  allowed to exist for).
+
+Unlike the other experiments this one must use the *real* clock: with a
+simulated clock, per-thread sleeps add up identically however they
+overlap, so parallelism would be invisible.
+"""
+
+import os
+import time
+
+from benchmarks.conftest import print_series
+from repro import (
+    FunctionSignature,
+    RewriteEngine,
+    Service,
+    ServiceRegistry,
+    el,
+    parse_regex,
+)
+from repro.workloads import newspaper
+
+#: 36 call occurrences cycling 12 cities: every call is independent
+#: (one wave), every city is duplicated 3x (2 saveable trips each).
+WIDTH = 36
+UNIQUE = len(newspaper.CITIES)
+#: Per-call latency; override to stress or to smoke-run faster.
+LATENCY = float(os.environ.get("REPRO_E20_LATENCY", "0.02"))
+WORKERS = 8
+
+
+def latency_registry():
+    registry = ServiceRegistry()
+    forecast = Service(newspaper.FORECAST_ENDPOINT, newspaper.FORECAST_NS)
+
+    def responder(params):
+        time.sleep(LATENCY)  # the round-trip this experiment is about
+        city = params[0].children[0].value
+        return (el("temp", str(sum(map(ord, city)) % 40)),)
+
+    forecast.add_operation(
+        "Get_Temp",
+        FunctionSignature(parse_regex("city"), parse_regex("temp")),
+        responder,
+    )
+    registry.register(forecast)
+    return registry
+
+
+def run(workers, dedup=True):
+    engine = RewriteEngine(
+        newspaper.wide_schema_star2(WIDTH),
+        newspaper.wide_schema_star(WIDTH),
+        k=1,
+        workers=workers,
+        dedup=dedup,
+    )
+    started = time.perf_counter()
+    result = engine.rewrite(
+        newspaper.wide_document(WIDTH), latency_registry().make_invoker()
+    )
+    return result, time.perf_counter() - started
+
+
+def test_parallel_exchange_speedup_and_dedup():
+    sequential, seq_seconds = run(workers=1)
+    parallel, par_seconds = run(workers=WORKERS)
+    no_dedup, nd_seconds = run(workers=WORKERS, dedup=False)
+
+    report = parallel.exec_report
+    rows = [("config", "wall s", "physical", "saved", "speedup")]
+    rows.append(("1 worker", round(seq_seconds, 3), WIDTH, 0, "1.0x"))
+    for label, result, seconds in (
+        ("%d workers" % WORKERS, parallel, par_seconds),
+        ("%d workers, no dedup" % WORKERS, no_dedup, nd_seconds),
+    ):
+        rows.append((
+            label,
+            round(seconds, 3),
+            result.exec_report.physical_calls,
+            result.exec_report.saved_round_trips,
+            "%.1fx" % (seq_seconds / seconds),
+        ))
+    print_series("E20 latency-bound exchange (%d calls, %d unique, "
+                 "%.0f ms each)" % (WIDTH, UNIQUE, LATENCY * 1000), rows)
+
+    # determinism: bit-identical at any worker count, dedup on or off
+    assert parallel.document.to_xml() == sequential.document.to_xml()
+    assert no_dedup.document.to_xml() == sequential.document.to_xml()
+    assert parallel.exec_report.tasks_failed == 0
+    assert no_dedup.exec_report.tasks_failed == 0
+
+    # dedup: one wire crossing per unique call; each of the 12 cities
+    # appears 3x, so exactly 2 round-trips saved per duplicated call
+    assert report.scheduled_tasks == UNIQUE
+    assert report.physical_calls == UNIQUE
+    assert report.saved_round_trips == WIDTH - UNIQUE
+    assert report.saved_round_trips >= UNIQUE  # >= 1 per duplicated call
+
+    # speedup: 36 serialized sleeps vs ceil(12/8) = 2 overlapped rounds
+    assert seq_seconds >= WIDTH * LATENCY
+    assert seq_seconds / par_seconds >= 3.0
+
+
+def test_single_wave_plan():
+    """The wide document's DAG is embarrassingly parallel: one wave,
+    no edges — the shape the speedup above depends on."""
+    result, _seconds = run(workers=WORKERS)
+    assert result.exec_report.waves == 1
+    assert result.exec_report.tasks_failed == 0

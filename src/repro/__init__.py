@@ -117,6 +117,17 @@ from repro.axml import (
     replace_matches,
     delete_matches,
 )
+from repro.exec import (
+    CallDAG,
+    CallTask,
+    ExecPolicy,
+    ExecReport,
+    MaterializationScheduler,
+    ScheduledInvoker,
+    build_call_dag,
+    call_fingerprint,
+    fingerprint_digest,
+)
 from repro.xschema import compile_xschema, parse_xschema, schema_to_xschema
 from repro.obs import (
     MetricsRegistry,

@@ -50,6 +50,9 @@ class EnforcementOutcome:
     #: per-document cache of solved rewriting problems).
     cache_hits: int = 0
     cache_misses: int = 0
+    #: The concurrent materialization scheduler's report
+    #: (:class:`repro.exec.ExecReport`) when the engine prefetched.
+    exec_report: Optional[object] = None
 
     @property
     def ok(self) -> bool:
@@ -69,6 +72,9 @@ class SchemaEnforcer:
             (the agreed exchange schema, or a service's WSDL_int types).
         sender_schema: signatures for functions the target does not know.
         k / mode / policy / cost_model: forwarded to the rewrite engine.
+        workers / dedup / batch: concurrent materialization knobs,
+            forwarded to the engine (see :mod:`repro.exec`); ``None``
+            resolves ``REPRO_WORKERS`` / ``REPRO_DEDUP``.
     """
 
     target_schema: Schema
@@ -78,6 +84,9 @@ class SchemaEnforcer:
     policy: InvocationPolicy = field(default_factory=allow_all)
     cost_model: CostModel = field(default_factory=lambda: UNIT)
     eager: Optional[Callable[[str], bool]] = None
+    workers: Optional[int] = None
+    dedup: Optional[bool] = None
+    batch: bool = False
     #: Optional converters (conclusion extension): applied as a last
     #: resort when plain rewriting cannot reach the target structure.
     converters: tuple = ()
@@ -91,6 +100,9 @@ class SchemaEnforcer:
             policy=self.policy,
             cost_model=self.cost_model,
             eager=self.eager,
+            workers=self.workers,
+            dedup=self.dedup,
+            batch=self.batch,
         )
 
     @staticmethod
@@ -152,6 +164,7 @@ class SchemaEnforcer:
             degraded_functions=result.degraded_functions,
             cache_hits=result.cache_hits,
             cache_misses=result.cache_misses,
+            exec_report=result.exec_report,
         )
 
     def _try_converters(

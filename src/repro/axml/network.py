@@ -50,6 +50,7 @@ class TransferReceipt:
         breaker_opens: int = 0,
         degraded_functions: Tuple[str, ...] = (),
         fault_report: Optional[FaultReport] = None,
+        exec_report=None,
     ) -> None:
         self.sender = sender
         self.receiver = receiver
@@ -63,6 +64,16 @@ class TransferReceipt:
         self._breaker_opens = breaker_opens
         self._degraded_functions = tuple(degraded_functions)
         self.fault_report = fault_report
+        #: The sender's :class:`repro.exec.ExecReport` when the exchange
+        #: ran with a parallelism knob; None for sequential transfers.
+        self.exec_report = exec_report
+
+    @property
+    def saved_round_trips(self) -> int:
+        """Round-trips the sender's dedup/prefetch layer avoided."""
+        if self.exec_report is None:
+            return 0
+        return self.exec_report.saved_round_trips
 
     @property
     def retries(self) -> int:
@@ -134,12 +145,17 @@ class PeerNetwork:
     def send(
         self, sender: str, receiver: str, document_name: str,
         store_as: Optional[str] = None,
+        parallelism: Optional[int] = None,
     ) -> TransferReceipt:
         """Transfer one document, enforcing the agreed schema.
 
         The sender's Schema Enforcement module materializes whatever the
         agreement requires; the receiver validates independently before
         accepting (defense in depth — a receiver does not trust senders).
+
+        ``parallelism`` lets the sender overlap independent service
+        round-trips while materializing (see :mod:`repro.exec`); the
+        delivered document is bit-identical at any setting.
         """
         source = self._peer(sender)
         target = self._peer(receiver)
@@ -156,7 +172,7 @@ class PeerNetwork:
         ) as span:
             receipt = self._transfer(
                 source, target, sender, receiver, document_name, agreement,
-                store_as, tracer,
+                store_as, tracer, parallelism,
             )
             span.set(
                 accepted=receipt.accepted,
@@ -185,12 +201,16 @@ class PeerNetwork:
         agreement: Schema,
         store_as: Optional[str],
         tracer,
+        parallelism: Optional[int] = None,
     ) -> TransferReceipt:
         """Enforce, serialize, and validate one transfer."""
-        outcome = source.prepare_outgoing(document_name, agreement)
+        outcome = source.prepare_outgoing(
+            document_name, agreement, parallelism=parallelism
+        )
         resilience = dict(
             degraded_functions=outcome.degraded_functions,
             fault_report=outcome.fault_report,
+            exec_report=outcome.exec_report,
         )
         if not outcome.ok:
             return TransferReceipt(

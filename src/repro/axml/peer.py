@@ -49,6 +49,13 @@ class AXMLPeer:
     #: deadlines and circuit breakers scoped to one exchange, with the
     #: resulting :class:`FaultReport` surfaced on transfer receipts.
     resilience: Optional[ResiliencePolicy] = None
+    #: Concurrent materialization (see :mod:`repro.exec`): worker count
+    #: for overlapping independent round-trips while enforcing outgoing
+    #: documents.  ``None`` resolves ``REPRO_WORKERS`` (default 1).
+    parallelism: Optional[int] = None
+    #: Deduplicate identical in-flight calls while prefetching; ``None``
+    #: resolves ``REPRO_DEDUP`` (default on).
+    dedup: Optional[bool] = None
 
     def __post_init__(self):
         if self.service is None:
@@ -136,7 +143,10 @@ class AXMLPeer:
     # -- exchanging documents ---------------------------------------------------
 
     def _enforcer(
-        self, target_schema: Optional[Schema] = None, mode: Optional[str] = None
+        self,
+        target_schema: Optional[Schema] = None,
+        mode: Optional[str] = None,
+        parallelism: Optional[int] = None,
     ) -> SchemaEnforcer:
         return SchemaEnforcer(
             target_schema=target_schema or self.schema,
@@ -144,19 +154,27 @@ class AXMLPeer:
             k=self.k,
             mode=mode or self.mode,
             policy=self.policy,
+            workers=parallelism if parallelism is not None else self.parallelism,
+            dedup=self.dedup,
         )
 
     def prepare_outgoing(
-        self, document_name: str, exchange_schema: Schema
+        self,
+        document_name: str,
+        exchange_schema: Schema,
+        parallelism: Optional[int] = None,
     ) -> EnforcementOutcome:
         """Enforce a stored document against an agreed exchange schema.
 
         This is what runs right before the document leaves the peer; the
         returned outcome carries either the (possibly materialized)
-        document or the error of step (iii).
+        document or the error of step (iii).  ``parallelism`` overrides
+        the peer's default worker count for this one exchange (the
+        results still merge in document order, so the document is the
+        same at any setting).
         """
         document = self.repository.get(document_name)
-        enforcer = self._enforcer(exchange_schema)
+        enforcer = self._enforcer(exchange_schema, parallelism=parallelism)
         return enforcer.enforce_document(document, self.invoker())
 
     def receive(self, name: str, document: Document) -> None:

@@ -29,8 +29,10 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import os
 import random
 import sys
+import threading
 from typing import List, Optional
 
 from repro.axml.enforcement import SchemaEnforcer
@@ -54,8 +56,29 @@ def _load_schema(path: str, root: Optional[str] = None) -> Schema:
     return compile_xschema(parse_xschema(_read(path), root=root))
 
 
-def _sampling_invoker(schema: Schema, seed: int):
-    """Serve calls by sampling output instances of declared signatures."""
+def _effective_workers(args) -> int:
+    """The worker count the engine will resolve (flag, else env, else 1)."""
+    if args.workers is not None:
+        return max(1, args.workers)
+    env = os.environ.get("REPRO_WORKERS", "").strip()
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            return 1
+    return 1
+
+
+def _sampling_invoker(schema: Schema, seed: int, per_call: bool = False):
+    """Serve calls by sampling output instances of declared signatures.
+
+    The default draws from one sequential RNG stream — byte-compatible
+    with earlier releases, but dependent on invocation *order*.  With
+    ``per_call`` each call's output is drawn from an RNG derived from
+    ``(seed, call fingerprint)`` instead, so results do not depend on
+    scheduling — which is what makes ``rewrite --workers N``
+    deterministic and output-identical at any worker count.
+    """
     generator = InstanceGenerator(schema, random.Random(seed), max_depth=4)
 
     def invoker(fc):
@@ -63,6 +86,13 @@ def _sampling_invoker(schema: Schema, seed: int):
             raise ReproError(
                 "no signature for %r in the sender schema" % fc.name
             )
+        if per_call:
+            from repro.exec.fingerprint import call_fingerprint
+
+            rng = random.Random("%s|%s" % (seed, call_fingerprint(fc)))
+            return InstanceGenerator(
+                schema, rng, max_depth=4
+            ).output_forest(fc.name)
         return generator.output_forest(fc.name)
 
     return invoker
@@ -89,13 +119,14 @@ def _resilient_invoker(args, invoker):
     """
     if args.flaky:
         inner, counter = invoker, {"calls": 0}
+        counter_lock = threading.Lock()  # workers share the injection count
 
         def invoker(fc):
-            counter["calls"] += 1
-            if counter["calls"] % args.flaky == 0:
-                raise TransientFault(
-                    "injected outage (call #%d)" % counter["calls"]
-                )
+            with counter_lock:
+                counter["calls"] += 1
+                calls = counter["calls"]
+            if calls % args.flaky == 0:
+                raise TransientFault("injected outage (call #%d)" % calls)
             return inner(fc)
 
     wanted = (
@@ -127,11 +158,13 @@ def cmd_rewrite(args) -> int:
     document = Document.from_xml(_read(args.document))
     sender = _load_schema(args.sender_schema)
     exchange = _load_schema(args.exchange_schema)
+    workers = _effective_workers(args)
     enforcer = SchemaEnforcer(
-        exchange, sender, k=args.k, mode=args.mode
+        exchange, sender, k=args.k, mode=args.mode,
+        workers=args.workers, dedup=args.dedup,
     )
     invoker, resilient = _resilient_invoker(
-        args, _sampling_invoker(sender, args.seed)
+        args, _sampling_invoker(sender, args.seed, per_call=workers > 1)
     )
     observe = args.trace or args.metrics
     tracer, registry = Tracer(), MetricsRegistry()
@@ -173,6 +206,8 @@ def cmd_rewrite(args) -> int:
         % (outcome.cache_hits, outcome.cache_misses),
         file=sys.stderr,
     )
+    if outcome.exec_report is not None:
+        print(outcome.exec_report.summary(), file=sys.stderr)
     if outcome.degraded_functions:
         print(
             "degraded around unavailable function(s): %s"
@@ -331,6 +366,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-attempt timeout (simulated clock)")
     p.add_argument("--document-deadline", type=float, default=None,
                    help="deadline for the whole document (simulated clock)")
+    p.add_argument("--workers", type=int, default=None, metavar="N",
+                   help="worker threads for concurrent call "
+                        "materialization (default: $REPRO_WORKERS or 1; "
+                        "parallel runs sample service outputs per call, "
+                        "so output is identical at any worker count)")
+    p.add_argument("--dedup", action=argparse.BooleanOptionalAction,
+                   default=None,
+                   help="deduplicate identical in-flight calls while "
+                        "prefetching (default: $REPRO_DEDUP or on)")
     p.add_argument("--trace", metavar="PATH",
                    help="export a JSONL span trace of the rewrite here")
     p.add_argument("--metrics", metavar="PATH",

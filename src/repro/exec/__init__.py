@@ -1,0 +1,38 @@
+"""Concurrent materialization of embedded service calls.
+
+The sequential document driver (Section 5) pays one round-trip of
+latency per embedded call.  This package overlaps the independent ones:
+
+- :mod:`repro.exec.fingerprint` — canonical ``(function, normalized
+  args)`` identity of a call;
+- :mod:`repro.exec.dag` — dependency-DAG extraction (param-before-call
+  edges; sibling edges only where the safe analysis requires order);
+- :mod:`repro.exec.scheduler` — wave scheduling on a bounded thread
+  pool, in-flight dedup, endpoint batching, and the result store whose
+  document-order replay keeps parallel output bit-identical to the
+  sequential engine.
+
+Entry point: ``RewriteEngine(..., workers=8)`` (or the CLI's
+``rewrite --workers 8``); see ``docs/CONCURRENCY.md``.
+"""
+
+from repro.exec.dag import CallDAG, CallTask, build_call_dag
+from repro.exec.fingerprint import call_fingerprint, fingerprint_digest
+from repro.exec.scheduler import (
+    ExecPolicy,
+    ExecReport,
+    MaterializationScheduler,
+    ScheduledInvoker,
+)
+
+__all__ = [
+    "CallDAG",
+    "CallTask",
+    "ExecPolicy",
+    "ExecReport",
+    "MaterializationScheduler",
+    "ScheduledInvoker",
+    "build_call_dag",
+    "call_fingerprint",
+    "fingerprint_digest",
+]

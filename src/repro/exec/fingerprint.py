@@ -1,0 +1,51 @@
+"""Canonical fingerprints for embedded service calls.
+
+Deduplicating in-flight invocations, replaying prefetched results, and
+deriving reproducible per-call backoff jitter all need one notion of
+"the same call": same function, same SOAP coordinates, same parameters
+after normalization.  :func:`call_fingerprint` provides it as an exact
+canonical string (no hashing, so distinct calls can never collide), and
+:func:`fingerprint_digest` compresses it for display and metric labels.
+
+Normalization follows the document model's own equality: element
+attributes are already stored sorted (see :class:`repro.doc.nodes.Element`),
+so two calls whose parameter forests are equal as trees fingerprint
+identically regardless of how they were built.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.doc.nodes import Element, FunctionCall, Node, Text
+
+
+def _canonical(node: Node) -> str:
+    """An unambiguous s-expression for one parameter subtree."""
+    if isinstance(node, Text):
+        return "t:%r" % (node.value,)
+    if isinstance(node, Element):
+        attrs = ";".join("%r=%r" % pair for pair in node.attributes)
+        kids = ",".join(_canonical(child) for child in node.children)
+        return "e:%r[%s](%s)" % (node.label, attrs, kids)
+    if isinstance(node, FunctionCall):
+        params = ",".join(_canonical(param) for param in node.params)
+        return "f:%r@%r#%r(%s)" % (
+            node.name, node.endpoint, node.namespace, params,
+        )
+    raise TypeError("not a document node: %r" % (node,))
+
+
+def call_fingerprint(call: FunctionCall) -> str:
+    """The exact canonical identity of one call: ``(function, args)``.
+
+    Two :class:`FunctionCall` nodes get the same fingerprint iff they
+    name the same operation at the same endpoint/namespace with
+    tree-equal parameter forests.
+    """
+    return _canonical(call)
+
+
+def fingerprint_digest(fingerprint: str, length: int = 12) -> str:
+    """A short, stable digest of a fingerprint (for labels and logs)."""
+    return hashlib.sha256(fingerprint.encode("utf-8")).hexdigest()[:length]

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import json
 import math
+import threading
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 #: Generic size buckets (product nodes, word lengths, bytes, ...).
@@ -54,7 +55,11 @@ def _format_labels(key: LabelKey, extra: Tuple[Tuple[str, str], ...] = ()) -> st
 
 
 class Counter:
-    """A monotonically increasing value, optionally per label set."""
+    """A monotonically increasing value, optionally per label set.
+
+    Updates are lock-protected: read-modify-write on a plain dict would
+    lose increments under the concurrent scheduler's worker threads.
+    """
 
     kind = "counter"
 
@@ -62,10 +67,12 @@ class Counter:
         self.name = name
         self.help = help
         self.values: Dict[LabelKey, float] = {}
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0, **labels) -> None:
         key = _label_key(labels)
-        self.values[key] = self.values.get(key, 0.0) + amount
+        with self._lock:
+            self.values[key] = self.values.get(key, 0.0) + amount
 
     def value(self, **labels) -> float:
         return self.values.get(_label_key(labels), 0.0)
@@ -86,7 +93,8 @@ class Gauge(Counter):
     kind = "gauge"
 
     def set(self, value: float, **labels) -> None:
-        self.values[_label_key(labels)] = float(value)
+        with self._lock:
+            self.values[_label_key(labels)] = float(value)
 
 
 class Histogram:
@@ -102,19 +110,21 @@ class Histogram:
         self.counts: Dict[LabelKey, List[int]] = {}
         self.sums: Dict[LabelKey, float] = {}
         self.totals: Dict[LabelKey, int] = {}
+        self._lock = threading.Lock()
 
     def observe(self, value: float, **labels) -> None:
         key = _label_key(labels)
-        counts = self.counts.get(key)
-        if counts is None:
-            counts = self.counts[key] = [0] * len(self.buckets)
-            self.sums[key] = 0.0
-            self.totals[key] = 0
-        for index, bound in enumerate(self.buckets):
-            if value <= bound:
-                counts[index] += 1
-        self.sums[key] += value
-        self.totals[key] += 1
+        with self._lock:
+            counts = self.counts.get(key)
+            if counts is None:
+                counts = self.counts[key] = [0] * len(self.buckets)
+                self.sums[key] = 0.0
+                self.totals[key] = 0
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    counts[index] += 1
+            self.sums[key] += value
+            self.totals[key] += 1
 
     def count(self, **labels) -> int:
         return self.totals.get(_label_key(labels), 0)
@@ -148,18 +158,20 @@ class MetricsRegistry:
 
     def __init__(self):
         self._metrics: Dict[str, object] = {}
+        self._lock = threading.Lock()
 
-    # -- creation (memoized by name) --------------------------------------
+    # -- creation (memoized by name, safe to race) -------------------------
 
     def _get(self, name: str, factory, kind: str):
-        metric = self._metrics.get(name)
-        if metric is None:
-            metric = self._metrics[name] = factory()
-        elif metric.kind != kind:
-            raise ValueError(
-                "metric %r already registered as a %s" % (name, metric.kind)
-            )
-        return metric
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = self._metrics[name] = factory()
+            elif metric.kind != kind:
+                raise ValueError(
+                    "metric %r already registered as a %s" % (name, metric.kind)
+                )
+            return metric
 
     def counter(self, name: str, help: str = "") -> Counter:
         return self._get(name, lambda: Counter(name, help), "counter")
@@ -177,10 +189,12 @@ class MetricsRegistry:
 
     def get(self, name: str):
         """Look a metric up without creating it."""
-        return self._metrics.get(name)
+        with self._lock:
+            return self._metrics.get(name)
 
     def names(self) -> List[str]:
-        return sorted(self._metrics)
+        with self._lock:
+            return sorted(self._metrics)
 
     # -- the tracer bridge -------------------------------------------------
 

@@ -20,6 +20,13 @@ Design constraints, in order:
   byte-identical traces.
 - **bounded**: finished spans land in a ring buffer (oldest dropped,
   ``dropped`` counts them), so a long-lived peer cannot leak memory.
+- **concurrency-safe**: the open-span stack is *per thread*
+  (``threading.local``), so spans produced by the concurrent
+  materialization scheduler's workers never interleave parents; id
+  allocation and the sink are lock-protected.  Worker spans attach under
+  a chosen parent with the explicit ``parent_id=`` argument of
+  :meth:`Tracer.span` / :meth:`Tracer.start`, since a pool thread does
+  not inherit the submitting thread's stack.
 
 Export formats: JSONL (one span object per line, re-importable with
 :func:`spans_from_jsonl`) and a human span tree
@@ -30,10 +37,15 @@ Export formats: JSONL (one span object per line, re-importable with
 from __future__ import annotations
 
 import json
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+#: Distinguishes "parent_id not given" from an explicit ``parent_id=None``
+#: (which forces a root span).
+_UNSET = object()
 
 
 class PerfClock:
@@ -93,16 +105,20 @@ class Span:
 class _ActiveSpan:
     """The context manager :meth:`Tracer.span` returns."""
 
-    __slots__ = ("_tracer", "_name", "_attributes", "_span")
+    __slots__ = ("_tracer", "_name", "_attributes", "_span", "_parent_id")
 
-    def __init__(self, tracer: "Tracer", name: str, attributes: dict):
+    def __init__(self, tracer: "Tracer", name: str, attributes: dict,
+                 parent_id=_UNSET):
         self._tracer = tracer
         self._name = name
         self._attributes = attributes
+        self._parent_id = parent_id
         self._span: Optional[Span] = None
 
     def __enter__(self) -> Span:
-        self._span = self._tracer.start(self._name, **self._attributes)
+        self._span = self._tracer.start(
+            self._name, parent_id=self._parent_id, **self._attributes
+        )
         return self._span
 
     def __exit__(self, exc_type, exc, _tb) -> bool:
@@ -136,7 +152,8 @@ class Tracer:
         self.clock = clock if clock is not None else PerfClock()
         self.capacity = capacity
         self._finished: deque = deque(maxlen=capacity)
-        self._stack: List[Span] = []
+        self._local = threading.local()  # per-thread open-span stack
+        self._lock = threading.Lock()  # guards ids, sink, hooks, dropped
         self._next_id = 1
         self._hooks: List[Callable[[Span], None]] = []
         self._bridged: List[object] = []  # metrics registries already wired
@@ -144,40 +161,63 @@ class Tracer:
         if on_span_end is not None:
             self._hooks.append(on_span_end)
 
+    def _stack(self) -> List[Span]:
+        """The calling thread's own open-span stack."""
+        try:
+            return self._local.stack
+        except AttributeError:
+            stack = self._local.stack = []
+            return stack
+
     # -- producing spans --------------------------------------------------
 
-    def span(self, name: str, **attributes) -> _ActiveSpan:
-        """``with tracer.span("node", word="a.b") as span: ...``"""
-        return _ActiveSpan(self, name, attributes)
+    def span(self, name: str, parent_id=_UNSET, **attributes) -> _ActiveSpan:
+        """``with tracer.span("node", word="a.b") as span: ...``
 
-    def start(self, name: str, **attributes) -> Span:
+        ``parent_id`` overrides stack-based parenting — pool workers use
+        it to attach their spans under the scheduling thread's span.
+        """
+        return _ActiveSpan(self, name, attributes, parent_id)
+
+    def start(self, name: str, parent_id=_UNSET, **attributes) -> Span:
         """Open a span without a ``with`` block (pair with :meth:`finish`)."""
-        parent = self._stack[-1].span_id if self._stack else None
-        span = Span(self._next_id, parent, name, self.clock.now(),
-                    dict(attributes))
-        self._next_id += 1
-        self._stack.append(span)
+        stack = self._stack()
+        if parent_id is _UNSET:
+            parent = stack[-1].span_id if stack else None
+        else:
+            parent = parent_id
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        span = Span(span_id, parent, name, self.clock.now(), dict(attributes))
+        stack.append(span)
         return span
 
     def finish(self, span: Optional[Span]) -> None:
         """Close a span: timestamp it, sink it, run the profiling hooks."""
-        if span is None:
-            return
+        if span is None or getattr(span, "_sunk", False):
+            return  # finished twice; keep the first sink entry authoritative
         span.end = self.clock.now()
+        stack = self._stack()
         try:
-            self._stack.remove(span)
+            stack.remove(span)
         except ValueError:
-            pass  # finished twice; keep the first sink entry authoritative
-        else:
+            pass  # finished off its opening thread; still sink it once
+        with self._lock:
+            if getattr(span, "_sunk", False):
+                return  # lost a concurrent double-finish race
+            span._sunk = True  # type: ignore[attr-defined]
             if len(self._finished) == self._finished.maxlen:
                 self.dropped += 1
             self._finished.append(span)
-            for hook in self._hooks:
-                hook(span)
+            hooks = tuple(self._hooks)
+        for hook in hooks:  # outside the lock: hooks may be slow
+            hook(span)
 
     def current(self) -> Optional[Span]:
-        """The innermost open span, if any."""
-        return self._stack[-1] if self._stack else None
+        """The calling thread's innermost open span, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
 
     def event(self, name: str, **attributes) -> None:
         """Annotate the current span; silently dropped with no span open."""
@@ -188,18 +228,21 @@ class Tracer:
 
     def add_hook(self, hook: Callable[[Span], None]) -> None:
         """Register another per-span-end profiling callback."""
-        self._hooks.append(hook)
+        with self._lock:
+            self._hooks.append(hook)
 
     # -- the sink ---------------------------------------------------------
 
     def finished(self) -> Tuple[Span, ...]:
         """Finished spans, oldest first (creation order ≠ finish order:
         parents finish after their children)."""
-        return tuple(self._finished)
+        with self._lock:
+            return tuple(self._finished)
 
     def clear(self) -> None:
-        self._finished.clear()
-        self.dropped = 0
+        with self._lock:
+            self._finished.clear()
+            self.dropped = 0
 
     # -- export -----------------------------------------------------------
 

@@ -18,6 +18,8 @@ the simulated service fabric.
 
 from __future__ import annotations
 
+import os
+import threading
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -64,6 +66,10 @@ class RewriteResult:
     #: (word, target) problems recur across sibling nodes).
     cache_hits: int = 0
     cache_misses: int = 0
+    #: The concurrent materialization scheduler's
+    #: :class:`repro.exec.ExecReport`, when prefetching ran (None on the
+    #: sequential path).
+    exec_report: Optional[object] = None
 
     @property
     def calls_made(self) -> int:
@@ -92,6 +98,18 @@ class RewriteEngine:
             explored nodes).
         eager: optional predicate selecting calls to pre-materialize (the
             mixed approach of Section 5); None disables the pre-pass.
+        workers: worker threads for the concurrent materialization
+            scheduler (:mod:`repro.exec`).  ``None`` resolves the
+            ``REPRO_WORKERS`` environment variable, defaulting to 1 —
+            the classical sequential driver, behavior-identical to
+            builds without the scheduler.  Results are merged in
+            document order, so output is bit-identical at any count.
+        dedup: collapse identical ``(function, normalized-args)`` calls
+            to one round-trip while prefetching.  ``None`` resolves
+            ``REPRO_DEDUP`` (default on).  Only consulted when
+            ``workers > 1``.
+        batch: group each prefetch wave's calls by endpoint (one worker
+            drains an endpoint's batch).
     """
 
     target_schema: Schema
@@ -106,14 +124,41 @@ class RewriteEngine:
     #: models (every <exhibit> shares one), so identical (word, target)
     #: problems recur; the solved game is stateless and safely reusable.
     cache: bool = True
+    workers: Optional[int] = None
+    dedup: Optional[bool] = None
+    batch: bool = False
     _analysis_cache: Dict = field(default_factory=dict, repr=False)
     _cache_hits: int = field(default=0, repr=False)
     _cache_misses: int = field(default=0, repr=False)
+    _cache_lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False
+    )
 
     @property
     def cache_stats(self) -> Tuple[int, int]:
         """(hits, misses) of the per-engine analysis cache."""
         return (self._cache_hits, self._cache_misses)
+
+    @property
+    def resolved_workers(self) -> int:
+        """The effective worker count (field, else ``REPRO_WORKERS``, else 1)."""
+        if self.workers is not None:
+            return max(1, int(self.workers))
+        env = os.environ.get("REPRO_WORKERS", "").strip()
+        if env:
+            try:
+                return max(1, int(env))
+            except ValueError:
+                return 1
+        return 1
+
+    @property
+    def resolved_dedup(self) -> bool:
+        """The effective dedup flag (field, else ``REPRO_DEDUP``, else on)."""
+        if self.dedup is not None:
+            return bool(self.dedup)
+        env = os.environ.get("REPRO_DEDUP", "").strip().lower()
+        return env not in ("0", "false", "no", "off")
 
     # -- public API -------------------------------------------------------
 
@@ -129,6 +174,7 @@ class RewriteEngine:
         stats = {"words": 0, "product": 0, "mode": SAFE}
         hits_before, misses_before = self.cache_stats
         with obs.tracer().span("document", mode=self.mode, k=self.k) as span:
+            invoker, exec_report = self._maybe_prefetch(document, invoker)
             root = document.root
             if isinstance(root, Text):
                 result = RewriteResult(document, log, SAFE)
@@ -145,6 +191,7 @@ class RewriteEngine:
                     cache_hits=hits - hits_before,
                     cache_misses=misses - misses_before,
                 )
+            result.exec_report = exec_report
             span.set(
                 mode_used=result.mode_used,
                 words=result.words_rewritten,
@@ -201,6 +248,80 @@ class RewriteEngine:
         rewritten = self._rewrite_word(prepared, target, invoker, log, stats)
         return tuple(
             self._descend(node, invoker, log, stats) for node in rewritten
+        )
+
+    def analyze_word(self, word: Tuple[str, ...], target: Regex):
+        """Solve (and cache) one children word's safe analysis.
+
+        This is the static half of :meth:`_rewrite_word` — no service is
+        invoked.  The concurrent materialization planner
+        (:func:`repro.exec.build_call_dag`) uses it to preview per-call
+        keep/invoke/depends decisions; the cache key matches the one the
+        execution path uses, so planning warms the cache.
+
+        Returns None when no safe analysis applies (possible-mode
+        engines, schema errors) — callers must then assume nothing about
+        the word's decisions.
+        """
+        if self.mode == POSSIBLE:
+            return None
+        try:
+            target = self._desugared(target, word)
+            output_types, invocable = self._word_problem(word)
+            return self._cached(
+                "safe", word, target, frozenset(),
+                lambda: (analyze_safe_lazy if self.lazy else analyze_safe)(
+                    word, output_types, target, self.k, invocable
+                ),
+            )
+        except Exception:
+            # Planning must be harmless: a word the driver would reject
+            # (or fall back on) simply is not prefetched.
+            return None
+
+    # -- concurrent materialization (repro.exec) ----------------------------
+
+    def _maybe_prefetch(self, document: Document, invoker):
+        """Overlap the document's independent round-trips when asked to.
+
+        Returns ``(invoker-for-the-sequential-pass, ExecReport-or-None)``.
+        The sequential pass alone decides what enters the document and in
+        which order, so this changes latency, never output.  Skipped for
+        possible-mode engines (backtracking makes invocations
+        unpredictable) and with an eager pre-pass configured (it already
+        invokes calls itself, in its own order).
+        """
+        workers = self.resolved_workers
+        if workers <= 1 or self.mode == POSSIBLE or self.eager is not None:
+            return invoker, None
+        from repro.exec import ExecPolicy, MaterializationScheduler
+
+        policy = ExecPolicy(
+            max_workers=workers, dedup=self.resolved_dedup, batch=self.batch
+        )
+        scheduler = MaterializationScheduler(self._planning_engine(), policy)
+        return scheduler.prefetch(document, invoker)
+
+    def _planning_engine(self) -> "RewriteEngine":
+        """A disposable sequential clone used for planning and for the
+        prefetch tasks' parameter rewriting.
+
+        Same decision inputs (schemas, k, mode, policy, laziness), but
+        its own analysis cache and counters — so this engine's
+        ``cache_hits``/``cache_misses`` accounting stays bit-identical
+        to a sequential run no matter how much the planner analyzes.
+        """
+        return RewriteEngine(
+            target_schema=self.target_schema,
+            sender_schema=self.sender_schema,
+            k=self.k,
+            mode=self.mode,
+            policy=self.policy,
+            cost_model=self.cost_model,
+            lazy=self.lazy,
+            eager=None,
+            cache=self.cache,
+            workers=1,
         )
 
     # -- the three stages ---------------------------------------------------
@@ -412,13 +533,20 @@ class RewriteEngine:
         if not self.cache:
             return self._analyzed(kind, "off", compute)
         key = (kind, word, target, frozenset(dead))
-        analysis = self._analysis_cache.get(key)
+        with self._cache_lock:
+            analysis = self._analysis_cache.get(key)
+            if analysis is None:
+                self._cache_misses += 1
+            else:
+                self._cache_hits += 1
         if analysis is None:
-            self._cache_misses += 1
+            # Computed outside the lock: the scheduler's workers share
+            # the planning clone, and a heavy analysis must not serialize
+            # them (a racing duplicate is discarded by setdefault).
             analysis = self._analyzed(kind, "miss", compute)
-            self._analysis_cache[key] = analysis
+            with self._cache_lock:
+                analysis = self._analysis_cache.setdefault(key, analysis)
         else:
-            self._cache_hits += 1
             obs.tracer().event("analysis.cache", kind=kind, outcome="hit")
             metrics = obs.metrics()
             if metrics.enabled:

@@ -30,11 +30,13 @@ deterministic; :class:`WallClock` provides production-style waits.
 from __future__ import annotations
 
 import random
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.doc.nodes import FunctionCall, Node
+from repro.exec.fingerprint import call_fingerprint
 from repro.errors import (
     FunctionUnavailableError,
     PermanentFault,
@@ -57,13 +59,16 @@ class SimulatedClock:
 
     def __init__(self, start: float = 0.0):
         self._now = float(start)
+        self._lock = threading.Lock()
 
     def now(self) -> float:
-        return self._now
+        with self._lock:
+            return self._now
 
     def sleep(self, seconds: float) -> None:
         if seconds > 0:
-            self._now += seconds
+            with self._lock:
+                self._now += seconds
 
 
 class WallClock:
@@ -259,27 +264,45 @@ class ResilientInvoker:
         )
         self.clock = clock if clock is not None else self.policy.clock_factory()
         self.report = FaultReport()
-        self._rng = random.Random(self.policy.jitter_seed)
         self._breakers: Dict[str, CircuitBreaker] = {}
         self._dead: Dict[str, str] = {}  # function -> first give-up reason
+        #: Guards the report, breakers and dead set: one invoker instance
+        #: is shared by every worker of the concurrent materialization
+        #: scheduler, so budgets and breaker state must stay coherent.
+        self._lock = threading.RLock()
         self._started_at = self.clock.now()
+
+    def _jitter_rng(self, call: FunctionCall) -> random.Random:
+        """A fresh RNG derived from ``(jitter_seed, call fingerprint)``.
+
+        A single shared ``random.Random`` would be mutated from every
+        worker thread, making backoff sequences depend on scheduling
+        order.  Deriving per logical call keeps jitter reproducible: a
+        given call sees the same backoff sequence at any worker count
+        (string seeding hashes deterministically, unlike ``hash()``).
+        """
+        return random.Random(
+            "%s|%s" % (self.policy.jitter_seed, call_fingerprint(call))
+        )
 
     # -- introspection ----------------------------------------------------
 
     def breaker_for(self, endpoint: str) -> CircuitBreaker:
-        breaker = self._breakers.get(endpoint)
-        if breaker is None:
-            breaker = CircuitBreaker(
-                threshold=self.policy.breaker_threshold,
-                cooldown=self.policy.breaker_cooldown,
-            )
-            self._breakers[endpoint] = breaker
-        return breaker
+        with self._lock:
+            breaker = self._breakers.get(endpoint)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    threshold=self.policy.breaker_threshold,
+                    cooldown=self.policy.breaker_cooldown,
+                )
+                self._breakers[endpoint] = breaker
+            return breaker
 
     @property
     def breakers(self) -> Dict[str, CircuitBreaker]:
         """Breaker state by endpoint (read-only use, please)."""
-        return dict(self._breakers)
+        with self._lock:
+            return dict(self._breakers)
 
     # -- the invoker ------------------------------------------------------
 
@@ -288,7 +311,8 @@ class ResilientInvoker:
             endpoint = self._endpoint_of(call)
         except Exception:
             endpoint = call.endpoint or call.name
-        self.report.calls += 1
+        with self._lock:
+            self.report.calls += 1
         metrics = obs.metrics()
         if metrics.enabled:
             metrics.counter(
@@ -304,7 +328,8 @@ class ResilientInvoker:
 
     def _breaker_opened(self, delta: int, endpoint: str) -> None:
         """Account for breaker open transitions caused by one failure."""
-        self.report.breaker_opens += delta
+        with self._lock:
+            self.report.breaker_opens += delta
         if delta:
             obs.tracer().event("breaker-open", endpoint=endpoint)
             metrics = obs.metrics()
@@ -321,13 +346,14 @@ class ResilientInvoker:
         policy, report, clock = self.policy, self.report, self.clock
         tracer = obs.tracer()
 
-        if call.name in self._dead:
+        with self._lock:
+            dead_reason = self._dead.get(call.name)
+        if dead_reason is not None:
             # Fail fast: this function already exhausted its chances in
             # this exchange (possible-mode backtracking may ask again).
-            raise FunctionUnavailableError(
-                call.name, endpoint, self._dead[call.name]
-            )
+            raise FunctionUnavailableError(call.name, endpoint, dead_reason)
 
+        rng = self._jitter_rng(call)
         breaker = self.breaker_for(endpoint)
         attempt = 0
         last_fault: Optional[ServiceFault] = None
@@ -337,16 +363,20 @@ class ResilientInvoker:
                 policy.document_deadline is not None
                 and now - self._started_at > policy.document_deadline
             ):
-                report.deadline_expirations += 1
+                with self._lock:
+                    report.deadline_expirations += 1
                 raise self._give_up(
                     call, endpoint,
                     "document deadline of %.3fs expired" % policy.document_deadline,
                 )
-            if (
-                policy.call_budget is not None
-                and report.attempts >= policy.call_budget
-            ):
-                report.budget_denials += 1
+            with self._lock:
+                budget_exhausted = (
+                    policy.call_budget is not None
+                    and report.attempts >= policy.call_budget
+                )
+                if budget_exhausted:
+                    report.budget_denials += 1
+            if budget_exhausted:
                 raise self._give_up(
                     call, endpoint,
                     "per-document budget of %d attempt(s) exhausted"
@@ -354,8 +384,11 @@ class ResilientInvoker:
                 )
             attempt += 1
 
-            if not breaker.allow(now):
-                report.breaker_rejections += 1
+            with self._lock:
+                allowed = breaker.allow(now)
+                if not allowed:
+                    report.breaker_rejections += 1
+            if not allowed:
                 tracer.event("breaker-rejected", endpoint=endpoint)
                 if metrics.enabled:
                     metrics.counter(
@@ -366,7 +399,8 @@ class ResilientInvoker:
                     "circuit open for endpoint %r" % endpoint
                 )
             else:
-                report.attempts += 1
+                with self._lock:
+                    report.attempts += 1
                 tracer.event("attempt", n=attempt)
                 if metrics.enabled:
                     metrics.counter(
@@ -379,8 +413,9 @@ class ResilientInvoker:
                     forest = tuple(self._inner(call))
                 except ServiceFault as fault:
                     transient = policy.classify(fault)
-                    self._record_fault(call, transient=transient)
-                    breaker.record_failure(clock.now())
+                    with self._lock:
+                        self._record_fault(call, transient=transient)
+                        breaker.record_failure(clock.now())
                     self._breaker_opened(
                         breaker.opens - opens_before, endpoint
                     )
@@ -402,9 +437,10 @@ class ResilientInvoker:
                         policy.call_timeout is not None
                         and elapsed > policy.call_timeout
                     ):
-                        report.timeouts += 1
-                        self._count(report.faults_by_function, call.name)
-                        breaker.record_failure(clock.now())
+                        with self._lock:
+                            report.timeouts += 1
+                            self._count(report.faults_by_function, call.name)
+                            breaker.record_failure(clock.now())
                         self._breaker_opened(
                             breaker.opens - opens_before, endpoint
                         )
@@ -422,9 +458,10 @@ class ResilientInvoker:
                             % (call.name, elapsed, policy.call_timeout)
                         )
                     else:
-                        breaker.record_success()
-                        if attempt > 1:
-                            report.recovered_calls += 1
+                        with self._lock:
+                            breaker.record_success()
+                            if attempt > 1:
+                                report.recovered_calls += 1
                         return forest
 
             if attempt >= policy.max_attempts:
@@ -433,10 +470,11 @@ class ResilientInvoker:
                     "retries exhausted after %d attempt(s); last fault: %s"
                     % (attempt, last_fault),
                 ) from last_fault
-            delay = policy.backoff(attempt, self._rng)
-            report.retries += 1
-            self._count(report.retries_by_function, call.name)
-            report.backoff_seconds += delay
+            delay = policy.backoff(attempt, rng)
+            with self._lock:
+                report.retries += 1
+                self._count(report.retries_by_function, call.name)
+                report.backoff_seconds += delay
             tracer.event("retry", delay=round(delay, 6))
             if metrics.enabled:
                 metrics.counter(
@@ -466,7 +504,8 @@ class ResilientInvoker:
     def _give_up(
         self, call: FunctionCall, endpoint: str, reason: str
     ) -> FunctionUnavailableError:
-        if call.name not in self._dead:
-            self._dead[call.name] = reason
-            self.report.dead_functions.append(call.name)
+        with self._lock:
+            if call.name not in self._dead:
+                self._dead[call.name] = reason
+                self.report.dead_functions.append(call.name)
         return FunctionUnavailableError(call.name, endpoint, reason)

@@ -1,0 +1,471 @@
+"""Unit tests for the concurrent materialization scheduler (repro.exec).
+
+The subsystem has three separable pieces, tested separately here:
+fingerprints (value identity of calls), the dependency DAG (what may
+run concurrently, what must wait), and the scheduler/result-store pair
+(waves, dedup, error replay, observability).  End-to-end equivalence
+with the sequential engine lives in ``test_parallel_equivalence.py``.
+"""
+
+import threading
+
+import pytest
+
+from repro import (
+    FunctionSignature,
+    MetricsRegistry,
+    RewriteEngine,
+    Service,
+    ServiceRegistry,
+    Tracer,
+    call,
+    constant_responder,
+    el,
+    parse_regex,
+    text,
+)
+from repro.doc.document import Document
+from repro.errors import TransientFault
+from repro.exec import (
+    CallDAG,
+    ExecPolicy,
+    ExecReport,
+    MaterializationScheduler,
+    ScheduledInvoker,
+    build_call_dag,
+    call_fingerprint,
+    fingerprint_digest,
+)
+from repro.obs import observing
+from repro.schema.model import SchemaBuilder
+from repro.services.resilience import SimulatedClock
+from repro.workloads import newspaper
+
+
+def forecast_registry(responder=None):
+    registry = ServiceRegistry()
+    forecast = Service(newspaper.FORECAST_ENDPOINT, newspaper.FORECAST_NS)
+    forecast.add_operation(
+        "Get_Temp",
+        FunctionSignature(parse_regex("city"), parse_regex("temp")),
+        responder or constant_responder((el("temp", "15"),)),
+    )
+    registry.register(forecast)
+    return registry
+
+
+def nested_schema():
+    """Get_Temp's ``city`` parameter itself arrives intensionally."""
+    return (
+        SchemaBuilder()
+        .element("newspaper", "title.date.temp")
+        .element("title", "data")
+        .element("date", "data")
+        .element("temp", "data")
+        .element("city", "data")
+        .function("Get_Temp", "city", "temp")
+        .function("Get_City", "data", "city")
+        .root("newspaper")
+        .build(strict=False)
+    )
+
+
+def nested_document():
+    return Document(
+        el(
+            "newspaper",
+            el("title", "The Sun"),
+            el("date", "04/10/2002"),
+            call(
+                "Get_Temp",
+                call(
+                    "Get_City",
+                    text("75000"),
+                    endpoint="http://geo.example/soap",
+                    namespace="urn:geo",
+                ),
+                endpoint=newspaper.FORECAST_ENDPOINT,
+                namespace=newspaper.FORECAST_NS,
+            ),
+        )
+    )
+
+
+def nested_registry():
+    registry = forecast_registry()
+    geo = Service("http://geo.example/soap", "urn:geo")
+    geo.add_operation(
+        "Get_City",
+        FunctionSignature(parse_regex("data"), parse_regex("city")),
+        constant_responder((el("city", "Paris"),)),
+    )
+    registry.register(geo)
+    return registry
+
+
+class TestFingerprint:
+    def test_value_identity_not_node_identity(self):
+        a = call("Get_Temp", el("city", "Paris"), endpoint="e", namespace="n")
+        b = call("Get_Temp", el("city", "Paris"), endpoint="e", namespace="n")
+        assert a is not b
+        assert call_fingerprint(a) == call_fingerprint(b)
+
+    def test_distinguishes_arguments(self):
+        a = call("Get_Temp", el("city", "Paris"))
+        b = call("Get_Temp", el("city", "Rome"))
+        assert call_fingerprint(a) != call_fingerprint(b)
+
+    def test_distinguishes_function_and_endpoint(self):
+        a = call("Get_Temp", el("city", "Paris"), endpoint="e1")
+        assert call_fingerprint(a) != call_fingerprint(
+            call("TimeOut", el("city", "Paris"), endpoint="e1")
+        )
+        assert call_fingerprint(a) != call_fingerprint(
+            call("Get_Temp", el("city", "Paris"), endpoint="e2")
+        )
+
+    def test_distinguishes_nested_structure(self):
+        a = call("F", el("a", el("b", "x")))
+        b = call("F", el("a", "x"), el("b"))
+        assert call_fingerprint(a) != call_fingerprint(b)
+
+    def test_digest_is_short_and_stable(self):
+        fc = call("Get_Temp", el("city", "Paris"))
+        digest = fingerprint_digest(call_fingerprint(fc))
+        assert len(digest) == 12
+        assert digest == fingerprint_digest(call_fingerprint(fc))
+
+
+class TestCallDAG:
+    def test_flat_document_is_one_wave(self):
+        width = 6
+        engine = RewriteEngine(
+            newspaper.wide_schema_star2(width),
+            newspaper.wide_schema_star(width),
+            k=1,
+        )
+        dag = build_call_dag(newspaper.wide_document(width), engine)
+        assert dag.planned_calls == width
+        assert len(dag.tasks) == width
+        assert dag.n_edges == 0
+        waves = dag.waves()
+        assert len(waves) == 1
+        # document order within the wave
+        cities = [t.call.params[0].children[0].value for t in waves[0]]
+        assert cities == list(newspaper.CITIES[:width])
+
+    def test_kept_calls_are_planned_but_not_scheduled(self):
+        # Against schema (*), the safe strategy keeps both calls
+        # intensional: nothing to prefetch, but the planner saw them.
+        engine = RewriteEngine(
+            newspaper.schema_star(), newspaper.schema_star(), k=1
+        )
+        dag = build_call_dag(newspaper.document(), engine)
+        assert dag.tasks == []
+        assert dag.planned_calls == 2
+
+    def test_nested_parameter_call_becomes_an_edge(self):
+        schema = nested_schema()
+        engine = RewriteEngine(schema, schema, k=1)
+        dag = build_call_dag(nested_document(), engine)
+        assert [t.function for t in dag.tasks] == ["Get_City", "Get_Temp"]
+        inner, outer = dag.tasks
+        assert inner.depends_on == ()
+        assert outer.depends_on == (inner.task_id,)
+        waves = dag.waves()
+        assert [[t.function for t in wave] for wave in waves] == [
+            ["Get_City"], ["Get_Temp"],
+        ]
+        assert dag.n_edges == 1
+
+    def test_empty_document_plans_nothing(self):
+        engine = RewriteEngine(
+            newspaper.schema_star2(), newspaper.schema_star(), k=1
+        )
+        dag = build_call_dag(Document(text("just data")), engine)
+        assert dag.tasks == [] and dag.planned_calls == 0
+
+
+class CountingInvoker:
+    """A deterministic invoker that counts physical invocations."""
+
+    def __init__(self, fail_first_n=0):
+        self.calls = []
+        self.fail_first_n = fail_first_n
+        self.lock = threading.Lock()
+
+    def __call__(self, fc):
+        with self.lock:
+            self.calls.append(fc.name)
+            if len(self.calls) <= self.fail_first_n:
+                raise TransientFault("injected")
+        city = fc.params[0].children[0].value if fc.params else "?"
+        return (el("temp", str(len(city))),)
+
+
+class TestScheduledInvoker:
+    def test_second_occurrence_replays_from_store(self):
+        inner = CountingInvoker()
+        store = ScheduledInvoker(inner, dedup=True, report=ExecReport())
+        fc = call("Get_Temp", el("city", "Paris"))
+        first = store(fc)
+        second = store(call("Get_Temp", el("city", "Paris")))
+        assert first == second == (el("temp", "5"),)
+        assert len(inner.calls) == 1
+        assert store._report.physical_calls == 1
+        assert store._report.replay_hits == 1
+
+    def test_distinct_calls_are_not_collapsed(self):
+        inner = CountingInvoker()
+        store = ScheduledInvoker(inner, dedup=True, report=ExecReport())
+        store(call("Get_Temp", el("city", "Paris")))
+        store(call("Get_Temp", el("city", "Rome")))
+        assert len(inner.calls) == 2
+
+    def test_fault_is_replayed_once_then_retried_live(self):
+        inner = CountingInvoker(fail_first_n=1)
+        store = ScheduledInvoker(inner, dedup=True, report=ExecReport())
+        fc = call("Get_Temp", el("city", "Paris"))
+        with pytest.raises(TransientFault):
+            store(fc)  # the physical attempt (prefetch) faults
+        assert len(inner.calls) == 1
+        with pytest.raises(TransientFault):
+            store(fc)  # the stored fault replays — no extra attempt
+        assert len(inner.calls) == 1
+        assert store(fc) == (el("temp", "5"),)  # one-shot: now live again
+        assert len(inner.calls) == 2
+        # failed attempts crossed the wire too
+        assert store._report.physical_calls == 2
+
+    def test_inflight_duplicates_coalesce_on_the_leader(self):
+        release = threading.Event()
+        started = threading.Event()
+
+        class SlowInvoker(CountingInvoker):
+            def __call__(self, fc):
+                started.set()
+                release.wait(timeout=5)
+                return CountingInvoker.__call__(self, fc)
+
+        inner = SlowInvoker()
+        report = ExecReport()
+        store = ScheduledInvoker(inner, dedup=True, report=report)
+        fc = call("Get_Temp", el("city", "Paris"))
+        results = []
+        leader = threading.Thread(target=lambda: results.append(store(fc)))
+        leader.start()
+        started.wait(timeout=5)
+        follower = threading.Thread(target=lambda: results.append(store(fc)))
+        follower.start()
+        while report.inflight_hits == 0 and follower.is_alive():
+            pass  # the follower parks on the leader's in-flight cell
+        release.set()
+        leader.join(timeout=5)
+        follower.join(timeout=5)
+        assert results[0] == results[1]
+        assert len(inner.calls) == 1
+        assert report.inflight_hits == 1
+
+    def test_clock_and_report_shine_through(self):
+        class Wrapped:
+            clock = SimulatedClock()
+            report = "sentinel"
+
+            def __call__(self, fc):
+                return ()
+
+        store = ScheduledInvoker(Wrapped(), dedup=True, report=ExecReport())
+        assert isinstance(store.clock, SimulatedClock)
+        assert store.report == "sentinel"
+
+
+class TestMaterializationScheduler:
+    def engine(self, width, **kwargs):
+        return RewriteEngine(
+            newspaper.wide_schema_star2(width),
+            newspaper.wide_schema_star(width),
+            k=1,
+            **kwargs,
+        )
+
+    def test_sequential_policy_returns_invoker_unchanged(self):
+        engine = self.engine(4)
+        invoker = forecast_registry().make_invoker()
+        scheduler = MaterializationScheduler(
+            engine._planning_engine(), ExecPolicy(max_workers=1)
+        )
+        result, report = scheduler.prefetch(
+            newspaper.wide_document(4), invoker
+        )
+        assert result is invoker
+        assert not report.prefetched
+        assert report.planned_calls == 4
+
+    def test_parallel_prefetch_dedups_statically(self):
+        width = 24  # 12 unique cities, each twice
+        engine = self.engine(width)
+        scheduler = MaterializationScheduler(
+            engine._planning_engine(), ExecPolicy(max_workers=8, dedup=True)
+        )
+        store, report = scheduler.prefetch(
+            newspaper.wide_document(width), forecast_registry().make_invoker()
+        )
+        assert store is not None and report.prefetched
+        assert report.scheduled_tasks == 12
+        assert report.static_dedup_saved == 12
+        assert report.tasks_ok == 12 and report.tasks_failed == 0
+        assert report.physical_calls == 12
+        assert report.saved_round_trips == 12
+        assert report.waves == 1
+
+    def test_dedup_off_schedules_every_occurrence(self):
+        width = 8
+        engine = self.engine(width)
+        scheduler = MaterializationScheduler(
+            engine._planning_engine(), ExecPolicy(max_workers=4, dedup=False)
+        )
+        _store, report = scheduler.prefetch(
+            newspaper.wide_document(width), forecast_registry().make_invoker()
+        )
+        assert report.scheduled_tasks == width
+        assert report.static_dedup_saved == 0
+        # Regression: without dedup there is no in-flight cell, and the
+        # invoke path once tried to delete one anyway (KeyError after
+        # every successful round-trip, miscounted as a failed task).
+        assert report.tasks_ok == width
+        assert report.tasks_failed == 0
+
+    def test_unique_calls_save_nothing(self):
+        width = 10
+        engine = self.engine(width)
+        scheduler = MaterializationScheduler(
+            engine._planning_engine(), ExecPolicy(max_workers=4, dedup=True)
+        )
+        _store, report = scheduler.prefetch(
+            newspaper.wide_document(width), forecast_registry().make_invoker()
+        )
+        assert report.saved_round_trips == 0
+
+    def test_nested_calls_run_in_two_waves(self):
+        schema = nested_schema()
+        engine = RewriteEngine(schema, schema, k=1, workers=4)
+        result = engine.rewrite(
+            nested_document(), nested_registry().make_invoker()
+        )
+        report = result.exec_report
+        assert report is not None
+        assert report.waves == 2
+        assert report.tasks_ok == 2
+        assert result.document.to_xml() == (
+            RewriteEngine(schema, schema, k=1)
+            .rewrite(nested_document(), nested_registry().make_invoker())
+            .document.to_xml()
+        )
+
+    def test_endpoint_batching_groups_by_endpoint(self):
+        width = 6
+        engine = self.engine(width)
+        scheduler = MaterializationScheduler(
+            engine._planning_engine(),
+            ExecPolicy(max_workers=4, dedup=True, batch=True),
+        )
+        _store, report = scheduler.prefetch(
+            newspaper.wide_document(width), forecast_registry().make_invoker()
+        )
+        # all six calls share one endpoint: one batch, not six
+        assert report.batches == 1
+        assert report.tasks_ok == width
+
+    def test_summary_mentions_workers_and_savings(self):
+        report = ExecReport(
+            max_workers=8, scheduled_tasks=5, waves=2, tasks_ok=5,
+            static_dedup_saved=3, physical_calls=5,
+        )
+        line = report.summary()
+        assert "8 worker(s)" in line and "3 round-trip(s) saved" in line
+        assert "sequential" in ExecReport(planned_calls=2).summary()
+
+
+class TestObservability:
+    def test_spans_and_metrics_are_emitted(self):
+        width = 6
+        engine = RewriteEngine(
+            newspaper.wide_schema_star2(width),
+            newspaper.wide_schema_star(width),
+            k=1,
+            workers=4,
+        )
+        tracer = Tracer(clock=SimulatedClock())
+        metrics = MetricsRegistry()
+        with observing(tracer, metrics):
+            engine.rewrite(
+                newspaper.wide_document(width),
+                forecast_registry().make_invoker(),
+            )
+        spans = tracer.finished()
+        names = {span.name for span in spans}
+        assert {"exec.plan", "exec.schedule", "exec.wave", "exec.task"} <= names
+        by_id = {span.span_id: span for span in spans}
+        for span in spans:
+            if span.name == "exec.task":
+                assert by_id[span.parent_id].name == "exec.wave"
+                assert span.attributes["outcome"] == "ok"
+        task_counter = metrics.get("repro_exec_tasks_total")
+        assert task_counter is not None
+        assert sum(value for _name, value in task_counter.samples()) == width
+        assert metrics.get("repro_exec_store_total") is not None
+
+
+class TestEngineGating:
+    """When prefetching must not happen, it silently does not."""
+
+    def test_workers_one_attaches_no_report(self):
+        engine = RewriteEngine(
+            newspaper.schema_star2(), newspaper.schema_star(), k=1, workers=1
+        )
+        result = engine.rewrite(
+            newspaper.document(), forecast_registry().make_invoker()
+        )
+        assert result.exec_report is None
+
+    def test_possible_mode_is_left_sequential(self):
+        engine = RewriteEngine(
+            newspaper.schema_star3(),
+            newspaper.schema_star(),
+            k=1,
+            mode="possible",
+            workers=8,
+        )
+        registry = forecast_registry()
+        timeout = Service(newspaper.TIMEOUT_ENDPOINT, newspaper.TIMEOUT_NS)
+        timeout.add_operation(
+            "TimeOut",
+            FunctionSignature(
+                parse_regex("data"), parse_regex("(exhibit | performance)*")
+            ),
+            constant_responder(()),
+        )
+        registry.register(timeout)
+        result = engine.rewrite(newspaper.document(), registry.make_invoker())
+        assert result.exec_report is None
+
+    def test_env_defaults_resolve(self, monkeypatch):
+        engine = RewriteEngine(
+            newspaper.schema_star2(), newspaper.schema_star(), k=1
+        )
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        monkeypatch.delenv("REPRO_DEDUP", raising=False)
+        assert engine.resolved_workers == 1
+        assert engine.resolved_dedup is True
+        monkeypatch.setenv("REPRO_WORKERS", "6")
+        monkeypatch.setenv("REPRO_DEDUP", "off")
+        assert engine.resolved_workers == 6
+        assert engine.resolved_dedup is False
+        monkeypatch.setenv("REPRO_WORKERS", "not-a-number")
+        assert engine.resolved_workers == 1
+        explicit = RewriteEngine(
+            newspaper.schema_star2(), newspaper.schema_star(), k=1,
+            workers=3, dedup=True,
+        )
+        assert explicit.resolved_workers == 3
+        assert explicit.resolved_dedup is True

@@ -275,3 +275,100 @@ class TestContext:
             with t.span("x"):
                 pass
             assert m.counter("repro_spans_total").value(name="x") == 1
+
+
+class TestConcurrency:
+    """Regression: the tracer and metrics are shared across the
+    scheduler's worker threads — parenting must stay per-thread and
+    counters must not lose increments."""
+
+    def test_concurrent_spans_never_interleave_parents(self):
+        import threading
+
+        t = Tracer(clock=SimulatedClock())
+        n = 8
+        barrier = threading.Barrier(n)
+
+        def worker(idx):
+            with t.span("outer", idx=idx):
+                barrier.wait(timeout=10)  # all outers open at once
+                with t.span("inner", idx=idx):
+                    barrier.wait(timeout=10)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(n)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10)
+
+        spans = t.finished()
+        assert len(spans) == 2 * n
+        by_id = {span.span_id: span for span in spans}
+        for span in spans:
+            if span.name == "inner":
+                parent = by_id[span.parent_id]
+                # each inner hangs off *its own thread's* outer, never
+                # a concurrently open span of another thread
+                assert parent.name == "outer"
+                assert parent.attributes["idx"] == span.attributes["idx"]
+            else:
+                assert span.parent_id is None
+
+    def test_threads_do_not_inherit_the_main_threads_span(self):
+        import threading
+
+        t = Tracer(clock=SimulatedClock())
+        recorded = []
+        with t.span("main-work"):
+
+            def worker():
+                with t.span("detached") as span:
+                    pass
+                recorded.append(span)
+
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join(timeout=10)
+        (detached,) = [s for s in t.finished() if s.name == "detached"]
+        assert detached.parent_id is None
+
+    def test_explicit_parent_id_crosses_threads(self):
+        import threading
+
+        t = Tracer(clock=SimulatedClock())
+        with t.span("wave") as wave:
+            wave_id = wave.span_id
+
+            def worker():
+                with t.span("task", parent_id=wave_id):
+                    pass
+
+            threads = [threading.Thread(target=worker) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=10)
+        tasks = [s for s in t.finished() if s.name == "task"]
+        assert len(tasks) == 4
+        assert all(s.parent_id == wave_id for s in tasks)
+
+    def test_counters_and_histograms_lose_no_updates(self):
+        import threading
+
+        m = MetricsRegistry()
+        n_threads, per_thread = 8, 500
+
+        def worker():
+            for _ in range(per_thread):
+                m.counter("c", "test").inc(kind="x")
+                m.histogram("h", "test").observe(1.0)
+
+        threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert m.counter("c", "test").value(kind="x") == n_threads * per_thread
+        assert m.histogram("h", "test").count() == n_threads * per_thread

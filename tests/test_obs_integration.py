@@ -34,7 +34,9 @@ WIDTH = 4
 def build_network(resilience=None, fail_every=0):
     star = newspaper.wide_schema_star(WIDTH)
     star2 = newspaper.wide_schema_star2(WIDTH)
-    alice = AXMLPeer("alice", star, resilience=resilience)
+    # These tests pin the *sequential* span tree (shape and byte-exact
+    # exports), so the sender opts out of any REPRO_WORKERS prefetching.
+    alice = AXMLPeer("alice", star, resilience=resilience, parallelism=1)
     forecast = Service(newspaper.FORECAST_ENDPOINT, newspaper.FORECAST_NS)
     responder = constant_responder((el("temp", "15"),))
     if fail_every:

@@ -1,0 +1,271 @@
+"""Property tests: parallel materialization ≡ sequential materialization.
+
+The whole point of the scheduler's plan→prefetch→replay design is that
+``rewrite(workers=N)`` is *observationally identical* to
+``rewrite(workers=1)`` — same document bytes, same invocation log, same
+analysis-cache accounting — for any worker count, with or without
+dedup, under retries and injected faults.  These tests pin that
+contract on seeded workloads.
+"""
+
+import random
+import threading
+
+import pytest
+
+from repro import (
+    FunctionSignature,
+    ResiliencePolicy,
+    RewriteEngine,
+    Service,
+    ServiceRegistry,
+    call,
+    el,
+    flaky_responder,
+    parse_regex,
+    text,
+)
+from repro.doc.builder import el as el_
+from repro.doc.document import Document
+from repro.workloads import newspaper
+
+WORKER_COUNTS = (1, 2, 8)
+
+
+def value_responder(params):
+    """A pure function of the parameters — same city, same temperature —
+    so results are independent of invocation order and collapsing."""
+    city = params[0].children[0].value if params else "?"
+    return (el("temp", str(sum(map(ord, city)) % 40)),)
+
+
+def forecast_registry(flaky_every=0):
+    registry = ServiceRegistry()
+    forecast = Service(newspaper.FORECAST_ENDPOINT, newspaper.FORECAST_NS)
+    responder = value_responder
+    if flaky_every:
+        responder = flaky_responder(responder, fail_every=flaky_every)
+    forecast.add_operation(
+        "Get_Temp",
+        FunctionSignature(parse_regex("city"), parse_regex("temp")),
+        responder,
+    )
+    registry.register(forecast)
+    return registry
+
+
+def run(width, workers, dedup=True, flaky_every=0, resilience=None):
+    registry = forecast_registry(flaky_every)
+    invoker = registry.make_invoker(resilience=resilience)
+    engine = RewriteEngine(
+        newspaper.wide_schema_star2(width),
+        newspaper.wide_schema_star(width),
+        k=1,
+        workers=workers,
+        dedup=dedup,
+    )
+    result = engine.rewrite(newspaper.wide_document(width), invoker)
+    return result, invoker
+
+
+class TestDocumentEquivalence:
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_bit_identical_documents(self, workers):
+        baseline, _ = run(width=20, workers=1)
+        result, _ = run(width=20, workers=workers)
+        assert result.document.to_xml() == baseline.document.to_xml()
+
+    @pytest.mark.parametrize("dedup", (True, False))
+    def test_dedup_does_not_change_the_document(self, dedup):
+        baseline, _ = run(width=24, workers=1)
+        result, _ = run(width=24, workers=8, dedup=dedup)
+        assert result.document.to_xml() == baseline.document.to_xml()
+
+    def test_invocation_log_and_accounting_match(self):
+        baseline, _ = run(width=20, workers=1)
+        result, _ = run(width=20, workers=8)
+        assert len(result.log) == len(baseline.log)
+        assert result.degraded_functions == baseline.degraded_functions
+        # The planning clone keeps its own counters, so the real
+        # engine's cache accounting is untouched by prefetching.
+        assert (result.cache_hits, result.cache_misses) == (
+            baseline.cache_hits, baseline.cache_misses,
+        )
+
+    def test_parallel_runs_are_reproducible(self):
+        first, _ = run(width=24, workers=8)
+        second, _ = run(width=24, workers=8)
+        assert first.document.to_xml() == second.document.to_xml()
+
+    def test_seeded_random_workloads(self):
+        """Random widths/duplication patterns, every worker count."""
+        for seed in range(5):
+            rng = random.Random(seed)
+            width = rng.randrange(3, 30)
+            baseline, _ = run(width=width, workers=1)
+            for workers in (2, 8):
+                result, _ = run(width=width, workers=workers)
+                assert (
+                    result.document.to_xml() == baseline.document.to_xml()
+                ), "divergence at seed=%d width=%d workers=%d" % (
+                    seed, width, workers,
+                )
+
+
+class TestFaultEquivalence:
+    def test_flaky_services_with_retries_converge(self):
+        # 12 unique calls (no duplicate fingerprints), every 3rd
+        # physical attempt faults: retries absorb the faults and the
+        # final document is identical at any worker count.
+        policy = ResiliencePolicy(jitter_seed=7)
+        baseline, seq_invoker = run(
+            width=12, workers=1, flaky_every=3, resilience=policy
+        )
+        result, par_invoker = run(
+            width=12, workers=8, flaky_every=3, resilience=policy
+        )
+        assert result.document.to_xml() == baseline.document.to_xml()
+        # unique fingerprints → physical-call parity → identical
+        # fault accounting (which attempts fault is a function of the
+        # shared counter's total, not of arrival order)
+        assert par_invoker.report.calls == seq_invoker.report.calls
+        assert par_invoker.report.faults == seq_invoker.report.faults
+        assert par_invoker.report.retries == seq_invoker.report.retries
+
+    def test_prefetched_fault_is_not_an_extra_attempt(self):
+        # A service that fails on its 2nd physical call: sequential
+        # enforcement of two documents sees ok, then error.  The
+        # prefetching engine must see exactly the same, i.e. a fault
+        # consumed during prefetch replays instead of being retried.
+        def outcome(workers):
+            registry = forecast_registry(flaky_every=2)
+            invoker = registry.make_invoker()
+            engine = lambda: RewriteEngine(  # noqa: E731 - fresh per pass
+                newspaper.schema_star2(), newspaper.schema_star(), k=1,
+                workers=workers,
+            )
+            first = engine().rewrite(newspaper.document(), invoker)
+            try:
+                engine().rewrite(newspaper.document(), invoker)
+            except Exception as exc:
+                return first.document.to_xml(), type(exc).__name__
+            return first.document.to_xml(), None
+
+        assert outcome(workers=8) == outcome(workers=1)
+
+
+class TestNestedEquivalence:
+    def schema(self):
+        from repro.schema.model import SchemaBuilder
+
+        return (
+            SchemaBuilder()
+            .element("newspaper", "title.date.temp.temp")
+            .element("title", "data")
+            .element("date", "data")
+            .element("temp", "data")
+            .element("city", "data")
+            .function("Get_Temp", "city", "temp")
+            .function("Get_City", "data", "city")
+            .root("newspaper")
+            .build(strict=False)
+        )
+
+    def document(self):
+        def temp(zipcode):
+            return call(
+                "Get_Temp",
+                call(
+                    "Get_City",
+                    text(zipcode),
+                    endpoint="http://geo.example/soap",
+                    namespace="urn:geo",
+                ),
+                endpoint=newspaper.FORECAST_ENDPOINT,
+                namespace=newspaper.FORECAST_NS,
+            )
+
+        return Document(
+            el_(
+                "newspaper",
+                el_("title", "The Sun"),
+                el_("date", "04/10/2002"),
+                temp("75000"),
+                temp("00100"),
+            )
+        )
+
+    def registry(self):
+        registry = forecast_registry()
+        geo = Service("http://geo.example/soap", "urn:geo")
+
+        def city_of(params):
+            zipcode = params[0].value
+            return (el("city", "Paris" if zipcode == "75000" else "Rome"),)
+
+        geo.add_operation(
+            "Get_City",
+            FunctionSignature(parse_regex("data"), parse_regex("city")),
+            city_of,
+        )
+        registry.register(geo)
+        return registry
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_dependent_calls_stay_ordered(self, workers):
+        schema = self.schema()
+        engine = RewriteEngine(schema, schema, k=1, workers=workers)
+        result = engine.rewrite(self.document(), self.registry().make_invoker())
+        baseline = RewriteEngine(schema, schema, k=1).rewrite(
+            self.document(), self.registry().make_invoker()
+        )
+        assert result.document.to_xml() == baseline.document.to_xml()
+        if workers > 1:
+            assert result.exec_report.waves == 2
+
+
+class TestPeerExchangeEquivalence:
+    def network(self, parallelism):
+        from repro.axml.network import PeerNetwork
+        from repro.axml.peer import AXMLPeer
+
+        width = 16
+        alice = AXMLPeer(
+            "alice", newspaper.wide_schema_star(width), parallelism=parallelism
+        )
+        forecast = Service(newspaper.FORECAST_ENDPOINT, newspaper.FORECAST_NS)
+        forecast.add_operation(
+            "Get_Temp",
+            FunctionSignature(parse_regex("city"), parse_regex("temp")),
+            value_responder,
+        )
+        alice.registry.register(forecast)
+        bob = AXMLPeer("bob", newspaper.wide_schema_star2(width))
+        network = PeerNetwork()
+        network.add_peer(alice)
+        network.add_peer(bob)
+        network.agree("alice", "bob", newspaper.wide_schema_star2(width))
+        alice.repository.store("front", newspaper.wide_document(width))
+        return network, bob
+
+    def test_transfer_is_identical_and_reports_savings(self):
+        seq_net, seq_bob = self.network(parallelism=1)
+        par_net, par_bob = self.network(parallelism=8)
+        seq_receipt = seq_net.send("alice", "bob", "front")
+        par_receipt = par_net.send("alice", "bob", "front")
+        assert seq_receipt.accepted and par_receipt.accepted
+        assert (
+            par_bob.repository.get("front").to_xml()
+            == seq_bob.repository.get("front").to_xml()
+        )
+        assert par_receipt.bytes_on_wire == seq_receipt.bytes_on_wire
+        # width 16 over 12 unique cities → 4 duplicated occurrences
+        assert par_receipt.saved_round_trips == 4
+        assert seq_receipt.saved_round_trips == 0
+
+    def test_per_send_parallelism_override(self):
+        network, _bob = self.network(parallelism=None)
+        receipt = network.send("alice", "bob", "front", parallelism=8)
+        assert receipt.accepted
+        assert receipt.exec_report is not None
+        assert receipt.exec_report.max_workers == 8

@@ -322,3 +322,88 @@ class TestClocks:
         clock.sleep(3.0)
         clock.sleep(-1.0)  # negative sleeps are ignored
         assert clock.now() == 13.0
+
+
+class TestJitterIsPerCall:
+    """The backoff RNG is derived from ``(jitter_seed, call
+    fingerprint)``, not shared — so the jitter a given call sees does
+    not depend on which other calls ran first, on which thread it ran,
+    or on the worker count of the scheduler above."""
+
+    @staticmethod
+    def fail_first_attempt_per_city():
+        """Fault the first attempt of each distinct city, then answer."""
+        import threading
+
+        seen = set()
+        lock = threading.Lock()
+
+        def responder(params):
+            city = params[0].children[0].value
+            with lock:
+                if city not in seen:
+                    seen.add(city)
+                    raise TransientFault("cold cache for %s" % city)
+            return TEMP
+
+        return responder
+
+    def backoffs(self, order):
+        registry, _service = registry_with(self.fail_first_attempt_per_city())
+        invoker = registry.make_invoker(
+            resilience=ResiliencePolicy(jitter_seed=7)
+        )
+        for city in order:
+            invoker(call("Get_Temp", el("city", city)))
+        return invoker.report
+
+    def test_backoff_total_is_order_invariant(self):
+        cities = ["Paris", "London", "Rome", "Berlin"]
+        forward = self.backoffs(cities)
+        backward = self.backoffs(list(reversed(cities)))
+        assert forward.retries == backward.retries == 4
+        # the four per-call delays are identical; only the float
+        # summation order differs between the two runs
+        assert forward.backoff_seconds == pytest.approx(
+            backward.backoff_seconds, rel=1e-12
+        )
+
+    def test_distinct_calls_get_distinct_jitter(self):
+        paris = self.backoffs(["Paris"]).backoff_seconds
+        rome = self.backoffs(["Rome"]).backoff_seconds
+        assert paris != rome
+
+    def test_backoffs_identical_across_worker_counts(self):
+        from repro import RewriteEngine
+        from repro.workloads import newspaper
+
+        def run(workers):
+            registry = ServiceRegistry()
+            service = Service(
+                newspaper.FORECAST_ENDPOINT, newspaper.FORECAST_NS
+            )
+            service.add_operation(
+                "Get_Temp", SIG, self.fail_first_attempt_per_city()
+            )
+            registry.register(service)
+            invoker = registry.make_invoker(
+                resilience=ResiliencePolicy(jitter_seed=7)
+            )
+            engine = RewriteEngine(
+                newspaper.wide_schema_star2(8),
+                newspaper.wide_schema_star(8),
+                k=1,
+                workers=workers,
+            )
+            result = engine.rewrite(newspaper.wide_document(8), invoker)
+            return result.document.to_xml(), invoker.report
+
+        # eight unique cities, each faulting exactly once: the same
+        # eight per-call jitters are drawn whatever the interleaving
+        sequential_xml, sequential = run(1)
+        parallel_xml, parallel = run(8)
+        assert parallel_xml == sequential_xml
+        assert parallel.retries == sequential.retries == 8
+        assert parallel.backoff_seconds == pytest.approx(
+            sequential.backoff_seconds, rel=1e-12
+        )
