@@ -13,7 +13,10 @@ Schema Enforcement module would be driven operationally:
 - ``inspect`` — document statistics (size, depth, embedded calls);
 - ``figures`` — regenerate the paper's automata figures as Graphviz DOT;
 - ``stats`` — render a trace captured with ``rewrite --trace`` as a span
-  tree.
+  tree;
+- ``fuzz`` — the differential conformance harness: fuzz seeded
+  scenarios through the engine configuration matrix and the reference
+  interpreter, freeze shrunk failures as corpus entries, replay them.
 
 Usage::
 
@@ -24,6 +27,8 @@ Usage::
     python -m repro.cli inspect doc.xml
     python -m repro.cli figures out/
     python -m repro.cli stats t.jsonl
+    python -m repro.cli fuzz --seeds 200
+    python -m repro.cli fuzz --replay tests/corpus
 """
 
 from __future__ import annotations
@@ -313,6 +318,102 @@ def cmd_stats(args) -> int:
     return 0
 
 
+def cmd_fuzz(args) -> int:
+    """Differential conformance fuzzing (and corpus replay).
+
+    Exit codes: 0 — every scenario agreed across the configuration
+    matrix and with the reference interpreter; 1 — at least one
+    disagreement (each is shrunk and frozen under ``--corpus-dir``
+    unless ``--self-test``); 2 — operational error.
+    """
+    from repro.conformance import corpus as corpus_mod
+    from repro.conformance import differential, fuzzer
+
+    if args.replay:
+        failures = 0
+        entries = 0
+        for target in args.replay:
+            for path in corpus_mod.corpus_paths(target):
+                entries += 1
+                found = corpus_mod.replay_entry(corpus_mod.load_entry(path))
+                if found:
+                    failures += 1
+                    print("REPLAY FAILED: %s" % path)
+                    for disagreement in found:
+                        print("  " + str(disagreement))
+        print("replayed %d corpus entr%s, %d failure(s)"
+              % (entries, "y" if entries == 1 else "ies", failures))
+        return 1 if failures else 0
+
+    matrix = (
+        differential.SELF_TEST_MATRIX if args.self_test
+        else differential.DEFAULT_MATRIX
+    )
+    report = differential.DifferentialReport()
+    failures = 0
+    for seed in range(args.start, args.start + args.seeds):
+        before = len(report.disagreements)
+        differential.run_seed(
+            seed, kind=args.kind, matrix=matrix,
+            invert_reference=args.self_test, report=report,
+        )
+        fresh = report.disagreements[before:]
+        if not fresh:
+            continue
+        failures += 1
+        for disagreement in fresh:
+            print("DISAGREEMENT: %s" % disagreement)
+        if not args.self_test:
+            for path in _freeze_failures(args, seed, fresh, matrix):
+                print("  corpus entry -> %s" % path)
+        if failures >= args.max_failures:
+            print("stopping after %d failing seed(s)" % failures,
+                  file=sys.stderr)
+            break
+    print(report.summary())
+    if args.self_test:
+        detected = not report.ok
+        print("self-test: harness %s the injected divergence"
+              % ("DETECTED" if detected else "MISSED"))
+        return 1 if detected else 2
+    return 0 if report.ok else 1
+
+
+def _freeze_failures(args, seed: int, fresh, matrix) -> List[str]:
+    """Shrink each failing scenario of one seed and write corpus entries."""
+    from repro.conformance import corpus as corpus_mod
+    from repro.conformance import differential, fuzzer
+
+    paths: List[str] = []
+    kinds = {disagreement.kind for disagreement in fresh}
+    note = "; ".join(str(d) for d in fresh[:3])
+    if "word" in kinds:
+        scenario = fuzzer.fuzz_word_scenario(seed)
+
+        def word_fails(candidate) -> bool:
+            return bool(differential.run_word_scenario(candidate)[0])
+
+        scenario = corpus_mod.shrink_word_scenario(scenario, word_fails)
+        paths.append(corpus_mod.save_entry(
+            args.corpus_dir, corpus_mod.word_entry(scenario, note=note)
+        ))
+    if "document" in kinds:
+        scenario = fuzzer.fuzz_document_scenario(seed)
+
+        def document_fails(candidate) -> bool:
+            return bool(
+                differential.run_document_scenario(candidate, matrix)
+            )
+
+        scenario = corpus_mod.shrink_document_scenario(
+            scenario, document_fails
+        )
+        paths.append(corpus_mod.save_entry(
+            args.corpus_dir, corpus_mod.document_entry(scenario, note=note)
+        ))
+    return paths
+
+
 def cmd_inspect(args) -> int:
     document = Document.from_xml(_read(args.document))
     calls = [fc.name for _path, fc in document.function_nodes()]
@@ -393,6 +494,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("output_dir", nargs="?", default="figures")
     p.set_defaults(func=cmd_figures)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="differential conformance fuzzing and corpus replay",
+    )
+    p.add_argument("--seeds", type=int, default=25, metavar="N",
+                   help="number of seeds to fuzz (default 25)")
+    p.add_argument("--start", type=int, default=0, metavar="S",
+                   help="first seed (default 0)")
+    p.add_argument("--kind", choices=["word", "document", "all"],
+                   default="all",
+                   help="scenario family to generate (default all)")
+    p.add_argument("--replay", nargs="+", metavar="PATH",
+                   help="replay corpus entries (files or directories) "
+                        "instead of fuzzing")
+    p.add_argument("--corpus-dir", default="tests/corpus",
+                   help="where shrunk failures are frozen "
+                        "(default tests/corpus)")
+    p.add_argument("--max-failures", type=int, default=5,
+                   help="stop after this many failing seeds (default 5)")
+    p.add_argument("--self-test", action="store_true",
+                   help="corrupt one configuration and invert the reference "
+                        "verdicts; exits 1 when the harness catches it "
+                        "(proving divergences cannot slip through)")
+    p.set_defaults(func=cmd_fuzz)
 
     p = sub.add_parser("inspect", help="document statistics")
     p.add_argument("document")

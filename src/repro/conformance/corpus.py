@@ -1,0 +1,392 @@
+"""Replayable corpus entries: serialize, shrink, replay.
+
+Every disagreement the differential harness finds is minimized and
+frozen as one JSON file under ``tests/corpus/`` so that
+
+- the failure replays deterministically forever (entries carry the full
+  scenario — schemas, document, knobs — not just the seed, so they
+  survive fuzzer-generator changes), and
+- the regression suite (``tests/test_regression_corpus.py``) re-runs
+  every entry on every test run, and ``repro fuzz --replay`` does the
+  same operationally.
+
+Shrinking is greedy and structural: drop word positions / document
+subtrees, simplify regexes (an alternation to one branch, a sequence
+without one item, anything to epsilon), lower ``k``, drop the fault
+schedule — keeping only changes that preserve the failure.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.automata.symbols import DATA
+from repro.errors import ReproError
+from repro.conformance.fuzzer import DocumentScenario, WordScenario
+from repro.doc.document import Document
+from repro.regex.ast import (
+    Alt,
+    AnySymbol,
+    Atom,
+    Empty,
+    Epsilon,
+    EPSILON,
+    Regex,
+    Repeat,
+    Seq,
+    Star,
+    alt,
+    repeat,
+    seq,
+    star,
+)
+from repro.regex.parser import parse_regex
+from repro.schema.model import Schema, SchemaBuilder
+
+#: Corpus format version, bumped on incompatible entry-schema changes.
+FORMAT = 1
+
+
+# ---------------------------------------------------------------------------
+# Regex and schema serialization (parseable round-trip)
+# ---------------------------------------------------------------------------
+
+
+def regex_source(expr: Regex) -> str:
+    """Render a regex in the parser's own notation (round-trips exactly).
+
+    Unlike ``str(expr)``, the reserved ``#data`` atom is rendered as the
+    ``data`` keyword the parser accepts.  Wildcards with exclusions have
+    no source syntax and are rejected — the fuzzer never emits them.
+    """
+    if isinstance(expr, Epsilon):
+        return "eps"
+    if isinstance(expr, Empty):
+        return "empty"
+    if isinstance(expr, Atom):
+        return "data" if expr.symbol == DATA else expr.symbol
+    if isinstance(expr, AnySymbol):
+        if expr.exclude:
+            raise ValueError("wildcard exclusions have no source notation")
+        return "any"
+    if isinstance(expr, Seq):
+        return ".".join(_wrap(item) for item in expr.items)
+    if isinstance(expr, Alt):
+        return "(" + " | ".join(regex_source(o) for o in expr.options) + ")"
+    if isinstance(expr, Star):
+        return _wrap(expr.item) + "*"
+    if isinstance(expr, Repeat):
+        if expr.low == 1 and expr.high is None:
+            return _wrap(expr.item) + "+"
+        if expr.low == 0 and expr.high == 1:
+            return _wrap(expr.item) + "?"
+        high = "" if expr.high is None else str(expr.high)
+        return "%s{%d,%s}" % (_wrap(expr.item), expr.low, high)
+    raise TypeError("unknown regex node %r" % (expr,))
+
+
+def _wrap(expr: Regex) -> str:
+    text = regex_source(expr)
+    if isinstance(expr, Seq):
+        return "(%s)" % text
+    return text  # Alt already parenthesizes itself
+
+
+def schema_to_dict(schema: Schema) -> dict:
+    """A JSON-ready description of a (pattern-free) schema."""
+    if schema.patterns:
+        raise ValueError("pattern declarations are not serialized")
+    return {
+        "elements": {
+            label: regex_source(expr)
+            for label, expr in sorted(schema.label_types.items())
+        },
+        "functions": {
+            name: [
+                regex_source(signature.input_type),
+                regex_source(signature.output_type),
+            ]
+            for name, signature in sorted(schema.functions.items())
+        },
+        "root": schema.root,
+    }
+
+
+def schema_from_dict(data: dict) -> Schema:
+    builder = SchemaBuilder()
+    for label, source in data.get("elements", {}).items():
+        builder.element(label, source)
+    for name, (input_source, output_source) in data.get(
+        "functions", {}
+    ).items():
+        builder.function(name, input_source, output_source)
+    if data.get("root"):
+        builder.root(data["root"])
+    return builder.build(strict=False)
+
+
+# ---------------------------------------------------------------------------
+# Corpus entries
+# ---------------------------------------------------------------------------
+
+
+def word_entry(scenario: WordScenario, note: str = "") -> dict:
+    return {
+        "format": FORMAT,
+        "kind": "word",
+        "seed": scenario.seed,
+        "k": scenario.k,
+        "word": list(scenario.word),
+        "output_types": {
+            name: regex_source(expr)
+            for name, expr in sorted(scenario.output_types.items())
+        },
+        "target": regex_source(scenario.target),
+        "note": note,
+    }
+
+
+def document_entry(scenario: DocumentScenario, note: str = "") -> dict:
+    return {
+        "format": FORMAT,
+        "kind": "document",
+        "seed": scenario.seed,
+        "k": scenario.k,
+        "mode": scenario.mode,
+        "sender_schema": schema_to_dict(scenario.sender_schema),
+        "exchange_schema": schema_to_dict(scenario.exchange_schema),
+        "document": scenario.document.to_xml(),
+        "invoker_seed": scenario.invoker_seed,
+        "flaky_period": scenario.flaky_period,
+        "retries": scenario.retries,
+        "note": note,
+    }
+
+
+def word_scenario_from_entry(entry: dict) -> WordScenario:
+    return WordScenario(
+        seed=int(entry["seed"]),
+        k=int(entry["k"]),
+        word=tuple(entry["word"]),
+        output_types={
+            name: parse_regex(source)
+            for name, source in entry["output_types"].items()
+        },
+        target=parse_regex(entry["target"]),
+    )
+
+
+def document_scenario_from_entry(entry: dict) -> DocumentScenario:
+    return DocumentScenario(
+        seed=int(entry["seed"]),
+        k=int(entry["k"]),
+        mode=entry["mode"],
+        sender_schema=schema_from_dict(entry["sender_schema"]),
+        exchange_schema=schema_from_dict(entry["exchange_schema"]),
+        document=Document.from_xml(entry["document"]),
+        invoker_seed=int(entry.get("invoker_seed", 0)),
+        flaky_period=int(entry.get("flaky_period", 0)),
+        retries=int(entry.get("retries", 2)),
+    )
+
+
+def entry_name(entry: dict) -> str:
+    """A stable, content-addressed file name for one entry."""
+    payload = json.dumps(entry, sort_keys=True).encode("utf-8")
+    digest = hashlib.sha256(payload).hexdigest()[:10]
+    return "%s-%05d-%s.json" % (entry["kind"], int(entry["seed"]), digest)
+
+
+def save_entry(corpus_dir: str, entry: dict) -> str:
+    """Write one entry under ``corpus_dir``; returns its path."""
+    os.makedirs(corpus_dir, exist_ok=True)
+    path = os.path.join(corpus_dir, entry_name(entry))
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(entry, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_entry(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            entry = json.load(handle)
+        except ValueError as error:
+            raise ReproError("%s: not a corpus entry (%s)" % (path, error))
+    if not isinstance(entry, dict) or entry.get("kind") not in (
+        "word", "document",
+    ):
+        raise ReproError(
+            "%s: unknown corpus entry kind %r"
+            % (path, entry.get("kind") if isinstance(entry, dict) else None)
+        )
+    return entry
+
+
+def corpus_paths(target: str) -> List[str]:
+    """Entry files under a path (a directory of ``*.json``, or one file)."""
+    if os.path.isdir(target):
+        return sorted(
+            os.path.join(target, name)
+            for name in os.listdir(target)
+            if name.endswith(".json")
+        )
+    return [target]
+
+
+def replay_entry(entry: dict, matrix=None):
+    """Re-run one corpus entry; returns the disagreements it provokes.
+
+    A healthy corpus replays to an empty list — every entry is a
+    once-failing (or paper-derived) scenario the stack must now handle
+    identically across all configurations and solvers.
+    """
+    from repro.conformance import differential
+
+    if entry["kind"] == "word":
+        scenario = word_scenario_from_entry(entry)
+        found, _exact = differential.run_word_scenario(scenario)
+        return found
+    scenario = document_scenario_from_entry(entry)
+    return differential.run_document_scenario(
+        scenario, matrix or differential.DEFAULT_MATRIX
+    )
+
+
+# ---------------------------------------------------------------------------
+# Shrinking
+# ---------------------------------------------------------------------------
+
+
+def _regex_shrinks(expr: Regex) -> Iterator[Regex]:
+    """Strictly simpler candidates for one expression, most drastic first."""
+    if isinstance(expr, (Epsilon, Empty)):
+        return
+    yield EPSILON
+    if isinstance(expr, Atom):
+        return
+    if isinstance(expr, Seq):
+        for index in range(len(expr.items)):
+            yield seq(*(expr.items[:index] + expr.items[index + 1:]))
+        for index, item in enumerate(expr.items):
+            for smaller in _regex_shrinks(item):
+                yield seq(*(
+                    expr.items[:index] + (smaller,) + expr.items[index + 1:]
+                ))
+    elif isinstance(expr, Alt):
+        for option in expr.options:
+            yield option
+        for index, option in enumerate(expr.options):
+            for smaller in _regex_shrinks(option):
+                yield alt(*(
+                    expr.options[:index]
+                    + (smaller,)
+                    + expr.options[index + 1:]
+                ))
+    elif isinstance(expr, Star):
+        yield expr.item
+        for smaller in _regex_shrinks(expr.item):
+            yield star(smaller)
+    elif isinstance(expr, Repeat):
+        yield expr.item
+        if expr.high is None:
+            yield repeat(expr.item, expr.low, expr.low + 1)
+        for smaller in _regex_shrinks(expr.item):
+            yield repeat(smaller, expr.low, expr.high)
+
+
+def shrink_word_scenario(
+    scenario: WordScenario,
+    still_fails: Callable[[WordScenario], bool],
+    max_rounds: int = 8,
+) -> WordScenario:
+    """Greedy minimization preserving ``still_fails``."""
+    from dataclasses import replace
+
+    def candidates(current: WordScenario) -> Iterator[WordScenario]:
+        # Drop one word position.
+        for index in range(len(current.word)):
+            yield replace(
+                current,
+                word=current.word[:index] + current.word[index + 1:],
+            )
+        # Drop output types no longer mentioned anywhere.
+        used = set(current.word)
+        for expr in current.output_types.values():
+            for node in expr.walk():
+                if isinstance(node, Atom):
+                    used.add(node.symbol)
+        unused = set(current.output_types) - used
+        if unused:
+            yield replace(
+                current,
+                output_types={
+                    name: expr
+                    for name, expr in current.output_types.items()
+                    if name not in unused
+                },
+            )
+        # Lower the depth bound.
+        if current.k > 1:
+            yield replace(current, k=current.k - 1)
+        # Simplify one output type.
+        for name, expr in current.output_types.items():
+            for smaller in _regex_shrinks(expr):
+                outputs = dict(current.output_types)
+                outputs[name] = smaller
+                yield replace(current, output_types=outputs)
+        # Simplify the target.
+        for smaller in _regex_shrinks(current.target):
+            yield replace(current, target=smaller)
+
+    return _greedy(scenario, candidates, still_fails, max_rounds)
+
+
+def shrink_document_scenario(
+    scenario: DocumentScenario,
+    still_fails: Callable[[DocumentScenario], bool],
+    max_rounds: int = 6,
+) -> DocumentScenario:
+    """Greedy minimization of a document scenario preserving the failure."""
+    from dataclasses import replace
+
+    def candidates(current: DocumentScenario) -> Iterator[DocumentScenario]:
+        # Drop the fault schedule first — most failures don't need it.
+        if current.flaky_period:
+            yield replace(current, flaky_period=0)
+        if current.k > 1:
+            yield replace(current, k=current.k - 1)
+        # Remove one subtree of the document (deepest paths first, so
+        # large prunes are attempted before leaf nibbles).
+        paths = sorted(
+            (path for path, _node in current.document.nodes() if path),
+            key=len,
+        )
+        for path in paths:
+            try:
+                yield current.with_document(
+                    current.document.splice(path, ())
+                )
+            except Exception:
+                continue
+
+    return _greedy(scenario, candidates, still_fails, max_rounds)
+
+
+def _greedy(scenario, candidates, still_fails, max_rounds: int):
+    for _round in range(max_rounds):
+        improved = False
+        for candidate in candidates(scenario):
+            try:
+                if still_fails(candidate):
+                    scenario = candidate
+                    improved = True
+                    break
+            except Exception:
+                continue  # a shrink that crashes the check is not simpler
+        if not improved:
+            break
+    return scenario

@@ -1,0 +1,345 @@
+"""The differential runner: one scenario, every engine configuration.
+
+The concurrency, observability and resilience layers all promise the
+same contract: *they change latency and robustness, never results*.
+This module enforces the contract empirically.  A scenario is executed
+once per :class:`EngineConfig` in the matrix and every pair of outcomes
+must agree on
+
+- success/failure and the error text when failing,
+- the produced document, byte for byte (``to_xml`` output),
+- the number of service calls that entered the document,
+- the rewriting mode that actually held (safe vs. possible fallback),
+- the analysis cache accounting (hits/misses), which the concurrent
+  scheduler guarantees bit-identical to a sequential run,
+- the functions degraded around (AUTO-mode graceful degradation).
+
+Word-level scenarios are additionally checked against the reference
+interpreter (:mod:`repro.conformance.reference`) — eager, lazy and
+possible solvers must reproduce the executable spec's verdicts on every
+exact instance, plus the safe ⇒ possible implication.
+
+``EngineConfig(mutate=True)`` deliberately corrupts the produced bytes;
+it exists so the harness can prove, in tests and via ``repro fuzz
+--self-test``, that a real divergence would not slip through.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.conformance.fuzzer import (
+    DocumentScenario,
+    WordScenario,
+    fuzz_document_scenario,
+    fuzz_word_scenario,
+    per_call_invoker,
+)
+from repro.conformance.reference import (
+    reference_possible,
+    reference_safe,
+)
+from repro.errors import ReproError, TransientFault
+from repro.obs import MetricsRegistry, Tracer, observing
+from repro.rewriting.engine import RewriteEngine
+from repro.rewriting.lazy import analyze_safe_lazy
+from repro.rewriting.possible import analyze_possible
+from repro.rewriting.safe import analyze_safe
+from repro.services.resilience import ResiliencePolicy, ResilientInvoker
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """One point of the configuration matrix."""
+
+    name: str
+    workers: int = 1
+    lazy: bool = True
+    observed: bool = False
+    resilient: bool = False
+    mutate: bool = False  # self-test: corrupt the outcome on purpose
+
+
+#: The shipped matrix: a baseline plus one variant per subsystem whose
+#: "results never change" contract is on the line.
+DEFAULT_MATRIX: Tuple[EngineConfig, ...] = (
+    EngineConfig("baseline"),
+    EngineConfig("workers-4", workers=4),
+    EngineConfig("eager-game", lazy=False),
+    EngineConfig("traced", observed=True),
+    EngineConfig("resilient", resilient=True),
+)
+
+#: The matrix with a deliberately broken member, for harness self-tests.
+SELF_TEST_MATRIX: Tuple[EngineConfig, ...] = DEFAULT_MATRIX + (
+    EngineConfig("mutant", mutate=True),
+)
+
+
+@dataclass
+class ConfigOutcome:
+    """Everything one configuration produced for one scenario."""
+
+    config: str
+    ok: bool
+    error: Optional[str] = None
+    xml: Optional[str] = None
+    calls_made: int = 0
+    mode_used: Optional[str] = None
+    cache_hits: int = 0
+    cache_misses: int = 0
+    degraded: Tuple[str, ...] = ()
+
+    #: The fields every configuration pair must agree on.
+    COMPARED = (
+        "ok", "error", "xml", "calls_made", "mode_used",
+        "cache_hits", "cache_misses", "degraded",
+    )
+
+
+@dataclass(frozen=True)
+class Disagreement:
+    """One observed divergence, addressable enough to triage."""
+
+    kind: str  # "word" or "document"
+    seed: int
+    config: str  # configuration (or solver) that diverged
+    aspect: str  # which compared field / which verdict
+    expected: str
+    got: str
+
+    def __str__(self) -> str:
+        return "%s scenario %d: %s disagrees on %s (expected %s, got %s)" % (
+            self.kind, self.seed, self.config, self.aspect,
+            self.expected, self.got,
+        )
+
+
+@dataclass
+class DifferentialReport:
+    """Aggregate result of a fuzzing run."""
+
+    scenarios: int = 0
+    word_scenarios: int = 0
+    document_scenarios: int = 0
+    exact_reference_checks: int = 0
+    disagreements: List[Disagreement] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.disagreements
+
+    def merge_scenario(self, kind: str,
+                       found: Sequence[Disagreement]) -> None:
+        self.scenarios += 1
+        if kind == "word":
+            self.word_scenarios += 1
+        else:
+            self.document_scenarios += 1
+        self.disagreements.extend(found)
+
+    def summary(self) -> str:
+        return (
+            "%d scenario(s): %d word (%d exact reference checks), "
+            "%d document; %d disagreement(s)"
+            % (
+                self.scenarios, self.word_scenarios,
+                self.exact_reference_checks, self.document_scenarios,
+                len(self.disagreements),
+            )
+        )
+
+
+# ---------------------------------------------------------------------------
+# Word-level differential: solvers vs. the reference interpreter
+# ---------------------------------------------------------------------------
+
+
+def run_word_scenario(
+    scenario: WordScenario, invert_reference: bool = False
+) -> Tuple[List[Disagreement], bool]:
+    """Check every word-level solver against the executable spec.
+
+    Returns ``(disagreements, exact)`` — ``exact`` reports whether the
+    reference verdicts were exhaustive (they are, for fuzzed scenarios,
+    whose output types are star-free by construction).
+    ``invert_reference`` flips the spec's verdict for harness
+    self-tests.
+    """
+    word, outputs, target, k = (
+        scenario.word, scenario.output_types, scenario.target, scenario.k,
+    )
+    found: List[Disagreement] = []
+
+    def note(config: str, aspect: str, expected, got) -> None:
+        found.append(Disagreement(
+            "word", scenario.seed, config, aspect, str(expected), str(got),
+        ))
+
+    ref_safe = reference_safe(word, outputs, target, k)
+    ref_possible = reference_possible(word, outputs, target, k)
+    exact = ref_safe.exact and ref_possible.exact
+    expected_safe = ref_safe.exists ^ invert_reference
+    expected_possible = ref_possible.exists ^ invert_reference
+
+    eager = analyze_safe(word, outputs, target, k).exists
+    lazy = analyze_safe_lazy(word, outputs, target, k).exists
+    possible = analyze_possible(word, outputs, target, k).exists
+
+    if eager != lazy:
+        note("lazy-game", "safe verdict vs eager", eager, lazy)
+    if exact:
+        if eager != expected_safe:
+            note("safe-solver", "safe verdict vs reference",
+                 expected_safe, eager)
+        if possible != expected_possible:
+            note("possible-solver", "possible verdict vs reference",
+                 expected_possible, possible)
+    if eager and not possible:
+        note("possible-solver", "safe implies possible", True, False)
+    return found, exact
+
+
+# ---------------------------------------------------------------------------
+# Document-level differential: the engine configuration matrix
+# ---------------------------------------------------------------------------
+
+
+def _flaky_invoker(invoker, seed: int, period: int):
+    """Deterministic, order-independent fault injection.
+
+    Roughly one call fingerprint in ``period`` fails its first attempt
+    with a transient fault; retries succeed.  Keyed on the fingerprint
+    (not an invocation counter) so concurrent and sequential runs inject
+    the same faults.
+    """
+    from repro.exec.fingerprint import call_fingerprint
+
+    failed = set()
+    lock = threading.Lock()
+
+    def wrapped(fc):
+        fingerprint = call_fingerprint(fc)
+        digest = hashlib.sha256(
+            ("flaky|%d|%s" % (seed, fingerprint)).encode("utf-8")
+        ).hexdigest()
+        if int(digest, 16) % period == 0:
+            with lock:
+                fresh = fingerprint not in failed
+                failed.add(fingerprint)
+            if fresh:
+                raise TransientFault(
+                    "injected fault for %s" % fingerprint[:40]
+                )
+        return invoker(fc)
+
+    return wrapped
+
+
+def run_config(
+    scenario: DocumentScenario, config: EngineConfig
+) -> ConfigOutcome:
+    """Execute one scenario under one engine configuration."""
+    engine = RewriteEngine(
+        target_schema=scenario.exchange_schema,
+        sender_schema=scenario.sender_schema,
+        k=scenario.k,
+        mode=scenario.mode,
+        lazy=config.lazy,
+        workers=config.workers,
+        dedup=True,
+    )
+    invoker = per_call_invoker(scenario.sender_schema, scenario.invoker_seed)
+    if config.resilient:
+        if scenario.flaky_period:
+            invoker = _flaky_invoker(
+                invoker, scenario.invoker_seed, scenario.flaky_period
+            )
+        invoker = ResilientInvoker(
+            invoker,
+            ResiliencePolicy(
+                max_attempts=scenario.retries + 1,
+                jitter_seed=scenario.invoker_seed,
+            ),
+        )
+
+    outcome = ConfigOutcome(config=config.name, ok=False)
+    try:
+        if config.observed:
+            with observing(Tracer(), MetricsRegistry()):
+                result = engine.rewrite(scenario.document, invoker)
+        else:
+            result = engine.rewrite(scenario.document, invoker)
+    except ReproError as error:
+        outcome.error = "%s: %s" % (type(error).__name__, error)
+        outcome.cache_hits, outcome.cache_misses = engine.cache_stats
+        return outcome
+    outcome.ok = True
+    outcome.xml = result.document.to_xml()
+    outcome.calls_made = result.calls_made
+    outcome.mode_used = result.mode_used
+    outcome.cache_hits = result.cache_hits
+    outcome.cache_misses = result.cache_misses
+    outcome.degraded = result.degraded_functions
+    if config.mutate:
+        outcome.xml = (outcome.xml or "") + "<!-- mutated -->"
+    return outcome
+
+
+def run_document_scenario(
+    scenario: DocumentScenario,
+    matrix: Sequence[EngineConfig] = DEFAULT_MATRIX,
+) -> List[Disagreement]:
+    """Run the configuration matrix and compare everything to baseline."""
+    outcomes = [run_config(scenario, config) for config in matrix]
+    baseline, variants = outcomes[0], outcomes[1:]
+    found: List[Disagreement] = []
+    for variant in variants:
+        for aspect in ConfigOutcome.COMPARED:
+            expected = getattr(baseline, aspect)
+            got = getattr(variant, aspect)
+            if expected != got:
+                found.append(Disagreement(
+                    "document", scenario.seed, variant.config, aspect,
+                    _excerpt(expected), _excerpt(got),
+                ))
+    return found
+
+
+def _excerpt(value, limit: int = 120) -> str:
+    text = repr(value)
+    if len(text) > limit:
+        digest = hashlib.sha256(text.encode("utf-8")).hexdigest()[:10]
+        text = "%s... [%d chars, sha %s]" % (text[:limit], len(text), digest)
+    return text
+
+
+# ---------------------------------------------------------------------------
+# Seed-driven entry points (used by the CLI and the corpus replayer)
+# ---------------------------------------------------------------------------
+
+
+def run_seed(
+    seed: int,
+    kind: str = "all",
+    matrix: Sequence[EngineConfig] = DEFAULT_MATRIX,
+    invert_reference: bool = False,
+    report: Optional[DifferentialReport] = None,
+) -> DifferentialReport:
+    """Fuzz and differentially execute one seed; accumulate into a report."""
+    report = report if report is not None else DifferentialReport()
+    if kind in ("word", "all"):
+        scenario = fuzz_word_scenario(seed)
+        found, exact = run_word_scenario(scenario, invert_reference)
+        if exact:
+            report.exact_reference_checks += 1
+        report.merge_scenario("word", found)
+    if kind in ("document", "all"):
+        scenario = fuzz_document_scenario(seed)
+        report.merge_scenario(
+            "document", run_document_scenario(scenario, matrix)
+        )
+    return report

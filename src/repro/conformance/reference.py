@@ -1,0 +1,367 @@
+"""The reference interpreter: Definitions 4-7 evaluated literally.
+
+The production solvers answer "does a safe (possible) k-depth rewriting
+exist?" by building ``A_w^k``, complementing the target and solving a
+marking game — four automata constructions deep.  This module answers
+the same question with *none* of that machinery, by direct recursion on
+the definitions:
+
+- a rewriting processes the children word left to right; at a plain
+  symbol there is no choice, at a function call we either **keep** it or
+  (while the nesting depth allows, Definition 7) **invoke** it;
+- an invoked call returns *some word of its declared output type*; the
+  returned symbols are processed in place, one level deeper, so calls
+  returned by calls recurse up to ``k``;
+- a **safe** rewriting (Definition 5) must end inside the target
+  language for *every* adversarial choice of outputs, with later
+  decisions allowed to depend on earlier outputs (the strategy is
+  adaptive, knowledge flowing left to right);
+- a **possible** rewriting (Definition 4) needs only *some* choice of
+  outputs to land in the target language.
+
+The produced prefix is tracked as a Brzozowski derivative of the target,
+so the state space is (pending items, residual language) — small enough
+to memoize, and entirely independent from the automata stack it checks.
+
+Output languages are enumerated **bounded**: for star-free (finite)
+output types the enumeration is exhaustive and the verdict ``exact``;
+types with ``*``/``+``/unbounded repeats are truncated at
+``max_output_length`` and the verdict is flagged approximate, so callers
+(the differential runner, the k=2 oracle tests) know when agreement is a
+hard requirement and when it is merely advisory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Optional, Sequence, Tuple
+
+from repro.doc.document import Document
+from repro.doc.nodes import Element, FunctionCall, Node, Text, symbol_of
+from repro.regex.ast import (
+    Alt,
+    AnySymbol,
+    Atom,
+    Empty,
+    Epsilon,
+    Regex,
+    Repeat,
+    Seq,
+    Star,
+)
+from repro.regex.ops import derivative, enumerate_words, nullable
+from repro.schema.model import Schema
+
+#: Default truncation bound for enumerated output languages.
+DEFAULT_MAX_OUTPUT_LENGTH = 8
+
+#: Work items are (symbol, depth) pairs: depth counts invocation nesting.
+Item = Tuple[str, int]
+
+
+@dataclass(frozen=True)
+class ReferenceVerdict:
+    """The reference interpreter's answer for one question.
+
+    ``exact`` is True when every output language that the evaluation
+    could draw from was enumerated exhaustively; when False the verdict
+    is a truncation of the true (infinite) adversary and only agreement
+    *modulo the bound* can be asserted.
+    """
+
+    exists: bool
+    exact: bool = True
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience only
+        return self.exists
+
+
+def output_language_bound(expr: Regex) -> Optional[int]:
+    """Length of the longest word of ``lang(expr)``, or None if unbounded."""
+    if isinstance(expr, (Epsilon, Empty)):
+        return 0
+    if isinstance(expr, (Atom, AnySymbol)):
+        return 1
+    if isinstance(expr, Seq):
+        total = 0
+        for item in expr.items:
+            bound = output_language_bound(item)
+            if bound is None:
+                return None
+            total += bound
+        return total
+    if isinstance(expr, Alt):
+        longest = 0
+        for option in expr.options:
+            bound = output_language_bound(option)
+            if bound is None:
+                return None
+            longest = max(longest, bound)
+        return longest
+    if isinstance(expr, Star):
+        return None if output_language_bound(expr.item) != 0 else 0
+    if isinstance(expr, Repeat):
+        bound = output_language_bound(expr.item)
+        if bound == 0:
+            return 0
+        if expr.high is None or bound is None:
+            return None
+        return expr.high * bound
+    raise TypeError("unknown regex node %r" % (expr,))
+
+
+class _ReferenceGame:
+    """One memoized evaluation of the word-level game tree."""
+
+    def __init__(
+        self,
+        output_types: Dict[str, Regex],
+        k: int,
+        invocable: Optional[Callable[[str], bool]],
+        universal: bool,
+        max_output_length: int,
+    ):
+        self.output_types = output_types
+        self.k = k
+        self.invocable = invocable or (lambda _name: True)
+        self.universal = universal
+        self.max_output_length = max_output_length
+        self.exact = True
+        self._outputs: Dict[str, Tuple[Tuple[str, ...], ...]] = {}
+        self._memo: Dict[Tuple[Tuple[Item, ...], Regex], bool] = {}
+
+    def outputs_of(self, name: str) -> Tuple[Tuple[str, ...], ...]:
+        """The enumerated output language of one function, cached."""
+        words = self._outputs.get(name)
+        if words is None:
+            expr = self.output_types[name]
+            bound = output_language_bound(expr)
+            if bound is None or bound > self.max_output_length:
+                self.exact = False
+            if any(isinstance(node, AnySymbol) for node in expr.walk()):
+                # Wildcard outputs enumerate to a placeholder symbol; the
+                # true adversary ranges over the whole alphabet.
+                self.exact = False
+            words = tuple(enumerate_words(expr, self.max_output_length))
+            self._outputs[name] = words
+        return words
+
+    def may_invoke(self, symbol: str, depth: int) -> bool:
+        return (
+            depth < self.k
+            and symbol in self.output_types
+            and self.invocable(symbol)
+        )
+
+    def wins(self, items: Tuple[Item, ...], residual: Regex) -> bool:
+        """Can we rewrite the pending items into ``lang(residual)``?"""
+        if isinstance(residual, Empty):
+            return False
+        if not items:
+            return nullable(residual)
+        key = (items, residual)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        symbol, depth = items[0]
+        rest = items[1:]
+        # Keeping the symbol (the only move for plain symbols).
+        result = self.wins(rest, derivative(residual, symbol))
+        if not result and self.may_invoke(symbol, depth):
+            quantifier = all if self.universal else any
+            result = quantifier(
+                self.wins(
+                    tuple((out, depth + 1) for out in word) + rest, residual
+                )
+                for word in self.outputs_of(symbol)
+            )
+        self._memo[key] = result
+        return result
+
+
+def _evaluate(
+    word: Sequence[str],
+    output_types: Dict[str, Regex],
+    target: Regex,
+    k: int,
+    invocable: Optional[Callable[[str], bool]],
+    universal: bool,
+    max_output_length: int,
+) -> ReferenceVerdict:
+    game = _ReferenceGame(
+        output_types, k, invocable, universal, max_output_length
+    )
+    exists = game.wins(tuple((symbol, 0) for symbol in word), target)
+    return ReferenceVerdict(exists=exists, exact=game.exact)
+
+
+def reference_safe(
+    word: Sequence[str],
+    output_types: Dict[str, Regex],
+    target: Regex,
+    k: int = 1,
+    invocable: Optional[Callable[[str], bool]] = None,
+    max_output_length: int = DEFAULT_MAX_OUTPUT_LENGTH,
+) -> ReferenceVerdict:
+    """Does a safe k-depth rewriting of ``word`` into ``target`` exist?
+
+    Evaluates Definition 5 (with Definition 7's depth bound) as a game
+    tree: our keep/invoke choices are existential, the adversary's
+    output words universal, knowledge flows left to right.  Must agree
+    with :func:`repro.rewriting.safe.analyze_safe` on every exact
+    instance.
+    """
+    return _evaluate(
+        word, output_types, target, k, invocable, True, max_output_length
+    )
+
+
+def reference_possible(
+    word: Sequence[str],
+    output_types: Dict[str, Regex],
+    target: Regex,
+    k: int = 1,
+    invocable: Optional[Callable[[str], bool]] = None,
+    max_output_length: int = DEFAULT_MAX_OUTPUT_LENGTH,
+) -> ReferenceVerdict:
+    """Does a possible k-depth rewriting exist (Definition 4)?
+
+    Same game tree as :func:`reference_safe` with the adversary's
+    quantifier flipped to existential: one favourable run suffices.
+    """
+    return _evaluate(
+        word, output_types, target, k, invocable, False, max_output_length
+    )
+
+
+# ---------------------------------------------------------------------------
+# Document-level reference checking (Section 4's three-stage driver)
+# ---------------------------------------------------------------------------
+
+
+def reference_can_rewrite(
+    document: Document,
+    target_schema: Schema,
+    sender_schema: Optional[Schema] = None,
+    k: int = 1,
+    mode: str = "safe",
+    invocable: Optional[Callable[[str], bool]] = None,
+    max_output_length: int = DEFAULT_MAX_OUTPUT_LENGTH,
+) -> ReferenceVerdict:
+    """Static document-level check, straight from the recursive definitions.
+
+    Mirrors the paper's driver declaratively: every function call's
+    parameter word must rewrite into its input type (the receiver's view
+    first, then the sender's — bottom-up parameter rewriting), and every
+    element's children word into the target schema's content model.  The
+    word-level question is answered by the reference game, not by the
+    automata stack, so this is an independent oracle for
+    :meth:`repro.rewriting.engine.RewriteEngine.can_rewrite`.
+
+    ``mode`` is ``"safe"``, ``"possible"`` or ``"auto"`` (safe, else
+    possible — Section 3's two-step process).
+    """
+    checker = _DocumentChecker(
+        target_schema, sender_schema, k, mode, invocable, max_output_length
+    )
+    root = document.root
+    if isinstance(root, Text):
+        return ReferenceVerdict(True, True)
+    exists = checker.check_node(root)
+    return ReferenceVerdict(exists, checker.exact)
+
+
+class _DocumentChecker:
+    def __init__(
+        self,
+        target_schema: Schema,
+        sender_schema: Optional[Schema],
+        k: int,
+        mode: str,
+        invocable: Optional[Callable[[str], bool]],
+        max_output_length: int,
+    ):
+        self.target = target_schema
+        self.sender = sender_schema
+        self.k = k
+        self.mode = mode
+        self.invocable = invocable
+        self.max_output_length = max_output_length
+        self.exact = True
+
+    # -- schema plumbing (the Section 4 signature-resolution contract) ----
+
+    def _input_type(self, name: str) -> Optional[Regex]:
+        input_type = self.target.input_type(name)
+        if input_type is None and self.sender is not None:
+            input_type = self.sender.input_type(name)
+        return input_type
+
+    def _signature(self, name: str):
+        signature = None
+        if self.sender is not None:
+            signature = self.sender.signature_of(name)
+        if signature is None:
+            signature = self.target.signature_of(name)
+        return signature
+
+    def _candidates(self, word: Sequence[str]) -> Tuple[str, ...]:
+        names = set(self.target.function_names())
+        if self.sender is not None:
+            names |= self.sender.function_names()
+        names |= {s for s in word if self._signature(s) is not None}
+        return tuple(sorted(names))
+
+    def _desugared(self, target: Regex, word: Sequence[str]) -> Regex:
+        if not self.target.patterns:
+            return target
+        candidates = self._candidates(word)
+        schema = Schema(
+            {"__target__": target}, {}, dict(self.target.patterns)
+        )
+        return schema.desugar_patterns(candidates, self._signature).label_types[
+            "__target__"
+        ]
+
+    # -- the recursive check ----------------------------------------------
+
+    def check_node(self, node: Node) -> bool:
+        if isinstance(node, Text):
+            return True
+        if isinstance(node, FunctionCall):
+            input_type = self._input_type(node.name)
+            if input_type is None:
+                return False
+            return self.check_forest(node.params, input_type)
+        content = self.target.type_of(node.label)
+        if content is None:
+            return False
+        return self.check_forest(node.children, content)
+
+    def check_forest(self, forest: Sequence[Node], target: Regex) -> bool:
+        for node in forest:
+            if not self.check_node(node):
+                return False
+        word = tuple(symbol_of(node) for node in forest)
+        target = self._desugared(target, word)
+        output_types: Dict[str, Regex] = {}
+        for name in self._candidates(word):
+            signature = self._signature(name)
+            if signature is not None:
+                output_types[name] = signature.output_type
+        if self.mode in ("safe", "auto"):
+            verdict = reference_safe(
+                word, output_types, target, self.k, self.invocable,
+                self.max_output_length,
+            )
+            self.exact = self.exact and verdict.exact
+            if verdict.exists:
+                return True
+            if self.mode == "safe":
+                return False
+        verdict = reference_possible(
+            word, output_types, target, self.k, self.invocable,
+            self.max_output_length,
+        )
+        self.exact = self.exact and verdict.exact
+        return verdict.exists

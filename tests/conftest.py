@@ -1,10 +1,69 @@
-"""Shared fixtures: the paper's running example, wired to simulated services."""
+"""Shared fixtures: the paper's running example, wired to simulated services.
+
+Also enforces a suite-wide hygiene rule: no unseeded randomness.  Every
+differential and fuzzing test in this repository is replayable from a
+seed; a single ``random.Random()`` or module-level ``random.choice(...)``
+would silently break that.  ``pytest_configure`` statically scans the
+test files and refuses to run the suite if one appears.
+"""
 
 from __future__ import annotations
 
+import ast as pyast
+import os
 import random
 
 import pytest
+
+#: Module-level ``random.X(...)`` calls that touch the shared global RNG.
+_GLOBAL_RNG_CALLS = frozenset({
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "gauss", "betavariate", "expovariate",
+    "getrandbits", "seed",
+})
+
+
+def _unseeded_rng_uses(path):
+    """(line, source) pairs for unseeded RNG use in one test file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    tree = pyast.parse(source, filename=path)
+    lines = source.splitlines()
+    offending = []
+    for node in pyast.walk(tree):
+        if not isinstance(node, pyast.Call):
+            continue
+        func = node.func
+        if not (
+            isinstance(func, pyast.Attribute)
+            and isinstance(func.value, pyast.Name)
+            and func.value.id == "random"
+        ):
+            continue
+        if func.attr == "Random":
+            if node.args or node.keywords:
+                continue  # seeded: random.Random(<seed>)
+        elif func.attr not in _GLOBAL_RNG_CALLS:
+            continue  # e.g. random.Random subclass attribute — fine
+        offending.append((node.lineno, lines[node.lineno - 1].strip()))
+    return offending
+
+
+def pytest_configure(config):
+    tests_dir = os.path.dirname(os.path.abspath(__file__))
+    problems = []
+    for name in sorted(os.listdir(tests_dir)):
+        if not name.endswith(".py"):
+            continue
+        for line, source in _unseeded_rng_uses(
+            os.path.join(tests_dir, name)
+        ):
+            problems.append("%s:%d: %s" % (name, line, source))
+    if problems:
+        raise pytest.UsageError(
+            "unseeded randomness in tests (pass an explicit seed so "
+            "failures replay):\n  " + "\n  ".join(problems)
+        )
 
 from repro import (
     FunctionSignature,

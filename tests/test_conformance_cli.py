@@ -1,0 +1,131 @@
+"""The ``repro fuzz`` subcommand: exit codes, replay, self-test."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.conformance.corpus import (
+    load_entry,
+    save_entry,
+    word_entry,
+)
+from repro.conformance.fuzzer import fuzz_word_scenario
+
+
+class TestFuzzCommand:
+    def test_clean_run_exits_zero(self, capsys):
+        assert main(["fuzz", "--seeds", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "12 scenario(s)" in out
+        assert "0 disagreement(s)" in out
+
+    def test_kind_word_only(self, capsys):
+        assert main(["fuzz", "--seeds", "4", "--kind", "word"]) == 0
+        out = capsys.readouterr().out
+        assert "4 word" in out
+        assert "0 document" in out
+
+    def test_kind_document_only(self, capsys):
+        assert main(["fuzz", "--seeds", "3", "--kind", "document"]) == 0
+        out = capsys.readouterr().out
+        assert "0 word" in out
+        assert "3 document" in out
+
+    def test_start_offset_changes_scenarios(self, capsys):
+        assert main([
+            "fuzz", "--seeds", "2", "--start", "100", "--kind", "word",
+        ]) == 0
+        assert "2 word" in capsys.readouterr().out
+
+
+class TestSelfTest:
+    def test_self_test_detects_injected_divergence(self, capsys):
+        # --self-test corrupts one configuration and inverts the
+        # reference verdicts; the harness must notice (exit code 1).
+        code = main(["fuzz", "--seeds", "2", "--self-test"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "DETECTED" in out
+        assert "mutant" in out
+
+    def test_self_test_writes_no_corpus_entries(self, tmp_path, capsys):
+        corpus_dir = tmp_path / "corpus"
+        main([
+            "fuzz", "--seeds", "2", "--self-test",
+            "--corpus-dir", str(corpus_dir),
+        ])
+        capsys.readouterr()
+        assert not corpus_dir.exists()
+
+
+class TestReplay:
+    def test_replay_shipped_corpus(self, capsys):
+        corpus_dir = os.path.join(
+            os.path.dirname(__file__), "corpus"
+        )
+        assert main(["fuzz", "--replay", corpus_dir]) == 0
+        out = capsys.readouterr().out
+        assert "0 failure(s)" in out
+
+    def test_replay_single_file(self, tmp_path, capsys):
+        path = save_entry(
+            str(tmp_path), word_entry(fuzz_word_scenario(3), note="t")
+        )
+        assert main(["fuzz", "--replay", path]) == 0
+        assert "1 corpus entry, 0 failure(s)" in capsys.readouterr().out
+
+    def test_replay_malformed_entry_exits_two(self, tmp_path, capsys):
+        path = tmp_path / "word-00000-broken.json"
+        entry = word_entry(fuzz_word_scenario(1), note="t")
+        entry["kind"] = "bogus"
+        path.write_text(json.dumps(entry))
+        assert main(["fuzz", "--replay", str(path)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_replay_missing_file_exits_two(self, capsys):
+        assert main(["fuzz", "--replay", "/nonexistent/entry.json"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestFreezeOnFailure:
+    def test_disagreement_is_shrunk_and_frozen(self, tmp_path, capsys,
+                                               monkeypatch):
+        # Force a disagreement without self-test mode by making one
+        # matrix member lie, then check a corpus entry appears.
+        from repro.conformance import differential
+
+        matrix = differential.SELF_TEST_MATRIX
+        monkeypatch.setattr(differential, "DEFAULT_MATRIX", matrix)
+        corpus_dir = tmp_path / "frozen"
+        code = main([
+            "fuzz", "--seeds", "1", "--kind", "document",
+            "--corpus-dir", str(corpus_dir),
+        ])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "DISAGREEMENT" in out
+        entries = list(corpus_dir.glob("*.json"))
+        assert len(entries) == 1
+        frozen = load_entry(str(entries[0]))
+        assert frozen["kind"] == "document"
+        assert "mutant" in frozen["note"]
+
+    def test_max_failures_stops_early(self, tmp_path, capsys, monkeypatch):
+        from repro.conformance import differential
+
+        monkeypatch.setattr(
+            differential, "DEFAULT_MATRIX", differential.SELF_TEST_MATRIX
+        )
+        code = main([
+            "fuzz", "--seeds", "10", "--kind", "document",
+            "--max-failures", "2",
+            "--corpus-dir", str(tmp_path / "frozen"),
+        ])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "stopping after 2 failing seed(s)" in captured.err
+        assert "2 scenario(s)" in captured.out

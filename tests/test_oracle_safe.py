@@ -90,6 +90,109 @@ def oracle(word, outputs, target, universal: bool) -> bool:
     return rec(0, ())
 
 
+@st.composite
+def nested_problems(draw):
+    """Problems whose call outputs may mention calls: k=2 territory.
+
+    Output types stay star-free (finite languages) so the reference
+    interpreter's enumeration is exhaustive and agreement with the
+    automata solvers is a hard requirement, not a sampled one.
+    """
+    n_calls = draw(st.integers(1, 2))
+    names = tuple("q%d" % (i + 1) for i in range(n_calls))
+    outputs = {}
+    for name in names:
+        symbols = SYMBOLS + (names if draw(st.booleans()) else ())
+        outputs[name] = draw(finite_regexes(symbols=symbols))
+    word = tuple(
+        draw(st.sampled_from(SYMBOLS + names))
+        for _ in range(draw(st.integers(1, 3)))
+    )
+    target = draw(finite_regexes(symbols=SYMBOLS + names, max_leaves=6))
+    k = draw(st.sampled_from((1, 2)))
+    return word, outputs, target, k
+
+
+class TestReferenceInterpreterAgreement:
+    """The conformance reference interpreter vs. the automata stack, k≤2.
+
+    The k=1 classes below check the solvers against a *local* game tree;
+    these check them against the shipped executable specification
+    (:mod:`repro.conformance.reference`), including depth-2 nesting where
+    invoked calls return further calls.
+    """
+
+    @given(nested_problems())
+    @settings(max_examples=150, deadline=None)
+    def test_safe_matches_reference(self, problem):
+        from repro.conformance.reference import reference_safe
+
+        word, outputs, target, k = problem
+        verdict = reference_safe(word, outputs, target, k)
+        assert verdict.exact, "star-free outputs must enumerate exactly"
+        got = analyze_safe(word, outputs, target, k).exists
+        assert got == verdict.exists, (word, k, str(target))
+
+    @given(nested_problems())
+    @settings(max_examples=150, deadline=None)
+    def test_lazy_matches_reference(self, problem):
+        from repro.conformance.reference import reference_safe
+
+        word, outputs, target, k = problem
+        verdict = reference_safe(word, outputs, target, k)
+        got = analyze_safe_lazy(word, outputs, target, k).exists
+        assert got == verdict.exists, (word, k, str(target))
+
+    @given(nested_problems())
+    @settings(max_examples=150, deadline=None)
+    def test_possible_matches_reference(self, problem):
+        from repro.conformance.reference import reference_possible
+
+        word, outputs, target, k = problem
+        verdict = reference_possible(word, outputs, target, k)
+        assert verdict.exact
+        got = analyze_possible(word, outputs, target, k).exists
+        assert got == verdict.exists, (word, k, str(target))
+
+    @given(nested_problems())
+    @settings(max_examples=100, deadline=None)
+    def test_safe_implies_possible(self, problem):
+        from repro.conformance.reference import (
+            reference_possible,
+            reference_safe,
+        )
+
+        word, outputs, target, k = problem
+        if reference_safe(word, outputs, target, k).exists:
+            assert reference_possible(word, outputs, target, k).exists
+
+    def test_reference_game_tree_agrees_with_local_oracle(self):
+        # The two independent oracles (this file's k=1 game tree and the
+        # shipped reference interpreter) must agree with each other too.
+        from repro.conformance.reference import (
+            reference_possible,
+            reference_safe,
+        )
+
+        word = ("q0", "a", "q1")
+        outputs = {
+            "q0": ast.alt(ast.atom("a"), ast.atom("b")),
+            "q1": ast.seq(ast.atom("b"), ast.opt(ast.atom("c"))),
+        }
+        target = ast.seq(
+            ast.alt(ast.atom("a"), ast.atom("b")),
+            ast.atom("a"),
+            ast.atom("b"),
+            ast.opt(ast.atom("c")),
+        )
+        assert reference_safe(word, outputs, target, 1).exists == oracle(
+            word, outputs, target, universal=True
+        )
+        assert reference_possible(word, outputs, target, 1).exists == oracle(
+            word, outputs, target, universal=False
+        )
+
+
 class TestOracleAgreement:
     @given(oracle_problems())
     @settings(max_examples=200, deadline=None)

@@ -7,6 +7,7 @@ the first place to add a regression when a bug is found.
 """
 
 import math
+import os
 
 import pytest
 
@@ -146,3 +147,96 @@ class TestCorpus:
         assert analysis.exists, case.name
         values = strategy_values(analysis)
         assert values[analysis.initial] == case.cost, case.name
+
+
+# ---------------------------------------------------------------------------
+# The reference interpreter against the table (independent oracle)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("case", CORPUS, ids=lambda case: case.name)
+class TestReferenceInterpreterOnCorpus:
+    """The conformance reference interpreter must reproduce the table.
+
+    Exact verdicts (star-free outputs) are hard requirements; bounded
+    verdicts on starred outputs are only checked for the safe ⇒ possible
+    implication.
+    """
+
+    def test_reference_safe_matches_table(self, case):
+        from repro.conformance.reference import reference_safe
+
+        if case.safe is None:
+            return
+        verdict = reference_safe(case.word, case.outputs, case.target, case.k)
+        if verdict.exact:
+            assert verdict.exists is case.safe, case.name
+
+    def test_reference_possible_matches_table(self, case):
+        from repro.conformance.reference import reference_possible
+
+        if case.possible is None:
+            return
+        verdict = reference_possible(
+            case.word, case.outputs, case.target, case.k
+        )
+        if verdict.exact:
+            assert verdict.exists is case.possible, case.name
+
+
+# ---------------------------------------------------------------------------
+# The JSON corpus: every frozen entry must replay clean
+# ---------------------------------------------------------------------------
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+
+
+def _corpus_entries():
+    from repro.conformance.corpus import corpus_paths
+
+    return corpus_paths(CORPUS_DIR)
+
+
+@pytest.mark.parametrize(
+    "path", _corpus_entries(), ids=lambda path: os.path.basename(path)
+)
+class TestJsonCorpusReplay:
+    """Replay every ``tests/corpus/*.json`` entry through the harness.
+
+    Each entry is a once-interesting scenario (paper examples, fuzzed
+    regressions) frozen with its full data — schemas, document, knobs —
+    so replays survive generator changes.  A failing replay means a
+    solver or an engine configuration drifted.
+    """
+
+    def test_entry_replays_without_disagreement(self, path):
+        from repro.conformance.corpus import load_entry, replay_entry
+
+        entry = load_entry(path)
+        disagreements = replay_entry(entry)
+        assert disagreements == [], "\n".join(
+            str(d) for d in disagreements
+        )
+
+    def test_entry_round_trips_through_serialization(self, path):
+        from repro.conformance.corpus import (
+            document_entry,
+            document_scenario_from_entry,
+            load_entry,
+            word_entry,
+            word_scenario_from_entry,
+        )
+
+        entry = load_entry(path)
+        if entry["kind"] == "word":
+            scenario = word_scenario_from_entry(entry)
+            again = word_entry(scenario, note=entry.get("note", ""))
+        else:
+            scenario = document_scenario_from_entry(entry)
+            again = document_entry(scenario, note=entry.get("note", ""))
+        assert again == entry
+
+
+def test_json_corpus_is_seeded():
+    # The shipped corpus starts at ten entries and only ever grows.
+    assert len(_corpus_entries()) >= 10
