@@ -289,11 +289,30 @@ def minimize_hopcroft(dfa: DFA) -> DFA:
             row[symbol] = block_of[completed.transitions[state][symbol]]
         if state in completed.accepting:
             new_accepting.add(block)
+
+    # Canonical numbering: BFS from the initial block over the sorted
+    # alphabet.  Structurally equal inputs then minimize to *identical*
+    # automata (state 0 initial), which renderings, digests and the
+    # persistent artifact store all rely on.
+    order: Dict[int, int] = {block_of[completed.initial]: 0}
+    queue = [block_of[completed.initial]]
+    while queue:
+        block = queue.pop(0)
+        for symbol in symbols:
+            target = transitions[block][symbol]
+            if target not in order:
+                order[target] = len(order)
+                queue.append(target)
     return DFA(
         completed.alphabet,
-        block_of[completed.initial],
-        frozenset(new_accepting),
-        transitions,
+        0,
+        frozenset(order[block] for block in new_accepting),
+        {
+            order[block]: {
+                symbol: order[target] for symbol, target in row.items()
+            }
+            for block, row in transitions.items()
+        },
     )
 
 

@@ -40,7 +40,7 @@ def is_empty(dfa: DFA) -> bool:
     return True
 
 
-def _product(left: DFA, right: DFA) -> Tuple[DFA, dict]:
+def _product(left: DFA, right: DFA, minimized: bool = False) -> Tuple[DFA, dict]:
     """Synchronous product of two complete DFAs over the same alphabet.
 
     Returns the product DFA (acceptance left to the caller to define) and
@@ -48,11 +48,14 @@ def _product(left: DFA, right: DFA) -> Tuple[DFA, dict]:
     reported to the observability layer (a ``product`` span with the
     operand and product sizes, plus the ``repro_dfa_product_states``
     histogram) — inclusion/equivalence checks are where the Section 6
-    compatibility test spends its time.
+    compatibility test spends its time.  ``minimized`` records whether
+    the caller fed Hopcroft-minimized operands, so before/after product
+    sizes are separable in the histogram.
     """
+    label = "true" if minimized else "false"
     with obs.tracer().span(
         "product", op="dfa", left_states=left.n_states,
-        right_states=right.n_states,
+        right_states=right.n_states, minimized=label,
     ) as span:
         product, pairs = _product_inner(left, right)
         span.set(product_states=len(pairs))
@@ -60,7 +63,7 @@ def _product(left: DFA, right: DFA) -> Tuple[DFA, dict]:
     if metrics.enabled:
         metrics.histogram(
             "repro_dfa_product_states", "Synchronous DFA product sizes"
-        ).observe(len(pairs))
+        ).observe(len(pairs), minimized=label)
     return product, pairs
 
 
@@ -95,9 +98,9 @@ def _product_inner(left: DFA, right: DFA) -> Tuple[DFA, dict]:
     return product, pairs
 
 
-def intersects(left: DFA, right: DFA) -> bool:
+def intersects(left: DFA, right: DFA, minimized: bool = False) -> bool:
     """True iff the two languages share at least one word."""
-    product, pairs = _product(left, right)
+    product, pairs = _product(left, right, minimized=minimized)
     accepting = frozenset(
         pid
         for pid, (l, r) in pairs.items()
@@ -108,14 +111,22 @@ def intersects(left: DFA, right: DFA) -> bool:
     )
 
 
-def language_subset(left: DFA, right: DFA) -> bool:
-    """True iff ``lang(left) ⊆ lang(right)``."""
-    return not intersects(left, complement(right))
+def language_subset(left: DFA, right: DFA, minimized: bool = False) -> bool:
+    """True iff ``lang(left) ⊆ lang(right)``.
+
+    Pass ``minimized=True`` when the operands are already
+    Hopcroft-minimized (complementation preserves both completeness and
+    minimality), so the product-size histogram attributes the build
+    correctly.
+    """
+    return not intersects(left, complement(right), minimized=minimized)
 
 
-def language_equal(left: DFA, right: DFA) -> bool:
+def language_equal(left: DFA, right: DFA, minimized: bool = False) -> bool:
     """True iff the two automata define the same language."""
-    return language_subset(left, right) and language_subset(right, left)
+    return language_subset(left, right, minimized=minimized) and language_subset(
+        right, left, minimized=minimized
+    )
 
 
 def shortest_words(dfa: DFA, limit: int = 10) -> Iterator[Tuple[str, ...]]:

@@ -75,6 +75,8 @@ class SchemaEnforcer:
         workers / dedup / batch: concurrent materialization knobs,
             forwarded to the engine (see :mod:`repro.exec`); ``None``
             resolves ``REPRO_WORKERS`` / ``REPRO_DEDUP``.
+        compile_cache: the shared automata compilation cache, forwarded
+            to every engine this enforcer builds (``None`` = ambient).
     """
 
     target_schema: Schema
@@ -87,6 +89,7 @@ class SchemaEnforcer:
     workers: Optional[int] = None
     dedup: Optional[bool] = None
     batch: bool = False
+    compile_cache: Optional[object] = None
     #: Optional converters (conclusion extension): applied as a last
     #: resort when plain rewriting cannot reach the target structure.
     converters: tuple = ()
@@ -103,6 +106,7 @@ class SchemaEnforcer:
             workers=self.workers,
             dedup=self.dedup,
             batch=self.batch,
+            compile_cache=self.compile_cache,
         )
 
     @staticmethod

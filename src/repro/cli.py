@@ -157,17 +157,37 @@ def _resilient_invoker(args, invoker):
     return resilient, resilient
 
 
+def _compile_cache_option(args):
+    """Resolve ``--compile-cache``: None = ambient, off-ish = disabled,
+    anything else = a persistence directory for compiled artifacts."""
+    from repro.compile import DISABLED, CompilationCache
+
+    value = getattr(args, "compile_cache", None)
+    if value is None:
+        return None
+    if value.strip().lower() in ("off", "0", "false", "no", "disabled"):
+        return DISABLED
+    return CompilationCache(persist_dir=value)
+
+
 def cmd_rewrite(args) -> int:
+    from repro.compile import context as compile_context
     from repro.obs import MetricsRegistry, Tracer, observing
 
     document = Document.from_xml(_read(args.document))
     sender = _load_schema(args.sender_schema)
     exchange = _load_schema(args.exchange_schema)
     workers = _effective_workers(args)
+    compile_cache = _compile_cache_option(args)
     enforcer = SchemaEnforcer(
         exchange, sender, k=args.k, mode=args.mode,
         workers=args.workers, dedup=args.dedup,
+        compile_cache=compile_cache,
     )
+    effective_cache = (
+        compile_cache if compile_cache is not None else compile_context.cache()
+    )
+    compile_before = effective_cache.stats()
     invoker, resilient = _resilient_invoker(
         args, _sampling_invoker(sender, args.seed, per_call=workers > 1)
     )
@@ -211,6 +231,15 @@ def cmd_rewrite(args) -> int:
         % (outcome.cache_hits, outcome.cache_misses),
         file=sys.stderr,
     )
+    if effective_cache.enabled:
+        print(
+            "compile cache: %s" % _compile_delta(
+                compile_before, effective_cache.stats()
+            ),
+            file=sys.stderr,
+        )
+    else:
+        print("compile cache: off", file=sys.stderr)
     if outcome.exec_report is not None:
         print(outcome.exec_report.summary(), file=sys.stderr)
     if outcome.degraded_functions:
@@ -220,6 +249,23 @@ def cmd_rewrite(args) -> int:
             file=sys.stderr,
         )
     return 0
+
+
+def _compile_delta(before, after) -> str:
+    """This run's share of the compilation-cache accounting."""
+    from repro.compile import CacheStats
+
+    delta = CacheStats(
+        hits=after.hits - before.hits,
+        misses=after.misses - before.misses,
+        evictions=after.evictions - before.evictions,
+        entries=after.entries,
+        interned=after.interned,
+        persist_hits=after.persist_hits - before.persist_hits,
+        persist_misses=after.persist_misses - before.persist_misses,
+        persist_errors=after.persist_errors - before.persist_errors,
+    )
+    return delta.summary()
 
 
 def cmd_compat(args) -> int:
@@ -315,6 +361,15 @@ def cmd_stats(args) -> int:
             if span.get("parent_id") is None
         ),
     ), file=sys.stderr)
+    compile_spans = [
+        span for span in spans
+        if str(span.get("name", "")).startswith("compile.")
+    ]
+    if compile_spans:
+        print("compile: %d artifact build(s), %.3fs" % (
+            len(compile_spans),
+            sum(span.get("duration") or 0.0 for span in compile_spans),
+        ), file=sys.stderr)
     return 0
 
 
@@ -480,6 +535,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="export a JSONL span trace of the rewrite here")
     p.add_argument("--metrics", metavar="PATH",
                    help="export Prometheus-format metrics here ('-' = stdout)")
+    p.add_argument("--compile-cache", metavar="DIR|off", default=None,
+                   help="automata compilation cache: 'off' disables it, a "
+                        "directory persists compiled artifacts across runs "
+                        "(default: in-memory process cache, or "
+                        "$REPRO_COMPILE_CACHE)")
     p.set_defaults(func=cmd_rewrite)
 
     p = sub.add_parser("compat", help="Section 6 schema compatibility")

@@ -1,0 +1,57 @@
+"""``repro.compile`` — the shared automata compilation cache.
+
+The paper's algorithms spend their time building automata: the complete
+complement ``Ā`` of the target type (Figure 3 step 4), the target DFA
+for possible rewriting (Figure 9), and the k-depth expansions of output
+types.  This subsystem compiles each *content* once per process (and,
+optionally, once per disk) instead of once per analysis:
+
+- :mod:`repro.compile.digest` — canonical structural digests, the
+  hash-consing identity;
+- :mod:`repro.compile.cache` — the thread-safe LRU cache over the
+  memoized pipeline ``regex → NFA → determinize → complete → minimize →
+  complement``, with Hopcroft minimization on the hot path;
+- :mod:`repro.compile.persist` — the on-disk artifact store behind
+  ``--compile-cache`` / ``REPRO_COMPILE_CACHE``;
+- :mod:`repro.compile.context` — process-wide installation, mirroring
+  :mod:`repro.obs`.
+
+See ``docs/PERFORMANCE.md`` for the operational picture and benchmark
+E22 for the measured cold/warm/persistent-warm speedups.
+"""
+
+from repro.compile.cache import (
+    DEFAULT_MAXSIZE,
+    DISABLED,
+    CacheStats,
+    CompilationCache,
+    NullCompilationCache,
+)
+from repro.compile.context import cache, compiling, install, uninstall
+from repro.compile.digest import (
+    key_digest,
+    mapping_digest,
+    regex_digest,
+    symbols_digest,
+    word_digest,
+)
+from repro.compile.persist import FORMAT_VERSION, PersistentStore
+
+__all__ = [
+    "CacheStats",
+    "CompilationCache",
+    "NullCompilationCache",
+    "DISABLED",
+    "DEFAULT_MAXSIZE",
+    "FORMAT_VERSION",
+    "PersistentStore",
+    "cache",
+    "compiling",
+    "install",
+    "uninstall",
+    "key_digest",
+    "mapping_digest",
+    "regex_digest",
+    "symbols_digest",
+    "word_digest",
+]

@@ -1,0 +1,379 @@
+"""The shared compilation cache: hash-consed automata artifacts.
+
+Every word analysis in the rewriting stack needs compiled automata — the
+Glushkov NFA of each output type, the complete (minimized) DFA of the
+target, its complement ``Ā``, the k-depth expansion ``A_w^k`` — and
+until this module existed each analysis recompiled them from scratch,
+per engine, per document, per peer.  The game state space, not the
+document, dominates cost ("Games for Active XML Revisited"), so the two
+levers pulled here are:
+
+- **sharing**: artifacts are interned process-wide by canonical content
+  digest (:mod:`repro.compile.digest`), so structurally equal types
+  compile once no matter which engine, document, or peer asks — and,
+  with a persistence directory, once per *content* across process
+  restarts (:mod:`repro.compile.persist`);
+- **shrinking**: Hopcroft minimization is part of the cached pipeline
+  (``regex → NFA → determinize → complete → minimize → complement``),
+  so every product construction and marking game downstream runs on the
+  Myhill–Nerode-minimal automaton.  Minimization preserves the language,
+  and the game verdict and strategy depend on the complement only
+  through its language residuals, so results are bit-identical — a
+  contract the differential harness fuzzes continuously (the
+  ``shared-cache`` configuration in
+  :mod:`repro.conformance.differential`).
+
+The cache is thread-safe (one lock around the LRU store and counters;
+builds run outside it, racing duplicates are discarded) and LRU-bounded.
+Hit/miss/eviction counts surface through :func:`stats` and, when
+observability is installed, through ``compile.*`` spans and the
+``repro_compile_*`` metrics.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Optional, Tuple
+
+from repro.automata.dfa import DFA, complement as complement_dfa, determinize, minimize_hopcroft
+from repro.automata.glushkov import glushkov_nfa
+from repro.automata.nfa import NFA
+from repro.automata.symbols import Alphabet
+from repro.compile.digest import (
+    key_digest,
+    mapping_digest,
+    regex_digest,
+    symbols_digest,
+    word_digest,
+)
+from repro.compile.persist import PersistentStore
+from repro.obs import context as obs
+from repro.regex.ast import Regex
+
+#: Default LRU bound, overridable via ``REPRO_COMPILE_CACHE_SIZE``.
+DEFAULT_MAXSIZE = 1024
+
+_MISSING = object()
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A monotonic snapshot of one cache's accounting."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    entries: int = 0
+    interned: int = 0
+    persist_hits: int = 0
+    persist_misses: int = 0
+    persist_errors: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def summary(self) -> str:
+        text = "%d hit(s), %d miss(es), %d eviction(s), %d entr%s" % (
+            self.hits, self.misses, self.evictions,
+            self.entries, "y" if self.entries == 1 else "ies",
+        )
+        if self.persist_hits or self.persist_misses or self.persist_errors:
+            text += ", disk %d/%d (%d corrupt)" % (
+                self.persist_hits,
+                self.persist_hits + self.persist_misses,
+                self.persist_errors,
+            )
+        return text
+
+
+class CompilationCache:
+    """Process-wide, thread-safe, LRU-bounded automata compilation cache.
+
+    Args:
+        maxsize: LRU bound on compiled artifacts (the intern tables for
+            digests are unbounded — they hold strings for schema-level
+            types, which are few and small).
+        persist_dir: optional directory for the on-disk artifact store;
+            compiled DFAs, NFAs and expansions are written there keyed by
+            content digest so later processes warm-start.
+    """
+
+    enabled = True
+
+    def __init__(self, maxsize: int = DEFAULT_MAXSIZE,
+                 persist_dir: Optional[str] = None):
+        self.maxsize = max(1, int(maxsize))
+        self._lock = threading.Lock()
+        self._store: "OrderedDict[Tuple, object]" = OrderedDict()
+        self._digests: Dict[Regex, str] = {}
+        self._by_id: Dict[int, Tuple[Regex, str]] = {}
+        self._interned: Dict[str, Regex] = {}
+        self._alphabet_digests: Dict[frozenset, str] = {}
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._persist_hits = 0
+        self._persist_misses = 0
+        self._persist_errors = 0
+        self._persist = (
+            PersistentStore(persist_dir) if persist_dir else None
+        )
+
+    # -- interning / digests ------------------------------------------------
+
+    def digest(self, r: Regex) -> str:
+        """Content digest of a regex, memoized by identity then structure.
+
+        The identity fast path makes repeated lookups O(1) regardless of
+        the expression's size: engines key their per-document analysis
+        caches on these digests instead of hashing deep ASTs every time.
+        """
+        with self._lock:
+            entry = self._by_id.get(id(r))
+            if entry is not None and entry[0] is r:
+                return entry[1]
+            digest = self._digests.get(r)
+            if digest is not None:
+                self._by_id[id(r)] = (r, digest)
+                return digest
+        digest = regex_digest(r)
+        with self._lock:
+            self._digests.setdefault(r, digest)
+            self._by_id[id(r)] = (r, digest)
+            self._interned.setdefault(digest, r)
+        return digest
+
+    def intern(self, r: Regex) -> Regex:
+        """The canonical instance for this regex's structure (hash-consing).
+
+        Equal regexes intern to one shared object, so downstream
+        identity-keyed memoization (including :meth:`digest` itself)
+        collapses across engines and documents.
+        """
+        digest = self.digest(r)
+        with self._lock:
+            return self._interned.setdefault(digest, r)
+
+    def regex_key(self, r: Regex) -> str:
+        """A cheap, exact dictionary key standing for a regex."""
+        return self.digest(r)
+
+    def word_key(self, word: Tuple[str, ...]) -> str:
+        """A cheap, exact dictionary key standing for a children word."""
+        return word_digest(word)
+
+    def alphabet_key(self, alphabet: Alphabet) -> str:
+        with self._lock:
+            digest = self._alphabet_digests.get(alphabet.symbols)
+        if digest is None:
+            digest = symbols_digest(alphabet.symbols)
+            with self._lock:
+                self._alphabet_digests.setdefault(alphabet.symbols, digest)
+        return digest
+
+    # -- the compiled pipeline ----------------------------------------------
+
+    def nfa(self, r: Regex) -> NFA:
+        """The Glushkov NFA of a regex, shared by digest."""
+        key = ("nfa", self.digest(r))
+        return self._get_or_build(key, "nfa", lambda: glushkov_nfa(r))
+
+    def target_dfa(self, target: Regex, alphabet: Alphabet) -> DFA:
+        """The complete, Hopcroft-minimized DFA of ``target``.
+
+        This is the automaton ``A`` of Figure 9 — and the front half of
+        the complement pipeline of Figure 3 step 4.
+        """
+        key = ("dfa", self.digest(target), self.alphabet_key(alphabet))
+        return self._get_or_build(
+            key, "dfa",
+            lambda: minimize_hopcroft(determinize(self.nfa(target), alphabet)),
+        )
+
+    def complement(self, target: Regex, alphabet: Alphabet) -> DFA:
+        """The complete minimized complement ``Ā`` (Figure 3 step 4)."""
+        key = ("comp", self.digest(target), self.alphabet_key(alphabet))
+        return self._get_or_build(
+            key, "comp",
+            lambda: complement_dfa(self.target_dfa(target, alphabet)),
+        )
+
+    def expansion_key(
+        self,
+        word: Tuple[str, ...],
+        output_types: Dict[str, Regex],
+        k: int,
+        invocable_names: Iterable[str],
+    ) -> Tuple:
+        """The exact content key of one ``A_w^k`` construction.
+
+        For the schema-compatibility reduction the word is a single
+        virtual function, so this key *is* the paper's "k-depth expansion
+        template per (output-type digest, k)".
+        """
+        outputs = {
+            name: self.digest(expr) for name, expr in output_types.items()
+        }
+        return (
+            "expansion",
+            word_digest(word),
+            mapping_digest(outputs),
+            int(k),
+            symbols_digest(invocable_names),
+        )
+
+    def expansion(self, key: Tuple, build: Callable[[], object]):
+        """Memoize one expansion build under a key from :meth:`expansion_key`.
+
+        The builder stays in :mod:`repro.rewriting.expansion` (this
+        module never imports the rewriting layer); expansions are
+        immutable after construction, so sharing them across engines and
+        threads is safe.
+        """
+        return self._get_or_build(key, "expansion", build)
+
+    # -- bookkeeping ----------------------------------------------------------
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                entries=len(self._store),
+                interned=len(self._interned),
+                persist_hits=self._persist_hits,
+                persist_misses=self._persist_misses,
+                persist_errors=self._persist_errors,
+            )
+
+    def clear(self) -> None:
+        """Drop every compiled artifact (intern tables included)."""
+        with self._lock:
+            self._store.clear()
+            self._digests.clear()
+            self._by_id.clear()
+            self._interned.clear()
+            self._alphabet_digests.clear()
+
+    # -- the memoization core -------------------------------------------------
+
+    def _note(self, kind: str, outcome: str) -> None:
+        metrics = obs.metrics()
+        if metrics.enabled:
+            metrics.counter(
+                "repro_compile_cache_total", "Compilation cache lookups"
+            ).inc(kind=kind, outcome=outcome)
+
+    def _get_or_build(self, key: Tuple, kind: str, build: Callable[[], object]):
+        with self._lock:
+            value = self._store.get(key, _MISSING)
+            if value is not _MISSING:
+                self._store.move_to_end(key)
+                self._hits += 1
+        if value is not _MISSING:
+            self._note(kind, "hit")
+            return value
+        with self._lock:
+            self._misses += 1
+        self._note(kind, "miss")
+
+        file_digest = None
+        loaded = None
+        if self._persist is not None:
+            file_digest = key_digest(key)
+            loaded, corrupted = self._persist.load(file_digest, kind)
+            with self._lock:
+                if corrupted:
+                    self._persist_errors += 1
+                elif loaded is not None:
+                    self._persist_hits += 1
+                else:
+                    self._persist_misses += 1
+        value = loaded
+        if value is None:
+            # Built outside the lock: compilation can be expensive and
+            # must not serialize concurrent engines; a racing duplicate
+            # build is simply discarded below.
+            with obs.tracer().span("compile." + kind, key=key[1][:12]):
+                value = build()
+
+        evicted = 0
+        with self._lock:
+            existing = self._store.get(key, _MISSING)
+            if existing is not _MISSING:
+                self._store.move_to_end(key)
+                return existing
+            self._store[key] = value
+            while len(self._store) > self.maxsize:
+                self._store.popitem(last=False)
+                self._evictions += 1
+                evicted += 1
+        if evicted:
+            metrics = obs.metrics()
+            if metrics.enabled:
+                metrics.counter(
+                    "repro_compile_cache_evictions_total",
+                    "Artifacts dropped by the compile-cache LRU",
+                ).inc(evicted)
+        if self._persist is not None and loaded is None:
+            if not self._persist.store(file_digest, kind, value):
+                with self._lock:
+                    self._persist_errors += 1
+        return value
+
+
+class NullCompilationCache:
+    """The disabled cache: same pipeline, no sharing.
+
+    Every request compiles fresh — including Hopcroft minimization, so
+    the *artifacts* are identical to the shared cache's; only the
+    reuse is gone.  This is what the differential harness runs its
+    baseline configurations on.
+    """
+
+    enabled = False
+
+    def digest(self, r: Regex) -> str:
+        return regex_digest(r)
+
+    def intern(self, r: Regex) -> Regex:
+        return r
+
+    def regex_key(self, r: Regex):
+        return r
+
+    def word_key(self, word: Tuple[str, ...]):
+        return word
+
+    def nfa(self, r: Regex) -> NFA:
+        return glushkov_nfa(r)
+
+    def target_dfa(self, target: Regex, alphabet: Alphabet) -> DFA:
+        return minimize_hopcroft(determinize(glushkov_nfa(target), alphabet))
+
+    def complement(self, target: Regex, alphabet: Alphabet) -> DFA:
+        return complement_dfa(self.target_dfa(target, alphabet))
+
+    def expansion_key(self, word, output_types, k, invocable_names) -> Tuple:
+        return ()
+
+    def expansion(self, key: Tuple, build: Callable[[], object]):
+        return build()
+
+    def stats(self) -> CacheStats:
+        return CacheStats()
+
+    def clear(self) -> None:
+        pass
+
+
+#: The shared singleton standing for "compile caching off".
+DISABLED = NullCompilationCache()

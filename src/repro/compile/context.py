@@ -1,0 +1,90 @@
+"""Process-wide installation of the shared compilation cache.
+
+Mirrors :mod:`repro.obs.context`: compilation sites throughout the stack
+(the safe/lazy/possible solvers, the expansion builder, the language
+ops) call :func:`cache` for the currently installed cache.  The default
+is one shared, enabled :class:`~repro.compile.cache.CompilationCache`
+for the whole process — equal types compile once no matter which engine,
+document, or peer asks.
+
+Environment knobs, read when the default cache is first materialized:
+
+- ``REPRO_COMPILE_CACHE``: ``off``/``0``/``false``/``no`` disables the
+  cache; any other non-empty value is a *directory path* enabling the
+  persistent on-disk store; unset means in-memory only.
+- ``REPRO_COMPILE_CACHE_SIZE``: LRU bound (default
+  :data:`~repro.compile.cache.DEFAULT_MAXSIZE`).
+
+Engines that must not share ambient state (the differential harness's
+baseline configurations, tests) pass an explicit cache — possibly
+:data:`~repro.compile.cache.DISABLED` — instead of swapping the global
+via :func:`compiling`, which is not thread-safe against concurrent
+ambient users.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Optional
+
+from repro.compile.cache import (
+    DEFAULT_MAXSIZE,
+    DISABLED,
+    CompilationCache,
+    NullCompilationCache,
+)
+
+_state = {"cache": None}
+
+_OFF_VALUES = ("off", "0", "false", "no", "disabled")
+
+
+def _default_cache():
+    env = os.environ.get("REPRO_COMPILE_CACHE", "").strip()
+    if env.lower() in _OFF_VALUES:
+        return DISABLED
+    size = os.environ.get("REPRO_COMPILE_CACHE_SIZE", "").strip()
+    try:
+        maxsize = int(size) if size else DEFAULT_MAXSIZE
+    except ValueError:
+        maxsize = DEFAULT_MAXSIZE
+    return CompilationCache(maxsize=maxsize, persist_dir=env or None)
+
+
+def cache():
+    """The currently installed compilation cache (never None).
+
+    Lazily builds the environment-configured default on first use.
+    """
+    current = _state["cache"]
+    if current is None:
+        current = _state["cache"] = _default_cache()
+    return current
+
+
+def install(new_cache=None):
+    """Install a cache process-wide; ``None`` re-reads the environment."""
+    _state["cache"] = new_cache if new_cache is not None else _default_cache()
+    return _state["cache"]
+
+
+def uninstall() -> None:
+    """Forget the installed cache; the next :func:`cache` call rebuilds."""
+    _state["cache"] = None
+
+
+@contextmanager
+def compiling(new_cache):
+    """Scoped :func:`install`: restores the previous cache on exit.
+
+    Pass a :class:`CompilationCache` to share, or
+    :data:`~repro.compile.cache.DISABLED` to switch caching off within
+    the scope.
+    """
+    previous = _state["cache"]
+    _state["cache"] = new_cache
+    try:
+        yield new_cache
+    finally:
+        _state["cache"] = previous

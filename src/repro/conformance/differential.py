@@ -60,7 +60,31 @@ class EngineConfig:
     lazy: bool = True
     observed: bool = False
     resilient: bool = False
+    shared_cache: bool = False  # share one compilation cache across seeds
     mutate: bool = False  # self-test: corrupt the outcome on purpose
+
+
+#: One process-wide compilation cache for every ``shared_cache`` run.
+#: Deliberately *never* cleared between scenarios: a divergence caused by
+#: artifact sharing across engines, documents or seeds would surface as a
+#: disagreement with the compile-cold baseline.
+_SHARED_COMPILE_CACHE = None
+_SHARED_COMPILE_LOCK = threading.Lock()
+
+
+def _compile_cache_for(config: "EngineConfig"):
+    from repro.compile import DISABLED, CompilationCache
+
+    if not config.shared_cache:
+        # Baselines compile cold: every artifact rebuilt from scratch,
+        # so the shared-cache variant is compared against the
+        # no-sharing-whatsoever pipeline.
+        return DISABLED
+    global _SHARED_COMPILE_CACHE
+    with _SHARED_COMPILE_LOCK:
+        if _SHARED_COMPILE_CACHE is None:
+            _SHARED_COMPILE_CACHE = CompilationCache()
+        return _SHARED_COMPILE_CACHE
 
 
 #: The shipped matrix: a baseline plus one variant per subsystem whose
@@ -71,6 +95,7 @@ DEFAULT_MATRIX: Tuple[EngineConfig, ...] = (
     EngineConfig("eager-game", lazy=False),
     EngineConfig("traced", observed=True),
     EngineConfig("resilient", resilient=True),
+    EngineConfig("shared-cache", shared_cache=True),
 )
 
 #: The matrix with a deliberately broken member, for harness self-tests.
@@ -251,6 +276,7 @@ def run_config(
         lazy=config.lazy,
         workers=config.workers,
         dedup=True,
+        compile_cache=_compile_cache_for(config),
     )
     invoker = per_call_invoker(scenario.sender_schema, scenario.invoker_seed)
     if config.resilient:

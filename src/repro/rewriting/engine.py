@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.automata.symbols import DATA
+from repro.compile import context as compile_context
 from repro.doc.document import Document
 from repro.doc.nodes import Element, FunctionCall, Node, Text, symbol_of, with_children
 from repro.errors import (
@@ -110,6 +111,13 @@ class RewriteEngine:
             ``workers > 1``.
         batch: group each prefetch wave's calls by endpoint (one worker
             drains an endpoint's batch).
+        compile_cache: the shared automata compilation cache
+            (:mod:`repro.compile`).  ``None`` uses the ambient
+            process-wide cache; pass an explicit
+            :class:`~repro.compile.CompilationCache` to share across a
+            chosen set of engines, or
+            :data:`~repro.compile.DISABLED` to compile fresh each time
+            (the differential harness's baseline).
     """
 
     target_schema: Schema
@@ -127,6 +135,7 @@ class RewriteEngine:
     workers: Optional[int] = None
     dedup: Optional[bool] = None
     batch: bool = False
+    compile_cache: Optional[object] = None
     _analysis_cache: Dict = field(default_factory=dict, repr=False)
     _cache_hits: int = field(default=0, repr=False)
     _cache_misses: int = field(default=0, repr=False)
@@ -138,6 +147,12 @@ class RewriteEngine:
     def cache_stats(self) -> Tuple[int, int]:
         """(hits, misses) of the per-engine analysis cache."""
         return (self._cache_hits, self._cache_misses)
+
+    def _ccache(self):
+        """The effective compilation cache (field, else the ambient one)."""
+        if self.compile_cache is not None:
+            return self.compile_cache
+        return compile_context.cache()
 
     @property
     def resolved_workers(self) -> int:
@@ -268,10 +283,12 @@ class RewriteEngine:
         try:
             target = self._desugared(target, word)
             output_types, invocable = self._word_problem(word)
+            cc = self._ccache()
             return self._cached(
                 "safe", word, target, frozenset(),
                 lambda: (analyze_safe_lazy if self.lazy else analyze_safe)(
-                    word, output_types, target, self.k, invocable
+                    word, output_types, target, self.k, invocable,
+                    compile_cache=cc,
                 ),
             )
         except Exception:
@@ -322,6 +339,7 @@ class RewriteEngine:
             eager=None,
             cache=self.cache,
             workers=1,
+            compile_cache=self.compile_cache,
         )
 
     # -- the three stages ---------------------------------------------------
@@ -426,12 +444,14 @@ class RewriteEngine:
     ) -> Tuple[Node, ...]:
         """One analyze-and-execute pass over a children word."""
         output_types, invocable = self._word_problem(word, dead)
+        cc = self._ccache()
 
         if self.mode in (SAFE, AUTO):
             analysis = self._cached(
                 "safe", word, target, dead,
                 lambda: (analyze_safe_lazy if self.lazy else analyze_safe)(
-                    word, output_types, target, self.k, invocable
+                    word, output_types, target, self.k, invocable,
+                    compile_cache=cc,
                 ),
             )
             stats["product"] += analysis.stats.product_nodes
@@ -450,7 +470,7 @@ class RewriteEngine:
         analysis = self._cached(
             "possible", word, target, dead,
             lambda: analyze_possible(word, output_types, target, self.k,
-                                     invocable),
+                                     invocable, compile_cache=cc),
         )
         stats["product"] += analysis.stats.product_nodes
         if not analysis.exists:
@@ -496,8 +516,10 @@ class RewriteEngine:
         word = tuple(symbol_of(node) for node in forest)
         output_types, invocable = self._word_problem(word)
         target = self._desugared(target, word)
+        cc = self._ccache()
         if self.mode == POSSIBLE:
-            analysis = analyze_possible(word, output_types, target, self.k, invocable)
+            analysis = analyze_possible(word, output_types, target, self.k,
+                                        invocable, compile_cache=cc)
             if not analysis.exists:
                 raise NoPossibleRewritingError(
                     "children word %s cannot rewrite into %s"
@@ -505,11 +527,13 @@ class RewriteEngine:
                 )
             return
         analyze = analyze_safe_lazy if self.lazy else analyze_safe
-        analysis = analyze(word, output_types, target, self.k, invocable)
+        analysis = analyze(word, output_types, target, self.k, invocable,
+                           compile_cache=cc)
         if not analysis.exists:
             if self.mode == AUTO:
                 fallback = analyze_possible(
-                    word, output_types, target, self.k, invocable
+                    word, output_types, target, self.k, invocable,
+                    compile_cache=cc,
                 )
                 if fallback.exists:
                     return
@@ -529,10 +553,18 @@ class RewriteEngine:
         ``output_types``/``invocable`` are functions of the word and the
         degradation state alone, so the key is exact.  Solved analyses
         are immutable after construction — execution only reads them.
+
+        The word and target enter the key through the compilation
+        cache's interned digests — O(1) per repeat lookup instead of
+        hashing a deep AST or a long word every time.  Digests are
+        content-exact, so hit/miss accounting is bit-identical to the
+        structural key (with caching disabled the key falls back to the
+        structural objects themselves).
         """
         if not self.cache:
             return self._analyzed(kind, "off", compute)
-        key = (kind, word, target, frozenset(dead))
+        cc = self._ccache()
+        key = (kind, cc.word_key(word), cc.regex_key(target), frozenset(dead))
         with self._cache_lock:
             analysis = self._analysis_cache.get(key)
             if analysis is None:

@@ -26,8 +26,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.automata.glushkov import glushkov_nfa
 from repro.automata.symbols import SymbolClass
+from repro.compile import context as compile_context
 from repro.regex.ast import Regex
 
 
@@ -97,8 +97,16 @@ def build_expansion(
     output_types: Dict[str, Regex],
     k: int = 1,
     invocable: Optional[Callable[[str], bool]] = None,
+    compile_cache=None,
 ) -> Expansion:
     """Build ``A_w^k`` for a children word.
+
+    The whole construction is memoized in the shared compilation cache
+    by exact content key — ``(word, output-type digests, k, invocable
+    partition)`` — and each attached signature copy draws its Glushkov
+    NFA from the same cache, so a function's output type is compiled
+    once per process however many times it is expanded.  Expansions are
+    immutable after construction, which is what makes the sharing safe.
 
     Args:
         word: the children word ``w`` (labels, function names, ``#data``).
@@ -107,11 +115,34 @@ def build_expansion(
         k: the depth bound of Definition 7.
         invocable: the legality filter of Section 2.1 — functions failing
             it keep their edges unexpanded even when a signature is known.
+        compile_cache: explicit compilation cache; None uses the ambient
+            one (:func:`repro.compile.context.cache`).
     """
     if k < 0:
         raise ValueError("k must be non-negative")
     can_invoke = invocable or (lambda _name: True)
+    cc = compile_cache if compile_cache is not None else compile_context.cache()
+    # The filter is only ever consulted for names with a known signature,
+    # so the frozen partition below is an exact stand-in for the callable.
+    invocable_names = frozenset(
+        name for name in output_types if can_invoke(name)
+    )
+    if not cc.enabled:
+        return _build_expansion(word, output_types, k, invocable_names, cc)
+    key = cc.expansion_key(tuple(word), output_types, k, invocable_names)
+    return cc.expansion(
+        key,
+        lambda: _build_expansion(word, output_types, k, invocable_names, cc),
+    )
 
+
+def _build_expansion(
+    word: Sequence[str],
+    output_types: Dict[str, Regex],
+    k: int,
+    invocable_names: frozenset,
+    cc,
+) -> Expansion:
     expansion = Expansion(
         word=tuple(word),
         k=k,
@@ -147,10 +178,10 @@ def build_expansion(
             if not isinstance(name, str):
                 continue
             output_type = output_types.get(name)
-            if output_type is None or not can_invoke(name):
+            if output_type is None or name not in invocable_names:
                 continue
             new_edges = _attach_copy(
-                expansion, add_edge, edge, output_type, round_number
+                expansion, add_edge, edge, output_type, round_number, cc
             )
             untreated.extend(new_edges)
         if not untreated:
@@ -165,13 +196,14 @@ def _attach_copy(
     call_edge: Edge,
     output_type: Regex,
     depth: int,
+    cc,
 ) -> List[Edge]:
     """Attach a copy of ``A_f`` in parallel with a function edge (step 8).
 
     Returns the copy's freshly created symbol edges, which become the
     next round's untreated edges.
     """
-    nfa = glushkov_nfa(output_type)
+    nfa = cc.nfa(output_type)
     offset = expansion.n_states
     expansion.n_states += nfa.n_states
     cid = len(expansion.copies)

@@ -25,6 +25,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.compile import context as compile_context
 from repro.obs import context as obs
 from repro.regex.ast import Regex
 from repro.rewriting.expansion import build_expansion
@@ -35,7 +36,6 @@ from repro.rewriting.safe import (
     SafeAnalysis,
     alternatives,
     problem_alphabet,
-    target_complement,
 )
 
 
@@ -46,6 +46,7 @@ def analyze_safe_lazy(
     k: int = 1,
     invocable: Optional[Callable[[str], bool]] = None,
     early_exit: bool = True,
+    compile_cache=None,
 ) -> SafeAnalysis:
     """Solve the safe-rewriting game with on-demand construction.
 
@@ -57,10 +58,13 @@ def analyze_safe_lazy(
     "unsafe").
     """
     tracer = obs.tracer()
+    cc = compile_cache if compile_cache is not None else compile_context.cache()
     with tracer.span("product", algorithm="safe-lazy", k=k) as span:
         alphabet = problem_alphabet(word, output_types, target)
-        expansion = build_expansion(word, output_types, k, invocable)
-        comp = target_complement(target, alphabet)
+        expansion = build_expansion(
+            word, output_types, k, invocable, compile_cache=cc
+        )
+        comp = cc.complement(target, alphabet)
         span.set(
             expansion_states=expansion.n_states,
             complement_states=comp.n_states,

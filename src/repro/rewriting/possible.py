@@ -17,9 +17,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.automata.dfa import DFA, complete, determinize
-from repro.automata.glushkov import glushkov_nfa
+from repro.automata.dfa import DFA
 from repro.automata.symbols import Alphabet, class_matches, concretize_class
+from repro.compile import context as compile_context
 from repro.doc.nodes import FunctionCall, Node, symbol_of
 from repro.errors import (
     FunctionUnavailableError,
@@ -112,16 +112,23 @@ def analyze_possible(
     target: Regex,
     k: int = 1,
     invocable: Optional[Callable[[str], bool]] = None,
+    compile_cache=None,
 ) -> PossibleAnalysis:
     """Solve possible rewriting: co-reachability on ``A_w^k × A``.
 
     Polynomial in the schemas (no complementation), as Section 5 notes.
+    The target DFA comes minimized from the compilation cache; the
+    reachability answer and the witness depend only on its language, so
+    results match the uncached pipeline exactly.
     """
     tracer = obs.tracer()
+    cc = compile_cache if compile_cache is not None else compile_context.cache()
     with tracer.span("product", algorithm="possible", k=k) as span:
         alphabet = problem_alphabet(word, output_types, target)
-        expansion = build_expansion(word, output_types, k, invocable)
-        target_dfa = complete(determinize(glushkov_nfa(target), alphabet))
+        expansion = build_expansion(
+            word, output_types, k, invocable, compile_cache=cc
+        )
+        target_dfa = cc.target_dfa(target, alphabet)
         span.set(
             expansion_states=expansion.n_states,
             target_states=target_dfa.n_states,

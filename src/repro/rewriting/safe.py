@@ -31,6 +31,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 from repro.automata.dfa import DFA, complement, determinize
 from repro.automata.glushkov import glushkov_nfa
 from repro.automata.symbols import Alphabet, class_matches, concretize_class, regex_symbols
+from repro.compile import context as compile_context
 from repro.doc.nodes import FunctionCall, Node, symbol_of
 from repro.errors import NoSafeRewritingError, RewriteExecutionError, ServiceFault
 from repro.obs import context as obs
@@ -254,6 +255,7 @@ def analyze_safe(
     target: Regex,
     k: int = 1,
     invocable: Optional[Callable[[str], bool]] = None,
+    compile_cache=None,
 ) -> SafeAnalysis:
     """Solve the safe-rewriting game eagerly (the Figure 3 algorithm).
 
@@ -261,12 +263,22 @@ def analyze_safe(
     backward least fixpoint with per-alternative counters.  See
     :func:`repro.rewriting.lazy.analyze_safe_lazy` for the pruned variant
     the paper's implementation uses (Section 7).
+
+    The expansion and the minimized complement come from the compilation
+    cache (the ambient one unless ``compile_cache`` is given), so equal
+    targets and output types compile once per process.  Minimization
+    preserves the complement's language, which is all the marking game
+    observes — verdicts, decisions and outputs are bit-identical to the
+    uncached pipeline; only ``stats.complement_states`` shrinks.
     """
     tracer = obs.tracer()
+    cc = compile_cache if compile_cache is not None else compile_context.cache()
     with tracer.span("product", algorithm="safe-eager", k=k) as span:
         alphabet = problem_alphabet(word, output_types, target)
-        expansion = build_expansion(word, output_types, k, invocable)
-        comp = target_complement(target, alphabet)
+        expansion = build_expansion(
+            word, output_types, k, invocable, compile_cache=cc
+        )
+        comp = cc.complement(target, alphabet)
 
         analysis = SafeAnalysis(
             word=tuple(word),

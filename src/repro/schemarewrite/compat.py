@@ -21,7 +21,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
-from repro.automata.symbols import DATA, OTHER
+from repro.automata.ops import language_equal, language_subset
+from repro.automata.symbols import DATA, OTHER, Alphabet, regex_symbols
+from repro.compile import context as compile_context
 from repro.errors import SchemaError
 from repro.regex.ast import Regex
 from repro.regex.ops import regex_alphabet
@@ -59,6 +61,55 @@ def _shield_wildcards(expr: Regex) -> Regex:
     if isinstance(expr, Repeat):
         return repeat(_shield_wildcards(expr.item), expr.low, expr.high)
     raise TypeError("unknown regex node %r" % (expr,))
+
+
+def _extensional(expr: Regex, output_types: Dict[str, Regex]) -> bool:
+    """No wildcards, no symbol with a known signature: rewriting is inert.
+
+    Instances of such a type contain no call an expansion could touch, so
+    "every children word safely rewrites into the target" collapses to
+    plain language inclusion — decidable on minimized DFAs without
+    playing the game.  Wildcards disqualify because an instance may put
+    an invocable call where the wildcard stands.
+    """
+    from repro.regex.ast import (
+        Alt, AnySymbol, Atom, Empty, Epsilon, Repeat, Seq, Star,
+    )
+
+    if isinstance(expr, AnySymbol):
+        return False
+    if isinstance(expr, Atom):
+        return expr.symbol not in output_types
+    if isinstance(expr, (Epsilon, Empty)):
+        return True
+    if isinstance(expr, Seq):
+        return all(_extensional(item, output_types) for item in expr.items)
+    if isinstance(expr, Alt):
+        return all(_extensional(option, output_types) for option in expr.options)
+    if isinstance(expr, (Star, Repeat)):
+        return _extensional(expr.item, output_types)
+    return False
+
+
+def _signatures_equivalent(sender_sig, receiver_sig, cc) -> bool:
+    """Language-level signature agreement (Section 4's assumption).
+
+    Structural equality is too strict: ``a | b`` and ``b | a`` declare
+    the same service.  Compare input and output types as languages, on
+    minimized DFAs from the compilation cache.
+    """
+    for ours, theirs in (
+        (sender_sig.input_type, receiver_sig.input_type),
+        (sender_sig.output_type, receiver_sig.output_type),
+    ):
+        alphabet = Alphabet.closure(regex_symbols(ours), regex_symbols(theirs))
+        if not language_equal(
+            cc.target_dfa(ours, alphabet),
+            cc.target_dfa(theirs, alphabet),
+            minimized=True,
+        ):
+            return False
+    return True
 
 
 @dataclass(frozen=True)
@@ -133,6 +184,7 @@ def schema_safely_rewrites(
     k: int = 1,
     policy: Optional[InvocationPolicy] = None,
     lazy: bool = True,
+    compile_cache=None,
 ) -> SchemaCompatReport:
     """Does every instance of ``sender`` safely rewrite into ``receiver``?
 
@@ -147,6 +199,9 @@ def schema_safely_rewrites(
         k: the depth bound for rewriting each label's children word.
         policy: the invocable/non-invocable partition.
         lazy: use the lazy game solver.
+        compile_cache: the shared automata compilation cache (``None`` =
+            the ambient one) — repeated checks against one receiver
+            reuse its compiled minimized DFAs and complements.
     """
     root = root or sender.root
     if root is None:
@@ -155,16 +210,22 @@ def schema_safely_rewrites(
         raise SchemaError("root label %r is not declared by the sender" % root)
     policy = policy or allow_all()
     analyze = analyze_safe_lazy if lazy else analyze_safe
+    cc = compile_cache if compile_cache is not None else compile_context.cache()
 
     report = SchemaCompatReport(compatible=True)
 
     labels, functions = reachable_labels(sender, root)
 
-    # Standing assumption of Section 4: shared functions agree.
+    # Standing assumption of Section 4: shared functions must agree —
+    # checked up to language equivalence, not syntax.
     for name in sorted(functions):
         sender_sig = sender.signature_of(name)
         receiver_sig = receiver.signature_of(name)
-        if receiver_sig is not None and sender_sig != receiver_sig:
+        if (
+            receiver_sig is not None
+            and sender_sig != receiver_sig
+            and not _signatures_equivalent(sender_sig, receiver_sig, cc)
+        ):
             report.signature_conflicts.append(
                 "%s: sender %s vs receiver %s" % (name, sender_sig, receiver_sig)
             )
@@ -204,19 +265,36 @@ def schema_safely_rewrites(
 
             target = helper.desugar_patterns(candidates, _sig).label_types["__t__"]
         problem_outputs = dict(output_types)
-        problem_outputs[VIRTUAL] = sender.label_types[label]
-        analysis = analyze(
-            (VIRTUAL,),
-            problem_outputs,
-            _shield_wildcards(target),
-            k=k + 1,
-            invocable=invocable,
-        )
-        reason = "" if analysis.exists else (
+        sender_type = sender.label_types[label]
+        problem_outputs[VIRTUAL] = sender_type
+        shielded = _shield_wildcards(target)
+        if _extensional(sender_type, problem_outputs):
+            # Rewriting cannot touch instances of this label, so the
+            # game degenerates to inclusion of the content models —
+            # decided on Hopcroft-minimized DFAs from the compile cache.
+            alphabet = Alphabet.closure(
+                regex_symbols(sender_type), regex_symbols(shielded)
+            )
+            safe = language_subset(
+                cc.target_dfa(sender_type, alphabet),
+                cc.target_dfa(shielded, alphabet),
+                minimized=True,
+            )
+        else:
+            analysis = analyze(
+                (VIRTUAL,),
+                problem_outputs,
+                shielded,
+                k=k + 1,
+                invocable=invocable,
+                compile_cache=cc,
+            )
+            safe = analysis.exists
+        reason = "" if safe else (
             "some children word of %r cannot be safely rewritten into %s"
             % (label, receiver.type_of(label))
         )
-        report.checks.append(LabelCheck(label, analysis.exists, reason))
-        report.compatible = report.compatible and analysis.exists
+        report.checks.append(LabelCheck(label, safe, reason))
+        report.compatible = report.compatible and safe
 
     return report

@@ -1,0 +1,522 @@
+"""The shared compilation cache (:mod:`repro.compile`).
+
+Covers the hash-consing identity (canonical digests, interning), the
+memoized minimized pipeline and its language-preservation contract, LRU
+eviction, the concurrency story (four worker threads hammering one
+cache; stats monotonicity under load), on-disk persistence with
+corrupted-file fallback, and the engine-level guarantee that sharing
+compiled artifacts never changes results or cache accounting.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import random
+import threading
+
+import pytest
+
+from repro import Document, RewriteEngine, el, is_instance, parse_regex
+from repro.automata.dfa import complement, complete, determinize
+from repro.automata.glushkov import glushkov_nfa
+from repro.automata.ops import language_equal
+from repro.automata.symbols import Alphabet, regex_symbols
+from repro.compile import (
+    DISABLED,
+    CompilationCache,
+    NullCompilationCache,
+    PersistentStore,
+    cache as ambient_cache,
+    compiling,
+    install,
+    key_digest,
+    mapping_digest,
+    regex_digest,
+    symbols_digest,
+    uninstall,
+    word_digest,
+)
+from repro.compile import context as compile_context
+from repro.doc.builder import call
+from repro.regex.ast import Atom, Seq
+from repro.rewriting.expansion import build_expansion
+from repro.rewriting.lazy import analyze_safe_lazy
+from repro.rewriting.safe import analyze_safe, problem_alphabet
+from repro.workloads import newspaper
+from tests.conftest import build_registry
+
+WORD = ("title", "date", "Get_Temp", "TimeOut")
+
+
+def newspaper_outputs():
+    return {
+        "Get_Temp": parse_regex("temp"),
+        "TimeOut": parse_regex("(exhibit | performance)*"),
+        "Get_Date": parse_regex("date"),
+    }
+
+
+def raw_target_dfa(target, alphabet):
+    """The pre-cache pipeline: complete but unminimized."""
+    return complete(determinize(glushkov_nfa(target), alphabet))
+
+
+class TestDigests:
+    def test_equal_structure_equal_digest(self):
+        assert regex_digest(parse_regex("a.(b|c)*")) == regex_digest(
+            parse_regex("a.(b|c)*")
+        )
+
+    def test_different_structure_different_digest(self):
+        assert regex_digest(parse_regex("a.b")) != regex_digest(
+            parse_regex("b.a")
+        )
+        assert regex_digest(parse_regex("a*")) != regex_digest(
+            parse_regex("a")
+        )
+
+    def test_serialization_is_unambiguous(self):
+        # An atom whose name *contains* a separator must not collide
+        # with the sequence of its pieces — the length-prefixed
+        # encoding guarantees it.
+        assert regex_digest(Atom("ab")) != regex_digest(
+            Seq((Atom("a"), Atom("b")))
+        )
+
+    def test_word_digest_is_order_sensitive(self):
+        assert word_digest(("a", "b")) != word_digest(("b", "a"))
+        assert word_digest(("ab",)) != word_digest(("a", "b"))
+
+    def test_mapping_digest_is_order_insensitive(self):
+        forward = {"f": "d1", "g": "d2"}
+        backward = {"g": "d2", "f": "d1"}
+        assert mapping_digest(forward) == mapping_digest(backward)
+
+    def test_symbols_digest_is_set_like(self):
+        assert symbols_digest(frozenset(["x", "y"])) == symbols_digest(
+            ["y", "x"]
+        )
+
+    def test_key_digest_is_filename_safe(self):
+        digest = key_digest(("comp", regex_digest(parse_regex("a")), "x"))
+        assert digest.isalnum()
+
+
+class TestInterning:
+    def test_intern_collapses_equal_regexes(self):
+        cc = CompilationCache()
+        first, second = parse_regex("a.(b|c)"), parse_regex("a.(b|c)")
+        assert first is not second
+        assert cc.intern(first) is cc.intern(second)
+        assert cc.stats().interned >= 1
+
+    def test_digest_identity_fast_path(self):
+        cc = CompilationCache()
+        expr = parse_regex("(a|b)*.c")
+        assert cc.digest(expr) == cc.digest(expr) == regex_digest(expr)
+
+    def test_keys_are_digests(self):
+        cc = CompilationCache()
+        assert cc.regex_key(parse_regex("a")) == regex_digest(parse_regex("a"))
+        assert cc.word_key(("a", "b")) == word_digest(("a", "b"))
+
+    def test_null_cache_keys_are_structural(self):
+        expr = parse_regex("a")
+        assert DISABLED.regex_key(expr) is expr
+        assert DISABLED.word_key(("a",)) == ("a",)
+
+
+class TestPipeline:
+    def test_artifacts_are_shared_by_content(self):
+        cc = CompilationCache()
+        target = parse_regex("title.date.temp.exhibit*")
+        alphabet = problem_alphabet(WORD, newspaper_outputs(), target)
+        assert cc.nfa(target) is cc.nfa(parse_regex("title.date.temp.exhibit*"))
+        assert cc.target_dfa(target, alphabet) is cc.target_dfa(target, alphabet)
+        assert cc.complement(target, alphabet) is cc.complement(target, alphabet)
+        stats = cc.stats()
+        assert stats.hits >= 3 and stats.misses >= 3
+
+    def test_minimized_pipeline_preserves_language(self):
+        cc = CompilationCache()
+        for expression in (
+            "title.date.temp.(TimeOut | exhibit*)",
+            "a.(b|c)*.d",
+            "(a|b).(a|b).(a|b)",
+            "eps | a.a*",
+        ):
+            target = parse_regex(expression)
+            alphabet = Alphabet.closure(regex_symbols(target))
+            raw = raw_target_dfa(target, alphabet)
+            minimized = cc.target_dfa(target, alphabet)
+            assert language_equal(raw, minimized)
+            assert minimized.n_states <= raw.n_states
+            assert minimized.is_complete()
+            assert language_equal(complement(raw), cc.complement(target, alphabet))
+
+    def test_null_cache_same_artifacts_no_sharing(self):
+        target = parse_regex("a.b*")
+        alphabet = Alphabet.closure(regex_symbols(target))
+        one = DISABLED.target_dfa(target, alphabet)
+        two = DISABLED.target_dfa(target, alphabet)
+        assert one is not two
+        assert language_equal(one, two)
+        assert DISABLED.stats().lookups == 0
+        assert not DISABLED.enabled and not NullCompilationCache().enabled
+
+
+class TestExpansionMemo:
+    def test_expansion_is_shared(self):
+        cc = CompilationCache()
+        outputs = newspaper_outputs()
+        first = build_expansion(WORD, outputs, k=1, compile_cache=cc)
+        second = build_expansion(list(WORD), dict(outputs), k=1,
+                                 compile_cache=cc)
+        assert first is second
+
+    def test_invocable_partition_splits_the_key(self):
+        cc = CompilationCache()
+        outputs = newspaper_outputs()
+        everything = build_expansion(WORD, outputs, k=1, compile_cache=cc)
+        restricted = build_expansion(
+            WORD, outputs, k=1,
+            invocable=lambda name: name != "TimeOut", compile_cache=cc,
+        )
+        assert everything is not restricted
+        assert len(everything.fork_edges()) > len(restricted.fork_edges())
+
+    def test_depth_splits_the_key(self):
+        cc = CompilationCache()
+        outputs = newspaper_outputs()
+        assert build_expansion(WORD, outputs, k=1, compile_cache=cc) is not (
+            build_expansion(WORD, outputs, k=2, compile_cache=cc)
+        )
+
+    def test_disabled_cache_builds_fresh(self):
+        outputs = newspaper_outputs()
+        first = build_expansion(WORD, outputs, k=1, compile_cache=DISABLED)
+        second = build_expansion(WORD, outputs, k=1, compile_cache=DISABLED)
+        assert first is not second
+        assert first.size() == second.size()
+
+    def test_analyses_agree_with_disabled_cache(self):
+        outputs = newspaper_outputs()
+        target = parse_regex("title.date.temp.(TimeOut | exhibit*)")
+        shared = CompilationCache()
+        for analyze in (analyze_safe, analyze_safe_lazy):
+            cold = analyze(WORD, outputs, target, 1, compile_cache=DISABLED)
+            warm = analyze(WORD, outputs, target, 1, compile_cache=shared)
+            warm2 = analyze(WORD, outputs, target, 1, compile_cache=shared)
+            assert cold.exists == warm.exists == warm2.exists is True
+            assert [d.action for d in cold.preview_decisions()] == [
+                d.action for d in warm.preview_decisions()
+            ]
+
+
+class TestLRU:
+    def test_eviction_under_pressure(self):
+        cc = CompilationCache(maxsize=4)
+        alphabet = Alphabet.closure({"a", "b"})
+        for index in range(10):
+            cc.target_dfa(parse_regex("a" + ".a" * index), alphabet)
+        stats = cc.stats()
+        assert stats.entries <= 4
+        assert stats.evictions > 0
+
+    def test_evicted_artifacts_recompile_correctly(self):
+        cc = CompilationCache(maxsize=2)
+        alphabet = Alphabet.closure({"a", "b"})
+        target = parse_regex("a.b")
+        first = cc.target_dfa(target, alphabet)
+        for index in range(6):  # flush the LRU
+            cc.target_dfa(parse_regex("b" + ".b" * index), alphabet)
+        again = cc.target_dfa(target, alphabet)
+        assert language_equal(first, again)
+
+    def test_stats_accounting_is_consistent(self):
+        cc = CompilationCache(maxsize=8)
+        alphabet = Alphabet.closure({"a"})
+        for _ in range(3):
+            cc.target_dfa(parse_regex("a*"), alphabet)
+        stats = cc.stats()
+        assert stats.lookups == stats.hits + stats.misses
+        assert 0.0 <= stats.hit_rate <= 1.0
+        assert "hit" in stats.summary()
+
+
+class TestThreadSafety:
+    WORKERS = 4  # mirrors REPRO_WORKERS=4, the shipped parallel setting
+
+    def test_hammering_one_cache_from_four_threads(self):
+        cc = CompilationCache(maxsize=16)  # small: eviction under load
+        expressions = [
+            parse_regex(text) for text in (
+                "a.b*", "(a|b)*", "a.(b|c).d", "d*.a", "b|c|d",
+                "(a.b)*", "a|eps", "c.c.c*",
+            )
+        ]
+        alphabet = Alphabet.closure({"a", "b", "c", "d"})
+        expected = {
+            regex_digest(expr): DISABLED.target_dfa(expr, alphabet).n_states
+            for expr in expressions
+        }
+        errors = []
+        snapshots = []
+        stop = threading.Event()
+
+        def sampler():
+            while not stop.is_set():
+                snapshots.append(cc.stats())
+
+        def worker(seed):
+            rng = random.Random(seed)
+            try:
+                for _ in range(150):
+                    expr = rng.choice(expressions)
+                    dfa = cc.target_dfa(expr, alphabet)
+                    # Minimal DFAs are canonical in size: every thread
+                    # must see an artifact of the unique minimal shape.
+                    if dfa.n_states != expected[regex_digest(expr)]:
+                        raise AssertionError("wrong artifact for %s" % expr)
+                    comp = cc.complement(expr, alphabet)
+                    if comp.n_states != dfa.n_states:
+                        raise AssertionError("complement shape changed")
+            except BaseException as exc:  # noqa: BLE001 — re-raised below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(seed,))
+            for seed in range(self.WORKERS)
+        ]
+        monitor = threading.Thread(target=sampler)
+        monitor.start()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        stop.set()
+        monitor.join()
+        assert not errors, errors[0]
+        stats = cc.stats()
+        assert stats.entries <= 16
+        assert stats.lookups >= self.WORKERS * 150 * 2
+        # Counters only ever grow, even while four threads race.
+        for earlier, later in zip(snapshots, snapshots[1:]):
+            assert later.hits >= earlier.hits
+            assert later.misses >= earlier.misses
+            assert later.evictions >= earlier.evictions
+
+    def test_interning_races_converge(self):
+        cc = CompilationCache()
+        results = [[] for _ in range(self.WORKERS)]
+
+        def worker(slot):
+            for index in range(100):
+                expr = parse_regex("a.(b|c)*.d")
+                results[slot].append(cc.intern(expr))
+
+        threads = [
+            threading.Thread(target=worker, args=(slot,))
+            for slot in range(self.WORKERS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        interned = {id(obj) for result in results for obj in result}
+        assert len(interned) == 1  # one canonical instance, ever
+
+
+class TestPersistence:
+    def _compile_some(self, directory):
+        cc = CompilationCache(persist_dir=directory)
+        target = parse_regex("title.date.temp.exhibit*")
+        alphabet = problem_alphabet(WORD, newspaper_outputs(), target)
+        dfa = cc.target_dfa(target, alphabet)
+        comp = cc.complement(target, alphabet)
+        expansion = build_expansion(WORD, newspaper_outputs(), k=1,
+                                    compile_cache=cc)
+        return cc, target, alphabet, dfa, comp, expansion
+
+    def test_round_trip_warm_start(self, tmp_path):
+        directory = str(tmp_path / "artifacts")
+        cc1, target, alphabet, dfa, comp, expansion = self._compile_some(
+            directory
+        )
+        assert cc1.stats().persist_misses > 0  # first run was cold
+        store = PersistentStore(directory)
+        assert store.entry_count() >= 3
+
+        cc2 = CompilationCache(persist_dir=directory)
+        dfa2 = cc2.target_dfa(target, alphabet)
+        comp2 = cc2.complement(target, alphabet)
+        expansion2 = build_expansion(WORD, newspaper_outputs(), k=1,
+                                     compile_cache=cc2)
+        assert cc2.stats().persist_hits >= 3
+        assert language_equal(dfa, dfa2)
+        assert language_equal(comp, comp2)
+        assert expansion2.size() == expansion.size()
+        assert [e.guard for e in expansion2.edges] == [
+            e.guard for e in expansion.edges
+        ]
+
+    def test_corrupted_files_fall_back_to_recompilation(self, tmp_path):
+        directory = str(tmp_path / "artifacts")
+        _cc, target, alphabet, dfa, _comp, _expansion = self._compile_some(
+            directory
+        )
+        for name in os.listdir(directory):
+            with open(os.path.join(directory, name), "wb") as handle:
+                handle.write(b"\x80garbage, not a pickle")
+
+        cc = CompilationCache(persist_dir=directory)
+        recompiled = cc.target_dfa(target, alphabet)
+        assert language_equal(dfa, recompiled)
+        stats = cc.stats()
+        assert stats.persist_errors >= 1
+        assert stats.persist_hits == 0
+
+        # The bad file was overwritten with a fresh artifact: the next
+        # process warm-starts again.
+        cc2 = CompilationCache(persist_dir=directory)
+        assert language_equal(dfa, cc2.target_dfa(target, alphabet))
+        assert cc2.stats().persist_hits >= 1
+
+    def test_wrong_version_or_kind_is_corruption(self, tmp_path):
+        store = PersistentStore(str(tmp_path))
+        assert store.store("digest0", "dfa", {"ok": True})
+        assert store.load("digest0", "dfa") == ({"ok": True}, False)
+        assert store.load("digest0", "nfa") == (None, True)  # kind mismatch
+        with open(os.path.join(str(tmp_path), "digest1.pkl"), "wb") as handle:
+            pickle.dump(("repro-compile-cache", 999, "dfa", {}), handle)
+        assert store.load("digest1", "dfa") == (None, True)
+        assert store.load("missing", "dfa") == (None, False)
+
+
+class TestContext:
+    def test_ambient_cache_is_lazy_and_stable(self):
+        uninstall()
+        try:
+            first = ambient_cache()
+            assert first.enabled
+            assert ambient_cache() is first
+        finally:
+            uninstall()
+
+    def test_install_and_compiling_scope(self):
+        mine = CompilationCache()
+        previous = ambient_cache()
+        install(mine)
+        try:
+            assert ambient_cache() is mine
+            with compiling(DISABLED) as scoped:
+                assert scoped is DISABLED
+                assert ambient_cache() is DISABLED
+            assert ambient_cache() is mine
+        finally:
+            install(previous)
+
+    def test_env_off_disables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_COMPILE_CACHE", "off")
+        uninstall()
+        try:
+            assert ambient_cache() is DISABLED
+        finally:
+            uninstall()
+
+    def test_env_directory_enables_persistence(self, tmp_path, monkeypatch):
+        directory = str(tmp_path / "warm")
+        monkeypatch.setenv("REPRO_COMPILE_CACHE", directory)
+        monkeypatch.setenv("REPRO_COMPILE_CACHE_SIZE", "7")
+        uninstall()
+        try:
+            cc = ambient_cache()
+            assert cc.enabled and cc.maxsize == 7
+            assert cc._persist is not None
+            assert cc._persist.directory == directory
+        finally:
+            uninstall()
+
+    def test_env_size_garbage_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_COMPILE_CACHE_SIZE", "not-a-number")
+        uninstall()
+        try:
+            assert ambient_cache().maxsize == compile_context.DEFAULT_MAXSIZE
+        finally:
+            uninstall()
+
+
+def wide_newspaper(n_exhibits):
+    exhibits = [
+        el("exhibit", el("title", "t%d" % index),
+           call("Get_Date", el("title", "t%d" % index)))
+        for index in range(n_exhibits)
+    ]
+    return Document(
+        el("newspaper", el("title", "x"), el("date", "d"),
+           el("temp", "21"), *exhibits)
+    )
+
+
+class TestEngineIntegration:
+    """Sharing artifacts must never change results or accounting."""
+
+    def _run(self, compile_cache, workers=1):
+        engine = RewriteEngine(
+            newspaper.schema_star3(), newspaper.schema_star(), k=1,
+            workers=workers, compile_cache=compile_cache,
+        )
+        result = engine.rewrite(
+            wide_newspaper(12), build_registry().make_invoker()
+        )
+        assert is_instance(
+            result.document, newspaper.schema_star3(), newspaper.schema_star()
+        )
+        return (
+            result.document.to_xml(), result.calls_made, result.mode_used,
+            result.cache_hits, result.cache_misses, engine.cache_stats,
+        )
+
+    def test_shared_vs_cold_vs_parallel_identical(self):
+        shared = CompilationCache()
+        cold = self._run(DISABLED)
+        warm = self._run(shared)
+        rewarm = self._run(shared)  # second engine, same artifacts
+        parallel = self._run(shared, workers=4)
+        assert cold == warm == rewarm == parallel
+        assert shared.stats().hits > 0
+
+    def test_shared_cache_actually_avoids_compiles(self):
+        shared = CompilationCache()
+        self._run(shared)
+        misses_after_first = shared.stats().misses
+        self._run(shared)
+        # The second engine compiled nothing new.
+        assert shared.stats().misses == misses_after_first
+
+    def test_enforcer_forwards_the_cache(self):
+        from repro.axml.enforcement import SchemaEnforcer
+
+        shared = CompilationCache()
+        enforcer = SchemaEnforcer(
+            newspaper.schema_star2(), newspaper.schema_star(), k=1,
+            compile_cache=shared,
+        )
+        outcome = enforcer.enforce_document(
+            newspaper.document(), build_registry().make_invoker()
+        )
+        assert outcome.ok
+        assert not outcome.already_conformant
+        assert shared.stats().lookups > 0
+
+    def test_compat_check_uses_the_cache(self):
+        from repro.schemarewrite import schema_safely_rewrites
+
+        shared = CompilationCache()
+        report = schema_safely_rewrites(
+            newspaper.schema_star(), newspaper.schema_star2(),
+            compile_cache=shared,
+        )
+        assert report.compatible
+        assert shared.stats().lookups > 0
