@@ -1,0 +1,149 @@
+"""E23 (implementation ablation) — the bitset automata core.
+
+The dict core plays the marking game node by node: every product node
+pays Python dict lookups, per-edge ``concretize_class`` calls, and
+set-of-tuples bookkeeping.  The bitset core re-encodes the same game as
+mask arithmetic — one Python int per expansion state holds the whole
+set of complement states, and the fixpoint moves whole masks per step
+(:mod:`repro.rewriting.bitgame`).
+
+This benchmark isolates the **product + game** hot path of E4 (the
+Figure 6 safe rewriting) and E22 (the compile-heavy scenario family):
+per-core compilation caches are fully warmed first, so the timed sweeps
+pay only expansion traversal, product construction, and the fixpoints.
+Verdicts must be identical — a speedup at a different answer is a bug,
+not a win.
+
+The measured ratio is written to ``BENCH_automata_core.json`` in the
+repo root (override the directory with ``REPRO_BENCH_DIR``) — the first
+of the per-PR ``BENCH_*.json`` trajectory files EXPERIMENTS.md
+describes.  The committed file records the ≥10x result from a quiet
+machine; the in-test assertion uses a CI-safe 5x floor.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from benchmarks.conftest import print_series
+from repro import parse_regex
+from repro.automata.core import BITSET, DICT, using_core
+from repro.compile import CompilationCache
+from repro.rewriting.lazy import analyze_safe_lazy
+from repro.rewriting.possible import analyze_possible
+from repro.rewriting.safe import analyze_safe
+
+OUTPUTS = {
+    "Get_Temp": parse_regex("temp"),
+    "TimeOut": parse_regex("(exhibit | performance)*"),
+    "Get_Date": parse_regex("date"),
+    "Get_Review": parse_regex("(review.date?)*"),
+    "Deep": parse_regex("(exhibit.Deep?){0,4}"),
+}
+
+#: (name, word, target, k) — E4's Figure 6 product plus E22's
+#: compile-heavy family, scaled along the axes that grow the *game*:
+#: longer words (more expansion states), k=2 with self-nesting calls
+#: (copies of copies), and bounded repeats (large complement DFAs —
+#: products in the tens of thousands of nodes).
+SCENARIOS = [
+    ("fig6", ("title", "date", "Get_Temp", "TimeOut"),
+     parse_regex("title.date.temp.(TimeOut | exhibit*)"), 1),
+    ("repeat32", ("title", "date") + ("Get_Temp", "TimeOut") * 12
+     + ("Deep",) * 3,
+     parse_regex(
+         "title.date.(temp.(TimeOut | (exhibit.performance?){0,32}))*"
+         ".(exhibit | Deep?)*"
+     ), 2),
+    ("repeat48", ("title", "date") + ("Get_Temp", "TimeOut", "Get_Review") * 10
+     + ("Deep",) * 4,
+     parse_regex(
+         "title.date.(temp.(TimeOut | (exhibit.performance?){0,48})"
+         ".(review.date?)*)*.(exhibit | Deep?)*"
+     ), 2),
+    ("repeat64", ("title", "date") + ("Get_Temp", "TimeOut", "Get_Review") * 16
+     + ("Deep",) * 6,
+     parse_regex(
+         "title.date.(temp.(TimeOut | (exhibit.performance?){0,64})"
+         ".(review.date?)*)*.(exhibit | Deep?)*"
+     ), 2),
+]
+
+ROUNDS = 2
+
+
+def sweep(cc):
+    """One timed sweep of the E4/E22 hot path: the safe-game solvers."""
+    verdicts = []
+    for _name, word, target, k in SCENARIOS:
+        safe = analyze_safe(word, OUTPUTS, target, k=k, compile_cache=cc)
+        lazy = analyze_safe_lazy(word, OUTPUTS, target, k=k, compile_cache=cc)
+        verdicts.append((safe.exists, lazy.exists))
+    return verdicts
+
+
+def all_verdicts(cc):
+    """Every solver's verdict per scenario — the agreement check."""
+    verdicts = []
+    for _name, word, target, k in SCENARIOS:
+        safe = analyze_safe(word, OUTPUTS, target, k=k, compile_cache=cc)
+        lazy = analyze_safe_lazy(word, OUTPUTS, target, k=k, compile_cache=cc)
+        possible = analyze_possible(word, OUTPUTS, target, k=k,
+                                    compile_cache=cc)
+        verdicts.append((safe.exists, lazy.exists, possible.exists))
+    return verdicts
+
+
+def measure(core, repeats=3):
+    """Warm a per-core cache, then best-of-``repeats`` timed sweeps."""
+    with using_core(core):
+        cc = CompilationCache()
+        verdicts = all_verdicts(cc)  # warm: compile artifacts, views
+        best = None
+        for _ in range(repeats):
+            started = time.perf_counter()
+            for _ in range(ROUNDS):
+                sweep(cc)
+            elapsed = time.perf_counter() - started
+            best = elapsed if best is None else min(best, elapsed)
+    return verdicts, best
+
+
+def test_bitset_core_speedup_and_agreement():
+    dict_verdicts, dict_time = measure(DICT)
+    bit_verdicts, bit_time = measure(BITSET)
+
+    # Identical verdicts on every scenario, all three solvers, or the
+    # speedup is meaningless.
+    assert bit_verdicts == dict_verdicts
+
+    speedup = dict_time / bit_time
+    rows = [("core", "wall s (best of 3)", "speedup"),
+            ("dict", "%.4f" % dict_time, "1.0x"),
+            ("bitset", "%.4f" % bit_time, "%.1fx" % speedup)]
+    print_series("E23 automata core (warm caches, product+game only)", rows)
+
+    payload = {
+        "benchmark": "automata_core",
+        "experiment": "E23",
+        "hot_path": "safe+lazy product+game (E4/E22 scenarios, warm "
+                    "compile caches); verdicts cross-checked on all three "
+                    "solvers",
+        "scenarios": [name for name, _w, _t, _k in SCENARIOS],
+        "rounds_per_sweep": ROUNDS,
+        "dict_seconds": round(dict_time, 6),
+        "bitset_seconds": round(bit_time, 6),
+        "speedup": round(speedup, 2),
+        "verdicts_equal": bit_verdicts == dict_verdicts,
+    }
+    out_dir = os.environ.get("REPRO_BENCH_DIR", ".")
+    path = os.path.join(out_dir, "BENCH_automata_core.json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    # Target is >=10x (the committed trajectory file records it); the
+    # in-test floor leaves headroom for noisy CI runners.
+    assert speedup >= 5.0, "bitset core only %.1fx faster than dict" % speedup

@@ -14,9 +14,23 @@ from the regular expressions of schemas:
   relies on: subset construction, completion, complementation and
   minimization;
 - :mod:`repro.automata.ops` — emptiness, inclusion, equivalence and word
-  enumeration/sampling used by tests, Section 6 and the service simulator.
+  enumeration/sampling used by tests, Section 6 and the service simulator;
+- :mod:`repro.automata.bitset` — the flat, integer-indexed re-encoding
+  of the same pipeline (state sets as int bitsets, antichain inclusion),
+  selected via ``REPRO_AUTOMATA_CORE`` (:mod:`repro.automata.core`).
 """
 
+from repro.automata.bitset import (
+    BitDFA,
+    antichain_language_subset,
+    bit_complement,
+    bit_determinize,
+    bit_intersects,
+    bit_minimize,
+    bit_subset,
+    from_dfa,
+)
+from repro.automata.core import BITSET, DICT, active_core, use_bitset, using_core
 from repro.automata.dfa import (
     DFA,
     complement,
@@ -71,4 +85,17 @@ __all__ = [
     "dfa_to_dot",
     "expansion_to_dot",
     "product_to_dot",
+    "BitDFA",
+    "from_dfa",
+    "bit_determinize",
+    "bit_minimize",
+    "bit_complement",
+    "bit_subset",
+    "bit_intersects",
+    "antichain_language_subset",
+    "BITSET",
+    "DICT",
+    "active_core",
+    "use_bitset",
+    "using_core",
 ]

@@ -1,0 +1,84 @@
+"""Selection of the active automata core (``dict`` vs ``bitset``).
+
+The rewriting stack has two interchangeable engines for the Figure 3 / 9
+pipelines:
+
+- ``dict`` — the original dict-of-dicts :class:`repro.automata.dfa.DFA`
+  pipeline with the per-node marking game (the reference
+  implementation);
+- ``bitset`` — flat, integer-indexed automata
+  (:mod:`repro.automata.bitset`) with state sets as Python int bitsets
+  and a vectorized marking fixpoint
+  (:mod:`repro.rewriting.bitgame`).
+
+Both produce identical verdicts, decisions and rewritten documents — the
+conformance fuzzer's ``bitset-core`` configuration compares them
+byte-for-byte.  The knob is the ``REPRO_AUTOMATA_CORE`` environment
+variable (read per call, so tests can monkeypatch it), with
+:func:`using_core` as a process-local override for harnesses that must
+flip cores mid-run without touching the environment.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+#: The reference dict-of-dicts pipeline (the default).
+DICT = "dict"
+
+#: The flat bitset pipeline with the vectorized game solver.
+BITSET = "bitset"
+
+_VALID = (DICT, BITSET)
+
+#: Environment knob naming the active core.
+ENV_CORE = "REPRO_AUTOMATA_CORE"
+
+_override: Optional[str] = None
+
+
+def active_core() -> str:
+    """The core name currently in effect (override beats environment)."""
+    if _override is not None:
+        return _override
+    value = os.environ.get(ENV_CORE, DICT).strip().lower() or DICT
+    if value not in _VALID:
+        raise ValueError(
+            "%s must be one of %s, got %r" % (ENV_CORE, "/".join(_VALID), value)
+        )
+    return value
+
+
+def use_bitset() -> bool:
+    """True iff the bitset core should run the automata pipelines."""
+    return active_core() == BITSET
+
+
+class using_core:
+    """Context manager pinning the active core, nestable and re-entrant.
+
+    The differential harness uses it to run the same scenario under both
+    cores inside one process::
+
+        with using_core("bitset"):
+            analysis = analyze_safe(word, outputs, target)
+    """
+
+    def __init__(self, name: str):
+        if name not in _VALID:
+            raise ValueError(
+                "core must be one of %s, got %r" % ("/".join(_VALID), name)
+            )
+        self._name = name
+        self._saved: Optional[str] = None
+
+    def __enter__(self) -> "using_core":
+        global _override
+        self._saved = _override
+        _override = self._name
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        global _override
+        _override = self._saved

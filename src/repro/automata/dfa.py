@@ -107,14 +107,25 @@ def widen_alphabet(dfa: DFA, alphabet: Alphabet) -> DFA:
     if not dfa.alphabet.symbols <= alphabet.symbols:
         raise ValueError("widen_alphabet cannot drop symbols")
     new_symbols = alphabet.symbols - dfa.alphabet.symbols
+    states = dfa.states()
+    # States without an ``OTHER`` fallback rejected unknown symbols by
+    # getting stuck; the widened DFA must keep rejecting them, but
+    # *explicitly* — routing the new symbols to a rejecting sink — so the
+    # widened automaton never silently drops letters and completion (for
+    # complementation) cannot reinterpret the omission.
+    needs_sink = any(
+        OTHER not in dfa.transitions.get(state, {}) for state in states
+    )
+    sink = (max(states) + 1 if states else dfa.initial + 1) if needs_sink else None
     transitions: Dict[int, Dict[str, int]] = {}
-    for state in dfa.states():
+    for state in states:
         row = dict(dfa.transitions.get(state, {}))
-        fallback = row.get(OTHER)
-        if fallback is not None:
-            for symbol in new_symbols:
-                row.setdefault(symbol, fallback)
+        fallback = row.get(OTHER, sink)
+        for symbol in new_symbols:
+            row.setdefault(symbol, fallback)
         transitions[state] = row
+    if sink is not None:
+        transitions[sink] = {symbol: sink for symbol in alphabet}
     return DFA(alphabet, dfa.initial, dfa.accepting, transitions)
 
 
@@ -125,17 +136,25 @@ def determinize(nfa: NFA, alphabet: Alphabet) -> DFA:
     an ordinary DFA over concrete symbols.  Worst case exponential — this
     is exactly the blow-up the paper warns about for nondeterministic
     regular expressions (Section 4), and benchmark E8 measures it.
+
+    States are numbered in BFS discovery order over the *sorted* alphabet,
+    so structurally equal NFAs determinize to byte-identical DFAs no
+    matter in which order their transition lists were built — the
+    canonical numbering the compile-cache digests and the persistent
+    artifact store rely on.
     """
+    from collections import deque
+
     start = nfa.epsilon_closure((nfa.initial,))
     ids: Dict[FrozenSet[int], int] = {start: 0}
-    worklist: List[FrozenSet[int]] = [start]
+    worklist: deque = deque((start,))
     transitions: Dict[int, Dict[str, int]] = {}
     accepting: Set[int] = set()
     if start & nfa.accepting:
         accepting.add(0)
 
     while worklist:
-        subset = worklist.pop()
+        subset = worklist.popleft()
         source = ids[subset]
         row = transitions.setdefault(source, {})
         # Group targets per concrete alphabet symbol.
@@ -144,8 +163,8 @@ def determinize(nfa: NFA, alphabet: Alphabet) -> DFA:
             for guard, target in nfa.edges_from(state):
                 for symbol in concretize_class(guard, alphabet):
                     per_symbol.setdefault(symbol, set()).add(target)
-        for symbol, targets in per_symbol.items():
-            closure = nfa.epsilon_closure(targets)
+        for symbol in sorted(per_symbol):
+            closure = nfa.epsilon_closure(per_symbol[symbol])
             if closure not in ids:
                 ids[closure] = len(ids)
                 worklist.append(closure)
@@ -170,7 +189,12 @@ def complete(dfa: DFA) -> DFA:
     )
     if not needs_sink:
         return DFA(dfa.alphabet, dfa.initial, dfa.accepting, transitions)
-    sink = max(states) + 1 if states else 1
+    # The sink must be a *fresh* state id.  ``states()`` always contains
+    # the initial state, but stay defensive about degenerate automata:
+    # basing the fallback on ``dfa.initial`` keeps the sink distinct from
+    # the initial state even for an empty state set (the old ``else 1``
+    # collided with ``initial = 0``).
+    sink = max(states) + 1 if states else dfa.initial + 1
     transitions[sink] = {symbol: sink for symbol in dfa.alphabet}
     for state in states:
         row = transitions[state]

@@ -99,7 +99,22 @@ def _product_inner(left: DFA, right: DFA) -> Tuple[DFA, dict]:
 
 
 def intersects(left: DFA, right: DFA, minimized: bool = False) -> bool:
-    """True iff the two languages share at least one word."""
+    """True iff the two languages share at least one word.
+
+    On the bitset core (``REPRO_AUTOMATA_CORE=bitset``) this is an
+    early-exit pair search over flat transition tables — no product
+    automaton is materialized.
+    """
+    from repro.automata import core as automata_core
+
+    if automata_core.use_bitset():
+        from repro.automata.bitset import bit_intersects, from_dfa
+
+        with obs.tracer().span(
+            "product", op="bitset", left_states=left.n_states,
+            right_states=right.n_states,
+        ):
+            return bit_intersects(from_dfa(left), from_dfa(right))
     product, pairs = _product(left, right, minimized=minimized)
     accepting = frozenset(
         pid
@@ -118,7 +133,24 @@ def language_subset(left: DFA, right: DFA, minimized: bool = False) -> bool:
     Hopcroft-minimized (complementation preserves both completeness and
     minimality), so the product-size histogram attributes the build
     correctly.
+
+    On the bitset core the complement is never built: an early-exit pair
+    search fails on the first reachable pair accepting on the left but
+    not on the right.  (For inclusion against a *nondeterministic*
+    automaton, see :func:`repro.automata.bitset.antichain_language_subset`
+    — cached as ``CompilationCache.antichain_subset`` — which also skips
+    the subset construction.)
     """
+    from repro.automata import core as automata_core
+
+    if automata_core.use_bitset():
+        from repro.automata.bitset import bit_subset, from_dfa
+
+        with obs.tracer().span(
+            "product", op="bitset", left_states=left.n_states,
+            right_states=right.n_states,
+        ):
+            return bit_subset(from_dfa(left), from_dfa(right))
     return not intersects(left, complement(right), minimized=minimized)
 
 

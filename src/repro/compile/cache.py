@@ -37,6 +37,13 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, Optional, Tuple
 
+from repro.automata.bitset import (
+    BitDFA,
+    antichain_language_subset,
+    bit_complement as bit_complement_of,
+    bit_determinize,
+    bit_minimize,
+)
 from repro.automata.dfa import DFA, complement as complement_dfa, determinize, minimize_hopcroft
 from repro.automata.glushkov import glushkov_nfa
 from repro.automata.nfa import NFA
@@ -205,6 +212,71 @@ class CompilationCache:
             lambda: complement_dfa(self.target_dfa(target, alphabet)),
         )
 
+    # -- the bitset core's artifacts -----------------------------------------
+    #
+    # Same pipeline on flat integer-indexed automata.  The artifacts are
+    # keyed under distinct kind tags ("bitdfa"/"bitcomp"/…) so both cores
+    # share one store — in memory and on disk — without collisions, and
+    # the dict-DFA *views* are cached too: by the canonical-numbering
+    # identity (see :mod:`repro.automata.bitset`) they are byte-identical
+    # to what the dict pipeline would compile, at the cost of one
+    # ``to_dfa`` per content digest instead of a determinization.
+
+    def bit_target_dfa(self, target: Regex, alphabet: Alphabet) -> BitDFA:
+        """The complete minimized :class:`BitDFA` of ``target``."""
+        key = ("bitdfa", self.digest(target), self.alphabet_key(alphabet))
+        return self._get_or_build(
+            key, "bitdfa",
+            lambda: bit_minimize(bit_determinize(self.nfa(target), alphabet)),
+        )
+
+    def bit_complement(self, target: Regex, alphabet: Alphabet) -> BitDFA:
+        """The complete minimized complement ``Ā`` as a :class:`BitDFA`."""
+        key = ("bitcomp", self.digest(target), self.alphabet_key(alphabet))
+        return self._get_or_build(
+            key, "bitcomp",
+            lambda: bit_complement_of(self.bit_target_dfa(target, alphabet)),
+        )
+
+    def target_dfa_view(self, target: Regex, alphabet: Alphabet) -> DFA:
+        """Dict-DFA view of :meth:`bit_target_dfa` (numbering-identical)."""
+        key = ("bitdfaview", self.digest(target), self.alphabet_key(alphabet))
+        return self._get_or_build(
+            key, "bitdfaview",
+            lambda: self.bit_target_dfa(target, alphabet).to_dfa(),
+        )
+
+    def complement_view(self, target: Regex, alphabet: Alphabet) -> DFA:
+        """Dict-DFA view of :meth:`bit_complement` (numbering-identical)."""
+        key = ("bitcompview", self.digest(target), self.alphabet_key(alphabet))
+        return self._get_or_build(
+            key, "bitcompview",
+            lambda: self.bit_complement(target, alphabet).to_dfa(),
+        )
+
+    def antichain_subset(
+        self, left: Regex, right: Regex, alphabet: Alphabet
+    ) -> bool:
+        """``lang(left) ⊆ lang(right)`` by the antichain method, memoized.
+
+        The right-hand side stays a Glushkov NFA — no determinization,
+        no complement — which is the Section 6 extensional fast path.
+        """
+        key = (
+            "subset",
+            self.digest(left),
+            self.digest(right),
+            self.alphabet_key(alphabet),
+        )
+        return self._get_or_build(
+            key, "subset",
+            lambda: antichain_language_subset(
+                self.bit_target_dfa(left, alphabet),
+                self.nfa(right),
+                alphabet,
+            ),
+        )
+
     def expansion_key(
         self,
         word: Tuple[str, ...],
@@ -361,6 +433,25 @@ class NullCompilationCache:
 
     def complement(self, target: Regex, alphabet: Alphabet) -> DFA:
         return complement_dfa(self.target_dfa(target, alphabet))
+
+    def bit_target_dfa(self, target: Regex, alphabet: Alphabet) -> BitDFA:
+        return bit_minimize(bit_determinize(glushkov_nfa(target), alphabet))
+
+    def bit_complement(self, target: Regex, alphabet: Alphabet) -> BitDFA:
+        return bit_complement_of(self.bit_target_dfa(target, alphabet))
+
+    def target_dfa_view(self, target: Regex, alphabet: Alphabet) -> DFA:
+        return self.bit_target_dfa(target, alphabet).to_dfa()
+
+    def complement_view(self, target: Regex, alphabet: Alphabet) -> DFA:
+        return self.bit_complement(target, alphabet).to_dfa()
+
+    def antichain_subset(
+        self, left: Regex, right: Regex, alphabet: Alphabet
+    ) -> bool:
+        return antichain_language_subset(
+            self.bit_target_dfa(left, alphabet), glushkov_nfa(right), alphabet
+        )
 
     def expansion_key(self, word, output_types, k, invocable_names) -> Tuple:
         return ()

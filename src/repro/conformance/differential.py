@@ -42,6 +42,7 @@ from repro.conformance.reference import (
     reference_possible,
     reference_safe,
 )
+from repro.automata.core import using_core
 from repro.errors import ReproError, TransientFault
 from repro.obs import MetricsRegistry, Tracer, observing
 from repro.rewriting.engine import RewriteEngine
@@ -61,6 +62,7 @@ class EngineConfig:
     observed: bool = False
     resilient: bool = False
     shared_cache: bool = False  # share one compilation cache across seeds
+    core: str = "dict"  # automata core: "dict" or "bitset"
     mutate: bool = False  # self-test: corrupt the outcome on purpose
 
 
@@ -96,6 +98,7 @@ DEFAULT_MATRIX: Tuple[EngineConfig, ...] = (
     EngineConfig("traced", observed=True),
     EngineConfig("resilient", resilient=True),
     EngineConfig("shared-cache", shared_cache=True),
+    EngineConfig("bitset-core", core="bitset"),
 )
 
 #: The matrix with a deliberately broken member, for harness self-tests.
@@ -214,8 +217,21 @@ def run_word_scenario(
     lazy = analyze_safe_lazy(word, outputs, target, k).exists
     possible = analyze_possible(word, outputs, target, k).exists
 
+    # The bitset core must reproduce every dict-core verdict exactly.
+    with using_core("bitset"):
+        bit_eager = analyze_safe(word, outputs, target, k).exists
+        bit_lazy = analyze_safe_lazy(word, outputs, target, k).exists
+        bit_possible = analyze_possible(word, outputs, target, k).exists
+
     if eager != lazy:
         note("lazy-game", "safe verdict vs eager", eager, lazy)
+    if bit_eager != eager:
+        note("bitset-core", "safe verdict vs dict core", eager, bit_eager)
+    if bit_lazy != lazy:
+        note("bitset-core", "lazy verdict vs dict core", lazy, bit_lazy)
+    if bit_possible != possible:
+        note("bitset-core", "possible verdict vs dict core",
+             possible, bit_possible)
     if exact:
         if eager != expected_safe:
             note("safe-solver", "safe verdict vs reference",
@@ -294,11 +310,12 @@ def run_config(
 
     outcome = ConfigOutcome(config=config.name, ok=False)
     try:
-        if config.observed:
-            with observing(Tracer(), MetricsRegistry()):
+        with using_core(config.core):
+            if config.observed:
+                with observing(Tracer(), MetricsRegistry()):
+                    result = engine.rewrite(scenario.document, invoker)
+            else:
                 result = engine.rewrite(scenario.document, invoker)
-        else:
-            result = engine.rewrite(scenario.document, invoker)
     except ReproError as error:
         outcome.error = "%s: %s" % (type(error).__name__, error)
         outcome.cache_hits, outcome.cache_misses = engine.cache_stats

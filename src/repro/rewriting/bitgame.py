@@ -1,0 +1,542 @@
+"""Vectorized marking game and reachability on the bitset core.
+
+The per-node solvers of :mod:`repro.rewriting.safe` / ``lazy`` /
+``possible`` walk the product ``A_w^k × Ā`` one ``(q, p)`` pair at a
+time.  Here the complement side is a :class:`repro.automata.bitset.BitDFA`
+and the product is never materialized as nodes at all: for each
+expansion state ``q`` we keep one integer mask over complement states,
+and the whole marking fixpoint becomes mask arithmetic —
+
+- a *return* edge ``q -> t`` (adversary ends an output) contributes
+  ``M[t]`` to ``M[q]`` unchanged (epsilon: the complement stays put);
+- a *fork* edge (our keep/invoke choice on symbol ``f``) contributes
+  ``pre_f(M[keep]) & M[invoke]`` — the adversary wins only where *both*
+  options lose;
+- a plain symbol edge with guard ``g`` contributes
+  ``∪_{a ∈ g} pre_a(M[t])`` — the adversary picks the letter.
+
+Seeds are ``accepting(Ā)`` at the expansion's final state; the lazy
+variant additionally seeds every accepting *sink* of ``Ā`` (Figure 12's
+pruning) and absorbs forward exploration there.  The fixpoint is the
+same least fixpoint the per-node solvers compute, so verdicts,
+strategies and rewritten documents are identical — the conformance
+fuzzer's ``bitset-core`` configuration checks this byte-for-byte.
+
+The solved analyses are returned as the ordinary
+:class:`~repro.rewriting.safe.SafeAnalysis` /
+:class:`~repro.rewriting.possible.PossibleAnalysis` objects: ``marked``
+/ ``explored`` / ``alive`` become :class:`PNodeBitSet` views (set-like,
+lazily enumerated), and the complement / target automata are dict-DFA
+views of the bitset artifacts — numbering-identical by the canonical
+BFS construction, so every executor and renderer works unchanged.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.automata.bitset import BitDFA, iter_bits
+from repro.automata.symbols import Alphabet, concretize_class
+from repro.compile import context as compile_context
+from repro.obs import context as obs
+from repro.regex.ast import Regex
+from repro.rewriting.expansion import Expansion, build_expansion
+
+#: A product node, as elsewhere: (expansion state, automaton state).
+PNode = Tuple[int, int]
+
+
+class PNodeBitSet:
+    """A set-of-``(q, p)`` view over per-``q`` bitmasks.
+
+    Duck-types the ``Set[PNode]`` the analyses carry: membership, length
+    and iteration — enough for the executors, the strategy helpers, the
+    dot renderer and the tests, without ever materializing tuples unless
+    someone iterates.
+    """
+
+    __slots__ = ("_masks", "_count")
+
+    def __init__(self, masks: Dict[int, int]):
+        self._masks = {q: mask for q, mask in masks.items() if mask}
+        self._count: Optional[int] = None
+
+    def __contains__(self, node) -> bool:
+        q, p = node
+        return bool((self._masks.get(q, 0) >> p) & 1)
+
+    def __len__(self) -> int:
+        if self._count is None:
+            self._count = sum(mask.bit_count() for mask in self._masks.values())
+        return self._count
+
+    def __iter__(self) -> Iterator[PNode]:
+        for q in sorted(self._masks):
+            for p in iter_bits(self._masks[q]):
+                yield (q, p)
+
+    def __bool__(self) -> bool:
+        return bool(self._masks)
+
+    def mask(self, q: int) -> int:
+        """The raw complement-state mask at expansion state ``q``."""
+        return self._masks.get(q, 0)
+
+
+class _ExpansionView:
+    """An expansion's edges re-indexed for mask arithmetic.
+
+    Built once per (expansion, alphabet) and cached on the expansion
+    object — expansions are immutable and shared via the compile cache,
+    so the view is shared exactly as widely.
+    """
+
+    __slots__ = ("n_states", "plain_out", "fork_out", "ret_out", "eps_out",
+                 "sym_out", "eps_in", "sym_in", "reads")
+
+    def __init__(self, expansion: Expansion, alphabet: Alphabet):
+        symbols = tuple(alphabet)
+        sym_id = {symbol: index for index, symbol in enumerate(symbols)}
+        n = expansion.n_states
+        self.n_states = n
+        # Game-alternative indexing (invoke edges ride along their fork).
+        self.plain_out: List[List[Tuple[int, Tuple[int, ...]]]] = [
+            [] for _ in range(n)
+        ]
+        self.fork_out: List[List[Tuple[int, int, int]]] = [[] for _ in range(n)]
+        self.ret_out: List[List[int]] = [[] for _ in range(n)]
+        # Plain-graph indexing for possible-rewriting reachability,
+        # plus the reverse adjacency its backward pass propagates along.
+        self.eps_out: List[List[int]] = [[] for _ in range(n)]
+        self.sym_out: List[List[Tuple[int, Tuple[int, ...]]]] = [
+            [] for _ in range(n)
+        ]
+        self.eps_in: List[List[int]] = [[] for _ in range(n)]
+        self.sym_in: List[List[Tuple[int, Tuple[int, ...]]]] = [
+            [] for _ in range(n)
+        ]
+        for edge in expansion.edges:
+            if edge.kind == "invoke":
+                self.eps_out[edge.source].append(edge.target)
+                continue
+            if edge.kind == "return":
+                self.ret_out[edge.source].append(edge.target)
+                self.eps_out[edge.source].append(edge.target)
+                continue
+            ids = tuple(
+                sym_id[symbol]
+                for symbol in sorted(concretize_class(edge.guard, alphabet))
+            )
+            self.sym_out[edge.source].append((edge.target, ids))
+            if edge.invoke_edge is not None:
+                invoke = expansion.edge(edge.invoke_edge)
+                # Fork guards are function names — always in the alphabet.
+                self.fork_out[edge.source].append(
+                    (edge.target, ids[0], invoke.target)
+                )
+            else:
+                self.plain_out[edge.source].append((edge.target, ids))
+        # Backward-fixpoint dependencies: reads[t] = sources reading M[t].
+        self.reads: List[List[int]] = [[] for _ in range(n)]
+        for q in range(n):
+            for target, ids in self.sym_out[q]:
+                self.sym_in[target].append((q, ids))
+            for target in self.eps_out[q]:
+                self.eps_in[target].append(q)
+            for target, _ids in self.plain_out[q]:
+                self.reads[target].append(q)
+            for keep_target, _a, invoke_target in self.fork_out[q]:
+                self.reads[keep_target].append(q)
+                self.reads[invoke_target].append(q)
+            for target in self.ret_out[q]:
+                self.reads[target].append(q)
+
+
+def expansion_view(expansion: Expansion, alphabet: Alphabet) -> _ExpansionView:
+    """The cached mask-arithmetic view of an expansion."""
+    cache = expansion.__dict__.setdefault("_bit_views", {})
+    view = cache.get(alphabet.symbols)
+    if view is None:
+        view = _ExpansionView(expansion, alphabet)
+        cache[alphabet.symbols] = view
+    return view
+
+
+def _solve_marking(
+    view: _ExpansionView, comp: BitDFA, final: int, lazy: bool
+) -> List[int]:
+    """The least-fixpoint marking, one mask per expansion state."""
+    n = view.n_states
+    base = [0] * n
+    base[final] = comp.accepting
+    if lazy:
+        sinks = comp.sink_mask() & comp.accepting
+        if sinks:
+            for q in range(n):
+                base[q] |= sinks
+    marked = list(base)
+    plain_out, fork_out, ret_out = view.plain_out, view.fork_out, view.ret_out
+    pre_tables = comp.preimage_tables()
+
+    # Contributions read successor masks and expansion ids mostly ascend,
+    # so seeding the worklist in reverse order settles the deep states
+    # first and the fixpoint converges in near-one pass.
+    queue = deque(range(n - 1, -1, -1))
+    queued = bytearray(b"\x01") * n
+    push = queue.append
+    while queue:
+        q = queue.popleft()
+        queued[q] = 0
+        mask = base[q]
+        for target, ids in plain_out[q]:
+            bad = marked[target]
+            if bad:
+                for a in ids:
+                    chunks = pre_tables[a]
+                    rest = bad
+                    chunk = 0
+                    while rest:
+                        byte = rest & 0xFF
+                        if byte:
+                            mask |= chunks[chunk][byte]
+                        rest >>= 8
+                        chunk += 1
+        for keep_target, a, invoke_target in fork_out[q]:
+            keep_bad = marked[keep_target]
+            invoke_bad = marked[invoke_target]
+            if keep_bad and invoke_bad:
+                folded = 0
+                chunks = pre_tables[a]
+                rest = keep_bad
+                chunk = 0
+                while rest:
+                    byte = rest & 0xFF
+                    if byte:
+                        folded |= chunks[chunk][byte]
+                    rest >>= 8
+                    chunk += 1
+                mask |= folded & invoke_bad
+        for target in ret_out[q]:
+            mask |= marked[target]
+        if mask != marked[q]:
+            marked[q] = mask
+            for source in view.reads[q]:
+                if not queued[source]:
+                    queued[source] = 1
+                    push(source)
+    return marked
+
+
+def _reach_game(
+    view: _ExpansionView, comp: BitDFA, initial: PNode, final: int,
+    absorb: int,
+) -> List[int]:
+    """Forward reachability along game alternatives, masks per state.
+
+    ``absorb`` is a complement-state mask whose nodes are discovered but
+    never expanded (the lazy variant's accepting sinks; 0 = expand all).
+    """
+    n = view.n_states
+    reach = [0] * n
+    q0, p0 = initial
+    reach[q0] = 1 << p0
+    plain_out, fork_out, ret_out = view.plain_out, view.fork_out, view.ret_out
+    singles = comp.image_singles()
+
+    # FIFO worklist with bytearray dirty flags and ``done`` masks:
+    # every (state, bit) pair is expanded exactly once, with the image
+    # folded inline bit by bit — the product walk is nearly sequential
+    # (frontier masks carry only a couple of fresh bits), so per-edge
+    # overhead, not mask width, is what this loop is bound by.
+    done = [0] * n
+    dirty = bytearray(n)
+    dirty[q0] = 1
+    queue = deque((q0,))
+    push = queue.append
+    while queue:
+        q = queue.popleft()
+        dirty[q] = 0
+        if q == final:
+            continue  # the final state has no outgoing alternatives
+        fresh = (reach[q] & ~absorb) & ~done[q]
+        if not fresh:
+            continue
+        done[q] |= fresh
+        for target, ids in plain_out[q]:
+            mask = 0
+            for a in ids:
+                bits = singles[a]
+                rest = fresh
+                while rest:
+                    low = rest & -rest
+                    mask |= bits[low.bit_length() - 1]
+                    rest ^= low
+            if mask & ~reach[target]:
+                reach[target] |= mask
+                if not dirty[target]:
+                    dirty[target] = 1
+                    push(target)
+        for keep_target, a, invoke_target in fork_out[q]:
+            mask = 0
+            bits = singles[a]
+            rest = fresh
+            while rest:
+                low = rest & -rest
+                mask |= bits[low.bit_length() - 1]
+                rest ^= low
+            if mask & ~reach[keep_target]:
+                reach[keep_target] |= mask
+                if not dirty[keep_target]:
+                    dirty[keep_target] = 1
+                    push(keep_target)
+            if fresh & ~reach[invoke_target]:
+                reach[invoke_target] |= fresh
+                if not dirty[invoke_target]:
+                    dirty[invoke_target] = 1
+                    push(invoke_target)
+        for target in ret_out[q]:
+            if fresh & ~reach[target]:
+                reach[target] |= fresh
+                if not dirty[target]:
+                    dirty[target] = 1
+                    push(target)
+    return reach
+
+
+def analyze_safe_bitset(
+    word: Sequence[str],
+    output_types: Dict[str, Regex],
+    target: Regex,
+    k: int = 1,
+    invocable: Optional[Callable[[str], bool]] = None,
+    lazy: bool = False,
+    early_exit: bool = True,
+    compile_cache=None,
+):
+    """Solve the safe-rewriting game on the bitset core.
+
+    Drop-in for :func:`repro.rewriting.safe.analyze_safe` (``lazy=False``)
+    and :func:`repro.rewriting.lazy.analyze_safe_lazy` (``lazy=True``) —
+    same answers, same strategy, same stats inequalities (the lazy pass
+    explores no more than the eager one; sink pruning shrinks it
+    strictly whenever a sink is reachable).  ``early_exit`` is accepted
+    for signature compatibility; the vectorized pass always runs to the
+    fixpoint, whose cost the early exit was approximating.
+    """
+    from repro.rewriting.safe import GameStats, SafeAnalysis, problem_alphabet
+
+    del early_exit  # the fixpoint is the cheap path here
+    tracer = obs.tracer()
+    cc = compile_cache if compile_cache is not None else compile_context.cache()
+    algorithm = "safe-lazy" if lazy else "safe-eager"
+    with tracer.span(
+        "product", algorithm=algorithm, k=k, core="bitset"
+    ) as span:
+        alphabet = problem_alphabet(word, output_types, target)
+        expansion = build_expansion(
+            word, output_types, k, invocable, compile_cache=cc
+        )
+        comp = cc.bit_complement(target, alphabet)
+        comp_view = cc.complement_view(target, alphabet)
+        view = expansion_view(expansion, alphabet)
+        span.set(
+            expansion_states=expansion.n_states,
+            complement_states=comp.n,
+        )
+
+    with tracer.span("game", algorithm=algorithm, core="bitset") as span:
+        marked = _solve_marking(view, comp, expansion.final, lazy)
+        absorb = (comp.sink_mask() & comp.accepting) if lazy else 0
+        reach = _reach_game(
+            view, comp, (expansion.initial, comp.initial), expansion.final,
+            absorb,
+        )
+        q0, p0 = expansion.initial, comp.initial
+        exists = not ((marked[q0] >> p0) & 1)
+
+        explored = sum(mask.bit_count() for mask in reach)
+        if lazy:
+            # Discovered-but-not-expanded: absorbed sink nodes, plus the
+            # final state's seed nodes (marked on sight, never expanded).
+            skipped = sum((mask & absorb).bit_count() for mask in reach)
+            skipped += (
+                reach[expansion.final] & comp.accepting & ~absorb
+            ).bit_count()
+            expanded = explored - skipped
+        else:
+            expanded = explored
+        marked_reached = [m & r for m, r in zip(marked, reach)]
+        marked_count = sum(mask.bit_count() for mask in marked_reached)
+        span.set(
+            product_nodes=explored, explored=expanded,
+            marked=marked_count, exists=exists,
+        )
+
+    return SafeAnalysis(
+        word=tuple(word),
+        k=k,
+        target=target,
+        expansion=expansion,
+        comp=comp_view,
+        alphabet=alphabet,
+        marked=PNodeBitSet(dict(enumerate(marked_reached))),
+        explored=PNodeBitSet(dict(enumerate(reach))),
+        exists=exists,
+        stats=GameStats(
+            expansion_states=expansion.n_states,
+            expansion_edges=len(expansion.edges),
+            complement_states=comp.n,
+            product_nodes=explored,
+            product_explored=expanded,
+            marked_nodes=marked_count,
+        ),
+    )
+
+
+def analyze_possible_bitset(
+    word: Sequence[str],
+    output_types: Dict[str, Regex],
+    target: Regex,
+    k: int = 1,
+    invocable: Optional[Callable[[str], bool]] = None,
+    compile_cache=None,
+):
+    """Possible rewriting (Figure 9) on the bitset core.
+
+    Forward reachability then backward co-reachability, both as mask
+    fixpoints over ``A_w^k × A``.  Drop-in for
+    :func:`repro.rewriting.possible.analyze_possible`.
+    """
+    from repro.rewriting.possible import PossibleAnalysis
+    from repro.rewriting.safe import GameStats, problem_alphabet
+
+    tracer = obs.tracer()
+    cc = compile_cache if compile_cache is not None else compile_context.cache()
+    with tracer.span("product", algorithm="possible", k=k, core="bitset") as span:
+        alphabet = problem_alphabet(word, output_types, target)
+        expansion = build_expansion(
+            word, output_types, k, invocable, compile_cache=cc
+        )
+        target_bit = cc.bit_target_dfa(target, alphabet)
+        target_view = cc.target_dfa_view(target, alphabet)
+        view = expansion_view(expansion, alphabet)
+        span.set(
+            expansion_states=expansion.n_states,
+            target_states=target_bit.n,
+        )
+
+    n = view.n_states
+    sym_out, eps_out = view.sym_out, view.eps_out
+
+    with tracer.span("game", algorithm="possible", core="bitset") as span:
+        # Forward reachability (every fork option is a plain edge here) —
+        # the same inline bit-by-bit fold worklist as :func:`_reach_game`.
+        singles = target_bit.image_singles()
+        reach = [0] * n
+        q0, p0 = expansion.initial, target_bit.initial
+        reach[q0] = 1 << p0
+        done = [0] * n
+        dirty = bytearray(n)
+        dirty[q0] = 1
+        queue = deque((q0,))
+        push = queue.append
+        while queue:
+            q = queue.popleft()
+            dirty[q] = 0
+            fresh = reach[q] & ~done[q]
+            if not fresh:
+                continue
+            done[q] |= fresh
+            for target_state, ids in sym_out[q]:
+                mask = 0
+                for a in ids:
+                    bits = singles[a]
+                    rest = fresh
+                    while rest:
+                        low = rest & -rest
+                        mask |= bits[low.bit_length() - 1]
+                        rest ^= low
+                if mask & ~reach[target_state]:
+                    reach[target_state] |= mask
+                    if not dirty[target_state]:
+                        dirty[target_state] = 1
+                        push(target_state)
+            for target_state in eps_out[q]:
+                if fresh & ~reach[target_state]:
+                    reach[target_state] |= fresh
+                    if not dirty[target_state]:
+                        dirty[target_state] = 1
+                        push(target_state)
+
+        # Backward co-reachability from the accepting nodes (step 5) —
+        # delta propagation along the reverse adjacency: a node's alive
+        # bits flow to its predecessors exactly once (preimage is a
+        # union-fold, so propagating only the growth is sound).
+        pred = target_bit.pred()
+        sym_in, eps_in = view.sym_in, view.eps_in
+        alive = [0] * n
+        pending = [0] * n
+        seed = reach[expansion.final] & target_bit.accepting
+        alive[expansion.final] = pending[expansion.final] = seed
+        queue = deque((expansion.final,) if seed else ())
+        push = queue.append
+        dirty = bytearray(n)
+        dirty[expansion.final] = 1
+        while queue:
+            t = queue.popleft()
+            dirty[t] = 0
+            delta = pending[t]
+            pending[t] = 0
+            if not delta:
+                continue
+            for src, ids in sym_in[t]:
+                mask = 0
+                for a in ids:
+                    bits = pred[a]
+                    rest = delta
+                    while rest:
+                        low = rest & -rest
+                        mask |= bits[low.bit_length() - 1]
+                        rest ^= low
+                add = mask & reach[src] & ~alive[src]
+                if add:
+                    alive[src] |= add
+                    pending[src] |= add
+                    if not dirty[src]:
+                        dirty[src] = 1
+                        push(src)
+            for src in eps_in[t]:
+                add = delta & reach[src] & ~alive[src]
+                if add:
+                    alive[src] |= add
+                    pending[src] |= add
+                    if not dirty[src]:
+                        dirty[src] = 1
+                        push(src)
+
+        exists = bool((alive[q0] >> p0) & 1)
+        product_nodes = sum(mask.bit_count() for mask in reach)
+        alive_count = sum(mask.bit_count() for mask in alive)
+        span.set(
+            product_nodes=product_nodes, alive=alive_count, exists=exists,
+        )
+
+    return PossibleAnalysis(
+        word=tuple(word),
+        k=k,
+        target=target,
+        expansion=expansion,
+        target_dfa=target_view,
+        alphabet=alphabet,
+        alive=PNodeBitSet(dict(enumerate(alive))),
+        exists=exists,
+        stats=GameStats(
+            expansion_states=expansion.n_states,
+            expansion_edges=len(expansion.edges),
+            complement_states=target_bit.n,
+            product_nodes=product_nodes,
+            product_explored=product_nodes,
+            marked_nodes=alive_count,
+        ),
+    )

@@ -56,7 +56,20 @@ def analyze_safe_lazy(
     quantity Figure 12's pruning reduces.  With ``early_exit`` the search
     stops as soon as the initial state is marked (the answer is already
     "unsafe").
+
+    With ``REPRO_AUTOMATA_CORE=bitset`` the same prunings run as mask
+    arithmetic in :mod:`repro.rewriting.bitgame` (sink absorption plus
+    sink-seeded marking) — identical answers and strategy.
     """
+    from repro.automata import core as automata_core
+
+    if automata_core.use_bitset():
+        from repro.rewriting.bitgame import analyze_safe_bitset
+
+        return analyze_safe_bitset(
+            word, output_types, target, k=k, invocable=invocable,
+            lazy=True, early_exit=early_exit, compile_cache=compile_cache,
+        )
     tracer = obs.tracer()
     cc = compile_cache if compile_cache is not None else compile_context.cache()
     with tracer.span("product", algorithm="safe-lazy", k=k) as span:

@@ -120,7 +120,19 @@ def analyze_possible(
     The target DFA comes minimized from the compilation cache; the
     reachability answer and the witness depend only on its language, so
     results match the uncached pipeline exactly.
+
+    With ``REPRO_AUTOMATA_CORE=bitset`` both reachability passes run as
+    mask fixpoints in :mod:`repro.rewriting.bitgame`.
     """
+    from repro.automata import core as automata_core
+
+    if automata_core.use_bitset():
+        from repro.rewriting.bitgame import analyze_possible_bitset
+
+        return analyze_possible_bitset(
+            word, output_types, target, k=k, invocable=invocable,
+            compile_cache=compile_cache,
+        )
     tracer = obs.tracer()
     cc = compile_cache if compile_cache is not None else compile_context.cache()
     with tracer.span("product", algorithm="possible", k=k) as span:

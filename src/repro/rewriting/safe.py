@@ -270,7 +270,20 @@ def analyze_safe(
     preserves the complement's language, which is all the marking game
     observes — verdicts, decisions and outputs are bit-identical to the
     uncached pipeline; only ``stats.complement_states`` shrinks.
+
+    With ``REPRO_AUTOMATA_CORE=bitset`` the game is solved by the
+    vectorized mask fixpoint of :mod:`repro.rewriting.bitgame` —
+    identical answers and strategy on flat integer-indexed automata.
     """
+    from repro.automata import core as automata_core
+
+    if automata_core.use_bitset():
+        from repro.rewriting.bitgame import analyze_safe_bitset
+
+        return analyze_safe_bitset(
+            word, output_types, target, k=k, invocable=invocable,
+            lazy=False, compile_cache=compile_cache,
+        )
     tracer = obs.tracer()
     cc = compile_cache if compile_cache is not None else compile_context.cache()
     with tracer.span("product", algorithm="safe-eager", k=k) as span:

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
+from repro.automata import core as automata_core
 from repro.automata.ops import language_equal, language_subset
 from repro.automata.symbols import DATA, OTHER, Alphabet, regex_symbols
 from repro.compile import context as compile_context
@@ -272,14 +273,20 @@ def schema_safely_rewrites(
             # Rewriting cannot touch instances of this label, so the
             # game degenerates to inclusion of the content models —
             # decided on Hopcroft-minimized DFAs from the compile cache.
+            # On the bitset core the receiver side stays a Glushkov NFA:
+            # the antichain search decides inclusion with no subset
+            # construction and no complement at all.
             alphabet = Alphabet.closure(
                 regex_symbols(sender_type), regex_symbols(shielded)
             )
-            safe = language_subset(
-                cc.target_dfa(sender_type, alphabet),
-                cc.target_dfa(shielded, alphabet),
-                minimized=True,
-            )
+            if automata_core.use_bitset():
+                safe = cc.antichain_subset(sender_type, shielded, alphabet)
+            else:
+                safe = language_subset(
+                    cc.target_dfa(sender_type, alphabet),
+                    cc.target_dfa(shielded, alphabet),
+                    minimized=True,
+                )
         else:
             analysis = analyze(
                 (VIRTUAL,),

@@ -1,0 +1,345 @@
+"""The bitset automata core against the dict reference pipeline.
+
+Three layers of cross-validation, mirroring how the core is wired in:
+
+- **Construction identity** — ``bit_minimize(bit_determinize(nfa))``
+  viewed back as a dict DFA must be *byte-identical* to
+  ``minimize_hopcroft(determinize(nfa))``.  The compilation cache's
+  ``target_dfa_view``/``complement_view`` lean on this: bitset-core
+  analyses hand executors dict views whose state numbering matches what
+  the dict core would have produced.
+- **Decision procedures** — ``bit_subset``/``bit_intersects`` and the
+  antichain inclusion check must agree with the complement-and-intersect
+  reference on a fuzzed corpus (500 seeded pairs for the antichain, per
+  the acceptance bar).
+- **Solvers** — safe/lazy/possible verdicts under ``using_core`` must
+  match the dict solvers on fuzzed word problems, with the lazy
+  exploration bound intact.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.automata.bitset import (
+    BitDFA,
+    antichain_language_subset,
+    bit_complement,
+    bit_determinize,
+    bit_intersects,
+    bit_minimize,
+    bit_subset,
+    from_dfa,
+    iter_bits,
+)
+from repro.automata.core import BITSET, DICT, active_core, using_core
+from repro.automata.dfa import complement, determinize, minimize_hopcroft
+from repro.automata.glushkov import glushkov_nfa
+from repro.automata.ops import intersects, language_subset
+from repro.automata.symbols import Alphabet, regex_symbols
+from repro.conformance.fuzzer import fuzz_word_scenario
+from repro.regex.parser import parse_regex
+from repro.rewriting.bitgame import PNodeBitSet
+from repro.rewriting.lazy import analyze_safe_lazy
+from repro.rewriting.possible import analyze_possible
+from repro.rewriting.safe import analyze_safe
+
+#: Representative sources: paper examples, bounded repeats, wildcards,
+#: nullable languages, and the empty language.
+SOURCES = [
+    "a",
+    "a.b.c",
+    "a*",
+    "(a | b)*.c",
+    "a?.b?",
+    "a{0,3}.b",
+    "(a.b){1,2}",
+    "(any*).a",
+    "any",
+    "title.date.temp.(TimeOut | exhibit*)",
+    "(exhibit.performance?){0,8}",
+    "a.b{2,2}",
+]
+
+ALPHABET = Alphabet.closure(
+    {"a", "b", "c", "title", "date", "temp", "TimeOut", "exhibit",
+     "performance", "#data"}
+)
+
+
+def _sources():
+    return [parse_regex(source) for source in SOURCES]
+
+
+def _dict_pipeline(regex, alphabet):
+    return minimize_hopcroft(determinize(glushkov_nfa(regex), alphabet))
+
+
+def _bit_pipeline(regex, alphabet):
+    return bit_minimize(bit_determinize(glushkov_nfa(regex), alphabet))
+
+
+# ---------------------------------------------------------------------------
+# Construction identity
+# ---------------------------------------------------------------------------
+
+
+class TestPipelineIdentity:
+    @pytest.mark.parametrize("source", SOURCES)
+    def test_minimized_view_is_byte_identical(self, source):
+        regex = parse_regex(source)
+        reference = _dict_pipeline(regex, ALPHABET)
+        view = _bit_pipeline(regex, ALPHABET).to_dfa()
+        assert view.initial == reference.initial
+        assert view.accepting == reference.accepting
+        assert view.transitions == reference.transitions
+        assert view.alphabet.symbols == reference.alphabet.symbols
+
+    @pytest.mark.parametrize("source", SOURCES)
+    def test_complement_view_is_byte_identical(self, source):
+        regex = parse_regex(source)
+        reference = complement(_dict_pipeline(regex, ALPHABET))
+        view = bit_complement(_bit_pipeline(regex, ALPHABET)).to_dfa()
+        assert view.initial == reference.initial
+        assert view.accepting == reference.accepting
+        assert view.transitions == reference.transitions
+
+    def test_fuzzed_targets_roundtrip(self):
+        """The identity holds on 60 fuzzer-drawn targets, not just the pins."""
+        for seed in range(60):
+            scenario = fuzz_word_scenario(seed)
+            alphabet = Alphabet.closure(regex_symbols(scenario.target))
+            reference = _dict_pipeline(scenario.target, alphabet)
+            view = _bit_pipeline(scenario.target, alphabet).to_dfa()
+            assert view.transitions == reference.transitions, (
+                "seed %d: bitset pipeline diverged from dict pipeline" % seed
+            )
+            assert view.accepting == reference.accepting
+
+    @pytest.mark.parametrize("source", SOURCES)
+    def test_from_dfa_preserves_language(self, source):
+        regex = parse_regex(source)
+        reference = _dict_pipeline(regex, ALPHABET)
+        bd = from_dfa(reference)
+        for seed in range(8):
+            scenario = fuzz_word_scenario(seed)
+            word = tuple(ALPHABET.canon(s) for s in scenario.word)
+            assert bd.accepts(word) == reference.accepts(word)
+
+    def test_pickle_roundtrip_drops_caches(self):
+        bd = _bit_pipeline(parse_regex("(a | b)*.c"), ALPHABET)
+        bd.pred()  # populate the lazy predecessor cache
+        clone = pickle.loads(pickle.dumps(bd))
+        assert clone == bd
+        assert clone.to_dfa().transitions == bd.to_dfa().transitions
+
+
+# ---------------------------------------------------------------------------
+# Decision procedures
+# ---------------------------------------------------------------------------
+
+
+class TestDecisionProcedures:
+    def _pairs(self):
+        compiled = [(s, _dict_pipeline(parse_regex(s), ALPHABET)) for s in SOURCES]
+        for left_source, left in compiled:
+            for right_source, right in compiled:
+                yield left_source, left, right_source, right
+
+    def test_bit_subset_matches_reference(self):
+        with using_core(DICT):
+            for ls, left, rs, right in self._pairs():
+                expected = language_subset(left, right, minimized=True)
+                assert bit_subset(from_dfa(left), from_dfa(right)) == expected, (
+                    "subset(%s, %s)" % (ls, rs)
+                )
+
+    def test_bit_intersects_matches_reference(self):
+        with using_core(DICT):
+            for ls, left, rs, right in self._pairs():
+                expected = intersects(left, right, minimized=True)
+                assert bit_intersects(from_dfa(left), from_dfa(right)) == expected, (
+                    "intersects(%s, %s)" % (ls, rs)
+                )
+
+    def test_ops_dispatch_agrees_across_cores(self):
+        """`language_subset` answers identically under both cores."""
+        compiled = [_dict_pipeline(parse_regex(s), ALPHABET) for s in SOURCES]
+        for left in compiled:
+            for right in compiled:
+                with using_core(DICT):
+                    expected = language_subset(left, right, minimized=True)
+                with using_core(BITSET):
+                    assert language_subset(left, right, minimized=True) == expected
+
+    def test_antichain_cross_validation_500_seeds(self):
+        """Antichain inclusion vs complement-and-intersect on 500 pairs.
+
+        Each seeded pair draws two fuzzer targets (stars included); the
+        right side stays a Glushkov NFA for the antichain — no subset
+        construction, no complement — yet the verdict must match the
+        dict core's reference on every pair.
+        """
+        disagreements = []
+        for seed in range(500):
+            left_regex = fuzz_word_scenario(seed).target
+            right_regex = fuzz_word_scenario(seed + 10_000).target
+            alphabet = Alphabet.closure(
+                regex_symbols(left_regex), regex_symbols(right_regex)
+            )
+            with using_core(DICT):
+                expected = language_subset(
+                    _dict_pipeline(left_regex, alphabet),
+                    _dict_pipeline(right_regex, alphabet),
+                    minimized=True,
+                )
+            got = antichain_language_subset(
+                _bit_pipeline(left_regex, alphabet),
+                glushkov_nfa(right_regex),
+                alphabet,
+            )
+            if got != expected:
+                disagreements.append(seed)
+        assert not disagreements, (
+            "antichain disagreed with complement-and-intersect on seeds %r"
+            % disagreements[:10]
+        )
+
+    def test_antichain_counterexample_direction(self):
+        """A strict superset on the left must come back ``False``."""
+        left = parse_regex("a*")
+        right = parse_regex("a{0,3}")
+        alphabet = Alphabet.closure({"a"})
+        assert not antichain_language_subset(
+            _bit_pipeline(left, alphabet), glushkov_nfa(right), alphabet
+        )
+        assert antichain_language_subset(
+            _bit_pipeline(right, alphabet), glushkov_nfa(left), alphabet
+        )
+
+
+# ---------------------------------------------------------------------------
+# Solver agreement under the core switch
+# ---------------------------------------------------------------------------
+
+
+class TestSolverAgreement:
+    def _verdicts(self, scenario):
+        kwargs = dict(k=scenario.k)
+        safe = analyze_safe(
+            scenario.word, scenario.output_types, scenario.target, **kwargs
+        )
+        lazy = analyze_safe_lazy(
+            scenario.word, scenario.output_types, scenario.target, **kwargs
+        )
+        possible = analyze_possible(
+            scenario.word, scenario.output_types, scenario.target, **kwargs
+        )
+        return safe, lazy, possible
+
+    @pytest.mark.parametrize("seed", range(0, 40))
+    def test_verdicts_match_dict_core(self, seed):
+        scenario = fuzz_word_scenario(seed)
+        with using_core(DICT):
+            d_safe, d_lazy, d_possible = self._verdicts(scenario)
+        with using_core(BITSET):
+            b_safe, b_lazy, b_possible = self._verdicts(scenario)
+        assert b_safe.exists == d_safe.exists
+        assert b_lazy.exists == d_lazy.exists
+        assert b_possible.exists == d_possible.exists
+        # Safe implies lazy-safe implies possible, on both cores.
+        if b_safe.exists:
+            assert b_lazy.exists
+        if b_lazy.exists:
+            assert b_possible.exists
+        # The lazy solver never explores more than the eager one.
+        assert b_lazy.stats.product_explored <= b_safe.stats.product_explored
+
+    @pytest.mark.parametrize("seed", [3, 7, 11, 19])
+    def test_marked_sets_agree_on_executor_region(self, seed):
+        """Bitset marking agrees with dict marking on explored nodes.
+
+        The executor only inspects nodes the dict solver explored; on
+        those, is_marked must coincide so plans and previews match.
+        """
+        scenario = fuzz_word_scenario(seed)
+        with using_core(DICT):
+            reference = analyze_safe(
+                scenario.word, scenario.output_types, scenario.target,
+                k=scenario.k,
+            )
+        with using_core(BITSET):
+            analysis = analyze_safe(
+                scenario.word, scenario.output_types, scenario.target,
+                k=scenario.k,
+            )
+        for node in reference.explored:
+            assert analysis.is_marked(node) == reference.is_marked(node), node
+
+
+# ---------------------------------------------------------------------------
+# The core switch and the PNodeBitSet view
+# ---------------------------------------------------------------------------
+
+
+class TestCoreSwitch:
+    def test_default_is_dict(self, monkeypatch):
+        monkeypatch.delenv("REPRO_AUTOMATA_CORE", raising=False)
+        assert active_core() == DICT
+
+    def test_env_selects_bitset(self, monkeypatch):
+        monkeypatch.setenv("REPRO_AUTOMATA_CORE", "bitset")
+        assert active_core() == BITSET
+
+    def test_env_rejects_unknown(self, monkeypatch):
+        monkeypatch.setenv("REPRO_AUTOMATA_CORE", "simd")
+        with pytest.raises(ValueError):
+            active_core()
+
+    def test_override_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_AUTOMATA_CORE", "bitset")
+        with using_core(DICT):
+            assert active_core() == DICT
+        assert active_core() == BITSET
+
+    def test_override_restores_on_exit(self):
+        before = active_core()
+        with using_core(BITSET):
+            assert active_core() == BITSET
+        assert active_core() == before
+
+
+class TestPNodeBitSet:
+    def _set(self):
+        return PNodeBitSet({0: 0b101, 2: 0b10})
+
+    def test_membership(self):
+        nodes = self._set()
+        assert (0, 0) in nodes
+        assert (0, 2) in nodes
+        assert (2, 1) in nodes
+        assert (0, 1) not in nodes
+        assert (1, 0) not in nodes
+
+    def test_len_and_iter(self):
+        nodes = self._set()
+        assert len(nodes) == 3
+        assert sorted(nodes) == [(0, 0), (0, 2), (2, 1)]
+
+    def test_bool_and_mask(self):
+        assert self._set()
+        assert not PNodeBitSet({})
+        assert not PNodeBitSet({4: 0})
+        assert self._set().mask(0) == 0b101
+        assert self._set().mask(7) == 0
+
+
+class TestIterBits:
+    def test_enumerates_set_bits(self):
+        assert list(iter_bits(0)) == []
+        assert list(iter_bits(0b1)) == [0]
+        assert list(iter_bits(0b101001)) == [0, 3, 5]
+        big = (1 << 200) | (1 << 63) | 1
+        assert list(iter_bits(big)) == [0, 63, 200]

@@ -1,0 +1,192 @@
+"""Regression tests for degenerate automata and canonical construction.
+
+Three hot-path fixes are pinned down here:
+
+- ``complete()`` must never reuse an existing state id for its rejecting
+  sink, even for pathological (state-poor) automata;
+- ``widen_alphabet()`` must handle states without an ``OTHER`` fallback
+  *explicitly* (new symbols go to a rejecting sink) so widening is
+  language-preserving through completion and complementation;
+- ``determinize()`` must number states canonically (BFS over the sorted
+  alphabet), independent of the order the NFA's transition lists were
+  built in — the property the compile-cache digests rely on.
+"""
+
+import pytest
+
+from repro.automata.dfa import (
+    DFA,
+    complement,
+    complete,
+    determinize,
+    minimize,
+    minimize_hopcroft,
+    widen_alphabet,
+)
+from repro.automata.nfa import NFA
+from repro.automata.ops import is_empty, language_equal, regex_to_dfa
+from repro.automata.symbols import OTHER, Alphabet
+from repro.regex.parser import parse_regex
+
+ALPHABET = Alphabet.closure({"a", "b"})
+WIDER = Alphabet.closure({"a", "b", "c", "d"})
+
+
+def words(alphabet, up_to=3):
+    frontier = [()]
+    for _ in range(up_to + 1):
+        next_frontier = []
+        for word in frontier:
+            yield word
+            for symbol in alphabet:
+                next_frontier.append(word + (symbol,))
+        frontier = next_frontier
+
+
+class TestCompleteDegenerate:
+    def test_sink_is_fresh_for_single_state(self):
+        dfa = DFA(ALPHABET, 0, frozenset(), {})
+        completed = complete(dfa)
+        assert completed.is_complete()
+        assert completed.initial == 0
+        # The sink must not collide with the initial state.
+        sink_candidates = completed.states() - {0}
+        assert len(sink_candidates) == 1
+        assert completed.accepting == frozenset()
+        assert is_empty(completed)
+
+    def test_sink_fresh_when_initial_only_accepting(self):
+        dfa = DFA(ALPHABET, 0, frozenset({0}), {})
+        completed = complete(dfa)
+        assert completed.is_complete()
+        assert completed.accepts(())
+        assert not completed.accepts(("a",))
+        assert not completed.accepts(("a", "a"))
+
+    def test_complement_of_empty_language(self):
+        dfa = DFA(ALPHABET, 0, frozenset(), {})
+        comp = complement(dfa)
+        for word in words(ALPHABET):
+            assert comp.accepts(word), word
+
+    def test_complement_of_epsilon_only(self):
+        dfa = DFA(ALPHABET, 0, frozenset({0}), {})
+        comp = complement(dfa)
+        assert not comp.accepts(())
+        assert comp.accepts(("a",))
+        assert comp.accepts(("b", "a"))
+
+    @pytest.mark.parametrize("minimizer", [minimize, minimize_hopcroft])
+    def test_minimize_degenerate(self, minimizer):
+        empty = minimizer(DFA(ALPHABET, 0, frozenset(), {}))
+        assert is_empty(empty)
+        assert empty.is_complete()
+        eps = minimizer(DFA(ALPHABET, 0, frozenset({0}), {}))
+        assert eps.accepts(())
+        assert not eps.accepts(("a",))
+
+    @pytest.mark.parametrize("minimizer", [minimize, minimize_hopcroft])
+    def test_minimize_unreachable_accepting(self, minimizer):
+        # State 7 accepts but nothing reaches it: language is empty.
+        dfa = DFA(ALPHABET, 0, frozenset({7}), {7: {"a": 7}})
+        assert is_empty(minimizer(dfa))
+
+    def test_nonzero_initial_state(self):
+        dfa = DFA(ALPHABET, 5, frozenset({5}), {})
+        completed = complete(dfa)
+        assert completed.is_complete()
+        assert completed.accepts(())
+        assert not complement(completed).accepts(())
+
+
+class TestWidenAlphabet:
+    def test_no_fallback_rows_widen_to_explicit_sink(self):
+        # State 1 has no outgoing row at all (accepting dead end) and
+        # state 0's row lacks OTHER: both previously dropped new symbols.
+        dfa = DFA(ALPHABET, 0, frozenset({1}), {0: {"a": 1}})
+        widened = widen_alphabet(dfa, WIDER)
+        # New symbols are rejected *deterministically* via a sink.
+        assert widened.step(0, "c") is not None
+        assert not widened.accepts(("c",))
+        assert widened.accepts(("a",))
+        assert not widened.accepts(("a", "d"))
+
+    def test_widening_preserves_language_on_old_words(self):
+        dfa = regex_to_dfa(parse_regex("a.b*"), ALPHABET)
+        widened = widen_alphabet(dfa, WIDER)
+        for word in words(ALPHABET):
+            assert dfa.accepts(word) == widened.accepts(word), word
+
+    def test_round_trip_through_complement(self):
+        # complement over the wider alphabet must accept exactly the
+        # words outside the original language — including words using
+        # the new symbols, which the original (folded onto OTHER and
+        # stuck) rejected.
+        dfa = regex_to_dfa(parse_regex("a.b*"), ALPHABET)
+        widened = widen_alphabet(dfa, WIDER)
+        comp = complement(widened)
+        for word in words(WIDER, up_to=3):
+            assert comp.accepts(word) == (not widened.accepts(word)), word
+        # Double complement restores the language.
+        restored = complement(comp)
+        for word in words(WIDER, up_to=3):
+            assert restored.accepts(word) == widened.accepts(word), word
+
+    def test_widened_matches_recompiled_regex(self):
+        # Widening the small compilation must define the same language
+        # as compiling directly over the wider alphabet.
+        for source in ("a.b*", "(a | b)*", "a?", "b.b.a"):
+            regex = parse_regex(source)
+            widened = widen_alphabet(regex_to_dfa(regex, ALPHABET), WIDER)
+            direct = regex_to_dfa(regex, WIDER)
+            assert language_equal(complete(widened), complete(direct)), source
+
+    def test_wildcard_fallback_still_used(self):
+        # A state *with* an OTHER fallback keeps routing new symbols
+        # through it (wildcard acceptance must survive widening).
+        dfa = regex_to_dfa(parse_regex("any"), ALPHABET)
+        widened = widen_alphabet(dfa, WIDER)
+        assert widened.accepts(("c",))
+        assert widened.accepts(("d",))
+
+    def test_complete_dfa_stays_complete(self):
+        dfa = complete(regex_to_dfa(parse_regex("a.b"), ALPHABET))
+        widened = widen_alphabet(dfa, WIDER)
+        assert widened.is_complete()
+
+
+class TestDeterminizeCanonical:
+    def _nfa(self, edge_order):
+        # One NFA, two transition-list orders: a|b.a with an epsilon.
+        return NFA(
+            n_states=4,
+            initial=0,
+            accepting=frozenset({2, 3}),
+            transitions={
+                0: list(edge_order),
+                1: [("a", 3)],
+            },
+            epsilon={0: [1]},
+        )
+
+    def test_digest_independent_of_construction_order(self):
+        forward = self._nfa([("a", 2), ("b", 1)])
+        backward = self._nfa([("b", 1), ("a", 2)])
+        left = determinize(forward, ALPHABET)
+        right = determinize(backward, ALPHABET)
+        assert left.initial == right.initial
+        assert left.accepting == right.accepting
+        assert left.transitions == right.transitions
+
+    def test_bfs_numbering(self):
+        # BFS over the sorted alphabet: the 'a' successor of state 0 is
+        # discovered (and numbered) before the 'b' successor.
+        nfa = NFA(
+            n_states=3,
+            initial=0,
+            accepting=frozenset({1, 2}),
+            transitions={0: [("b", 2), ("a", 1)]},
+        )
+        dfa = determinize(nfa, ALPHABET)
+        assert dfa.transitions[0]["a"] == 1
+        assert dfa.transitions[0]["b"] == 2
