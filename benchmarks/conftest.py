@@ -12,6 +12,8 @@ import random
 
 import pytest
 
+from repro.obs.bench import machine_fingerprint, write_payload
+
 from repro import (
     FunctionSignature,
     Service,
@@ -82,6 +84,22 @@ def well_behaved_registry():
 @pytest.fixture
 def registry():
     return well_behaved_registry()
+
+
+def write_bench_payload(payload: dict) -> str:
+    """Write one ``BENCH_<name>.json`` trajectory file.
+
+    The shared exit point for every benchmark that records a payload:
+    stamps the host fingerprint, then lands the file in
+    ``$REPRO_BENCH_DIR`` (default: the current directory, i.e. the repo
+    root when run via pytest) in the sorted-JSON convention `repro
+    bench` also follows.  ``payload["benchmark"]`` names the file.
+    """
+    import os
+
+    payload = dict(payload)
+    payload.setdefault("machine", machine_fingerprint())
+    return write_payload(payload, os.environ.get("REPRO_BENCH_DIR", "."))
 
 
 def print_series(title: str, rows):

@@ -23,11 +23,9 @@ machine; the in-test assertion uses a CI-safe 5x floor.
 
 from __future__ import annotations
 
-import json
-import os
 import time
 
-from benchmarks.conftest import print_series
+from benchmarks.conftest import print_series, write_bench_payload
 from repro import parse_regex
 from repro.automata.core import BITSET, DICT, using_core
 from repro.compile import CompilationCache
@@ -138,11 +136,7 @@ def test_bitset_core_speedup_and_agreement():
         "speedup": round(speedup, 2),
         "verdicts_equal": bit_verdicts == dict_verdicts,
     }
-    out_dir = os.environ.get("REPRO_BENCH_DIR", ".")
-    path = os.path.join(out_dir, "BENCH_automata_core.json")
-    with open(path, "w") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    write_bench_payload(payload)
 
     # Target is >=10x (the committed trajectory file records it); the
     # in-test floor leaves headroom for noisy CI runners.

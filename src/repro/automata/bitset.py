@@ -34,6 +34,8 @@ from typing import Dict, Iterator, List, Optional, Tuple
 from repro.automata.dfa import DFA, complete
 from repro.automata.nfa import NFA
 from repro.automata.symbols import Alphabet, concretize_class
+from repro.obs import context as obs
+from repro.obs.metrics import record_work
 
 
 def iter_bits(mask: int) -> Iterator[int]:
@@ -209,14 +211,21 @@ class BitDFA:
             self._img_singles = [
                 [1 << target for target in row] for row in self.delta
             ]
+            record_work(obs.metrics(), "tables",
+                        {"image_singles": 1}, core="bitset")
         return self._img_singles
 
     def preimage_tables(self) -> List[List[List[int]]]:
         """All per-symbol preimage chunk tables, indexed by symbol id."""
         pred = self.pred()
+        built = 0
         for a in range(len(self.symbols)):
             if a not in self._pre_tables:
                 self._pre_tables[a] = self._chunk_tables(list(pred[a]))
+                built += 1
+        if built:
+            record_work(obs.metrics(), "tables",
+                        {"preimage_tables": built}, core="bitset")
         return [self._pre_tables[a] for a in range(len(self.symbols))]
 
     def image_tables(self) -> List[List[List[int]]]:
@@ -226,12 +235,17 @@ class BitDFA:
         reachability passes) and wants the lookup inline, without a
         method call per edge.
         """
+        built = 0
         for a in range(len(self.symbols)):
             if a not in self._img_tables:
                 row = self.delta[a]
                 self._img_tables[a] = self._chunk_tables(
                     [1 << row[q] for q in range(self.n)]
                 )
+                built += 1
+        if built:
+            record_work(obs.metrics(), "tables",
+                        {"image_tables": built}, core="bitset")
         return [self._img_tables[a] for a in range(len(self.symbols))]
 
     def reachable_mask(self) -> int:
@@ -553,10 +567,14 @@ def antichain_language_subset(
     start_mask = closure_mask[right.initial]
     frontier: List[Tuple[int, int]] = [(left.initial, start_mask)]
     antichain: Dict[int, List[int]] = {left.initial: [start_mask]}
+    pairs = 0
+    result = True
     while frontier:
         l, mask = frontier.pop()
+        pairs += 1
         if (left.accepting >> l) & 1 and not (mask & acc_right):
-            return False
+            result = False
+            break
         for a in range(width):
             l2 = left.delta[a][l]
             mask2 = 0
@@ -570,4 +588,12 @@ def antichain_language_subset(
             kept[:] = [e for e in kept if e & mask2 != mask2]
             kept.append(mask2)
             frontier.append((l2, mask2))
-    return True
+    metrics = obs.metrics()
+    if metrics.enabled:
+        record_work(
+            metrics, "subset",
+            {"antichain_pairs": pairs,
+             "antichain_size": sum(len(v) for v in antichain.values())},
+            core="bitset",
+        )
+    return result

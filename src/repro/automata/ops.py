@@ -15,6 +15,7 @@ from repro.automata.dfa import DFA, complement, complete, determinize
 from repro.automata.glushkov import glushkov_nfa
 from repro.automata.symbols import Alphabet, regex_symbols
 from repro.obs import context as obs
+from repro.obs.metrics import record_work
 from repro.regex.ast import Regex
 
 
@@ -64,6 +65,11 @@ def _product(left: DFA, right: DFA, minimized: bool = False) -> Tuple[DFA, dict]
         metrics.histogram(
             "repro_dfa_product_states", "Synchronous DFA product sizes"
         ).observe(len(pairs), minimized=label)
+        record_work(
+            metrics, "product",
+            {"dfa_products": 1, "product_states": len(pairs)},
+            core="dict",
+        )
     return product, pairs
 
 

@@ -14,6 +14,11 @@ Schema Enforcement module would be driven operationally:
 - ``figures`` — regenerate the paper's automata figures as Graphviz DOT;
 - ``stats`` — render a trace captured with ``rewrite --trace`` as a span
   tree;
+- ``profile`` — aggregate such a trace into a deterministic call-tree
+  profile with per-phase (compile/determinize/product/game/materialize)
+  attribution;
+- ``bench`` — run the named benchmark suite, emit ``BENCH_<name>.json``
+  trajectory files, and fail on deterministic work-counter regressions;
 - ``fuzz`` — the differential conformance harness: fuzz seeded
   scenarios through the engine configuration matrix and the reference
   interpreter, freeze shrunk failures as corpus entries, replay them.
@@ -27,6 +32,8 @@ Usage::
     python -m repro.cli inspect doc.xml
     python -m repro.cli figures out/
     python -m repro.cli stats t.jsonl
+    python -m repro.cli profile t.jsonl --json profile.json
+    python -m repro.cli bench --smoke --out bench-out
     python -m repro.cli fuzz --seeds 200
     python -m repro.cli fuzz --replay tests/corpus
 """
@@ -373,6 +380,76 @@ def cmd_stats(args) -> int:
     return 0
 
 
+def cmd_profile(args) -> int:
+    """Aggregate a JSONL trace into a flame-style call-tree profile."""
+    from repro.obs import profile_spans, spans_from_jsonl
+
+    spans = spans_from_jsonl(_read(args.trace))
+    if not spans:
+        print("no spans in %s" % args.trace, file=sys.stderr)
+        return 1
+    profile = profile_spans(spans)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(profile.to_json())
+        print("profile -> %s" % args.json, file=sys.stderr)
+    print(profile.render(max_depth=args.max_depth))
+    return 0
+
+
+def cmd_bench(args) -> int:
+    """Run named benchmarks; diff work counters against the trajectory.
+
+    Exit codes: 0 — no counter regressions (or nothing to compare);
+    1 — at least one deterministic counter regressed beyond the
+    threshold; 2 — operational error.
+    """
+    from repro.obs import bench as bench_mod
+
+    if args.list:
+        for name in bench_mod.BENCHES:
+            print(name)
+        return 0
+    names = args.names or list(bench_mod.BENCHES)
+    unknown = [name for name in names if name not in bench_mod.BENCHES]
+    if unknown:
+        print("error: unknown bench(es): %s (have: %s)"
+              % (", ".join(unknown), ", ".join(bench_mod.BENCHES)),
+              file=sys.stderr)
+        return 2
+    out_dir = args.out or os.environ.get("REPRO_BENCH_DIR", ".")
+    failures = 0
+    for name in names:
+        payload = bench_mod.run_bench(name, smoke=args.smoke)
+        baseline_dir = args.baseline or out_dir
+        baseline_path = os.path.join(
+            baseline_dir, bench_mod.bench_filename(name)
+        )
+        # Read the baseline before the write below replaces it.
+        regressions = bench_mod.compare_against(
+            payload, baseline_path, threshold=args.threshold
+        )
+        path = bench_mod.write_payload(payload, out_dir)
+        wall = ", ".join(
+            "%s=%.3fs" % (key, value)
+            for key, value in sorted(payload.items())
+            if key.endswith("_seconds") and isinstance(value, float)
+        )
+        print("%s -> %s%s" % (name, path, " (%s)" % wall if wall else ""))
+        if regressions is None:
+            print("  no comparable baseline (first run, or smoke flag "
+                  "differs)")
+            continue
+        if not regressions:
+            print("  no counter regressions vs %s" % baseline_path)
+            continue
+        failures += 1
+        print("  REGRESSIONS vs %s:" % baseline_path)
+        for line in regressions:
+            print("    " + line)
+    return 1 if failures else 0
+
+
 def cmd_fuzz(args) -> int:
     """Differential conformance fuzzing (and corpus replay).
 
@@ -587,6 +664,37 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("stats", help="render a JSONL trace as a span tree")
     p.add_argument("trace")
     p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser(
+        "profile",
+        help="aggregate a JSONL trace into a call-tree profile",
+    )
+    p.add_argument("trace")
+    p.add_argument("--json", metavar="PATH",
+                   help="also export the profile tree as JSON here")
+    p.add_argument("--max-depth", type=int, default=None, metavar="N",
+                   help="truncate the rendered tree below depth N")
+    p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser(
+        "bench",
+        help="run named benchmarks; fail on work-counter regressions",
+    )
+    p.add_argument("names", nargs="*", metavar="NAME",
+                   help="benches to run (default: all; see --list)")
+    p.add_argument("--list", action="store_true",
+                   help="list available benches and exit")
+    p.add_argument("--smoke", action="store_true",
+                   help="reduced scenario sets (CI-sized)")
+    p.add_argument("--out", metavar="DIR", default=None,
+                   help="where BENCH_<name>.json lands "
+                        "(default: $REPRO_BENCH_DIR or .)")
+    p.add_argument("--baseline", metavar="DIR", default=None,
+                   help="diff against this directory's BENCH files "
+                        "(default: the output directory's prior files)")
+    p.add_argument("--threshold", type=float, default=0.10,
+                   help="allowed relative counter growth (default 0.10)")
+    p.set_defaults(func=cmd_bench)
 
     return parser
 

@@ -57,6 +57,7 @@ from repro.compile.digest import (
 )
 from repro.compile.persist import PersistentStore
 from repro.obs import context as obs
+from repro.obs.metrics import record_work
 from repro.regex.ast import Regex
 
 #: Default LRU bound, overridable via ``REPRO_COMPILE_CACHE_SIZE``.
@@ -376,6 +377,7 @@ class CompilationCache:
             # build is simply discarded below.
             with obs.tracer().span("compile." + kind, key=key[1][:12]):
                 value = build()
+            record_work(obs.metrics(), "compile", {"builds": 1}, kind=kind)
 
         evicted = 0
         with self._lock:

@@ -17,12 +17,17 @@ from repro.obs.metrics import (
     NULL_METRICS,
     SIZE_BUCKETS,
     TIME_BUCKETS,
+    WORK_METRIC,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     NullMetricsRegistry,
+    record_work,
+    work_snapshot,
 )
+from repro.obs.profile import Profile, ProfileNode, profile_spans, profile_tracer
+from repro.obs.quantile import DEFAULT_QUANTILES, P2Quantile, QuantileSketch
 from repro.obs.trace import (
     NULL_TRACER,
     NullTracer,
@@ -38,5 +43,8 @@ __all__ = [
     "render_span_dicts", "spans_from_jsonl",
     "MetricsRegistry", "NullMetricsRegistry", "NULL_METRICS",
     "Counter", "Gauge", "Histogram", "SIZE_BUCKETS", "TIME_BUCKETS",
+    "WORK_METRIC", "record_work", "work_snapshot",
+    "Profile", "ProfileNode", "profile_spans", "profile_tracer",
+    "P2Quantile", "QuantileSketch", "DEFAULT_QUANTILES",
     "install", "uninstall", "observing", "tracer", "metrics",
 ]

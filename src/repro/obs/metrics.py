@@ -19,7 +19,9 @@ from __future__ import annotations
 import json
 import math
 import threading
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from .quantile import DEFAULT_QUANTILES, QuantileSketch
 
 #: Generic size buckets (product nodes, word lengths, bytes, ...).
 SIZE_BUCKETS = (1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
@@ -98,7 +100,20 @@ class Gauge(Counter):
 
 
 class Histogram:
-    """Cumulative-bucket histogram, Prometheus-style."""
+    """Cumulative-bucket histogram, Prometheus-style.
+
+    ``counts[key]`` has one slot per finite bucket bound **plus a final
+    +Inf overflow slot** — an observation above every finite bound lands
+    only there.  The +Inf slot is cumulative like the others, so it
+    always equals ``totals[key]``; keeping it explicit means the bucket
+    vector alone carries the full distribution (earlier versions derived
+    +Inf from ``totals`` at export time, and over-max observations
+    silently vanished from ``counts``).
+
+    Each label set also feeds a streaming :class:`QuantileSketch`
+    (p50/p95/p99 by default), readable via :meth:`quantile` /
+    :meth:`quantiles` and preserved through the JSONL round-trip.
+    """
 
     kind = "histogram"
 
@@ -110,6 +125,7 @@ class Histogram:
         self.counts: Dict[LabelKey, List[int]] = {}
         self.sums: Dict[LabelKey, float] = {}
         self.totals: Dict[LabelKey, int] = {}
+        self.sketches: Dict[LabelKey, QuantileSketch] = {}
         self._lock = threading.Lock()
 
     def observe(self, value: float, **labels) -> None:
@@ -117,20 +133,37 @@ class Histogram:
         with self._lock:
             counts = self.counts.get(key)
             if counts is None:
-                counts = self.counts[key] = [0] * len(self.buckets)
+                counts = self.counts[key] = [0] * (len(self.buckets) + 1)
                 self.sums[key] = 0.0
                 self.totals[key] = 0
+                self.sketches[key] = QuantileSketch()
             for index, bound in enumerate(self.buckets):
                 if value <= bound:
                     counts[index] += 1
+            counts[-1] += 1  # the +Inf bucket catches everything
             self.sums[key] += value
             self.totals[key] += 1
+            self.sketches[key].observe(value)
 
     def count(self, **labels) -> int:
         return self.totals.get(_label_key(labels), 0)
 
     def sum(self, **labels) -> float:
         return self.sums.get(_label_key(labels), 0.0)
+
+    def quantile(self, q: float, **labels) -> Optional[float]:
+        """The streaming estimate of quantile ``q`` for one label set."""
+        sketch = self.sketches.get(_label_key(labels))
+        if sketch is None:
+            return None
+        return sketch.quantile(q)
+
+    def quantiles(self, **labels) -> Dict[float, Optional[float]]:
+        """All tracked quantile estimates for one label set."""
+        sketch = self.sketches.get(_label_key(labels))
+        if sketch is None:
+            return {q: None for q in DEFAULT_QUANTILES}
+        return sketch.quantiles()
 
     def samples(self) -> Iterable[Tuple[str, float]]:
         for key in sorted(self.counts):
@@ -143,7 +176,7 @@ class Histogram:
                 )
             yield (
                 self.name + "_bucket" + _format_labels(key, (("le", "+Inf"),)),
-                float(self.totals[key]),
+                float(cumulative[-1]),
             )
             yield self.name + "_sum" + _format_labels(key), self.sums[key]
             yield self.name + "_count" + _format_labels(key), float(
@@ -247,6 +280,7 @@ class MetricsRegistry:
                         "buckets": list(metric.buckets),
                         "counts": list(metric.counts[key]),
                         "sum": metric.sums[key], "count": metric.totals[key],
+                        "sketch": metric.sketches[key].to_dict(),
                     }, sort_keys=True))
             else:
                 for key in sorted(metric.values):
@@ -272,9 +306,20 @@ class MetricsRegistry:
                     tuple(record["buckets"]),
                 )
                 key = _label_key(labels)
-                histogram.counts[key] = list(record["counts"])
+                counts = list(record["counts"])
+                if len(counts) == len(histogram.buckets):
+                    # Legacy record without the explicit +Inf slot: the
+                    # overflow bucket is cumulative, i.e. the total count.
+                    counts.append(int(record["count"]))
+                histogram.counts[key] = counts
                 histogram.sums[key] = record["sum"]
                 histogram.totals[key] = record["count"]
+                if "sketch" in record:
+                    histogram.sketches[key] = QuantileSketch.from_dict(
+                        record["sketch"]
+                    )
+                else:
+                    histogram.sketches[key] = QuantileSketch()
             elif record["type"] == "gauge":
                 registry.gauge(name, record.get("help", "")).set(
                     record["value"], **labels
@@ -294,11 +339,22 @@ class MetricsRegistry:
                 count = sum(metric.totals.values())
                 total = sum(metric.sums.values())
                 mean = total / count if count else 0.0
-                lines.append(
+                line = (
                     "%s: count=%d sum=%s mean=%s"
                     % (name, count, _format_value(round(total, 6)),
                        _format_value(round(mean, 6)))
                 )
+                if len(metric.sketches) == 1:
+                    # Quantiles cannot be aggregated across label sets,
+                    # so only a single-series histogram shows them.
+                    (sketch,) = metric.sketches.values()
+                    estimates = sketch.quantiles()
+                    if all(v is not None for v in estimates.values()):
+                        line += "".join(
+                            " p%g=%s" % (q * 100, _format_value(round(v, 6)))
+                            for q, v in estimates.items()
+                        )
+                lines.append(line)
             else:
                 for key in sorted(metric.values):
                     label_text = _format_labels(key)
@@ -333,6 +389,12 @@ class _NullMetric:
 
     def sum(self, **_labels) -> float:  # noqa: A003 - mirrors Histogram
         return 0.0
+
+    def quantile(self, _q: float, **_labels) -> None:
+        return None
+
+    def quantiles(self, **_labels) -> Dict[float, None]:
+        return {q: None for q in DEFAULT_QUANTILES}
 
 
 _NULL_METRIC = _NullMetric()
@@ -373,3 +435,44 @@ class NullMetricsRegistry:
 
 
 NULL_METRICS = NullMetricsRegistry()
+
+
+#: The single counter carrying every algorithmic work figure.  Work
+#: counters are *deterministic* — worklist pops, fixpoint iterations,
+#: table builds — so equal inputs produce byte-equal values regardless of
+#: machine speed, which is what lets `repro bench` detect regressions
+#: without trusting wall-clock.
+WORK_METRIC = "repro_work_total"
+
+
+def record_work(registry, stage: str, counters: Mapping[str, float],
+                **labels) -> None:
+    """Report a batch of algorithmic work counters for one stage.
+
+    Emits ``repro_work_total{stage=..., counter=..., **labels}`` on
+    *registry* — one increment per (stage, counter) pair, called once
+    per solve/build rather than per inner-loop step so the disabled-obs
+    overhead stays amortized.  No-op on the null registry.
+    """
+    if not registry.enabled:
+        return
+    work = registry.counter(
+        WORK_METRIC, "Deterministic algorithmic work by stage and counter"
+    )
+    for counter_name, amount in counters.items():
+        if amount:
+            work.inc(float(amount), stage=stage, counter=counter_name,
+                     **labels)
+
+
+def work_snapshot(registry) -> Dict[str, float]:
+    """Flatten ``repro_work_total`` into ``{label-string: value}``.
+
+    The keys are the Prometheus-style sample names (sorted), the values
+    plain floats — exactly what a ``BENCH_*.json`` work-counter snapshot
+    stores and what the trajectory differ compares.
+    """
+    work = registry.get(WORK_METRIC)
+    if work is None:
+        return {}
+    return {sample: value for sample, value in work.samples()}

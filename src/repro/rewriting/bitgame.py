@@ -40,6 +40,7 @@ from repro.automata.bitset import BitDFA, iter_bits
 from repro.automata.symbols import Alphabet, concretize_class
 from repro.compile import context as compile_context
 from repro.obs import context as obs
+from repro.obs.metrics import record_work
 from repro.regex.ast import Regex
 from repro.rewriting.expansion import Expansion, build_expansion
 
@@ -164,9 +165,14 @@ def expansion_view(expansion: Expansion, alphabet: Alphabet) -> _ExpansionView:
 
 
 def _solve_marking(
-    view: _ExpansionView, comp: BitDFA, final: int, lazy: bool
+    view: _ExpansionView, comp: BitDFA, final: int, lazy: bool,
+    work: Optional[Dict[str, int]] = None,
 ) -> List[int]:
-    """The least-fixpoint marking, one mask per expansion state."""
+    """The least-fixpoint marking, one mask per expansion state.
+
+    ``work`` (when given) accumulates deterministic counters:
+    ``mark_pops`` (worklist pops) and ``mark_updates`` (masks grown).
+    """
     n = view.n_states
     base = [0] * n
     base[final] = comp.accepting
@@ -178,6 +184,7 @@ def _solve_marking(
     marked = list(base)
     plain_out, fork_out, ret_out = view.plain_out, view.fork_out, view.ret_out
     pre_tables = comp.preimage_tables()
+    pops = updates = 0
 
     # Contributions read successor masks and expansion ids mostly ascend,
     # so seeding the worklist in reverse order settles the deep states
@@ -188,6 +195,7 @@ def _solve_marking(
     while queue:
         q = queue.popleft()
         queued[q] = 0
+        pops += 1
         mask = base[q]
         for target, ids in plain_out[q]:
             bad = marked[target]
@@ -221,21 +229,27 @@ def _solve_marking(
             mask |= marked[target]
         if mask != marked[q]:
             marked[q] = mask
+            updates += 1
             for source in view.reads[q]:
                 if not queued[source]:
                     queued[source] = 1
                     push(source)
+    if work is not None:
+        work["mark_pops"] = work.get("mark_pops", 0) + pops
+        work["mark_updates"] = work.get("mark_updates", 0) + updates
     return marked
 
 
 def _reach_game(
     view: _ExpansionView, comp: BitDFA, initial: PNode, final: int,
-    absorb: int,
+    absorb: int, work: Optional[Dict[str, int]] = None,
 ) -> List[int]:
     """Forward reachability along game alternatives, masks per state.
 
     ``absorb`` is a complement-state mask whose nodes are discovered but
     never expanded (the lazy variant's accepting sinks; 0 = expand all).
+    ``work`` (when given) accumulates ``reach_pops`` (worklist pops) and
+    ``frontier_bits`` (total fresh bits expanded).
     """
     n = view.n_states
     reach = [0] * n
@@ -243,6 +257,7 @@ def _reach_game(
     reach[q0] = 1 << p0
     plain_out, fork_out, ret_out = view.plain_out, view.fork_out, view.ret_out
     singles = comp.image_singles()
+    pops = frontier_bits = 0
 
     # FIFO worklist with bytearray dirty flags and ``done`` masks:
     # every (state, bit) pair is expanded exactly once, with the image
@@ -257,12 +272,14 @@ def _reach_game(
     while queue:
         q = queue.popleft()
         dirty[q] = 0
+        pops += 1
         if q == final:
             continue  # the final state has no outgoing alternatives
         fresh = (reach[q] & ~absorb) & ~done[q]
         if not fresh:
             continue
         done[q] |= fresh
+        frontier_bits += fresh.bit_count()
         for target, ids in plain_out[q]:
             mask = 0
             for a in ids:
@@ -301,6 +318,9 @@ def _reach_game(
                 if not dirty[target]:
                     dirty[target] = 1
                     push(target)
+    if work is not None:
+        work["reach_pops"] = work.get("reach_pops", 0) + pops
+        work["frontier_bits"] = work.get("frontier_bits", 0) + frontier_bits
     return reach
 
 
@@ -346,11 +366,12 @@ def analyze_safe_bitset(
         )
 
     with tracer.span("game", algorithm=algorithm, core="bitset") as span:
-        marked = _solve_marking(view, comp, expansion.final, lazy)
+        work: Dict[str, int] = {}
+        marked = _solve_marking(view, comp, expansion.final, lazy, work)
         absorb = (comp.sink_mask() & comp.accepting) if lazy else 0
         reach = _reach_game(
             view, comp, (expansion.initial, comp.initial), expansion.final,
-            absorb,
+            absorb, work,
         )
         q0, p0 = expansion.initial, comp.initial
         exists = not ((marked[q0] >> p0) & 1)
@@ -370,8 +391,12 @@ def analyze_safe_bitset(
         marked_count = sum(mask.bit_count() for mask in marked_reached)
         span.set(
             product_nodes=explored, explored=expanded,
-            marked=marked_count, exists=exists,
+            marked=marked_count, exists=exists, **work,
         )
+        work["product_nodes"] = explored
+        work["marked_nodes"] = marked_count
+        record_work(obs.metrics(), "game", work,
+                    core="bitset", algorithm=algorithm)
 
     return SafeAnalysis(
         word=tuple(word),
@@ -430,6 +455,8 @@ def analyze_possible_bitset(
     sym_out, eps_out = view.sym_out, view.eps_out
 
     with tracer.span("game", algorithm="possible", core="bitset") as span:
+        work: Dict[str, int] = {"reach_pops": 0, "frontier_bits": 0,
+                                "back_pops": 0, "back_bits": 0}
         # Forward reachability (every fork option is a plain edge here) —
         # the same inline bit-by-bit fold worklist as :func:`_reach_game`.
         singles = target_bit.image_singles()
@@ -444,10 +471,12 @@ def analyze_possible_bitset(
         while queue:
             q = queue.popleft()
             dirty[q] = 0
+            work["reach_pops"] += 1
             fresh = reach[q] & ~done[q]
             if not fresh:
                 continue
             done[q] |= fresh
+            work["frontier_bits"] += fresh.bit_count()
             for target_state, ids in sym_out[q]:
                 mask = 0
                 for a in ids:
@@ -486,10 +515,12 @@ def analyze_possible_bitset(
         while queue:
             t = queue.popleft()
             dirty[t] = 0
+            work["back_pops"] += 1
             delta = pending[t]
             pending[t] = 0
             if not delta:
                 continue
+            work["back_bits"] += delta.bit_count()
             for src, ids in sym_in[t]:
                 mask = 0
                 for a in ids:
@@ -520,7 +551,12 @@ def analyze_possible_bitset(
         alive_count = sum(mask.bit_count() for mask in alive)
         span.set(
             product_nodes=product_nodes, alive=alive_count, exists=exists,
+            **work,
         )
+        work["product_nodes"] = product_nodes
+        work["alive_nodes"] = alive_count
+        record_work(obs.metrics(), "game", work,
+                    core="bitset", algorithm="possible")
 
     return PossibleAnalysis(
         word=tuple(word),

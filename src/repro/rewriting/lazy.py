@@ -27,6 +27,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.compile import context as compile_context
 from repro.obs import context as obs
+from repro.obs.metrics import record_work
 from repro.regex.ast import Regex
 from repro.rewriting.expansion import build_expansion
 from repro.rewriting.safe import (
@@ -106,11 +107,14 @@ def analyze_safe_lazy(
     remaining: Dict[Tuple[PNode, int], int] = {}
     expanded: Set[PNode] = set()
 
+    work = {"frontier_pops": 0, "propagate_pops": 0}
+
     def propagate(seed: PNode) -> None:
         """Backward propagation of a newly marked node."""
         queue = [seed]
         while queue:
             bad = queue.pop()
+            work["propagate_pops"] += 1
             for node, index in reverse.get(bad, ()):
                 if node in marked:
                     continue
@@ -127,6 +131,7 @@ def analyze_safe_lazy(
         if early_exit and initial in marked:
             break
         node = frontier.popleft()
+        work["frontier_pops"] += 1
         if node in marked or node in expanded:
             continue  # marked-node pruning: successors are irrelevant
         q, p = node
@@ -170,6 +175,12 @@ def analyze_safe_lazy(
         explored=len(expanded),
         marked=len(marked),
         exists=analysis.exists,
+        **work,
     )
     tracer.finish(game_span)
+    work["product_nodes"] = len(analysis.explored)
+    work["expanded_nodes"] = len(expanded)
+    work["marked_nodes"] = len(marked)
+    record_work(obs.metrics(), "game", work,
+                core="dict", algorithm="safe-lazy")
     return analysis

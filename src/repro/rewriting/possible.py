@@ -28,6 +28,7 @@ from repro.errors import (
     ServiceFault,
 )
 from repro.obs import context as obs
+from repro.obs.metrics import record_work
 from repro.regex.ast import Regex
 from repro.rewriting.expansion import Edge, Expansion, build_expansion
 from repro.rewriting.plan import InvocationLog, timed_invoke
@@ -164,11 +165,13 @@ def analyze_possible(
 
     with tracer.span("game", algorithm="possible") as span:
         # Forward reachability.
+        forward_pops = 0
         reachable: Set[PNode] = {analysis.initial}
         edges_in: Dict[PNode, List[PNode]] = {}
         worklist = [analysis.initial]
         while worklist:
             node = worklist.pop()
+            forward_pops += 1
             for _edge, _symbol, succ in _successors(analysis, node):
                 edges_in.setdefault(succ, []).append(node)
                 if succ not in reachable:
@@ -176,10 +179,12 @@ def analyze_possible(
                     worklist.append(succ)
 
         # Backward co-reachability from accepting nodes (step 5).
+        backward_pops = 0
         alive = {node for node in reachable if analysis.is_accepting(node)}
         worklist = list(alive)
         while worklist:
             node = worklist.pop()
+            backward_pops += 1
             for previous in edges_in.get(node, ()):
                 if previous not in alive:
                     alive.add(previous)
@@ -191,6 +196,14 @@ def analyze_possible(
             product_nodes=len(reachable),
             alive=len(alive),
             exists=analysis.exists,
+            forward_pops=forward_pops,
+            backward_pops=backward_pops,
+        )
+        record_work(
+            obs.metrics(), "game",
+            {"forward_pops": forward_pops, "backward_pops": backward_pops,
+             "product_nodes": len(reachable), "alive_nodes": len(alive)},
+            core="dict", algorithm="possible",
         )
 
     analysis.stats.product_nodes = len(reachable)

@@ -35,6 +35,7 @@ from repro.compile import context as compile_context
 from repro.doc.nodes import FunctionCall, Node, symbol_of
 from repro.errors import NoSafeRewritingError, RewriteExecutionError, ServiceFault
 from repro.obs import context as obs
+from repro.obs.metrics import record_work
 from repro.regex.ast import Regex
 from repro.rewriting.expansion import Edge, Expansion, build_expansion
 from repro.rewriting.plan import (
@@ -313,10 +314,12 @@ def analyze_safe(
         # Forward exploration of the reachable product (steps 11-14).
         initial = analysis.initial
         node_alts: Dict[PNode, List[Alternative]] = {}
+        explore_pops = 0
         worklist = [initial]
         analysis.explored.add(initial)
         while worklist:
             node = worklist.pop()
+            explore_pops += 1
             alts = alternatives(expansion, analysis, node)
             node_alts[node] = alts
             for alt in alts:
@@ -335,9 +338,17 @@ def analyze_safe(
 
     # Backward marking fixpoint (steps 15-17).
     with tracer.span("game", algorithm="safe-eager") as span:
-        _mark(analysis, node_alts)
+        mark_pops = _mark(analysis, node_alts)
         analysis.exists = initial not in analysis.marked
-        span.set(marked=len(analysis.marked), exists=analysis.exists)
+        span.set(marked=len(analysis.marked), exists=analysis.exists,
+                 explore_pops=explore_pops, mark_pops=mark_pops)
+        record_work(
+            obs.metrics(), "game",
+            {"explore_pops": explore_pops, "mark_pops": mark_pops,
+             "product_nodes": len(analysis.explored),
+             "marked_nodes": len(analysis.marked)},
+            core="dict", algorithm="safe-eager",
+        )
 
     analysis.stats.product_nodes = len(analysis.explored)
     analysis.stats.product_explored = len(analysis.explored)
@@ -345,8 +356,12 @@ def analyze_safe(
     return analysis
 
 
-def _mark(analysis: SafeAnalysis, node_alts: Dict[PNode, List[Alternative]]) -> None:
-    """Least-fixpoint marking with per-alternative option counters."""
+def _mark(analysis: SafeAnalysis, node_alts: Dict[PNode, List[Alternative]]) -> int:
+    """Least-fixpoint marking with per-alternative option counters.
+
+    Returns the number of worklist pops — the deterministic work figure
+    the trajectory benchmarks track.
+    """
     expansion = analysis.expansion
     comp = analysis.comp
 
@@ -369,8 +384,10 @@ def _mark(analysis: SafeAnalysis, node_alts: Dict[PNode, List[Alternative]]) -> 
 
     # Propagation (step 17): a node is bad once some alternative has all
     # of its options bad.
+    pops = 0
     while queue:
         bad = queue.pop()
+        pops += 1
         for node, index in reverse.get(bad, ()):
             if node in analysis.marked:
                 continue
@@ -378,6 +395,7 @@ def _mark(analysis: SafeAnalysis, node_alts: Dict[PNode, List[Alternative]]) -> 
             if remaining[(node, index)] == 0:
                 analysis.marked.add(node)
                 queue.append(node)
+    return pops
 
 
 # ---------------------------------------------------------------------------

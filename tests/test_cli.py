@@ -165,6 +165,99 @@ class TestInspect:
         assert "Get_Temp" in out
 
 
+class TestProfile:
+    def trace(self, files):
+        # A private compile cache keeps the compile.* spans in the trace
+        # no matter how warm the ambient process cache already is.
+        path = files["dir"] / "t.jsonl"
+        assert main([
+            "rewrite", files["doc"], files["star"], files["star2"],
+            "--trace", str(path), "-o", str(files["dir"] / "out.xml"),
+            "--compile-cache", str(files["dir"] / "cc"),
+        ]) == 0
+        return str(path)
+
+    def test_renders_tree_and_phase_table(self, files, capsys):
+        trace = self.trace(files)
+        capsys.readouterr()
+        assert main(["profile", trace]) == 0
+        out = capsys.readouterr().out
+        for needle in ("product", "game", "[determinize]",
+                       "phase attribution (exclusive time):"):
+            assert needle in out
+
+    def test_exclusive_sums_to_root_within_one_percent(self, files, capsys):
+        import json as json_mod
+
+        trace = self.trace(files)
+        profile_path = files["dir"] / "profile.json"
+        assert main(["profile", trace, "--json", str(profile_path)]) == 0
+        payload = json_mod.loads(profile_path.read_text())
+        total = payload["total_seconds"]
+        exclusive = sum(payload["phases"].values())
+        assert total > 0.0
+        assert abs(exclusive - total) <= 0.01 * total
+
+    def test_max_depth_truncates(self, files, capsys):
+        trace = self.trace(files)
+        capsys.readouterr()
+        assert main(["profile", trace, "--max-depth", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "enforce" in out
+        assert "└─" not in out.split("phase attribution")[0]
+
+    def test_empty_trace_fails(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["profile", str(empty)]) == 1
+        assert "no spans" in capsys.readouterr().err
+
+
+class TestBench:
+    def test_list(self, capsys):
+        assert main(["bench", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("game_work", "obs_overhead", "quantile_sketch",
+                     "compile_cache"):
+            assert name in out
+
+    def test_unknown_bench_is_operational_error(self, tmp_path, capsys):
+        assert main(["bench", "nope", "--out", str(tmp_path)]) == 2
+        assert "unknown bench" in capsys.readouterr().err
+
+    def test_smoke_run_writes_payload_and_diffs_clean(self, tmp_path, capsys):
+        import json as json_mod
+
+        args = ["bench", "quantile_sketch", "--smoke",
+                "--out", str(tmp_path)]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "no comparable baseline" in first
+        payload = json_mod.loads(
+            (tmp_path / "BENCH_quantile_sketch.json").read_text()
+        )
+        assert payload["smoke"] is True and payload["work"]
+        # Second run diffs against the file just written: no regressions.
+        assert main(args) == 0
+        assert "no counter regressions" in capsys.readouterr().out
+
+    def test_regression_fails_the_run(self, tmp_path, capsys):
+        import json as json_mod
+
+        args = ["bench", "quantile_sketch", "--smoke",
+                "--out", str(tmp_path)]
+        assert main(args) == 0
+        capsys.readouterr()
+        path = tmp_path / "BENCH_quantile_sketch.json"
+        baseline = json_mod.loads(path.read_text())
+        # Pretend history did much less work than the present does.
+        for key in baseline["work"]["default"]:
+            baseline["work"]["default"][key] = 1.0
+        path.write_text(json_mod.dumps(baseline, sort_keys=True))
+        assert main(args) == 1
+        assert "REGRESSIONS" in capsys.readouterr().out
+
+
 class TestErrors:
     def test_missing_file(self, capsys):
         assert main(["inspect", "/nonexistent/x.xml"]) == 2

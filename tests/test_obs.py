@@ -188,6 +188,71 @@ class TestMetrics:
         assert 'repro_calls_total{function="f"}: 2' in summary
         assert "repro_sizes: count=1 sum=10 mean=10" in summary
 
+    def test_histogram_overflow_lands_in_inf_bucket(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", "sizes", (1.0, 5.0))
+        histogram.observe(3)
+        histogram.observe(1000)  # above every finite bound
+        key = ()
+        assert histogram.counts[key] == [0, 1, 2]  # le=1, le=5, le=+Inf
+        assert histogram.count() == 2
+        text = registry.to_prometheus()
+        assert 'h_bucket{le="5"} 1' in text
+        assert 'h_bucket{le="+Inf"} 2' in text
+
+    def test_histogram_quantiles_from_sketch(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h")
+        for value in range(1, 101):
+            histogram.observe(float(value), mode="safe")
+        assert histogram.quantile(0.5, mode="safe") == pytest.approx(
+            50.5, rel=0.05
+        )
+        estimates = histogram.quantiles(mode="safe")
+        assert set(estimates) == {0.5, 0.95, 0.99}
+        # An unseen label set has no sketch: quantiles are None.
+        assert histogram.quantile(0.5, mode="possible") is None
+
+    def test_jsonl_round_trip_with_labeled_histograms(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", "sizes", (1.0, 5.0))
+        for mode, values in (("safe", [0.5, 3.0, 99.0]),
+                             ("possible", [2.0, 4.0])):
+            for value in values:
+                histogram.observe(value, mode=mode)
+        rebuilt = MetricsRegistry.from_jsonl(registry.to_jsonl())
+        assert rebuilt.to_jsonl() == registry.to_jsonl()
+        again = rebuilt.histogram("h")
+        assert again.count(mode="safe") == 3
+        assert again.count(mode="possible") == 2
+        # The +Inf slot and the quantile sketch both survive the trip.
+        assert again.counts[(("mode", "safe"),)][-1] == 3
+        assert again.quantiles(mode="safe") == histogram.quantiles(mode="safe")
+
+    def test_from_jsonl_accepts_legacy_records_without_inf_slot(self):
+        # Records written before the explicit overflow bucket carry one
+        # count per finite bound; the cumulative +Inf slot is the total.
+        legacy = (
+            '{"buckets": [1.0, 5.0], "count": 3, "counts": [1, 2], '
+            '"help": "", "labels": {}, "name": "h", "sum": 9.0, '
+            '"type": "histogram"}\n'
+        )
+        registry = MetricsRegistry.from_jsonl(legacy)
+        histogram = registry.histogram("h")
+        assert histogram.counts[()] == [1, 2, 3]
+        assert histogram.count() == 3
+        assert histogram.quantile(0.5) is None  # no sketch to restore
+
+    def test_summary_shows_quantiles_for_single_series(self):
+        registry = MetricsRegistry()
+        for value in range(1, 101):
+            registry.histogram("h").observe(float(value))
+        summary = registry.summary()
+        assert "p50=" in summary and "p95=" in summary and "p99=" in summary
+        # A second label set makes quantiles non-aggregatable: hidden.
+        registry.histogram("h").observe(1.0, mode="x")
+        assert "p50=" not in registry.summary()
+
     def test_span_observer_bridges_durations(self):
         registry = MetricsRegistry()
         t = Tracer(clock=SimulatedClock(), on_span_end=registry.span_observer())
