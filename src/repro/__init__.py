@@ -40,6 +40,7 @@ from repro.errors import (
     SchemaError,
     ServiceFault,
     TransientFault,
+    UnknownPeerError,
     UnknownServiceError,
     ValidationError,
     XMLSchemaIntError,
@@ -184,6 +185,7 @@ __all__ = [
     "render_span_dicts", "spans_from_jsonl",
     # errors
     "ReproError", "RegexSyntaxError", "DocumentError", "SchemaError",
+    "UnknownPeerError",
     "ValidationError", "RewriteError", "NoSafeRewritingError",
     "NoPossibleRewritingError", "RewriteExecutionError", "ServiceFault",
     "TransientFault", "PermanentFault", "FunctionUnavailableError",

@@ -13,7 +13,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.axml.peer import AXMLPeer
 from repro.doc.document import Document
-from repro.errors import RewriteError, SchemaError
+from repro.errors import RewriteError, SchemaError, UnknownPeerError
 from repro.obs import context as obs
 from repro.schema.model import Schema
 from repro.schema.validate import validate
@@ -139,7 +139,9 @@ class PeerNetwork:
     def _peer(self, name: str) -> AXMLPeer:
         peer = self.peers.get(name)
         if peer is None:
-            raise SchemaError("unknown peer %r" % name)
+            # Typed, never a raw KeyError: senders addressing a peer that
+            # left (or never joined) get a catchable, explanatory error.
+            raise UnknownPeerError(name, known=tuple(self.peers))
         return peer
 
     def send(

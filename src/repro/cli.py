@@ -407,8 +407,9 @@ def cmd_bench(args) -> int:
     from repro.obs import bench as bench_mod
 
     if args.list:
-        for name in bench_mod.BENCHES:
-            print(name)
+        for name, bench in bench_mod.BENCHES.items():
+            summary = (bench.__doc__ or "").strip().splitlines()
+            print("%-16s %s" % (name, summary[0] if summary else ""))
         return 0
     names = args.names or list(bench_mod.BENCHES)
     unknown = [name for name in names if name not in bench_mod.BENCHES]
@@ -448,6 +449,80 @@ def cmd_bench(args) -> int:
         for line in regressions:
             print("    " + line)
     return 1 if failures else 0
+
+
+def cmd_serve(args) -> int:
+    """Run the exchange gateway until interrupted (SIGINT/SIGTERM).
+
+    Exits 0 after a graceful drain; 2 on startup failure (port in use,
+    unreadable registry or snapshot).
+    """
+    import asyncio
+    import signal
+
+    from repro.gateway import Gateway, GatewayConfig
+
+    config = GatewayConfig(
+        host=args.host,
+        port=args.port,
+        registry_path=args.registry,
+        queue_limit=args.queue_limit,
+        per_peer_limit=args.per_peer,
+        pool_size=args.pool,
+        engine_workers=args.workers,
+        max_body_bytes=args.max_body,
+        default_deadline=args.deadline,
+        k=args.k,
+        mode=args.mode,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
+        compile_cache_dir=args.compile_cache,
+    )
+    gateway = Gateway(config=config)
+    if args.snapshot:
+        with open(args.snapshot, "rb") as handle:
+            blob = handle.read()
+        try:
+            imported = gateway.compile_cache.import_snapshot(blob)
+        except ValueError as error:
+            print("error: bad snapshot %s: %s" % (args.snapshot, error),
+                  file=sys.stderr)
+            return 2
+        print("warm-start: %d compiled artifact(s) from %s"
+              % (imported, args.snapshot), file=sys.stderr)
+    if gateway.registry.load_errors:
+        for note in gateway.registry.load_errors:
+            print("registry warning: %s" % note, file=sys.stderr)
+
+    async def run() -> int:
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):
+                pass  # non-POSIX loop; ctrl-C still raises KeyboardInterrupt
+        try:
+            await gateway.start()
+        except OSError as error:
+            print("error: cannot bind %s:%d: %s"
+                  % (config.host, config.port, error), file=sys.stderr)
+            return 2
+        print("gateway listening on http://%s:%d (%d peer(s) registered)"
+              % (config.host, gateway.port, len(gateway.registry.names())))
+        sys.stdout.flush()
+        try:
+            await stop.wait()
+        except asyncio.CancelledError:
+            pass
+        print("draining...", file=sys.stderr)
+        await gateway.stop(drain=True)
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:
+        return 0
 
 
 def cmd_fuzz(args) -> int:
@@ -656,6 +731,49 @@ def build_parser() -> argparse.ArgumentParser:
                         "verdicts; exits 1 when the harness catches it "
                         "(proving divergences cannot slip through)")
     p.set_defaults(func=cmd_fuzz)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the exchange gateway (schema enforcement as a service)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8374,
+                   help="TCP port (0 = ephemeral; default 8374)")
+    p.add_argument("--registry", metavar="PATH", default=None,
+                   help="JSON peer-registry file, persisted atomically "
+                        "(default: in-memory only)")
+    p.add_argument("--queue-limit", type=int, default=256,
+                   help="admitted (queued + running) request cap "
+                        "(default 256; beyond it requests shed with 503)")
+    p.add_argument("--per-peer", type=int, default=8,
+                   help="default per-peer inflight cap (default 8; "
+                        "registration may override per peer)")
+    p.add_argument("--pool", type=int, default=4,
+                   help="enforcement thread-pool size (default 4)")
+    p.add_argument("--workers", type=int, default=None, metavar="N",
+                   help="wave-scheduler workers inside each enforcement "
+                        "(default: $REPRO_WORKERS or 1)")
+    p.add_argument("--max-body", type=int, default=4 * 1024 * 1024,
+                   help="request-body byte cap, 413 beyond it "
+                        "(default 4 MiB)")
+    p.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                   help="default per-request deadline when the request "
+                        "carries none (504 on expiry)")
+    p.add_argument("--k", type=int, default=1, help="depth bound (Def. 7)")
+    p.add_argument("--mode", choices=["safe", "possible", "auto"],
+                   default="safe")
+    p.add_argument("--breaker-threshold", type=int, default=5,
+                   help="consecutive enforcement failures before a peer's "
+                        "breaker opens (default 5)")
+    p.add_argument("--breaker-cooldown", type=float, default=1.0,
+                   help="seconds an open breaker waits before half-open")
+    p.add_argument("--compile-cache", metavar="DIR", default=None,
+                   help="persist compiled automata here across restarts "
+                        "(default: in-memory)")
+    p.add_argument("--snapshot", metavar="PATH", default=None,
+                   help="pre-seed the compilation cache from a snapshot "
+                        "blob (as served by GET /snapshot)")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("inspect", help="document statistics")
     p.add_argument("document")

@@ -312,6 +312,48 @@ class CompilationCache:
         """
         return self._get_or_build(key, "expansion", build)
 
+    # -- snapshots (peer warm-start) ------------------------------------------
+
+    def export_snapshot(self) -> bytes:
+        """The whole in-memory artifact store as one transferable blob.
+
+        A gateway serves this from its snapshot endpoint so a restarted
+        or newly joined peer can pre-seed its cache instead of paying
+        the cold ``regex → … → complement`` pipeline per content.  The
+        store is copied under the lock; pickling runs outside it.
+        """
+        from repro.compile.persist import dump_snapshot
+
+        with self._lock:
+            entries = list(self._store.items())
+        return dump_snapshot(entries)
+
+    def import_snapshot(self, blob: bytes) -> int:
+        """Merge a snapshot blob into this cache; returns entries added.
+
+        Existing entries win (the local artifact is as good and already
+        hot); malformed blobs raise ``ValueError`` without touching the
+        store.  Imported artifacts count as neither hits nor misses —
+        they change future lookups, not past accounting.
+        """
+        from repro.compile.persist import load_snapshot
+
+        entries = load_snapshot(blob)
+        for key, _value in entries:
+            if not isinstance(key, tuple) or not key:
+                raise ValueError("snapshot entry has a malformed key")
+        added = 0
+        with self._lock:
+            for key, value in entries:
+                if key in self._store:
+                    continue
+                self._store[key] = value
+                added += 1
+            while len(self._store) > self.maxsize:
+                self._store.popitem(last=False)
+                self._evictions += 1
+        return added
+
     # -- bookkeeping ----------------------------------------------------------
 
     def stats(self) -> CacheStats:
@@ -460,6 +502,17 @@ class NullCompilationCache:
 
     def expansion(self, key: Tuple, build: Callable[[], object]):
         return build()
+
+    def export_snapshot(self) -> bytes:
+        from repro.compile.persist import dump_snapshot
+
+        return dump_snapshot([])
+
+    def import_snapshot(self, blob: bytes) -> int:
+        from repro.compile.persist import load_snapshot
+
+        load_snapshot(blob)  # still validates — bad blobs raise
+        return 0
 
     def stats(self) -> CacheStats:
         return CacheStats()

@@ -28,6 +28,47 @@ FORMAT_VERSION = 1
 
 _MAGIC = "repro-compile-cache"
 
+_SNAPSHOT_MAGIC = "repro-compile-snapshot"
+
+
+def dump_snapshot(entries: Any) -> bytes:
+    """Serialize cache entries as one transferable snapshot blob.
+
+    ``entries`` is a list of ``(key, value)`` pairs as stored by
+    :class:`repro.compile.cache.CompilationCache`.  The blob carries the
+    same format version as the on-disk store — an artifact that would be
+    rejected from disk is rejected from the wire too.
+    """
+    return pickle.dumps(
+        (_SNAPSHOT_MAGIC, FORMAT_VERSION, list(entries)),
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+
+
+def load_snapshot(blob: bytes) -> Any:
+    """Deserialize a snapshot blob; raises ``ValueError`` when invalid.
+
+    Validation mirrors :meth:`PersistentStore.load`'s paranoia: wrong
+    magic, wrong version, or any unpickling trouble rejects the whole
+    blob — a warm-start must never install artifacts of uncertain
+    provenance.
+    """
+    try:
+        record = pickle.loads(blob)
+    except Exception as exc:
+        raise ValueError("snapshot blob could not be unpickled: %s" % exc)
+    if (
+        not isinstance(record, tuple)
+        or len(record) != 3
+        or record[0] != _SNAPSHOT_MAGIC
+        or record[1] != FORMAT_VERSION
+    ):
+        raise ValueError("snapshot blob has the wrong magic or version")
+    entries = record[2]
+    if not isinstance(entries, list):
+        raise ValueError("snapshot blob carries no entry list")
+    return entries
+
 
 class PersistentStore:
     """A directory of pickled ``(magic, version, kind, value)`` records."""

@@ -47,6 +47,26 @@ class SchemaError(ReproError):
     """A schema definition is inconsistent (unknown labels, bad signature...)."""
 
 
+class UnknownPeerError(SchemaError):
+    """A network operation names a peer that was never registered.
+
+    Raised by :class:`repro.axml.network.PeerNetwork` (and the exchange
+    gateway's registry) instead of a raw ``KeyError``, so callers can
+    distinguish "wrong address" from every other schema problem.
+    Carries the offending name and the names that *are* registered.
+    """
+
+    def __init__(self, name: str, known: tuple = ()):  # type: ignore[assignment]
+        self.name = name
+        self.known = tuple(sorted(known))
+        hint = (
+            " (registered: %s)" % ", ".join(self.known)
+            if self.known
+            else " (no peers registered)"
+        )
+        super().__init__("unknown peer %r%s" % (name, hint))
+
+
 class ValidationError(ReproError):
     """A document is not an instance of a schema.
 

@@ -1,0 +1,75 @@
+"""The async exchange gateway — schema enforcement as a peer service.
+
+This package turns the library + CLI reproduction into the paper's
+actual setting: a long-lived process that accepts intensional documents
+from remote peers over HTTP, enforces the receiver's schema obligations
+(verify → rewrite → error, Section 7), and replies — with admission
+control, per-peer circuit breakers, a persistent peer registry, and
+compilation-cache warm-start snapshots.  Stdlib asyncio only; no new
+runtime dependencies.
+
+Entry points:
+
+- :class:`Gateway` / :class:`GatewayConfig` — the asyncio HTTP server
+  (``repro serve`` on the command line);
+- :class:`GatewayThread` — run a gateway on a background thread (tests,
+  benchmarks, embedding into synchronous programs);
+- :class:`GatewayClient` — the matching stdlib client;
+- :class:`PeerRegistry` / :class:`PeerRecord` — the JSON-on-disk peer
+  directory with function-obligation ownership;
+- :func:`run_load` — the closed-loop load benchmark behind
+  ``BENCH_gateway_load.json`` (experiment E25).
+"""
+
+from repro.gateway.admission import Admission, AdmissionController
+from repro.gateway.client import GatewayClient, GatewayReply
+from repro.gateway.errors import (
+    BadRequestError,
+    BreakerOpenError,
+    DeadlineExceededError,
+    EnforcementFailedError,
+    GatewayError,
+    ObligationConflictError,
+    PayloadTooLargeError,
+    PeerBusyError,
+    QueueFullError,
+    ShuttingDownError,
+    SnapshotError,
+    UnknownGatewayPeerError,
+    UnknownRouteError,
+)
+from repro.gateway.registry import PeerRecord, PeerRegistry
+from repro.gateway.service import Gateway, GatewayConfig
+from repro.gateway.thread import GatewayThread
+
+__all__ = [
+    "Admission",
+    "AdmissionController",
+    "BadRequestError",
+    "BreakerOpenError",
+    "DeadlineExceededError",
+    "EnforcementFailedError",
+    "Gateway",
+    "GatewayClient",
+    "GatewayConfig",
+    "GatewayError",
+    "GatewayReply",
+    "GatewayThread",
+    "ObligationConflictError",
+    "PayloadTooLargeError",
+    "PeerBusyError",
+    "PeerRecord",
+    "PeerRegistry",
+    "QueueFullError",
+    "ShuttingDownError",
+    "SnapshotError",
+    "UnknownGatewayPeerError",
+    "UnknownRouteError",
+]
+
+
+def run_load(*args, **kwargs):
+    """Lazy re-export of :func:`repro.gateway.loadgen.run_load`."""
+    from repro.gateway.loadgen import run_load as _run_load
+
+    return _run_load(*args, **kwargs)

@@ -1,0 +1,208 @@
+"""Request admission control and backpressure for the gateway.
+
+Every exchange request passes one :meth:`AdmissionController.admit`
+gate before any parsing of documents or scheduling of enforcement work:
+
+- a **bounded queue** — at most ``queue_limit`` requests admitted
+  (queued + running) gateway-wide; excess load is shed with a typed
+  503 ``queue-full`` instead of growing an unbounded backlog;
+- a **per-peer concurrency limit** — a chatty peer saturates its own
+  slice (429 ``peer-limit``), not the gateway;
+- the **circuit breaker** state machine from
+  :mod:`repro.services.resilience`, one breaker per sending peer:
+  repeated enforcement *failures* open the breaker and subsequent
+  requests fail fast with 503 ``breaker-open`` until the cooldown
+  half-opens it for a probe.  The breaker guards the expensive
+  analysis pipeline the way the invoker's breakers guard dead service
+  endpoints.
+
+Shedding decisions are counted under ``repro_gateway_shed_total`` by
+reason, and the live queue depth / per-peer occupancy surface as
+gauges, so the load benchmark's shed rate comes straight off
+``/metrics``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional
+
+from repro.obs import context as obs
+from repro.gateway.errors import (
+    BreakerOpenError,
+    PeerBusyError,
+    QueueFullError,
+    ShuttingDownError,
+)
+from repro.services.resilience import CircuitBreaker, WallClock
+
+
+class Admission:
+    """One admitted request's ticket; ``release`` exactly once."""
+
+    def __init__(self, controller: "AdmissionController", peer: str):
+        self._controller = controller
+        self.peer = peer
+        self._released = False
+
+    def release(self, success: bool = True) -> None:
+        if self._released:
+            return
+        self._released = True
+        self._controller._release(self.peer, success)
+
+    def __enter__(self) -> "Admission":
+        return self
+
+    def __exit__(self, exc_type, _exc, _tb) -> None:
+        self.release(success=exc_type is None)
+
+
+class AdmissionController:
+    """Bounded admission with per-peer limits and per-peer breakers.
+
+    Thread-safe: tickets are acquired on the event loop but released
+    from enforcement callbacks that may run on executor threads.
+
+    Args:
+        queue_limit: gateway-wide cap on admitted (queued + running)
+            requests.
+        default_per_peer: per-peer inflight cap for peers whose record
+            does not set one.
+        breaker_threshold / breaker_cooldown: forwarded to each peer's
+            :class:`CircuitBreaker`.
+        clock: time source for breaker cooldowns (``WallClock`` default;
+            tests inject :class:`~repro.services.resilience.SimulatedClock`).
+    """
+
+    def __init__(
+        self,
+        queue_limit: int = 256,
+        default_per_peer: int = 8,
+        breaker_threshold: int = 5,
+        breaker_cooldown: float = 1.0,
+        clock=None,
+    ):
+        self.queue_limit = max(1, int(queue_limit))
+        self.default_per_peer = max(1, int(default_per_peer))
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown = breaker_cooldown
+        self.clock = clock if clock is not None else WallClock()
+        self._lock = threading.Lock()
+        self._admitted = 0
+        self._per_peer: Dict[str, int] = {}
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self._draining = False
+        self.shed_counts: Dict[str, int] = {}
+        self.admitted_total = 0
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return self._admitted
+
+    def peer_inflight(self, peer: str) -> int:
+        with self._lock:
+            return self._per_peer.get(peer, 0)
+
+    def breaker_for(self, peer: str) -> CircuitBreaker:
+        with self._lock:
+            breaker = self._breakers.get(peer)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    threshold=self.breaker_threshold,
+                    cooldown=self.breaker_cooldown,
+                )
+                self._breakers[peer] = breaker
+            return breaker
+
+    # -- the gate -----------------------------------------------------------
+
+    def drain(self) -> None:
+        """Stop admitting; in-flight tickets keep their slots."""
+        with self._lock:
+            self._draining = True
+
+    def admit(self, peer: str, per_peer_limit: Optional[int] = None) -> Admission:
+        """Admit one request for ``peer`` or raise a typed shed error."""
+        breaker = self.breaker_for(peer)
+        limit = per_peer_limit or self.default_per_peer
+        with self._lock:
+            if self._draining:
+                self._shed_locked("shutting-down", peer)
+                raise ShuttingDownError("gateway is draining")
+            if self._admitted >= self.queue_limit:
+                self._shed_locked("queue-full", peer)
+                raise QueueFullError(
+                    "admission queue full (%d in flight, limit %d)"
+                    % (self._admitted, self.queue_limit)
+                )
+            if self._per_peer.get(peer, 0) >= limit:
+                self._shed_locked("peer-limit", peer)
+                raise PeerBusyError(
+                    "peer %r already has %d request(s) in flight (limit %d)"
+                    % (peer, self._per_peer.get(peer, 0), limit)
+                )
+            if not breaker.allow(self.clock.now()):
+                self._shed_locked("breaker-open", peer)
+                raise BreakerOpenError(
+                    "circuit breaker open for peer %r "
+                    "(%d consecutive enforcement failure(s))"
+                    % (peer, breaker.consecutive_failures)
+                )
+            self._admitted += 1
+            self.admitted_total += 1
+            self._per_peer[peer] = self._per_peer.get(peer, 0) + 1
+        self._gauges()
+        return Admission(self, peer)
+
+    def _release(self, peer: str, success: bool) -> None:
+        breaker = self.breaker_for(peer)
+        opened = 0
+        with self._lock:
+            self._admitted = max(0, self._admitted - 1)
+            count = self._per_peer.get(peer, 0) - 1
+            if count <= 0:
+                self._per_peer.pop(peer, None)
+            else:
+                self._per_peer[peer] = count
+            opens_before = breaker.opens
+            if success:
+                breaker.record_success()
+            else:
+                breaker.record_failure(self.clock.now())
+            opened = breaker.opens - opens_before
+        if opened:
+            metrics = obs.metrics()
+            if metrics.enabled:
+                metrics.counter(
+                    "repro_gateway_breaker_transitions_total",
+                    "Per-peer gateway breaker state transitions",
+                ).inc(opened, to="open", peer=peer)
+        self._gauges()
+
+    # -- accounting ---------------------------------------------------------
+
+    def _shed_locked(self, reason: str, peer: str) -> None:
+        self.shed_counts[reason] = self.shed_counts.get(reason, 0) + 1
+        metrics = obs.metrics()
+        if metrics.enabled:
+            metrics.counter(
+                "repro_gateway_shed_total",
+                "Exchange requests shed by admission control",
+            ).inc(reason=reason, peer=peer)
+
+    def _gauges(self) -> None:
+        metrics = obs.metrics()
+        if metrics.enabled:
+            metrics.gauge(
+                "repro_gateway_inflight",
+                "Admitted exchange requests currently queued or running",
+            ).set(self.inflight)
+
+    @property
+    def shed_total(self) -> int:
+        with self._lock:
+            return sum(self.shed_counts.values())

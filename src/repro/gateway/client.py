@@ -1,0 +1,184 @@
+"""An asyncio client for the exchange gateway — stdlib only.
+
+Speaks exactly the HTTP/1.1 slice :mod:`repro.gateway.http` serves,
+with keep-alive connection reuse (one :class:`GatewayClient` = one
+connection, re-opened on demand).  Used by the load generator, the CI
+smoke job, and the tests; it is also the reference implementation for
+what a remote peer must send.
+
+:class:`GatewayReply` keeps the transport outcome (status, headers,
+parsed JSON) without raising on error statuses — load generators need
+to *count* 429/503 sheds, not crash on them.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class GatewayReply:
+    """One HTTP reply, parsed but not judged."""
+
+    status: int
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    def json(self) -> dict:
+        return json.loads(self.body.decode("utf-8"))
+
+    @property
+    def error_code(self) -> Optional[str]:
+        """The typed gateway error code, when the reply carries one."""
+        if self.ok:
+            return None
+        try:
+            return self.json().get("error")
+        except (ValueError, UnicodeDecodeError):
+            return None
+
+
+class GatewayClient:
+    """One keep-alive connection to a gateway."""
+
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def _connect(self) -> None:
+        if self._writer is None or self._writer.is_closing():
+            self._reader, self._writer = await asyncio.open_connection(
+                self.host, self.port
+            )
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._writer = None
+            self._reader = None
+
+    async def request(
+        self,
+        method: str,
+        path: str,
+        body: bytes = b"",
+        content_type: str = "application/json",
+    ) -> GatewayReply:
+        """One request/response round-trip (reconnecting once if stale)."""
+        for attempt in (1, 2):
+            await self._connect()
+            head = (
+                "%s %s HTTP/1.1\r\n"
+                "Host: %s:%d\r\n"
+                "Content-Type: %s\r\n"
+                "Content-Length: %d\r\n"
+                "Connection: keep-alive\r\n\r\n"
+                % (method, path, self.host, self.port, content_type, len(body))
+            )
+            try:
+                self._writer.write(head.encode("latin-1") + body)
+                await self._writer.drain()
+                reply = await self._read_reply()
+            except (ConnectionError, asyncio.IncompleteReadError, OSError):
+                # A keep-alive connection the server closed between
+                # requests; retry once on a fresh connection.
+                await self.close()
+                if attempt == 2:
+                    raise
+                continue
+            if reply.headers.get("connection", "").lower() == "close":
+                await self.close()
+            return reply
+        raise ConnectionError("unreachable")  # pragma: no cover
+
+    async def _read_reply(self) -> GatewayReply:
+        head = await self._reader.readuntil(b"\r\n\r\n")
+        lines = head.decode("latin-1").split("\r\n")
+        status = int(lines[0].split(" ", 2)[1])
+        headers: Dict[str, str] = {}
+        for line in lines[1:]:
+            if ":" in line:
+                name, _, value = line.partition(":")
+                headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        body = await self._reader.readexactly(length) if length else b""
+        return GatewayReply(status=status, headers=headers, body=body)
+
+    # -- typed helpers -------------------------------------------------------
+
+    async def post_json(self, path: str, payload: dict) -> GatewayReply:
+        return await self.request(
+            "POST", path, json.dumps(payload).encode("utf-8")
+        )
+
+    async def health(self) -> dict:
+        return (await self.request("GET", "/healthz")).json()
+
+    async def metrics_text(self) -> str:
+        reply = await self.request("GET", "/metrics")
+        return reply.body.decode("utf-8")
+
+    async def register_peer(
+        self,
+        name: str,
+        xschema: str,
+        obligations=(),
+        max_inflight: int = 8,
+    ) -> GatewayReply:
+        return await self.post_json("/peers", {
+            "name": name,
+            "xschema": xschema,
+            "obligations": list(obligations),
+            "max_inflight": max_inflight,
+        })
+
+    async def exchange(
+        self,
+        sender: str,
+        receiver: str,
+        document_xml: str,
+        mode: Optional[str] = None,
+        k: Optional[int] = None,
+        seed: int = 0,
+        deadline: Optional[float] = None,
+    ) -> GatewayReply:
+        payload: dict = {
+            "sender": sender,
+            "receiver": receiver,
+            "document": document_xml,
+            "seed": seed,
+        }
+        if mode is not None:
+            payload["mode"] = mode
+        if k is not None:
+            payload["k"] = k
+        if deadline is not None:
+            payload["deadline"] = deadline
+        return await self.post_json("/exchange", payload)
+
+    async def export_snapshot(self) -> bytes:
+        reply = await self.request("GET", "/snapshot")
+        if not reply.ok:
+            raise ConnectionError(
+                "snapshot export failed with %d" % reply.status
+            )
+        return reply.body
+
+    async def import_snapshot(self, blob: bytes) -> GatewayReply:
+        return await self.request(
+            "POST", "/snapshot", blob,
+            content_type="application/octet-stream",
+        )

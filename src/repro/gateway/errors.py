@@ -1,0 +1,129 @@
+"""Typed errors of the exchange gateway.
+
+Every failure the gateway can hand a remote peer is a
+:class:`GatewayError` carrying a machine-readable ``code`` and the HTTP
+``status`` it maps to, so clients never have to parse prose: the wire
+payload is ``{"error": <code>, "detail": <text>, "status": <int>}``
+(:meth:`GatewayError.payload`), and each code increments exactly one
+``repro_gateway_errors_total{code=...}`` counter — the contract the
+failure-mode tests pin down.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+
+class GatewayError(ReproError):
+    """Base class for request failures the gateway reports to peers."""
+
+    #: HTTP status the error maps to on the wire.
+    status = 500
+    #: Machine-readable error code (stable across releases).
+    code = "internal"
+
+    def payload(self) -> dict:
+        """The JSON body the gateway sends for this error."""
+        return {
+            "error": self.code,
+            "detail": str(self) or self.code,
+            "status": self.status,
+        }
+
+
+class BadRequestError(GatewayError):
+    """The request body or parameters could not be understood."""
+
+    status = 400
+    code = "bad-request"
+
+
+class UnknownRouteError(GatewayError):
+    """No handler is mounted at the requested method/path."""
+
+    status = 404
+    code = "unknown-route"
+
+
+class UnknownGatewayPeerError(GatewayError):
+    """A request names a peer the registry has never seen."""
+
+    status = 404
+    code = "unknown-peer"
+
+
+class ObligationConflictError(GatewayError):
+    """Two peers claim schema-obligation ownership of one function.
+
+    "Distributed XML Design" makes typing a multi-peer property: each
+    function's schema obligations must have exactly one owner, so a
+    registration that re-claims an already-owned function is rejected
+    instead of silently re-homing the obligation.
+    """
+
+    status = 409
+    code = "obligation-conflict"
+
+
+class PayloadTooLargeError(GatewayError):
+    """The request body exceeds the gateway's configured limit."""
+
+    status = 413
+    code = "too-large"
+
+
+class PeerBusyError(GatewayError):
+    """The sending peer is already at its concurrency limit (shed)."""
+
+    status = 429
+    code = "peer-limit"
+
+
+class QueueFullError(GatewayError):
+    """The gateway's bounded admission queue is full (shed)."""
+
+    status = 503
+    code = "queue-full"
+
+
+class BreakerOpenError(GatewayError):
+    """The peer's circuit breaker is open: failing fast, not enforcing."""
+
+    status = 503
+    code = "breaker-open"
+
+
+class ShuttingDownError(GatewayError):
+    """The gateway is draining and no longer admits new requests."""
+
+    status = 503
+    code = "shutting-down"
+
+
+class DeadlineExceededError(GatewayError):
+    """The request's deadline expired before enforcement finished.
+
+    Deliberately *not* a :class:`repro.errors.ServiceError` subclass:
+    the rewrite engine and the schema enforcer catch the service-fault
+    family to degrade gracefully, while a gateway deadline must abort
+    the whole request and surface as a 504 — so this error passes
+    straight through both layers.
+    """
+
+    status = 504
+    code = "deadline"
+
+
+class EnforcementFailedError(GatewayError):
+    """The schema enforcer's step (iii): the document cannot be made
+    conformant to the receiver's schema."""
+
+    status = 422
+    code = "enforcement-failed"
+
+
+class SnapshotError(GatewayError):
+    """A compilation-cache snapshot blob was rejected."""
+
+    status = 400
+    code = "bad-snapshot"

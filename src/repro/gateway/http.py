@@ -1,0 +1,191 @@
+"""A small asyncio HTTP/1.1 layer — stdlib only, by design.
+
+The gateway must not grow runtime dependencies, so this module
+implements the slice of HTTP/1.1 the exchange protocol needs and
+nothing more: request line + headers + ``Content-Length`` bodies in,
+fixed-length responses out, keep-alive by default (the load generator
+reuses connections), no chunked encoding, no TLS.
+
+Parsing is paranoid in the gateway's favour: header and body limits are
+enforced *while reading* (a peer cannot make the gateway buffer an
+unbounded request), and every malformed input maps to a typed
+:class:`~repro.gateway.errors.GatewayError` rather than a stack trace.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+from repro.gateway.errors import BadRequestError, PayloadTooLargeError
+
+#: Upper bound on the request line plus all headers, in bytes.
+MAX_HEADER_BYTES = 16 * 1024
+#: Default upper bound on request bodies (overridable per gateway).
+DEFAULT_MAX_BODY_BYTES = 4 * 1024 * 1024
+
+REASONS = {
+    200: "OK", 201: "Created", 204: "No Content",
+    400: "Bad Request", 404: "Not Found", 405: "Method Not Allowed",
+    409: "Conflict", 413: "Payload Too Large", 422: "Unprocessable Entity",
+    429: "Too Many Requests", 500: "Internal Server Error",
+    503: "Service Unavailable", 504: "Gateway Timeout",
+}
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: Dict[str, str] = field(default_factory=dict)
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "keep-alive").lower() != "close"
+
+    def json(self) -> dict:
+        """The body as a JSON object; typed error on anything else."""
+        try:
+            value = json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise BadRequestError("request body is not valid JSON: %s" % exc)
+        if not isinstance(value, dict):
+            raise BadRequestError("request body must be a JSON object")
+        return value
+
+
+@dataclass
+class Response:
+    """One HTTP response about to be written."""
+
+    status: int = 200
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    @staticmethod
+    def json(payload: dict, status: int = 200) -> "Response":
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        return Response(status=status, body=body)
+
+    @staticmethod
+    def text(content: str, status: int = 200,
+             content_type: str = "text/plain; charset=utf-8") -> "Response":
+        return Response(status=status, body=content.encode("utf-8"),
+                        content_type=content_type)
+
+    @staticmethod
+    def binary(blob: bytes, status: int = 200) -> "Response":
+        return Response(status=status, body=blob,
+                        content_type="application/octet-stream")
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+    max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+) -> Optional[Request]:
+    """Parse one request off the stream; ``None`` on clean EOF.
+
+    Raises :class:`BadRequestError` for malformed syntax and
+    :class:`PayloadTooLargeError` when ``Content-Length`` exceeds the
+    body limit — checked *before* the body is read, so oversized uploads
+    are rejected without buffering them.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean close between requests (keep-alive end)
+        raise BadRequestError("connection closed mid-request")
+    except asyncio.LimitOverrunError:
+        raise BadRequestError("request head exceeds %d bytes" % MAX_HEADER_BYTES)
+    if len(head) > MAX_HEADER_BYTES:
+        raise BadRequestError("request head exceeds %d bytes" % MAX_HEADER_BYTES)
+
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise BadRequestError("malformed request line %r" % lines[0][:80])
+    method, target = parts[0].upper(), parts[1]
+    split = urlsplit(target)
+    query = {key: value for key, value in parse_qsl(split.query)}
+
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        if ":" not in line:
+            raise BadRequestError("malformed header line %r" % line[:80])
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError:
+        raise BadRequestError("malformed Content-Length %r" % length_text)
+    if length < 0:
+        raise BadRequestError("negative Content-Length")
+    if length > max_body_bytes:
+        raise PayloadTooLargeError(
+            "request body of %d bytes exceeds the %d byte limit"
+            % (length, max_body_bytes)
+        )
+    if headers.get("transfer-encoding"):
+        raise BadRequestError("chunked transfer encoding is not supported")
+
+    body = b""
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise BadRequestError("connection closed mid-body")
+    return Request(
+        method=method, path=unquote(split.path), query=query,
+        headers=headers, body=body,
+    )
+
+
+async def write_response(
+    writer: asyncio.StreamWriter, response: Response, keep_alive: bool
+) -> None:
+    """Serialize one response (fixed Content-Length framing) and flush."""
+    reason = REASONS.get(response.status, "Unknown")
+    head = [
+        "HTTP/1.1 %d %s" % (response.status, reason),
+        "Content-Type: %s" % response.content_type,
+        "Content-Length: %d" % len(response.body),
+        "Connection: %s" % ("keep-alive" if keep_alive else "close"),
+    ]
+    for name, value in sorted(response.headers.items()):
+        head.append("%s: %s" % (name, value))
+    writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))
+    writer.write(response.body)
+    await writer.drain()
+
+
+def parse_response(blob: bytes) -> Tuple[int, Dict[str, str], bytes]:
+    """Parse a complete response buffer — the client side of the wire.
+
+    Returns ``(status, headers, body)``; used by
+    :class:`repro.gateway.client.GatewayClient` and the tests.
+    """
+    head, _, rest = blob.partition(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ", 2)
+    if len(parts) < 2 or not parts[0].startswith("HTTP/1."):
+        raise ValueError("malformed status line %r" % lines[0][:80])
+    status = int(parts[1])
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if ":" in line:
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+    return status, headers, rest

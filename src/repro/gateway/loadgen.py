@@ -1,0 +1,292 @@
+"""Closed-loop load benchmark for the exchange gateway (E25).
+
+Two phases, each against a gateway running in-process on an ephemeral
+port (:class:`~repro.gateway.thread.GatewayThread`):
+
+1. **Throughput/latency** — N concurrent clients (one connection each)
+   all fire one exchange request at a shared starting gun, so N
+   requests are genuinely in flight together.  The admission queue is
+   sized to admit all of them; the thread-pool bridge meters them
+   through enforcement.  Per-request latencies feed a P² quantile
+   sketch (p50/p95/p99), and the gateway's own
+   ``repro_gateway_request_seconds`` histogram is read back for the
+   server-side view.  Afterwards every response document is compared
+   **byte-for-byte** against the direct library path (same schemas,
+   same per-call-seeded sampling invoker, no HTTP) — the gateway must
+   be a transport, never a semantic layer.
+
+2. **Overload/shedding** — a second gateway with a deliberately tiny
+   admission queue, a single enforcement worker, and artificial
+   per-call service latency; a burst larger than the queue must shed
+   with typed 429/503 errors.  The shed *rate* is wall-clock dependent
+   and therefore recorded under a ``_fraction`` key (stripped by the
+   trajectory differ); that shedding happened at all is the
+   deterministic claim.
+
+The deterministic payload — request counts, agreement booleans, and
+the ``repro_work_total`` snapshot of phase 1 — is what
+``repro bench gateway_load`` diffs across the trajectory.  Phase 1
+warms the compilation cache with one sequential request first, so the
+storm's work counters cannot race duplicate artifact builds.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.axml.enforcement import SchemaEnforcer
+from repro.doc.document import Document
+from repro.gateway.client import GatewayClient, GatewayReply
+from repro.gateway.invoke import sampling_invoker
+from repro.gateway.service import GatewayConfig
+from repro.gateway.thread import GatewayThread
+from repro.obs.metrics import work_snapshot
+from repro.obs.quantile import QuantileSketch
+from repro.schema.patterns import allow_only
+from repro.workloads import newspaper
+from repro.xschema.compile import compile_xschema
+from repro.xschema.parser import parse_xschema
+from repro.xschema.writer import schema_to_xschema
+
+#: The functions of the newspaper scenario (the sender's obligations).
+OBLIGATIONS = ("Get_Temp", "TimeOut")
+
+
+def _scenario() -> Tuple[str, str, str]:
+    """(sender xsd, receiver xsd, document xml) — Figure 2.a into (**)."""
+    sender_xsd = schema_to_xschema(newspaper.schema_star())
+    receiver_xsd = schema_to_xschema(newspaper.schema_star2())
+    document_xml = newspaper.document().to_xml()
+    return sender_xsd, receiver_xsd, document_xml
+
+
+def direct_enforcement(
+    sender_xsd: str, receiver_xsd: str, document_xml: str, seed: int,
+    compile_cache=None,
+) -> str:
+    """The library path the gateway must match byte-for-byte.
+
+    Schemas are compiled from the same XML Schema_int *text* a peer
+    registers, and calls are served by the same per-call-seeded
+    sampling invoker, so any byte of divergence is the gateway's fault.
+    """
+    sender = compile_xschema(parse_xschema(sender_xsd))
+    receiver = compile_xschema(parse_xschema(receiver_xsd))
+    enforcer = SchemaEnforcer(
+        target_schema=receiver,
+        sender_schema=sender,
+        k=1,
+        mode="safe",
+        policy=allow_only(OBLIGATIONS),
+        compile_cache=compile_cache,
+    )
+    outcome = enforcer.enforce_document(
+        Document.from_xml(document_xml), sampling_invoker(sender, seed)
+    )
+    if not outcome.ok:
+        raise AssertionError("direct enforcement failed: %s" % outcome.error)
+    return outcome.document.to_xml()
+
+
+async def _register_peers(
+    host: str, port: int, sender_xsd: str, receiver_xsd: str,
+    max_inflight: int,
+) -> None:
+    client = GatewayClient(host, port)
+    try:
+        reply = await client.register_peer(
+            "alice", sender_xsd, obligations=OBLIGATIONS,
+            max_inflight=max_inflight,
+        )
+        assert reply.status == 201, reply.body
+        reply = await client.register_peer(
+            "bob", receiver_xsd, max_inflight=max_inflight
+        )
+        assert reply.status == 201, reply.body
+    finally:
+        await client.close()
+
+
+async def _storm(
+    host: str, port: int, document_xml: str, requests: int,
+) -> List[Tuple[int, float, GatewayReply]]:
+    """Fire ``requests`` exchanges truly concurrently; one connection each.
+
+    Every worker connects first, then waits on a starting gun, so the
+    whole cohort is in flight together (the ≥N-concurrent claim).
+    Returns ``(seed, latency_seconds, reply)`` per request.
+    """
+    gun = asyncio.Event()
+    results: List[Tuple[int, float, GatewayReply]] = []
+
+    async def one(seed: int) -> None:
+        client = GatewayClient(host, port)
+        try:
+            await client._connect()
+            await gun.wait()
+            started = time.perf_counter()
+            reply = await client.exchange(
+                "alice", "bob", document_xml, seed=seed
+            )
+            results.append((seed, time.perf_counter() - started, reply))
+        finally:
+            await client.close()
+
+    tasks = [asyncio.create_task(one(seed)) for seed in range(requests)]
+    await asyncio.sleep(0)  # let every task reach the gun
+    gun.set()
+    await asyncio.gather(*tasks)
+    return results
+
+
+async def _burst(
+    host: str, port: int, document_xml: str, requests: int,
+) -> List[GatewayReply]:
+    gun = asyncio.Event()
+    replies: List[GatewayReply] = []
+
+    async def one(seed: int) -> None:
+        client = GatewayClient(host, port)
+        try:
+            await client._connect()
+            await gun.wait()
+            replies.append(await client.exchange(
+                "alice", "bob", document_xml, seed=seed
+            ))
+        finally:
+            await client.close()
+
+    tasks = [asyncio.create_task(one(seed)) for seed in range(requests)]
+    await asyncio.sleep(0)
+    gun.set()
+    await asyncio.gather(*tasks)
+    return replies
+
+
+def run_load(smoke: bool = False,
+             requests: Optional[int] = None,
+             pool_size: int = 8) -> dict:
+    """Run both phases; returns the ``BENCH_gateway_load`` payload."""
+    total = requests if requests is not None else (60 if smoke else 500)
+    sender_xsd, receiver_xsd, document_xml = _scenario()
+
+    # ---- phase 1: concurrent throughput, byte-identical outcomes --------
+    config = GatewayConfig(
+        queue_limit=total + 16,
+        per_peer_limit=total + 16,
+        pool_size=pool_size,
+    )
+    harness = GatewayThread(config)
+    harness.start()
+    try:
+        host, port = harness.host, harness.port
+        asyncio.run(_register_peers(
+            host, port, sender_xsd, receiver_xsd, max_inflight=total + 16,
+        ))
+
+        async def warmup() -> None:
+            client = GatewayClient(host, port)
+            try:
+                reply = await client.exchange(
+                    "alice", "bob", document_xml, seed=0
+                )
+                assert reply.ok, reply.body
+            finally:
+                await client.close()
+
+        asyncio.run(warmup())
+
+        started = time.perf_counter()
+        results = asyncio.run(_storm(host, port, document_xml, total))
+        storm_seconds = time.perf_counter() - started
+
+        sketch = QuantileSketch()
+        for _seed, latency, _reply in results:
+            sketch.observe(latency)
+        completed = sum(1 for _s, _l, reply in results if reply.ok)
+        histogram = harness.gateway.metrics.get(
+            "repro_gateway_request_seconds"
+        )
+        server_p99 = (
+            histogram.quantile(0.99, route="POST /exchange")
+            if histogram is not None else None
+        )
+        work: Dict[str, float] = work_snapshot(harness.gateway.metrics)
+        admitted = harness.gateway.admission.admitted_total
+        shed_main = harness.gateway.admission.shed_total
+    finally:
+        harness.stop(drain=True)
+
+    # ---- byte-identical check vs. the direct library path ----------------
+    from repro.compile.cache import CompilationCache
+
+    direct_cache = CompilationCache()
+    mismatches = 0
+    for seed, _latency, reply in results:
+        if not reply.ok:
+            continue
+        expected = direct_enforcement(
+            sender_xsd, receiver_xsd, document_xml, seed,
+            compile_cache=direct_cache,
+        )
+        if reply.json()["document"] != expected:
+            mismatches += 1
+
+    # ---- phase 2: overload must shed, typed -------------------------------
+    overload_requests = 40 if smoke else 80
+    overload_queue = 8
+    overload_config = GatewayConfig(
+        queue_limit=overload_queue,
+        per_peer_limit=overload_requests,
+        pool_size=1,
+        invoke_delay=0.02,
+    )
+    overload = GatewayThread(overload_config)
+    overload.start()
+    try:
+        asyncio.run(_register_peers(
+            overload.host, overload.port, sender_xsd, receiver_xsd,
+            max_inflight=overload_requests,
+        ))
+        replies = asyncio.run(_burst(
+            overload.host, overload.port, document_xml, overload_requests
+        ))
+        shed = [reply for reply in replies if reply.status in (429, 503)]
+        shed_codes = sorted({reply.error_code for reply in shed})
+        overload_ok = sum(1 for reply in replies if reply.ok)
+    finally:
+        overload.stop(drain=True)
+
+    return {
+        "benchmark": "gateway_load",
+        "experiment": "E25",
+        "hot_path": "concurrent POST /exchange storm through admission, "
+                    "thread-pool bridge and schema enforcement; overload "
+                    "burst against a tiny admission queue",
+        "requests": total,
+        "concurrency": total,
+        "pool_size": pool_size,
+        "completed": completed,
+        "admitted": admitted,
+        "main_phase_shed": shed_main,
+        "all_accepted": completed == total,
+        "byte_identical": mismatches == 0,
+        "mismatches": mismatches,
+        "storm_seconds": round(storm_seconds, 6),
+        "client_p50_seconds": round(sketch.quantile(0.5) or 0.0, 6),
+        "client_p95_seconds": round(sketch.quantile(0.95) or 0.0, 6),
+        "client_p99_seconds": round(sketch.quantile(0.99) or 0.0, 6),
+        "server_p99_seconds": round(server_p99 or 0.0, 6),
+        "overload_requests": overload_requests,
+        "overload_queue_limit": overload_queue,
+        "overload_completed_min": overload_queue <= overload_ok,
+        "shed_any": len(shed) > 0,
+        "shed_typed": bool(shed) and all(
+            code in ("queue-full", "peer-limit", "breaker-open")
+            for code in shed_codes
+        ),
+        "overload_shed_fraction": round(len(shed) / overload_requests, 6),
+        "work": {"default": work},
+    }

@@ -1,0 +1,89 @@
+"""Run a :class:`~repro.gateway.service.Gateway` on a background thread.
+
+The gateway is an asyncio application; tests, benchmarks, and
+synchronous embedders need it running *next to* their own code.
+:class:`GatewayThread` owns a dedicated event loop on a daemon thread:
+``start()`` blocks until the port is bound and returns it, ``stop()``
+performs the gateway's graceful drain from outside the loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Optional
+
+from repro.gateway.service import Gateway, GatewayConfig
+
+
+class GatewayThread:
+    """One gateway on its own event loop, driven from another thread."""
+
+    def __init__(self, config: Optional[GatewayConfig] = None, **kwargs):
+        self.gateway = Gateway(config=config, **kwargs)
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._started = threading.Event()
+        self._stopped = threading.Event()
+        self._stop_requested: Optional[asyncio.Event] = None
+        self._drain = True
+        self._startup_error: Optional[BaseException] = None
+
+    @property
+    def port(self) -> Optional[int]:
+        return self.gateway.port
+
+    @property
+    def host(self) -> str:
+        return self.gateway.config.host
+
+    def start(self, timeout: float = 10.0) -> int:
+        """Launch the loop thread; blocks until bound, returns the port."""
+        self._thread = threading.Thread(
+            target=self._run, name="gateway-loop", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout):
+            raise RuntimeError("gateway failed to start within %ss" % timeout)
+        if self._startup_error is not None:
+            raise RuntimeError(
+                "gateway failed to start: %s" % self._startup_error
+            )
+        return self.gateway.port
+
+    def stop(self, drain: bool = True, timeout: float = 30.0) -> None:
+        """Graceful (or abrupt) shutdown from the caller's thread."""
+        if self._loop is None or self._stop_requested is None:
+            return
+        self._drain = drain
+        try:
+            self._loop.call_soon_threadsafe(self._stop_requested.set)
+        except RuntimeError:
+            return  # loop already closed
+        self._stopped.wait(timeout)
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # surface startup failures to start()
+            self._startup_error = exc
+            self._started.set()
+        finally:
+            self._stopped.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_requested = asyncio.Event()
+        await self.gateway.start()
+        self._started.set()
+        await self._stop_requested.wait()
+        await self.gateway.stop(drain=self._drain)
+
+    def __enter__(self) -> "GatewayThread":
+        self.start()
+        return self
+
+    def __exit__(self, _exc_type, _exc, _tb) -> None:
+        self.stop()

@@ -327,12 +327,27 @@ def bench_compile_cache(smoke: bool = False) -> dict:
     }
 
 
+def bench_gateway_load(smoke: bool = False) -> dict:
+    """Closed-loop load benchmark against the exchange gateway (E25).
+
+    Concurrent ``POST /exchange`` storm plus an overload/shed phase;
+    the gateway must return byte-identical documents to the direct
+    library path.  Implemented in :mod:`repro.gateway.loadgen`
+    (imported lazily — the gateway pulls in asyncio machinery the
+    other benches never need).
+    """
+    from repro.gateway.loadgen import run_load
+
+    return run_load(smoke=smoke)
+
+
 #: name -> bench callable; ``repro bench`` runs these in this order.
 BENCHES: Dict[str, Callable[[bool], dict]] = {
     "game_work": bench_game_work,
     "obs_overhead": bench_obs_overhead,
     "quantile_sketch": bench_quantile_sketch,
     "compile_cache": bench_compile_cache,
+    "gateway_load": bench_gateway_load,
 }
 
 

@@ -226,6 +226,24 @@ class TestPeersAndNetwork:
         with pytest.raises(SchemaError):
             network.agree("alice", "carol", schema_star2)
 
+    def test_send_to_unregistered_receiver_is_typed(
+        self, doc, registry, schema_star, schema_star2
+    ):
+        from repro.errors import UnknownPeerError
+
+        network, alice, _bob = self.build_network(
+            registry, schema_star, schema_star2
+        )
+        alice.repository.store("front", doc)
+        with pytest.raises(UnknownPeerError) as info:
+            network.send("alice", "carol", "front")
+        # The error is catchable as a SchemaError, names the missing
+        # peer, and lists who *is* registered.
+        assert isinstance(info.value, SchemaError)
+        assert info.value.name == "carol"
+        assert info.value.known == ("alice", "bob")
+        assert "alice" in str(info.value)
+
     def test_provided_service_enforces_io(self, registry, schema_star):
         peer = AXMLPeer("provider", schema_star)
         for service in registry.services.values():

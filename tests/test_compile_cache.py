@@ -394,6 +394,72 @@ class TestPersistence:
         assert store.load("missing", "dfa") == (None, False)
 
 
+class TestSnapshots:
+    def _warm_cache(self):
+        cc = CompilationCache()
+        target = parse_regex("title.date.temp.exhibit*")
+        alphabet = problem_alphabet(WORD, newspaper_outputs(), target)
+        dfa = cc.target_dfa(target, alphabet)
+        comp = cc.complement(target, alphabet)
+        return cc, target, alphabet, dfa, comp
+
+    def test_export_import_round_trip(self):
+        cc1, target, alphabet, dfa, comp = self._warm_cache()
+        blob = cc1.export_snapshot()
+        assert isinstance(blob, bytes) and blob
+
+        cc2 = CompilationCache()
+        added = cc2.import_snapshot(blob)
+        assert added == cc1.stats().entries
+        # The imported artifacts serve as hits, not rebuilds.
+        assert language_equal(cc2.target_dfa(target, alphabet), dfa)
+        assert language_equal(cc2.complement(target, alphabet), comp)
+        stats = cc2.stats()
+        assert stats.hits >= 2 and stats.misses == 0
+
+    def test_existing_entries_win_and_import_is_idempotent(self):
+        cc1, target, alphabet, _dfa, _comp = self._warm_cache()
+        blob = cc1.export_snapshot()
+        assert cc1.import_snapshot(blob) == 0  # everything already there
+
+        cc2 = CompilationCache()
+        local = cc2.target_dfa(target, alphabet)
+        added = cc2.import_snapshot(blob)
+        assert 0 < added < cc1.stats().entries
+        assert cc2.target_dfa(target, alphabet) is local
+
+    def test_malformed_blobs_raise_without_touching_store(self):
+        cc = CompilationCache()
+        for blob in (b"", b"junk", pickle.dumps(("wrong-magic", 1, []))):
+            with pytest.raises(ValueError):
+                cc.import_snapshot(blob)
+        assert cc.stats().entries == 0
+
+    def test_wrong_version_rejected(self):
+        from repro.compile.persist import FORMAT_VERSION, dump_snapshot
+
+        cc = CompilationCache()
+        blob = pickle.dumps(
+            ("repro-compile-snapshot", FORMAT_VERSION + 1, [])
+        )
+        with pytest.raises(ValueError):
+            cc.import_snapshot(blob)
+        assert cc.import_snapshot(dump_snapshot([])) == 0
+
+    def test_import_respects_lru_bound(self):
+        cc1, _target, _alphabet, _dfa, _comp = self._warm_cache()
+        small = CompilationCache(maxsize=1)
+        small.import_snapshot(cc1.export_snapshot())
+        assert small.stats().entries == 1
+
+    def test_null_cache_round_trip_is_empty(self):
+        null = DISABLED
+        blob = null.export_snapshot()
+        assert null.import_snapshot(blob) == 0
+        with pytest.raises(ValueError):
+            null.import_snapshot(b"junk")
+
+
 class TestContext:
     def test_ambient_cache_is_lazy_and_stable(self):
         uninstall()

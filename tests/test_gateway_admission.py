@@ -1,0 +1,124 @@
+"""Admission control: bounded queue, per-peer limits, per-peer breakers."""
+
+import pytest
+
+from repro.gateway.admission import AdmissionController
+from repro.gateway.errors import (
+    BreakerOpenError,
+    PeerBusyError,
+    QueueFullError,
+    ShuttingDownError,
+)
+from repro.services.resilience import SimulatedClock
+
+
+def controller(**kwargs) -> AdmissionController:
+    kwargs.setdefault("clock", SimulatedClock())
+    return AdmissionController(**kwargs)
+
+
+class TestBoundedQueue:
+    def test_admits_up_to_limit_then_sheds(self):
+        gate = controller(queue_limit=2, default_per_peer=10)
+        first = gate.admit("alice")
+        second = gate.admit("alice")
+        with pytest.raises(QueueFullError) as info:
+            gate.admit("bob")
+        assert info.value.status == 503
+        assert info.value.payload()["error"] == "queue-full"
+        assert gate.shed_counts == {"queue-full": 1}
+        first.release()
+        gate.admit("bob").release()
+        second.release()
+        assert gate.inflight == 0
+        assert gate.admitted_total == 3
+
+    def test_release_is_idempotent(self):
+        gate = controller(queue_limit=1)
+        ticket = gate.admit("alice")
+        ticket.release()
+        ticket.release()
+        assert gate.inflight == 0
+
+    def test_context_manager_releases(self):
+        gate = controller(queue_limit=1)
+        with gate.admit("alice"):
+            assert gate.inflight == 1
+        assert gate.inflight == 0
+
+
+class TestPerPeerLimit:
+    def test_one_peer_cannot_saturate_the_gateway(self):
+        gate = controller(queue_limit=10, default_per_peer=2)
+        gate.admit("alice")
+        gate.admit("alice")
+        with pytest.raises(PeerBusyError) as info:
+            gate.admit("alice")
+        assert info.value.status == 429
+        assert info.value.payload()["error"] == "peer-limit"
+        # Other peers are unaffected.
+        gate.admit("bob")
+        assert gate.peer_inflight("alice") == 2
+        assert gate.peer_inflight("bob") == 1
+
+    def test_record_override_beats_default(self):
+        gate = controller(queue_limit=10, default_per_peer=1)
+        gate.admit("alice", per_peer_limit=3)
+        gate.admit("alice", per_peer_limit=3)
+        gate.admit("alice", per_peer_limit=3)
+        with pytest.raises(PeerBusyError):
+            gate.admit("alice", per_peer_limit=3)
+
+
+class TestBreaker:
+    def test_consecutive_failures_open_then_cooldown_half_opens(self):
+        clock = SimulatedClock()
+        gate = controller(
+            breaker_threshold=3, breaker_cooldown=5.0, clock=clock
+        )
+        for _ in range(3):
+            gate.admit("alice").release(success=False)
+        with pytest.raises(BreakerOpenError) as info:
+            gate.admit("alice")
+        assert info.value.status == 503
+        assert info.value.payload()["error"] == "breaker-open"
+        assert gate.shed_counts == {"breaker-open": 1}
+        # Failures are per peer: bob is still welcome.
+        gate.admit("bob").release()
+        # After the cooldown one probe is admitted; success closes.
+        clock.sleep(5.0)
+        gate.admit("alice").release(success=True)
+        gate.admit("alice").release(success=True)
+
+    def test_half_open_probe_failure_reopens(self):
+        clock = SimulatedClock()
+        gate = controller(
+            breaker_threshold=2, breaker_cooldown=1.0, clock=clock
+        )
+        for _ in range(2):
+            gate.admit("alice").release(success=False)
+        clock.sleep(1.0)
+        gate.admit("alice").release(success=False)  # the failed probe
+        with pytest.raises(BreakerOpenError):
+            gate.admit("alice")
+
+    def test_successes_reset_the_count(self):
+        gate = controller(breaker_threshold=2)
+        gate.admit("alice").release(success=False)
+        gate.admit("alice").release(success=True)
+        gate.admit("alice").release(success=False)
+        gate.admit("alice")  # still closed: never 2 consecutive
+
+
+class TestDrain:
+    def test_draining_sheds_new_work_keeps_inflight(self):
+        gate = controller(queue_limit=5)
+        ticket = gate.admit("alice")
+        gate.drain()
+        with pytest.raises(ShuttingDownError) as info:
+            gate.admit("bob")
+        assert info.value.status == 503
+        assert info.value.payload()["error"] == "shutting-down"
+        assert gate.inflight == 1
+        ticket.release()
+        assert gate.inflight == 0

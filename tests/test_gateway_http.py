@@ -1,0 +1,136 @@
+"""Unit tests for the gateway's stdlib HTTP/1.1 layer."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.gateway.errors import BadRequestError, PayloadTooLargeError
+from repro.gateway.http import (
+    MAX_HEADER_BYTES,
+    Request,
+    Response,
+    parse_response,
+    read_request,
+    write_response,
+)
+
+
+def _read(raw: bytes, **kwargs):
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader, **kwargs)
+
+    return asyncio.run(go())
+
+
+def _request(method="POST", path="/exchange", body=b"", extra=""):
+    return (
+        "%s %s HTTP/1.1\r\nHost: x\r\nContent-Length: %d\r\n%s\r\n"
+        % (method, path, len(body), extra)
+    ).encode("latin-1") + body
+
+
+class TestReadRequest:
+    def test_round_trip(self):
+        body = json.dumps({"sender": "alice"}).encode("utf-8")
+        request = _read(_request(body=body))
+        assert request.method == "POST"
+        assert request.path == "/exchange"
+        assert request.body == body
+        assert request.json() == {"sender": "alice"}
+        assert request.keep_alive
+
+    def test_clean_eof_is_none(self):
+        assert _read(b"") is None
+
+    def test_query_and_percent_decoding(self):
+        request = _read(_request(method="GET", path="/peers%20x?a=1&b=two"))
+        assert request.path == "/peers x"
+        assert request.query == {"a": "1", "b": "two"}
+
+    def test_connection_close_header(self):
+        request = _read(_request(extra="Connection: close\r\n"))
+        assert not request.keep_alive
+
+    def test_malformed_request_line(self):
+        with pytest.raises(BadRequestError):
+            _read(b"NOT-HTTP\r\n\r\n")
+
+    def test_truncated_head(self):
+        with pytest.raises(BadRequestError):
+            _read(b"GET /x HTTP/1.1\r\nHost")
+
+    def test_truncated_body(self):
+        raw = _request(body=b"12345")[:-3]
+        with pytest.raises(BadRequestError):
+            _read(raw)
+
+    def test_bad_content_length(self):
+        raw = b"GET /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n"
+        with pytest.raises(BadRequestError):
+            _read(raw)
+
+    def test_chunked_rejected(self):
+        raw = b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+        with pytest.raises(BadRequestError):
+            _read(raw)
+
+    def test_oversized_body_rejected_before_reading(self):
+        # The body is never even present — the Content-Length header
+        # alone must trigger the 413, without buffering anything.
+        raw = b"POST /x HTTP/1.1\r\nContent-Length: 999999\r\n\r\n"
+        error = None
+        try:
+            _read(raw, max_body_bytes=1024)
+        except PayloadTooLargeError as exc:
+            error = exc
+        assert error is not None
+        assert error.status == 413
+        assert error.payload()["error"] == "too-large"
+
+    def test_oversized_head_rejected(self):
+        raw = _request(extra="X-Pad: %s\r\n" % ("y" * (MAX_HEADER_BYTES + 1)))
+        with pytest.raises(BadRequestError):
+            _read(raw)
+
+    def test_body_json_typed_errors(self):
+        assert Request(method="POST", path="/x", body=b"{}").json() == {}
+        with pytest.raises(BadRequestError):
+            Request(method="POST", path="/x", body=b"not json").json()
+        with pytest.raises(BadRequestError):
+            Request(method="POST", path="/x", body=b"[1]").json()
+
+
+class TestWriteResponse:
+    def _write(self, response, keep_alive=True) -> bytes:
+        chunks = []
+
+        class FakeWriter:
+            def write(self, data):
+                chunks.append(data)
+
+            async def drain(self):
+                return None
+
+        asyncio.run(write_response(FakeWriter(), response, keep_alive))
+        return b"".join(chunks)
+
+    def test_json_round_trip(self):
+        blob = self._write(Response.json({"ok": True}, status=201))
+        status, headers, body = parse_response(blob)
+        assert status == 201
+        assert headers["content-type"] == "application/json"
+        assert int(headers["content-length"]) == len(body)
+        assert json.loads(body) == {"ok": True}
+        assert headers["connection"] == "keep-alive"
+
+    def test_close_and_binary(self):
+        blob = self._write(Response.binary(b"\x00\x01"), keep_alive=False)
+        status, headers, body = parse_response(blob)
+        assert status == 200
+        assert headers["connection"] == "close"
+        assert headers["content-type"] == "application/octet-stream"
+        assert body == b"\x00\x01"
