@@ -86,6 +86,9 @@ class SchemaEnforcer:
     policy: InvocationPolicy = field(default_factory=allow_all)
     cost_model: CostModel = field(default_factory=lambda: UNIT)
     eager: Optional[Callable[[str], bool]] = None
+    #: Use the lazy game solver (same answers, fewer explored nodes);
+    #: forwarded to every engine this enforcer builds.
+    lazy: bool = True
     workers: Optional[int] = None
     dedup: Optional[bool] = None
     batch: bool = False
@@ -103,6 +106,7 @@ class SchemaEnforcer:
             policy=self.policy,
             cost_model=self.cost_model,
             eager=self.eager,
+            lazy=self.lazy,
             workers=self.workers,
             dedup=self.dedup,
             batch=self.batch,
@@ -251,3 +255,36 @@ class SchemaEnforcer:
             degraded_functions=tuple(sorted(stats.get("dead", ()))),
             cache_hits=hits, cache_misses=misses,
         )
+
+    # -- incremental enforcement (repro.incremental) ------------------------
+
+    def session(self, document: Document, invoker: Invoker):
+        """Open an :class:`~repro.incremental.EnforcementSession` for a
+        mutating document.
+
+        The session runs the initial pass lazily — call
+        :meth:`~repro.incremental.session.EnforcementSession.enforce`
+        for the first outcome, then
+        :meth:`~repro.incremental.session.EnforcementSession.apply` per
+        edit script.  Requires a per-call-deterministic invoker for
+        outcomes byte-identical to full re-enforcement (see
+        :mod:`repro.incremental.session`).
+        """
+        from repro.incremental.session import EnforcementSession
+
+        return EnforcementSession(self, document, invoker)
+
+    def enforce_incremental(
+        self, document: Document, invoker: Invoker, edit_scripts=()
+    ):
+        """Convenience: open a session, enforce, replay edit scripts.
+
+        Returns ``(session, outcomes)`` where ``outcomes[0]`` is the
+        initial pass and ``outcomes[i+1]`` the pass after
+        ``edit_scripts[i]``.
+        """
+        session = self.session(document, invoker)
+        outcomes = [session.enforce()]
+        for script in edit_scripts:
+            outcomes.append(session.apply(script))
+        return session, outcomes

@@ -552,6 +552,8 @@ def cmd_fuzz(args) -> int:
               % (entries, "y" if entries == 1 else "ies", failures))
         return 1 if failures else 0
 
+    if getattr(args, "edits", False):
+        args.kind = "edits"
     matrix = (
         differential.SELF_TEST_MATRIX if args.self_test
         else differential.DEFAULT_MATRIX
@@ -617,6 +619,16 @@ def _freeze_failures(args, seed: int, fresh, matrix) -> List[str]:
         )
         paths.append(corpus_mod.save_entry(
             args.corpus_dir, corpus_mod.document_entry(scenario, note=note)
+        ))
+    if "edits" in kinds:
+        scenario = fuzzer.fuzz_edit_scenario(seed)
+
+        def edits_fail(candidate) -> bool:
+            return bool(differential.run_edit_scenario(candidate))
+
+        scenario = corpus_mod.shrink_edit_scenario(scenario, edits_fail)
+        paths.append(corpus_mod.save_entry(
+            args.corpus_dir, corpus_mod.edit_entry(scenario, note=note)
         ))
     return paths
 
@@ -715,9 +727,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="number of seeds to fuzz (default 25)")
     p.add_argument("--start", type=int, default=0, metavar="S",
                    help="first seed (default 0)")
-    p.add_argument("--kind", choices=["word", "document", "all"],
+    p.add_argument("--kind", choices=["word", "document", "edits", "all"],
                    default="all",
-                   help="scenario family to generate (default all)")
+                   help="scenario family to generate (default all; "
+                        "'edits' runs the incremental-vs-full edit "
+                        "oracle over the edit matrix)")
+    p.add_argument("--edits", action="store_true",
+                   help="shorthand for --kind edits")
     p.add_argument("--replay", nargs="+", metavar="PATH",
                    help="replay corpus entries (files or directories) "
                         "instead of fuzzing")

@@ -25,27 +25,34 @@ regression tests replay ``tests/corpus/*.json`` on every run.
 
 from repro.conformance.corpus import (
     document_entry,
+    edit_entry,
+    edit_scenario_from_entry,
     load_entry,
     replay_entry,
     save_entry,
     shrink_document_scenario,
+    shrink_edit_scenario,
     shrink_word_scenario,
     word_entry,
 )
 from repro.conformance.differential import (
     DEFAULT_MATRIX,
+    EDIT_MATRIX,
     ConfigOutcome,
     Disagreement,
     DifferentialReport,
     EngineConfig,
     run_config,
     run_document_scenario,
+    run_edit_scenario,
     run_word_scenario,
 )
 from repro.conformance.fuzzer import (
     DocumentScenario,
+    EditScenario,
     WordScenario,
     fuzz_document_scenario,
+    fuzz_edit_scenario,
     fuzz_word_scenario,
     per_call_invoker,
 )
@@ -60,14 +67,19 @@ from repro.conformance.reference import (
 __all__ = [
     "ConfigOutcome",
     "DEFAULT_MATRIX",
+    "EDIT_MATRIX",
     "Disagreement",
     "DifferentialReport",
     "DocumentScenario",
+    "EditScenario",
     "EngineConfig",
     "ReferenceVerdict",
     "WordScenario",
     "document_entry",
+    "edit_entry",
+    "edit_scenario_from_entry",
     "fuzz_document_scenario",
+    "fuzz_edit_scenario",
     "fuzz_word_scenario",
     "load_entry",
     "output_language_bound",
@@ -78,9 +90,11 @@ __all__ = [
     "replay_entry",
     "run_config",
     "run_document_scenario",
+    "run_edit_scenario",
     "run_word_scenario",
     "save_entry",
     "shrink_document_scenario",
+    "shrink_edit_scenario",
     "shrink_word_scenario",
     "word_entry",
 ]

@@ -25,7 +25,11 @@ from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.automata.symbols import DATA
 from repro.errors import ReproError
-from repro.conformance.fuzzer import DocumentScenario, WordScenario
+from repro.conformance.fuzzer import (
+    DocumentScenario,
+    EditScenario,
+    WordScenario,
+)
 from repro.doc.document import Document
 from repro.regex.ast import (
     Alt,
@@ -166,6 +170,25 @@ def document_entry(scenario: DocumentScenario, note: str = "") -> dict:
     }
 
 
+def edit_entry(scenario: EditScenario, note: str = "") -> dict:
+    """An edit-script scenario entry: the base exchange plus the scripts.
+
+    The base document is serialized post-normalization (the scenario
+    carries it that way), so the scripts' node paths address the same
+    nodes after the XML round-trip — the property
+    :mod:`repro.doc.normalize` guarantees.
+    """
+    from repro.incremental.edits import script_to_json
+
+    entry = document_entry(scenario.base, note)
+    entry["kind"] = "edits"
+    entry["seed"] = scenario.seed
+    entry["scripts"] = [
+        script_to_json(script) for script in scenario.scripts
+    ]
+    return entry
+
+
 def word_scenario_from_entry(entry: dict) -> WordScenario:
     return WordScenario(
         seed=int(entry["seed"]),
@@ -193,6 +216,21 @@ def document_scenario_from_entry(entry: dict) -> DocumentScenario:
     )
 
 
+def edit_scenario_from_entry(entry: dict) -> EditScenario:
+    from repro.doc.normalize import normalize_document
+    from repro.incremental.edits import script_from_json
+
+    base = document_scenario_from_entry(entry)
+    base = base.with_document(normalize_document(base.document))
+    return EditScenario(
+        seed=int(entry["seed"]),
+        base=base,
+        scripts=tuple(
+            script_from_json(script) for script in entry.get("scripts", [])
+        ),
+    )
+
+
 def entry_name(entry: dict) -> str:
     """A stable, content-addressed file name for one entry."""
     payload = json.dumps(entry, sort_keys=True).encode("utf-8")
@@ -217,7 +255,7 @@ def load_entry(path: str) -> dict:
         except ValueError as error:
             raise ReproError("%s: not a corpus entry (%s)" % (path, error))
     if not isinstance(entry, dict) or entry.get("kind") not in (
-        "word", "document",
+        "word", "document", "edits",
     ):
         raise ReproError(
             "%s: unknown corpus entry kind %r"
@@ -250,6 +288,11 @@ def replay_entry(entry: dict, matrix=None):
         scenario = word_scenario_from_entry(entry)
         found, _exact = differential.run_word_scenario(scenario)
         return found
+    if entry["kind"] == "edits":
+        # Edit entries always replay over the edit matrix — the caller's
+        # ``matrix`` is engine-level, not enforcement-level.
+        scenario = edit_scenario_from_entry(entry)
+        return differential.run_edit_scenario(scenario)
     scenario = document_scenario_from_entry(entry)
     return differential.run_document_scenario(
         scenario, matrix or differential.DEFAULT_MATRIX
@@ -369,6 +412,61 @@ def shrink_document_scenario(
             try:
                 yield current.with_document(
                     current.document.splice(path, ())
+                )
+            except Exception:
+                continue
+
+    return _greedy(scenario, candidates, still_fails, max_rounds)
+
+
+def shrink_edit_scenario(
+    scenario: EditScenario,
+    still_fails: Callable[[EditScenario], bool],
+    max_rounds: int = 6,
+) -> EditScenario:
+    """Greedy minimization of an edit scenario preserving the failure.
+
+    Structural drops first (whole scripts, then single edits — later
+    edits' paths may dangle after a drop, which the oracle tolerates by
+    skipping the rejected batch; ``still_fails`` decides whether the
+    failure survived), then the base-scenario shrinks (fault schedule,
+    depth bound, document subtrees).
+    """
+    from dataclasses import replace
+
+    def candidates(current: EditScenario) -> Iterator[EditScenario]:
+        scripts = current.scripts
+        # Drop one whole script.
+        for index in range(len(scripts)):
+            yield replace(
+                current, scripts=scripts[:index] + scripts[index + 1:]
+            )
+        # Drop one edit inside one script.
+        for s_index, script in enumerate(scripts):
+            if len(script) <= 1:
+                continue
+            for e_index in range(len(script)):
+                shrunk = script[:e_index] + script[e_index + 1:]
+                yield replace(
+                    current,
+                    scripts=scripts[:s_index] + (shrunk,)
+                    + scripts[s_index + 1:],
+                )
+        # Base-scenario shrinks.
+        base = current.base
+        if base.flaky_period:
+            yield replace(current, base=replace(base, flaky_period=0))
+        if base.k > 1:
+            yield replace(current, base=replace(base, k=base.k - 1))
+        paths = sorted(
+            (path for path, _node in base.document.nodes() if path),
+            key=len,
+        )
+        for path in paths:
+            try:
+                yield replace(
+                    current,
+                    base=base.with_document(base.document.splice(path, ())),
                 )
             except Exception:
                 continue

@@ -33,8 +33,10 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.conformance.fuzzer import (
     DocumentScenario,
+    EditScenario,
     WordScenario,
     fuzz_document_scenario,
+    fuzz_edit_scenario,
     fuzz_word_scenario,
     per_call_invoker,
 )
@@ -106,6 +108,25 @@ SELF_TEST_MATRIX: Tuple[EngineConfig, ...] = DEFAULT_MATRIX + (
     EngineConfig("mutant", mutate=True),
 )
 
+#: The matrix the incremental-vs-full edit oracle runs over: the five
+#: enforcement-relevant configurations plus the bitset automata core.
+#: (``shared-cache`` is omitted — a session *is* a shared-cache run; the
+#: within-config oracle compares it against compile-cold full passes
+#: anyway.)
+EDIT_MATRIX: Tuple[EngineConfig, ...] = (
+    EngineConfig("baseline"),
+    EngineConfig("workers-4", workers=4),
+    EngineConfig("eager-game", lazy=False),
+    EngineConfig("traced", observed=True),
+    EngineConfig("resilient", resilient=True),
+    EngineConfig("bitset-core", core="bitset"),
+)
+
+#: The edit matrix with a deliberately broken member, for self-tests.
+EDIT_SELF_TEST_MATRIX: Tuple[EngineConfig, ...] = EDIT_MATRIX + (
+    EngineConfig("mutant", mutate=True),
+)
+
 
 @dataclass
 class ConfigOutcome:
@@ -153,6 +174,8 @@ class DifferentialReport:
     scenarios: int = 0
     word_scenarios: int = 0
     document_scenarios: int = 0
+    edit_scenarios: int = 0
+    edit_passes_compared: int = 0
     exact_reference_checks: int = 0
     disagreements: List[Disagreement] = field(default_factory=list)
 
@@ -165,12 +188,14 @@ class DifferentialReport:
         self.scenarios += 1
         if kind == "word":
             self.word_scenarios += 1
+        elif kind == "edits":
+            self.edit_scenarios += 1
         else:
             self.document_scenarios += 1
         self.disagreements.extend(found)
 
     def summary(self) -> str:
-        return (
+        text = (
             "%d scenario(s): %d word (%d exact reference checks), "
             "%d document; %d disagreement(s)"
             % (
@@ -179,6 +204,11 @@ class DifferentialReport:
                 len(self.disagreements),
             )
         )
+        if self.edit_scenarios:
+            text += ", %d edit (%d incremental passes compared)" % (
+                self.edit_scenarios, self.edit_passes_compared,
+            )
+        return text
 
 
 # ---------------------------------------------------------------------------
@@ -361,6 +391,153 @@ def _excerpt(value, limit: int = 120) -> str:
 
 
 # ---------------------------------------------------------------------------
+# Edit-script differential: incremental sessions vs. full re-enforcement
+# ---------------------------------------------------------------------------
+
+
+def _edit_invoker(scenario: DocumentScenario, config: EngineConfig):
+    """A fresh invoker stack for one enforcement run under ``config``.
+
+    Per-call-seeded sampling plus, for the resilient configuration, the
+    fingerprint-keyed fault injection and the retrying wrapper — built
+    fresh per run so the session and every full reference pass observe
+    identical service behavior.
+    """
+    invoker = per_call_invoker(scenario.sender_schema, scenario.invoker_seed)
+    if config.resilient:
+        if scenario.flaky_period:
+            invoker = _flaky_invoker(
+                invoker, scenario.invoker_seed, scenario.flaky_period
+            )
+        invoker = ResilientInvoker(
+            invoker,
+            ResiliencePolicy(
+                max_attempts=scenario.retries + 1,
+                jitter_seed=scenario.invoker_seed,
+            ),
+        )
+    return invoker
+
+
+def run_edit_config(
+    scenario: EditScenario, config: EngineConfig
+) -> Tuple[List[Disagreement], List[dict]]:
+    """Drive one incremental session through the scenario's scripts.
+
+    After every pass (initial enforcement, then one per applied script)
+    the session's receipt is compared field-by-field against a fresh
+    full enforcement of the *same* source document with a fresh invoker
+    — the incremental-vs-full oracle.  Returns the disagreements and the
+    receipt sequence (for cross-configuration comparison).
+    """
+    from repro.axml.enforcement import SchemaEnforcer
+    from repro.compile import CompilationCache
+    from repro.incremental import EditError, full_receipt
+
+    base = scenario.base
+
+    def enforcer() -> SchemaEnforcer:
+        return SchemaEnforcer(
+            target_schema=base.exchange_schema,
+            sender_schema=base.sender_schema,
+            k=base.k,
+            mode=base.mode,
+            lazy=config.lazy,
+            workers=config.workers,
+            dedup=True,
+            compile_cache=CompilationCache(),
+        )
+
+    found: List[Disagreement] = []
+    receipts: List[dict] = []
+
+    def note(aspect: str, expected, got) -> None:
+        found.append(Disagreement(
+            "edits", scenario.seed, config.name, aspect,
+            _excerpt(expected), _excerpt(got),
+        ))
+
+    def drive() -> None:
+        session = enforcer().session(
+            base.document, _edit_invoker(base, config)
+        )
+        steps = [("initial", None)] + [
+            ("script-%d" % index, script)
+            for index, script in enumerate(scenario.scripts, 1)
+        ]
+        for label, script in steps:
+            if script is None:
+                outcome = session.enforce()
+            else:
+                try:
+                    outcome = session.apply(script)
+                except EditError:
+                    # Rejected atomically (config-independent: rejection
+                    # is a pure tree-shape decision) — no pass happened.
+                    continue
+            incremental = outcome.receipt()
+            if config.mutate:
+                incremental = dict(
+                    incremental,
+                    xml=(incremental["xml"] or "") + "<!-- mutated -->",
+                )
+            reference = full_receipt(
+                enforcer().enforce_document(
+                    session.document, _edit_invoker(base, config)
+                )
+            )
+            for aspect in sorted(incremental):
+                if incremental[aspect] != reference[aspect]:
+                    note(
+                        "%s:%s" % (label, aspect),
+                        reference[aspect], incremental[aspect],
+                    )
+            receipts.append(incremental)
+
+    with using_core(config.core):
+        if config.observed:
+            with observing(Tracer(), MetricsRegistry()):
+                drive()
+        else:
+            drive()
+    return found, receipts
+
+
+def run_edit_scenario(
+    scenario: EditScenario,
+    matrix: Sequence[EngineConfig] = EDIT_MATRIX,
+    report: Optional[DifferentialReport] = None,
+) -> List[Disagreement]:
+    """The full edit oracle: within-config incremental-vs-full, plus
+    cross-config agreement of the receipt sequences against baseline."""
+    found: List[Disagreement] = []
+    sequences: List[Tuple[str, List[dict]]] = []
+    for config in matrix:
+        config_found, receipts = run_edit_config(scenario, config)
+        found.extend(config_found)
+        sequences.append((config.name, receipts))
+        if report is not None:
+            report.edit_passes_compared += len(receipts)
+    _, baseline = sequences[0]
+    for name, receipts in sequences[1:]:
+        if len(receipts) != len(baseline):
+            found.append(Disagreement(
+                "edits", scenario.seed, name, "pass count",
+                str(len(baseline)), str(len(receipts)),
+            ))
+            continue
+        for index, (expected, got) in enumerate(zip(baseline, receipts)):
+            for aspect in sorted(expected):
+                if expected[aspect] != got[aspect]:
+                    found.append(Disagreement(
+                        "edits", scenario.seed, name,
+                        "pass %d vs baseline: %s" % (index, aspect),
+                        _excerpt(expected[aspect]), _excerpt(got[aspect]),
+                    ))
+    return found
+
+
+# ---------------------------------------------------------------------------
 # Seed-driven entry points (used by the CLI and the corpus replayer)
 # ---------------------------------------------------------------------------
 
@@ -372,7 +549,14 @@ def run_seed(
     invert_reference: bool = False,
     report: Optional[DifferentialReport] = None,
 ) -> DifferentialReport:
-    """Fuzz and differentially execute one seed; accumulate into a report."""
+    """Fuzz and differentially execute one seed; accumulate into a report.
+
+    ``kind`` selects the scenario family: ``"word"``, ``"document"``,
+    ``"all"`` (both), or ``"edits"`` — the incremental-enforcement
+    oracle, which runs over :data:`EDIT_MATRIX` regardless of
+    ``matrix`` (its configurations are enforcement-level, not
+    engine-level).
+    """
     report = report if report is not None else DifferentialReport()
     if kind in ("word", "all"):
         scenario = fuzz_word_scenario(seed)
@@ -384,5 +568,13 @@ def run_seed(
         scenario = fuzz_document_scenario(seed)
         report.merge_scenario(
             "document", run_document_scenario(scenario, matrix)
+        )
+    if kind == "edits":
+        edit_matrix = (
+            EDIT_SELF_TEST_MATRIX if invert_reference else EDIT_MATRIX
+        )
+        scenario = fuzz_edit_scenario(seed)
+        report.merge_scenario(
+            "edits", run_edit_scenario(scenario, edit_matrix, report)
         )
     return report

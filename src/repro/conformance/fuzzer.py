@@ -282,3 +282,130 @@ def fuzz_document_scenario(seed: int) -> DocumentScenario:
         invoker_seed=seed,
         flaky_period=flaky_period,
     )
+
+
+# ---------------------------------------------------------------------------
+# Edit-script scenarios (incremental enforcement differential)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class EditScenario:
+    """A mutating-document scenario: a base exchange plus edit scripts.
+
+    ``base.document`` is wire-normalized (edit paths must survive the
+    XML round-trip); each script in ``scripts`` applies against the
+    document produced by the previous one.  The differential edit oracle
+    (:func:`repro.conformance.differential.run_edit_scenario`) drives an
+    incremental session through the scripts and checks every pass
+    against a fresh full enforcement of the same source.
+    """
+
+    seed: int
+    base: DocumentScenario
+    scripts: Tuple[tuple, ...] = ()
+
+    def with_scripts(self, scripts) -> "EditScenario":
+        return replace(self, scripts=tuple(tuple(s) for s in scripts))
+
+
+def _random_edit(rng: random.Random, root, gen: "InstanceGenerator",
+                 labels: Tuple[str, ...]):
+    """One random edit against the current tree (may be None: no site)."""
+    from repro.doc.nodes import Element, FunctionCall, Text, children_of
+    from repro.doc.paths import iter_nodes
+    from repro.incremental.edits import (
+        delete, insert, replace as replace_edit, update_call,
+    )
+
+    nodes = list(iter_nodes(root))
+    kind = rng.choice(
+        ["dup", "del", "replace-sibling", "replace-fresh",
+         "insert-fresh", "update-call"]
+    )
+    if kind == "update-call":
+        calls = [(p, n) for p, n in nodes if isinstance(n, FunctionCall)]
+        if not calls:
+            return None
+        path, node = rng.choice(calls)
+        roll = rng.random()
+        if roll < 0.4:
+            params = (Text(str(rng.randint(0, 99))),)
+        elif roll < 0.7 and labels:
+            params = (gen.element(rng.choice(labels), depth=2),)
+        else:
+            params = tuple(reversed(node.params)) or (
+                Text(str(rng.randint(0, 99))),
+            )
+        return update_call(path, params)
+    parents = [
+        (p, n) for p, n in nodes
+        if not isinstance(n, Text) and children_of(n)
+    ]
+    if kind == "insert-fresh":
+        sites = [(p, n) for p, n in nodes if isinstance(n, Element)]
+        if not (sites and labels):
+            return None
+        path, node = rng.choice(sites)
+        index = rng.randint(0, len(children_of(node)))
+        return insert(
+            path + (index,), gen.element(rng.choice(labels), depth=2)
+        )
+    if not parents:
+        return None
+    path, parent = rng.choice(parents)
+    kids = children_of(parent)
+    index = rng.randrange(len(kids))
+    if kind == "dup":
+        return insert(path + (index,), kids[index])
+    if kind == "del":
+        return delete(path + (index,))
+    if kind == "replace-sibling":
+        return replace_edit(path + (index,), kids[rng.randrange(len(kids))])
+    # replace-fresh
+    if not labels:
+        return None
+    return replace_edit(
+        path + (index,), gen.element(rng.choice(labels), depth=2)
+    )
+
+
+def fuzz_edit_scenario(seed: int) -> EditScenario:
+    """The edit-script scenario fully determined by ``seed``.
+
+    The base exchange comes from :func:`fuzz_document_scenario` (same
+    seed space), wire-normalized; 1–3 scripts of 1–3 edits each are
+    generated against a preview of the evolving source, so every script
+    is applicable in sequence.  Edits the wire-normal-form guard rejects
+    during generation are simply re-drawn.
+    """
+    from repro.doc.normalize import normalize_document
+    from repro.incremental.edits import EditError, apply_edit
+
+    base = fuzz_document_scenario(seed)
+    base = base.with_document(normalize_document(base.document))
+    rng = random.Random("edits-%d" % seed)
+    gen = InstanceGenerator(
+        base.sender_schema, random.Random("edits-gen-%d" % seed),
+        max_depth=3, call_bias=1.0,
+    )
+    labels = tuple(sorted(base.sender_schema.labels()))
+    preview = base.document.root
+    scripts: List[tuple] = []
+    for _ in range(rng.randint(1, 3)):
+        batch: List = []
+        wanted = rng.randint(1, 3)
+        attempts = 0
+        while len(batch) < wanted and attempts < 25:
+            attempts += 1
+            edit = _random_edit(rng, preview, gen, labels)
+            if edit is None:
+                continue
+            try:
+                preview, _ = apply_edit(preview, edit)
+            except EditError:
+                continue
+            batch.append(edit)
+        if batch:
+            scripts.append(tuple(batch))
+    return EditScenario(seed=seed, base=base, scripts=tuple(scripts))

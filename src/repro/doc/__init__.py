@@ -27,6 +27,12 @@ from repro.doc.paths import (
 )
 from repro.doc.xml_io import document_from_xml, document_to_xml, node_from_xml, node_to_xml
 from repro.doc.diff import Edit, diff_documents, diff_forests
+from repro.doc.normalize import (
+    UnserializableDocumentError,
+    is_wire_normal,
+    normalize_document,
+    normalize_node,
+)
 
 __all__ = [
     "Node",
@@ -51,4 +57,8 @@ __all__ = [
     "Edit",
     "diff_documents",
     "diff_forests",
+    "UnserializableDocumentError",
+    "is_wire_normal",
+    "normalize_document",
+    "normalize_node",
 ]

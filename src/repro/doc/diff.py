@@ -14,6 +14,14 @@ answers with a list of path-addressed edits:
 Children are aligned with :class:`difflib.SequenceMatcher` over equal
 subtrees, so a single inserted sibling does not cascade into a diff of
 every following position.
+
+Edit paths are computed against the **wire normal form**
+(:func:`~repro.doc.normalize.normalize_node`) of both documents: a
+whitespace-only text child, or a value with incidental surrounding
+whitespace, would otherwise shift or dangle every path after an XML
+round-trip — a diff computed on one side of an exchange must address
+the same nodes after ``serialize → parse`` on the other side.  Pass
+``normalize=False`` to diff the raw in-memory trees instead.
 """
 
 from __future__ import annotations
@@ -24,6 +32,7 @@ from typing import List, Tuple
 
 from repro.doc.document import Document
 from repro.doc.nodes import Element, FunctionCall, Node, Text, symbol_of
+from repro.doc.normalize import normalize_node
 from repro.doc.paths import Path
 
 
@@ -48,19 +57,35 @@ def _describe(node: Node) -> str:
     return "call %s(...)" % node.name
 
 
-def diff_documents(left: Document, right: Document) -> List[Edit]:
-    """All edits turning ``left`` into ``right`` (empty when equal)."""
+def diff_documents(
+    left: Document, right: Document, normalize: bool = True
+) -> List[Edit]:
+    """All edits turning ``left`` into ``right`` (empty when equal).
+
+    With ``normalize`` (the default) both trees are diffed in wire
+    normal form, so every returned path addresses the same node after
+    an XML round-trip of either document.
+    """
+    a, b = left.root, right.root
+    if normalize:
+        a, b = normalize_node(a), normalize_node(b)
     edits: List[Edit] = []
-    _diff_nodes(left.root, right.root, (), edits)
+    _diff_nodes(a, b, (), edits)
     return edits
 
 
 def diff_forests(
-    left: Tuple[Node, ...], right: Tuple[Node, ...], path: Path = ()
+    left: Tuple[Node, ...], right: Tuple[Node, ...], path: Path = (),
+    normalize: bool = True,
 ) -> List[Edit]:
-    """Edits between two sibling forests."""
+    """Edits between two sibling forests (paths round-trip stable, as in
+    :func:`diff_documents`)."""
+    a, b = tuple(left), tuple(right)
+    if normalize:
+        a = tuple(normalize_node(node) for node in a)
+        b = tuple(normalize_node(node) for node in b)
     edits: List[Edit] = []
-    _diff_children(tuple(left), tuple(right), path, edits)
+    _diff_children(a, b, path, edits)
     return edits
 
 

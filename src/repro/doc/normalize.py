@@ -1,0 +1,127 @@
+"""Wire normalization: make node paths survive an XML round-trip.
+
+The diff/edit machinery addresses nodes by *paths* — tuples of child
+indices.  For a path computed on one side of an exchange to address the
+same node on the other side, ``parse(serialize(t))`` must reproduce the
+exact child lists of ``t``.  The serialization of :mod:`repro.doc.xml_io`
+is faithful for trees in *wire normal form* but silently perturbs three
+shapes the in-memory model admits:
+
+- a whitespace-only :class:`~repro.doc.nodes.Text` child disappears on
+  re-parse (the parser strips and ignores empty text), shifting the
+  indices of every later sibling;
+- a text value with leading/trailing whitespace comes back stripped, so
+  the node compares unequal even though its *path* still resolves;
+- mixed content (a non-blank text among element/call siblings, or
+  several adjacent text children) either fails to parse or collapses
+  into a single merged leaf, again renumbering siblings.
+
+:func:`normalize_node` puts a tree into wire normal form — drops
+whitespace-only text children, strips the surviving text values, and
+rejects the genuinely unserializable mixed-content shapes with a typed
+:class:`~repro.errors.DocumentError` — so that afterwards
+
+    ``parse(serialize(t)) == t``  and every path of ``t`` addresses the
+    same node before and after the round-trip.
+
+The incremental enforcement sessions (:mod:`repro.incremental`) and the
+gateway's edit-script mode normalize every document and edited fragment
+at ingestion, which is what makes client-computed edit paths stable.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.doc.document import Document
+from repro.doc.nodes import Element, FunctionCall, Node, Text
+from repro.errors import DocumentError
+
+
+class UnserializableDocumentError(DocumentError):
+    """The tree has no faithful XML serialization (mixed content)."""
+
+
+def normalize_node(node: Node) -> Node:
+    """The wire normal form of a subtree (see module docstring).
+
+    Idempotent; raises :class:`UnserializableDocumentError` for mixed
+    content the ``int:`` syntax cannot carry.  Returns ``node`` itself
+    (same object) when it is already normal, so normalization preserves
+    structural sharing — an already-normal subtree keeps its identity.
+    """
+    if isinstance(node, Text):
+        stripped = node.value.strip()
+        return node if stripped == node.value else Text(stripped)
+    if isinstance(node, Element):
+        children, changed = _normal_children(node.children, node.label)
+        if not changed:
+            return node
+        return Element(node.label, children, node.attributes)
+    if isinstance(node, FunctionCall):
+        # int:param wraps each parameter individually, so a Text
+        # parameter round-trips even when empty — only strip values.
+        params: List[Node] = []
+        changed = False
+        for param in node.params:
+            if isinstance(param, Text):
+                normal: Node = normalize_node(param)
+            else:
+                normal = normalize_node(param)
+                if isinstance(normal, Text) and not normal.value:
+                    raise UnserializableDocumentError(
+                        "empty non-text parameter of %r cannot be "
+                        "serialized" % node.name
+                    )
+            changed = changed or normal is not param
+            params.append(normal)
+        if not changed:
+            return node
+        return FunctionCall(
+            node.name, tuple(params), node.endpoint, node.namespace
+        )
+    raise TypeError("not a document node: %r" % (node,))
+
+
+def _normal_children(
+    children: Tuple[Node, ...], label: str
+) -> Tuple[Tuple[Node, ...], bool]:
+    normal: List[Node] = []
+    changed = False
+    for child in children:
+        if isinstance(child, Text) and not child.value.strip():
+            changed = True  # dropped: it would vanish on re-parse
+            continue
+        result = normalize_node(child)
+        changed = changed or result is not child
+        normal.append(result)
+    texts = sum(1 for child in normal if isinstance(child, Text))
+    if texts and len(normal) > 1:
+        raise UnserializableDocumentError(
+            "mixed content under <%s> does not survive an XML "
+            "round-trip (%d text node(s) among %d children)"
+            % (label, texts, len(normal))
+        )
+    return tuple(normal), changed
+
+
+def normalize_document(document: Document) -> Document:
+    """Wire normal form of a whole document.
+
+    The root must be an element or a function call — a bare text root
+    has no XML serialization at all.
+    """
+    if isinstance(document.root, Text):
+        raise UnserializableDocumentError(
+            "a text-only root cannot be serialized as a document"
+        )
+    root = normalize_node(document.root)
+    return document if root is document.root else Document(root)
+
+
+def is_wire_normal(node: Node) -> bool:
+    """True iff :func:`normalize_node` would return ``node`` unchanged."""
+    try:
+        return normalize_node(node) is node
+    except DocumentError:
+        return False

@@ -38,19 +38,26 @@ _PARAMS = "{%s}params" % INT_NS
 _PARAM = "{%s}param" % INT_NS
 
 
-def node_to_xml(node: Node, indent: int = 0, pretty: bool = True) -> str:
-    """Serialize one node (and subtree) to an XML fragment."""
+def node_to_xml(
+    node: Node, indent: int = 0, pretty: bool = True,
+    declare_ns: bool = False,
+) -> str:
+    """Serialize one node (and subtree) to an XML fragment.
+
+    With ``declare_ns`` the ``int:`` namespace is declared on the
+    fragment's root tag, making the fragment parseable standalone even
+    when it contains (or is) a function call.
+    """
     lines: List[str] = []
     _serialize(node, indent, lines, pretty)
     joiner = "\n" if pretty else ""
-    return joiner.join(lines)
+    body = joiner.join(lines)
+    return _declare_int_ns(body) if declare_ns else body
 
 
-def document_to_xml(document: Document, pretty: bool = True) -> str:
-    """Serialize a document, declaring the ``int:`` namespace on the root."""
+def _declare_int_ns(body: str) -> str:
     import re
 
-    body = node_to_xml(document.root, pretty=pretty)
     match = re.match(r"<[A-Za-z_][\w.\-]*(?::[\w.\-]+)?", body)
     if match:
         body = (
@@ -58,6 +65,12 @@ def document_to_xml(document: Document, pretty: bool = True) -> str:
             + ' xmlns:int="%s"' % INT_NS
             + body[match.end():]
         )
+    return body
+
+
+def document_to_xml(document: Document, pretty: bool = True) -> str:
+    """Serialize a document, declaring the ``int:`` namespace on the root."""
+    body = _declare_int_ns(node_to_xml(document.root, pretty=pretty))
     return '<?xml version="1.0"?>\n' + body
 
 

@@ -24,6 +24,7 @@ Entry points:
 from repro.gateway.admission import Admission, AdmissionController
 from repro.gateway.client import GatewayClient, GatewayReply
 from repro.gateway.errors import (
+    BadEditError,
     BadRequestError,
     BreakerOpenError,
     DeadlineExceededError,
@@ -37,14 +38,17 @@ from repro.gateway.errors import (
     SnapshotError,
     UnknownGatewayPeerError,
     UnknownRouteError,
+    UnknownSessionError,
 )
 from repro.gateway.registry import PeerRecord, PeerRegistry
+from repro.gateway.sessions import SessionEntry, SessionStore
 from repro.gateway.service import Gateway, GatewayConfig
 from repro.gateway.thread import GatewayThread
 
 __all__ = [
     "Admission",
     "AdmissionController",
+    "BadEditError",
     "BadRequestError",
     "BreakerOpenError",
     "DeadlineExceededError",
@@ -61,10 +65,13 @@ __all__ = [
     "PeerRecord",
     "PeerRegistry",
     "QueueFullError",
+    "SessionEntry",
+    "SessionStore",
     "ShuttingDownError",
     "SnapshotError",
     "UnknownGatewayPeerError",
     "UnknownRouteError",
+    "UnknownSessionError",
 ]
 
 

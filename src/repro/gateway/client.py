@@ -169,6 +169,47 @@ class GatewayClient:
             payload["deadline"] = deadline
         return await self.post_json("/exchange", payload)
 
+    async def open_session(
+        self,
+        sender: str,
+        receiver: str,
+        document_id: str,
+        document_xml: str,
+        mode: Optional[str] = None,
+        k: Optional[int] = None,
+        seed: int = 0,
+    ) -> GatewayReply:
+        """Open an edit-script session: one full enforcement that warms
+        the per-document caches for the scripts that follow."""
+        payload: dict = {
+            "sender": sender,
+            "receiver": receiver,
+            "document_id": document_id,
+            "document": document_xml,
+            "seed": seed,
+        }
+        if mode is not None:
+            payload["mode"] = mode
+        if k is not None:
+            payload["k"] = k
+        return await self.post_json("/exchange", payload)
+
+    async def apply_edits(
+        self,
+        sender: str,
+        receiver: str,
+        document_id: str,
+        edits: list,
+    ) -> GatewayReply:
+        """Apply one wire edit script (see
+        :func:`repro.incremental.edits.script_to_json`) to a live session."""
+        return await self.post_json("/exchange", {
+            "sender": sender,
+            "receiver": receiver,
+            "document_id": document_id,
+            "edits": edits,
+        })
+
     async def export_snapshot(self) -> bytes:
         reply = await self.request("GET", "/snapshot")
         if not reply.ok:

@@ -65,6 +65,29 @@ class ObligationConflictError(GatewayError):
     code = "obligation-conflict"
 
 
+class UnknownSessionError(GatewayError):
+    """An edit script names a document id with no live session.
+
+    Either the session was never opened, or the store's LRU bound
+    evicted it — the client re-opens by re-sending the full document.
+    """
+
+    status = 404
+    code = "unknown-session"
+
+
+class BadEditError(GatewayError):
+    """An edit script was rejected: malformed wire payload, a dangling
+    node path, or an edit that would break wire normal form.
+
+    Rejection is atomic — the session's document and caches are exactly
+    as they were before the script arrived.
+    """
+
+    status = 400
+    code = "bad-edit"
+
+
 class PayloadTooLargeError(GatewayError):
     """The request body exceeds the gateway's configured limit."""
 

@@ -57,12 +57,14 @@ from repro.errors import (
 )
 from repro.gateway.admission import AdmissionController
 from repro.gateway.errors import (
+    BadEditError,
     BadRequestError,
     DeadlineExceededError,
     EnforcementFailedError,
     GatewayError,
     SnapshotError,
     UnknownRouteError,
+    UnknownSessionError,
 )
 from repro.gateway.http import (
     DEFAULT_MAX_BODY_BYTES,
@@ -73,6 +75,7 @@ from repro.gateway.http import (
 )
 from repro.gateway.invoke import deadline_guard, delayed, sampling_invoker
 from repro.gateway.registry import PeerRecord, PeerRegistry
+from repro.gateway.sessions import SessionEntry, SessionStore
 from repro.obs import context as obs
 from repro.obs.metrics import MetricsRegistry, TIME_BUCKETS
 from repro.obs.trace import Tracer
@@ -123,6 +126,9 @@ class GatewayConfig:
     invoke_delay: float = 0.0
     #: Tracer ring-buffer capacity for gateway.* spans.
     trace_capacity: int = 4096
+    #: LRU bound on live edit-script sessions (state at rest; the
+    #: admission queue bounds work in flight).
+    session_limit: int = 64
     #: TCP accept backlog.
     backlog: int = 512
 
@@ -151,6 +157,7 @@ class Gateway:
             breaker_threshold=self.config.breaker_threshold,
             breaker_cooldown=self.config.breaker_cooldown,
         )
+        self.sessions = SessionStore(limit=self.config.session_limit)
         self.clock = WallClock()
         self.port: Optional[int] = None
         self._server: Optional[asyncio.base_events.Server] = None
@@ -363,6 +370,11 @@ class Gateway:
             "inflight": self.admission.inflight,
             "shed": dict(self.admission.shed_counts),
             "peers": self.registry.names(),
+            "sessions": {
+                "live": len(self.sessions),
+                "opened": self.sessions.opened_total,
+                "evicted": self.sessions.evicted_total,
+            },
             "compile_cache": {
                 "hits": cache.hits,
                 "misses": cache.misses,
@@ -447,9 +459,6 @@ class Gateway:
             raise BadRequestError("missing or malformed 'sender'")
         if not isinstance(receiver_name, str) or not receiver_name:
             raise BadRequestError("missing or malformed 'receiver'")
-        document_xml = payload.get("document")
-        if not isinstance(document_xml, str) or not document_xml.strip():
-            raise BadRequestError("missing or malformed 'document'")
         mode = payload.get("mode", self.config.mode)
         if mode not in MODES:
             raise BadRequestError(
@@ -461,6 +470,25 @@ class Gateway:
         seed = payload.get("seed", 0)
         if not isinstance(seed, int):
             raise BadRequestError("'seed' must be an integer")
+        document_id = payload.get("document_id")
+        if document_id is not None:
+            # Edit-script mode: enforce incrementally against the live
+            # session keyed by this id ('document' opens, 'edits' applies).
+            if not isinstance(document_id, str) or not document_id:
+                raise BadRequestError(
+                    "'document_id' must be a non-empty string"
+                )
+            if payload.get("deadline") is not None:
+                raise BadRequestError(
+                    "'deadline' is not supported in edit-script mode"
+                )
+            return await self._route_exchange_incremental(
+                payload, sender_name, receiver_name, document_id,
+                mode, k, seed,
+            )
+        document_xml = payload.get("document")
+        if not isinstance(document_xml, str) or not document_xml.strip():
+            raise BadRequestError("missing or malformed 'document'")
         deadline = payload.get("deadline", self.config.default_deadline)
         if deadline is not None and (
             not isinstance(deadline, (int, float)) or deadline <= 0
@@ -604,3 +632,222 @@ class Gateway:
             return outcome, now - enforce_started
 
         return await self._loop.run_in_executor(self._pool, job)
+
+    # -- routes: the edit-script exchange ------------------------------------
+
+    async def _route_exchange_incremental(
+        self,
+        payload: dict,
+        sender_name: str,
+        receiver_name: str,
+        document_id: str,
+        mode: str,
+        k: int,
+        seed: int,
+    ) -> Response:
+        """Incremental enforcement against a live per-document session.
+
+        ``document`` opens (or replaces) the session — a full initial
+        enforcement that warms the subtree memo, analysis cache, and
+        materialization cache; ``edits`` applies a typed edit script to
+        the open session and re-enforces only what the script touched.
+        Responses carry the same receipt as the full path plus the
+        session's reuse accounting.
+        """
+        document_xml = payload.get("document")
+        edits_payload = payload.get("edits")
+        if (document_xml is None) == (edits_payload is None):
+            raise BadRequestError(
+                "edit-script mode takes exactly one of 'document' (open "
+                "the session) or 'edits' (apply a script)"
+            )
+        try:
+            sender = self.registry.get(sender_name)
+            receiver = self.registry.get(receiver_name)
+        except UnknownPeerError as exc:
+            from repro.gateway.errors import UnknownGatewayPeerError
+
+            raise UnknownGatewayPeerError(str(exc))
+
+        started = self.clock.now()
+        ticket = self.admission.admit(
+            sender_name, per_peer_limit=sender.max_inflight
+        )
+        try:
+            with self.tracer.span(
+                "gateway.exchange.incremental", sender=sender_name,
+                receiver=receiver_name, document_id=document_id,
+            ) as span:
+                if document_xml is not None:
+                    outcome, session, event = await self._open_session(
+                        sender, receiver, document_xml, mode, k, seed,
+                        document_id,
+                    )
+                else:
+                    outcome, session, event = await self._apply_session_edits(
+                        sender_name, receiver_name, edits_payload,
+                        document_id,
+                    )
+                span.set(
+                    ok=outcome.ok, event=event,
+                    reused=outcome.nodes_reused,
+                    reanalyzed=outcome.nodes_reanalyzed,
+                )
+        except BaseException:
+            ticket.release(success=False)
+            raise
+        else:
+            ticket.release(success=outcome.ok)
+        elapsed = self.clock.now() - started
+
+        self._count_incremental(event)
+        self.metrics.histogram(
+            "repro_gateway_exchange_seconds",
+            "Enforcement wall time by mode",
+            buckets=TIME_BUCKETS,
+        ).observe(elapsed, mode="incremental")
+        if not outcome.ok:
+            raise EnforcementFailedError(outcome.error or "enforcement failed")
+
+        wire = outcome.document.to_xml()
+        report = validate(Document.from_xml(wire), receiver.schema())
+        self.metrics.counter(
+            "repro_gateway_exchanges_total",
+            "Completed exchange enforcements",
+        ).inc(accepted=str(report.ok).lower(), mode="incremental")
+        self.metrics.counter(
+            "repro_gateway_bytes_total", "Document bytes through the gateway"
+        ).inc(len(wire.encode("utf-8")), direction="out")
+        return Response.json({
+            "accepted": report.ok,
+            "document_id": document_id,
+            "document": wire,
+            "calls": outcome.calls_made,
+            "already_conformant": outcome.already_conformant,
+            "degraded_functions": list(outcome.degraded_functions),
+            "edits_applied": outcome.edits_applied,
+            "passes": session.passes,
+            "reuse": {
+                "nodes_reanalyzed": outcome.nodes_reanalyzed,
+                "nodes_reused": outcome.nodes_reused,
+                "subtree_nodes_reused": outcome.subtree_nodes_reused,
+                "verify_checked": outcome.verify_checked,
+                "verify_reused": outcome.verify_reused,
+                "invocations_performed": outcome.invocations_performed,
+                "invocations_reused": outcome.invocations_reused,
+            },
+            "validation": "" if report.ok else str(report),
+            "elapsed_seconds": round(elapsed, 6),
+        })
+
+    async def _open_session(
+        self,
+        sender: PeerRecord,
+        receiver: PeerRecord,
+        document_xml: str,
+        mode: str,
+        k: int,
+        seed: int,
+        document_id: str,
+    ):
+        """Build the session and run its initial full enforcement."""
+        from repro.errors import DocumentError
+
+        clock = self.clock
+
+        def job():
+            try:
+                document = Document.from_xml(document_xml)
+            except DocumentParseError as exc:
+                raise BadRequestError("unparseable document: %s" % exc)
+            policy = (
+                allow_only(sender.obligations)
+                if sender.obligations else allow_all()
+            )
+            # Per-call seeded sampling keeps every session pass a pure
+            # function of (seed, call) — the determinism the byte-identity
+            # contract with the full path needs.
+            invoker = sampling_invoker(sender.schema(), seed)
+            invoker = delayed(invoker, clock, self.config.invoke_delay)
+            enforcer = SchemaEnforcer(
+                target_schema=receiver.schema(),
+                sender_schema=sender.schema(),
+                k=k,
+                mode=mode,
+                policy=policy,
+                compile_cache=self.compile_cache,
+            )
+            try:
+                session = enforcer.session(document, invoker)
+            except DocumentError as exc:
+                raise BadRequestError(
+                    "document not in wire normal form: %s" % exc
+                )
+            return session, session.enforce()
+
+        session, outcome = await self._loop.run_in_executor(self._pool, job)
+        entry = SessionEntry(
+            document_id=document_id,
+            sender=sender.name,
+            receiver=receiver.name,
+            session=session,
+            mode=mode,
+            k=k,
+            seed=seed,
+        )
+        evicted = self.sessions.put(entry)
+        if evicted is not None:
+            self._count_incremental("evicted")
+            self.tracer.event(
+                "gateway.session-evicted",
+                document_id=evicted.document_id, peer=evicted.sender,
+            )
+        return outcome, session, "opened"
+
+    async def _apply_session_edits(
+        self,
+        sender_name: str,
+        receiver_name: str,
+        edits_payload,
+        document_id: str,
+    ):
+        """Parse the wire script and apply it to the live session."""
+        from repro.incremental.edits import (
+            EditError,
+            EditScriptError,
+            script_from_json,
+        )
+
+        entry = self.sessions.get(document_id)
+        if entry is None:
+            raise UnknownSessionError(
+                "no live session for document id %r (open one by sending "
+                "the full document)" % document_id
+            )
+        if entry.sender != sender_name or entry.receiver != receiver_name:
+            raise BadRequestError(
+                "session %r belongs to the exchange %s -> %s"
+                % (document_id, entry.sender, entry.receiver)
+            )
+        try:
+            script = script_from_json(edits_payload)
+        except EditScriptError as exc:
+            raise BadEditError(str(exc))
+
+        def job():
+            # Sessions are stateful: scripts for one document serialize
+            # on the entry lock; different documents run in parallel.
+            with entry.lock:
+                try:
+                    return entry.session.apply(script)
+                except EditError as exc:
+                    raise BadEditError(str(exc))
+
+        outcome = await self._loop.run_in_executor(self._pool, job)
+        return outcome, entry.session, "applied"
+
+    def _count_incremental(self, event: str) -> None:
+        self.metrics.counter(
+            "repro_gateway_incremental_total",
+            "Edit-script session events by kind (opened/applied/evicted)",
+        ).inc(event=event)

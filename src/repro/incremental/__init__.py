@@ -1,0 +1,79 @@
+"""Incremental enforcement for mutating documents.
+
+Subscription-style exchanges re-send the *same* document over and over
+with small mutations between sends.  Re-running full schema enforcement
+each time repeats almost all of the previous run's work: the analyses,
+the materializations, and the instance checks of every untouched
+subtree.  This package keeps that work warm in a per-document
+:class:`~repro.incremental.session.EnforcementSession`:
+
+- :mod:`repro.incremental.edits` — the typed edit-script language
+  (insert / delete / replace / update-call) with inverses and a JSON
+  wire format;
+- :mod:`repro.incremental.session` — the session itself: an
+  identity-keyed subtree memo over the rewrite engine, a memoized
+  conformance checker, and a fingerprint-keyed materialization cache,
+  combined so each edit re-analyzes only the root-to-edit spine;
+- :mod:`repro.incremental.bench` — benchmark E26, the edit-storm
+  speedup and locality measurement.
+
+Entry point: :meth:`repro.axml.enforcement.SchemaEnforcer.session`.
+"""
+
+from repro.incremental.edits import (
+    DELETE,
+    INSERT,
+    OPS,
+    REPLACE,
+    UPDATE_CALL,
+    DocEdit,
+    EditError,
+    EditPathError,
+    EditScriptError,
+    apply_edit,
+    apply_edits,
+    delete,
+    edit_from_json,
+    edit_to_json,
+    insert,
+    replace,
+    script_from_json,
+    script_to_json,
+    update_call,
+)
+from repro.incremental.session import (
+    CachingInvoker,
+    ConformanceMemo,
+    EnforcementSession,
+    IncrementalOutcome,
+    MemoRewriteEngine,
+    full_receipt,
+)
+
+__all__ = [
+    "INSERT",
+    "DELETE",
+    "REPLACE",
+    "UPDATE_CALL",
+    "OPS",
+    "DocEdit",
+    "EditError",
+    "EditScriptError",
+    "EditPathError",
+    "apply_edit",
+    "apply_edits",
+    "insert",
+    "delete",
+    "replace",
+    "update_call",
+    "edit_to_json",
+    "edit_from_json",
+    "script_to_json",
+    "script_from_json",
+    "CachingInvoker",
+    "ConformanceMemo",
+    "EnforcementSession",
+    "IncrementalOutcome",
+    "MemoRewriteEngine",
+    "full_receipt",
+]

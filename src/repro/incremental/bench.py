@@ -1,0 +1,227 @@
+"""E26 — incremental enforcement under an edit storm.
+
+A magazine document (``magazine = article*``, every ``article`` the
+paper's newspaper body needing its ``Get_Temp`` materialized) takes a
+seeded storm of small edits at two sizes.  After every edit, the same
+re-enforcement runs twice:
+
+- **incremental** — one warm :class:`~repro.incremental.session
+  .EnforcementSession` absorbs the edit and re-enforces through its
+  caches;
+- **full** — a fresh :class:`~repro.axml.enforcement.SchemaEnforcer`
+  re-enforces the edited document from scratch (with a warm
+  compilation cache, so the comparison isolates the *analysis and
+  materialization* reuse, not automata compilation).
+
+The acceptance criteria, asserted by ``benchmarks/
+test_bench_incremental.py`` and recorded in ``BENCH_incremental.json``:
+
+- every incremental receipt is byte-identical to the full one
+  (``identical_outcomes``);
+- the storm runs ≥ 5x faster incrementally at the large size
+  (``speedup`` — wall clock, stripped from regression diffs);
+- the per-edit re-analysis footprint is a function of edit *locality*,
+  not document size: the worst-case ``nodes_reanalyzed`` per edit is
+  identical at both sizes while the document doubles
+  (``locality_holds`` — deterministic, diffed by CI).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Dict, List, Tuple
+
+from repro.axml.enforcement import SchemaEnforcer
+from repro.compile.cache import CompilationCache
+from repro.doc.builder import call, el, text
+from repro.doc.document import Document
+from repro.doc.nodes import Element, FunctionCall, Text
+from repro.incremental.edits import DocEdit, replace, update_call
+from repro.incremental.session import full_receipt
+from repro.obs.context import observing
+from repro.obs.metrics import MetricsRegistry, work_snapshot
+from repro.obs.trace import NULL_TRACER
+from repro.schema.model import Schema, SchemaBuilder
+from repro.workloads.newspaper import (
+    FORECAST_ENDPOINT,
+    FORECAST_NS,
+    TIMEOUT_ENDPOINT,
+    TIMEOUT_NS,
+)
+
+
+def _schemas() -> Tuple[Schema, Schema]:
+    """(sender, receiver): the newspaper pair lifted under ``article*``."""
+
+    def base() -> SchemaBuilder:
+        return (
+            SchemaBuilder()
+            .element("title", "data")
+            .element("date", "data")
+            .element("temp", "data")
+            .element("city", "data")
+            .element("exhibit", "title.date")
+            .function("Get_Temp", "city", "temp")
+            .function("TimeOut", "data", "exhibit*")
+            .root("magazine")
+        )
+    sender = (
+        base()
+        .element("magazine", "article*")
+        .element(
+            "article", "title.date.(Get_Temp | temp).(TimeOut | exhibit*)"
+        )
+        .build()
+    )
+    receiver = (
+        base()
+        .element("magazine", "article*")
+        .element("article", "title.date.temp.(TimeOut | exhibit*)")
+        .build()
+    )
+    return sender, receiver
+
+
+def _article(index: int) -> Element:
+    """One intensional article whose ``Get_Temp`` must be materialized."""
+    return el(
+        "article",
+        el("title", "article-%d" % index),
+        el("date", "04/10/2002"),
+        call(
+            "Get_Temp",
+            el("city", "city-%d" % index),
+            endpoint=FORECAST_ENDPOINT,
+            namespace=FORECAST_NS,
+        ),
+        call(
+            "TimeOut",
+            text("exhibits-%d" % index),
+            endpoint=TIMEOUT_ENDPOINT,
+            namespace=TIMEOUT_NS,
+        ),
+    )
+
+
+def _magazine(articles: int) -> Document:
+    return Document(
+        el("magazine", *[_article(i) for i in range(articles)])
+    )
+
+
+def _invoker(fc: FunctionCall):
+    """Per-call deterministic service: answers are pure functions of the
+    call, the property the session's byte-identity contract needs."""
+    if fc.name == "Get_Temp":
+        seed = fc.params[0].children[0].value if fc.params else "?"
+        return (el("temp", "%d" % (sum(ord(c) for c in seed) % 40)),)
+    if fc.name == "TimeOut":
+        return (el("exhibit", el("title", "P"), el("date", "d")),)
+    raise ValueError("unexpected call %r" % fc.name)
+
+
+def _storm(rng: random.Random, articles: int, edits: int) -> List[DocEdit]:
+    """``edits`` single-article touches, spread over the document."""
+    storm: List[DocEdit] = []
+    for i in range(edits):
+        target = rng.randrange(articles)
+        if i % 2 == 0:
+            # Retitle one article: a pure structural edit, no new calls.
+            storm.append(replace(
+                (target, 0), el("title", "retitled-%d" % i)
+            ))
+        else:
+            # Repoint one article's Get_Temp at a new city: forces
+            # exactly one fresh materialization.
+            storm.append(update_call(
+                (target, 2), (el("city", "city-%d-%d" % (target, i)),)
+            ))
+    return storm
+
+
+def _run_size(articles: int, edits: int, seed: str) -> Dict[str, object]:
+    sender, receiver = _schemas()
+    rng = random.Random(seed)
+    document = _magazine(articles)
+    storm = _storm(rng, articles, edits)
+
+    shared_cc = CompilationCache()
+    enforcer = SchemaEnforcer(
+        target_schema=receiver, sender_schema=sender,
+        k=1, mode="safe", compile_cache=shared_cc,
+    )
+    session = enforcer.session(document, _invoker)
+    session.enforce()  # the warm-up pass both paths get for free
+
+    # Warm the full path's compile cache too, so the speedup measures
+    # analysis/materialization reuse rather than automata compilation.
+    enforcer.enforce_document(session.document, _invoker)
+
+    reanalyzed: List[int] = []
+    identical = True
+    incremental_elapsed = 0.0
+    full_elapsed = 0.0
+    current = session.document
+    for edit in storm:
+        started = time.perf_counter()
+        outcome = session.apply([edit])
+        incremental_elapsed += time.perf_counter() - started
+        reanalyzed.append(outcome.nodes_reanalyzed)
+        current = session.document
+
+        started = time.perf_counter()
+        fresh = SchemaEnforcer(
+            target_schema=receiver, sender_schema=sender,
+            k=1, mode="safe", compile_cache=shared_cc,
+        ).enforce_document(current, _invoker)
+        full_elapsed += time.perf_counter() - started
+        if outcome.receipt() != full_receipt(fresh):
+            identical = False
+
+    nodes = current.size()
+    return {
+        "articles": articles,
+        "document_nodes": nodes,
+        "edits": len(storm),
+        "identical_outcomes": identical,
+        "max_reanalyzed_per_edit": max(reanalyzed),
+        "mean_reanalyzed_per_edit": round(
+            sum(reanalyzed) / len(reanalyzed), 2
+        ),
+        "reanalyzed_bounded": max(reanalyzed) < nodes // 4,
+        "incremental_seconds": round(incremental_elapsed, 6),
+        "full_seconds": round(full_elapsed, 6),
+        "speedup": round(full_elapsed / max(incremental_elapsed, 1e-9), 2),
+    }
+
+
+def run_incremental(smoke: bool = False) -> dict:
+    """The E26 payload (``BENCH_incremental.json``)."""
+    sizes = (40, 80) if smoke else (150, 300)
+    edits = 30 if smoke else 60
+    registry = MetricsRegistry()
+    with observing(NULL_TRACER, registry):
+        small = _run_size(sizes[0], edits, "incremental-storm-small")
+        large = _run_size(sizes[1], edits, "incremental-storm-large")
+    return {
+        "benchmark": "incremental",
+        "experiment": "E26",
+        "hot_path": "per-edit incremental session pass vs fresh full "
+                    "enforcement over the edited document (shared warm "
+                    "compile cache)",
+        "small": small,
+        "large": large,
+        "identical_outcomes": (
+            small["identical_outcomes"] and large["identical_outcomes"]
+        ),
+        # The locality claim: doubling the document must not change the
+        # worst-case re-analysis footprint of a single-article edit.
+        "locality_holds": (
+            small["max_reanalyzed_per_edit"]
+            == large["max_reanalyzed_per_edit"]
+            and large["reanalyzed_bounded"]
+        ),
+        "speedup": large["speedup"],
+        "work": {"default": work_snapshot(registry)},
+    }

@@ -1,0 +1,351 @@
+"""Typed edit scripts over intensional documents.
+
+An *edit script* is a sequence of four primitive operations addressed by
+node paths (tuples of child indices, as in :mod:`repro.doc.paths`):
+
+- ``insert`` — plug a new subtree in as child ``path[-1]`` of the node
+  at ``path[:-1]`` (later siblings shift right);
+- ``delete`` — remove the subtree at ``path`` (later siblings shift
+  left);
+- ``replace`` — swap the subtree at ``path`` for another;
+- ``update-call`` — replace the parameter forest of the function call
+  at ``path`` (name and SOAP coordinates stay).
+
+This is the update language the incremental enforcement session
+(:mod:`repro.incremental.session`) consumes, and the JSON wire format
+the gateway's edit-script exchange mode accepts: each edit serializes to
+``{"op": ..., "path": [...], ...}`` with subtrees carried as Active XML
+fragments (:func:`~repro.doc.xml_io.node_to_xml`).
+
+Applying an edit validates its path against the *current* document and
+raises a typed :class:`EditPathError` for dangling addresses —
+mutating-document traffic routinely races its own edits, so a precise,
+machine-readable rejection is part of the contract.  Application returns
+the edit's *inverse* alongside the new tree, built from the very node
+objects removed — undo then restores not just an equal tree but the
+identical subtree objects, which is what lets the session's caches
+recognize the state (see the invalidation property tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.doc.document import Document
+from repro.doc.nodes import (
+    Element,
+    FunctionCall,
+    Node,
+    Text,
+    children_of,
+    with_children,
+)
+from repro.doc.normalize import normalize_node
+from repro.doc.paths import Path, get_node, replace_at, splice_at
+from repro.doc.xml_io import node_from_xml, node_to_xml
+from repro.errors import DocumentError, ReproError
+
+#: The four primitive operations.
+INSERT = "insert"
+DELETE = "delete"
+REPLACE = "replace"
+UPDATE_CALL = "update-call"
+
+OPS = (INSERT, DELETE, REPLACE, UPDATE_CALL)
+
+
+class EditError(ReproError):
+    """Base class for rejected edit scripts."""
+
+
+class EditScriptError(EditError):
+    """The script itself is malformed (unknown op, bad payload)."""
+
+
+class EditPathError(EditError):
+    """An edit addresses a path the current document does not have."""
+
+
+@dataclass(frozen=True)
+class DocEdit:
+    """One primitive edit.
+
+    ``node`` carries the inserted/replacement subtree (``insert`` /
+    ``replace``) and ``params`` the new parameter forest
+    (``update-call``); both are None for ``delete``.
+    """
+
+    op: str
+    path: Path
+    node: Node = None
+    params: Tuple[Node, ...] = None
+
+    def __post_init__(self):
+        if self.op not in OPS:
+            raise EditScriptError("unknown edit op %r" % (self.op,))
+        if self.op in (INSERT, REPLACE) and self.node is None:
+            raise EditScriptError("%s edit requires a node" % self.op)
+        if self.op == UPDATE_CALL and self.params is None:
+            raise EditScriptError("update-call edit requires params")
+        if self.op in (INSERT, DELETE) and not self.path:
+            raise EditScriptError("%s edit cannot address the root" % self.op)
+
+    def __str__(self) -> str:
+        return "%s@/%s" % (self.op, "/".join(str(i) for i in self.path))
+
+
+def insert(path: Sequence[int], node: Node) -> DocEdit:
+    return DocEdit(INSERT, tuple(path), node=node)
+
+
+def delete(path: Sequence[int]) -> DocEdit:
+    return DocEdit(DELETE, tuple(path))
+
+
+def replace(path: Sequence[int], node: Node) -> DocEdit:
+    return DocEdit(REPLACE, tuple(path), node=node)
+
+
+def update_call(path: Sequence[int], params: Sequence[Node]) -> DocEdit:
+    return DocEdit(UPDATE_CALL, tuple(path), params=tuple(params))
+
+
+# ---------------------------------------------------------------------------
+# Application
+# ---------------------------------------------------------------------------
+
+
+def _guard_normal_children(parent: Node, op: str) -> None:
+    """Reject an edit whose *result* would leave wire normal form.
+
+    The inserted/replacement subtree is normalized on its own, so the
+    only way an edit can break normal form is at the junction: a text
+    child landing among siblings under an element (mixed content), or an
+    empty text child that the next parse would silently drop.  Both are
+    local to the edited parent, so this check costs O(children) — it
+    never walks the subtree.
+    """
+    if not isinstance(parent, Element):
+        return  # function-call params are individually wrapped
+    kids = children_of(parent)
+    texts = sum(1 for kid in kids if isinstance(kid, Text))
+    if texts and len(kids) > 1:
+        raise EditScriptError(
+            "%s edit would create mixed content under <%s> "
+            "(%d text node(s) among %d children)"
+            % (op, parent.label, texts, len(kids))
+        )
+    if any(isinstance(kid, Text) and not kid.value for kid in kids):
+        raise EditScriptError(
+            "%s edit would leave an empty text child under <%s>, "
+            "which does not survive an XML round-trip"
+            % (op, parent.label)
+        )
+
+
+def _parent_and_index(root: Node, path: Path, op: str) -> Tuple[Node, int]:
+    try:
+        parent = get_node(root, path[:-1])
+    except (IndexError, TypeError):
+        raise EditPathError(
+            "%s edit: no node at parent path /%s"
+            % (op, "/".join(str(i) for i in path[:-1]))
+        )
+    return parent, path[-1]
+
+
+def apply_edit(root: Node, edit: DocEdit) -> Tuple[Node, DocEdit]:
+    """Apply one edit to a tree; returns ``(new_root, inverse_edit)``.
+
+    Inserted subtrees are wire-normalized
+    (:func:`~repro.doc.normalize.normalize_node`) so edit paths computed
+    later stay round-trip stable.  The inverse reuses the removed node
+    objects, so ``apply_edit(apply_edit(t, e)[0], inverse)`` restores
+    the identical subtree objects everywhere off the edit's spine.
+    """
+    path = edit.path
+    if edit.op == INSERT:
+        parent, index = _parent_and_index(root, path, INSERT)
+        if isinstance(parent, Text):
+            raise EditPathError(
+                "insert edit: node at /%s is a data leaf"
+                % "/".join(str(i) for i in path[:-1])
+            )
+        kids = children_of(parent)
+        if not 0 <= index <= len(kids):
+            raise EditPathError(
+                "insert index %d out of range (node at /%s has %d children)"
+                % (index, "/".join(str(i) for i in path[:-1]), len(kids))
+            )
+        try:
+            node = normalize_node(edit.node)
+        except DocumentError as exc:
+            raise EditScriptError("insert edit: %s" % exc)
+        new_parent = with_children(
+            parent, kids[:index] + (node,) + kids[index:]
+        )
+        _guard_normal_children(new_parent, INSERT)
+        return replace_at(root, path[:-1], new_parent), delete(path)
+    if edit.op == DELETE:
+        parent, index = _parent_and_index(root, path, DELETE)
+        kids = children_of(parent)
+        if not 0 <= index < len(kids):
+            raise EditPathError(
+                "delete index %d out of range (node at /%s has %d children)"
+                % (index, "/".join(str(i) for i in path[:-1]), len(kids))
+            )
+        removed = kids[index]
+        new_parent = with_children(parent, kids[:index] + kids[index + 1:])
+        return replace_at(root, path[:-1], new_parent), DocEdit(
+            INSERT, path, node=removed
+        )
+    if edit.op == REPLACE:
+        try:
+            previous = get_node(root, path)
+        except (IndexError, TypeError):
+            raise EditPathError(
+                "replace edit: no node at /%s"
+                % "/".join(str(i) for i in path)
+            )
+        try:
+            node = normalize_node(edit.node)
+        except DocumentError as exc:
+            raise EditScriptError("replace edit: %s" % exc)
+        if not path and isinstance(node, Text):
+            raise EditScriptError(
+                "replace edit: a text-only root cannot be serialized"
+            )
+        new_root = replace_at(root, path, node)
+        if path:
+            _guard_normal_children(get_node(new_root, path[:-1]), REPLACE)
+        return new_root, DocEdit(REPLACE, path, node=previous)
+    # UPDATE_CALL
+    try:
+        previous = get_node(root, path)
+    except (IndexError, TypeError):
+        raise EditPathError(
+            "update-call edit: no node at /%s"
+            % "/".join(str(i) for i in path)
+        )
+    if not isinstance(previous, FunctionCall):
+        raise EditPathError(
+            "update-call edit: node at /%s is not a function call"
+            % "/".join(str(i) for i in path)
+        )
+    try:
+        params = tuple(normalize_node(p) for p in edit.params)
+    except DocumentError as exc:
+        raise EditScriptError("update-call edit: %s" % exc)
+    updated = FunctionCall(
+        previous.name, params, previous.endpoint, previous.namespace
+    )
+    return replace_at(root, path, updated), DocEdit(
+        UPDATE_CALL, path, params=previous.params
+    )
+
+
+def apply_edits(
+    document: Document, edits: Sequence[DocEdit]
+) -> Tuple[Document, Tuple[DocEdit, ...]]:
+    """Apply a script in order; returns ``(document, inverse_script)``.
+
+    The inverse script undoes the whole batch when applied in the
+    returned order (each edit's inverse, reversed).  Scripts apply
+    atomically at the session/gateway layer: a typed failure on edit i
+    leaves the caller's document untouched (this function's partial
+    tree is simply discarded).
+    """
+    root = document.root
+    inverses: List[DocEdit] = []
+    for edit in edits:
+        root, inverse = apply_edit(root, edit)
+        inverses.append(inverse)
+    return Document(root), tuple(reversed(inverses))
+
+
+# ---------------------------------------------------------------------------
+# JSON wire format
+# ---------------------------------------------------------------------------
+
+
+def _node_to_wire(node: Node):
+    """One subtree payload: an XML fragment, or ``{"text": ...}`` for a
+    bare data leaf (which has no standalone XML serialization)."""
+    if isinstance(node, Text):
+        return {"text": node.value}
+    return node_to_xml(node, pretty=False, declare_ns=True)
+
+
+def edit_to_json(edit: DocEdit) -> dict:
+    """``{"op": ..., "path": [...]}`` plus subtree payloads."""
+    payload = {"op": edit.op, "path": list(edit.path)}
+    if edit.node is not None:
+        payload["node"] = _node_to_wire(edit.node)
+    if edit.params is not None:
+        payload["params"] = [_node_to_wire(p) for p in edit.params]
+    return payload
+
+
+def _parse_fragment(source, where: str) -> Node:
+    if isinstance(source, dict):
+        value = source.get("text")
+        if not isinstance(value, str):
+            raise EditScriptError(
+                '%s: a {"text": ...} payload requires a string value'
+                % where
+            )
+        return Text(value)
+    if not isinstance(source, str) or not source.strip():
+        raise EditScriptError(
+            '%s must be a non-empty XML fragment or a {"text": ...} object'
+            % where
+        )
+    try:
+        return node_from_xml(source)
+    except DocumentError as exc:
+        raise EditScriptError("%s: %s" % (where, exc))
+
+
+def edit_from_json(payload) -> DocEdit:
+    """Parse one wire edit; raises :class:`EditScriptError` when malformed."""
+    if not isinstance(payload, dict):
+        raise EditScriptError("an edit must be a JSON object")
+    op = payload.get("op")
+    if op not in OPS:
+        raise EditScriptError(
+            "unknown edit op %r (have: %s)" % (op, ", ".join(OPS))
+        )
+    path = payload.get("path")
+    if not isinstance(path, list) or not all(
+        isinstance(step, int) and step >= 0 for step in path
+    ):
+        raise EditScriptError(
+            "edit path must be a list of non-negative child indices"
+        )
+    node = None
+    params = None
+    if op in (INSERT, REPLACE):
+        node = _parse_fragment(payload.get("node"), "%s edit node" % op)
+    elif op == UPDATE_CALL:
+        raw = payload.get("params")
+        if not isinstance(raw, list):
+            raise EditScriptError(
+                "update-call edit requires a list of param fragments"
+            )
+        params = tuple(
+            _parse_fragment(item, "update-call param %d" % index)
+            for index, item in enumerate(raw)
+        )
+    return DocEdit(op, tuple(path), node=node, params=params)
+
+
+def script_from_json(payload) -> Tuple[DocEdit, ...]:
+    """Parse a whole wire script (a JSON list of edits)."""
+    if not isinstance(payload, list) or not payload:
+        raise EditScriptError("an edit script must be a non-empty list")
+    return tuple(edit_from_json(item) for item in payload)
+
+
+def script_to_json(edits: Sequence[DocEdit]) -> list:
+    return [edit_to_json(edit) for edit in edits]

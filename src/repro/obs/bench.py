@@ -341,6 +341,20 @@ def bench_gateway_load(smoke: bool = False) -> dict:
     return run_load(smoke=smoke)
 
 
+def bench_incremental(smoke: bool = False) -> dict:
+    """Edit-storm incremental enforcement vs full re-enforcement (E26).
+
+    Seeded single-article edits over magazine documents at two sizes;
+    every incremental receipt must be byte-identical to a fresh full
+    enforcement, with a re-analysis footprint set by edit locality, not
+    document size.  Implemented in :mod:`repro.incremental.bench`
+    (imported lazily, like the gateway bench).
+    """
+    from repro.incremental.bench import run_incremental
+
+    return run_incremental(smoke=smoke)
+
+
 #: name -> bench callable; ``repro bench`` runs these in this order.
 BENCHES: Dict[str, Callable[[bool], dict]] = {
     "game_work": bench_game_work,
@@ -348,6 +362,7 @@ BENCHES: Dict[str, Callable[[bool], dict]] = {
     "quantile_sketch": bench_quantile_sketch,
     "compile_cache": bench_compile_cache,
     "gateway_load": bench_gateway_load,
+    "incremental": bench_incremental,
 }
 
 

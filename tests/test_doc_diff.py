@@ -81,3 +81,64 @@ class TestDiff:
         b = Document(el("a"))
         edits = diff_documents(a, b)
         assert str(edits[0]).startswith("removed at /0")
+
+
+class TestPathRoundTrip:
+    """Diff paths must address the same nodes after serialize → parse.
+
+    The parser drops whitespace-only text children and strips text
+    values, so a diff computed on the raw in-memory tree could hand out
+    paths that shift or dangle on the other side of an exchange.
+    ``diff_documents`` normalizes both trees first (wire normal form),
+    making every returned path round-trip stable.
+    """
+
+    def test_whitespace_text_child_does_not_shift_paths(self):
+        from repro.doc.paths import get_node
+
+        a = Document(el("a", text("   "), el("x"), el("y")))
+        b = Document(el("a", text("   "), el("x"), el("z")))
+        edits = diff_documents(a, b)
+        assert [e.kind for e in edits] == ["replaced"]
+        # The whitespace-only leaf disappears on re-parse; the path must
+        # be computed as if it were never there.
+        assert edits[0].path == (1,)
+        round_tripped = Document.from_xml(a.to_xml())
+        target = get_node(round_tripped.root, edits[0].path)
+        assert target == el("y")
+
+    def test_padded_text_values_compare_round_trip_equal(self):
+        a = Document(el("a", el("t", "  v  ")))
+        b = Document(el("a", el("t", "v")))
+        # After a round-trip both sides carry the stripped value; the
+        # diff must agree there is nothing to report.
+        assert diff_documents(a, b) == []
+        assert diff_documents(Document.from_xml(a.to_xml()), b) == []
+
+    def test_raw_mode_still_sees_in_memory_differences(self):
+        a = Document(el("a", el("t", "  v  ")))
+        b = Document(el("a", el("t", "v")))
+        edits = diff_documents(a, b, normalize=False)
+        assert [e.kind for e in edits] == ["replaced"]
+
+    def test_unserializable_mixed_content_is_typed(self):
+        from repro.doc.normalize import UnserializableDocumentError
+
+        a = Document(el("a", text("words"), el("x")))
+        with pytest.raises(UnserializableDocumentError):
+            diff_documents(a, a)
+
+    def test_every_diff_path_resolves_after_round_trip(self):
+        from repro.doc.paths import get_node
+
+        a = Document(el(
+            "a", text("  "), el("x", el("k", " 1 ")), text(" "), el("y"),
+        ))
+        b = Document(el("a", el("x", el("k", "2")), el("y"), el("z")))
+        edits = diff_documents(a, b)
+        assert edits  # text change plus insertion
+        round_tripped = Document.from_xml(a.to_xml())
+        for edit in edits:
+            if edit.kind == "inserted":
+                continue  # addresses the right-hand document
+            get_node(round_tripped.root, edit.path)  # must not raise

@@ -222,6 +222,8 @@ class TestJsonCorpusReplay:
         from repro.conformance.corpus import (
             document_entry,
             document_scenario_from_entry,
+            edit_entry,
+            edit_scenario_from_entry,
             load_entry,
             word_entry,
             word_scenario_from_entry,
@@ -231,6 +233,9 @@ class TestJsonCorpusReplay:
         if entry["kind"] == "word":
             scenario = word_scenario_from_entry(entry)
             again = word_entry(scenario, note=entry.get("note", ""))
+        elif entry["kind"] == "edits":
+            scenario = edit_scenario_from_entry(entry)
+            again = edit_entry(scenario, note=entry.get("note", ""))
         else:
             scenario = document_scenario_from_entry(entry)
             again = document_entry(scenario, note=entry.get("note", ""))
