@@ -18,16 +18,29 @@ automaton over arbitrary documents is still well defined.
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass
 from typing import FrozenSet, Iterable, Set, Union
 
 from repro.regex.ast import AnySymbol, Atom, Regex
 
+
+def intern_symbol(symbol: str) -> str:
+    """Hash-cons a symbol so repeated occurrences share one object.
+
+    Labels, function names and attribute names recur across every node of
+    a document and every automaton alphabet; interning them makes symbol
+    equality an identity check on the hot comparison paths and collapses
+    per-node string storage to shared references.
+    """
+    return sys.intern(symbol)
+
+
 #: Reserved symbol standing for atomic character data (the ``data`` keyword).
-DATA = "#data"
+DATA = intern_symbol("#data")
 
 #: Catch-all symbol: "any letter not otherwise in the alphabet".
-OTHER = "#other"
+OTHER = intern_symbol("#other")
 
 #: Placeholder emitted when enumerating words of wildcard-bearing regexes.
 ANY_PLACEHOLDER = OTHER

@@ -23,7 +23,7 @@ from repro.errors import RewriteError, SchemaError, ServiceError
 from repro.obs import context as obs
 from repro.regex.ast import Regex
 from repro.rewriting.cost import UNIT, CostModel
-from repro.rewriting.engine import SAFE, RewriteEngine
+from repro.rewriting.engine import POSSIBLE, SAFE, RewriteEngine
 from repro.rewriting.plan import InvocationLog
 from repro.rewriting.safe import Invoker
 from repro.schema.model import Schema
@@ -174,6 +174,66 @@ class SchemaEnforcer:
             cache_misses=result.cache_misses,
             exec_report=result.exec_report,
         )
+
+    def enforce_stream(
+        self, source, invoker: Invoker, write: Callable[[str], None]
+    ) -> EnforcementOutcome:
+        """Enforce one document from an XML source, streaming the output.
+
+        ``source`` is a string, bytes, or an iterable of byte/str chunks;
+        ``write`` receives the enforced serialization incrementally while
+        the tail of the input is still being parsed.  Memory stays
+        bounded by the document's depth plus the widest buffered sibling
+        run (never the whole tree).  The receipt mirrors
+        :meth:`enforce_document` on the same input: already-conformant
+        documents stream through with zero invocations, and errors carry
+        the same messages (though on multi-error documents a different
+        one of them may surface first; partial output already handed to
+        ``write`` must then be discarded).  Converters are not applied
+        on this path, and possible mode is rejected — its service calls
+        on conformant words would diverge from the DOM verify step.
+        Malformed XML raises :class:`DocumentParseError` as the DOM
+        parser does.
+        """
+        if self.mode == POSSIBLE:
+            raise ValueError(
+                "streaming enforcement supports safe/auto modes only"
+            )
+        from repro.stream.enforce import stream_rewrite
+
+        engine = self._engine()
+        with obs.tracer().span("enforce", scope="stream") as span:
+            try:
+                result = stream_rewrite(engine, source, invoker, write)
+            except (RewriteError, SchemaError, ServiceError) as exc:
+                outcome = EnforcementOutcome(
+                    None, None, False, 0, InvocationLog(), error=str(exc),
+                    fault_report=self._fault_report(invoker),
+                )
+            else:
+                if result.already_conformant:
+                    # Mirror the DOM path's verify short-circuit: the
+                    # rewrite was the identity, so the receipt reads as
+                    # "verified conformant" with untouched counters.
+                    outcome = EnforcementOutcome(
+                        None, None, True, 0, InvocationLog(),
+                        fault_report=self._fault_report(invoker),
+                    )
+                else:
+                    outcome = EnforcementOutcome(
+                        None, None, False, len(result.log), result.log,
+                        fault_report=self._fault_report(invoker),
+                        degraded_functions=result.degraded_functions,
+                        cache_hits=result.cache_hits,
+                        cache_misses=result.cache_misses,
+                    )
+            span.set(
+                ok=outcome.ok,
+                already_conformant=outcome.already_conformant,
+                calls=outcome.calls_made,
+                degraded=outcome.degraded,
+            )
+            return outcome
 
     def _try_converters(
         self, document: Document, invoker: Invoker

@@ -177,10 +177,90 @@ def _compile_cache_option(args):
     return CompilationCache(persist_dir=value)
 
 
+def _file_chunks(path: str, size: int = 1 << 16):
+    """Yield a document's bytes in bounded chunks (streaming input)."""
+    with open(path, "rb") as handle:
+        while True:
+            chunk = handle.read(size)
+            if not chunk:
+                return
+            yield chunk
+
+
+def _cmd_rewrite_stream(args) -> int:
+    """``rewrite --stream``: bounded-memory single-pass enforcement.
+
+    The document is never fully materialized: the file is read in
+    chunks, children words are rewritten as their elements close, and
+    the enforced serialization is written out while the tail is still
+    being parsed.  Output bytes match the DOM path exactly; on error a
+    partial prefix may already be out, so a ``--output`` file is removed.
+    """
+    if args.mode == "possible":
+        print("FAILED: --stream supports safe/auto modes only",
+              file=sys.stderr)
+        return 2
+    sender = _load_schema(args.sender_schema)
+    exchange = _load_schema(args.exchange_schema)
+    enforcer = SchemaEnforcer(
+        exchange, sender, k=args.k, mode=args.mode,
+        workers=args.workers, dedup=args.dedup,
+        compile_cache=_compile_cache_option(args),
+    )
+    invoker, resilient = _resilient_invoker(
+        args, _sampling_invoker(sender, args.seed, per_call=True)
+    )
+    source = _file_chunks(args.document)
+    if args.output:
+        sink = open(args.output, "w", encoding="utf-8")
+        write = sink.write
+    else:
+        sink = None
+        write = sys.stdout.write
+    try:
+        outcome = enforcer.enforce_stream(source, invoker, write)
+    except BaseException:
+        if sink is not None:
+            sink.close()
+            os.remove(args.output)  # discard the partial prefix
+        raise
+    finally:
+        if sink is not None:
+            sink.close()
+    if resilient is not None:
+        print("resilience: %s" % resilient.report.summary(), file=sys.stderr)
+    if not outcome.ok:
+        if args.output:
+            os.remove(args.output)  # discard the partial prefix
+        print("FAILED: %s" % outcome.error, file=sys.stderr)
+        return 1
+    if not args.output:
+        sys.stdout.write("\n")
+    print(
+        "rewritten with %d call(s): %s"
+        % (outcome.calls_made, ", ".join(outcome.log.invoked) or "none"),
+        file=sys.stderr,
+    )
+    print(
+        "analysis cache: %d hit(s), %d miss(es)"
+        % (outcome.cache_hits, outcome.cache_misses),
+        file=sys.stderr,
+    )
+    if outcome.degraded_functions:
+        print(
+            "degraded around unavailable function(s): %s"
+            % ", ".join(outcome.degraded_functions),
+            file=sys.stderr,
+        )
+    return 0
+
+
 def cmd_rewrite(args) -> int:
     from repro.compile import context as compile_context
     from repro.obs import MetricsRegistry, Tracer, observing
 
+    if args.stream:
+        return _cmd_rewrite_stream(args)
     document = Document.from_xml(_read(args.document))
     sender = _load_schema(args.sender_schema)
     exchange = _load_schema(args.exchange_schema)
@@ -704,6 +784,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "directory persists compiled artifacts across runs "
                         "(default: in-memory process cache, or "
                         "$REPRO_COMPILE_CACHE)")
+    p.add_argument("--stream", action="store_true",
+                   help="single-pass streaming enforcement: parse, rewrite "
+                        "and emit incrementally with memory bounded by "
+                        "document depth (safe/auto modes; simulated service "
+                        "outputs are sampled per call as with --workers N, "
+                        "and the output is byte-identical to such a run)")
     p.set_defaults(func=cmd_rewrite)
 
     p = sub.add_parser("compat", help="Section 6 schema compatibility")

@@ -65,6 +65,10 @@ class EngineConfig:
     resilient: bool = False
     shared_cache: bool = False  # share one compilation cache across seeds
     core: str = "dict"  # automata core: "dict" or "bitset"
+    #: Run the streaming enforcement pipeline (SAX parse + close-time
+    #: rewriting + incremental emission) instead of the DOM path.  Skipped
+    #: on possible-mode scenarios, which streaming rejects by design.
+    streamed: bool = False
     mutate: bool = False  # self-test: corrupt the outcome on purpose
 
 
@@ -101,6 +105,7 @@ DEFAULT_MATRIX: Tuple[EngineConfig, ...] = (
     EngineConfig("resilient", resilient=True),
     EngineConfig("shared-cache", shared_cache=True),
     EngineConfig("bitset-core", core="bitset"),
+    EngineConfig("streamed", streamed=True),
 )
 
 #: The matrix with a deliberately broken member, for harness self-tests.
@@ -339,6 +344,8 @@ def run_config(
         )
 
     outcome = ConfigOutcome(config=config.name, ok=False)
+    if config.streamed:
+        return _run_streamed(scenario, config, engine, invoker, outcome)
     try:
         with using_core(config.core):
             if config.observed:
@@ -362,16 +369,66 @@ def run_config(
     return outcome
 
 
+def _run_streamed(
+    scenario: DocumentScenario,
+    config: EngineConfig,
+    engine: RewriteEngine,
+    invoker,
+    outcome: ConfigOutcome,
+) -> ConfigOutcome:
+    """The streaming pipeline on the scenario's serialized document.
+
+    The document is round-tripped through its XML bytes (streaming has
+    no DOM to start from), enforced as elements close and re-emitted
+    incrementally; the collected emission is compared byte-for-byte
+    against the DOM result.
+    """
+    from repro.stream.enforce import stream_rewrite
+
+    chunks: List[str] = []
+    try:
+        with using_core(config.core):
+            result = stream_rewrite(
+                engine, scenario.document.to_xml(), invoker, chunks.append
+            )
+    except ReproError as error:
+        outcome.error = "%s: %s" % (type(error).__name__, error)
+        outcome.cache_hits, outcome.cache_misses = engine.cache_stats
+        return outcome
+    outcome.ok = True
+    outcome.xml = "".join(chunks)
+    outcome.calls_made = result.calls_made
+    outcome.mode_used = result.mode_used
+    outcome.cache_hits = result.cache_hits
+    outcome.cache_misses = result.cache_misses
+    outcome.degraded = result.degraded_functions
+    if config.mutate:
+        outcome.xml = (outcome.xml or "") + "<!-- mutated -->"
+    return outcome
+
+
 def run_document_scenario(
     scenario: DocumentScenario,
     matrix: Sequence[EngineConfig] = DEFAULT_MATRIX,
 ) -> List[Disagreement]:
     """Run the configuration matrix and compare everything to baseline."""
-    outcomes = [run_config(scenario, config) for config in matrix]
+    configs = [
+        config for config in matrix
+        if not (config.streamed and scenario.mode == "possible")
+    ]
+    outcomes = [run_config(scenario, config) for config in configs]
     baseline, variants = outcomes[0], outcomes[1:]
     found: List[Disagreement] = []
-    for variant in variants:
-        for aspect in ConfigOutcome.COMPARED:
+    for config, variant in zip(configs[1:], variants):
+        aspects = ConfigOutcome.COMPARED
+        if config.streamed and not baseline.ok and not variant.ok:
+            # Streaming checks children words post-order (at close time)
+            # while the DOM walk is top-down, so on documents with several
+            # independent violations a different one may surface first —
+            # and the error-path cache accounting is order-dependent.
+            # Both paths must still agree that the document is rejected.
+            aspects = ("ok",)
+        for aspect in aspects:
             expected = getattr(baseline, aspect)
             got = getattr(variant, aspect)
             if expected != got:

@@ -1,0 +1,19 @@
+"""Shared XML name constants for the Active XML serialization.
+
+Both the DOM-building parser (:mod:`repro.doc.xml_io`) and the
+streaming pipeline (:mod:`repro.stream`) need the ``int:`` namespace
+and the Clark-notation tags of the three intensional wrapper elements;
+keeping them here avoids an import cycle between the two.
+"""
+
+from __future__ import annotations
+
+from repro.automata.symbols import intern_symbol
+
+#: The Active XML intensional namespace.
+INT_NS = "http://www.activexml.com/ns/int"
+
+#: Clark-notation tags of the intensional wrapper elements.
+FUN_TAG = intern_symbol("{%s}fun" % INT_NS)
+PARAMS_TAG = intern_symbol("{%s}params" % INT_NS)
+PARAM_TAG = intern_symbol("{%s}param" % INT_NS)

@@ -9,13 +9,13 @@ its parent's children word — the alphabet the schema regexes range over.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Optional, Tuple, Union
 
-from repro.automata.symbols import DATA
+from repro.automata.symbols import DATA, intern_symbol
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Text:
     """A leaf carrying an atomic data value from ``D``."""
 
@@ -25,7 +25,7 @@ class Text:
         return repr(self.value)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Element:
     """A data node: an element label from ``L`` with ordered children.
 
@@ -41,12 +41,19 @@ class Element:
     children: Tuple["Node", ...] = ()
     attributes: Tuple[Tuple[str, str], ...] = ()
 
+    #: Class-level flag; sealed stream nodes (already enforced) override it
+    #: so the engine's descend pass can skip their subtrees.
+    enforced = False
+
     def __post_init__(self):
         if not self.label or self.label.startswith("#"):
             raise ValueError("invalid element label %r" % (self.label,))
-        normalized = tuple(sorted(self.attributes))
-        if normalized != self.attributes:
-            object.__setattr__(self, "attributes", normalized)
+        object.__setattr__(self, "label", intern_symbol(self.label))
+        normalized = tuple(
+            (intern_symbol(name), value)
+            for name, value in sorted(self.attributes)
+        )
+        object.__setattr__(self, "attributes", normalized)
         names = [name for name, _value in normalized]
         if len(set(names)) != len(names):
             raise ValueError("duplicate attribute on <%s>" % self.label)
@@ -68,7 +75,7 @@ class Element:
         return "<%s%s> %s </%s>" % (self.label, attrs, inner, self.label)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FunctionCall:
     """A function node: an embedded service call with parameter subtrees.
 
@@ -86,6 +93,7 @@ class FunctionCall:
     def __post_init__(self):
         if not self.name or self.name.startswith("#"):
             raise ValueError("invalid function name %r" % (self.name,))
+        object.__setattr__(self, "name", intern_symbol(self.name))
 
     def __str__(self) -> str:
         inner = ", ".join(str(param) for param in self.params)
@@ -123,22 +131,41 @@ def children_of(node: Node) -> Tuple[Node, ...]:
     return ()
 
 
+def _same_forest(a: Tuple[Node, ...], b: Tuple[Node, ...]) -> bool:
+    return a is b or (
+        len(a) == len(b) and all(x is y for x, y in zip(a, b))
+    )
+
+
 def with_children(node: Node, children: Tuple[Node, ...]) -> Node:
-    """A copy of ``node`` with its children (or parameters) replaced."""
+    """A copy of ``node`` with its children (or parameters) replaced.
+
+    When every child is (identically) unchanged the original node is
+    returned, so rebuilt spines share structure with their source tree.
+    """
+    kids = tuple(children)
     if isinstance(node, Element):
-        return Element(node.label, tuple(children), node.attributes)
+        if _same_forest(kids, node.children):
+            return node
+        return Element(node.label, kids, node.attributes)
     if isinstance(node, FunctionCall):
-        return FunctionCall(node.name, tuple(children), node.endpoint, node.namespace)
-    if children:
+        if _same_forest(kids, node.params):
+            return node
+        return FunctionCall(node.name, kids, node.endpoint, node.namespace)
+    if kids:
         raise ValueError("data leaves cannot have children")
     return node
 
 
 def iter_subtree(node: Node) -> Iterator[Node]:
-    """Yield ``node`` and every descendant, pre-order."""
-    yield node
-    for child in children_of(node):
-        yield from iter_subtree(child)
+    """Yield ``node`` and every descendant, pre-order (iteratively)."""
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        kids = children_of(current)
+        if kids:
+            stack.extend(reversed(kids))
 
 
 def tree_size(node: Node) -> int:
@@ -148,10 +175,15 @@ def tree_size(node: Node) -> int:
 
 def tree_depth(node: Node) -> int:
     """Height of the subtree rooted at ``node`` (a leaf has depth 1)."""
-    kids = children_of(node)
-    if not kids:
-        return 1
-    return 1 + max(tree_depth(child) for child in kids)
+    deepest = 0
+    stack = [(node, 1)]
+    while stack:
+        current, depth = stack.pop()
+        if depth > deepest:
+            deepest = depth
+        for child in children_of(current):
+            stack.append((child, depth + 1))
+    return deepest
 
 
 def count_function_nodes(node: Node) -> int:

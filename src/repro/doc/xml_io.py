@@ -18,24 +18,31 @@ the paper's example document::
 Mixed content is restricted to the paper's simple model: character data
 is allowed only where it forms a whole leaf (whitespace around child
 elements is ignored).
+
+Both directions are iterative: parsing runs over the expat event stream
+of :mod:`repro.stream.parser` (no recursion, so ≥10k-deep documents
+parse fine) and serialization drives an explicit stack.
 """
 
 from __future__ import annotations
 
-import xml.etree.ElementTree as ET
 from typing import List
 from xml.sax.saxutils import escape, quoteattr
 
 from repro.doc.document import Document
+from repro.doc.names import FUN_TAG as _FUN
+from repro.doc.names import INT_NS
+from repro.doc.names import PARAM_TAG as _PARAM
+from repro.doc.names import PARAMS_TAG as _PARAMS
 from repro.doc.nodes import Element, FunctionCall, Node, Text
-from repro.errors import DocumentParseError
 
-#: The Active XML intensional namespace.
-INT_NS = "http://www.activexml.com/ns/int"
-
-_FUN = "{%s}fun" % INT_NS
-_PARAMS = "{%s}params" % INT_NS
-_PARAM = "{%s}param" % INT_NS
+__all__ = [
+    "INT_NS",
+    "document_from_xml",
+    "document_to_xml",
+    "node_from_xml",
+    "node_to_xml",
+]
 
 
 def node_to_xml(
@@ -75,46 +82,53 @@ def document_to_xml(document: Document, pretty: bool = True) -> str:
 
 
 def _serialize(node: Node, depth: int, lines: List[str], pretty: bool) -> None:
-    pad = "  " * depth if pretty else ""
-    if isinstance(node, Text):
-        lines.append(pad + escape(node.value))
-        return
-    if isinstance(node, Element):
-        attrs = "".join(
-            " %s=%s" % (name, quoteattr(value))
-            for name, value in node.attributes
-        )
-        if not node.children:
-            lines.append("%s<%s%s/>" % (pad, node.label, attrs))
-        elif len(node.children) == 1 and isinstance(node.children[0], Text):
-            lines.append(
-                "%s<%s%s>%s</%s>"
-                % (pad, node.label, attrs,
-                   escape(node.children[0].value), node.label)
+    stack: list = [(node, depth)]
+    while stack:
+        item = stack.pop()
+        if isinstance(item, str):  # a deferred closing line
+            lines.append(item)
+            continue
+        node, depth = item
+        pad = "  " * depth if pretty else ""
+        if isinstance(node, Text):
+            lines.append(pad + escape(node.value))
+            continue
+        if isinstance(node, Element):
+            attrs = "".join(
+                " %s=%s" % (name, quoteattr(value))
+                for name, value in node.attributes
             )
-        else:
-            lines.append("%s<%s%s>" % (pad, node.label, attrs))
-            for child in node.children:
-                _serialize(child, depth + 1, lines, pretty)
-            lines.append("%s</%s>" % (pad, node.label))
-        return
-    if isinstance(node, FunctionCall):
-        attrs = ["methodName=%s" % quoteattr(node.name)]
-        if node.endpoint:
-            attrs.insert(0, "endpointURL=%s" % quoteattr(node.endpoint))
-        if node.namespace:
-            attrs.append("namespaceURI=%s" % quoteattr(node.namespace))
-        lines.append("%s<int:fun %s>" % (pad, " ".join(attrs)))
-        if node.params:
-            lines.append("%s  <int:params>" % pad)
-            for param in node.params:
-                lines.append("%s    <int:param>" % pad)
-                _serialize(param, depth + 3, lines, pretty)
-                lines.append("%s    </int:param>" % pad)
-            lines.append("%s  </int:params>" % pad)
-        lines.append("%s</int:fun>" % pad)
-        return
-    raise TypeError("not a document node: %r" % (node,))
+            if not node.children:
+                lines.append("%s<%s%s/>" % (pad, node.label, attrs))
+            elif len(node.children) == 1 and isinstance(node.children[0], Text):
+                lines.append(
+                    "%s<%s%s>%s</%s>"
+                    % (pad, node.label, attrs,
+                       escape(node.children[0].value), node.label)
+                )
+            else:
+                lines.append("%s<%s%s>" % (pad, node.label, attrs))
+                stack.append("%s</%s>" % (pad, node.label))
+                for child in reversed(node.children):
+                    stack.append((child, depth + 1))
+            continue
+        if isinstance(node, FunctionCall):
+            attrs = ["methodName=%s" % quoteattr(node.name)]
+            if node.endpoint:
+                attrs.insert(0, "endpointURL=%s" % quoteattr(node.endpoint))
+            if node.namespace:
+                attrs.append("namespaceURI=%s" % quoteattr(node.namespace))
+            lines.append("%s<int:fun %s>" % (pad, " ".join(attrs)))
+            stack.append("%s</int:fun>" % pad)
+            if node.params:
+                stack.append("%s  </int:params>" % pad)
+                for param in reversed(node.params):
+                    stack.append("%s    </int:param>" % pad)
+                    stack.append((param, depth + 3))
+                    stack.append("%s    <int:param>" % pad)
+                stack.append("%s  <int:params>" % pad)
+            continue
+        raise TypeError("not a document node: %r" % (node,))
 
 
 def document_from_xml(source: str) -> Document:
@@ -124,84 +138,7 @@ def document_from_xml(source: str) -> Document:
 
 def node_from_xml(source: str) -> Node:
     """Parse a single XML fragment into a document node."""
-    try:
-        root = ET.fromstring(source)
-    except ET.ParseError as exc:
-        raise DocumentParseError("malformed XML: %s" % exc) from exc
-    return _parse_element(root)
+    from repro.stream.builder import parse_raw, raw_tree
+    from repro.stream.parser import iter_events
 
-
-def _parse_element(elem: ET.Element) -> Node:
-    if elem.tag == _FUN:
-        return _parse_function(elem)
-    if elem.tag in (_PARAMS, _PARAM):
-        raise DocumentParseError(
-            "%s may only appear directly under int:fun" % elem.tag
-        )
-    if elem.tag.startswith("{"):
-        raise DocumentParseError("unsupported namespaced element %r" % elem.tag)
-
-    children: List[Node] = []
-    leading = (elem.text or "").strip()
-    child_elems = list(elem)
-    if leading:
-        if child_elems:
-            raise DocumentParseError(
-                "mixed content under <%s> is not part of the simple model"
-                % elem.tag
-            )
-        children.append(Text(leading))
-    for child in child_elems:
-        children.append(_parse_element(child))
-        if (child.tail or "").strip():
-            raise DocumentParseError(
-                "mixed content under <%s> is not part of the simple model"
-                % elem.tag
-            )
-    attributes = tuple(sorted(elem.attrib.items()))
-    for name, _value in attributes:
-        if name.startswith("{"):
-            raise DocumentParseError(
-                "namespaced attribute %r is not supported" % name
-            )
-    return Element(elem.tag, tuple(children), attributes)
-
-
-def _parse_function(elem: ET.Element) -> FunctionCall:
-    name = elem.get("methodName")
-    if not name:
-        raise DocumentParseError("int:fun requires a methodName attribute")
-    params: List[Node] = []
-    wrappers = [child for child in elem if child.tag == _PARAMS]
-    others = [child for child in elem if child.tag != _PARAMS]
-    if others:
-        raise DocumentParseError(
-            "int:fun may only contain int:params, found %r" % others[0].tag
-        )
-    if len(wrappers) > 1:
-        raise DocumentParseError("int:fun may contain at most one int:params")
-    for wrapper in wrappers:
-        for param in wrapper:
-            if param.tag != _PARAM:
-                raise DocumentParseError(
-                    "int:params may only contain int:param, found %r" % param.tag
-                )
-            inner_elems = list(param)
-            inner_text = (param.text or "").strip()
-            if inner_elems and inner_text:
-                raise DocumentParseError("mixed content inside int:param")
-            if len(inner_elems) > 1:
-                raise DocumentParseError(
-                    "int:param must wrap exactly one tree (found %d)"
-                    % len(inner_elems)
-                )
-            if inner_elems:
-                params.append(_parse_element(inner_elems[0]))
-            else:
-                params.append(Text(inner_text))
-    return FunctionCall(
-        name,
-        tuple(params),
-        endpoint=elem.get("endpointURL"),
-        namespace=elem.get("namespaceURI"),
-    )
+    return parse_raw(raw_tree(iter_events(source)))

@@ -2,13 +2,16 @@
 
 The gateway must not grow runtime dependencies, so this module
 implements the slice of HTTP/1.1 the exchange protocol needs and
-nothing more: request line + headers + ``Content-Length`` bodies in,
-fixed-length responses out, keep-alive by default (the load generator
-reuses connections), no chunked encoding, no TLS.
+nothing more: request line + headers + ``Content-Length`` or chunked
+bodies in, fixed-length or chunked responses out (the streaming
+exchange replies chunk-by-chunk with its receipt in trailers),
+keep-alive by default (the load generator reuses connections), no TLS.
 
 Parsing is paranoid in the gateway's favour: header and body limits are
 enforced *while reading* (a peer cannot make the gateway buffer an
-unbounded request), and every malformed input maps to a typed
+unbounded request — a chunked upload is rejected the moment its running
+byte count crosses the cap, long before it completes), and every
+malformed input maps to a typed
 :class:`~repro.gateway.errors.GatewayError` rather than a stack trace.
 """
 
@@ -17,7 +20,7 @@ from __future__ import annotations
 import asyncio
 import json
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import AsyncIterator, Callable, Dict, Optional, Tuple
 from urllib.parse import parse_qsl, unquote, urlsplit
 
 from repro.gateway.errors import BadRequestError, PayloadTooLargeError
@@ -87,6 +90,25 @@ class Response:
                         content_type="application/octet-stream")
 
 
+@dataclass
+class StreamingResponse:
+    """A response whose body is produced while it is being written.
+
+    ``chunks`` yields body byte chunks (written with chunked
+    transfer-encoding as they arrive); ``trailers`` is called once the
+    iterator is exhausted and its entries are sent as HTTP trailers —
+    the streaming exchange's receipt travels there, after the last body
+    byte.  Callers that may fail mid-stream must signal it via a
+    trailer: the status line is long gone by then.
+    """
+
+    chunks: AsyncIterator[bytes]
+    status: int = 200
+    content_type: str = "application/xml"
+    headers: Dict[str, str] = field(default_factory=dict)
+    trailers: Callable[[], Dict[str, str]] = dict
+
+
 async def read_request(
     reader: asyncio.StreamReader,
     max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
@@ -126,6 +148,18 @@ async def read_request(
         name, _, value = line.partition(":")
         headers[name.strip().lower()] = value.strip()
 
+    encoding = headers.get("transfer-encoding", "").lower()
+    if encoding and encoding != "chunked":
+        raise BadRequestError(
+            "unsupported transfer encoding %r" % encoding
+        )
+    if encoding == "chunked":
+        body = await read_chunked_body(reader, max_body_bytes)
+        return Request(
+            method=method, path=unquote(split.path), query=query,
+            headers=headers, body=body,
+        )
+
     length_text = headers.get("content-length", "0")
     try:
         length = int(length_text)
@@ -138,8 +172,6 @@ async def read_request(
             "request body of %d bytes exceeds the %d byte limit"
             % (length, max_body_bytes)
         )
-    if headers.get("transfer-encoding"):
-        raise BadRequestError("chunked transfer encoding is not supported")
 
     body = b""
     if length:
@@ -153,10 +185,64 @@ async def read_request(
     )
 
 
+async def read_chunked_body(
+    reader: asyncio.StreamReader, max_body_bytes: int
+) -> bytes:
+    """De-chunk one request body, capping the running byte count.
+
+    The cap is checked on every chunk-size line — an oversized streaming
+    upload is refused as soon as its declared bytes cross the limit,
+    without waiting for (or buffering) the rest of the stream.
+    """
+    parts = []
+    total = 0
+    while True:
+        try:
+            size_line = await reader.readuntil(b"\r\n")
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            raise BadRequestError("connection closed mid-chunk")
+        size_text = size_line.strip().split(b";", 1)[0]  # drop extensions
+        try:
+            size = int(size_text, 16)
+        except ValueError:
+            raise BadRequestError(
+                "malformed chunk size %r" % size_text[:40]
+            )
+        if size < 0:
+            raise BadRequestError("negative chunk size")
+        total += size
+        if total > max_body_bytes:
+            raise PayloadTooLargeError(
+                "chunked body exceeds the %d byte limit (aborted after "
+                "%d declared bytes)" % (max_body_bytes, total)
+            )
+        if size == 0:
+            # Trailer section: consume until the blank line.
+            while True:
+                try:
+                    line = await reader.readuntil(b"\r\n")
+                except (asyncio.IncompleteReadError,
+                        asyncio.LimitOverrunError):
+                    raise BadRequestError("connection closed mid-trailer")
+                if line in (b"\r\n", b""):
+                    break
+            return b"".join(parts)
+        try:
+            chunk = await reader.readexactly(size + 2)  # chunk + CRLF
+        except asyncio.IncompleteReadError:
+            raise BadRequestError("connection closed mid-chunk")
+        if chunk[-2:] != b"\r\n":
+            raise BadRequestError("chunk not terminated by CRLF")
+        parts.append(chunk[:-2])
+
+
 async def write_response(
-    writer: asyncio.StreamWriter, response: Response, keep_alive: bool
+    writer: asyncio.StreamWriter, response, keep_alive: bool
 ) -> None:
     """Serialize one response (fixed Content-Length framing) and flush."""
+    if isinstance(response, StreamingResponse):
+        await write_streaming_response(writer, response, keep_alive)
+        return
     reason = REASONS.get(response.status, "Unknown")
     head = [
         "HTTP/1.1 %d %s" % (response.status, reason),
@@ -169,6 +255,85 @@ async def write_response(
     writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))
     writer.write(response.body)
     await writer.drain()
+
+
+async def write_streaming_response(
+    writer: asyncio.StreamWriter,
+    response: StreamingResponse,
+    keep_alive: bool,
+) -> None:
+    """Write a chunked response, flushing each body chunk as it arrives.
+
+    Trailers are sent after the terminal zero-size chunk — the receiver
+    reads them once the body is complete, which is exactly when the
+    streaming exchange knows its receipt.
+    """
+    reason = REASONS.get(response.status, "Unknown")
+    head = [
+        "HTTP/1.1 %d %s" % (response.status, reason),
+        "Content-Type: %s" % response.content_type,
+        "Transfer-Encoding: chunked",
+        "Connection: %s" % ("keep-alive" if keep_alive else "close"),
+    ]
+    for name, value in sorted(response.headers.items()):
+        head.append("%s: %s" % (name, value))
+    try:
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))
+        async for chunk in response.chunks:
+            if not chunk:
+                continue
+            writer.write(b"%x\r\n" % len(chunk) + chunk + b"\r\n")
+            await writer.drain()
+        trailer_lines = "".join(
+            "%s: %s\r\n" % (name, value)
+            for name, value in sorted(response.trailers().items())
+        )
+        writer.write(b"0\r\n" + trailer_lines.encode("latin-1") + b"\r\n")
+        await writer.drain()
+    finally:
+        # Closing the iterator on *any* exit lets the producer see the
+        # client is gone (GeneratorExit reaches its cleanup handlers)
+        # instead of blocking on a queue nobody drains.
+        aclose = getattr(response.chunks, "aclose", None)
+        if aclose is not None:
+            await aclose()
+
+
+def parse_chunked_response(
+    blob: bytes,
+) -> Tuple[int, Dict[str, str], bytes, Dict[str, str]]:
+    """Parse a complete chunked response buffer, trailers included.
+
+    Returns ``(status, headers, body, trailers)`` — the client side of
+    the streaming exchange (and its tests).
+    """
+    head, _, rest = blob.partition(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ", 2)
+    if len(parts) < 2 or not parts[0].startswith("HTTP/1."):
+        raise ValueError("malformed status line %r" % lines[0][:80])
+    status = int(parts[1])
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if ":" in line:
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+    if headers.get("transfer-encoding", "").lower() != "chunked":
+        raise ValueError("response is not chunked")
+    body_parts = []
+    while True:
+        size_line, _, rest = rest.partition(b"\r\n")
+        size = int(size_line.split(b";", 1)[0], 16)
+        if size == 0:
+            break
+        body_parts.append(rest[:size])
+        rest = rest[size + 2:]  # skip the chunk's CRLF
+    trailers: Dict[str, str] = {}
+    for line in rest.decode("latin-1").split("\r\n"):
+        if ":" in line:
+            name, _, value = line.partition(":")
+            trailers[name.strip().lower()] = value.strip()
+    return status, headers, b"".join(body_parts), trailers
 
 
 def parse_response(blob: bytes) -> Tuple[int, Dict[str, str], bytes]:

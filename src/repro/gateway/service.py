@@ -70,6 +70,7 @@ from repro.gateway.http import (
     DEFAULT_MAX_BODY_BYTES,
     Request,
     Response,
+    StreamingResponse,
     read_request,
     write_response,
 )
@@ -358,14 +359,21 @@ class Gateway:
         })
 
     async def _route_metrics(self, _request: Request) -> Response:
+        from repro.obs.memory import record_peak_gauge
+
+        record_peak_gauge()
         return Response.text(
             self.metrics.to_prometheus(),
             content_type="text/plain; version=0.0.4; charset=utf-8",
         )
 
     async def _route_stats(self, _request: Request) -> Response:
+        from repro.obs.memory import memory_snapshot, record_peak_gauge
+
+        record_peak_gauge()
         cache = self.compile_cache.stats()
         return Response.json({
+            "memory": memory_snapshot(),
             "admitted_total": self.admission.admitted_total,
             "inflight": self.admission.inflight,
             "shed": dict(self.admission.shed_counts),
@@ -451,7 +459,16 @@ class Gateway:
 
     # -- routes: the exchange ------------------------------------------------
 
-    async def _route_exchange(self, request: Request) -> Response:
+    async def _route_exchange(self, request: Request):
+        content_type = (
+            request.headers.get("content-type", "").split(";", 1)[0]
+            .strip().lower()
+        )
+        if content_type == "application/xml":
+            # Streaming exchange: raw XML body (Content-Length or
+            # chunked), parameters in the query string, enforced output
+            # streamed back chunk-by-chunk with the receipt in trailers.
+            return await self._route_exchange_stream(request)
         payload = request.json()
         sender_name = payload.get("sender")
         receiver_name = payload.get("receiver")
@@ -632,6 +649,237 @@ class Gateway:
             return outcome, now - enforce_started
 
         return await self._loop.run_in_executor(self._pool, job)
+
+    # -- routes: the streaming exchange --------------------------------------
+
+    async def _route_exchange_stream(self, request: Request):
+        """``POST /exchange`` with an ``application/xml`` body.
+
+        Single-pass enforcement: the body's bytes (already capped at
+        intake — a chunked upload is refused the moment its running
+        count crosses the limit) feed the streaming pipeline, and the
+        enforced serialization is written back with chunked framing
+        while the tail of the document is still being rewritten.  The
+        receipt travels in ``X-Repro-*`` trailers, after the last body
+        byte — including failures discovered mid-stream, when the 200
+        status line is long gone; clients must check ``X-Repro-Ok`` and
+        discard the partial body when it is ``false``.
+        """
+        from repro.rewriting.plan import InvocationLog
+
+        query = request.query
+        sender_name = query.get("sender", "")
+        receiver_name = query.get("receiver", "")
+        if not sender_name:
+            raise BadRequestError("missing 'sender' query parameter")
+        if not receiver_name:
+            raise BadRequestError("missing 'receiver' query parameter")
+        mode = query.get("mode", self.config.mode)
+        if mode not in MODES:
+            raise BadRequestError("mode must be one of %s" % ", ".join(MODES))
+        if mode == "possible":
+            raise BadRequestError(
+                "the streaming exchange supports safe/auto modes only"
+            )
+        if "deadline" in query:
+            raise BadRequestError(
+                "'deadline' is not supported on the streaming exchange"
+            )
+        try:
+            k = int(query.get("k", str(self.config.k)))
+            seed = int(query.get("seed", "0"))
+        except ValueError:
+            raise BadRequestError("'k' and 'seed' must be integers")
+        if k < 1:
+            raise BadRequestError("'k' must be a positive integer")
+        if not request.body.strip():
+            raise BadRequestError("missing document body")
+        try:
+            sender = self.registry.get(sender_name)
+            receiver = self.registry.get(receiver_name)
+        except UnknownPeerError as exc:
+            from repro.gateway.errors import UnknownGatewayPeerError
+
+            raise UnknownGatewayPeerError(str(exc))
+
+        self.metrics.counter(
+            "repro_gateway_bytes_total", "Document bytes through the gateway"
+        ).inc(len(request.body), direction="in")
+        started = self.clock.now()
+        ticket = self.admission.admit(
+            sender_name, per_peer_limit=sender.max_inflight
+        )
+
+        loop = self._loop
+        clock = self.clock
+        queue: asyncio.Queue = asyncio.Queue(maxsize=64)
+        state = {"outcome": None, "abandoned": False, "released": False}
+        _DONE = object()
+
+        def release_once(ok: bool) -> None:
+            if not state["released"]:
+                state["released"] = True
+                ticket.release(success=ok)
+
+        def push(item) -> None:
+            """Thread side: block until the loop has queue space.
+
+            Re-checks client abandonment every 5s; a consumer that makes
+            no progress for 60s counts as gone too (a sub-8KB/s reader
+            is indistinguishable from a dead one, and the pool thread
+            must not be parked forever).
+            """
+            import concurrent.futures as futures
+
+            stalled = 0.0
+            while True:
+                if state["abandoned"] or stalled >= 60.0:
+                    raise ConnectionError("streaming client went away")
+                handle = asyncio.run_coroutine_threadsafe(
+                    queue.put(item), loop
+                )
+                try:
+                    handle.result(timeout=5.0)
+                    return
+                except futures.TimeoutError:
+                    stalled += 5.0
+                    handle.cancel()
+                    try:
+                        # The put may have completed just before the
+                        # cancel; retrying then would duplicate bytes.
+                        handle.result(timeout=5.0)
+                        return
+                    except futures.CancelledError:
+                        continue
+
+        def job() -> None:
+            buffer = []
+            buffered = 0
+
+            def flush() -> None:
+                nonlocal buffered
+                if buffer:
+                    push("".join(buffer))
+                    buffer.clear()
+                    buffered = 0
+
+            def write(text: str) -> None:
+                nonlocal buffered
+                buffer.append(text)
+                buffered += len(text)
+                if buffered >= 8192:
+                    flush()
+
+            policy = (
+                allow_only(sender.obligations)
+                if sender.obligations else allow_all()
+            )
+            invoker = sampling_invoker(sender.schema(), seed)
+            invoker = delayed(invoker, clock, self.config.invoke_delay)
+            enforcer = SchemaEnforcer(
+                target_schema=receiver.schema(),
+                sender_schema=sender.schema(),
+                k=k,
+                mode=mode,
+                policy=policy,
+                workers=self.config.engine_workers,
+                compile_cache=self.compile_cache,
+            )
+            try:
+                try:
+                    outcome = enforcer.enforce_stream(
+                        request.body, invoker, write
+                    )
+                    flush()
+                except DocumentParseError as exc:
+                    outcome = EnforcementOutcome(
+                        None, None, False, 0, InvocationLog(),
+                        error="unparseable document: %s" % exc,
+                    )
+                state["outcome"] = outcome
+            finally:
+                push(_DONE)
+
+        enforcement = loop.run_in_executor(self._pool, job)
+        # Retrieve the job's exception even when the client vanishes and
+        # nobody awaits the future (silences the never-retrieved warning).
+        enforcement.add_done_callback(lambda fut: fut.exception())
+
+        async def chunks():
+            bytes_out = 0
+            try:
+                while True:
+                    item = await queue.get()
+                    if item is _DONE:
+                        break
+                    data = item.encode("utf-8")
+                    bytes_out += len(data)
+                    yield data
+                await asyncio.wait({enforcement})
+                outcome = state["outcome"]
+                ok = (
+                    enforcement.exception() is None
+                    and outcome is not None and outcome.ok
+                )
+                release_once(ok)
+                elapsed = clock.now() - started
+                self.metrics.histogram(
+                    "repro_gateway_exchange_seconds",
+                    "Enforcement wall time by mode",
+                    buckets=TIME_BUCKETS,
+                ).observe(elapsed, mode="stream")
+                self.metrics.counter(
+                    "repro_gateway_exchanges_total",
+                    "Completed exchange enforcements",
+                ).inc(accepted=str(ok).lower(), mode="stream")
+                self.metrics.counter(
+                    "repro_gateway_bytes_total",
+                    "Document bytes through the gateway",
+                ).inc(bytes_out, direction="out")
+                self.tracer.event(
+                    "gateway.exchange-streamed", sender=sender_name,
+                    receiver=receiver_name, ok=ok, bytes=bytes_out,
+                )
+            except BaseException:
+                state["abandoned"] = True
+                release_once(False)
+                raise
+
+        def trailers():
+            outcome = state["outcome"]
+            if outcome is None:
+                return {
+                    "X-Repro-Ok": "false",
+                    "X-Repro-Error": "enforcement did not complete",
+                }
+            fields = {
+                "X-Repro-Ok": str(outcome.ok).lower(),
+                "X-Repro-Calls": str(outcome.calls_made),
+                "X-Repro-Conformant": str(
+                    outcome.already_conformant
+                ).lower(),
+                "X-Repro-Cache-Hits": str(outcome.cache_hits),
+                "X-Repro-Cache-Misses": str(outcome.cache_misses),
+            }
+            if outcome.degraded_functions:
+                fields["X-Repro-Degraded"] = ",".join(
+                    outcome.degraded_functions
+                )
+            if outcome.error:
+                fields["X-Repro-Error"] = outcome.error.replace(
+                    "\r", " "
+                ).replace("\n", " ")
+            return fields
+
+        return StreamingResponse(
+            chunks=chunks(),
+            content_type="application/xml",
+            headers={
+                "Trailer": "X-Repro-Ok, X-Repro-Calls, X-Repro-Conformant, "
+                           "X-Repro-Cache-Hits, X-Repro-Cache-Misses",
+            },
+            trailers=trailers,
+        )
 
     # -- routes: the edit-script exchange ------------------------------------
 

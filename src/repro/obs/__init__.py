@@ -13,6 +13,12 @@ metric names):
 """
 
 from repro.obs.context import install, metrics, observing, tracer, uninstall
+from repro.obs.memory import (
+    memory_snapshot,
+    peak_rss_bytes,
+    record_peak_gauge,
+    traced_peak,
+)
 from repro.obs.metrics import (
     NULL_METRICS,
     SIZE_BUCKETS,
@@ -47,4 +53,5 @@ __all__ = [
     "Profile", "ProfileNode", "profile_spans", "profile_tracer",
     "P2Quantile", "QuantileSketch", "DEFAULT_QUANTILES",
     "install", "uninstall", "observing", "tracer", "metrics",
+    "memory_snapshot", "peak_rss_bytes", "record_peak_gauge", "traced_peak",
 ]

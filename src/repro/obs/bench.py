@@ -43,7 +43,7 @@ from repro.obs.trace import NULL_TRACER
 
 #: Wall-clock (and otherwise machine-dependent) keys, stripped by
 #: :func:`deterministic_view` before payloads are compared.
-EXCLUDED_SUFFIXES = ("_seconds", "_ns", "_fraction")
+EXCLUDED_SUFFIXES = ("_seconds", "_ns", "_fraction", "_bytes", "_per_s")
 EXCLUDED_KEYS = ("machine", "speedup", "within_budget")
 
 
@@ -355,6 +355,19 @@ def bench_incremental(smoke: bool = False) -> dict:
     return run_incremental(smoke=smoke)
 
 
+def bench_stream_enforce(smoke: bool = False) -> dict:
+    """Streaming vs DOM enforcement over one byte stream (E27).
+
+    Same magazine workload at three sizes; the streaming pass must
+    reproduce the DOM pass's bytes and receipt exactly while its
+    tracemalloc peak grows sub-linearly in the input.  Implemented in
+    :mod:`repro.stream.bench` (imported lazily, like the gateway bench).
+    """
+    from repro.stream.bench import run_stream_enforce
+
+    return run_stream_enforce(smoke=smoke)
+
+
 #: name -> bench callable; ``repro bench`` runs these in this order.
 BENCHES: Dict[str, Callable[[bool], dict]] = {
     "game_work": bench_game_work,
@@ -363,6 +376,7 @@ BENCHES: Dict[str, Callable[[bool], dict]] = {
     "compile_cache": bench_compile_cache,
     "gateway_load": bench_gateway_load,
     "incremental": bench_incremental,
+    "stream_enforce": bench_stream_enforce,
 }
 
 

@@ -1,0 +1,106 @@
+"""Peak-memory observation: process high-water mark + tracemalloc bridge.
+
+Two complementary views, both stdlib-only:
+
+- :func:`peak_rss_bytes` — the process's resident-set high-water mark
+  (``VmHWM`` from ``/proc/self/status``, falling back to
+  ``resource.getrusage``).  Cheap, absolute, monotone over the process
+  lifetime — the honest "how much memory did this run ever need" figure
+  the streaming benchmark reports.
+- :func:`traced_peak` — a ``tracemalloc`` window around one callable:
+  Python-allocation peak attributable to just that code, comparable
+  across runs even when the RSS high-water mark was set earlier.
+
+:func:`memory_snapshot` bundles both for ``/stats`` payloads and bench
+receipts; :func:`record_peak_gauge` publishes the high-water mark as the
+``repro_peak_rss_bytes`` gauge when metrics are installed.
+"""
+
+from __future__ import annotations
+
+import sys
+import tracemalloc
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.obs import context as obs
+
+__all__ = [
+    "memory_snapshot",
+    "peak_rss_bytes",
+    "record_peak_gauge",
+    "traced_peak",
+]
+
+
+def _peak_from_proc() -> Optional[int]:
+    """``VmHWM`` in bytes, where /proc exists (Linux)."""
+    try:
+        with open("/proc/self/status", "r", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):
+        pass
+    return None
+
+
+def _peak_from_rusage() -> Optional[int]:
+    try:
+        import resource
+    except ImportError:  # non-POSIX
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if peak <= 0:
+        return None
+    # Linux reports kilobytes, macOS bytes.
+    return peak if sys.platform == "darwin" else peak * 1024
+
+
+def peak_rss_bytes() -> Optional[int]:
+    """The process's peak resident set size, or ``None`` if unreadable."""
+    peak = _peak_from_proc()
+    return peak if peak is not None else _peak_from_rusage()
+
+
+def traced_peak(run: Callable[[], Any]) -> Tuple[Any, int]:
+    """Run a callable under tracemalloc; return (result, peak bytes).
+
+    The peak covers only allocations made *during* the call (the window
+    resets first).  When tracemalloc is already running — e.g. an outer
+    profiling session — the existing trace is reused and only the peak
+    counter is reset, so nesting is safe.
+    """
+    started_here = not tracemalloc.is_tracing()
+    if started_here:
+        tracemalloc.start()
+    else:
+        tracemalloc.reset_peak()
+    try:
+        result = run()
+        _current, peak = tracemalloc.get_traced_memory()
+    finally:
+        if started_here:
+            tracemalloc.stop()
+    return result, peak
+
+
+def record_peak_gauge() -> Optional[int]:
+    """Publish the RSS high-water mark as ``repro_peak_rss_bytes``."""
+    peak = peak_rss_bytes()
+    metrics = obs.metrics()
+    if peak is not None and metrics.enabled:
+        metrics.gauge(
+            "repro_peak_rss_bytes",
+            "Process peak resident set size (high-water mark)",
+        ).set(peak)
+    return peak
+
+
+def memory_snapshot() -> Dict[str, Any]:
+    """The memory block for ``/stats`` payloads and bench receipts."""
+    snapshot: Dict[str, Any] = {"peak_rss_bytes": peak_rss_bytes()}
+    if tracemalloc.is_tracing():
+        current, peak = tracemalloc.get_traced_memory()
+        snapshot["tracemalloc_current_bytes"] = current
+        snapshot["tracemalloc_peak_bytes"] = peak
+    return snapshot

@@ -382,6 +382,11 @@ class RewriteEngine:
     def _descend(self, node: Node, invoker, log, stats) -> Node:
         """Stage 2: continue the top-down traversal below a kept node."""
         if isinstance(node, Element):
+            if node.enforced:
+                # Sealed by the streaming driver: the subtree's words were
+                # rewritten when the element closed; re-descending would
+                # redo the analyses and double-count cache lookups.
+                return node
             content = self.target_schema.type_of(node.label)
             if content is None:
                 raise SchemaError(

@@ -1,0 +1,63 @@
+"""Incremental serialization for the streaming pipeline.
+
+The byte contract: concatenating everything a :class:`LineWriter`
+receives reproduces :func:`repro.doc.xml_io.document_to_xml` exactly —
+same pretty-printing, same escaping, no trailing newline.  Sealed
+subtrees re-use their chunk (serialized once, at their absolute depth);
+everything else goes through the shared iterative serializer.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Tuple
+from xml.sax.saxutils import quoteattr
+
+from repro.doc.nodes import Node
+from repro.doc.xml_io import _serialize
+
+#: The document header :func:`document_to_xml` writes.
+XML_HEADER = '<?xml version="1.0"?>'
+
+
+class LineWriter:
+    """Emit lines through a ``write(str)`` callback, newline-separated.
+
+    The first line is written bare and every further line is prefixed
+    with ``"\\n"``, so the accumulated stream never gains a trailing
+    newline — matching the DOM serializer byte for byte.
+    """
+
+    __slots__ = ("_write", "_first")
+
+    def __init__(self, write: Callable[[str], None]):
+        self._write = write
+        self._first = True
+
+    def line(self, text: str) -> None:
+        if self._first:
+            self._first = False
+            self._write(text)
+        else:
+            self._write("\n" + text)
+
+
+def attr_string(attributes: Tuple[Tuple[str, str], ...]) -> str:
+    """The serialized attribute list, exactly as the DOM serializer."""
+    return "".join(
+        " %s=%s" % (name, quoteattr(value)) for name, value in attributes
+    )
+
+
+def serialize_lines(node: Node, depth: int) -> List[str]:
+    """Pretty-printed lines of one subtree at an absolute depth."""
+    lines: List[str] = []
+    _serialize(node, depth, lines, True)
+    return lines
+
+
+def chunk_of(node: Node, depth: int) -> str:
+    """One child's serialized block: the sealed chunk when available."""
+    chunk = getattr(node, "chunk", None)
+    if chunk is not None:
+        return chunk
+    return "\n".join(serialize_lines(node, depth))

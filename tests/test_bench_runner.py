@@ -148,5 +148,5 @@ class TestWritePayload:
     def test_every_bench_is_named(self):
         assert set(BENCHES) == {
             "game_work", "obs_overhead", "quantile_sketch", "compile_cache",
-            "gateway_load", "incremental",
+            "gateway_load", "incremental", "stream_enforce",
         }

@@ -1,0 +1,62 @@
+"""Peak-memory observability: RSS gauge, tracemalloc helper, snapshots."""
+
+from repro.obs.context import observing
+from repro.obs.memory import (
+    memory_snapshot,
+    peak_rss_bytes,
+    record_peak_gauge,
+    traced_peak,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER
+
+
+class TestPeakRss:
+    def test_positive_on_this_platform(self):
+        peak = peak_rss_bytes()
+        assert isinstance(peak, int)
+        assert peak > 1024 * 1024  # a Python process is never this small
+
+    def test_monotone(self):
+        first = peak_rss_bytes()
+        ballast = ["x" * 1024 for _ in range(1024)]
+        second = peak_rss_bytes()
+        assert second >= first
+        del ballast
+
+
+class TestTracedPeak:
+    def test_returns_result_and_peak(self):
+        result, peak = traced_peak(lambda: sum(range(1000)))
+        assert result == sum(range(1000))
+        assert peak > 0
+
+    def test_peak_scales_with_allocation(self):
+        _, small = traced_peak(lambda: ["x" * 64 for _ in range(100)])
+        _, large = traced_peak(lambda: ["x" * 64 for _ in range(10_000)])
+        assert large > small * 10
+
+    def test_nests(self):
+        def outer():
+            _, inner_peak = traced_peak(lambda: list(range(5000)))
+            assert inner_peak > 0
+            return inner_peak
+
+        inner_peak, outer_peak = traced_peak(outer)
+        assert outer_peak >= 0 and inner_peak > 0
+
+
+class TestGaugeAndSnapshot:
+    def test_gauge_recorded_when_metrics_installed(self):
+        registry = MetricsRegistry()
+        with observing(NULL_TRACER, registry):
+            record_peak_gauge()
+        text = registry.to_prometheus()
+        assert "repro_peak_rss_bytes" in text
+
+    def test_noop_without_registry(self):
+        record_peak_gauge()  # must not raise with the null registry
+
+    def test_snapshot_keys(self):
+        snapshot = memory_snapshot()
+        assert snapshot["peak_rss_bytes"] > 0

@@ -1,0 +1,166 @@
+"""The expat pull parser against the classic DOM (ElementTree) path.
+
+``repro.doc.xml_io`` now parses over :func:`repro.stream.parser.iter_events`;
+these tests pin its behaviour to the previous ElementTree-based parser —
+a reference copy of which lives below — across the XML edge cases that
+historically diverge between SAX and DOM stacks (CDATA sections, entity
+references, character data split by comments, namespace re-declaration),
+and exercise the headline capability the rewrite bought: parsing and
+serializing documents nested far beyond the recursion limit.
+"""
+
+import sys
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.doc.document import Document
+from repro.doc.names import FUN_TAG, PARAM_TAG, PARAMS_TAG
+from repro.doc.nodes import Element, FunctionCall, Node, Text
+from repro.doc.xml_io import document_from_xml, document_to_xml, node_from_xml
+from repro.errors import DocumentParseError
+from repro.stream.parser import END, START, TEXT, iter_events
+from repro.workloads import newspaper
+
+# ---------------------------------------------------------------------------
+# Reference implementation: the ElementTree parser this repo used before
+# the streaming rewrite, kept verbatim so equality means "the pull parser
+# reproduces DOM semantics", not "both changed together".
+# ---------------------------------------------------------------------------
+
+
+def _et_node_from_xml(source: str) -> Node:
+    root = ET.fromstring(source)
+    return _et_parse_element(root)
+
+
+def _et_parse_element(elem) -> Node:
+    if elem.tag == FUN_TAG:
+        return _et_parse_function(elem)
+    children = []
+    leading = (elem.text or "").strip()
+    child_elems = list(elem)
+    if leading:
+        if child_elems:
+            raise DocumentParseError("mixed content")
+        children.append(Text(leading))
+    for child in child_elems:
+        children.append(_et_parse_element(child))
+        if (child.tail or "").strip():
+            raise DocumentParseError("mixed content")
+    return Element(elem.tag, tuple(children), tuple(sorted(elem.attrib.items())))
+
+
+def _et_parse_function(elem) -> FunctionCall:
+    name = elem.get("methodName")
+    params = []
+    for wrapper in elem:
+        assert wrapper.tag == PARAMS_TAG
+        for param in wrapper:
+            assert param.tag == PARAM_TAG
+            inner = list(param)
+            if inner:
+                params.append(_et_parse_element(inner[0]))
+            else:
+                params.append(Text((param.text or "").strip()))
+    return FunctionCall(
+        name, tuple(params), elem.get("endpointURL"), elem.get("namespaceURI")
+    )
+
+
+EDGE_CASES = [
+    pytest.param("<a><b><![CDATA[x & y <not-a-tag>]]></b></a>", id="cdata"),
+    pytest.param("<a>pre<!-- split --><![CDATA[mid]]>post</a>",
+                 id="text-coalescing-across-comments-and-cdata"),
+    pytest.param("<a>&amp;&lt;tag&gt;&quot;&#65;</a>", id="entity-references"),
+    pytest.param(
+        '<a xmlns:x="urn:one"><b xmlns:x="urn:two"><c>v</c></b></a>',
+        id="namespace-redeclaration",
+    ),
+    pytest.param('<a k="2" j="1"><b/><c>text</c></a>', id="attribute-order"),
+    pytest.param("<a>\n  <b>x</b>\n  <c/>\n</a>", id="ignorable-whitespace"),
+    pytest.param(
+        '<r xmlns:int="http://www.activexml.com/ns/int">'
+        '<int:fun methodName="F" endpointURL="http://e" namespaceURI="urn:n">'
+        "<int:params><int:param><city>Paris</city></int:param>"
+        "<int:param>raw text</int:param></int:params>"
+        "</int:fun></r>",
+        id="function-call-with-params",
+    ),
+]
+
+
+class TestStreamMatchesDom:
+    @pytest.mark.parametrize("xml", EDGE_CASES)
+    def test_equal_trees(self, xml):
+        assert node_from_xml(xml) == _et_node_from_xml(xml)
+
+    def test_newspaper_round_trip(self):
+        xml = newspaper.document().to_xml()
+        assert document_from_xml(xml).root == _et_node_from_xml(xml)
+        assert document_from_xml(xml).to_xml() == xml
+
+    @pytest.mark.parametrize("xml", [
+        pytest.param("<a>text<b/></a>", id="leading-mixed-content"),
+        pytest.param("<a><b/>tail</a>", id="trailing-mixed-content"),
+    ])
+    def test_mixed_content_rejected_like_dom(self, xml):
+        with pytest.raises(DocumentParseError):
+            node_from_xml(xml)
+        with pytest.raises(DocumentParseError):
+            _et_node_from_xml(xml)
+
+    def test_malformed_keeps_dom_error_message(self):
+        # Both stacks sit on expat, so the human-facing message (line,
+        # column, reason) must be identical to the pre-rewrite one.
+        source = "<a><b></a>"
+        try:
+            ET.fromstring(source)
+        except ET.ParseError as exc:
+            expected = "malformed XML: %s" % exc
+        with pytest.raises(DocumentParseError) as caught:
+            node_from_xml(source)
+        assert str(caught.value) == expected
+
+
+class TestEventStream:
+    def test_text_coalesces_to_single_event(self):
+        events = list(iter_events("<a>one<!-- c -->two<![CDATA[three]]></a>"))
+        assert events == [
+            (START, "a", {}),
+            (TEXT, "onetwothree", None),
+            (END, "a", None),
+        ]
+
+    def test_chunked_feed_equals_whole_string(self):
+        xml = newspaper.document().to_xml()
+        one_byte_chunks = (xml[i:i + 1] for i in range(len(xml)))
+        assert list(iter_events(one_byte_chunks)) == list(iter_events(xml))
+
+    def test_clark_names_for_namespaced_tags_and_attributes(self):
+        events = list(iter_events(
+            '<x:a xmlns:x="urn:u" x:k="v"><plain/></x:a>'
+        ))
+        assert events[0] == (START, "{urn:u}a", {"{urn:u}k": "v"})
+        assert events[1] == (START, "plain", {})
+
+
+class TestDeepDocuments:
+    DEPTH = 10_000
+
+    def test_parse_and_serialize_beyond_recursion_limit(self):
+        assert self.DEPTH > sys.getrecursionlimit()
+        xml = "<d>" * self.DEPTH + "leaf" + "</d>" * self.DEPTH
+        root = node_from_xml(xml)
+        depth = 0
+        node = root
+        while isinstance(node, Element) and node.children:
+            assert node.label == "d"
+            node = node.children[0]
+            depth += 1
+        assert depth == self.DEPTH
+        assert node == Text("leaf")
+        # The serializer is iterative too: the document round-trips.
+        # (Compared as bytes — dataclass equality would itself recurse.)
+        serialized = document_to_xml(Document(root))
+        assert document_to_xml(document_from_xml(serialized)) == serialized
